@@ -1,0 +1,57 @@
+// Architecture sweep (the paper's motivation for simulating: "so that a
+// wide range of architectures can be tested"): how do NP and linear
+// aggressive prefetching respond to the number of disks and to a
+// distance-dependent seek model?
+#include <iostream>
+
+#include "fig_common.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lap;
+  const Flags flags(argc, argv);
+
+  std::cout << "== Architecture sweep — CHARISMA under PAFS, 4 MB/node ==\n\n";
+
+  const Trace trace = bench::make_workload(bench::Workload::kCharisma, flags);
+
+  std::cout << "disks (flat Table 1 seeks):\n";
+  Table t({"disks", "NP ms", "Ln_Agr_IS_PPM:1 ms", "speedup"});
+  for (std::uint32_t disks : {4u, 8u, 16u, 32u}) {
+    RunConfig cfg = bench::make_base(bench::Workload::kCharisma,
+                                     FsKind::kPafs, flags);
+    cfg.machine.disks = disks;
+    cfg.cache_per_node = 4_MiB;
+    cfg.algorithm = AlgorithmSpec::parse("NP");
+    const RunResult np = run_simulation(trace, cfg);
+    cfg.algorithm = AlgorithmSpec::parse("Ln_Agr_IS_PPM:1");
+    const RunResult lap_r = run_simulation(trace, cfg);
+    t.add_row({std::to_string(disks), fmt_double(np.avg_read_ms, 3),
+               fmt_double(lap_r.avg_read_ms, 3),
+               fmt_double(lap_r.avg_read_ms > 0
+                              ? np.avg_read_ms / lap_r.avg_read_ms
+                              : 0.0, 2) + "x"});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nseek model (16 disks):\n";
+  Table s({"seeks", "NP ms", "Ln_Agr_IS_PPM:1 ms", "speedup"});
+  for (bool distance : {false, true}) {
+    RunConfig cfg = bench::make_base(bench::Workload::kCharisma,
+                                     FsKind::kPafs, flags);
+    cfg.cache_per_node = 4_MiB;
+    cfg.distance_seeks = distance;
+    cfg.algorithm = AlgorithmSpec::parse("NP");
+    const RunResult np = run_simulation(trace, cfg);
+    cfg.algorithm = AlgorithmSpec::parse("Ln_Agr_IS_PPM:1");
+    const RunResult lap_r = run_simulation(trace, cfg);
+    s.add_row({distance ? "distance-dependent" : "flat (Table 1)",
+               fmt_double(np.avg_read_ms, 3),
+               fmt_double(lap_r.avg_read_ms, 3),
+               fmt_double(lap_r.avg_read_ms > 0
+                              ? np.avg_read_ms / lap_r.avg_read_ms
+                              : 0.0, 2) + "x"});
+  }
+  s.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Related-work baselines (Section 1.1): the Vitter-Krishnan
+// block-sequence PPM that IS_PPM evolved from, and Kroeger & Long's
+// whole-file prefetching that the paper judges "too aggressive" for
+// parallel environments with huge files.  This bench reproduces both
+// comparisons on both workloads.
+#include <iostream>
+
+#include "fig_common.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lap;
+  const Flags flags(argc, argv);
+
+  std::cout << "== Related-work baselines vs the paper's algorithms ==\n";
+  std::cout << "expected: IS_PPM beats block-sequence VK_PPM (intervals can "
+               "predict never-seen blocks);\n"
+            << "WholeFile helps small Sprite files but floods on CHARISMA's "
+               "large files\n\n";
+
+  for (auto workload : {bench::Workload::kCharisma, bench::Workload::kSprite}) {
+    const Trace trace = bench::make_workload(workload, flags);
+    RunConfig cfg = bench::make_base(workload, FsKind::kPafs, flags);
+    for (Bytes cache : {1_MiB, 4_MiB}) {
+      cfg.cache_per_node = cache;
+      std::cout << (workload == bench::Workload::kCharisma ? "CHARISMA (PM)"
+                                                           : "Sprite (NOW)")
+                << " under PAFS, " << cache / (1024 * 1024) << " MB/node\n";
+      Table t({"algorithm", "avg read ms", "hit", "prefetched", "mispred",
+               "disk accesses"});
+      for (const char* algo :
+           {"NP", "OBA", "VK_PPM:1", "Ln_Agr_VK_PPM:1", "WholeFile",
+            "IS_PPM:1", "Ln_Agr_IS_PPM:1"}) {
+        cfg.algorithm = AlgorithmSpec::parse(algo);
+        const RunResult r = run_simulation(trace, cfg);
+        t.add_row({algo, fmt_double(r.avg_read_ms, 3),
+                   fmt_double(r.hit_ratio, 2),
+                   std::to_string(r.prefetch_issued),
+                   fmt_double(r.misprediction_ratio, 2),
+                   std::to_string(r.disk_accesses)});
+      }
+      t.print(std::cout);
+      std::cout << '\n';
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Ablation: IS_PPM edge selection — the paper replaces classic PPM's
+// most-frequent edge with the most-recently-used edge ("following the path
+// that has most recently been followed achieves a more accurate
+// prediction").  DESIGN.md §6.
+#include <iostream>
+
+#include "fig_common.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lap;
+  const Flags flags(argc, argv);
+
+  std::cout << "== Ablation — IS_PPM edge policy (MRU vs most-frequent) ==\n\n";
+
+  Table t({"workload", "policy", "avg read ms", "mispred", "prefetched"});
+  for (auto workload : {bench::Workload::kCharisma, bench::Workload::kSprite}) {
+    const Trace trace = bench::make_workload(workload, flags);
+    RunConfig cfg = bench::make_base(workload, FsKind::kPafs, flags);
+    cfg.cache_per_node = 4_MiB;
+    for (auto policy : {IsPpmGraph::EdgePolicy::kMostRecent,
+                        IsPpmGraph::EdgePolicy::kMostFrequent}) {
+      cfg.algorithm = AlgorithmSpec::parse("Ln_Agr_IS_PPM:1");
+      cfg.algorithm.edge_policy = policy;
+      const RunResult r = run_simulation(trace, cfg);
+      t.add_row({workload == bench::Workload::kCharisma ? "CHARISMA" : "Sprite",
+                 policy == IsPpmGraph::EdgePolicy::kMostRecent ? "most-recent"
+                                                               : "most-frequent",
+                 fmt_double(r.avg_read_ms, 3),
+                 fmt_double(r.misprediction_ratio, 2),
+                 std::to_string(r.prefetch_issued)});
+    }
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Ablation: cold-graph fallback of IS_PPM — disabled, conservative (one
+// OBA block, the default) or aggressive (sequential stream until the graph
+// warms).  DESIGN.md §6.
+#include <iostream>
+
+#include "fig_common.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lap;
+  const Flags flags(argc, argv);
+
+  std::cout << "== Ablation — IS_PPM cold-graph fallback ==\n\n";
+
+  Table t({"workload", "fallback", "avg read ms", "mispred", "fallback share"});
+  for (auto workload : {bench::Workload::kCharisma, bench::Workload::kSprite}) {
+    const Trace trace = bench::make_workload(workload, flags);
+    RunConfig cfg = bench::make_base(workload, FsKind::kPafs, flags);
+    cfg.cache_per_node = 4_MiB;
+    struct Mode {
+      const char* name;
+      bool enabled;
+      bool aggressive;
+    };
+    for (const Mode mode : {Mode{"off", false, false},
+                            Mode{"one-block", true, false},
+                            Mode{"sequential", true, true}}) {
+      cfg.algorithm = AlgorithmSpec::parse("Ln_Agr_IS_PPM:1");
+      cfg.algorithm.oba_fallback = mode.enabled;
+      cfg.algorithm.aggressive_fallback = mode.aggressive;
+      const RunResult r = run_simulation(trace, cfg);
+      t.add_row({workload == bench::Workload::kCharisma ? "CHARISMA" : "Sprite",
+                 mode.name, fmt_double(r.avg_read_ms, 3),
+                 fmt_double(r.misprediction_ratio, 2),
+                 fmt_double(r.fallback_fraction, 2)});
+    }
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Upper bound: informed prefetching with application-disclosed access
+// patterns (Section 1.1 [16] — "no miss-predictions will be done").  How
+// much of the perfect-hints headroom do the paper's on-the-fly learners
+// capture?
+#include <iostream>
+
+#include "fig_common.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lap;
+  const Flags flags(argc, argv);
+
+  std::cout << "== Upper bound — informed prefetching (disclosed patterns) "
+               "==\n";
+  std::cout << "the paper's learners are measured against perfect hints; "
+               "IS_PPM's gap to 'Informed' is the cost of learning "
+               "on-the-fly\n\n";
+
+  for (auto workload : {bench::Workload::kCharisma, bench::Workload::kSprite}) {
+    const Trace trace = bench::make_workload(workload, flags);
+    RunConfig cfg = bench::make_base(workload, FsKind::kPafs, flags);
+    cfg.cache_per_node = 4_MiB;
+    std::cout << (workload == bench::Workload::kCharisma ? "CHARISMA (PM)"
+                                                         : "Sprite (NOW)")
+              << " under PAFS, 4 MB/node\n";
+    Table t({"algorithm", "avg read ms", "hit", "prefetched", "mispred"});
+    for (const char* algo : {"NP", "Ln_Agr_OBA", "Ln_Agr_IS_PPM:1",
+                             "Ln_Informed", "Informed"}) {
+      cfg.algorithm = AlgorithmSpec::parse(algo);
+      const RunResult r = run_simulation(trace, cfg);
+      t.add_row({algo, fmt_double(r.avg_read_ms, 3), fmt_double(r.hit_ratio, 2),
+                 std::to_string(r.prefetch_issued),
+                 fmt_double(r.misprediction_ratio, 2)});
+    }
+    t.print(std::cout);
+    std::cout << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Ablation: prefetch priority at the disk.  The paper: "Prefetching a
+// block will never be done if other operations are waiting to be done on
+// the same disk."  This bench compares that rule against prefetching at
+// demand priority.  DESIGN.md §6.
+#include <iostream>
+
+#include "fig_common.hpp"
+#include "sim/priority.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lap;
+  const Flags flags(argc, argv);
+
+  std::cout << "== Ablation — disk priority of prefetch reads ==\n\n";
+
+  const Trace trace = bench::make_workload(bench::Workload::kCharisma, flags);
+  Table t({"priority", "algorithm", "avg read ms", "p95 ms", "disk accesses"});
+  RunConfig cfg = bench::make_base(bench::Workload::kCharisma, FsKind::kPafs, flags);
+  cfg.cache_per_node = 4_MiB;
+  for (int priority : {prio::kPrefetch, prio::kDemand}) {
+    cfg.prefetch_priority = priority;
+    for (const char* algo : {"Ln_Agr_OBA", "Ln_Agr_IS_PPM:1"}) {
+      cfg.algorithm = AlgorithmSpec::parse(algo);
+      const RunResult r = run_simulation(trace, cfg);
+      t.add_row({priority == prio::kPrefetch ? "background" : "demand", algo,
+                 fmt_double(r.avg_read_ms, 3), fmt_double(r.read_p95_ms, 2),
+                 std::to_string(r.disk_accesses)});
+    }
+  }
+  t.print(std::cout);
+  return 0;
+}

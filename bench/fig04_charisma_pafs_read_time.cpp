@@ -1,0 +1,7 @@
+// Figure 4 — average read time, CHARISMA (PM) under PAFS
+#include "fig_common.hpp"
+
+int main(int argc, char** argv) {
+  return lap::bench::run_figure(argc, argv, "Figure 4 — average read time, CHARISMA (PM) under PAFS", lap::bench::Workload::kCharisma,
+                                lap::FsKind::kPafs, lap::bench::FigureKind::kReadTime);
+}

@@ -1,0 +1,7 @@
+// Figure 5 — average read time, CHARISMA (PM) under xFS
+#include "fig_common.hpp"
+
+int main(int argc, char** argv) {
+  return lap::bench::run_figure(argc, argv, "Figure 5 — average read time, CHARISMA (PM) under xFS", lap::bench::Workload::kCharisma,
+                                lap::FsKind::kXfs, lap::bench::FigureKind::kReadTime);
+}

@@ -1,0 +1,7 @@
+// Figure 6 — average read time, Sprite (NOW) under PAFS
+#include "fig_common.hpp"
+
+int main(int argc, char** argv) {
+  return lap::bench::run_figure(argc, argv, "Figure 6 — average read time, Sprite (NOW) under PAFS", lap::bench::Workload::kSprite,
+                                lap::FsKind::kPafs, lap::bench::FigureKind::kReadTime);
+}

@@ -1,0 +1,7 @@
+// Figure 7 — average read time, Sprite (NOW) under xFS
+#include "fig_common.hpp"
+
+int main(int argc, char** argv) {
+  return lap::bench::run_figure(argc, argv, "Figure 7 — average read time, Sprite (NOW) under xFS", lap::bench::Workload::kSprite,
+                                lap::FsKind::kXfs, lap::bench::FigureKind::kReadTime);
+}

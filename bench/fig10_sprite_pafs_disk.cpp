@@ -1,0 +1,7 @@
+// Figure 10 — disk accesses, Sprite (NOW) under PAFS
+#include "fig_common.hpp"
+
+int main(int argc, char** argv) {
+  return lap::bench::run_figure(argc, argv, "Figure 10 — disk accesses, Sprite (NOW) under PAFS", lap::bench::Workload::kSprite,
+                                lap::FsKind::kPafs, lap::bench::FigureKind::kDiskAccesses);
+}

@@ -1,0 +1,7 @@
+// Figure 11 — disk accesses, Sprite (NOW) under xFS
+#include "fig_common.hpp"
+
+int main(int argc, char** argv) {
+  return lap::bench::run_figure(argc, argv, "Figure 11 — disk accesses, Sprite (NOW) under xFS", lap::bench::Workload::kSprite,
+                                lap::FsKind::kXfs, lap::bench::FigureKind::kDiskAccesses);
+}

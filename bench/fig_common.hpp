@@ -1,0 +1,113 @@
+// Shared driver for the figure/table reproduction binaries.
+//
+// Every bench accepts:
+//   --scale <f>     workload scale factor (default 1.0)
+//   --seed <n>      workload seed (defaults per generator)
+//   --threads <n>   sweep parallelism (default: hardware)
+//   --sync-ms <n>   write-back period in ms (default 2000)
+//   --csv <path>    additionally dump every run's metrics as CSV
+//   --quick         0.4x scale and only {1,4,16} MB (CI-sized run)
+#pragma once
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "driver/report.hpp"
+#include "driver/simulation.hpp"
+#include "driver/sweep.hpp"
+#include "trace/charisma_gen.hpp"
+#include "trace/sprite_gen.hpp"
+#include "util/flags.hpp"
+
+namespace lap::bench {
+
+enum class Workload { kCharisma, kSprite };
+enum class FigureKind { kReadTime, kDiskAccesses, kWritesPerBlock };
+
+inline Trace make_workload(Workload w, const Flags& flags) {
+  const double quick = flags.get_bool("quick", false) ? 0.4 : 1.0;
+  if (w == Workload::kCharisma) {
+    CharismaParams p;
+    p.scale = flags.get_double("scale", 1.0) * quick;
+    if (flags.has("seed")) {
+      p.seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+    }
+    return generate_charisma(p);
+  }
+  SpriteParams p;
+  p.scale = flags.get_double("scale", 1.0) * quick;
+  if (flags.has("seed")) {
+    p.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1999));
+  }
+  return generate_sprite(p);
+}
+
+inline RunConfig make_base(Workload w, FsKind fs, const Flags& flags) {
+  RunConfig cfg;
+  cfg.machine =
+      w == Workload::kCharisma ? MachineConfig::pm() : MachineConfig::now();
+  cfg.fs = fs;
+  cfg.sync_interval = SimTime::ms(
+      static_cast<double>(flags.get_int("sync-ms", 2000)));
+  return cfg;
+}
+
+inline SweepSpec make_spec(FigureKind kind, const Flags& flags) {
+  SweepSpec spec;
+  spec.cache_sizes = flags.get_bool("quick", false)
+                         ? std::vector<Bytes>{1_MiB, 4_MiB, 16_MiB}
+                         : paper_cache_sizes();
+  if (kind == FigureKind::kReadTime) {
+    // Figures 4-7 plot all seven algorithms.
+    spec.algorithms = AlgorithmSpec::paper_set();
+  } else {
+    // Figures 8-11 and Table 2: NP plus the three aggressive algorithms.
+    spec.algorithms = {
+        AlgorithmSpec::parse("NP"),
+        AlgorithmSpec::parse("Ln_Agr_OBA"),
+        AlgorithmSpec::parse("Ln_Agr_IS_PPM:1"),
+        AlgorithmSpec::parse("Ln_Agr_IS_PPM:3"),
+    };
+  }
+  return spec;
+}
+
+inline int run_figure(int argc, char** argv, const std::string& title,
+                      Workload workload, FsKind fs, FigureKind kind) {
+  const Flags flags(argc, argv);
+  const Trace trace = make_workload(workload, flags);
+  const RunConfig base = make_base(workload, fs, flags);
+  const SweepSpec spec = make_spec(kind, flags);
+
+  print_experiment_header(std::cout, title, base.machine, trace, base);
+  const auto threads =
+      static_cast<std::size_t>(flags.get_int("threads", 0));
+  const auto results = run_sweep(trace, base, spec, threads);
+
+  switch (kind) {
+    case FigureKind::kReadTime:
+      print_read_time_series(std::cout, spec, results);
+      break;
+    case FigureKind::kDiskAccesses:
+      print_disk_access_series(std::cout, spec, results);
+      break;
+    case FigureKind::kWritesPerBlock:
+      print_writes_per_block_table(std::cout, spec, results);
+      break;
+  }
+  print_diagnostics(std::cout, spec, results);
+  if (flags.has("csv")) {
+    std::ofstream csv(flags.get("csv", ""));
+    if (csv) {
+      write_results_csv(csv, results);
+      std::cout << "\n(csv written to " << flags.get("csv", "") << ")\n";
+    } else {
+      std::cerr << "cannot open csv path " << flags.get("csv", "") << "\n";
+    }
+  }
+  std::cout << std::endl;
+  return 0;
+}
+
+}  // namespace lap::bench

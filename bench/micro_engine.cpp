@@ -1,0 +1,75 @@
+// Micro-benchmarks of the discrete-event engine (google-benchmark): raw
+// event throughput and coroutine suspend/resume cost — they bound how large
+// a simulated system the harness can sweep.
+#include <benchmark/benchmark.h>
+
+#include "sim/engine.hpp"
+#include "sim/future.hpp"
+#include "sim/resource.hpp"
+#include "sim/task.hpp"
+
+namespace lap {
+namespace {
+
+void BM_EventDispatch(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Engine eng;
+    for (int i = 0; i < batch; ++i) {
+      eng.schedule_at(SimTime::us(i), [] {});
+    }
+    benchmark::DoNotOptimize(eng.run());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventDispatch)->Arg(1024)->Arg(65536);
+
+void BM_CoroutineDelayChain(benchmark::State& state) {
+  const int hops = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Engine eng;
+    [](Engine& e, int n) -> SimTask {
+      for (int i = 0; i < n; ++i) co_await e.delay(SimTime::us(1));
+    }(eng, hops);
+    eng.run();
+  }
+  state.SetItemsProcessed(state.iterations() * hops);
+}
+BENCHMARK(BM_CoroutineDelayChain)->Arg(1024)->Arg(16384);
+
+void BM_ResourceContention(benchmark::State& state) {
+  const int tasks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Engine eng;
+    Resource res(eng);
+    for (int i = 0; i < tasks; ++i) {
+      [](Engine& e, Resource& r) -> SimTask {
+        auto guard = co_await r.scoped(prio::kDemand);
+        co_await e.delay(SimTime::us(1));
+      }(eng, res);
+    }
+    eng.run();
+  }
+  state.SetItemsProcessed(state.iterations() * tasks);
+}
+BENCHMARK(BM_ResourceContention)->Arg(1024)->Arg(8192);
+
+void BM_PromiseRendezvous(benchmark::State& state) {
+  const int pairs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Engine eng;
+    for (int i = 0; i < pairs; ++i) {
+      SimPromise<Done> p(eng);
+      [](SimFuture<Done> f) -> SimTask { co_await f; }(p.future());
+      eng.schedule_in(SimTime::us(1), [p] { p.set_value(Done{}); });
+    }
+    eng.run();
+  }
+  state.SetItemsProcessed(state.iterations() * pairs);
+}
+BENCHMARK(BM_PromiseRendezvous)->Arg(1024)->Arg(8192);
+
+}  // namespace
+}  // namespace lap
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// Micro-benchmarks of the prediction machinery (google-benchmark): graph
+// update cost, prediction cost and aggressive-walk throughput — the
+// per-request overhead a real file server would pay.
+#include <benchmark/benchmark.h>
+
+#include "core/aggressive.hpp"
+#include "core/is_ppm.hpp"
+#include "core/oba.hpp"
+#include "util/rng.hpp"
+
+namespace lap {
+namespace {
+
+void BM_ObaOnRequest(benchmark::State& state) {
+  ObaPredictor oba;
+  std::int64_t off = 0;
+  for (auto _ : state) {
+    oba.on_request(off, 4);
+    benchmark::DoNotOptimize(oba.predict_next());
+    off += 4;
+  }
+}
+BENCHMARK(BM_ObaOnRequest);
+
+void BM_IsPpmObserveRegular(benchmark::State& state) {
+  const int order = static_cast<int>(state.range(0));
+  IsPpmGraph graph(order);
+  IsPpmPredictor pred(graph);
+  std::uint64_t t = 0;
+  std::int64_t off = 0;
+  for (auto _ : state) {
+    pred.on_request(off, 4, ++t);
+    off += 4;
+  }
+  state.counters["nodes"] = static_cast<double>(graph.node_count());
+}
+BENCHMARK(BM_IsPpmObserveRegular)->Arg(1)->Arg(3);
+
+void BM_IsPpmObserveRandom(benchmark::State& state) {
+  // Worst case: every request creates a new context node.
+  const int order = static_cast<int>(state.range(0));
+  IsPpmGraph graph(order);
+  IsPpmPredictor pred(graph);
+  Rng rng(99);
+  std::uint64_t t = 0;
+  for (auto _ : state) {
+    pred.on_request(rng.uniform_int(0, 1 << 20),
+                    static_cast<std::uint32_t>(rng.uniform_int(1, 16)), ++t);
+  }
+  state.counters["nodes"] = static_cast<double>(graph.node_count());
+}
+BENCHMARK(BM_IsPpmObserveRandom)->Arg(1)->Arg(3);
+
+void BM_IsPpmPredict(benchmark::State& state) {
+  IsPpmGraph graph(1);
+  IsPpmPredictor pred(graph);
+  std::uint64_t t = 0;
+  for (std::int64_t off = 0; off < 400; off += 4) pred.on_request(off, 4, ++t);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pred.predict_next());
+  }
+}
+BENCHMARK(BM_IsPpmPredict);
+
+void BM_AggressiveWalk(benchmark::State& state) {
+  IsPpmGraph graph(1);
+  IsPpmPredictor pred(graph);
+  std::uint64_t t = 0;
+  for (std::int64_t off = 0; off < 400; off += 4) pred.on_request(off, 4, ++t);
+  for (auto _ : state) {
+    GraphStream stream(pred.walker(), 400, 1 << 20, kUnboundedBudget, 1);
+    std::uint64_t blocks = 0;
+    while (stream.next() && blocks < 4096) ++blocks;
+    benchmark::DoNotOptimize(blocks);
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_AggressiveWalk);
+
+void BM_SequentialStream(benchmark::State& state) {
+  for (auto _ : state) {
+    SequentialStream stream(0, 4096, kUnboundedBudget);
+    std::uint64_t blocks = 0;
+    while (stream.next()) ++blocks;
+    benchmark::DoNotOptimize(blocks);
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_SequentialStream);
+
+}  // namespace
+}  // namespace lap
+
+BENCHMARK_MAIN();

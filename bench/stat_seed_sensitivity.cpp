@@ -1,0 +1,56 @@
+// Seed sensitivity of the headline comparison (DESIGN.md §7): how stable
+// are the Figure 4 read times across workload seeds?  Reports mean and
+// spread of each algorithm at 4 MB/node, and how often each of the two
+// linear-aggressive variants wins.
+#include <iostream>
+#include <vector>
+
+#include "fig_common.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lap;
+  const Flags flags(argc, argv);
+  const int seeds = static_cast<int>(flags.get_int("seeds", 5));
+
+  std::cout << "== Seed sensitivity — CHARISMA (PM) under PAFS, 4 MB/node, "
+            << seeds << " seeds ==\n\n";
+
+  const std::vector<std::string> algos{"NP", "OBA", "IS_PPM:1", "Ln_Agr_OBA",
+                                       "Ln_Agr_IS_PPM:1"};
+  std::vector<Accumulator> acc(algos.size());
+  int isppm_wins = 0;
+
+  for (int s = 0; s < seeds; ++s) {
+    CharismaParams wp;
+    wp.seed = 7 + static_cast<std::uint64_t>(s) * 1000;
+    wp.scale = flags.get_double("scale", 1.0) *
+               (flags.get_bool("quick", false) ? 0.4 : 1.0);
+    const Trace trace = generate_charisma(wp);
+    RunConfig cfg = bench::make_base(bench::Workload::kCharisma,
+                                     FsKind::kPafs, flags);
+    cfg.cache_per_node = 4_MiB;
+    double oba = 0.0, isppm = 0.0;
+    for (std::size_t a = 0; a < algos.size(); ++a) {
+      cfg.algorithm = AlgorithmSpec::parse(algos[a]);
+      const RunResult r = run_simulation(trace, cfg);
+      acc[a].add(r.avg_read_ms);
+      if (algos[a] == "Ln_Agr_OBA") oba = r.avg_read_ms;
+      if (algos[a] == "Ln_Agr_IS_PPM:1") isppm = r.avg_read_ms;
+    }
+    isppm_wins += (isppm < oba);
+  }
+
+  Table t({"algorithm", "mean ms", "stddev", "min", "max"});
+  for (std::size_t a = 0; a < algos.size(); ++a) {
+    t.add_row({algos[a], fmt_double(acc[a].mean(), 3),
+               fmt_double(acc[a].stddev(), 3), fmt_double(acc[a].min(), 3),
+               fmt_double(acc[a].max(), 3)});
+  }
+  t.print(std::cout);
+  std::cout << "\nLn_Agr_IS_PPM:1 beats Ln_Agr_OBA in " << isppm_wins << "/"
+            << seeds << " seeds (the two are within trace noise; "
+            << "see EXPERIMENTS.md)\n";
+  return 0;
+}

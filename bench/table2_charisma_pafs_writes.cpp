@@ -1,0 +1,7 @@
+// Table 2 — times a block is written to disk, CHARISMA (PM) under PAFS
+#include "fig_common.hpp"
+
+int main(int argc, char** argv) {
+  return lap::bench::run_figure(argc, argv, "Table 2 — times a block is written to disk, CHARISMA (PM) under PAFS", lap::bench::Workload::kCharisma,
+                                lap::FsKind::kPafs, lap::bench::FigureKind::kWritesPerBlock);
+}

@@ -1,0 +1,60 @@
+// A parallel-machine campaign: generate a CHARISMA-like workload, run the
+// full algorithm set on PAFS and xFS at one cache size, and print a
+// side-by-side comparison — the scenario of the paper's Figures 4 and 5 at
+// a single x-axis point, with the supporting statistics the text discusses
+// (prefetch volumes, mis-predictions, disk traffic).
+//
+//   ./charisma_campaign [--cache-mb 4] [--scale 1.0] [--seed 7] [--threads N]
+#include <iostream>
+
+#include "driver/report.hpp"
+#include "driver/sweep.hpp"
+#include "trace/charisma_gen.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lap;
+  using lap::operator""_MiB;
+  const Flags flags(argc, argv);
+
+  CharismaParams wp;
+  wp.scale = flags.get_double("scale", 1.0);
+  if (flags.has("seed")) {
+    wp.seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  }
+  const Trace trace = generate_charisma(wp);
+
+  RunConfig base;
+  base.machine = MachineConfig::pm();
+  base.cache_per_node =
+      static_cast<Bytes>(flags.get_int("cache-mb", 4)) * 1_MiB;
+
+  print_experiment_header(std::cout, "CHARISMA campaign on the PM machine",
+                          base.machine, trace, base);
+
+  for (FsKind fs : {FsKind::kPafs, FsKind::kXfs}) {
+    base.fs = fs;
+    SweepSpec spec;
+    spec.cache_sizes = {base.cache_per_node};
+    spec.algorithms = AlgorithmSpec::paper_set();
+    const auto results =
+        run_sweep(trace, base, spec,
+                  static_cast<std::size_t>(flags.get_int("threads", 0)));
+
+    std::cout << "\n--- " << to_string(fs) << " @ "
+              << base.cache_per_node / (1024 * 1024) << " MB/node ---\n";
+    Table t({"algorithm", "read ms", "p95 ms", "hit", "prefetched", "mispred",
+             "disk r/w"});
+    for (const RunResult& r : results) {
+      t.add_row({r.algorithm, fmt_double(r.avg_read_ms, 3),
+                 fmt_double(r.read_p95_ms, 2), fmt_double(r.hit_ratio, 3),
+                 std::to_string(r.prefetch_issued),
+                 fmt_double(r.misprediction_ratio, 2),
+                 std::to_string(r.disk_reads) + "/" +
+                     std::to_string(r.disk_writes)});
+    }
+    t.print(std::cout);
+  }
+  return 0;
+}

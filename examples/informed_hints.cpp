@@ -1,0 +1,73 @@
+// Using the hint API: an application that knows its access pattern can
+// disclose it (TIP-style informed prefetching) instead of relying on the
+// on-the-fly learners.  This example builds one strided reader, runs it
+// cold, with IS_PPM, and with disclosed hints, and prints the three
+// latencies side by side.
+//
+//   ./informed_hints [--file-mb 8] [--stride 4] [--req 2]
+#include <iostream>
+#include <vector>
+
+#include "driver/report.hpp"
+#include "driver/simulation.hpp"
+#include "trace/patterns.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lap;
+  using lap::operator""_MiB;
+  const Flags flags(argc, argv);
+
+  const Bytes file_bytes =
+      static_cast<Bytes>(flags.get_int("file-mb", 8)) * 1_MiB;
+  const auto req = static_cast<std::uint32_t>(flags.get_int("req", 2));
+  const auto stride_mult =
+      static_cast<std::uint32_t>(flags.get_int("stride", 4));
+  const Bytes bs = 8_KiB;
+  const auto file_blocks = static_cast<std::uint32_t>(file_bytes / bs);
+
+  // One process, one file, a strided scan with 20 ms of compute between
+  // requests — the shape of a column read in a scientific code.
+  Trace trace;
+  trace.block_size = bs;
+  trace.files = {FileInfo{FileId{0}, file_bytes}};
+  ProcessTrace proc{ProcId{0}, NodeId{0}, {}};
+  proc.records.push_back(TraceRecord{TraceOp::kOpen, FileId{0}, 0, 0,
+                                     SimTime::zero()});
+  for (const BlockRequest& r :
+       strided_pattern(0, req, req * stride_mult,
+                       file_blocks / (req * stride_mult))) {
+    proc.records.push_back(TraceRecord{TraceOp::kRead, FileId{0},
+                                       static_cast<Bytes>(r.first) * bs,
+                                       static_cast<Bytes>(r.nblocks) * bs,
+                                       SimTime::ms(20)});
+  }
+  proc.records.push_back(TraceRecord{TraceOp::kClose, FileId{0}, 0, 0,
+                                     SimTime::zero()});
+  trace.processes.push_back(std::move(proc));
+
+  RunConfig cfg;
+  cfg.machine = MachineConfig::pm();
+  cfg.cache_per_node = 4_MiB;
+  cfg.warmup_fraction = 0.0;
+
+  std::cout << "strided scan: " << trace.total_io_ops() << " requests of "
+            << req << " blocks every " << req * stride_mult
+            << " blocks, 20 ms compute between requests\n\n";
+
+  Table t({"algorithm", "avg read ms", "prefetched", "mispred"});
+  for (const char* algo : {"NP", "Ln_Agr_OBA", "Ln_Agr_IS_PPM:1",
+                           "Ln_Informed"}) {
+    cfg.algorithm = AlgorithmSpec::parse(algo);
+    const RunResult r = run_simulation(trace, cfg);
+    t.add_row({algo, fmt_double(r.avg_read_ms, 3),
+               std::to_string(r.prefetch_issued),
+               fmt_double(r.misprediction_ratio, 2)});
+  }
+  t.print(std::cout);
+  std::cout << "\nIS_PPM learns the stride after two requests; the hints "
+               "variant never pays the warm-up or the stride-gap waste "
+               "OBA does.\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+// A network-of-workstations scenario: Sprite-like sessions on the NOW
+// machine (the paper's Figures 6/7 setting), showing how the cooperative
+// cache and linear aggressive prefetching behave as the per-node cache
+// grows.
+//
+//   ./now_workload [--algo Ln_Agr_IS_PPM:1] [--scale 1.0] [--fs pafs|xfs]
+#include <iostream>
+
+#include "driver/report.hpp"
+#include "driver/sweep.hpp"
+#include "trace/sprite_gen.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lap;
+  const Flags flags(argc, argv);
+
+  SpriteParams wp;
+  wp.scale = flags.get_double("scale", 1.0);
+  const Trace trace = generate_sprite(wp);
+
+  RunConfig base;
+  base.machine = MachineConfig::now();
+  base.fs = flags.get("fs", "pafs") == "xfs" ? FsKind::kXfs : FsKind::kPafs;
+
+  print_experiment_header(std::cout, "Sprite sessions on the NOW machine",
+                          base.machine, trace, base);
+
+  const AlgorithmSpec algo =
+      AlgorithmSpec::parse(flags.get("algo", "Ln_Agr_IS_PPM:1"));
+  SweepSpec spec;
+  spec.cache_sizes = paper_cache_sizes();
+  spec.algorithms = {AlgorithmSpec::parse("NP"), algo};
+  const auto results =
+      run_sweep(trace, base, spec,
+                static_cast<std::size_t>(flags.get_int("threads", 0)));
+
+  print_read_time_series(std::cout, spec, results);
+  print_diagnostics(std::cout, spec, results);
+
+  std::cout << "\nper-size speedup of " << algo.name() << " over NP:\n";
+  for (std::size_t c = 0; c < spec.cache_sizes.size(); ++c) {
+    const double np = results[c].avg_read_ms;
+    const double pf = results[spec.cache_sizes.size() + c].avg_read_ms;
+    std::cout << "  " << spec.cache_sizes[c] / (1024 * 1024)
+              << " MB/node: " << fmt_double(pf > 0 ? np / pf : 0.0, 2)
+              << "x\n";
+  }
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Trace utility: generate a workload trace to a file, inspect one, or
+// replay it through a simulated file system.
+//
+//   ./trace_tool gen charisma out.trace [--scale 0.5] [--seed 7]
+//   ./trace_tool gen sprite out.trace
+//   ./trace_tool info out.trace
+//   ./trace_tool stats out.trace        # workload characterisation
+//   ./trace_tool run out.trace [--fs pafs|xfs] [--algo Ln_Agr_IS_PPM:1]
+//                              [--cache-mb 4]
+#include <fstream>
+#include <iostream>
+
+#include "driver/report.hpp"
+#include "driver/simulation.hpp"
+#include "trace/charisma_gen.hpp"
+#include "trace/analysis.hpp"
+#include "trace/sprite_gen.hpp"
+#include "util/flags.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: trace_tool gen <charisma|sprite> <file> |\n"
+               "       trace_tool info <file> |\n"
+               "       trace_tool run <file> [--fs pafs|xfs] [--algo A] "
+               "[--cache-mb N]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lap;
+  using lap::operator""_MiB;
+  const Flags flags(argc, argv);
+  const auto& args = flags.positional();
+  if (args.empty()) return usage();
+  const std::string& cmd = args[0];
+
+  if (cmd == "gen") {
+    if (args.size() < 3) return usage();
+    Trace trace;
+    if (args[1] == "charisma") {
+      CharismaParams p;
+      p.scale = flags.get_double("scale", 1.0);
+      if (flags.has("seed")) p.seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+      trace = generate_charisma(p);
+    } else if (args[1] == "sprite") {
+      SpriteParams p;
+      p.scale = flags.get_double("scale", 1.0);
+      if (flags.has("seed")) p.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1999));
+      trace = generate_sprite(p);
+    } else {
+      return usage();
+    }
+    std::ofstream out(args[2]);
+    if (!out) {
+      std::cerr << "cannot open " << args[2] << "\n";
+      return 1;
+    }
+    trace.save(out);
+    std::cout << "wrote " << trace.total_records() << " records ("
+              << trace.total_io_ops() << " I/O ops, " << trace.files.size()
+              << " files) to " << args[2] << "\n";
+    return 0;
+  }
+
+  if (args.size() < 2) return usage();
+  std::ifstream in(args[1]);
+  if (!in) {
+    std::cerr << "cannot open " << args[1] << "\n";
+    return 1;
+  }
+  const Trace trace = Trace::load(in);
+
+  if (cmd == "info") {
+    std::cout << "processes:   " << trace.processes.size() << "\n"
+              << "files:       " << trace.files.size() << "\n"
+              << "records:     " << trace.total_records() << "\n"
+              << "I/O ops:     " << trace.total_io_ops() << "\n"
+              << "bytes read:  " << trace.total_bytes_read() << "\n"
+              << "bytes written: " << trace.total_bytes_written() << "\n"
+              << "nodes:       " << trace.node_span() << "\n"
+              << "replay:      "
+              << (trace.serialize_per_node ? "serialized per node"
+                                           : "concurrent processes")
+              << "\n";
+    return 0;
+  }
+
+  if (cmd == "stats") {
+    profile_trace(trace).print(std::cout);
+    return 0;
+  }
+
+  if (cmd == "run") {
+    RunConfig cfg;
+    // Pick the machine by node span: the NOW preset covers 50 nodes.
+    cfg.machine = trace.node_span() <= 50 ? MachineConfig::now()
+                                          : MachineConfig::pm();
+    cfg.fs = flags.get("fs", "pafs") == "xfs" ? FsKind::kXfs : FsKind::kPafs;
+    cfg.algorithm = AlgorithmSpec::parse(flags.get("algo", "Ln_Agr_IS_PPM:1"));
+    cfg.cache_per_node =
+        static_cast<Bytes>(flags.get_int("cache-mb", 4)) * 1_MiB;
+    const RunResult r = run_simulation(trace, cfg);
+    print_run_summary(std::cout, r);
+    return 0;
+  }
+
+  return usage();
+}

@@ -1,0 +1,28 @@
+# Render a reproduced figure from a bench CSV, e.g.:
+#
+#   ./build/bench/fig04_charisma_pafs_read_time --csv fig04.csv
+#   gnuplot -e "csv='fig04.csv'; out='fig04.png'; metric=4" scripts/plot_figures.gnuplot
+#
+# metric column: 4 = avg_read_ms (Figs 4-7), 9 = disk accesses (Figs 8-11),
+# 13 = writes per block (Table 2).
+if (!exists("csv"))    csv = "fig04.csv"
+if (!exists("out"))    out = "figure.png"
+if (!exists("metric")) metric = 4
+
+set terminal pngcairo size 900,600 font ",11"
+set output out
+set datafile separator ","
+set key outside right
+set xlabel '"Local cache" size (MB per node)'
+set ylabel (metric == 4 ? "Average read time (ms)" : \
+            metric == 9 ? "Disk accesses (blocks)" : \
+            "Writes per block")
+set logscale x 2
+set xtics (1, 2, 4, 8, 16)
+set grid ytics
+
+# One line per algorithm, in file order.
+algos = system(sprintf("tail -n +2 %s | cut -d, -f2 | awk '!seen[$0]++'", csv))
+plot for [a in algos] \
+  sprintf("< awk -F, '$2==\"%s\"' %s", a, csv) \
+  using 3:metric with linespoints lw 2 pt 7 title a

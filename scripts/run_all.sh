@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Build, test, and regenerate every reproduced figure/table, capturing the
+# outputs the repository documents in EXPERIMENTS.md.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+for b in build/bench/*; do
+  [ -x "$b" ] || continue
+  echo "### $b"
+  "$b"
+  echo
+done 2>&1 | tee bench_output.txt

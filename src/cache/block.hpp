@@ -1,0 +1,31 @@
+// Block identity: a (file, block-index) pair.  All caching, prefetching and
+// disk placement is expressed in these units.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "util/units.hpp"
+
+namespace lap {
+
+struct BlockKey {
+  FileId file{};
+  std::uint32_t index = 0;
+
+  friend constexpr bool operator==(BlockKey, BlockKey) = default;
+  friend constexpr auto operator<=>(BlockKey, BlockKey) = default;
+};
+
+struct BlockKeyHash {
+  [[nodiscard]] std::size_t operator()(BlockKey k) const noexcept {
+    std::uint64_t v =
+        (static_cast<std::uint64_t>(raw(k.file)) << 32) | k.index;
+    // splitmix64 finaliser
+    v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    v = (v ^ (v >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(v ^ (v >> 31));
+  }
+};
+
+}  // namespace lap

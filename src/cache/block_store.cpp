@@ -1,0 +1,130 @@
+#include "cache/block_store.hpp"
+
+#include "util/assert.hpp"
+
+namespace lap {
+
+BufferPool::BufferPool(std::size_t capacity_blocks) : capacity_(capacity_blocks) {
+  LAP_EXPECTS(capacity_blocks >= 1);
+}
+
+CacheEntry* BufferPool::find(BlockKey key) {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+const CacheEntry* BufferPool::find(BlockKey key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+bool BufferPool::contains(BlockKey key) const { return entries_.contains(key); }
+
+void BufferPool::touch(BlockKey key) {
+  LAP_EXPECTS(entries_.contains(key));
+  lru_.touch(key);
+}
+
+std::optional<CacheEntry> BufferPool::insert(const CacheEntry& entry) {
+  if (auto it = entries_.find(entry.key); it != entries_.end()) {
+    // Replace in place; preserve the dirty index.
+    const bool was_dirty = it->second.dirty;
+    it->second = entry;
+    if (was_dirty && !entry.dirty) dirty_.erase(entry.key);
+    if (!was_dirty && entry.dirty) dirty_.insert(entry.key);
+    lru_.touch(entry.key);
+    return std::nullopt;
+  }
+
+  std::optional<CacheEntry> victim;
+  if (entries_.size() >= capacity_) {
+    victim = evict_lru();
+  }
+  entries_.emplace(entry.key, entry);
+  lru_.push_front(entry.key);
+  if (entry.dirty) dirty_.insert(entry.key);
+  file_index_[raw(entry.key.file)].insert(entry.key.index);
+  return victim;
+}
+
+std::optional<CacheEntry> BufferPool::evict_lru() {
+  auto key = lru_.pop_back();
+  if (!key) return std::nullopt;
+  auto it = entries_.find(*key);
+  LAP_ASSERT(it != entries_.end());
+  CacheEntry victim = it->second;
+  entries_.erase(it);
+  dirty_.erase(*key);
+  unindex(*key);
+  return victim;
+}
+
+std::optional<CacheEntry> BufferPool::erase(BlockKey key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  CacheEntry entry = it->second;
+  entries_.erase(it);
+  lru_.erase(key);
+  dirty_.erase(key);
+  unindex(key);
+  return entry;
+}
+
+std::vector<CacheEntry> BufferPool::drop_file(FileId file) {
+  std::vector<CacheEntry> dropped;
+  auto it = file_index_.find(raw(file));
+  if (it == file_index_.end()) return dropped;
+  // Copy: erase() mutates the index we are iterating.
+  const std::vector<std::uint32_t> indices(it->second.begin(), it->second.end());
+  dropped.reserve(indices.size());
+  for (std::uint32_t index : indices) {
+    const BlockKey key{file, index};
+    auto eit = entries_.find(key);
+    LAP_ASSERT(eit != entries_.end());
+    dropped.push_back(eit->second);
+    entries_.erase(eit);
+    lru_.erase(key);
+    dirty_.erase(key);
+  }
+  file_index_.erase(raw(file));
+  return dropped;
+}
+
+void BufferPool::mark_dirty(BlockKey key, SimTime now) {
+  auto* entry = find(key);
+  LAP_EXPECTS(entry != nullptr);
+  if (!entry->dirty) {
+    entry->dirty = true;
+    entry->dirty_since = now;
+    dirty_.insert(key);
+  }
+}
+
+void BufferPool::mark_clean(BlockKey key) {
+  auto* entry = find(key);
+  if (entry == nullptr) return;
+  entry->dirty = false;
+  dirty_.erase(key);
+}
+
+void BufferPool::for_each_dirty(
+    const std::function<void(const CacheEntry&)>& fn) const {
+  for (const BlockKey& key : dirty_) {
+    auto it = entries_.find(key);
+    LAP_ASSERT(it != entries_.end());
+    fn(it->second);
+  }
+}
+
+void BufferPool::for_each(const std::function<void(const CacheEntry&)>& fn) const {
+  for (const auto& [key, entry] : entries_) fn(entry);
+}
+
+void BufferPool::unindex(BlockKey key) {
+  auto it = file_index_.find(raw(key.file));
+  if (it == file_index_.end()) return;
+  it->second.erase(key.index);
+  if (it->second.empty()) file_index_.erase(it);
+}
+
+}  // namespace lap

@@ -1,0 +1,86 @@
+// BufferPool: a fixed-capacity set of cache buffers with LRU replacement.
+//
+// PAFS uses one globally-managed pool spanning all nodes (each entry tagged
+// with the node whose physical memory holds it); xFS uses one pool per
+// node.  The pool tracks per-entry dirtiness (for the periodic
+// fault-tolerance write-back), prefetch provenance (for mis-prediction
+// accounting) and per-file membership (for O(blocks-of-file) delete).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cache/block.hpp"
+#include "cache/lru.hpp"
+#include "util/units.hpp"
+
+namespace lap {
+
+struct CacheEntry {
+  BlockKey key{};
+  NodeId home{};           // node whose memory holds the buffer
+  bool dirty = false;
+  bool prefetched = false;  // brought in speculatively...
+  bool referenced = false;  // ...and later used by a demand request?
+  SimTime dirty_since;      // first dirtying of the current dirty episode
+  std::uint8_t recirculation = 0;  // N-chance forwarding hops (xFS)
+};
+
+class BufferPool {
+ public:
+  explicit BufferPool(std::size_t capacity_blocks);
+
+  /// Lookup without touching recency.
+  [[nodiscard]] CacheEntry* find(BlockKey key);
+  [[nodiscard]] const CacheEntry* find(BlockKey key) const;
+  [[nodiscard]] bool contains(BlockKey key) const;
+
+  /// Promote to most-recently-used.
+  void touch(BlockKey key);
+
+  /// Insert a new entry.  If the key already exists the entry is replaced
+  /// in place (and touched).  If the pool is full, the LRU entry is evicted
+  /// and returned so the caller can write it back / forward it.
+  std::optional<CacheEntry> insert(const CacheEntry& entry);
+
+  /// Remove and return the LRU entry (used by xFS N-chance forwarding).
+  std::optional<CacheEntry> evict_lru();
+
+  /// Remove a specific entry; returns it if present.
+  std::optional<CacheEntry> erase(BlockKey key);
+
+  /// Remove every block of `file` (delete/truncate); dirty buffers are
+  /// simply discarded — this is precisely how short-lived files avoid ever
+  /// reaching the disk.  Returns the dropped entries.
+  std::vector<CacheEntry> drop_file(FileId file);
+
+  /// Mark dirty / clean, maintaining the dirty index used by the sync scan.
+  void mark_dirty(BlockKey key, SimTime now);
+  void mark_clean(BlockKey key);
+
+  /// Invoke `fn` for every dirty entry (iteration order unspecified).
+  void for_each_dirty(const std::function<void(const CacheEntry&)>& fn) const;
+
+  /// Invoke `fn` for every entry.
+  void for_each(const std::function<void(const CacheEntry&)>& fn) const;
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t dirty_count() const { return dirty_.size(); }
+
+ private:
+  void unindex(BlockKey key);
+
+  std::size_t capacity_;
+  std::unordered_map<BlockKey, CacheEntry, BlockKeyHash> entries_;
+  LruList<BlockKey, BlockKeyHash> lru_;
+  std::unordered_set<BlockKey, BlockKeyHash> dirty_;
+  std::unordered_map<std::uint32_t, std::unordered_set<std::uint32_t>>
+      file_index_;  // raw(file) -> block indices
+};
+
+}  // namespace lap

@@ -1,0 +1,63 @@
+// A small LRU ordering container: list of keys with O(1) touch/evict via a
+// side map of iterators.  Used by the buffer pools; kept separate so its
+// invariants are unit-testable in isolation.
+#pragma once
+
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "util/assert.hpp"
+
+namespace lap {
+
+template <typename K, typename Hash = std::hash<K>>
+class LruList {
+ public:
+  /// Insert as most-recently-used.  Key must not be present.
+  void push_front(const K& key) {
+    LAP_EXPECTS(!contains(key));
+    order_.push_front(key);
+    index_.emplace(key, order_.begin());
+  }
+
+  /// Move an existing key to most-recently-used.
+  void touch(const K& key) {
+    auto it = index_.find(key);
+    LAP_EXPECTS(it != index_.end());
+    order_.splice(order_.begin(), order_, it->second);
+  }
+
+  /// Remove and return the least-recently-used key.
+  std::optional<K> pop_back() {
+    if (order_.empty()) return std::nullopt;
+    K key = order_.back();
+    order_.pop_back();
+    index_.erase(key);
+    return key;
+  }
+
+  /// Peek at the least-recently-used key without removing it.
+  [[nodiscard]] std::optional<K> back() const {
+    if (order_.empty()) return std::nullopt;
+    return order_.back();
+  }
+
+  bool erase(const K& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return false;
+    order_.erase(it->second);
+    index_.erase(it);
+    return true;
+  }
+
+  [[nodiscard]] bool contains(const K& key) const { return index_.contains(key); }
+  [[nodiscard]] std::size_t size() const { return index_.size(); }
+  [[nodiscard]] bool empty() const { return index_.empty(); }
+
+ private:
+  std::list<K> order_;  // front = MRU, back = LRU
+  std::unordered_map<K, typename std::list<K>::iterator, Hash> index_;
+};
+
+}  // namespace lap

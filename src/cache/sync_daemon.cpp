@@ -1,0 +1,32 @@
+#include "cache/sync_daemon.hpp"
+
+#include "util/assert.hpp"
+
+namespace lap {
+
+SyncDaemon::SyncDaemon(Engine& eng, SimTime interval,
+                       std::function<void()> flush_tick, const bool* stop_flag)
+    : eng_(&eng),
+      interval_(interval),
+      flush_tick_(std::move(flush_tick)),
+      stop_flag_(stop_flag) {
+  LAP_EXPECTS(interval > SimTime::zero());
+  LAP_EXPECTS(stop_flag != nullptr);
+}
+
+void SyncDaemon::start() {
+  LAP_EXPECTS(!started_);
+  started_ = true;
+  run();
+}
+
+SimTask SyncDaemon::run() {
+  while (!*stop_flag_) {
+    co_await eng_->delay(interval_);
+    if (*stop_flag_) break;
+    ++ticks_;
+    flush_tick_();
+  }
+}
+
+}  // namespace lap

@@ -1,0 +1,40 @@
+// Periodic write-back daemon.
+//
+// For fault tolerance, dirty cache blocks are flushed to disk on a fixed
+// period (the paper: "for fault-tolerance issues, these blocks are
+// periodically sent to the disk").  The daemon is a simulation coroutine
+// that fires a file-system-provided flush callback every interval until the
+// workload signals completion.
+#pragma once
+
+#include <functional>
+
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+#include "util/units.hpp"
+
+namespace lap {
+
+class SyncDaemon {
+ public:
+  /// `flush_tick` is invoked once per interval; `stop_flag` ends the loop.
+  SyncDaemon(Engine& eng, SimTime interval, std::function<void()> flush_tick,
+             const bool* stop_flag);
+
+  /// Begin ticking (first tick one interval from now).
+  void start();
+
+  [[nodiscard]] std::uint64_t ticks() const { return ticks_; }
+
+ private:
+  SimTask run();
+
+  Engine* eng_;
+  SimTime interval_;
+  std::function<void()> flush_tick_;
+  const bool* stop_flag_;
+  std::uint64_t ticks_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace lap

@@ -1,0 +1,174 @@
+#include "core/aggressive.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace lap {
+
+SequentialStream::SequentialStream(std::int64_t start, std::uint32_t file_blocks,
+                                   std::uint64_t block_budget)
+    : next_block_(std::max<std::int64_t>(start, 0)),
+      file_blocks_(file_blocks),
+      remaining_(block_budget) {}
+
+std::optional<StreamItem> SequentialStream::next() {
+  if (exhausted()) return std::nullopt;
+  --remaining_;
+  return StreamItem{static_cast<std::uint32_t>(next_block_++), false};
+}
+
+bool SequentialStream::exhausted() const {
+  return remaining_ == 0 ||
+         next_block_ >= static_cast<std::int64_t>(file_blocks_);
+}
+
+GraphStream::GraphStream(IsPpmPredictor::Walker walker,
+                         std::int64_t fallback_start,
+                         std::uint32_t file_blocks,
+                         std::uint64_t request_budget,
+                         std::uint64_t fallback_budget)
+    : walker_(walker),
+      fallback_start_(fallback_start),
+      file_blocks_(file_blocks),
+      request_budget_(request_budget),
+      fallback_budget_(fallback_budget),
+      // Generous relative to any real file, tiny relative to a runaway walk.
+      emit_cap_(4ULL * file_blocks + 1024) {}
+
+void GraphStream::refill() {
+  while (pending_.empty() && !done_) {
+    if (request_budget_ == 0) {
+      done_ = true;
+      break;
+    }
+    if (fallback_mode_) {
+      // OBA fallback: sequential blocks, paced by the fallback budget.
+      if (fallback_budget_ == 0 || fallback_start_ < 0 ||
+          fallback_start_ >= static_cast<std::int64_t>(file_blocks_)) {
+        done_ = true;
+        break;
+      }
+      if (fallback_budget_ != kUnboundedBudget) --fallback_budget_;
+      pending_.push_back(
+          StreamItem{static_cast<std::uint32_t>(fallback_start_++), true});
+      continue;
+    }
+    auto pred = walker_.next();
+    if (!pred) {
+      // Cold graph (or a dead-end node): fall back to OBA behaviour if the
+      // stream has produced no prediction yet.
+      if (fallback_budget_ > 0 && !emitted_prediction_) {
+        fallback_mode_ = true;
+        continue;
+      }
+      done_ = true;
+      break;
+    }
+    if (request_budget_ != kUnboundedBudget) --request_budget_;
+    // "...until the next block to prefetch is out of the file, in which
+    // case the prefetching mechanism stops" — a prediction that starts
+    // outside the file ends the stream.
+    if (pred->first_block < 0 ||
+        pred->first_block >= static_cast<std::int64_t>(file_blocks_)) {
+      done_ = true;
+      break;
+    }
+    emitted_prediction_ = true;
+    const std::int64_t end =
+        std::min<std::int64_t>(pred->first_block + pred->nblocks, file_blocks_);
+    for (std::int64_t b = pred->first_block; b < end; ++b) {
+      pending_.push_back(StreamItem{static_cast<std::uint32_t>(b), false});
+    }
+  }
+}
+
+std::optional<StreamItem> GraphStream::next() {
+  if (emitted_ >= emit_cap_) {
+    done_ = true;
+    pending_.clear();
+    return std::nullopt;
+  }
+  refill();
+  if (pending_.empty()) return std::nullopt;
+  StreamItem item = pending_.front();
+  pending_.pop_front();
+  ++emitted_;
+  return item;
+}
+
+bool GraphStream::exhausted() const { return done_ && pending_.empty(); }
+
+VkStream::VkStream(VkPpmPredictor::Walker walker, std::int64_t fallback_start,
+                   std::uint32_t file_blocks, std::uint64_t block_budget,
+                   std::uint64_t fallback_budget)
+    : walker_(walker),
+      fallback_start_(fallback_start),
+      file_blocks_(file_blocks),
+      block_budget_(block_budget),
+      fallback_budget_(fallback_budget),
+      emit_cap_(4ULL * file_blocks + 1024) {}
+
+std::optional<StreamItem> VkStream::next() {
+  if (done_ || emitted_ >= emit_cap_) {
+    done_ = true;
+    return std::nullopt;
+  }
+  if (fallback_mode_) {
+    if (fallback_budget_ == 0 || fallback_start_ < 0 ||
+        fallback_start_ >= static_cast<std::int64_t>(file_blocks_)) {
+      done_ = true;
+      return std::nullopt;
+    }
+    if (fallback_budget_ != kUnboundedBudget) --fallback_budget_;
+    ++emitted_;
+    return StreamItem{static_cast<std::uint32_t>(fallback_start_++), true};
+  }
+  if (block_budget_ == 0) {
+    done_ = true;
+    return std::nullopt;
+  }
+  const auto block = walker_.next();
+  if (!block) {
+    if (fallback_budget_ > 0 && !emitted_prediction_) {
+      fallback_mode_ = true;
+      return next();
+    }
+    done_ = true;
+    return std::nullopt;
+  }
+  if (*block >= file_blocks_) {
+    done_ = true;
+    return std::nullopt;
+  }
+  emitted_prediction_ = true;
+  if (block_budget_ != kUnboundedBudget) --block_budget_;
+  ++emitted_;
+  return StreamItem{*block, false};
+}
+
+bool VkStream::exhausted() const { return done_; }
+
+HintStream::HintStream(const std::vector<BlockRequest>* hints,
+                       std::size_t start, std::uint32_t file_blocks)
+    : hints_(hints), index_(start), file_blocks_(file_blocks) {
+  LAP_EXPECTS(hints != nullptr);
+}
+
+std::optional<StreamItem> HintStream::next() {
+  while (index_ < hints_->size()) {
+    const BlockRequest& hint = (*hints_)[index_];
+    if (within_ >= hint.nblocks ||
+        hint.first + within_ >= file_blocks_) {
+      ++index_;
+      within_ = 0;
+      continue;
+    }
+    return StreamItem{hint.first + within_++, false};
+  }
+  return std::nullopt;
+}
+
+bool HintStream::exhausted() const { return index_ >= hints_->size(); }
+
+}  // namespace lap

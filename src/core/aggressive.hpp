@@ -1,0 +1,154 @@
+// Prefetch streams (Section 3): a stream enumerates, one block at a time,
+// the candidates a prefetching algorithm wants brought into the cache,
+// starting from the position of the triggering demand request.
+//
+//  * SequentialStream models OBA.  With a budget of one block it is plain
+//    conservative OBA; with an unbounded budget it is aggressive OBA,
+//    running sequentially to the end of the file.
+//  * GraphStream models IS_PPM.  With a budget of one predicted request it
+//    is plain IS_PPM; unbounded, it is aggressive IS_PPM, walking the graph
+//    as if every prediction had already been requested, stopping when the
+//    next prediction falls outside the file.  When the graph is too cold to
+//    predict ("whenever not enough information is available in the graph"),
+//    the stream falls back to OBA behaviour, with its own block budget:
+//    one block (the paper's conservative OBA, the default) or a sequential
+//    run (ablation) — until the next demand request rebuilds the stream
+//    from a warmer graph.
+//
+// Streams only enumerate candidates; the PrefetchManager filters out blocks
+// that are already cached or in flight and paces issuance (the *linear*
+// limitation: one outstanding prefetched block per file).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <memory>
+#include <optional>
+
+#include "core/is_ppm.hpp"
+#include "core/vk_ppm.hpp"
+#include "trace/patterns.hpp"
+
+namespace lap {
+
+inline constexpr std::uint64_t kUnboundedBudget =
+    std::numeric_limits<std::uint64_t>::max();
+
+struct StreamItem {
+  std::uint32_t block;   // candidate block index within the file
+  bool fallback;         // emitted by the OBA fallback path?
+};
+
+class PrefetchStream {
+ public:
+  virtual ~PrefetchStream() = default;
+  /// Next candidate, or nullopt when the stream is exhausted.
+  virtual std::optional<StreamItem> next() = 0;
+  [[nodiscard]] virtual bool exhausted() const = 0;
+  /// Is the stream currently running on its cold-graph OBA fallback?  The
+  /// manager rebuilds such a stream as soon as the graph can predict again.
+  [[nodiscard]] virtual bool in_fallback() const { return false; }
+};
+
+/// Sequential candidates [start, file_blocks), at most `block_budget` of
+/// them.
+class SequentialStream final : public PrefetchStream {
+ public:
+  SequentialStream(std::int64_t start, std::uint32_t file_blocks,
+                   std::uint64_t block_budget);
+
+  std::optional<StreamItem> next() override;
+  [[nodiscard]] bool exhausted() const override;
+
+ private:
+  std::int64_t next_block_;
+  std::uint32_t file_blocks_;
+  std::uint64_t remaining_;
+};
+
+/// Graph-walk candidates: `request_budget` predicted requests (unbounded
+/// for the aggressive variant), clipped to the file; one OBA fallback block
+/// when no prediction is available at the start of the stream.
+class GraphStream final : public PrefetchStream {
+ public:
+  GraphStream(IsPpmPredictor::Walker walker, std::int64_t fallback_start,
+              std::uint32_t file_blocks, std::uint64_t request_budget,
+              std::uint64_t fallback_budget);
+
+  std::optional<StreamItem> next() override;
+  [[nodiscard]] bool exhausted() const override;
+  [[nodiscard]] bool in_fallback() const override {
+    return fallback_mode_ && !done_;
+  }
+
+ private:
+  void refill();
+
+  IsPpmPredictor::Walker walker_;
+  std::int64_t fallback_start_;
+  std::uint32_t file_blocks_;
+  std::uint64_t request_budget_;
+  std::uint64_t fallback_budget_;  // blocks; 0 disables the fallback
+  bool emitted_prediction_ = false;
+  bool fallback_mode_ = false;
+  bool done_ = false;
+  std::deque<StreamItem> pending_;
+  // Hard cap on emitted blocks: a cyclic graph over an already-cached
+  // region would otherwise let an aggressive walk spin forever.
+  std::uint64_t emitted_ = 0;
+  std::uint64_t emit_cap_;
+};
+
+/// Blocks of a disclosed future request list (informed prefetching à la
+/// Patterson et al.'s TIP, Section 1.1 [15,16]): the application has told
+/// the system exactly what it will read, so the stream simply walks the
+/// remaining hints.  No mis-predictions are possible; the only limits are
+/// pacing and cache capacity.
+class HintStream final : public PrefetchStream {
+ public:
+  /// `hints` is borrowed and must outlive the stream; emission starts at
+  /// hint index `start` and stops at end-of-hints (or end-of-file).
+  HintStream(const std::vector<BlockRequest>* hints, std::size_t start,
+             std::uint32_t file_blocks);
+
+  std::optional<StreamItem> next() override;
+  [[nodiscard]] bool exhausted() const override;
+
+ private:
+  const std::vector<BlockRequest>* hints_;
+  std::size_t index_;
+  std::uint32_t within_ = 0;  // block offset inside the current hint
+  std::uint32_t file_blocks_;
+};
+
+/// Chain of single-block VK_PPM predictions (the Vitter-Krishnan
+/// baseline): one block per step, following the most-probable successor.
+/// Budget counts blocks; 1 reproduces the original "prefetch the most
+/// probable page" behaviour, unbounded gives its aggressive variant.
+class VkStream final : public PrefetchStream {
+ public:
+  VkStream(VkPpmPredictor::Walker walker, std::int64_t fallback_start,
+           std::uint32_t file_blocks, std::uint64_t block_budget,
+           std::uint64_t fallback_budget);
+
+  std::optional<StreamItem> next() override;
+  [[nodiscard]] bool exhausted() const override;
+  [[nodiscard]] bool in_fallback() const override {
+    return fallback_mode_ && !done_;
+  }
+
+ private:
+  VkPpmPredictor::Walker walker_;
+  std::int64_t fallback_start_;
+  std::uint32_t file_blocks_;
+  std::uint64_t block_budget_;
+  std::uint64_t fallback_budget_;
+  bool emitted_prediction_ = false;
+  bool fallback_mode_ = false;
+  bool done_ = false;
+  std::uint64_t emitted_ = 0;
+  std::uint64_t emit_cap_;
+};
+
+}  // namespace lap

@@ -1,0 +1,113 @@
+#include "core/algorithm_registry.hpp"
+
+#include <stdexcept>
+
+namespace lap {
+namespace {
+
+AlgorithmSpec make(AlgorithmSpec::Kind kind, int order, bool aggressive,
+                   std::uint32_t outstanding) {
+  AlgorithmSpec spec;
+  spec.kind = kind;
+  spec.order = order;
+  spec.aggressive = aggressive;
+  spec.max_outstanding = outstanding;
+  return spec;
+}
+
+}  // namespace
+
+std::string AlgorithmSpec::name() const {
+  switch (kind) {
+    case Kind::kNone:
+      return "NP";
+    case Kind::kOba: {
+      if (!aggressive) return "OBA";
+      return max_outstanding == 1 ? "Ln_Agr_OBA" : "Agr_OBA";
+    }
+    case Kind::kIsPpm: {
+      const std::string suffix = ":" + std::to_string(order);
+      if (!aggressive) return "IS_PPM" + suffix;
+      return (max_outstanding == 1 ? "Ln_Agr_IS_PPM" : "Agr_IS_PPM") + suffix;
+    }
+    case Kind::kVkPpm: {
+      const std::string suffix = ":" + std::to_string(order);
+      if (!aggressive) return "VK_PPM" + suffix;
+      return (max_outstanding == 1 ? "Ln_Agr_VK_PPM" : "Agr_VK_PPM") + suffix;
+    }
+    case Kind::kWholeFile:
+      return "WholeFile";
+    case Kind::kInformed:
+      return max_outstanding == 1 ? "Ln_Informed" : "Informed";
+  }
+  return "?";
+}
+
+AlgorithmSpec AlgorithmSpec::parse(const std::string& name) {
+  auto parse_order = [](const std::string& s, std::size_t colon) {
+    if (colon == std::string::npos) return 1;
+    const int order = std::stoi(s.substr(colon + 1));
+    if (order < 1) throw std::invalid_argument("IS_PPM order must be >= 1");
+    return order;
+  };
+
+  if (name == "NP") return make(Kind::kNone, 1, false, 0);
+  if (name == "OBA") return make(Kind::kOba, 1, false, kUnlimited);
+  if (name == "Ln_Agr_OBA") return make(Kind::kOba, 1, true, 1);
+  if (name == "Agr_OBA") return make(Kind::kOba, 1, true, kUnlimited);
+  if (name.starts_with("IS_PPM")) {
+    return make(Kind::kIsPpm, parse_order(name, name.find(':')), false,
+                kUnlimited);
+  }
+  if (name.starts_with("Ln_Agr_IS_PPM")) {
+    return make(Kind::kIsPpm, parse_order(name, name.find(':')), true, 1);
+  }
+  if (name.starts_with("Agr_IS_PPM")) {
+    return make(Kind::kIsPpm, parse_order(name, name.find(':')), true,
+                kUnlimited);
+  }
+  if (name == "Informed" || name == "Ln_Informed") {
+    // Upper bound with application-disclosed access patterns: "this
+    // mechanism can perform a quite aggressive prefetching as the accurate
+    // access pattern is known and no miss-predictions will be done".  The
+    // non-linear variant keeps a TIP-like window of blocks in flight.
+    AlgorithmSpec spec = make(Kind::kInformed, 1, true,
+                              name == "Ln_Informed" ? 1u : 16u);
+    spec.oba_fallback = false;
+    return spec;
+  }
+  if (name == "WholeFile") {
+    // The Kroeger-Long baseline floods the whole predicted file at open
+    // time; no per-request stream, no fallback.
+    AlgorithmSpec spec = make(Kind::kWholeFile, 1, true, kUnlimited);
+    spec.oba_fallback = false;
+    return spec;
+  }
+  if (name.starts_with("VK_PPM") || name.starts_with("Ln_Agr_VK_PPM") ||
+      name.starts_with("Agr_VK_PPM")) {
+    // The pure Vitter-Krishnan baseline has no OBA fallback: a block that
+    // was never accessed can never be predicted.
+    const bool aggressive = name.starts_with("Ln_") || name.starts_with("Agr_");
+    const std::uint32_t outstanding =
+        name.starts_with("Ln_") ? 1 : kUnlimited;
+    AlgorithmSpec spec = make(Kind::kVkPpm, parse_order(name, name.find(':')),
+                              aggressive, outstanding);
+    spec.oba_fallback = false;
+    return spec;
+  }
+  throw std::invalid_argument("unknown prefetching algorithm: " + name);
+}
+
+std::vector<AlgorithmSpec> AlgorithmSpec::paper_set() {
+  return {
+      parse("NP"),
+      parse("OBA"),
+      parse("Ln_Agr_OBA"),
+      parse("IS_PPM:1"),
+      parse("Ln_Agr_IS_PPM:1"),
+      parse("IS_PPM:3"),
+      parse("Ln_Agr_IS_PPM:3"),
+  };
+}
+
+}  // namespace lap

@@ -1,0 +1,57 @@
+// Named prefetching algorithms.  The seven names used throughout the
+// paper's figures parse to AlgorithmSpec values; extra knobs (outstanding
+// limit, edge policy, fallback) exist for the ablation benches.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/is_ppm.hpp"
+
+namespace lap {
+
+struct AlgorithmSpec {
+  enum class Kind {
+    kNone,       // NP
+    kOba,        // one-block-ahead (Smith)
+    kIsPpm,      // the paper's interval & size PPM
+    kVkPpm,      // baseline: Vitter-Krishnan block-sequence PPM
+    kWholeFile,  // baseline: Kroeger-Long whole-file prefetch on open
+    kInformed,   // upper bound: disclosed future requests (TIP-style)
+  };
+
+  Kind kind = Kind::kNone;
+  int order = 1;             // Markov order for IS_PPM:j
+  bool aggressive = false;   // keep prefetching along the predicted path
+  // Outstanding prefetched blocks per file (per node and file under xFS).
+  // 1 = the paper's *linear* limitation; kUnlimited = flood.
+  std::uint32_t max_outstanding = 1;
+  IsPpmGraph::EdgePolicy edge_policy = IsPpmGraph::EdgePolicy::kMostRecent;
+  bool oba_fallback = true;          // cold-graph fallback (Section 2.2)
+  bool aggressive_fallback = false;  // fallback streams to EOF (ablation)
+
+  static constexpr std::uint32_t kUnlimited =
+      std::numeric_limits<std::uint32_t>::max();
+
+  [[nodiscard]] bool prefetching() const { return kind != Kind::kNone; }
+  [[nodiscard]] bool linear() const {
+    return aggressive && max_outstanding == 1;
+  }
+
+  /// Canonical paper name: NP, OBA, IS_PPM:j, Ln_Agr_OBA, Ln_Agr_IS_PPM:j,
+  /// Agr_OBA, Agr_IS_PPM:j (non-linear aggressive, for ablations), plus the
+  /// related-work baselines VK_PPM:j / Ln_Agr_VK_PPM:j and WholeFile.
+  [[nodiscard]] std::string name() const;
+
+  /// Parse a canonical name; throws std::invalid_argument on junk.
+  static AlgorithmSpec parse(const std::string& name);
+
+  /// The seven algorithms of the paper's figures, in plot order.
+  static std::vector<AlgorithmSpec> paper_set();
+
+  friend bool operator==(const AlgorithmSpec&, const AlgorithmSpec&) = default;
+};
+
+}  // namespace lap

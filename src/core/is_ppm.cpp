@@ -1,0 +1,116 @@
+#include "core/is_ppm.hpp"
+
+#include "util/assert.hpp"
+
+namespace lap {
+
+std::size_t IsPpmGraph::KeyHash::operator()(
+    const std::vector<IntervalSize>& v) const noexcept {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (const auto& p : v) {
+    std::uint64_t x = static_cast<std::uint64_t>(p.interval) * 0x9ddfea08eb382d69ULL;
+    x ^= p.size + 0x2545f4914f6cdd1dULL + (x << 6) + (x >> 2);
+    h ^= x + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return static_cast<std::size_t>(h);
+}
+
+IsPpmGraph::IsPpmGraph(int order, EdgePolicy policy)
+    : order_(order), policy_(policy) {
+  LAP_EXPECTS(order >= 1);
+}
+
+int IsPpmGraph::intern(std::span<const IntervalSize> context) {
+  LAP_EXPECTS(static_cast<int>(context.size()) == order_);
+  std::vector<IntervalSize> key(context.begin(), context.end());
+  if (auto it = index_.find(key); it != index_.end()) return it->second;
+  const int id = static_cast<int>(nodes_.size());
+  nodes_.push_back(Node{key, {}});
+  index_.emplace(std::move(key), id);
+  return id;
+}
+
+void IsPpmGraph::link(int from, int to, std::uint64_t timestamp) {
+  LAP_EXPECTS(from >= 0 && from < static_cast<int>(nodes_.size()));
+  LAP_EXPECTS(to >= 0 && to < static_cast<int>(nodes_.size()));
+  for (Edge& e : nodes_[from].edges) {
+    if (e.to == to) {
+      e.last_used = timestamp;
+      ++e.count;
+      return;
+    }
+  }
+  nodes_[from].edges.push_back(Edge{to, timestamp, 1});
+  ++edge_count_;
+}
+
+std::optional<int> IsPpmGraph::successor(int node) const {
+  LAP_EXPECTS(node >= 0 && node < static_cast<int>(nodes_.size()));
+  const auto& edges = nodes_[node].edges;
+  if (edges.empty()) return std::nullopt;
+  const Edge* best = &edges.front();
+  for (const Edge& e : edges) {
+    const bool better = policy_ == EdgePolicy::kMostRecent
+                            ? e.last_used > best->last_used
+                            : (e.count > best->count ||
+                               (e.count == best->count &&
+                                e.last_used > best->last_used));
+    if (better) best = &e;
+  }
+  return best->to;
+}
+
+const IntervalSize& IsPpmGraph::last_pair(int node) const {
+  LAP_EXPECTS(node >= 0 && node < static_cast<int>(nodes_.size()));
+  return nodes_[node].context.back();
+}
+
+IsPpmPredictor::IsPpmPredictor(IsPpmGraph& graph) : graph_(&graph) {}
+
+void IsPpmPredictor::on_request(std::int64_t first_block, std::uint32_t nblocks,
+                                std::uint64_t timestamp) {
+  ++requests_seen_;
+  if (last_first_.has_value()) {
+    const IntervalSize pair{first_block - *last_first_, nblocks};
+    context_.push_back(pair);
+    if (static_cast<int>(context_.size()) > graph_->order()) context_.pop_front();
+    if (static_cast<int>(context_.size()) == graph_->order()) {
+      const std::vector<IntervalSize> key(context_.begin(), context_.end());
+      const int node = graph_->intern(key);
+      if (current_node_.has_value()) {
+        graph_->link(*current_node_, node, timestamp);
+      }
+      current_node_ = node;
+    }
+  }
+  last_first_ = first_block;
+  last_end_ = first_block + nblocks;
+}
+
+std::optional<IsPpmPredictor::Prediction> IsPpmPredictor::predict_next() const {
+  if (!current_node_.has_value()) return std::nullopt;
+  const auto succ = graph_->successor(*current_node_);
+  if (!succ) return std::nullopt;
+  const IntervalSize& p = graph_->last_pair(*succ);
+  return Prediction{*last_first_ + p.interval, p.size};
+}
+
+std::optional<IsPpmPredictor::Prediction> IsPpmPredictor::Walker::next() {
+  if (!node_) return std::nullopt;
+  const auto succ = graph_->successor(*node_);
+  if (!succ) {
+    node_ = std::nullopt;
+    return std::nullopt;
+  }
+  const IntervalSize& p = graph_->last_pair(*succ);
+  const std::int64_t first = offset_ + p.interval;
+  node_ = succ;
+  offset_ = first;
+  return Prediction{first, p.size};
+}
+
+IsPpmPredictor::Walker IsPpmPredictor::walker() const {
+  return Walker{graph_, current_node_, last_first_.value_or(0)};
+}
+
+}  // namespace lap

@@ -1,0 +1,131 @@
+// IS_PPM — the Interval & Size prediction-by-partial-match predictor
+// (Section 2.2 of the paper).
+//
+// A request stream is modelled as pairs (offset interval, size): the
+// interval is the distance in blocks between the first block of a request
+// and the first block of the previous one; the size is the request's length
+// in blocks.  A jth-order predictor interns one graph node per distinct
+// window of the last j pairs; a directed edge records that one window was
+// observed immediately after another, labelled with the (logical) time it
+// was last traversed.  Prediction follows the most-recently-used edge —
+// the paper found MRU edges beat the classic PPM most-frequent choice for
+// file access (the frequency policy is kept for the ablation bench).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace lap {
+
+struct IntervalSize {
+  std::int64_t interval = 0;  // blocks between consecutive request starts
+  std::uint32_t size = 0;     // request length in blocks
+
+  friend constexpr bool operator==(IntervalSize, IntervalSize) = default;
+};
+
+class IsPpmGraph {
+ public:
+  enum class EdgePolicy { kMostRecent, kMostFrequent };
+
+  explicit IsPpmGraph(int order, EdgePolicy policy = EdgePolicy::kMostRecent);
+
+  /// Intern the node for `context` (exactly `order` pairs, oldest first),
+  /// creating it if new.  Returns its id.
+  int intern(std::span<const IntervalSize> context);
+
+  /// Record (or refresh) the edge from -> to at logical time `timestamp`.
+  void link(int from, int to, std::uint64_t timestamp);
+
+  /// The edge-policy successor of `node`, or nullopt if it has no
+  /// out-edges.
+  [[nodiscard]] std::optional<int> successor(int node) const;
+
+  /// The newest (interval, size) pair of a node: the prediction it carries.
+  [[nodiscard]] const IntervalSize& last_pair(int node) const;
+
+  [[nodiscard]] int order() const { return order_; }
+  [[nodiscard]] EdgePolicy policy() const { return policy_; }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t edge_count() const { return edge_count_; }
+
+ private:
+  struct Edge {
+    int to;
+    std::uint64_t last_used;
+    std::uint64_t count;
+  };
+  struct Node {
+    std::vector<IntervalSize> context;  // `order_` pairs, oldest first
+    std::vector<Edge> edges;
+  };
+  struct KeyHash {
+    std::size_t operator()(const std::vector<IntervalSize>& v) const noexcept;
+  };
+
+  int order_;
+  EdgePolicy policy_;
+  std::vector<Node> nodes_;
+  std::unordered_map<std::vector<IntervalSize>, int, KeyHash> index_;
+  std::size_t edge_count_ = 0;
+};
+
+/// Per-stream IS_PPM state: the rolling context of one request stream (one
+/// process's accesses to one file) over a graph that is *shared* between
+/// all of the file's readers — in PAFS the file's server keeps a single
+/// pattern graph, so a new process re-reading a known file predicts from
+/// its first intervals, including where earlier readers stopped.
+class IsPpmPredictor {
+ public:
+  /// `graph` is shared, not owned; it must outlive the predictor.
+  explicit IsPpmPredictor(IsPpmGraph& graph);
+
+  struct Prediction {
+    std::int64_t first_block;  // may be out of file bounds; caller clips
+    std::uint32_t nblocks;
+  };
+
+  /// Observe a demand request (first block + length, logical timestamp).
+  void on_request(std::int64_t first_block, std::uint32_t nblocks,
+                  std::uint64_t timestamp);
+
+  /// Predict the single next request after the last observed one.
+  [[nodiscard]] std::optional<Prediction> predict_next() const;
+
+  /// A speculative walk for aggressive prefetching: successive calls yield
+  /// the chain of predicted requests, each treated as if it had happened.
+  /// The walk reads the graph but never modifies it.
+  class Walker {
+   public:
+    [[nodiscard]] std::optional<Prediction> next();
+
+   private:
+    friend class IsPpmPredictor;
+    Walker(const IsPpmGraph* graph, std::optional<int> node, std::int64_t offset)
+        : graph_(graph), node_(node), offset_(offset) {}
+    const IsPpmGraph* graph_;
+    std::optional<int> node_;
+    std::int64_t offset_;
+  };
+
+  /// Start a walk from the current stream position.
+  [[nodiscard]] Walker walker() const;
+
+  [[nodiscard]] const IsPpmGraph& graph() const { return *graph_; }
+  [[nodiscard]] bool has_context() const { return current_node_.has_value(); }
+  [[nodiscard]] std::uint64_t requests_seen() const { return requests_seen_; }
+
+ private:
+  IsPpmGraph* graph_;
+  std::deque<IntervalSize> context_;       // up to `order` most recent pairs
+  std::optional<int> current_node_;        // node for `context_` when full
+  std::optional<std::int64_t> last_first_; // previous request's first block
+  std::int64_t last_end_ = 0;              // one past the last request
+  std::uint64_t requests_seen_ = 0;
+};
+
+}  // namespace lap

@@ -1,0 +1,4 @@
+// ObaPredictor is header-only; this TU anchors the module in the build so
+// every subsystem has a .cpp with its name (and keeps a place for future
+// out-of-line logic).
+#include "core/oba.hpp"

@@ -1,0 +1,31 @@
+// OBA — One Block Ahead (Section 2.1): after a request ending at block
+// i, block i+1 is a prefetch candidate.  The conservative baseline of the
+// paper and the fallback used by IS_PPM while its graph is cold.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace lap {
+
+class ObaPredictor {
+ public:
+  /// Observe a demand request.
+  void on_request(std::int64_t first_block, std::uint32_t nblocks) {
+    last_end_ = first_block + nblocks;
+    seen_ = true;
+  }
+
+  /// The single block OBA would prefetch next (one past the last request),
+  /// or nullopt before any request has been seen.
+  [[nodiscard]] std::optional<std::int64_t> predict_next() const {
+    if (!seen_) return std::nullopt;
+    return last_end_;
+  }
+
+ private:
+  std::int64_t last_end_ = 0;
+  bool seen_ = false;
+};
+
+}  // namespace lap

@@ -1,0 +1,37 @@
+#include "core/open_predictor.hpp"
+
+namespace lap {
+
+std::optional<FileId> OpenSequencePredictor::on_open(FileId file) {
+  ++clock_;
+  if (last_open_.has_value() && *last_open_ != raw(file)) {
+    auto& successors = table_[*last_open_];
+    bool found = false;
+    for (Successor& s : successors) {
+      if (s.file == raw(file)) {
+        ++s.count;
+        s.last_used = clock_;
+        found = true;
+        break;
+      }
+    }
+    if (!found) successors.push_back(Successor{raw(file), 1, clock_});
+  }
+  last_open_ = raw(file);
+  return successor(file);
+}
+
+std::optional<FileId> OpenSequencePredictor::successor(FileId file) const {
+  auto it = table_.find(raw(file));
+  if (it == table_.end() || it->second.empty()) return std::nullopt;
+  const Successor* best = &it->second.front();
+  for (const Successor& s : it->second) {
+    if (s.count > best->count ||
+        (s.count == best->count && s.last_used > best->last_used)) {
+      best = &s;
+    }
+  }
+  return FileId{best->file};
+}
+
+}  // namespace lap

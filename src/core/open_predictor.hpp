@@ -1,0 +1,45 @@
+// Whole-file prefetching à la Kroeger & Long ("Predicting the future
+// file-system actions from prior events", USENIX ATC 1996) — the paper's
+// Section 1.1 baseline that "prefetches files before they are even opened"
+// by remembering which file tends to be opened after which.
+//
+// The paper's verdict — useful for small Unix files, "too aggressive" for
+// parallel environments with huge files — is reproduced by the
+// abl_baselines bench.  The model here is the classic last-successor /
+// most-frequent-successor table over the open sequence.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace lap {
+
+class OpenSequencePredictor {
+ public:
+  /// Observe an open; returns the prediction for the *following* open (the
+  /// historically most frequent successor of `file`), so the caller can
+  /// prefetch that file right away.
+  std::optional<FileId> on_open(FileId file);
+
+  /// Current prediction for what follows `file`, without updating state.
+  [[nodiscard]] std::optional<FileId> successor(FileId file) const;
+
+  [[nodiscard]] std::size_t tracked_files() const { return table_.size(); }
+
+ private:
+  struct Successor {
+    std::uint32_t file;
+    std::uint64_t count;
+    std::uint64_t last_used;
+  };
+
+  std::uint64_t clock_ = 0;
+  std::optional<std::uint32_t> last_open_;
+  std::unordered_map<std::uint32_t, std::vector<Successor>> table_;
+};
+
+}  // namespace lap

@@ -1,0 +1,229 @@
+#include "core/prefetch_manager.hpp"
+
+#include "util/assert.hpp"
+
+namespace lap {
+
+PrefetchManager::PrefetchManager(Engine& eng, AlgorithmSpec spec,
+                                 PrefetchHost& host, const bool* stop_flag)
+    : eng_(&eng), spec_(spec), host_(&host), stop_flag_(stop_flag) {
+  LAP_EXPECTS(stop_flag != nullptr);
+}
+
+std::unique_ptr<PrefetchStream> PrefetchManager::build_stream(PidState& ps,
+                                                              FileId file) {
+  const std::uint32_t blocks = host_->file_blocks(file);
+  const std::uint64_t budget = spec_.aggressive ? kUnboundedBudget : 1;
+  std::uint64_t fallback_budget = 0;
+  if (spec_.oba_fallback) {
+    fallback_budget = spec_.aggressive_fallback ? kUnboundedBudget : 1;
+  }
+  switch (spec_.kind) {
+    case AlgorithmSpec::Kind::kOba:
+      // Budget counts blocks for OBA: plain OBA prefetches a single block.
+      return std::make_unique<SequentialStream>(ps.last_end, blocks, budget);
+    case AlgorithmSpec::Kind::kIsPpm:
+      LAP_ASSERT(ps.predictor != nullptr);
+      return std::make_unique<GraphStream>(ps.predictor->walker(), ps.last_end,
+                                           blocks, budget, fallback_budget);
+    case AlgorithmSpec::Kind::kVkPpm:
+      LAP_ASSERT(ps.vk != nullptr);
+      return std::make_unique<VkStream>(ps.vk->walker(), ps.last_end, blocks,
+                                        budget, fallback_budget);
+    case AlgorithmSpec::Kind::kInformed:
+      return std::make_unique<HintStream>(&ps.hints, ps.hint_cursor, blocks);
+    case AlgorithmSpec::Kind::kNone:
+    case AlgorithmSpec::Kind::kWholeFile:
+      break;
+  }
+  LAP_ASSERT(false);  // kNone/kWholeFile never build per-request streams
+  return nullptr;
+}
+
+std::optional<StreamItem> PrefetchManager::next_uncached(PrefetchStream& stream,
+                                                         FileId file) {
+  while (auto item = stream.next()) {
+    if (!host_->block_available(BlockKey{file, item->block})) return item;
+  }
+  return std::nullopt;
+}
+
+std::optional<PrefetchManager::PumpItem> PrefetchManager::next_from_any_stream(
+    FileState& fs, FileId file) {
+  // Round-robin over the per-process streams of this file: the linear limit
+  // is per *file* (one block in flight), but every reader's predicted path
+  // advances in turn, so concurrent readers of a shared file all benefit.
+  if (fs.pump_order.empty()) return std::nullopt;
+  const std::size_t n = fs.pump_order.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t pid = fs.pump_order[fs.rr_cursor % fs.pump_order.size()];
+    fs.rr_cursor = (fs.rr_cursor + 1) % fs.pump_order.size();
+    auto pit = fs.pids.find(pid);
+    if (pit == fs.pids.end() || pit->second.stream == nullptr) continue;
+    if (auto item = next_uncached(*pit->second.stream, file)) {
+      return PumpItem{*item, pit->second.target};
+    }
+  }
+  return std::nullopt;
+}
+
+void PrefetchManager::on_request(ProcId pid, NodeId client, FileId file,
+                                 std::uint32_t first, std::uint32_t nblocks) {
+  if (!spec_.prefetching() || nblocks == 0) return;
+  if (spec_.kind == AlgorithmSpec::Kind::kWholeFile) return;  // open-driven
+  FileState& fs = files_[raw(file)];
+  PidState& ps = fs.pids[raw(pid)];
+
+  ++clock_;
+  if (spec_.kind == AlgorithmSpec::Kind::kIsPpm) {
+    if (!fs.graph) {
+      fs.graph = std::make_unique<IsPpmGraph>(spec_.order, spec_.edge_policy);
+    }
+    if (!ps.predictor) {
+      ps.predictor = std::make_unique<IsPpmPredictor>(*fs.graph);
+    }
+    ps.predictor->on_request(first, nblocks, clock_);
+  } else if (spec_.kind == AlgorithmSpec::Kind::kVkPpm) {
+    if (!fs.vk_graph) fs.vk_graph = std::make_unique<VkPpmGraph>(spec_.order);
+    if (!ps.vk) ps.vk = std::make_unique<VkPpmPredictor>(*fs.vk_graph);
+    ps.vk->on_request(first, nblocks);
+  } else if (spec_.kind == AlgorithmSpec::Kind::kInformed) {
+    // Advance the hint cursor past the request just made.  Writes (and
+    // anything else the hints do not cover) leave it untouched.
+    for (std::size_t look = ps.hint_cursor;
+         look < ps.hints.size() && look < ps.hint_cursor + 4; ++look) {
+      if (ps.hints[look].first == first && ps.hints[look].nblocks == nblocks) {
+        ps.hint_cursor = look + 1;
+        break;
+      }
+    }
+  }
+
+  // Was the whole request already in the cache / in flight (a correctly
+  // predicted path)?  Must be evaluated before demand fetches are issued.
+  bool covered = true;
+  for (std::uint32_t b = first; b < first + nblocks; ++b) {
+    if (!host_->block_available(BlockKey{file, b})) {
+      covered = false;
+      break;
+    }
+  }
+
+  ps.last_end = static_cast<std::int64_t>(first) + nblocks;
+  ps.target = client;
+  if (!ps.seen) {
+    ps.seen = true;
+    fs.pump_order.push_back(raw(pid));
+  }
+
+  if (spec_.aggressive) {
+    const bool graph_warmed_up =
+        ps.stream != nullptr && ps.stream->in_fallback() &&
+        ((ps.predictor != nullptr && ps.predictor->predict_next().has_value()) ||
+         (ps.vk != nullptr && ps.vk->predict_next().has_value()));
+    if (!covered || ps.stream == nullptr || graph_warmed_up) {
+      // Mis-predicted path: rebuild this reader's stream from the faulting
+      // request ("restarts once again from the miss-predicted block").  A
+      // stream still running on its OBA fallback is also rebuilt as soon
+      // as the graph knows enough to predict.  A correctly predicted path
+      // continues untouched, "as if the user had not requested any block".
+      if (ps.stream != nullptr && !covered) ++counters_.retargets;
+      ++counters_.streams_started;
+      ps.stream = build_stream(ps, file);
+    }
+    ensure_pumps(file, fs);
+    return;
+  }
+
+  // Conservative algorithms: a fresh, small stream per request, issued all
+  // at once (no pacing; plain IS_PPM prefetches a whole predicted request
+  // in parallel, plain OBA a single block).
+  ++counters_.streams_started;
+  ps.stream = build_stream(ps, file);
+  while (auto item = next_uncached(*ps.stream, file)) {
+    ++counters_.issued;
+    if (item->fallback) ++counters_.fallback_issued;
+    (void)host_->prefetch_fetch(BlockKey{file, item->block}, client);
+  }
+}
+
+void PrefetchManager::ensure_pumps(FileId file, FileState& fs) {
+  if (spec_.max_outstanding == AlgorithmSpec::kUnlimited) {
+    // Flooding variant (ablation / unlimited-aggressiveness study): issue
+    // everything every stream yields right now.
+    while (auto item = next_from_any_stream(fs, file)) {
+      ++counters_.issued;
+      if (item->item.fallback) ++counters_.fallback_issued;
+      (void)host_->prefetch_fetch(BlockKey{file, item->item.block},
+                                  item->target);
+    }
+    return;
+  }
+  while (fs.active_pumps < spec_.max_outstanding) {
+    ++fs.active_pumps;
+    pump(file);
+    // pump() runs synchronously until its first co_await and may finish
+    // (and decrement active_pumps) immediately if nothing is prefetchable.
+    auto it = files_.find(raw(file));
+    if (it == files_.end() || it->second.drained) break;
+  }
+}
+
+SimTask PrefetchManager::pump(FileId file) {
+  for (;;) {
+    if (*stop_flag_) break;
+    auto it = files_.find(raw(file));
+    if (it == files_.end()) co_return;  // file deleted: state is gone
+    FileState& fs = it->second;
+    auto item = next_from_any_stream(fs, file);
+    if (!item) {
+      fs.drained = true;
+      break;
+    }
+    fs.drained = false;
+    ++counters_.issued;
+    if (item->item.fallback) ++counters_.fallback_issued;
+    // The linear limitation: this pump waits for the block to arrive
+    // before asking any stream for the next one.
+    co_await host_->prefetch_fetch(BlockKey{file, item->item.block},
+                                   item->target);
+  }
+  auto it = files_.find(raw(file));
+  if (it != files_.end()) {
+    LAP_ASSERT(it->second.active_pumps > 0);
+    --it->second.active_pumps;
+  }
+}
+
+void PrefetchManager::provide_hints(ProcId pid, FileId file,
+                                    std::vector<BlockRequest> hints) {
+  if (spec_.kind != AlgorithmSpec::Kind::kInformed) return;
+  PidState& ps = files_[raw(file)].pids[raw(pid)];
+  ps.hints = std::move(hints);
+  ps.hint_cursor = 0;
+}
+
+void PrefetchManager::on_open(ProcId, NodeId client, FileId file) {
+  if (spec_.kind != AlgorithmSpec::Kind::kWholeFile) return;
+  const auto predicted = open_predictors_[raw(client)].on_open(file);
+  if (!predicted || !host_->file_blocks(*predicted)) return;
+  // "Whenever the system is able to predict that a given file is going to
+  // be used, the whole file is prefetched" — flood every block of the
+  // predicted file that is not already available.
+  ++counters_.streams_started;
+  const std::uint32_t blocks = host_->file_blocks(*predicted);
+  for (std::uint32_t b = 0; b < blocks; ++b) {
+    const BlockKey key{*predicted, b};
+    if (host_->block_available(key)) continue;
+    ++counters_.issued;
+    (void)host_->prefetch_fetch(key, client);
+  }
+}
+
+void PrefetchManager::on_file_deleted(FileId file) {
+  // Pumps re-resolve the file state on every iteration, so erasing it here
+  // makes them exit at their next wake-up.
+  files_.erase(raw(file));
+}
+
+}  // namespace lap

@@ -1,0 +1,135 @@
+// PrefetchManager — drives one prefetching "site".
+//
+// PAFS instantiates one manager per file server (the server in charge of a
+// file keeps all its prefetch state, so the linear limit — one outstanding
+// prefetched block per file — is exact).  xFS instantiates one manager per
+// node (each node decides locally, so the limit is per node *and* file and
+// several nodes may prefetch the same file in parallel: the paper's
+// "not really linear" implementation).
+//
+// The manager keeps, per file, one IS_PPM predictor and one prefetch
+// stream per requesting process (a process's accesses to a file form the
+// request stream whose intervals are modelled).  A single *pump* per file
+// enforces the linear limit — one prefetched block in flight per file —
+// by round-robining over the readers' streams, so concurrent readers of a
+// shared file share the file's prefetch slot.  A demand request whose
+// blocks were not already available is a mis-predicted path: that reader's
+// stream is rebuilt ("restarts once again from the miss-predicted
+// block").
+//
+// Call on_request() for every demand read/write BEFORE issuing its demand
+// fetches — the covered-path test relies on seeing the cache state as the
+// request found it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "cache/block.hpp"
+#include "core/aggressive.hpp"
+#include "core/algorithm_registry.hpp"
+#include "core/is_ppm.hpp"
+#include "core/open_predictor.hpp"
+#include "core/vk_ppm.hpp"
+#include "sim/engine.hpp"
+#include "sim/future.hpp"
+#include "sim/task.hpp"
+
+namespace lap {
+
+/// Services the host file system provides to the prefetcher.
+class PrefetchHost {
+ public:
+  virtual ~PrefetchHost() = default;
+
+  /// Is the block in the cooperative cache or already being fetched?
+  [[nodiscard]] virtual bool block_available(BlockKey key) const = 0;
+
+  /// Bring one block into the cache speculatively (disk priority
+  /// prio::kPrefetch), homing it near `target`.  Resolves when the block is
+  /// in memory (or immediately if the fetch was elided).
+  virtual SimFuture<Done> prefetch_fetch(BlockKey key, NodeId target) = 0;
+
+  /// Current size of the file in blocks.
+  [[nodiscard]] virtual std::uint32_t file_blocks(FileId file) const = 0;
+};
+
+struct PrefetchCounters {
+  std::uint64_t issued = 0;           // prefetch fetches handed to the host
+  std::uint64_t fallback_issued = 0;  // of which: cold-graph OBA fallback
+  std::uint64_t retargets = 0;        // streams rebuilt after a mis-predicted path
+  std::uint64_t streams_started = 0;
+};
+
+class PrefetchManager {
+ public:
+  PrefetchManager(Engine& eng, AlgorithmSpec spec, PrefetchHost& host,
+                  const bool* stop_flag);
+
+  /// Observe a demand request (read or write) on `file` by process `pid`
+  /// running at `client`; may issue prefetches.
+  void on_request(ProcId pid, NodeId client, FileId file, std::uint32_t first,
+                  std::uint32_t nblocks);
+
+  /// Observe an open.  Only the whole-file baseline acts on it: it floods
+  /// the file historically opened next.
+  void on_open(ProcId pid, NodeId client, FileId file);
+
+  /// Disclose a process's future read requests on a file (the informed
+  /// upper bound).  Ignored by every other algorithm.
+  void provide_hints(ProcId pid, FileId file, std::vector<BlockRequest> hints);
+
+  /// Drop all state for a deleted file.
+  void on_file_deleted(FileId file);
+
+  [[nodiscard]] const PrefetchCounters& counters() const { return counters_; }
+  [[nodiscard]] const AlgorithmSpec& spec() const { return spec_; }
+
+ private:
+  struct PidState {
+    std::unique_ptr<IsPpmPredictor> predictor;  // IS_PPM only; shares the
+                                                // file's pattern graph
+    std::unique_ptr<VkPpmPredictor> vk;         // VK_PPM baseline only
+    std::vector<BlockRequest> hints;            // informed upper bound only
+    std::size_t hint_cursor = 0;                // next undisclosed request
+    std::unique_ptr<PrefetchStream> stream;     // this reader's active path
+    std::int64_t last_end = 0;                  // one past the last request
+    NodeId target{};                            // where its blocks should land
+    bool seen = false;
+  };
+  struct FileState {
+    std::unique_ptr<IsPpmGraph> graph;     // one pattern graph per file
+    std::unique_ptr<VkPpmGraph> vk_graph;  // VK_PPM baseline only
+    std::unordered_map<std::uint32_t, PidState> pids;
+    std::vector<std::uint32_t> pump_order;  // pids in arrival order
+    std::size_t rr_cursor = 0;
+    std::uint32_t active_pumps = 0;
+    bool drained = false;
+  };
+  struct PumpItem {
+    StreamItem item;
+    NodeId target;
+  };
+
+  [[nodiscard]] std::unique_ptr<PrefetchStream> build_stream(PidState& ps,
+                                                             FileId file);
+  std::optional<StreamItem> next_uncached(PrefetchStream& stream, FileId file);
+  std::optional<PumpItem> next_from_any_stream(FileState& fs, FileId file);
+  void ensure_pumps(FileId file, FileState& fs);
+  SimTask pump(FileId file);
+
+  Engine* eng_;
+  AlgorithmSpec spec_;
+  PrefetchHost* host_;
+  const bool* stop_flag_;
+  std::unordered_map<std::uint32_t, FileState> files_;
+  // Whole-file baseline only: one open-sequence model per client node —
+  // Kroeger & Long's predictor works on a single client's open stream, and
+  // a globally interleaved sequence would be noise.
+  std::unordered_map<std::uint32_t, OpenSequencePredictor> open_predictors_;
+  std::uint64_t clock_ = 0;  // logical timestamps for MRU edges
+  PrefetchCounters counters_;
+};
+
+}  // namespace lap

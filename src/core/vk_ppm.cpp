@@ -1,0 +1,88 @@
+#include "core/vk_ppm.hpp"
+
+#include "util/assert.hpp"
+
+namespace lap {
+
+std::size_t VkPpmGraph::KeyHash::operator()(
+    const std::vector<std::uint32_t>& v) const noexcept {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (std::uint32_t x : v) {
+    h ^= (x + 0x9e3779b97f4a7c15ULL) + (h << 6) + (h >> 2);
+    h *= 0xbf58476d1ce4e5b9ULL;
+  }
+  return static_cast<std::size_t>(h);
+}
+
+VkPpmGraph::VkPpmGraph(int order) : order_(order) {
+  LAP_EXPECTS(order >= 1);
+}
+
+void VkPpmGraph::observe(const std::vector<std::uint32_t>& ctx,
+                         std::uint32_t next) {
+  LAP_EXPECTS(static_cast<int>(ctx.size()) == order_);
+  auto& successors = table_[ctx];
+  ++clock_;
+  for (Successor& s : successors) {
+    if (s.block == next) {
+      ++s.count;
+      s.last_used = clock_;
+      return;
+    }
+  }
+  successors.push_back(Successor{next, 1, clock_});
+}
+
+std::optional<std::uint32_t> VkPpmGraph::predict(
+    const std::vector<std::uint32_t>& ctx) const {
+  auto it = table_.find(ctx);
+  if (it == table_.end() || it->second.empty()) return std::nullopt;
+  const Successor* best = &it->second.front();
+  for (const Successor& s : it->second) {
+    // Most probable; recency breaks ties.
+    if (s.count > best->count ||
+        (s.count == best->count && s.last_used > best->last_used)) {
+      best = &s;
+    }
+  }
+  return best->block;
+}
+
+VkPpmPredictor::VkPpmPredictor(VkPpmGraph& graph) : graph_(&graph) {}
+
+void VkPpmPredictor::push_block(std::uint32_t block) {
+  if (static_cast<int>(context_.size()) == graph_->order()) {
+    graph_->observe({context_.begin(), context_.end()}, block);
+    context_.pop_front();
+  }
+  context_.push_back(block);
+}
+
+void VkPpmPredictor::on_request(std::uint32_t first_block,
+                                std::uint32_t nblocks) {
+  for (std::uint32_t b = 0; b < nblocks; ++b) push_block(first_block + b);
+}
+
+std::optional<std::uint32_t> VkPpmPredictor::predict_next() const {
+  if (!has_context()) return std::nullopt;
+  return graph_->predict({context_.begin(), context_.end()});
+}
+
+std::optional<std::uint32_t> VkPpmPredictor::Walker::next() {
+  if (ctx_.empty()) return std::nullopt;
+  const auto next = graph_->predict(ctx_);
+  if (!next) {
+    ctx_.clear();
+    return std::nullopt;
+  }
+  ctx_.erase(ctx_.begin());
+  ctx_.push_back(*next);
+  return next;
+}
+
+VkPpmPredictor::Walker VkPpmPredictor::walker() const {
+  if (!has_context()) return Walker{graph_, {}};
+  return Walker{graph_, {context_.begin(), context_.end()}};
+}
+
+}  // namespace lap

@@ -1,0 +1,90 @@
+// VK_PPM — the classic prediction-by-partial-match prefetcher of Vitter &
+// Krishnan ("Optimal prefetching via data compression", JACM 1996), the
+// starting point of the paper's IS_PPM family (Section 1.1).
+//
+// Unlike IS_PPM it models the sequence of *accessed block ids*: a jth-order
+// graph keyed by the last j block numbers predicts which block tends to
+// follow, choosing the *most probable* (most frequently observed) successor
+// — both exactly the properties the paper argues against for file systems:
+// a block must have been accessed once before it can ever be predicted, and
+// frequency reacts slowly to pattern changes.  Implemented here as the
+// baseline that lets the repository reproduce that comparison.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace lap {
+
+class VkPpmGraph {
+ public:
+  explicit VkPpmGraph(int order);
+
+  /// Record that `next` followed the context `ctx` (exactly `order` ids).
+  void observe(const std::vector<std::uint32_t>& ctx, std::uint32_t next);
+
+  /// Most probable successor of `ctx`, if any.
+  [[nodiscard]] std::optional<std::uint32_t> predict(
+      const std::vector<std::uint32_t>& ctx) const;
+
+  [[nodiscard]] int order() const { return order_; }
+  [[nodiscard]] std::size_t context_count() const { return table_.size(); }
+
+ private:
+  struct Successor {
+    std::uint32_t block;
+    std::uint64_t count;
+    std::uint64_t last_used;
+  };
+  struct KeyHash {
+    std::size_t operator()(const std::vector<std::uint32_t>& v) const noexcept;
+  };
+
+  int order_;
+  std::uint64_t clock_ = 0;
+  std::unordered_map<std::vector<std::uint32_t>, std::vector<Successor>, KeyHash>
+      table_;
+};
+
+/// Per-stream state over a shared per-file VK graph: feeds the block-id
+/// sequence (every block of every request) and predicts successor blocks.
+class VkPpmPredictor {
+ public:
+  explicit VkPpmPredictor(VkPpmGraph& graph);
+
+  /// Observe a demand request; every covered block extends the sequence.
+  void on_request(std::uint32_t first_block, std::uint32_t nblocks);
+
+  /// Most probable next block after the current context.
+  [[nodiscard]] std::optional<std::uint32_t> predict_next() const;
+
+  /// Speculative chain walk for the aggressive variant: each step treats
+  /// the prediction as if it had been accessed.
+  class Walker {
+   public:
+    [[nodiscard]] std::optional<std::uint32_t> next();
+
+   private:
+    friend class VkPpmPredictor;
+    Walker(const VkPpmGraph* graph, std::vector<std::uint32_t> ctx)
+        : graph_(graph), ctx_(std::move(ctx)) {}
+    const VkPpmGraph* graph_;
+    std::vector<std::uint32_t> ctx_;  // empty = not enough history
+  };
+
+  [[nodiscard]] Walker walker() const;
+  [[nodiscard]] bool has_context() const {
+    return static_cast<int>(context_.size()) == graph_->order();
+  }
+
+ private:
+  void push_block(std::uint32_t block);
+
+  VkPpmGraph* graph_;
+  std::deque<std::uint32_t> context_;
+};
+
+}  // namespace lap

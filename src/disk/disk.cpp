@@ -1,0 +1,91 @@
+#include "disk/disk.hpp"
+
+#include "util/assert.hpp"
+
+namespace lap {
+
+Disk::Disk(Engine& eng, DiskConfig cfg) : eng_(&eng), cfg_(cfg) {
+  LAP_EXPECTS(cfg.block_size > 0);
+}
+
+SimTime Disk::read_service_time() const {
+  return cfg_.read_seek + cfg_.bandwidth.transfer_time(cfg_.block_size);
+}
+
+SimTime Disk::write_service_time() const {
+  return cfg_.write_seek + cfg_.bandwidth.transfer_time(cfg_.block_size);
+}
+
+SimTime Disk::service_time(bool write, std::uint64_t lba) const {
+  const SimTime avg_seek = write ? cfg_.write_seek : cfg_.read_seek;
+  const SimTime transfer = cfg_.bandwidth.transfer_time(cfg_.block_size);
+  if (!cfg_.distance_seeks) return avg_seek + transfer;
+  const std::uint64_t a = std::min(arm_position_, cfg_.cylinders - 1);
+  const std::uint64_t b = std::min(lba, cfg_.cylinders - 1);
+  const double distance =
+      static_cast<double>(a > b ? a - b : b - a) /
+      static_cast<double>(cfg_.cylinders);
+  return SimTime::ns(static_cast<std::int64_t>(
+             static_cast<double>(avg_seek.nanos()) * (0.4 + 1.2 * distance))) +
+         transfer;
+}
+
+SimFuture<Done> Disk::read_block(int priority, OpId* id, std::uint64_t lba) {
+  ++stats_.block_reads;
+  if (priority >= prio::kPrefetch) ++stats_.prefetch_reads;
+  return submit(/*write=*/false, lba, priority, id);
+}
+
+SimFuture<Done> Disk::write_block(int priority, OpId* id, std::uint64_t lba) {
+  ++stats_.block_writes;
+  return submit(/*write=*/true, lba, priority, id);
+}
+
+SimFuture<Done> Disk::submit(bool write, std::uint64_t lba, int priority,
+                             OpId* id) {
+  const OpId op_id = next_id_++;
+  if (id != nullptr) *id = op_id;
+  SimPromise<Done> done(*eng_);
+  const Key key{priority, op_id};
+  queue_.emplace(key, Op{write, lba, done});
+  by_id_.emplace(op_id, key);
+  maybe_start();
+  return done.future();
+}
+
+void Disk::boost(OpId id, int priority) {
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) return;  // started or finished
+  const Key old_key = it->second;
+  if (old_key.first <= priority) return;  // already as urgent
+  ++stats_.boosts;
+  auto qit = queue_.find(old_key);
+  LAP_ASSERT(qit != queue_.end());
+  Op op = std::move(qit->second);
+  queue_.erase(qit);
+  const Key new_key{priority, old_key.second};  // keep submission order
+  queue_.emplace(new_key, std::move(op));
+  it->second = new_key;
+}
+
+void Disk::maybe_start() {
+  if (in_service_ || queue_.empty()) return;
+  auto it = queue_.begin();
+  const OpId id = it->first.second;
+  Op op = std::move(it->second);
+  queue_.erase(it);
+  by_id_.erase(id);
+  in_service_ = true;
+  // Seek is computed at service start: the arm position is whatever the
+  // previous operation left behind.
+  const SimTime service = service_time(op.write, op.lba);
+  arm_position_ = std::min(op.lba, cfg_.cylinders - 1);
+  stats_.busy_time += service;
+  eng_->schedule_in(service, [this, done = op.done] {
+    done.set_value(Done{});
+    in_service_ = false;
+    maybe_start();
+  });
+}
+
+}  // namespace lap

@@ -1,0 +1,113 @@
+// Single-disk model: a served queue with (priority, FIFO) ordering and a
+// latency + bandwidth service time, per the paper's DIMEMAS disk model.
+// The seek latency differs for reads and writes (Table 1: 10.5 / 12.5 ms).
+//
+// Demand operations always precede queued prefetches ("prefetching a block
+// will never be done if other operations are waiting to be done on the same
+// disk"); an in-progress operation is never preempted.  A queued operation
+// can be *boosted* to a more urgent priority: when a demand request catches
+// an in-flight prefetch of the same block, the cache layer upgrades it
+// rather than waiting behind the whole queue.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "sim/engine.hpp"
+#include "sim/future.hpp"
+#include "sim/priority.hpp"
+#include "util/units.hpp"
+
+namespace lap {
+
+struct DiskConfig {
+  Bytes block_size;
+  Bandwidth bandwidth;
+  SimTime read_seek;
+  SimTime write_seek;
+
+  // Optional refinement over the paper's flat DIMEMAS model: make the seek
+  // grow with the arm travel distance.  The flat seeks above then act as
+  // the *average* (per Table 1); an operation at distance d over a disk of
+  // `cylinders` logical positions costs
+  //     seek(d) = avg_seek * (0.4 + 1.2 * d / cylinders)
+  // i.e. 0.4x for a neighbouring track up to 1.6x full-stroke, averaging
+  // ~1.0x under uniform traffic.
+  bool distance_seeks = false;
+  std::uint64_t cylinders = 1u << 20;
+};
+
+struct DiskStats {
+  std::uint64_t block_reads = 0;
+  std::uint64_t block_writes = 0;
+  std::uint64_t prefetch_reads = 0;
+  std::uint64_t boosts = 0;
+  SimTime busy_time;
+
+  [[nodiscard]] std::uint64_t accesses() const {
+    return block_reads + block_writes;
+  }
+  void reset() { *this = DiskStats{}; }
+};
+
+class Disk {
+ public:
+  /// Identifies a submitted operation for later boost(); valid until the
+  /// operation starts service.
+  using OpId = std::uint64_t;
+
+  Disk(Engine& eng, DiskConfig cfg);
+  Disk(const Disk&) = delete;
+  Disk& operator=(const Disk&) = delete;
+
+  /// Enqueue a block read; resolves when the data is in memory.  The
+  /// operation's id is written to *id when requested.  `lba` is the
+  /// logical position, used only by the distance-seek model.
+  [[nodiscard]] SimFuture<Done> read_block(int priority, OpId* id = nullptr,
+                                           std::uint64_t lba = 0);
+
+  /// Enqueue a block write; resolves when the block is on the platter.
+  [[nodiscard]] SimFuture<Done> write_block(int priority, OpId* id = nullptr,
+                                            std::uint64_t lba = 0);
+
+  /// Raise a queued operation to `priority` (no-op if it already started,
+  /// completed, or was at least as urgent).
+  void boost(OpId id, int priority);
+
+  [[nodiscard]] SimTime read_service_time() const;
+  [[nodiscard]] SimTime write_service_time() const;
+  /// Service time for an access at `lba` given the current arm position
+  /// (identical to the flat model when distance_seeks is off).
+  [[nodiscard]] SimTime service_time(bool write, std::uint64_t lba) const;
+
+  [[nodiscard]] const DiskStats& stats() const { return stats_; }
+  [[nodiscard]] DiskStats& stats() { return stats_; }
+  [[nodiscard]] std::size_t queue_length() const { return queue_.size(); }
+  [[nodiscard]] bool busy() const { return in_service_ || !queue_.empty(); }
+
+ private:
+  struct Op {
+    bool write;
+    std::uint64_t lba;
+    SimPromise<Done> done;
+  };
+  /// Queue key: (priority, submission order).
+  using Key = std::pair<int, OpId>;
+
+  [[nodiscard]] SimFuture<Done> submit(bool write, std::uint64_t lba,
+                                       int priority, OpId* id);
+  void maybe_start();
+
+  Engine* eng_;
+  DiskConfig cfg_;
+  OpId next_id_ = 0;
+  bool in_service_ = false;
+  std::uint64_t arm_position_ = 0;  // distance-seek model state
+  std::map<Key, Op> queue_;
+  std::map<OpId, Key> by_id_;  // queued ops only
+  DiskStats stats_;
+};
+
+}  // namespace lap

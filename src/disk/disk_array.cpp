@@ -1,0 +1,45 @@
+#include "disk/disk_array.hpp"
+
+namespace lap {
+
+DiskArray::DiskArray(Engine& eng, DiskConfig cfg, std::uint32_t disks) {
+  LAP_EXPECTS(disks >= 1);
+  disks_.reserve(disks);
+  for (std::uint32_t i = 0; i < disks; ++i) {
+    disks_.push_back(std::make_unique<Disk>(eng, cfg));
+  }
+}
+
+DiskId DiskArray::disk_id_for(BlockKey key) const {
+  // Offset each file's stripe start by a hash of the file id so that the
+  // first blocks of all files do not pile onto disk 0.
+  const std::uint64_t h = BlockKeyHash{}(BlockKey{key.file, 0});
+  return DiskId{static_cast<std::uint32_t>((h + key.index) % disks_.size())};
+}
+
+Disk& DiskArray::disk_for(BlockKey key) { return *disks_[raw(disk_id_for(key))]; }
+
+std::uint64_t DiskArray::lba_for(BlockKey key) const {
+  // Consecutive stripe rows of a file are adjacent on each spindle; files
+  // start at hash-spread positions.
+  const std::uint64_t base = BlockKeyHash{}(BlockKey{key.file, 0}) % (1u << 19);
+  return base + key.index / disks_.size();
+}
+
+DiskStats DiskArray::total_stats() const {
+  DiskStats total;
+  for (const auto& d : disks_) {
+    total.block_reads += d->stats().block_reads;
+    total.block_writes += d->stats().block_writes;
+    total.prefetch_reads += d->stats().prefetch_reads;
+    total.boosts += d->stats().boosts;
+    total.busy_time += d->stats().busy_time;
+  }
+  return total;
+}
+
+void DiskArray::reset_stats() {
+  for (auto& d : disks_) d->stats().reset();
+}
+
+}  // namespace lap

@@ -1,0 +1,62 @@
+// The machine's disk subsystem: `n` identical disks with file blocks
+// striped across them, as in the simulated architectures (PM: 16 disks,
+// NOW: 8 disks).  Striping spreads both a single file's blocks and
+// different files over all spindles.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cache/block.hpp"
+#include "disk/disk.hpp"
+
+namespace lap {
+
+/// Handle to a queued disk operation, used to raise its priority when a
+/// demand request catches up with it.
+struct DiskOpRef {
+  Disk* disk = nullptr;
+  Disk::OpId id = 0;
+
+  void boost(int priority) const {
+    if (disk != nullptr) disk->boost(id, priority);
+  }
+};
+
+class DiskArray {
+ public:
+  DiskArray(Engine& eng, DiskConfig cfg, std::uint32_t disks);
+
+  [[nodiscard]] Disk& disk_for(BlockKey key);
+  [[nodiscard]] DiskId disk_id_for(BlockKey key) const;
+
+  /// The logical position of a block on its disk (the stripe row, offset
+  /// by the file's placement hash): used by the distance-seek model.
+  [[nodiscard]] std::uint64_t lba_for(BlockKey key) const;
+
+  [[nodiscard]] SimFuture<Done> read(BlockKey key, int priority,
+                                     DiskOpRef* ref = nullptr) {
+    Disk& d = disk_for(key);
+    Disk::OpId id = 0;
+    auto fut = d.read_block(priority, &id, lba_for(key));
+    if (ref != nullptr) *ref = DiskOpRef{&d, id};
+    return fut;
+  }
+  [[nodiscard]] SimFuture<Done> write(BlockKey key, int priority) {
+    return disk_for(key).write_block(priority, nullptr, lba_for(key));
+  }
+
+  [[nodiscard]] std::uint32_t count() const {
+    return static_cast<std::uint32_t>(disks_.size());
+  }
+  [[nodiscard]] Disk& disk(DiskId id) { return *disks_[raw(id)]; }
+
+  /// Aggregate statistics over all spindles.
+  [[nodiscard]] DiskStats total_stats() const;
+  void reset_stats();
+
+ private:
+  std::vector<std::unique_ptr<Disk>> disks_;
+};
+
+}  // namespace lap

@@ -1,0 +1,59 @@
+#include "driver/machine_config.hpp"
+
+#include <sstream>
+
+namespace lap {
+
+MachineConfig MachineConfig::pm() {
+  MachineConfig m;
+  m.name = "PM";
+  m.nodes = 128;
+  m.block_size = 8_KiB;
+  m.net.local_port_startup = SimTime::us(2);
+  m.net.remote_port_startup = SimTime::us(10);
+  m.net.local_copy_startup = SimTime::us(1);
+  m.net.remote_copy_startup = SimTime::us(5);
+  m.net.memory_bw = Bandwidth::mb_per_s(500);
+  m.net.network_bw = Bandwidth::mb_per_s(200);
+  m.disks = 16;
+  m.disk.block_size = 8_KiB;
+  m.disk.bandwidth = Bandwidth::mb_per_s(10);
+  m.disk.read_seek = SimTime::ms(10.5);
+  m.disk.write_seek = SimTime::ms(12.5);
+  return m;
+}
+
+MachineConfig MachineConfig::now() {
+  MachineConfig m;
+  m.name = "NOW";
+  m.nodes = 50;
+  m.block_size = 8_KiB;
+  m.net.local_port_startup = SimTime::us(50);
+  m.net.remote_port_startup = SimTime::us(100);
+  m.net.local_copy_startup = SimTime::us(25);
+  m.net.remote_copy_startup = SimTime::us(50);
+  m.net.memory_bw = Bandwidth::mb_per_s(40);
+  m.net.network_bw = Bandwidth::mb_per_s(19.4);
+  m.disks = 8;
+  m.disk.block_size = 8_KiB;
+  m.disk.bandwidth = Bandwidth::mb_per_s(10);
+  m.disk.read_seek = SimTime::ms(10.5);
+  m.disk.write_seek = SimTime::ms(12.5);
+  return m;
+}
+
+std::string MachineConfig::describe() const {
+  std::ostringstream os;
+  os << name << ": " << nodes << " nodes, " << block_size / 1024
+     << " KB blocks, mem " << net.memory_bw.bytes_per_sec() / 1e6
+     << " MB/s, net " << net.network_bw.bytes_per_sec() / 1e6
+     << " MB/s, startups local/remote " << net.local_port_startup.micros()
+     << "/" << net.remote_port_startup.micros() << " us, copies "
+     << net.local_copy_startup.micros() << "/"
+     << net.remote_copy_startup.micros() << " us, " << disks << " disks @ "
+     << disk.bandwidth.bytes_per_sec() / 1e6 << " MB/s, seeks R/W "
+     << disk.read_seek.millis() << "/" << disk.write_seek.millis() << " ms";
+  return os.str();
+}
+
+}  // namespace lap

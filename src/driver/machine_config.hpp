@@ -1,0 +1,31 @@
+// Machine presets — Table 1 of the paper, verbatim.
+#pragma once
+
+#include <string>
+
+#include "disk/disk.hpp"
+#include "net/network.hpp"
+#include "util/units.hpp"
+
+namespace lap {
+
+struct MachineConfig {
+  std::string name;
+  std::uint32_t nodes = 0;
+  Bytes block_size = 8_KiB;  // "Buffer Size" / "Disk-Block Size"
+  NetConfig net;
+  std::uint32_t disks = 0;
+  DiskConfig disk;
+
+  /// PM — the 128-node parallel machine used for the CHARISMA workload.
+  [[nodiscard]] static MachineConfig pm();
+
+  /// NOW — the 50-workstation network used for the Sprite workload.
+  [[nodiscard]] static MachineConfig now();
+
+  /// Human-readable dump (benches print it so every reproduction states
+  /// its Table 1 parameters).
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace lap

@@ -1,0 +1,147 @@
+// Central metrics sink for one simulation run.
+//
+// Latency/traffic counters honour the warm-up boundary: nothing is recorded
+// until `warmup_ops` user I/O operations have been issued (the paper warms
+// its caches on the first hours of each trace and measures the rest).
+// Prefetch-effectiveness counters are whole-run: a mis-prediction ratio is
+// a property of the algorithm, not of the measurement window.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "cache/block.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace lap {
+
+class Metrics {
+ public:
+  Metrics() : read_hist_(1e-3, 1e5, 96) {}
+
+  /// Begin measuring after this many issued I/O ops (0 = measure from t0).
+  void set_warmup_ops(std::uint64_t n) { warmup_ops_ = n; }
+
+  /// Called by the client layer as each READ/WRITE is issued.
+  void on_io_issued(SimTime now) {
+    ++issued_ops_;
+    if (!measuring_ && issued_ops_ > warmup_ops_) {
+      measuring_ = true;
+      measure_start_ = now;
+    }
+  }
+
+  [[nodiscard]] bool measuring() const { return measuring_; }
+  [[nodiscard]] SimTime measure_start() const { return measure_start_; }
+
+  // --- client-observed latencies ---
+  void on_read_done(SimTime latency) {
+    if (!measuring_) return;
+    read_ms_.add(latency.millis());
+    read_hist_.add(latency.millis());
+  }
+  void on_write_done(SimTime latency) {
+    if (measuring_) write_ms_.add(latency.millis());
+  }
+
+  // --- cache outcome classification (per demand block) ---
+  void on_hit_local() { if (measuring_) ++hits_local_; }
+  void on_hit_remote() { if (measuring_) ++hits_remote_; }
+  void on_hit_inflight() { if (measuring_) ++hits_inflight_; }
+  void on_miss() { if (measuring_) ++misses_; }
+
+  // --- disk traffic ---
+  void on_disk_read(bool prefetch) {
+    if (!measuring_) return;
+    ++disk_reads_;
+    if (prefetch) ++disk_prefetch_reads_;
+  }
+  void on_disk_write(BlockKey key) {
+    if (!measuring_) return;
+    ++disk_writes_;
+    ++block_write_counts_[key];
+  }
+
+  // --- prefetch effectiveness (whole-run) ---
+  void on_prefetch_arrived() { ++prefetch_arrived_; }
+  void on_prefetch_first_use() { ++prefetch_used_; }
+  void on_prefetch_wasted() { ++prefetch_wasted_; }
+
+  // --- derived results ---
+  [[nodiscard]] double avg_read_ms() const { return read_ms_.mean(); }
+  [[nodiscard]] double avg_write_ms() const { return write_ms_.mean(); }
+  [[nodiscard]] std::uint64_t reads() const { return read_ms_.count(); }
+  [[nodiscard]] std::uint64_t writes() const { return write_ms_.count(); }
+  [[nodiscard]] std::uint64_t disk_reads() const { return disk_reads_; }
+  [[nodiscard]] std::uint64_t disk_writes() const { return disk_writes_; }
+  [[nodiscard]] std::uint64_t disk_accesses() const {
+    return disk_reads_ + disk_writes_;
+  }
+  [[nodiscard]] std::uint64_t disk_prefetch_reads() const {
+    return disk_prefetch_reads_;
+  }
+  [[nodiscard]] std::uint64_t hits_local() const { return hits_local_; }
+  [[nodiscard]] std::uint64_t hits_remote() const { return hits_remote_; }
+  [[nodiscard]] std::uint64_t hits_inflight() const { return hits_inflight_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+
+  /// Fraction of demand blocks found in (or on their way into) the cache.
+  [[nodiscard]] double hit_ratio() const {
+    const auto total = hits_local_ + hits_remote_ + hits_inflight_ + misses_;
+    return total == 0 ? 0.0
+                      : static_cast<double>(total - misses_) /
+                            static_cast<double>(total);
+  }
+
+  /// Table 2: average number of times a written block went to disk.
+  [[nodiscard]] double writes_per_block() const {
+    if (block_write_counts_.empty()) return 0.0;
+    return static_cast<double>(disk_writes_) /
+           static_cast<double>(block_write_counts_.size());
+  }
+  [[nodiscard]] std::size_t distinct_blocks_written() const {
+    return block_write_counts_.size();
+  }
+
+  [[nodiscard]] std::uint64_t prefetch_arrived() const { return prefetch_arrived_; }
+  [[nodiscard]] std::uint64_t prefetch_used() const { return prefetch_used_; }
+  [[nodiscard]] std::uint64_t prefetch_wasted() const { return prefetch_wasted_; }
+
+  /// Prefetched blocks never used before leaving the cache (plus those
+  /// still unused at end of run, added by FileSystem::finalize).
+  [[nodiscard]] double misprediction_ratio() const {
+    if (prefetch_arrived_ == 0) return 0.0;
+    return static_cast<double>(prefetch_wasted_) /
+           static_cast<double>(prefetch_arrived_);
+  }
+
+  [[nodiscard]] const Accumulator& read_accumulator() const { return read_ms_; }
+  [[nodiscard]] const Histogram& read_histogram() const { return read_hist_; }
+
+ private:
+  std::uint64_t warmup_ops_ = 0;
+  std::uint64_t issued_ops_ = 0;
+  bool measuring_ = false;
+  SimTime measure_start_;
+
+  Accumulator read_ms_;
+  Accumulator write_ms_;
+  Histogram read_hist_;
+
+  std::uint64_t hits_local_ = 0;
+  std::uint64_t hits_remote_ = 0;
+  std::uint64_t hits_inflight_ = 0;
+  std::uint64_t misses_ = 0;
+
+  std::uint64_t disk_reads_ = 0;
+  std::uint64_t disk_writes_ = 0;
+  std::uint64_t disk_prefetch_reads_ = 0;
+  std::unordered_map<BlockKey, std::uint32_t, BlockKeyHash> block_write_counts_;
+
+  std::uint64_t prefetch_arrived_ = 0;
+  std::uint64_t prefetch_used_ = 0;
+  std::uint64_t prefetch_wasted_ = 0;
+};
+
+}  // namespace lap

@@ -1,0 +1,154 @@
+#include "driver/report.hpp"
+
+#include <ostream>
+
+#include "util/assert.hpp"
+#include "util/table.hpp"
+
+namespace lap {
+namespace {
+
+std::vector<std::string> cache_header(const SweepSpec& spec) {
+  std::vector<std::string> header;
+  header.reserve(spec.cache_sizes.size() + 1);
+  header.push_back("algorithm");
+  for (Bytes c : spec.cache_sizes) {
+    header.push_back(std::to_string(c / (1024 * 1024)) + "MB");
+  }
+  return header;
+}
+
+const RunResult& at(const SweepSpec& spec, const std::vector<RunResult>& results,
+                    std::size_t algo, std::size_t cache) {
+  const std::size_t idx = algo * spec.cache_sizes.size() + cache;
+  LAP_EXPECTS(idx < results.size());
+  return results[idx];
+}
+
+}  // namespace
+
+void print_experiment_header(std::ostream& os, const std::string& title,
+                             const MachineConfig& machine, const Trace& trace,
+                             const RunConfig& base) {
+  os << "== " << title << " ==\n";
+  os << "machine  " << machine.describe() << '\n';
+  os << "workload " << trace.processes.size() << " processes, "
+     << trace.files.size() << " files, " << trace.total_io_ops()
+     << " I/O ops (" << trace.total_bytes_read() / (1024 * 1024) << " MB read, "
+     << trace.total_bytes_written() / (1024 * 1024) << " MB written), "
+     << "warm-up " << base.warmup_fraction * 100 << "% of ops\n";
+  os << "fs       " << to_string(base.fs) << ", sync interval "
+     << to_string(base.sync_interval) << '\n';
+}
+
+void print_read_time_series(std::ostream& os, const SweepSpec& spec,
+                            const std::vector<RunResult>& results) {
+  os << "\nAverage read time (ms) vs per-node cache size\n";
+  Table t(cache_header(spec));
+  for (std::size_t a = 0; a < spec.algorithms.size(); ++a) {
+    std::vector<double> row;
+    row.reserve(spec.cache_sizes.size());
+    for (std::size_t c = 0; c < spec.cache_sizes.size(); ++c) {
+      row.push_back(at(spec, results, a, c).avg_read_ms);
+    }
+    t.add_row(spec.algorithms[a].name(), row);
+  }
+  t.print(os);
+}
+
+void print_disk_access_series(std::ostream& os, const SweepSpec& spec,
+                              const std::vector<RunResult>& results) {
+  os << "\nDisk accesses (thousands of block reads+writes) vs per-node cache size\n";
+  Table t(cache_header(spec));
+  for (std::size_t a = 0; a < spec.algorithms.size(); ++a) {
+    std::vector<double> row;
+    for (std::size_t c = 0; c < spec.cache_sizes.size(); ++c) {
+      row.push_back(static_cast<double>(at(spec, results, a, c).disk_accesses) /
+                    1000.0);
+    }
+    t.add_row(spec.algorithms[a].name(), row, 1);
+  }
+  t.print(os);
+
+  os << "\n  of which disk *writes* (thousands)\n";
+  Table w(cache_header(spec));
+  for (std::size_t a = 0; a < spec.algorithms.size(); ++a) {
+    std::vector<double> row;
+    for (std::size_t c = 0; c < spec.cache_sizes.size(); ++c) {
+      row.push_back(static_cast<double>(at(spec, results, a, c).disk_writes) /
+                    1000.0);
+    }
+    w.add_row(spec.algorithms[a].name(), row, 1);
+  }
+  w.print(os);
+}
+
+void print_writes_per_block_table(std::ostream& os, const SweepSpec& spec,
+                                  const std::vector<RunResult>& results) {
+  os << "\nAverage number of times a block is written to disk\n";
+  Table t(cache_header(spec));
+  for (std::size_t a = 0; a < spec.algorithms.size(); ++a) {
+    std::vector<double> row;
+    for (std::size_t c = 0; c < spec.cache_sizes.size(); ++c) {
+      row.push_back(at(spec, results, a, c).writes_per_block);
+    }
+    t.add_row(spec.algorithms[a].name(), row, 2);
+  }
+  t.print(os);
+}
+
+void print_diagnostics(std::ostream& os, const SweepSpec& spec,
+                       const std::vector<RunResult>& results) {
+  os << "\nDiagnostics (at each cache size: hit ratio | prefetched blocks | "
+        "mis-prediction ratio | OBA-fallback share)\n";
+  std::vector<std::string> header;
+  header.push_back("algorithm");
+  for (Bytes c : spec.cache_sizes) {
+    header.push_back(std::to_string(c / (1024 * 1024)) + "MB");
+  }
+  Table t(header);
+  for (std::size_t a = 0; a < spec.algorithms.size(); ++a) {
+    std::vector<std::string> row;
+    row.push_back(spec.algorithms[a].name());
+    for (std::size_t c = 0; c < spec.cache_sizes.size(); ++c) {
+      const RunResult& r = at(spec, results, a, c);
+      row.push_back(fmt_double(r.hit_ratio, 2) + "|" +
+                    std::to_string(r.prefetch_issued / 1000) + "k|" +
+                    fmt_double(r.misprediction_ratio, 2) + "|" +
+                    fmt_double(r.fallback_fraction, 2));
+    }
+    t.add_row(std::move(row));
+  }
+  t.print(os);
+}
+
+void print_run_summary(std::ostream& os, const RunResult& r) {
+  os << r.fs << "/" << r.algorithm << " @ "
+     << r.cache_per_node / (1024 * 1024) << "MB/node: avg read "
+     << fmt_double(r.avg_read_ms, 3) << " ms (p95 "
+     << fmt_double(r.read_p95_ms, 2) << "), hit ratio "
+     << fmt_double(r.hit_ratio, 3) << ", disk accesses " << r.disk_accesses
+     << " (" << r.disk_reads << "r/" << r.disk_writes << "w), prefetched "
+     << r.prefetch_issued << " (mispred " << fmt_double(r.misprediction_ratio, 2)
+     << "), sim time " << fmt_double(r.sim_duration.seconds(), 1) << " s, "
+     << r.events << " events in " << fmt_double(r.wall_seconds, 2) << " s wall\n";
+}
+
+void write_results_csv(std::ostream& os,
+                       const std::vector<RunResult>& results) {
+  os << "fs,algorithm,cache_mb,avg_read_ms,p95_read_ms,hit_ratio,disk_reads,"
+        "disk_writes,disk_accesses,prefetched,fallback,misprediction_ratio,"
+        "writes_per_block,sim_seconds\n";
+  for (const RunResult& r : results) {
+    os << r.fs << ',' << r.algorithm << ',' << r.cache_per_node / (1024 * 1024)
+       << ',' << fmt_double(r.avg_read_ms, 6) << ','
+       << fmt_double(r.read_p95_ms, 6) << ',' << fmt_double(r.hit_ratio, 6)
+       << ',' << r.disk_reads << ',' << r.disk_writes << ',' << r.disk_accesses
+       << ',' << r.prefetch_issued << ',' << r.prefetch_fallback << ','
+       << fmt_double(r.misprediction_ratio, 6) << ','
+       << fmt_double(r.writes_per_block, 6) << ','
+       << fmt_double(r.sim_duration.seconds(), 3) << '\n';
+  }
+}
+
+}  // namespace lap

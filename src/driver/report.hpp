@@ -1,0 +1,47 @@
+// Bench output: every figure/table reproduction prints through these so the
+// whole harness reads uniformly (rows = algorithms, columns = cache sizes,
+// exactly the series the paper plots).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "driver/simulation.hpp"
+#include "driver/sweep.hpp"
+
+namespace lap {
+
+/// Figure banner: what is reproduced, on which machine, from which trace.
+void print_experiment_header(std::ostream& os, const std::string& title,
+                             const MachineConfig& machine, const Trace& trace,
+                             const RunConfig& base);
+
+/// Figures 4-7: average read time (ms) per algorithm and cache size.
+void print_read_time_series(std::ostream& os, const SweepSpec& spec,
+                            const std::vector<RunResult>& results);
+
+/// Figures 8-11: disk accesses per algorithm and cache size (plus the
+/// read/write split the paper discusses).
+void print_disk_access_series(std::ostream& os, const SweepSpec& spec,
+                              const std::vector<RunResult>& results);
+
+/// Table 2: average number of times a block is written to disk.
+void print_writes_per_block_table(std::ostream& os, const SweepSpec& spec,
+                                  const std::vector<RunResult>& results);
+
+/// Supporting diagnostics (hit ratios, prefetch volumes, mis-predictions).
+void print_diagnostics(std::ostream& os, const SweepSpec& spec,
+                       const std::vector<RunResult>& results);
+
+/// One-line summary of a single run (quickstart/example output).
+void print_run_summary(std::ostream& os, const RunResult& r);
+
+/// Machine-readable dump of a sweep: one row per run with every metric,
+/// suitable for gnuplot/pandas.  Columns:
+///   fs,algorithm,cache_mb,avg_read_ms,p95_read_ms,hit_ratio,
+///   disk_reads,disk_writes,disk_accesses,prefetched,fallback,
+///   misprediction_ratio,writes_per_block,sim_seconds
+void write_results_csv(std::ostream& os, const std::vector<RunResult>& results);
+
+}  // namespace lap

@@ -1,0 +1,126 @@
+#include "driver/simulation.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <memory>
+
+#include "disk/disk_array.hpp"
+#include "fs/common/client.hpp"
+#include "fs/common/file_model.hpp"
+#include "fs/pafs/pafs.hpp"
+#include "fs/xfs/xfs.hpp"
+#include "net/network.hpp"
+#include "sim/engine.hpp"
+#include "util/assert.hpp"
+
+namespace lap {
+
+std::string to_string(FsKind kind) {
+  return kind == FsKind::kPafs ? "PAFS" : "xFS";
+}
+
+RunResult run_simulation(const Trace& trace, const RunConfig& cfg) {
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  Engine eng;
+  MachineConfig machine = cfg.machine;
+  machine.net.model_contention = cfg.net_contention;
+  const std::uint32_t nodes = std::max(machine.nodes, trace.node_span());
+
+  Network net(eng, machine.net, nodes);
+  machine.disk.distance_seeks = cfg.distance_seeks;
+  DiskArray disks(eng, machine.disk, machine.disks);
+  FileModel files(trace.block_size);
+  files.load(trace);
+
+  Metrics metrics;
+  metrics.set_warmup_ops(static_cast<std::uint64_t>(
+      static_cast<double>(trace.total_io_ops()) * cfg.warmup_fraction));
+
+  bool stop = false;
+  const std::size_t blocks_per_node = static_cast<std::size_t>(
+      std::max<Bytes>(1, cfg.cache_per_node / machine.block_size));
+
+  std::unique_ptr<FileSystem> fs;
+  if (cfg.fs == FsKind::kPafs) {
+    PafsConfig pcfg;
+    pcfg.cache_blocks_total = blocks_per_node * nodes;
+    pcfg.sync_interval = cfg.sync_interval;
+    pcfg.algorithm = cfg.algorithm;
+    pcfg.prefetch_priority = cfg.prefetch_priority;
+    auto pafs = std::make_unique<Pafs>(eng, net, disks, files, metrics, pcfg,
+                                       nodes, &stop);
+    pafs->start_sync_daemon();
+    fs = std::move(pafs);
+  } else {
+    XfsConfig xcfg;
+    xcfg.cache_blocks_per_node = blocks_per_node;
+    xcfg.sync_interval = cfg.sync_interval;
+    xcfg.algorithm = cfg.algorithm;
+    xcfg.prefetch_priority = cfg.prefetch_priority;
+    auto xfs = std::make_unique<Xfs>(eng, net, disks, files, metrics, xcfg,
+                                     nodes, &stop);
+    xfs->start_sync_daemon();
+    fs = std::move(xfs);
+  }
+
+  if (cfg.algorithm.kind == AlgorithmSpec::Kind::kInformed) {
+    // Disclose every process's future reads up front: the trace itself is
+    // the perfect hint source the informed upper bound assumes.
+    for (const ProcessTrace& proc : trace.processes) {
+      std::unordered_map<std::uint32_t, std::vector<BlockRequest>> per_file;
+      for (const TraceRecord& rec : proc.records) {
+        if (rec.op != TraceOp::kRead) continue;
+        const BlockRange range = files.range(rec.file, rec.offset, rec.length);
+        if (range.count == 0) continue;
+        per_file[raw(rec.file)].push_back(BlockRequest{range.first, range.count});
+      }
+      for (auto& [file, hints] : per_file) {
+        fs->provide_hints(proc.pid, proc.node, FileId{file}, std::move(hints));
+      }
+    }
+  }
+
+  WorkloadRunner runner(eng, *fs, metrics, trace, cfg.cpu_contention);
+  runner.start([&stop] { stop = true; });
+  eng.run();  // drains: daemons and prefetch pumps observe `stop`
+  LAP_ENSURES(runner.live_processes() == 0);
+
+  fs->finalize();
+
+  RunResult r;
+  r.algorithm = cfg.algorithm.name();
+  r.fs = to_string(cfg.fs);
+  r.cache_per_node = cfg.cache_per_node;
+  r.avg_read_ms = metrics.avg_read_ms();
+  r.avg_write_ms = metrics.avg_write_ms();
+  r.reads = metrics.reads();
+  r.writes = metrics.writes();
+  r.disk_reads = metrics.disk_reads();
+  r.disk_writes = metrics.disk_writes();
+  r.disk_accesses = metrics.disk_accesses();
+  r.disk_prefetch_reads = metrics.disk_prefetch_reads();
+  r.writes_per_block = metrics.writes_per_block();
+  r.hit_ratio = metrics.hit_ratio();
+  r.hits_local = metrics.hits_local();
+  r.hits_remote = metrics.hits_remote();
+  r.hits_inflight = metrics.hits_inflight();
+  r.misses = metrics.misses();
+  r.misprediction_ratio = metrics.misprediction_ratio();
+  const PrefetchCounters pc = fs->prefetch_counters_total();
+  r.prefetch_issued = pc.issued;
+  r.prefetch_fallback = pc.fallback_issued;
+  r.fallback_fraction =
+      pc.issued == 0 ? 0.0
+                     : static_cast<double>(pc.fallback_issued) /
+                           static_cast<double>(pc.issued);
+  r.read_p95_ms = metrics.read_histogram().quantile(0.95);
+  r.sim_duration = eng.now();
+  r.events = eng.events_processed();
+  r.wall_seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - wall_start)
+                       .count();
+  return r;
+}
+
+}  // namespace lap

@@ -1,0 +1,47 @@
+#include "driver/sweep.hpp"
+
+#include <atomic>
+#include <future>
+
+#include "util/assert.hpp"
+#include "util/thread_pool.hpp"
+
+namespace lap {
+
+std::vector<Bytes> paper_cache_sizes() {
+  return {1_MiB, 2_MiB, 4_MiB, 8_MiB, 16_MiB};
+}
+
+std::vector<RunResult> run_sweep(
+    const Trace& trace, const RunConfig& base, const SweepSpec& spec,
+    std::size_t threads,
+    const std::function<void(std::size_t, std::size_t)>& on_done) {
+  LAP_EXPECTS(!spec.cache_sizes.empty() && !spec.algorithms.empty());
+  const std::size_t total = spec.cache_sizes.size() * spec.algorithms.size();
+
+  ThreadPool pool(threads);
+  std::atomic<std::size_t> completed{0};
+  std::vector<std::future<RunResult>> futures;
+  futures.reserve(total);
+
+  for (const AlgorithmSpec& algo : spec.algorithms) {
+    for (Bytes cache : spec.cache_sizes) {
+      RunConfig cfg = base;
+      cfg.algorithm = algo;
+      cfg.cache_per_node = cache;
+      futures.push_back(pool.submit([&trace, cfg, &completed, total, &on_done] {
+        RunResult r = run_simulation(trace, cfg);
+        const std::size_t done = completed.fetch_add(1) + 1;
+        if (on_done) on_done(done, total);
+        return r;
+      }));
+    }
+  }
+
+  std::vector<RunResult> results;
+  results.reserve(total);
+  for (auto& f : futures) results.push_back(f.get());
+  return results;
+}
+
+}  // namespace lap

@@ -1,0 +1,32 @@
+// Parameter-sweep harness: runs the (cache size x algorithm) grid of one
+// figure, farming independent simulations out to a thread pool.  Each
+// simulation is single-threaded and deterministic; the trace is shared
+// read-only.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "driver/simulation.hpp"
+#include "trace/trace.hpp"
+
+namespace lap {
+
+struct SweepSpec {
+  std::vector<Bytes> cache_sizes;          // per-node, in bytes
+  std::vector<AlgorithmSpec> algorithms;
+};
+
+/// The paper's x-axis: 1, 2, 4, 8, 16 MB per node.
+[[nodiscard]] std::vector<Bytes> paper_cache_sizes();
+
+/// Run the full grid; results are ordered algorithm-major, cache-minor
+/// (results[a * n_caches + c]).  `on_done(completed, total)` is invoked
+/// after each run for progress reporting (from worker threads; keep it
+/// cheap and thread-safe).
+[[nodiscard]] std::vector<RunResult> run_sweep(
+    const Trace& trace, const RunConfig& base, const SweepSpec& spec,
+    std::size_t threads = 0,
+    const std::function<void(std::size_t, std::size_t)>& on_done = {});
+
+}  // namespace lap

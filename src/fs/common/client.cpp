@@ -1,0 +1,117 @@
+#include "fs/common/client.hpp"
+
+#include <unordered_map>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace lap {
+namespace {
+
+/// Replay one process's records front to back; fulfil `done` at the end.
+/// `cpu` is the node's (shared) processor, or nullptr for the open model.
+SimTask replay(Engine& eng, FileSystem& fs, Metrics& metrics,
+               const ProcessTrace& proc, Resource* cpu,
+               SimPromise<Done> done) {
+  for (const TraceRecord& r : proc.records) {
+    if (r.think > SimTime::zero()) {
+      if (cpu != nullptr) {
+        auto guard = co_await cpu->scoped(prio::kDemand);
+        co_await eng.delay(r.think);
+      } else {
+        co_await eng.delay(r.think);
+      }
+    }
+    switch (r.op) {
+      case TraceOp::kOpen:
+        co_await fs.open(proc.pid, proc.node, r.file);
+        break;
+      case TraceOp::kClose:
+        co_await fs.close(proc.pid, proc.node, r.file);
+        break;
+      case TraceOp::kRead: {
+        metrics.on_io_issued(eng.now());
+        const SimTime t0 = eng.now();
+        co_await fs.read(proc.pid, proc.node, r.file, r.offset, r.length);
+        metrics.on_read_done(eng.now() - t0);
+        break;
+      }
+      case TraceOp::kWrite: {
+        metrics.on_io_issued(eng.now());
+        const SimTime t0 = eng.now();
+        co_await fs.write(proc.pid, proc.node, r.file, r.offset, r.length);
+        metrics.on_write_done(eng.now() - t0);
+        break;
+      }
+      case TraceOp::kDelete:
+        co_await fs.remove(proc.pid, proc.node, r.file);
+        break;
+    }
+  }
+  done.set_value(Done{});
+}
+
+}  // namespace
+
+WorkloadRunner::WorkloadRunner(Engine& eng, FileSystem& fs, Metrics& metrics,
+                               const Trace& trace, bool cpu_contention)
+    : eng_(&eng), fs_(&fs), metrics_(&metrics), trace_(&trace) {
+  if (cpu_contention) {
+    const std::uint32_t nodes = trace.node_span();
+    cpus_.reserve(nodes);
+    for (std::uint32_t i = 0; i < nodes; ++i) {
+      cpus_.push_back(std::make_unique<Resource>(eng));
+    }
+  }
+}
+
+Resource* WorkloadRunner::cpu_for(NodeId node) {
+  if (cpus_.empty()) return nullptr;
+  return cpus_[raw(node)].get();
+}
+
+void WorkloadRunner::start(std::function<void()> on_all_done) {
+  LAP_EXPECTS(live_ == 0);
+  on_all_done_ = std::move(on_all_done);
+  if (trace_->processes.empty()) {
+    if (on_all_done_) on_all_done_();
+    return;
+  }
+  if (trace_->serialize_per_node) {
+    std::unordered_map<std::uint32_t, std::vector<const ProcessTrace*>> by_node;
+    for (const ProcessTrace& p : trace_->processes) {
+      by_node[raw(p.node)].push_back(&p);
+    }
+    live_ = by_node.size();
+    for (auto& [node, procs] : by_node) {
+      run_node_serialized(std::move(procs));
+    }
+  } else {
+    live_ = trace_->processes.size();
+    for (const ProcessTrace& p : trace_->processes) run_process(p);
+  }
+}
+
+SimTask WorkloadRunner::run_process(const ProcessTrace& proc) {
+  SimPromise<Done> done(*eng_);
+  replay(*eng_, *fs_, *metrics_, proc, cpu_for(proc.node), done);
+  co_await done.future();
+  process_finished();
+}
+
+SimTask WorkloadRunner::run_node_serialized(
+    std::vector<const ProcessTrace*> procs) {
+  for (const ProcessTrace* p : procs) {
+    SimPromise<Done> done(*eng_);
+    replay(*eng_, *fs_, *metrics_, *p, cpu_for(p->node), done);
+    co_await done.future();
+  }
+  process_finished();
+}
+
+void WorkloadRunner::process_finished() {
+  LAP_ASSERT(live_ > 0);
+  if (--live_ == 0 && on_all_done_) on_all_done_();
+}
+
+}  // namespace lap

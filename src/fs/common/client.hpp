@@ -1,0 +1,53 @@
+// Closed-loop trace replay.
+//
+// Each traced process becomes a coroutine: it sleeps its record's CPU burst,
+// then performs the file operation and waits for it to complete before
+// moving on.  Faster I/O therefore shortens the application's wall time —
+// the paper's traces work the same way (demand sequences, not timestamps).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "driver/metrics.hpp"
+#include "fs/common/filesystem.hpp"
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+#include "sim/task.hpp"
+#include "trace/trace.hpp"
+
+namespace lap {
+
+class WorkloadRunner {
+ public:
+  /// With `cpu_contention`, each node's processes share one CPU: think
+  /// times occupy it, so co-located processes' compute phases serialise
+  /// (DIMEMAS's short-term scheduling model).  Off by default — the
+  /// paper's workloads run roughly one process per node.
+  WorkloadRunner(Engine& eng, FileSystem& fs, Metrics& metrics,
+                 const Trace& trace, bool cpu_contention = false);
+
+  /// Spawn all client processes.  `on_all_done` fires when the last record
+  /// of the last process has completed.
+  void start(std::function<void()> on_all_done);
+
+  [[nodiscard]] std::uint64_t live_processes() const { return live_; }
+
+ private:
+  SimTask run_process(const ProcessTrace& proc);
+  SimTask run_node_serialized(std::vector<const ProcessTrace*> procs);
+  void process_finished();
+
+  [[nodiscard]] Resource* cpu_for(NodeId node);
+
+  Engine* eng_;
+  FileSystem* fs_;
+  Metrics* metrics_;
+  const Trace* trace_;
+  std::vector<std::unique_ptr<Resource>> cpus_;  // per node; empty when off
+  std::uint64_t live_ = 0;
+  std::function<void()> on_all_done_;
+};
+
+}  // namespace lap

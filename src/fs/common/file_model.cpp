@@ -1,0 +1,50 @@
+#include "fs/common/file_model.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace lap {
+
+FileModel::FileModel(Bytes block_size) : block_size_(block_size) {
+  LAP_EXPECTS(block_size > 0);
+}
+
+void FileModel::load(const Trace& trace) {
+  for (const FileInfo& f : trace.files) add_file(f.id, f.size);
+}
+
+void FileModel::add_file(FileId id, Bytes size) { sizes_[raw(id)] = size; }
+
+bool FileModel::exists(FileId id) const { return sizes_.contains(raw(id)); }
+
+Bytes FileModel::size(FileId id) const {
+  auto it = sizes_.find(raw(id));
+  return it == sizes_.end() ? 0 : it->second;
+}
+
+std::uint32_t FileModel::blocks(FileId id) const {
+  return static_cast<std::uint32_t>((size(id) + block_size_ - 1) / block_size_);
+}
+
+void FileModel::remove(FileId id) { sizes_.erase(raw(id)); }
+
+void FileModel::extend(FileId id, Bytes offset, Bytes len) {
+  auto it = sizes_.find(raw(id));
+  if (it == sizes_.end()) {
+    sizes_[raw(id)] = offset + len;
+    return;
+  }
+  it->second = std::max(it->second, offset + len);
+}
+
+BlockRange FileModel::range(FileId id, Bytes offset, Bytes len) const {
+  const Bytes fsize = size(id);
+  if (offset >= fsize || len == 0) return BlockRange{0, 0};
+  const Bytes end = std::min(offset + len, fsize);
+  const auto first = static_cast<std::uint32_t>(offset / block_size_);
+  const auto last = static_cast<std::uint32_t>((end - 1) / block_size_);
+  return BlockRange{first, last - first + 1};
+}
+
+}  // namespace lap

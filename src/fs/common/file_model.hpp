@@ -1,0 +1,45 @@
+// File metadata: sizes (growable by writes), existence, byte-range to
+// block-range arithmetic.  Shared by both file systems.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "trace/trace.hpp"
+#include "util/units.hpp"
+
+namespace lap {
+
+struct BlockRange {
+  std::uint32_t first = 0;
+  std::uint32_t count = 0;
+};
+
+class FileModel {
+ public:
+  explicit FileModel(Bytes block_size);
+
+  /// Seed from a trace preamble.
+  void load(const Trace& trace);
+
+  void add_file(FileId id, Bytes size);
+  [[nodiscard]] bool exists(FileId id) const;
+  [[nodiscard]] Bytes size(FileId id) const;
+  [[nodiscard]] std::uint32_t blocks(FileId id) const;
+  void remove(FileId id);
+
+  /// Grow the file so [offset, offset+len) is inside it.
+  void extend(FileId id, Bytes offset, Bytes len);
+
+  /// Blocks covered by [offset, offset+len), clipped to the file size.
+  [[nodiscard]] BlockRange range(FileId id, Bytes offset, Bytes len) const;
+
+  [[nodiscard]] Bytes block_size() const { return block_size_; }
+  [[nodiscard]] std::size_t file_count() const { return sizes_.size(); }
+
+ private:
+  Bytes block_size_;
+  std::unordered_map<std::uint32_t, Bytes> sizes_;
+};
+
+}  // namespace lap

@@ -1,0 +1,58 @@
+// The abstract file-system interface the clients replay traces against.
+// PAFS and xFS implement it with their respective cooperative-cache
+// organisations.
+#pragma once
+
+#include <vector>
+
+#include "core/prefetch_manager.hpp"
+#include "trace/patterns.hpp"
+#include "sim/future.hpp"
+#include "util/units.hpp"
+
+namespace lap {
+
+class Metrics;
+
+/// Deterministic file -> node placement (PAFS file servers, xFS managers).
+[[nodiscard]] inline NodeId node_for_file(FileId file, std::uint32_t nodes) {
+  std::uint32_t h = raw(file);
+  h ^= h >> 16;
+  h *= 0x45d9f3bU;
+  h ^= h >> 16;
+  return NodeId{h % nodes};
+}
+
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  [[nodiscard]] virtual SimFuture<Done> open(ProcId pid, NodeId client,
+                                             FileId file) = 0;
+  [[nodiscard]] virtual SimFuture<Done> close(ProcId pid, NodeId client,
+                                              FileId file) = 0;
+  [[nodiscard]] virtual SimFuture<Done> read(ProcId pid, NodeId client,
+                                             FileId file, Bytes offset,
+                                             Bytes length) = 0;
+  [[nodiscard]] virtual SimFuture<Done> write(ProcId pid, NodeId client,
+                                              FileId file, Bytes offset,
+                                              Bytes length) = 0;
+  [[nodiscard]] virtual SimFuture<Done> remove(ProcId pid, NodeId client,
+                                               FileId file) = 0;
+
+  /// End-of-run bookkeeping (e.g. counting prefetched-but-never-used blocks
+  /// still resident as mis-predictions, and accounting the final flush of
+  /// still-dirty buffers).
+  virtual void finalize() = 0;
+
+  /// Aggregate prefetch-issue counters (summed over all prefetch sites).
+  [[nodiscard]] virtual PrefetchCounters prefetch_counters_total() const = 0;
+
+  /// Disclose a process's future reads on a file (informed prefetching).
+  /// Default: ignored.
+  virtual void provide_hints(ProcId /*pid*/, NodeId /*client*/,
+                             FileId /*file*/,
+                             std::vector<BlockRequest> /*hints*/) {}
+};
+
+}  // namespace lap

@@ -1,0 +1,287 @@
+#include "fs/pafs/pafs.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace lap {
+
+Pafs::Pafs(Engine& eng, Network& net, DiskArray& disks, FileModel& files,
+           Metrics& metrics, PafsConfig cfg, std::uint32_t nodes,
+           const bool* stop_flag)
+    : eng_(&eng),
+      net_(&net),
+      disks_(&disks),
+      files_(&files),
+      metrics_(&metrics),
+      cfg_(cfg),
+      nodes_(nodes),
+      stop_flag_(stop_flag),
+      pool_(cfg.cache_blocks_total) {
+  LAP_EXPECTS(nodes >= 1);
+  LAP_EXPECTS(stop_flag != nullptr);
+  server_cpu_.reserve(nodes);
+  for (std::uint32_t i = 0; i < nodes; ++i) {
+    server_cpu_.push_back(std::make_unique<Resource>(eng));
+  }
+  prefetcher_ = std::make_unique<PrefetchManager>(eng, cfg.algorithm, *this,
+                                                  stop_flag);
+  sync_ = std::make_unique<SyncDaemon>(
+      eng, cfg.sync_interval, [this] { flush_tick(); }, stop_flag);
+}
+
+void Pafs::start_sync_daemon() { sync_->start(); }
+
+NodeId Pafs::server_node(FileId file) const {
+  return node_for_file(file, nodes_);
+}
+
+bool Pafs::block_available(BlockKey key) const {
+  return pool_.contains(key) || in_flight_.contains(key);
+}
+
+std::uint32_t Pafs::file_blocks(FileId file) const {
+  return files_->blocks(file);
+}
+
+SimFuture<Done> Pafs::open(ProcId pid, NodeId client, FileId file) {
+  prefetcher_->on_open(pid, client, file);
+  SimPromise<Done> done(*eng_);
+  control_task(client, file, done);
+  return done.future();
+}
+
+SimFuture<Done> Pafs::close(ProcId, NodeId client, FileId file) {
+  SimPromise<Done> done(*eng_);
+  control_task(client, file, done);
+  return done.future();
+}
+
+SimTask Pafs::control_task(NodeId client, FileId file, SimPromise<Done> done) {
+  const NodeId srv = server_node(file);
+  co_await net_->message(client, srv);
+  {
+    auto guard = co_await server_cpu_[raw(srv)]->scoped(prio::kDemand);
+    co_await eng_->delay(cfg_.server_op_cpu);
+  }
+  co_await net_->message(srv, client);
+  done.set_value(Done{});
+}
+
+SimFuture<Done> Pafs::read(ProcId pid, NodeId client, FileId file, Bytes offset,
+                           Bytes length) {
+  SimPromise<Done> done(*eng_);
+  read_task(pid, client, file, offset, length, done);
+  return done.future();
+}
+
+SimTask Pafs::read_task(ProcId pid, NodeId client, FileId file, Bytes offset,
+                        Bytes length, SimPromise<Done> done) {
+  const BlockRange range = files_->range(file, offset, length);
+  if (range.count == 0) {
+    done.set_value(Done{});
+    co_return;
+  }
+  const NodeId srv = server_node(file);
+  co_await net_->message(client, srv);
+  {
+    auto guard = co_await server_cpu_[raw(srv)]->scoped(prio::kDemand);
+    co_await eng_->delay(cfg_.server_op_cpu + cfg_.server_block_cpu * range.count);
+  }
+
+  // Prefetch decisions observe the cache exactly as this request found it,
+  // so the hook runs before the demand fetches are issued.
+  prefetcher_->on_request(pid, client, file, range.first, range.count);
+
+  auto joiner = std::make_shared<Joiner>(*eng_, range.count);
+  for (std::uint32_t i = 0; i < range.count; ++i) {
+    read_block(BlockKey{file, range.first + i}, client, joiner);
+  }
+  co_await joiner->future();
+  co_await net_->message(srv, client);
+  done.set_value(Done{});
+}
+
+SimTask Pafs::read_block(BlockKey key, NodeId client,
+                         std::shared_ptr<Joiner> joiner) {
+  bool classified = false;
+  for (;;) {
+    if (CacheEntry* e = pool_.find(key)) {
+      pool_.touch(key);
+      if (e->prefetched && !e->referenced) metrics_->on_prefetch_first_use();
+      e->referenced = true;
+      if (!classified) {
+        if (e->home == client) {
+          metrics_->on_hit_local();
+        } else {
+          metrics_->on_hit_remote();
+        }
+      }
+      co_await net_->copy(e->home, client, files_->block_size(), prio::kDemand);
+      break;
+    }
+    if (auto it = in_flight_.find(key); it != in_flight_.end()) {
+      if (!classified) metrics_->on_hit_inflight();
+      classified = true;
+      // A demand request never waits at prefetch priority: raise the
+      // queued fetch to demand service.
+      it->second.op.boost(prio::kDemand);
+      auto bc = it->second.bc;  // keep alive across the wait
+      co_await bc->wait();
+      continue;  // usually cached now; re-resolve
+    }
+    // Miss: demand-fetch from disk into a buffer homed at the client.
+    if (!classified) metrics_->on_miss();
+    classified = true;
+    if (!files_->exists(key.file)) break;  // deleted under us
+    auto bc = std::make_shared<Broadcast>(*eng_);
+    DiskOpRef op;
+    auto fetch = disks_->read(key, prio::kDemand, &op);
+    in_flight_.emplace(key, InFlight{bc, op});
+    metrics_->on_disk_read(/*prefetch=*/false);
+    co_await fetch;
+    in_flight_.erase(key);
+    insert_block(key, client, /*dirty=*/false, /*prefetched=*/false);
+    bc->notify_all();
+    co_await net_->copy(client, client, files_->block_size(), prio::kDemand);
+    break;
+  }
+  joiner->arrive();
+}
+
+SimFuture<Done> Pafs::write(ProcId pid, NodeId client, FileId file,
+                            Bytes offset, Bytes length) {
+  SimPromise<Done> done(*eng_);
+  write_task(pid, client, file, offset, length, done);
+  return done.future();
+}
+
+SimTask Pafs::write_task(ProcId pid, NodeId client, FileId file, Bytes offset,
+                         Bytes length, SimPromise<Done> done) {
+  if (!files_->exists(file) || length == 0) {
+    done.set_value(Done{});
+    co_return;
+  }
+  files_->extend(file, offset, length);
+  const BlockRange range = files_->range(file, offset, length);
+  const NodeId srv = server_node(file);
+  co_await net_->message(client, srv);
+  {
+    auto guard = co_await server_cpu_[raw(srv)]->scoped(prio::kDemand);
+    co_await eng_->delay(cfg_.server_op_cpu + cfg_.server_block_cpu * range.count);
+  }
+
+  prefetcher_->on_request(pid, client, file, range.first, range.count);
+
+  // Write-back: data lands in cache buffers (write-allocate, whole-block
+  // writes assumed) and reaches the disk via eviction or the sync daemon.
+  for (std::uint32_t i = 0; i < range.count; ++i) {
+    const BlockKey key{file, range.first + i};
+    if (CacheEntry* e = pool_.find(key)) {
+      pool_.touch(key);
+      e->referenced = true;
+      pool_.mark_dirty(key, eng_->now());
+    } else {
+      insert_block(key, client, /*dirty=*/true, /*prefetched=*/false);
+    }
+  }
+  co_await net_->copy(client, client, range.count * files_->block_size(),
+                      prio::kDemand);
+  co_await net_->message(srv, client);
+  done.set_value(Done{});
+}
+
+SimFuture<Done> Pafs::remove(ProcId, NodeId client, FileId file) {
+  SimPromise<Done> done(*eng_);
+  remove_task(client, file, done);
+  return done.future();
+}
+
+SimTask Pafs::remove_task(NodeId client, FileId file, SimPromise<Done> done) {
+  const NodeId srv = server_node(file);
+  co_await net_->message(client, srv);
+  {
+    auto guard = co_await server_cpu_[raw(srv)]->scoped(prio::kDemand);
+    co_await eng_->delay(cfg_.server_op_cpu);
+  }
+  prefetcher_->on_file_deleted(file);
+  // Dirty buffers of a deleted file never reach the disk — the mechanism
+  // that lets short-lived files vanish without write traffic.
+  for (const CacheEntry& e : pool_.drop_file(file)) {
+    if (e.prefetched && !e.referenced) metrics_->on_prefetch_wasted();
+  }
+  files_->remove(file);
+  co_await net_->message(srv, client);
+  done.set_value(Done{});
+}
+
+SimFuture<Done> Pafs::prefetch_fetch(BlockKey key, NodeId target) {
+  SimPromise<Done> done(*eng_);
+  prefetch_task(key, target, done);
+  return done.future();
+}
+
+SimTask Pafs::prefetch_task(BlockKey key, NodeId target, SimPromise<Done> done) {
+  if (block_available(key) || !files_->exists(key.file)) {
+    done.set_value(Done{});
+    co_return;
+  }
+  auto bc = std::make_shared<Broadcast>(*eng_);
+  DiskOpRef op;
+  auto fetch = disks_->read(key, cfg_.prefetch_priority, &op);
+  in_flight_.emplace(key, InFlight{bc, op});
+  metrics_->on_disk_read(/*prefetch=*/true);
+  co_await fetch;
+  in_flight_.erase(key);
+  insert_block(key, target, /*dirty=*/false, /*prefetched=*/true);
+  metrics_->on_prefetch_arrived();
+  bc->notify_all();
+  done.set_value(Done{});
+}
+
+void Pafs::insert_block(BlockKey key, NodeId home, bool dirty, bool prefetched) {
+  if (!files_->exists(key.file)) return;  // deleted while in flight
+  CacheEntry entry;
+  entry.key = key;
+  entry.home = home;
+  entry.dirty = dirty;
+  entry.prefetched = prefetched;
+  entry.referenced = false;
+  entry.dirty_since = eng_->now();
+  if (auto victim = pool_.insert(entry)) handle_eviction(*victim);
+}
+
+void Pafs::handle_eviction(const CacheEntry& victim) {
+  if (victim.prefetched && !victim.referenced) metrics_->on_prefetch_wasted();
+  if (victim.dirty) {
+    metrics_->on_disk_write(victim.key);
+    (void)disks_->write(victim.key, prio::kSync);
+  }
+}
+
+void Pafs::provide_hints(ProcId pid, NodeId, FileId file,
+                         std::vector<BlockRequest> hints) {
+  prefetcher_->provide_hints(pid, file, std::move(hints));
+}
+
+void Pafs::flush_tick() {
+  std::vector<BlockKey> dirty;
+  dirty.reserve(pool_.dirty_count());
+  pool_.for_each_dirty([&](const CacheEntry& e) { dirty.push_back(e.key); });
+  for (const BlockKey& key : dirty) {
+    pool_.mark_clean(key);
+    metrics_->on_disk_write(key);
+    (void)disks_->write(key, prio::kSync);
+  }
+}
+
+void Pafs::finalize() {
+  pool_.for_each([&](const CacheEntry& e) {
+    if (e.prefetched && !e.referenced) metrics_->on_prefetch_wasted();
+    // Shutdown flush: dirty buffers that survived to the end of the run
+    // would be written once by the final sync; account for them.
+    if (e.dirty) metrics_->on_disk_write(e.key);
+  });
+}
+
+}  // namespace lap

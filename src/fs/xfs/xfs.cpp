@@ -1,0 +1,502 @@
+#include "fs/xfs/xfs.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace lap {
+
+// Per-node view handed to that node's PrefetchManager.  Availability is
+// deliberately *local*: a copy cached at a peer does not stop this node
+// from prefetching its own — which is exactly why the paper observed xFS
+// prefetching about twice as many blocks as PAFS on shared files.
+struct Xfs::NodeHost final : PrefetchHost {
+  Xfs* fs;
+  NodeId node;
+
+  NodeHost(Xfs* f, NodeId n) : fs(f), node(n) {}
+
+  [[nodiscard]] bool block_available(BlockKey key) const override {
+    return fs->local_available(node, key);
+  }
+  SimFuture<Done> prefetch_fetch(BlockKey key, NodeId) override {
+    return fs->prefetch_fetch(node, key);
+  }
+  [[nodiscard]] std::uint32_t file_blocks(FileId file) const override {
+    return fs->files_->blocks(file);
+  }
+};
+
+Xfs::Xfs(Engine& eng, Network& net, DiskArray& disks, FileModel& files,
+         Metrics& metrics, XfsConfig cfg, std::uint32_t nodes,
+         const bool* stop_flag)
+    : eng_(&eng),
+      net_(&net),
+      disks_(&disks),
+      files_(&files),
+      metrics_(&metrics),
+      cfg_(cfg),
+      nodes_(nodes),
+      stop_flag_(stop_flag),
+      rng_(cfg.seed) {
+  LAP_EXPECTS(nodes >= 1);
+  LAP_EXPECTS(stop_flag != nullptr);
+  LAP_EXPECTS(cfg.cache_blocks_per_node >= 1);
+  node_.resize(nodes);
+  for (std::uint32_t i = 0; i < nodes; ++i) {
+    NodeState& ns = node_[i];
+    ns.pool = std::make_unique<BufferPool>(cfg.cache_blocks_per_node);
+    ns.host = std::make_unique<NodeHost>(this, NodeId{i});
+    ns.prefetcher = std::make_unique<PrefetchManager>(eng, cfg.algorithm,
+                                                      *ns.host, stop_flag);
+    ns.cpu = std::make_unique<Resource>(eng);
+  }
+  sync_ = std::make_unique<SyncDaemon>(
+      eng, cfg.sync_interval, [this] { flush_tick(); }, stop_flag);
+}
+
+Xfs::~Xfs() = default;
+
+void Xfs::start_sync_daemon() { sync_->start(); }
+
+NodeId Xfs::manager_node(FileId file) const {
+  return node_for_file(file, nodes_);
+}
+
+PrefetchCounters Xfs::prefetch_counters_total() const {
+  PrefetchCounters total;
+  for (const NodeState& ns : node_) {
+    const PrefetchCounters& c = ns.prefetcher->counters();
+    total.issued += c.issued;
+    total.fallback_issued += c.fallback_issued;
+    total.retargets += c.retargets;
+    total.streams_started += c.streams_started;
+  }
+  return total;
+}
+
+const BufferPool& Xfs::pool(NodeId node) const {
+  return *node_[raw(node)].pool;
+}
+
+bool Xfs::local_available(NodeId node, BlockKey key) const {
+  const NodeState& ns = node_[raw(node)];
+  return ns.pool->contains(key) || ns.in_flight.contains(key);
+}
+
+std::vector<NodeId>* Xfs::holders(BlockKey key) {
+  auto fit = dir_.find(raw(key.file));
+  if (fit == dir_.end()) return nullptr;
+  auto bit = fit->second.find(key.index);
+  if (bit == fit->second.end()) return nullptr;
+  return &bit->second;
+}
+
+void Xfs::dir_add(BlockKey key, NodeId node) {
+  auto& list = dir_[raw(key.file)][key.index];
+  if (std::find(list.begin(), list.end(), node) == list.end()) {
+    list.push_back(node);  // back = most recent holder
+  }
+}
+
+void Xfs::dir_remove(BlockKey key, NodeId node) {
+  auto fit = dir_.find(raw(key.file));
+  if (fit == dir_.end()) return;
+  auto bit = fit->second.find(key.index);
+  if (bit == fit->second.end()) return;
+  std::erase(bit->second, node);
+  if (bit->second.empty()) fit->second.erase(bit);
+  if (fit->second.empty()) dir_.erase(fit);
+}
+
+void Xfs::dir_drop_file(FileId file) { dir_.erase(raw(file)); }
+
+SimFuture<Done> Xfs::open(ProcId pid, NodeId client, FileId file) {
+  node_[raw(client)].prefetcher->on_open(pid, client, file);
+  SimPromise<Done> done(*eng_);
+  control_task(client, file, done);
+  return done.future();
+}
+
+SimFuture<Done> Xfs::close(ProcId, NodeId client, FileId file) {
+  SimPromise<Done> done(*eng_);
+  control_task(client, file, done);
+  return done.future();
+}
+
+SimTask Xfs::control_task(NodeId client, FileId file, SimPromise<Done> done) {
+  const NodeId mgr = manager_node(file);
+  co_await net_->message(client, mgr);
+  {
+    auto guard = co_await node_[raw(mgr)].cpu->scoped(prio::kDemand);
+    co_await eng_->delay(cfg_.manager_op_cpu);
+  }
+  co_await net_->message(mgr, client);
+  done.set_value(Done{});
+}
+
+SimFuture<Done> Xfs::read(ProcId pid, NodeId client, FileId file, Bytes offset,
+                          Bytes length) {
+  SimPromise<Done> done(*eng_);
+  read_task(pid, client, file, offset, length, done);
+  return done.future();
+}
+
+SimTask Xfs::read_task(ProcId pid, NodeId client, FileId file, Bytes offset,
+                       Bytes length, SimPromise<Done> done) {
+  const BlockRange range = files_->range(file, offset, length);
+  if (range.count == 0) {
+    done.set_value(Done{});
+    co_return;
+  }
+  co_await eng_->delay(cfg_.local_op_cpu);
+  node_[raw(client)].prefetcher->on_request(pid, client, file, range.first,
+                                            range.count);
+  auto joiner = std::make_shared<Joiner>(*eng_, range.count);
+  for (std::uint32_t i = 0; i < range.count; ++i) {
+    read_block(client, BlockKey{file, range.first + i}, joiner);
+  }
+  co_await joiner->future();
+  done.set_value(Done{});
+}
+
+SimTask Xfs::read_block(NodeId client, BlockKey key,
+                        std::shared_ptr<Joiner> joiner) {
+  NodeState& ns = node_[raw(client)];
+  bool classified = false;
+  for (;;) {
+    if (CacheEntry* e = ns.pool->find(key)) {
+      ns.pool->touch(key);
+      if (e->prefetched && !e->referenced) metrics_->on_prefetch_first_use();
+      e->referenced = true;
+      if (!classified) metrics_->on_hit_local();
+      co_await net_->copy(client, client, files_->block_size(), prio::kDemand);
+      break;
+    }
+    if (auto it = ns.in_flight.find(key); it != ns.in_flight.end()) {
+      if (!classified) metrics_->on_hit_inflight();
+      classified = true;
+      // Never wait at prefetch priority for a demanded block.
+      it->second.op.boost(prio::kDemand);
+      auto bc = it->second.bc;
+      co_await bc->wait();
+      continue;
+    }
+    if (!files_->exists(key.file)) break;
+
+    auto bc = std::make_shared<Broadcast>(*eng_);
+    ns.in_flight.emplace(key, InFlight{bc, DiskOpRef{}});
+
+    const NodeId mgr = manager_node(key.file);
+    co_await net_->message(client, mgr);
+    {
+      auto guard = co_await node_[raw(mgr)].cpu->scoped(prio::kDemand);
+      co_await eng_->delay(cfg_.manager_op_cpu);
+    }
+
+    // Pick the most recent peer holding the block (never ourselves: local
+    // lookup already failed).
+    NodeId peer{};
+    bool have_peer = false;
+    if (std::vector<NodeId>* h = holders(key)) {
+      for (auto it = h->rbegin(); it != h->rend(); ++it) {
+        if (*it != client) {
+          peer = *it;
+          have_peer = true;
+          break;
+        }
+      }
+    }
+
+    if (have_peer) {
+      if (!classified) metrics_->on_hit_remote();
+      classified = true;
+      co_await net_->message(mgr, peer);
+      co_await net_->copy(peer, client, files_->block_size(), prio::kDemand);
+    } else {
+      if (!classified) metrics_->on_miss();
+      classified = true;
+      metrics_->on_disk_read(/*prefetch=*/false);
+      DiskOpRef op;
+      auto fetch = disks_->read(key, prio::kDemand, &op);
+      if (auto fit = ns.in_flight.find(key); fit != ns.in_flight.end()) {
+        fit->second.op = op;
+      }
+      co_await fetch;
+    }
+
+    CacheEntry entry;
+    entry.key = key;
+    entry.home = client;
+    entry.dirty_since = eng_->now();
+    insert_at(client, entry);
+    dir_add(key, client);
+    ns.in_flight.erase(key);
+    bc->notify_all();
+    co_await net_->copy(client, client, files_->block_size(), prio::kDemand);
+    break;
+  }
+  joiner->arrive();
+}
+
+SimFuture<Done> Xfs::write(ProcId pid, NodeId client, FileId file, Bytes offset,
+                           Bytes length) {
+  SimPromise<Done> done(*eng_);
+  write_task(pid, client, file, offset, length, done);
+  return done.future();
+}
+
+SimTask Xfs::write_task(ProcId pid, NodeId client, FileId file, Bytes offset,
+                        Bytes length, SimPromise<Done> done) {
+  if (!files_->exists(file) || length == 0) {
+    done.set_value(Done{});
+    co_return;
+  }
+  files_->extend(file, offset, length);
+  const BlockRange range = files_->range(file, offset, length);
+  co_await eng_->delay(cfg_.local_op_cpu);
+  NodeState& ns = node_[raw(client)];
+  ns.prefetcher->on_request(pid, client, file, range.first, range.count);
+
+  bool invalidated_any = false;
+  for (std::uint32_t i = 0; i < range.count; ++i) {
+    const BlockKey key{file, range.first + i};
+    if (CacheEntry* e = ns.pool->find(key)) {
+      ns.pool->touch(key);
+      e->referenced = true;
+      ns.pool->mark_dirty(key, eng_->now());
+    } else {
+      CacheEntry entry;
+      entry.key = key;
+      entry.home = client;
+      entry.dirty = true;
+      entry.dirty_since = eng_->now();
+      insert_at(client, entry);
+    }
+    dir_add(key, client);
+    // Writer invalidates every other replica (single-writer consistency).
+    if (std::vector<NodeId>* h = holders(key)) {
+      const std::vector<NodeId> copy = *h;
+      for (NodeId other : copy) {
+        if (other == client) continue;
+        invalidated_any = true;
+        if (auto victim = node_[raw(other)].pool->erase(key)) {
+          if (victim->prefetched && !victim->referenced) {
+            metrics_->on_prefetch_wasted();
+          }
+          // An invalidated dirty replica cannot exist under single-writer
+          // semantics, but stay safe and flush it if it does.
+          if (victim->dirty) {
+            metrics_->on_disk_write(key);
+            (void)disks_->write(key, prio::kSync);
+          }
+        }
+        dir_remove(key, other);
+      }
+    }
+  }
+  if (invalidated_any) {
+    const NodeId mgr = manager_node(file);
+    co_await net_->message(client, mgr);
+    {
+      auto guard = co_await node_[raw(mgr)].cpu->scoped(prio::kDemand);
+      co_await eng_->delay(cfg_.manager_op_cpu);
+    }
+  }
+  co_await net_->copy(client, client, range.count * files_->block_size(),
+                      prio::kDemand);
+  done.set_value(Done{});
+}
+
+SimFuture<Done> Xfs::remove(ProcId, NodeId client, FileId file) {
+  SimPromise<Done> done(*eng_);
+  remove_task(client, file, done);
+  return done.future();
+}
+
+SimTask Xfs::remove_task(NodeId client, FileId file, SimPromise<Done> done) {
+  const NodeId mgr = manager_node(file);
+  co_await net_->message(client, mgr);
+  {
+    auto guard = co_await node_[raw(mgr)].cpu->scoped(prio::kDemand);
+    co_await eng_->delay(cfg_.manager_op_cpu);
+  }
+  for (NodeState& ns : node_) {
+    ns.prefetcher->on_file_deleted(file);
+    for (const CacheEntry& e : ns.pool->drop_file(file)) {
+      if (e.prefetched && !e.referenced) metrics_->on_prefetch_wasted();
+    }
+  }
+  dir_drop_file(file);
+  files_->remove(file);
+  co_await net_->message(mgr, client);
+  done.set_value(Done{});
+}
+
+SimFuture<Done> Xfs::prefetch_fetch(NodeId node, BlockKey key) {
+  SimPromise<Done> done(*eng_);
+  prefetch_task(node, key, done);
+  return done.future();
+}
+
+SimTask Xfs::prefetch_task(NodeId node, BlockKey key, SimPromise<Done> done) {
+  if (local_available(node, key) || !files_->exists(key.file)) {
+    done.set_value(Done{});
+    co_return;
+  }
+  NodeState& ns = node_[raw(node)];
+  auto bc = std::make_shared<Broadcast>(*eng_);
+  ns.in_flight.emplace(key, InFlight{bc, DiskOpRef{}});
+
+  // Like any miss, a prefetch goes through the manager: if a peer already
+  // caches the block it is copied over the network instead of re-read from
+  // disk — several nodes prefetching the same (shared) file cost network
+  // transfers, not duplicate disk accesses.
+  const NodeId mgr = manager_node(key.file);
+  co_await net_->message(node, mgr);
+  {
+    auto guard = co_await node_[raw(mgr)].cpu->scoped(prio::kPrefetch);
+    co_await eng_->delay(cfg_.manager_op_cpu);
+  }
+  NodeId peer{};
+  bool have_peer = false;
+  if (std::vector<NodeId>* h = holders(key)) {
+    for (auto it = h->rbegin(); it != h->rend(); ++it) {
+      if (*it != node) {
+        peer = *it;
+        have_peer = true;
+        break;
+      }
+    }
+  }
+  if (have_peer) {
+    co_await net_->message(mgr, peer);
+    co_await net_->copy(peer, node, files_->block_size(), prio::kPrefetch);
+  } else {
+    metrics_->on_disk_read(/*prefetch=*/true);
+    DiskOpRef op;
+    auto fetch = disks_->read(key, cfg_.prefetch_priority, &op);
+    if (auto fit = ns.in_flight.find(key); fit != ns.in_flight.end()) {
+      fit->second.op = op;
+    }
+    co_await fetch;
+  }
+  ns.in_flight.erase(key);
+  CacheEntry entry;
+  entry.key = key;
+  entry.home = node;
+  entry.prefetched = true;
+  entry.dirty_since = eng_->now();
+  insert_at(node, entry);
+  dir_add(key, node);
+  metrics_->on_prefetch_arrived();
+  bc->notify_all();
+  done.set_value(Done{});
+}
+
+SimTask Xfs::forward_task(NodeId from, NodeId to, CacheEntry victim) {
+  co_await net_->copy(from, to, files_->block_size(), prio::kSync);
+  if (!files_->exists(victim.key.file)) {
+    if (victim.prefetched && !victim.referenced) metrics_->on_prefetch_wasted();
+    co_return;
+  }
+  victim.home = to;
+  ++victim.recirculation;
+  insert_at(to, victim);
+  dir_add(victim.key, to);
+}
+
+void Xfs::insert_at(NodeId node, const CacheEntry& entry) {
+  if (!files_->exists(entry.key.file)) return;
+  if (auto victim = node_[raw(node)].pool->insert(entry)) {
+    handle_eviction(node, *victim);
+  }
+}
+
+void Xfs::handle_eviction(NodeId node, const CacheEntry& victim) {
+  dir_remove(victim.key, node);
+  if (victim.dirty) {
+    if (victim.prefetched && !victim.referenced) metrics_->on_prefetch_wasted();
+    metrics_->on_disk_write(victim.key);
+    (void)disks_->write(victim.key, prio::kSync);
+    return;
+  }
+  // N-chance: give the last copy of a block another life on a random peer.
+  // A forwarded block stays in the cooperative cache, so it is not (yet)
+  // counted as a wasted prefetch.
+  if (nodes_ >= 2 && victim.recirculation < cfg_.nchance_recirculation &&
+      files_->exists(victim.key.file)) {
+    std::vector<NodeId>* h = holders(victim.key);
+    if (h == nullptr || h->empty()) {  // last copy: forward it
+      NodeId peer{static_cast<std::uint32_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(nodes_) - 2))};
+      if (raw(peer) >= raw(node)) peer = NodeId{raw(peer) + 1};
+      forward_task(node, peer, victim);
+      return;
+    }
+  }
+  if (victim.prefetched && !victim.referenced) metrics_->on_prefetch_wasted();
+}
+
+void Xfs::provide_hints(ProcId pid, NodeId client, FileId file,
+                        std::vector<BlockRequest> hints) {
+  node_[raw(client)].prefetcher->provide_hints(pid, file, std::move(hints));
+}
+
+void Xfs::flush_tick() {
+  for (std::uint32_t n = 0; n < nodes_; ++n) {
+    BufferPool& pool = *node_[n].pool;
+    std::vector<BlockKey> dirty;
+    dirty.reserve(pool.dirty_count());
+    pool.for_each_dirty([&](const CacheEntry& e) { dirty.push_back(e.key); });
+    for (const BlockKey& key : dirty) {
+      pool.mark_clean(key);
+      metrics_->on_disk_write(key);
+      (void)disks_->write(key, prio::kSync);
+    }
+  }
+}
+
+bool Xfs::directory_consistent() const {
+  for (std::uint32_t n = 0; n < nodes_; ++n) {
+    bool ok = true;
+    node_[n].pool->for_each([&](const CacheEntry& e) {
+      auto fit = dir_.find(raw(e.key.file));
+      if (fit == dir_.end()) {
+        ok = false;
+        return;
+      }
+      auto bit = fit->second.find(e.key.index);
+      if (bit == fit->second.end() ||
+          std::find(bit->second.begin(), bit->second.end(), NodeId{n}) ==
+              bit->second.end()) {
+        ok = false;
+      }
+    });
+    if (!ok) return false;
+  }
+  // And the reverse: directory entries point at nodes that hold the block.
+  for (const auto& [file, blocks] : dir_) {
+    for (const auto& [index, holders] : blocks) {
+      for (NodeId holder : holders) {
+        if (raw(holder) >= nodes_) return false;
+        if (!node_[raw(holder)].pool->contains(
+                BlockKey{FileId{file}, index})) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+void Xfs::finalize() {
+  for (const NodeState& ns : node_) {
+    ns.pool->for_each([&](const CacheEntry& e) {
+      if (e.prefetched && !e.referenced) metrics_->on_prefetch_wasted();
+      if (e.dirty) metrics_->on_disk_write(e.key);
+    });
+  }
+}
+
+}  // namespace lap

@@ -1,0 +1,131 @@
+// xFS behavioural model.
+//
+// Serverless organisation: every node keeps its own cache and makes its own
+// decisions; a per-file manager (files hashed over the nodes) keeps the
+// directory of which nodes hold which blocks.  A local miss asks the
+// manager, which forwards the request to a caching peer (remote-client hit)
+// or lets the client read the disk.  Blocks are *replicated* — every
+// reading node keeps its own copy — and replacement is per-node LRU with
+// N-chance forwarding of singlets.
+//
+// Prefetching is therefore per node: each node runs its own PrefetchManager
+// over the requests it sees locally, so the linear limitation holds per
+// node and file only — several nodes may prefetch the same file in
+// parallel, the paper's "not really linear" xFS implementation.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/block_store.hpp"
+#include "cache/sync_daemon.hpp"
+#include "core/prefetch_manager.hpp"
+#include "disk/disk_array.hpp"
+#include "driver/metrics.hpp"
+#include "fs/common/file_model.hpp"
+#include "fs/common/filesystem.hpp"
+#include "net/network.hpp"
+#include "sim/resource.hpp"
+#include "util/rng.hpp"
+
+namespace lap {
+
+struct XfsConfig {
+  std::size_t cache_blocks_per_node = 0;
+  SimTime manager_op_cpu = SimTime::us(2);
+  SimTime local_op_cpu = SimTime::us(1);
+  SimTime sync_interval = SimTime::sec(2);
+  AlgorithmSpec algorithm;
+  std::uint32_t nchance_recirculation = 2;
+  int prefetch_priority = prio::kPrefetch;  // see PafsConfig
+  std::uint64_t seed = 7;  // random peer choice for N-chance forwarding
+};
+
+class Xfs final : public FileSystem {
+ public:
+  Xfs(Engine& eng, Network& net, DiskArray& disks, FileModel& files,
+      Metrics& metrics, XfsConfig cfg, std::uint32_t nodes,
+      const bool* stop_flag);
+  ~Xfs() override;
+
+  // --- FileSystem ---
+  SimFuture<Done> open(ProcId pid, NodeId client, FileId file) override;
+  SimFuture<Done> close(ProcId pid, NodeId client, FileId file) override;
+  SimFuture<Done> read(ProcId pid, NodeId client, FileId file, Bytes offset,
+                       Bytes length) override;
+  SimFuture<Done> write(ProcId pid, NodeId client, FileId file, Bytes offset,
+                        Bytes length) override;
+  SimFuture<Done> remove(ProcId pid, NodeId client, FileId file) override;
+  void finalize() override;
+  void provide_hints(ProcId pid, NodeId client, FileId file,
+                     std::vector<BlockRequest> hints) override;
+
+  [[nodiscard]] NodeId manager_node(FileId file) const;
+
+  /// Sum of all node prefetchers' counters.
+  [[nodiscard]] PrefetchCounters prefetch_counters_total() const override;
+  [[nodiscard]] const BufferPool& pool(NodeId node) const;
+
+  void start_sync_daemon();
+
+  /// Debug invariant (tests): every cached block is registered in the
+  /// block directory under its node.  Call only when the engine is idle
+  /// (N-chance forwards in flight are legitimately unregistered).
+  [[nodiscard]] bool directory_consistent() const;
+
+ private:
+  struct NodeHost;
+  struct InFlight {
+    std::shared_ptr<Broadcast> bc;
+    DiskOpRef op;  // boostable while queued
+  };
+  struct NodeState {
+    std::unique_ptr<BufferPool> pool;
+    std::unordered_map<BlockKey, InFlight, BlockKeyHash> in_flight;
+    std::unique_ptr<NodeHost> host;
+    std::unique_ptr<PrefetchManager> prefetcher;
+    std::unique_ptr<Resource> cpu;  // manager service on this node
+  };
+
+  [[nodiscard]] bool local_available(NodeId node, BlockKey key) const;
+  [[nodiscard]] std::vector<NodeId>* holders(BlockKey key);
+  void dir_add(BlockKey key, NodeId node);
+  void dir_remove(BlockKey key, NodeId node);
+  void dir_drop_file(FileId file);
+
+  SimTask read_task(ProcId pid, NodeId client, FileId file, Bytes offset,
+                    Bytes length, SimPromise<Done> done);
+  SimTask write_task(ProcId pid, NodeId client, FileId file, Bytes offset,
+                     Bytes length, SimPromise<Done> done);
+  SimTask remove_task(NodeId client, FileId file, SimPromise<Done> done);
+  SimTask control_task(NodeId client, FileId file, SimPromise<Done> done);
+  SimTask read_block(NodeId client, BlockKey key,
+                     std::shared_ptr<Joiner> joiner);
+  SimFuture<Done> prefetch_fetch(NodeId node, BlockKey key);
+  SimTask prefetch_task(NodeId node, BlockKey key, SimPromise<Done> done);
+  SimTask forward_task(NodeId from, NodeId to, CacheEntry victim);
+
+  void insert_at(NodeId node, const CacheEntry& entry);
+  void handle_eviction(NodeId node, const CacheEntry& victim);
+  void flush_tick();
+
+  Engine* eng_;
+  Network* net_;
+  DiskArray* disks_;
+  FileModel* files_;
+  Metrics* metrics_;
+  XfsConfig cfg_;
+  std::uint32_t nodes_;
+  const bool* stop_flag_;
+  Rng rng_;
+
+  std::vector<NodeState> node_;
+  // file -> block index -> caching nodes
+  std::unordered_map<std::uint32_t,
+                     std::unordered_map<std::uint32_t, std::vector<NodeId>>>
+      dir_;
+  std::unique_ptr<SyncDaemon> sync_;
+};
+
+}  // namespace lap

@@ -1,0 +1,59 @@
+#include "net/network.hpp"
+
+namespace lap {
+
+Network::Network(Engine& eng, NetConfig cfg, std::uint32_t nodes)
+    : eng_(&eng), cfg_(cfg) {
+  LAP_EXPECTS(nodes >= 1);
+  if (cfg_.model_contention) {
+    nics_.reserve(nodes);
+    for (std::uint32_t i = 0; i < nodes; ++i) {
+      nics_.push_back(std::make_unique<Resource>(eng));
+    }
+  }
+}
+
+SimTime Network::message_latency(NodeId src, NodeId dst) const {
+  return src == dst ? cfg_.local_port_startup : cfg_.remote_port_startup;
+}
+
+SimTime Network::copy_latency(NodeId src, NodeId dst, Bytes n) const {
+  if (src == dst) {
+    return cfg_.local_copy_startup + cfg_.memory_bw.transfer_time(n);
+  }
+  return cfg_.remote_copy_startup + cfg_.network_bw.transfer_time(n);
+}
+
+SimFuture<Done> Network::message(NodeId src, NodeId dst) {
+  ++stats_.messages;
+  SimPromise<Done> done(*eng_);
+  // Control messages are short; they are charged latency but do not occupy
+  // the NIC (matching DIMEMAS, where the startup is CPU activity).
+  eng_->schedule_in(message_latency(src, dst),
+                    [done] { done.set_value(Done{}); });
+  return done.future();
+}
+
+SimFuture<Done> Network::copy(NodeId src, NodeId dst, Bytes n, int priority) {
+  ++stats_.transfers;
+  stats_.bytes_moved += n;
+  SimPromise<Done> done(*eng_);
+  const SimTime duration = copy_latency(src, dst, n);
+  const bool remote = src != dst;
+  if (cfg_.model_contention && remote) {
+    run_transfer(src, duration, priority, done, remote);
+  } else {
+    eng_->schedule_in(duration, [done] { done.set_value(Done{}); });
+  }
+  return done.future();
+}
+
+SimTask Network::run_transfer(NodeId src, SimTime duration, int priority,
+                              SimPromise<Done> done, bool /*remote*/) {
+  Resource& nic = *nics_[raw(src)];
+  auto guard = co_await nic.scoped(priority);
+  co_await eng_->delay(duration);
+  done.set_value(Done{});
+}
+
+}  // namespace lap

@@ -1,0 +1,71 @@
+// DIMEMAS-style communication model.
+//
+// Every transfer costs a startup (different for intra-node and inter-node
+// communication) plus a size-proportional term.  Block payload movement
+// between two nodes' memories uses the memory-copy startups and the memory
+// or interconnect bandwidth, exactly as Table 1 of the paper parameterises
+// it.  Optionally, each node's NIC serialises its outgoing remote
+// transfers, which produces contention under bursty traffic.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/future.hpp"
+#include "sim/resource.hpp"
+#include "sim/task.hpp"
+#include "util/units.hpp"
+
+namespace lap {
+
+struct NetConfig {
+  SimTime local_port_startup;   // control message, same node
+  SimTime remote_port_startup;  // control message, across the network
+  SimTime local_copy_startup;   // data copy within a node
+  SimTime remote_copy_startup;  // data copy between nodes
+  Bandwidth memory_bw;          // intra-node copy bandwidth
+  Bandwidth network_bw;         // interconnect bandwidth
+  bool model_contention = true;  // serialise each node's outgoing transfers
+};
+
+struct NetStats {
+  std::uint64_t messages = 0;
+  std::uint64_t transfers = 0;
+  std::uint64_t bytes_moved = 0;
+};
+
+class Network {
+ public:
+  Network(Engine& eng, NetConfig cfg, std::uint32_t nodes);
+
+  /// Closed-form latency of a control message src -> dst (startup only;
+  /// control payloads are negligible next to 8 KB blocks).
+  [[nodiscard]] SimTime message_latency(NodeId src, NodeId dst) const;
+
+  /// Closed-form latency of moving `n` payload bytes src -> dst.
+  [[nodiscard]] SimTime copy_latency(NodeId src, NodeId dst, Bytes n) const;
+
+  /// Send a control message; resolves after the modelled latency (and NIC
+  /// queueing when contention is enabled).
+  [[nodiscard]] SimFuture<Done> message(NodeId src, NodeId dst);
+
+  /// Move `n` payload bytes from src's memory to dst's memory.
+  [[nodiscard]] SimFuture<Done> copy(NodeId src, NodeId dst, Bytes n,
+                                     int priority = prio::kDemand);
+
+  [[nodiscard]] const NetStats& stats() const { return stats_; }
+  [[nodiscard]] const NetConfig& config() const { return cfg_; }
+
+ private:
+  SimTask run_transfer(NodeId src, SimTime duration, int priority,
+                       SimPromise<Done> done, bool remote);
+
+  Engine* eng_;
+  NetConfig cfg_;
+  std::vector<std::unique_ptr<Resource>> nics_;  // one per node
+  NetStats stats_;
+};
+
+}  // namespace lap

@@ -1,0 +1,33 @@
+#include "sim/engine.hpp"
+
+#include <utility>
+
+namespace lap {
+
+void Engine::schedule_at(SimTime at, std::function<void()> fn) {
+  LAP_EXPECTS(at >= now_);
+  queue_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+std::uint64_t Engine::run() { return run_until(SimTime::max()); }
+
+std::uint64_t Engine::run_until(SimTime horizon) {
+  std::uint64_t count = 0;
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (top.at > horizon) break;
+    // Move the closure out before popping: the callback may schedule new
+    // events, which can reallocate the heap's storage.
+    auto fn = std::move(const_cast<Event&>(top).fn);
+    now_ = top.at;
+    queue_.pop();
+    fn();
+    ++count;
+    ++processed_;
+  }
+  // Everything still queued lies past the horizon: the clock has reached it.
+  if (horizon != SimTime::max() && now_ < horizon) now_ = horizon;
+  return count;
+}
+
+}  // namespace lap

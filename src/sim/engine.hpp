@@ -1,0 +1,83 @@
+// Discrete-event simulation engine.
+//
+// The engine owns a time-ordered event queue.  Events at equal timestamps
+// fire in scheduling order (a strictly increasing sequence number breaks
+// ties), which makes runs fully deterministic.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/units.hpp"
+
+namespace lap {
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedule `fn` to run at absolute simulated time `at` (>= now).
+  void schedule_at(SimTime at, std::function<void()> fn);
+
+  /// Schedule `fn` to run `delay` from now.
+  void schedule_in(SimTime delay, std::function<void()> fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Awaitable: suspend the current coroutine for `d` simulated time.
+  ///
+  ///   co_await engine.delay(SimTime::ms(5));
+  [[nodiscard]] auto delay(SimTime d) {
+    struct Awaiter {
+      Engine* eng;
+      SimTime d;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        eng->schedule_in(d, [h] { h.resume(); });
+      }
+      void await_resume() const noexcept {}
+    };
+    LAP_EXPECTS(d >= SimTime::zero());
+    return Awaiter{this, d};
+  }
+
+  /// Run until the event queue drains.  Returns the number of events
+  /// processed by this call.
+  std::uint64_t run();
+
+  /// Run until the queue drains or simulated time would exceed `horizon`.
+  /// Events past the horizon stay queued.
+  std::uint64_t run_until(SimTime horizon);
+
+  [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace lap

@@ -1,0 +1,137 @@
+// One-shot futures and broadcast conditions for coroutine rendezvous.
+//
+// SimPromise/SimFuture implement a single-producer, single-waiter
+// request/response channel (e.g. a client awaiting a server's reply).
+// Broadcast implements a multi-waiter condition (e.g. several readers
+// awaiting the same in-flight disk block).
+#pragma once
+
+#include <coroutine>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "util/assert.hpp"
+
+namespace lap {
+
+template <typename T>
+class SimFuture;
+
+/// Producer side.  Copyable handle to shared one-shot state.
+template <typename T>
+class SimPromise {
+ public:
+  explicit SimPromise(Engine& eng)
+      : state_(std::make_shared<State>(State{&eng, {}, {}, false})) {}
+
+  /// Fulfil the promise; the waiter (if any) resumes at the current
+  /// simulated time, after the caller's event completes.
+  void set_value(T value) const {
+    LAP_EXPECTS(!state_->ready);
+    state_->value.emplace(std::move(value));
+    state_->ready = true;
+    if (state_->waiter) {
+      auto h = std::exchange(state_->waiter, nullptr);
+      state_->eng->schedule_in(SimTime::zero(), [h] { h.resume(); });
+    }
+  }
+
+  [[nodiscard]] SimFuture<T> future() const { return SimFuture<T>(state_); }
+  [[nodiscard]] bool ready() const { return state_->ready; }
+
+ private:
+  friend class SimFuture<T>;
+  struct State {
+    Engine* eng;
+    std::optional<T> value;
+    std::coroutine_handle<> waiter;
+    bool ready;
+  };
+  std::shared_ptr<State> state_;
+};
+
+/// Consumer side; awaitable exactly once.
+template <typename T>
+class SimFuture {
+ public:
+  bool await_ready() const noexcept { return state_->ready; }
+  void await_suspend(std::coroutine_handle<> h) {
+    LAP_EXPECTS(!state_->waiter);  // single-waiter contract
+    state_->waiter = h;
+  }
+  T await_resume() {
+    LAP_EXPECTS(state_->ready);
+    return std::move(*state_->value);
+  }
+
+ private:
+  friend class SimPromise<T>;
+  explicit SimFuture(std::shared_ptr<typename SimPromise<T>::State> s)
+      : state_(std::move(s)) {}
+  std::shared_ptr<typename SimPromise<T>::State> state_;
+};
+
+/// Unit type for futures that carry no payload.
+struct Done {};
+
+/// Rendezvous for a fan-out of `n` parallel sub-operations: arrive() is
+/// called once per completion and the future resolves on the last one.
+class Joiner {
+ public:
+  Joiner(Engine& eng, std::uint32_t n) : remaining_(n), promise_(eng) {
+    if (remaining_ == 0) promise_.set_value(Done{});
+  }
+
+  void arrive() {
+    LAP_EXPECTS(remaining_ > 0);
+    if (--remaining_ == 0) promise_.set_value(Done{});
+  }
+
+  [[nodiscard]] SimFuture<Done> future() const { return promise_.future(); }
+  [[nodiscard]] std::uint32_t remaining() const { return remaining_; }
+
+ private:
+  std::uint32_t remaining_;
+  SimPromise<Done> promise_;
+};
+
+/// A level-triggered multi-waiter condition.  Waiters suspend until the
+/// next notify_all(); notification is not sticky.
+class Broadcast {
+ public:
+  explicit Broadcast(Engine& eng) : eng_(&eng) {}
+  Broadcast(const Broadcast&) = delete;
+  Broadcast& operator=(const Broadcast&) = delete;
+
+  [[nodiscard]] auto wait() {
+    struct Awaiter {
+      Broadcast* bc;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        bc->waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+  /// Resume every current waiter (at the current simulated time).
+  void notify_all() {
+    auto waiters = std::move(waiters_);
+    waiters_.clear();
+    for (auto h : waiters) {
+      eng_->schedule_in(SimTime::zero(), [h] { h.resume(); });
+    }
+  }
+
+  [[nodiscard]] std::size_t waiter_count() const { return waiters_.size(); }
+
+ private:
+  Engine* eng_;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace lap

@@ -1,0 +1,9 @@
+// Conventional service priorities used across the simulator (lower value =
+// more urgent).  Shared by the disk queues, server CPUs and NICs.
+#pragma once
+
+namespace lap::prio {
+inline constexpr int kDemand = 0;    // user-requested reads/writes
+inline constexpr int kSync = 1;      // periodic fault-tolerance write-back
+inline constexpr int kPrefetch = 2;  // speculative reads
+}  // namespace lap::prio

@@ -1,0 +1,16 @@
+#include "sim/resource.hpp"
+
+namespace lap {
+
+void Resource::release() {
+  LAP_EXPECTS(in_use_ > 0);
+  --in_use_;
+  if (!queue_.empty()) {
+    auto h = queue_.top().handle;
+    queue_.pop();
+    ++in_use_;  // hand the slot to the waiter before it runs
+    eng_->schedule_in(SimTime::zero(), [h] { h.resume(); });
+  }
+}
+
+}  // namespace lap

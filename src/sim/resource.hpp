@@ -1,0 +1,115 @@
+// A served resource with priority queueing (disks, server CPUs, NICs).
+//
+// acquire() suspends the caller until one of `capacity` slots is free.
+// Waiters are served strictly by (priority, arrival order): a lower
+// priority value is more urgent.  Service is non-preemptive, which matches
+// the paper's rule that a prefetch never starts while demand operations
+// wait, but an in-progress prefetch is not aborted.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <utility>
+#include <queue>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/priority.hpp"
+#include "util/assert.hpp"
+
+namespace lap {
+
+class Resource {
+ public:
+  explicit Resource(Engine& eng, std::uint32_t capacity = 1)
+      : eng_(&eng), capacity_(capacity) {
+    LAP_EXPECTS(capacity >= 1);
+  }
+  Resource(const Resource&) = delete;
+  Resource& operator=(const Resource&) = delete;
+
+  /// Awaitable acquisition; the caller owns one slot on resume and must
+  /// call release() exactly once (or use scoped()).
+  [[nodiscard]] auto acquire(int priority = prio::kDemand) {
+    struct Awaiter {
+      Resource* res;
+      int priority;
+      bool await_ready() const noexcept {
+        if (res->in_use_ < res->capacity_ && res->queue_.empty()) {
+          ++res->in_use_;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        res->queue_.push(Waiter{priority, res->next_seq_++, h});
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, priority};
+  }
+
+  /// RAII guard for acquire/release pairing across co_awaits.
+  class Guard {
+   public:
+    explicit Guard(Resource& r) : res_(&r) {}
+    Guard(Guard&& o) noexcept : res_(std::exchange(o.res_, nullptr)) {}
+    Guard& operator=(Guard&&) = delete;
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+    ~Guard() {
+      if (res_ != nullptr) res_->release();
+    }
+
+   private:
+    Resource* res_;
+  };
+
+  /// Awaitable that yields a Guard: `auto g = co_await res.scoped(p);`
+  [[nodiscard]] auto scoped(int priority = prio::kDemand) {
+    struct Awaiter {
+      Resource* res;
+      int priority;
+      bool await_ready() const noexcept {
+        if (res->in_use_ < res->capacity_ && res->queue_.empty()) {
+          ++res->in_use_;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        res->queue_.push(Waiter{priority, res->next_seq_++, h});
+      }
+      Guard await_resume() const noexcept { return Guard{*res}; }
+    };
+    return Awaiter{this, priority};
+  }
+
+  /// Free one slot; the most urgent waiter (if any) is resumed.
+  void release();
+
+  [[nodiscard]] std::uint32_t in_use() const { return in_use_; }
+  [[nodiscard]] std::size_t queue_length() const { return queue_.size(); }
+  [[nodiscard]] bool busy() const { return in_use_ > 0 || !queue_.empty(); }
+
+ private:
+  struct Waiter {
+    int priority;
+    std::uint64_t seq;
+    std::coroutine_handle<> handle;
+  };
+  struct Later {
+    bool operator()(const Waiter& a, const Waiter& b) const {
+      if (a.priority != b.priority) return a.priority > b.priority;
+      return a.seq > b.seq;
+    }
+  };
+
+  Engine* eng_;
+  std::uint32_t capacity_;
+  std::uint32_t in_use_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Waiter, std::vector<Waiter>, Later> queue_;
+};
+
+}  // namespace lap

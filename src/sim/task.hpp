@@ -1,0 +1,27 @@
+// Coroutine task type for simulation processes.
+//
+// A SimTask is a fire-and-forget coroutine: it starts running immediately
+// when spawned and its frame destroys itself when the body returns.  All
+// suspension points are awaitables tied to the Engine (delays, futures,
+// resource acquisition), so a task only stays alive while something in the
+// simulation will eventually resume it.  Long-running tasks (daemons,
+// prefetch streams) must observe a stop flag so that every coroutine
+// terminates before the Engine is destroyed.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+
+namespace lap {
+
+struct SimTask {
+  struct promise_type {
+    SimTask get_return_object() noexcept { return {}; }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    [[noreturn]] void unhandled_exception() { std::terminate(); }
+  };
+};
+
+}  // namespace lap

@@ -1,0 +1,180 @@
+#include "trace/analysis.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+namespace lap {
+namespace {
+
+/// Incremental classifier for one (process, file) request stream.
+/// Classification is by the *dominant* transition kind (>= 90%), so a
+/// sequential scan that wraps once, or a strided pass with a reset jump,
+/// keeps its class — the same tolerance the trace studies apply.
+class StreamClassifier {
+ public:
+  void add(std::int64_t first_block, std::int64_t nblocks) {
+    ++requests_;
+    if (requests_ > 1) {
+      const std::int64_t interval = first_block - last_first_;
+      ++transitions_;
+      if (interval == last_size_) {
+        ++contiguous_;
+      } else {
+        ++interval_counts_[interval];
+      }
+    }
+    last_first_ = first_block;
+    last_size_ = nblocks;
+  }
+
+  [[nodiscard]] StreamPattern pattern() const {
+    if (requests_ <= 1) return StreamPattern::kSingle;
+    const double n = static_cast<double>(transitions_);
+    if (static_cast<double>(contiguous_) >= 0.9 * n) {
+      return StreamPattern::kSequential;
+    }
+    std::uint64_t dominant = 0;
+    for (const auto& [interval, count] : interval_counts_) {
+      dominant = std::max(dominant, count);
+    }
+    if (static_cast<double>(dominant) >= 0.9 * n) {
+      return StreamPattern::kStrided;
+    }
+    return StreamPattern::kIrregular;
+  }
+
+ private:
+  std::uint64_t requests_ = 0;
+  std::uint64_t transitions_ = 0;
+  std::uint64_t contiguous_ = 0;
+  std::int64_t last_first_ = 0;
+  std::int64_t last_size_ = 0;
+  std::map<std::int64_t, std::uint64_t> interval_counts_;
+};
+
+}  // namespace
+
+const char* to_string(StreamPattern p) {
+  switch (p) {
+    case StreamPattern::kSequential: return "sequential";
+    case StreamPattern::kStrided: return "strided";
+    case StreamPattern::kIrregular: return "irregular";
+    case StreamPattern::kSingle: return "single-request";
+  }
+  return "?";
+}
+
+TraceProfile profile_trace(const Trace& trace) {
+  TraceProfile p;
+  const Bytes bs = trace.block_size;
+
+  std::unordered_map<std::uint64_t, StreamClassifier> streams;
+  std::unordered_map<std::uint32_t, std::set<std::uint32_t>> readers;
+  std::uint64_t total_read_blocks = 0;
+  std::uint64_t large_reads = 0;
+
+  for (const ProcessTrace& proc : trace.processes) {
+    for (const TraceRecord& r : proc.records) {
+      switch (r.op) {
+        case TraceOp::kRead: {
+          ++p.read_ops;
+          p.bytes_read += r.length;
+          const std::int64_t first = static_cast<std::int64_t>(r.offset / bs);
+          const std::int64_t last =
+              static_cast<std::int64_t>((r.offset + r.length - 1) / bs);
+          const std::int64_t blocks = last - first + 1;
+          total_read_blocks += static_cast<std::uint64_t>(blocks);
+          p.max_read_blocks =
+              std::max(p.max_read_blocks, static_cast<std::uint64_t>(blocks));
+          if (blocks >= 8) ++large_reads;
+          const std::uint64_t key =
+              (static_cast<std::uint64_t>(raw(proc.pid)) << 32) | raw(r.file);
+          streams[key].add(first, blocks);
+          readers[raw(r.file)].insert(raw(proc.pid));
+          break;
+        }
+        case TraceOp::kWrite:
+          ++p.write_ops;
+          p.bytes_written += r.length;
+          break;
+        case TraceOp::kDelete:
+          ++p.files_deleted;
+          break;
+        case TraceOp::kOpen:
+        case TraceOp::kClose:
+          break;
+      }
+    }
+  }
+
+  if (p.read_ops > 0) {
+    p.mean_read_blocks =
+        static_cast<double>(total_read_blocks) / static_cast<double>(p.read_ops);
+    p.large_read_share =
+        static_cast<double>(large_reads) / static_cast<double>(p.read_ops);
+  }
+
+  std::uint64_t classified = 0;
+  for (const auto& [key, cls] : streams) {
+    ++p.stream_counts[cls.pattern()];
+  }
+  for (const auto& [pattern, count] : p.stream_counts) {
+    if (pattern != StreamPattern::kSingle) classified += count;
+  }
+  if (classified > 0) {
+    p.sequential_share =
+        static_cast<double>(p.stream_counts[StreamPattern::kSequential]) /
+        static_cast<double>(classified);
+    p.strided_share =
+        static_cast<double>(p.stream_counts[StreamPattern::kStrided]) /
+        static_cast<double>(classified);
+  }
+
+  if (!readers.empty()) {
+    std::uint64_t total_readers = 0;
+    std::uint64_t shared = 0;
+    for (const auto& [file, pids] : readers) {
+      total_readers += pids.size();
+      shared += pids.size() >= 2;
+    }
+    p.mean_readers_per_file =
+        static_cast<double>(total_readers) / static_cast<double>(readers.size());
+    p.shared_file_share =
+        static_cast<double>(shared) / static_cast<double>(readers.size());
+  }
+
+  if (!trace.files.empty()) {
+    Bytes total = 0;
+    for (const FileInfo& f : trace.files) total += f.size;
+    p.mean_file_blocks = static_cast<double>(total / bs) /
+                         static_cast<double>(trace.files.size());
+    p.deleted_share = static_cast<double>(p.files_deleted) /
+                      static_cast<double>(trace.files.size());
+  }
+  return p;
+}
+
+void TraceProfile::print(std::ostream& os) const {
+  os << "reads:           " << read_ops << " ops, " << bytes_read / (1024 * 1024)
+     << " MB (mean " << mean_read_blocks << " blocks, max " << max_read_blocks
+     << ", " << large_read_share * 100 << "% >= 8 blocks)\n";
+  os << "writes:          " << write_ops << " ops, "
+     << bytes_written / (1024 * 1024) << " MB\n";
+  os << "streams:         ";
+  for (const auto& [pattern, count] : stream_counts) {
+    os << count << " " << to_string(pattern) << "  ";
+  }
+  os << "\n";
+  os << "pattern shares:  " << sequential_share * 100 << "% sequential, "
+     << strided_share * 100 << "% strided (of multi-request streams)\n";
+  os << "sharing:         " << mean_readers_per_file
+     << " readers/file on average, " << shared_file_share * 100
+     << "% of files shared\n";
+  os << "files:           mean " << mean_file_blocks << " blocks, "
+     << files_deleted << " deleted (" << deleted_share * 100 << "%)\n";
+}
+
+}  // namespace lap

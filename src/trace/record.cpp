@@ -1,0 +1,29 @@
+#include "trace/record.hpp"
+
+#include <stdexcept>
+
+namespace lap {
+
+char to_char(TraceOp op) {
+  switch (op) {
+    case TraceOp::kOpen: return 'O';
+    case TraceOp::kRead: return 'R';
+    case TraceOp::kWrite: return 'W';
+    case TraceOp::kClose: return 'C';
+    case TraceOp::kDelete: return 'D';
+  }
+  return '?';
+}
+
+TraceOp trace_op_from_char(char c) {
+  switch (c) {
+    case 'O': return TraceOp::kOpen;
+    case 'R': return TraceOp::kRead;
+    case 'W': return TraceOp::kWrite;
+    case 'C': return TraceOp::kClose;
+    case 'D': return TraceOp::kDelete;
+    default: throw std::invalid_argument(std::string("bad trace op: ") + c);
+  }
+}
+
+}  // namespace lap

@@ -1,0 +1,32 @@
+// Trace records.  A trace is the unit of workload input: per-process
+// sequences of file operations, each preceded by a CPU burst ("think
+// time"), exactly the information the paper's DIMEMAS traces carry (CPU,
+// communication and I/O demand sequences rather than absolute timestamps).
+// Replay is closed-loop: the next record starts only when the previous
+// operation completes, so faster I/O makes the application finish sooner —
+// the effect behind the paper's disk-write results (Table 2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/units.hpp"
+
+namespace lap {
+
+enum class TraceOp : std::uint8_t { kOpen, kRead, kWrite, kClose, kDelete };
+
+[[nodiscard]] char to_char(TraceOp op);
+[[nodiscard]] TraceOp trace_op_from_char(char c);
+
+struct TraceRecord {
+  TraceOp op = TraceOp::kRead;
+  FileId file{};
+  Bytes offset = 0;  // bytes
+  Bytes length = 0;  // bytes
+  SimTime think;     // CPU burst before this operation
+
+  friend bool operator==(const TraceRecord&, const TraceRecord&) = default;
+};
+
+}  // namespace lap

@@ -1,0 +1,210 @@
+#include "trace/sprite_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace lap {
+namespace {
+
+struct Builder {
+  const SpriteParams& p;
+  Rng rng;
+  Trace trace;
+  std::uint32_t next_file = 0;
+  std::uint32_t next_pid = 0;
+  // Popularity-ordered pools: index 0 is the most popular file.
+  struct PoolFile {
+    std::uint32_t id;
+    std::uint32_t blocks;
+    std::uint32_t read_blocks;  // the prefix sessions actually read
+    std::uint32_t stride = 1;   // request spacing in request-sized units
+  };
+  std::vector<std::vector<PoolFile>> private_pool;
+  std::vector<PoolFile> shared_pool;
+  std::vector<std::vector<std::vector<PoolFile>>> scripts;  // [node][script]
+
+  explicit Builder(const SpriteParams& params) : p(params), rng(params.seed) {
+    trace.block_size = p.block_size;
+    trace.serialize_per_node = true;
+  }
+
+  std::uint32_t draw_file_blocks() {
+    const double v = rng.lognormal(p.file_blocks_mu, p.file_blocks_sigma);
+    const auto blocks = static_cast<std::uint32_t>(std::ceil(v));
+    return std::clamp<std::uint32_t>(blocks, 1, p.file_blocks_max);
+  }
+
+  std::uint32_t new_file(std::uint32_t blocks) {
+    trace.files.push_back(
+        FileInfo{FileId{next_file}, static_cast<Bytes>(blocks) * p.block_size});
+    return next_file++;
+  }
+
+  SimTime exp_think(double mean_ms) {
+    return SimTime::us(rng.exponential(mean_ms * 1000.0));
+  }
+
+  PoolFile make_pool_file() {
+    const std::uint32_t blocks = draw_file_blocks();
+    // Whether a file is read whole or only as a prefix is a property of the
+    // file (applications re-read the same header/prefix): re-reads repeat
+    // the same stopping point, which an IS_PPM graph can learn and a
+    // sequential prefetcher cannot.
+    std::uint32_t read_blocks = blocks;
+    if (rng.chance(p.partial_read_frac) && blocks > 2) {
+      read_blocks = std::max<std::uint32_t>(
+          1, static_cast<std::uint32_t>(
+                 static_cast<double>(blocks) *
+                 rng.uniform(p.partial_lo, p.partial_hi)));
+    }
+    std::uint32_t stride = 1;
+    if (blocks >= 6 && rng.chance(p.strided_file_frac)) {
+      stride = static_cast<std::uint32_t>(
+          rng.uniform_int(p.stride_min, p.stride_max));
+    }
+    return PoolFile{new_file(blocks), blocks, read_blocks, stride};
+  }
+
+  void populate_pools() {
+    private_pool.resize(p.nodes);
+    for (std::uint32_t n = 0; n < p.nodes; ++n) {
+      private_pool[n].reserve(p.private_files_per_node);
+      for (std::uint32_t i = 0; i < p.private_files_per_node; ++i) {
+        private_pool[n].push_back(make_pool_file());
+      }
+    }
+    shared_pool.reserve(p.shared_files);
+    for (std::uint32_t i = 0; i < p.shared_files; ++i) {
+      shared_pool.push_back(make_pool_file());
+    }
+    scripts.resize(p.nodes);
+    for (std::uint32_t n = 0; n < p.nodes; ++n) {
+      scripts[n].resize(p.scripts_per_node);
+      for (auto& chain : scripts[n]) {
+        const auto len = static_cast<std::uint32_t>(
+            rng.uniform_int(p.script_len_min, p.script_len_max));
+        for (std::uint32_t i = 0; i < len; ++i) {
+          chain.push_back(make_pool_file());
+        }
+      }
+    }
+  }
+
+  void build_read_session(ProcessTrace& proc, const PoolFile& f,
+                          SimTime start_gap) {
+    const std::uint32_t file = f.id;
+    const std::uint32_t read_blocks = f.read_blocks;
+    proc.records.push_back(
+        TraceRecord{TraceOp::kOpen, FileId{file}, 0, 0, start_gap});
+    std::uint32_t b = 0;
+    bool first = true;
+    while (b < read_blocks) {
+      const auto req = static_cast<std::uint32_t>(
+          rng.uniform_int(p.req_blocks_min, p.req_blocks_max));
+      const std::uint32_t n = std::min(req, read_blocks - b);
+      proc.records.push_back(TraceRecord{
+          TraceOp::kRead, FileId{file},
+          static_cast<Bytes>(b) * p.block_size,
+          static_cast<Bytes>(n) * p.block_size,
+          first ? SimTime::zero() : exp_think(p.request_think_ms)});
+      b += n * f.stride;  // stride 1 = sequential
+      first = false;
+    }
+    proc.records.push_back(
+        TraceRecord{TraceOp::kClose, FileId{file}, 0, 0, SimTime::zero()});
+  }
+
+  void build_write_session(ProcessTrace& proc, SimTime start_gap) {
+    const std::uint32_t blocks = draw_file_blocks();
+    const std::uint32_t file = new_file(blocks);
+    proc.records.push_back(
+        TraceRecord{TraceOp::kOpen, FileId{file}, 0, 0, start_gap});
+    std::uint32_t b = 0;
+    while (b < blocks) {
+      const auto req = static_cast<std::uint32_t>(
+          rng.uniform_int(p.req_blocks_min, p.req_blocks_max));
+      const std::uint32_t n = std::min(req, blocks - b);
+      proc.records.push_back(TraceRecord{
+          TraceOp::kWrite, FileId{file},
+          static_cast<Bytes>(b) * p.block_size,
+          static_cast<Bytes>(n) * p.block_size,
+          exp_think(p.request_think_ms)});
+      b += n;
+    }
+    if (rng.chance(p.reread_after_write_frac)) {
+      b = 0;
+      while (b < blocks) {
+        const auto req = static_cast<std::uint32_t>(
+            rng.uniform_int(p.req_blocks_min, p.req_blocks_max));
+        const std::uint32_t n = std::min(req, blocks - b);
+        proc.records.push_back(TraceRecord{
+            TraceOp::kRead, FileId{file},
+            static_cast<Bytes>(b) * p.block_size,
+            static_cast<Bytes>(n) * p.block_size,
+            exp_think(p.request_think_ms)});
+        b += n;
+      }
+    }
+    proc.records.push_back(
+        TraceRecord{TraceOp::kClose, FileId{file}, 0, 0, SimTime::zero()});
+    if (rng.chance(p.temp_delete_frac)) {
+      proc.records.push_back(
+          TraceRecord{TraceOp::kDelete, FileId{file}, 0, 0, SimTime::zero()});
+    }
+  }
+
+  void build() {
+    populate_pools();
+    const auto sessions = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(std::lround(
+               static_cast<double>(p.sessions_per_node) * p.scale)));
+    for (std::uint32_t node = 0; node < p.nodes; ++node) {
+      for (std::uint32_t s = 0; s < sessions; ++s) {
+        // Each session is its own short-lived process; its first record's
+        // think time is the gap since the node's previous session ended
+        // (sessions on one node are serialised by chaining thinks — see
+        // Simulation, which replays per-node processes back to back).
+        ProcessTrace proc{ProcId{next_pid++}, NodeId{node}, {}};
+        const SimTime gap = exp_think(p.session_gap_ms);
+        if (p.scripts_per_node > 0 && rng.chance(p.script_session_frac)) {
+          // Run one of this node's scripts: the same files, in the same
+          // order, every time.
+          const auto& chain = scripts[node][static_cast<std::size_t>(
+              rng.uniform_int(0, p.scripts_per_node - 1))];
+          bool first = true;
+          for (const PoolFile& f : chain) {
+            build_read_session(proc, f, first ? gap : SimTime::zero());
+            first = false;
+          }
+        } else if (rng.chance(p.write_session_frac)) {
+          build_write_session(proc, gap);
+        } else if (rng.chance(p.shared_frac) && !shared_pool.empty()) {
+          build_read_session(
+              proc, shared_pool[rng.zipf(shared_pool.size(), p.zipf_s)], gap);
+        } else {
+          const auto& pool = private_pool[node];
+          build_read_session(proc, pool[rng.zipf(pool.size(), p.zipf_s)], gap);
+        }
+        trace.processes.push_back(std::move(proc));
+      }
+    }
+  }
+};
+
+}  // namespace
+
+Trace generate_sprite(const SpriteParams& params) {
+  LAP_EXPECTS(params.nodes >= 1);
+  LAP_EXPECTS(params.block_size > 0);
+  LAP_EXPECTS(params.req_blocks_min >= 1 &&
+              params.req_blocks_min <= params.req_blocks_max);
+  Builder b(params);
+  b.build();
+  return std::move(b.trace);
+}
+
+}  // namespace lap

@@ -1,0 +1,73 @@
+// Synthetic Sprite-like workload (substitution for the Sprite NOW traces;
+// see DESIGN.md §4).
+//
+// The Sprite measurements the paper relies on: many short-lived processes,
+// small files read sequentially start-to-finish (or only partially), strong
+// popularity skew with temporal re-reads, very little concurrent sharing,
+// and most written bytes dying young (temporary files deleted well before
+// the 30-second write-back).  Small files mean the predictor's graph is
+// cold for a noticeable fraction of each file's accesses — the paper's
+// ~25% OBA-fallback figure.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/trace.hpp"
+#include "util/units.hpp"
+
+namespace lap {
+
+struct SpriteParams {
+  std::uint32_t nodes = 50;
+  Bytes block_size = 8_KiB;
+
+  // Each node runs a sequence of sessions; a session is one short-lived
+  // process touching one file.
+  std::uint32_t sessions_per_node = 130;
+  double scale = 1.0;              // multiplies sessions_per_node
+  double session_gap_ms = 560.0;   // exp mean between sessions on a node
+  double request_think_ms = 14.0;   // exp mean between a session's requests
+
+  // File population: per-node private working sets plus a globally shared
+  // pool; zipf-skewed popularity drives re-reads.
+  std::uint32_t private_files_per_node = 130;
+  std::uint32_t shared_files = 350;
+  double shared_frac = 0.15;  // sessions hitting the shared pool
+  double zipf_s = 1.1;
+
+  // File sizes in blocks: lognormal, clipped — most files a few blocks.
+  double file_blocks_mu = 2.0;     // exp(mu) ~ 6 blocks median
+  double file_blocks_sigma = 1.0;
+  std::uint32_t file_blocks_max = 96;
+
+  // Session behaviour.
+  std::uint32_t req_blocks_min = 1;
+  std::uint32_t req_blocks_max = 2;
+  double partial_read_frac = 0.45;   // files only ever read as a prefix
+  double partial_lo = 0.2;           // ... of this fraction of its blocks
+  double partial_hi = 0.7;
+  // Fraction of (large-enough) files accessed with a fixed stride — record
+  // skipping, index scans.  The stride is a property of the file, so every
+  // visit repeats the same pattern: IS_PPM learns it, sequential read-ahead
+  // never does.
+  double strided_file_frac = 0.22;
+  std::uint32_t stride_min = 2;
+  std::uint32_t stride_max = 4;
+  double write_session_frac = 0.25;  // sessions that create+write a file
+  double temp_delete_frac = 0.7;     // written files deleted at close
+  double reread_after_write_frac = 0.5;
+
+  // Script sessions: a fixed chain of files opened in the same order every
+  // time (shell scripts, compiler pipelines) — the deterministic open
+  // sequences that whole-file prefetching (Kroeger & Long) exploits.
+  double script_session_frac = 0.12;
+  std::uint32_t scripts_per_node = 2;
+  std::uint32_t script_len_min = 3;
+  std::uint32_t script_len_max = 5;
+
+  std::uint64_t seed = 1999;
+};
+
+[[nodiscard]] Trace generate_sprite(const SpriteParams& params = {});
+
+}  // namespace lap

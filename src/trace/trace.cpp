@@ -1,0 +1,111 @@
+#include "trace/trace.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace lap {
+
+std::uint64_t Trace::total_io_ops() const {
+  std::uint64_t n = 0;
+  for (const auto& p : processes) {
+    for (const auto& r : p.records) {
+      if (r.op == TraceOp::kRead || r.op == TraceOp::kWrite) ++n;
+    }
+  }
+  return n;
+}
+
+std::uint64_t Trace::total_records() const {
+  std::uint64_t n = 0;
+  for (const auto& p : processes) n += p.records.size();
+  return n;
+}
+
+Bytes Trace::total_bytes_read() const {
+  Bytes n = 0;
+  for (const auto& p : processes) {
+    for (const auto& r : p.records) {
+      if (r.op == TraceOp::kRead) n += r.length;
+    }
+  }
+  return n;
+}
+
+Bytes Trace::total_bytes_written() const {
+  Bytes n = 0;
+  for (const auto& p : processes) {
+    for (const auto& r : p.records) {
+      if (r.op == TraceOp::kWrite) n += r.length;
+    }
+  }
+  return n;
+}
+
+std::uint32_t Trace::node_span() const {
+  std::uint32_t max_node = 0;
+  for (const auto& p : processes) max_node = std::max(max_node, raw(p.node));
+  return processes.empty() ? 0 : max_node + 1;
+}
+
+void Trace::save(std::ostream& os) const {
+  os << "# lap-trace v1\n";
+  os << "blocksize " << block_size << '\n';
+  os << "serialize " << (serialize_per_node ? 1 : 0) << '\n';
+  for (const auto& f : files) os << "file " << raw(f.id) << ' ' << f.size << '\n';
+  for (const auto& p : processes) {
+    os << "proc " << raw(p.pid) << ' ' << raw(p.node) << '\n';
+    for (const auto& r : p.records) {
+      os << "  " << r.think.nanos() << ' ' << to_char(r.op) << ' '
+         << raw(r.file) << ' ' << r.offset << ' ' << r.length << '\n';
+    }
+  }
+}
+
+Trace Trace::load(std::istream& is) {
+  Trace trace;
+  trace.files.clear();
+  std::string line;
+  ProcessTrace* current = nullptr;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string tok;
+    ls >> tok;
+    if (tok == "blocksize") {
+      ls >> trace.block_size;
+    } else if (tok == "serialize") {
+      int v = 0;
+      ls >> v;
+      trace.serialize_per_node = v != 0;
+    } else if (tok == "file") {
+      std::uint32_t id = 0;
+      Bytes size = 0;
+      ls >> id >> size;
+      trace.files.push_back(FileInfo{FileId{id}, size});
+    } else if (tok == "proc") {
+      std::uint32_t pid = 0;
+      std::uint32_t node = 0;
+      ls >> pid >> node;
+      trace.processes.push_back(ProcessTrace{ProcId{pid}, NodeId{node}, {}});
+      current = &trace.processes.back();
+    } else {
+      if (current == nullptr) throw std::invalid_argument("record before proc");
+      TraceRecord r;
+      std::int64_t think_ns = std::stoll(tok);
+      char op = 0;
+      std::uint32_t file = 0;
+      ls >> op >> file >> r.offset >> r.length;
+      if (!ls) throw std::invalid_argument("malformed trace record: " + line);
+      r.think = SimTime::ns(think_ns);
+      r.op = trace_op_from_char(op);
+      r.file = FileId{file};
+      current->records.push_back(r);
+    }
+  }
+  return trace;
+}
+
+}  // namespace lap

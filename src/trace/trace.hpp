@@ -1,0 +1,52 @@
+// In-memory workload trace plus a line-oriented text format.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "trace/record.hpp"
+#include "util/units.hpp"
+
+namespace lap {
+
+struct FileInfo {
+  FileId id{};
+  Bytes size = 0;
+
+  friend bool operator==(const FileInfo&, const FileInfo&) = default;
+};
+
+struct ProcessTrace {
+  ProcId pid{};
+  NodeId node{};
+  std::vector<TraceRecord> records;
+
+  friend bool operator==(const ProcessTrace&, const ProcessTrace&) = default;
+};
+
+struct Trace {
+  Bytes block_size = 8_KiB;
+  // Replay mode: when true, each node's processes run back to back (Sprite:
+  // a stream of short-lived sessions); when false, every process starts at
+  // time zero and its first record's think time staggers it (CHARISMA:
+  // concurrent parallel jobs).
+  bool serialize_per_node = false;
+  std::vector<FileInfo> files;
+  std::vector<ProcessTrace> processes;
+
+  /// READ + WRITE records across all processes (the denominator for the
+  /// warm-up boundary).
+  [[nodiscard]] std::uint64_t total_io_ops() const;
+  [[nodiscard]] std::uint64_t total_records() const;
+  [[nodiscard]] Bytes total_bytes_read() const;
+  [[nodiscard]] Bytes total_bytes_written() const;
+  /// Largest node id used plus one.
+  [[nodiscard]] std::uint32_t node_span() const;
+
+  void save(std::ostream& os) const;
+  static Trace load(std::istream& is);
+
+  friend bool operator==(const Trace&, const Trace&) = default;
+};
+
+}  // namespace lap

@@ -1,0 +1,31 @@
+// Contract checks in the spirit of the C++ Core Guidelines' Expects/Ensures.
+// They stay on in release builds: the simulator's correctness depends on
+// invariants (event ordering, cache residency counts) that are cheap to
+// check relative to the work they guard.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lap::detail {
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "%s violated: %s at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+}  // namespace lap::detail
+
+#define LAP_EXPECTS(cond)                                                   \
+  ((cond) ? static_cast<void>(0)                                            \
+          : ::lap::detail::contract_failure("Precondition", #cond, __FILE__, \
+                                            __LINE__))
+
+#define LAP_ENSURES(cond)                                                    \
+  ((cond) ? static_cast<void>(0)                                             \
+          : ::lap::detail::contract_failure("Postcondition", #cond, __FILE__, \
+                                            __LINE__))
+
+#define LAP_ASSERT(cond)                                                 \
+  ((cond) ? static_cast<void>(0)                                         \
+          : ::lap::detail::contract_failure("Invariant", #cond, __FILE__, \
+                                            __LINE__))

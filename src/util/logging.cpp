@@ -1,0 +1,32 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+
+namespace lap {
+namespace log_detail {
+
+LogLevel& global_level() {
+  static LogLevel level = LogLevel::kWarn;
+  return level;
+}
+
+void emit(LogLevel level, std::string_view msg) {
+  static constexpr const char* kNames[] = {"TRACE", "DEBUG", "INFO",
+                                           "WARN", "ERROR", "OFF"};
+  std::fprintf(stderr, "[%s] %.*s\n", kNames[static_cast<int>(level)],
+               static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace log_detail
+
+LogLevel set_log_level(LogLevel level) {
+  LogLevel prev = log_detail::global_level();
+  log_detail::global_level() = level;
+  return prev;
+}
+
+bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(log_detail::global_level());
+}
+
+}  // namespace lap

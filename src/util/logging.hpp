@@ -1,0 +1,45 @@
+// Minimal leveled logger.  The simulator is silent by default; verbosity is
+// raised by tests/examples that want to watch the event flow.
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace lap {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+namespace log_detail {
+LogLevel& global_level();
+void emit(LogLevel level, std::string_view msg);
+}  // namespace log_detail
+
+/// Set the process-wide log threshold; returns the previous value.
+LogLevel set_log_level(LogLevel level);
+[[nodiscard]] bool log_enabled(LogLevel level);
+
+/// Usage: LAP_LOG(kInfo) << "cache size " << n;
+#define LAP_LOG(level)                                            \
+  if (!::lap::log_enabled(::lap::LogLevel::level)) {              \
+  } else                                                          \
+    ::lap::LogStream(::lap::LogLevel::level)
+
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_detail::emit(level_, os_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace lap

@@ -1,0 +1,119 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace lap {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high-quality bits -> [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  LAP_EXPECTS(lo <= hi);
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  LAP_EXPECTS(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  // Unbiased rejection sampling (Lemire's method simplified).
+  const std::uint64_t limit = span == 0 ? 0 : (~std::uint64_t{0}) - ((~std::uint64_t{0}) % span) - 1;
+  std::uint64_t v = next();
+  if (span != 0) {
+    while (v > limit) v = next();
+    v %= span;
+  }
+  return lo + static_cast<std::int64_t>(v);
+}
+
+bool Rng::chance(double p) { return uniform() < p; }
+
+double Rng::exponential(double mean) {
+  LAP_EXPECTS(mean > 0.0);
+  double u = uniform();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+double Rng::normal() {
+  double u1 = uniform();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(mu + sigma * normal());
+}
+
+std::size_t Rng::weighted_pick(std::span<const double> weights) {
+  LAP_EXPECTS(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) total += w;
+  LAP_EXPECTS(total > 0.0);
+  double target = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::size_t Rng::zipf(std::size_t n, double s) {
+  LAP_EXPECTS(n > 0);
+  // Inverse-CDF on the fly is O(n); acceptable because n (distinct files per
+  // popularity class) is small.  For large n we approximate via the
+  // continuous inverse: rank ~ u^(-1/(s-1)) when s > 1.
+  if (n == 1) return 0;
+  if (s > 1.0 && n > 4096) {
+    const double u = uniform();
+    const double r = std::pow(1.0 - u, -1.0 / (s - 1.0)) - 1.0;
+    auto rank = static_cast<std::size_t>(r);
+    return rank >= n ? n - 1 : rank;
+  }
+  double total = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) total += 1.0 / std::pow(static_cast<double>(i), s);
+  double target = uniform() * total;
+  for (std::size_t i = 1; i <= n; ++i) {
+    target -= 1.0 / std::pow(static_cast<double>(i), s);
+    if (target <= 0.0) return i - 1;
+  }
+  return n - 1;
+}
+
+Rng Rng::split() { return Rng{next() ^ 0xd1b54a32d192ed03ULL}; }
+
+}  // namespace lap

@@ -1,0 +1,58 @@
+// Deterministic random number generation for workload synthesis.
+//
+// xoshiro256** with a splitmix64 seeder: fast, high quality, and —
+// unlike std::mt19937 distributions — fully reproducible across standard
+// library implementations because we implement the distributions ourselves.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace lap {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli trial.
+  bool chance(double p);
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Log-normal given the mean/sigma of the underlying normal.
+  double lognormal(double mu, double sigma);
+
+  /// Standard normal via Box-Muller.
+  double normal();
+
+  /// Pick an index in [0, weights.size()) proportionally to weights.
+  std::size_t weighted_pick(std::span<const double> weights);
+
+  /// Zipf-like pick over [0, n): rank r chosen with probability ~ 1/(r+1)^s.
+  /// Used for file-popularity skew in the Sprite workload.
+  std::size_t zipf(std::size_t n, double s);
+
+  /// Derive an independent child stream (for per-process generators).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace lap

@@ -1,0 +1,115 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace lap {
+
+void Accumulator::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void Accumulator::merge(const Accumulator& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n = static_cast<double>(n_ + other.n_);
+  m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                         static_cast<double>(other.n_) / n;
+  mean_ = (mean_ * static_cast<double>(n_) +
+           other.mean_ * static_cast<double>(other.n_)) /
+          n;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+void Accumulator::reset() { *this = Accumulator{}; }
+
+double Accumulator::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), log_lo_(std::log(lo)),
+      log_ratio_(static_cast<double>(buckets) / (std::log(hi) - std::log(lo))),
+      counts_(buckets + 2, 0) {
+  LAP_EXPECTS(lo > 0.0 && hi > lo && buckets > 0);
+}
+
+std::size_t Histogram::bucket_for(double x) const {
+  if (x < lo_) return 0;
+  if (x >= hi_) return counts_.size() - 1;
+  const auto b = static_cast<std::size_t>((std::log(x) - log_lo_) * log_ratio_);
+  return std::min(b + 1, counts_.size() - 2);
+}
+
+void Histogram::add(double x) {
+  ++counts_[bucket_for(x)];
+  ++total_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  LAP_EXPECTS(counts_.size() == other.counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+}
+
+double Histogram::quantile(double q) const {
+  if (total_ == 0) return 0.0;
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(total_ - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen > target) {
+      if (i == 0) return lo_;
+      if (i == counts_.size() - 1) return hi_;
+      // Upper boundary of bucket i-1.
+      return std::exp(log_lo_ + static_cast<double>(i) / log_ratio_);
+    }
+  }
+  return hi_;
+}
+
+std::string Histogram::summary() const {
+  std::ostringstream os;
+  os << "n=" << total_ << " p50=" << quantile(0.5) << " p90=" << quantile(0.9)
+     << " p99=" << quantile(0.99);
+  return os.str();
+}
+
+std::string to_string(SimTime t) {
+  std::ostringstream os;
+  if (t.nanos() < 1000) {
+    os << t.nanos() << "ns";
+  } else if (t.nanos() < 1'000'000) {
+    os << t.micros() << "us";
+  } else if (t.nanos() < 1'000'000'000) {
+    os << t.millis() << "ms";
+  } else {
+    os << t.seconds() << "s";
+  }
+  return os.str();
+}
+
+}  // namespace lap

@@ -1,0 +1,63 @@
+// Online statistics accumulators used by the metrics layer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace lap {
+
+/// Streaming mean/min/max/variance (Welford).
+class Accumulator {
+ public:
+  void add(double x);
+  void merge(const Accumulator& other);
+  void reset();
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ == 0 ? 0.0 : mean_; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const { return n_ == 0 ? 0.0 : max_; }
+  [[nodiscard]] double total() const { return sum_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-boundary histogram with exact percentile queries up to bucket
+/// resolution; used for read-latency distributions.
+class Histogram {
+ public:
+  /// Buckets are log-spaced between lo and hi (both > 0), `buckets` of them,
+  /// plus an underflow and an overflow bucket.
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  void merge(const Histogram& other);
+
+  [[nodiscard]] std::uint64_t count() const { return total_; }
+  /// Approximate value at quantile q in [0,1] (upper bucket boundary).
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  [[nodiscard]] std::size_t bucket_for(double x) const;
+
+  double lo_;
+  double hi_;
+  double log_lo_;
+  double log_ratio_;
+  std::vector<std::uint64_t> counts_;  // [underflow, b0..bn-1, overflow]
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace lap

@@ -1,0 +1,32 @@
+// ASCII table / series printers shared by the bench harness so every
+// figure/table reproduction prints in one consistent format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lap {
+
+/// A rectangular table with a header row; renders column-aligned text.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  /// Convenience: formats doubles with the given precision.
+  void add_row(const std::string& label, const std::vector<double>& values,
+               int precision = 3);
+
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Render `value` with fixed precision.
+[[nodiscard]] std::string fmt_double(double value, int precision = 3);
+
+}  // namespace lap

@@ -1,0 +1,160 @@
+#include "core/aggressive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace lap {
+namespace {
+
+std::vector<std::uint32_t> drain(PrefetchStream& s, std::size_t cap = 10000) {
+  std::vector<std::uint32_t> out;
+  while (out.size() < cap) {
+    auto item = s.next();
+    if (!item) break;
+    out.push_back(item->block);
+  }
+  return out;
+}
+
+TEST(SequentialStream, PlainObaEmitsOneBlock) {
+  SequentialStream s(5, 100, /*block_budget=*/1);
+  EXPECT_EQ(drain(s), (std::vector<std::uint32_t>{5}));
+  EXPECT_TRUE(s.exhausted());
+}
+
+TEST(SequentialStream, AggressiveRunsToEndOfFile) {
+  SequentialStream s(96, 100, kUnboundedBudget);
+  EXPECT_EQ(drain(s), (std::vector<std::uint32_t>{96, 97, 98, 99}));
+  EXPECT_TRUE(s.exhausted());
+}
+
+TEST(SequentialStream, StartBeyondEofIsEmpty) {
+  SequentialStream s(100, 100, kUnboundedBudget);
+  EXPECT_TRUE(drain(s).empty());
+  EXPECT_TRUE(s.exhausted());
+}
+
+TEST(SequentialStream, NegativeStartClampsToZero) {
+  SequentialStream s(-3, 2, kUnboundedBudget);
+  EXPECT_EQ(drain(s), (std::vector<std::uint32_t>{0, 1}));
+}
+
+namespace {
+// Build a predictor whose graph knows a pure stride pattern.
+IsPpmPredictor make_strided(IsPpmGraph& graph, std::int64_t stride,
+                            std::uint32_t size, int requests,
+                            std::int64_t start = 0) {
+  IsPpmPredictor pred(graph);
+  std::uint64_t t = 0;
+  std::int64_t off = start;
+  for (int i = 0; i < requests; ++i) {
+    pred.on_request(off, size, ++t);
+    off += stride;
+  }
+  return pred;
+}
+}  // namespace
+
+TEST(GraphStream, AggressiveWalksPredictedRequests) {
+  IsPpmGraph graph(1);
+  auto pred = make_strided(graph, 4, 2, 5);  // requests at 0,4,8,12,16
+  GraphStream s(pred.walker(), 18, /*file_blocks=*/30, kUnboundedBudget, 1);
+  const auto blocks = drain(s);
+  // Predicted requests: 20-21, 24-25, 28-29; the next (32) is out of file.
+  EXPECT_EQ(blocks,
+            (std::vector<std::uint32_t>{20, 21, 24, 25, 28, 29}));
+  EXPECT_TRUE(s.exhausted());
+}
+
+TEST(GraphStream, PlainVariantEmitsOnePredictedRequest) {
+  IsPpmGraph graph(1);
+  auto pred = make_strided(graph, 4, 3, 5);
+  GraphStream s(pred.walker(), 19, 100, /*request_budget=*/1, 1);
+  EXPECT_EQ(drain(s), (std::vector<std::uint32_t>{20, 21, 22}));
+}
+
+TEST(GraphStream, PredictionClippedAtEof) {
+  IsPpmGraph graph(1);
+  auto pred = make_strided(graph, 4, 4, 5);  // last request 16..19
+  GraphStream s(pred.walker(), 20, /*file_blocks=*/22, kUnboundedBudget, 1);
+  // Predicted request 20..23 clips to 20..21; next starts out of file.
+  EXPECT_EQ(drain(s), (std::vector<std::uint32_t>{20, 21}));
+}
+
+TEST(GraphStream, ColdGraphFallsBackToSingleBlock) {
+  IsPpmGraph graph(1);
+  IsPpmPredictor pred(graph);
+  pred.on_request(0, 2, 1);  // one request: no interval, no node
+  GraphStream s(pred.walker(), 2, 100, kUnboundedBudget, /*fallback_budget=*/1);
+  auto first = s.next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->block, 2u);
+  EXPECT_TRUE(first->fallback);
+  EXPECT_FALSE(s.next().has_value());  // conservative: exactly one block
+}
+
+TEST(GraphStream, AggressiveFallbackStreamsSequentially) {
+  IsPpmGraph graph(1);
+  IsPpmPredictor pred(graph);
+  pred.on_request(0, 2, 1);
+  GraphStream s(pred.walker(), 2, 6, kUnboundedBudget,
+                /*fallback_budget=*/kUnboundedBudget);
+  const auto blocks = drain(s);
+  EXPECT_EQ(blocks, (std::vector<std::uint32_t>{2, 3, 4, 5}));
+}
+
+TEST(GraphStream, FallbackDisabled) {
+  IsPpmGraph graph(1);
+  IsPpmPredictor pred(graph);
+  pred.on_request(0, 2, 1);
+  GraphStream s(pred.walker(), 2, 100, kUnboundedBudget, /*fallback_budget=*/0);
+  EXPECT_TRUE(drain(s).empty());
+}
+
+TEST(GraphStream, InFallbackReportsState) {
+  IsPpmGraph graph(1);
+  IsPpmPredictor pred(graph);
+  pred.on_request(0, 2, 1);
+  GraphStream s(pred.walker(), 2, 100, kUnboundedBudget, kUnboundedBudget);
+  EXPECT_FALSE(s.in_fallback());  // not yet known
+  (void)s.next();
+  EXPECT_TRUE(s.in_fallback());
+}
+
+TEST(GraphStream, CyclicGraphIsBoundedByEmitCap) {
+  // A pattern that jumps back and forth (interval +4 then -4) cycles
+  // forever through in-file blocks; the emit cap must end the stream.
+  IsPpmGraph graph(1);
+  IsPpmPredictor pred(graph);
+  std::uint64_t t = 0;
+  std::int64_t off = 0;
+  for (int i = 0; i < 12; ++i) {
+    pred.on_request(off, 2, ++t);
+    off += (i % 2 == 0) ? 6 : -6;
+  }
+  GraphStream s(pred.walker(), 0, /*file_blocks=*/16, kUnboundedBudget, 1);
+  const auto blocks = drain(s, 100000);
+  EXPECT_LE(blocks.size(), 4u * 16 + 1024);
+  EXPECT_TRUE(s.exhausted());
+}
+
+TEST(GraphStream, NoFallbackAfterRealPrediction) {
+  // Once the walk produced predictions and then dead-ends, the stream stops
+  // rather than switching to the fallback (the fallback only covers cold
+  // starts).
+  IsPpmGraph graph(1);
+  IsPpmPredictor first(graph);
+  first.on_request(0, 2, 1);
+  first.on_request(4, 2, 2);
+  first.on_request(8, 2, 3);  // self-loop (4,2) established
+  // A second stream whose context ends on a node with one known hop.
+  GraphStream s(first.walker(), 10, 100, /*request_budget=*/3, 1);
+  // Three predicted (stride 4, size 2) requests: no fallback blocks.
+  const auto blocks = drain(s);
+  EXPECT_EQ(blocks, (std::vector<std::uint32_t>{12, 13, 16, 17, 20, 21}));
+  EXPECT_TRUE(s.exhausted());
+}
+
+}  // namespace
+}  // namespace lap

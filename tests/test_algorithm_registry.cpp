@@ -1,0 +1,71 @@
+#include "core/algorithm_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace lap {
+namespace {
+
+TEST(AlgorithmSpec, ParseNp) {
+  const auto s = AlgorithmSpec::parse("NP");
+  EXPECT_EQ(s.kind, AlgorithmSpec::Kind::kNone);
+  EXPECT_FALSE(s.prefetching());
+}
+
+TEST(AlgorithmSpec, ParseOba) {
+  const auto s = AlgorithmSpec::parse("OBA");
+  EXPECT_EQ(s.kind, AlgorithmSpec::Kind::kOba);
+  EXPECT_FALSE(s.aggressive);
+  EXPECT_TRUE(s.prefetching());
+}
+
+TEST(AlgorithmSpec, ParseLinearAggressiveOba) {
+  const auto s = AlgorithmSpec::parse("Ln_Agr_OBA");
+  EXPECT_TRUE(s.aggressive);
+  EXPECT_EQ(s.max_outstanding, 1u);
+  EXPECT_TRUE(s.linear());
+}
+
+TEST(AlgorithmSpec, ParseIsPpmOrders) {
+  EXPECT_EQ(AlgorithmSpec::parse("IS_PPM:1").order, 1);
+  EXPECT_EQ(AlgorithmSpec::parse("IS_PPM:3").order, 3);
+  EXPECT_EQ(AlgorithmSpec::parse("Ln_Agr_IS_PPM:3").order, 3);
+  EXPECT_EQ(AlgorithmSpec::parse("IS_PPM").order, 1);  // default order
+}
+
+TEST(AlgorithmSpec, ParseNonLinearAggressive) {
+  const auto s = AlgorithmSpec::parse("Agr_IS_PPM:2");
+  EXPECT_TRUE(s.aggressive);
+  EXPECT_EQ(s.max_outstanding, AlgorithmSpec::kUnlimited);
+  EXPECT_FALSE(s.linear());
+}
+
+TEST(AlgorithmSpec, NameRoundTrip) {
+  for (const char* name :
+       {"NP", "OBA", "Ln_Agr_OBA", "Agr_OBA", "IS_PPM:1", "IS_PPM:3",
+        "Ln_Agr_IS_PPM:1", "Ln_Agr_IS_PPM:3", "Agr_IS_PPM:2"}) {
+    EXPECT_EQ(AlgorithmSpec::parse(name).name(), name);
+  }
+}
+
+TEST(AlgorithmSpec, RejectsJunk) {
+  EXPECT_THROW(AlgorithmSpec::parse("LRU"), std::invalid_argument);
+  EXPECT_THROW(AlgorithmSpec::parse(""), std::invalid_argument);
+  EXPECT_THROW(AlgorithmSpec::parse("IS_PPM:0"), std::invalid_argument);
+}
+
+TEST(AlgorithmSpec, PaperSetMatchesTheFigures) {
+  const auto set = AlgorithmSpec::paper_set();
+  ASSERT_EQ(set.size(), 7u);
+  EXPECT_EQ(set[0].name(), "NP");
+  EXPECT_EQ(set[1].name(), "OBA");
+  EXPECT_EQ(set[2].name(), "Ln_Agr_OBA");
+  EXPECT_EQ(set[3].name(), "IS_PPM:1");
+  EXPECT_EQ(set[4].name(), "Ln_Agr_IS_PPM:1");
+  EXPECT_EQ(set[5].name(), "IS_PPM:3");
+  EXPECT_EQ(set[6].name(), "Ln_Agr_IS_PPM:3");
+}
+
+}  // namespace
+}  // namespace lap

@@ -1,0 +1,114 @@
+#include "trace/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/charisma_gen.hpp"
+#include "trace/sprite_gen.hpp"
+
+namespace lap {
+namespace {
+
+Trace hand_trace() {
+  Trace t;
+  t.block_size = 8_KiB;
+  t.files = {FileInfo{FileId{0}, 80_KiB}, FileInfo{FileId{1}, 160_KiB},
+             FileInfo{FileId{2}, 8_KiB}};
+  // Process 0: sequential reads of file 0 (blocks 0-1, 2-3, 4-5).
+  ProcessTrace p0{ProcId{0}, NodeId{0}, {}};
+  for (Bytes off = 0; off < 48_KiB; off += 16_KiB) {
+    p0.records.push_back(
+        TraceRecord{TraceOp::kRead, FileId{0}, off, 16_KiB, SimTime::zero()});
+  }
+  // Process 1: strided reads of file 1 (blocks 0, 4, 8) + a write + delete
+  // of file 2.
+  ProcessTrace p1{ProcId{1}, NodeId{1}, {}};
+  for (Bytes off = 0; off < 3 * 32_KiB; off += 32_KiB) {
+    p1.records.push_back(
+        TraceRecord{TraceOp::kRead, FileId{1}, off, 8_KiB, SimTime::zero()});
+  }
+  p1.records.push_back(
+      TraceRecord{TraceOp::kWrite, FileId{2}, 0, 8_KiB, SimTime::zero()});
+  p1.records.push_back(
+      TraceRecord{TraceOp::kDelete, FileId{2}, 0, 0, SimTime::zero()});
+  // Process 2: one irregular stream on file 0 (jumps of varying interval).
+  ProcessTrace p2{ProcId{2}, NodeId{2}, {}};
+  for (Bytes off : {0_KiB, 32_KiB, 40_KiB, 8_KiB}) {
+    p2.records.push_back(
+        TraceRecord{TraceOp::kRead, FileId{0}, off, 8_KiB, SimTime::zero()});
+  }
+  t.processes = {p0, p1, p2};
+  return t;
+}
+
+TEST(Analysis, CountsOpsAndBytes) {
+  const TraceProfile p = profile_trace(hand_trace());
+  EXPECT_EQ(p.read_ops, 10u);
+  EXPECT_EQ(p.write_ops, 1u);
+  EXPECT_EQ(p.bytes_read, 3 * 16_KiB + 3 * 8_KiB + 4 * 8_KiB);
+  EXPECT_EQ(p.bytes_written, 8_KiB);
+  EXPECT_EQ(p.files_deleted, 1u);
+}
+
+TEST(Analysis, ClassifiesStreams) {
+  const TraceProfile p = profile_trace(hand_trace());
+  EXPECT_EQ(p.stream_counts.at(StreamPattern::kSequential), 1u);
+  EXPECT_EQ(p.stream_counts.at(StreamPattern::kStrided), 1u);
+  EXPECT_EQ(p.stream_counts.at(StreamPattern::kIrregular), 1u);
+  EXPECT_NEAR(p.sequential_share, 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(p.strided_share, 1.0 / 3.0, 1e-9);
+}
+
+TEST(Analysis, SharingStatistics) {
+  const TraceProfile p = profile_trace(hand_trace());
+  // File 0 has two readers, file 1 one: 1.5 readers/file, 50% shared.
+  EXPECT_NEAR(p.mean_readers_per_file, 1.5, 1e-9);
+  EXPECT_NEAR(p.shared_file_share, 0.5, 1e-9);
+}
+
+TEST(Analysis, RequestSizeStatistics) {
+  const TraceProfile p = profile_trace(hand_trace());
+  EXPECT_EQ(p.max_read_blocks, 2u);
+  EXPECT_NEAR(p.mean_read_blocks, (3 * 2 + 7 * 1) / 10.0, 1e-9);
+  EXPECT_EQ(p.large_read_share, 0.0);
+}
+
+TEST(Analysis, EmptyTrace) {
+  const TraceProfile p = profile_trace(Trace{});
+  EXPECT_EQ(p.read_ops, 0u);
+  EXPECT_EQ(p.mean_read_blocks, 0.0);
+  EXPECT_EQ(p.shared_file_share, 0.0);
+}
+
+TEST(Analysis, PatternNames) {
+  EXPECT_STREQ(to_string(StreamPattern::kSequential), "sequential");
+  EXPECT_STREQ(to_string(StreamPattern::kStrided), "strided");
+  EXPECT_STREQ(to_string(StreamPattern::kIrregular), "irregular");
+  EXPECT_STREQ(to_string(StreamPattern::kSingle), "single-request");
+}
+
+// The generators must keep the published workload characteristics.
+TEST(Analysis, CharismaKeepsItsCharacterisation) {
+  CharismaParams params;
+  params.scale = 0.5;
+  const TraceProfile p = profile_trace(generate_charisma(params));
+  // Mostly regular access (sequential + strided dominate), real sharing,
+  // and a meaningful share of large requests — the CHARISMA signature.
+  EXPECT_GT(p.sequential_share + p.strided_share, 0.75);
+  EXPECT_GT(p.large_read_share, 0.1);
+  EXPECT_GT(p.shared_file_share, 0.05);
+  EXPECT_GT(p.mean_file_blocks, 100.0);  // large files
+}
+
+TEST(Analysis, SpriteKeepsItsCharacterisation) {
+  SpriteParams params;
+  params.scale = 0.4;
+  const TraceProfile p = profile_trace(generate_sprite(params));
+  EXPECT_LT(p.mean_file_blocks, 32.0);      // small files
+  EXPECT_LT(p.large_read_share, 0.05);      // small requests
+  EXPECT_GT(p.sequential_share, 0.5);       // mostly whole-file reads
+  EXPECT_GT(p.deleted_share, 0.05);         // data dies young
+  EXPECT_LT(p.mean_readers_per_file, 6.0);  // little concurrent sharing
+}
+
+}  // namespace
+}  // namespace lap

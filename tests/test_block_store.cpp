@@ -1,0 +1,167 @@
+#include "cache/block_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace lap {
+namespace {
+
+CacheEntry entry(std::uint32_t file, std::uint32_t index, bool dirty = false) {
+  CacheEntry e;
+  e.key = BlockKey{FileId{file}, index};
+  e.home = NodeId{0};
+  e.dirty = dirty;
+  return e;
+}
+
+TEST(BufferPool, InsertFindTouch) {
+  BufferPool pool(4);
+  EXPECT_EQ(pool.insert(entry(1, 0)), std::nullopt);
+  EXPECT_TRUE(pool.contains(BlockKey{FileId{1}, 0}));
+  EXPECT_NE(pool.find(BlockKey{FileId{1}, 0}), nullptr);
+  EXPECT_EQ(pool.find(BlockKey{FileId{1}, 1}), nullptr);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(BufferPool, EvictsLruWhenFull) {
+  BufferPool pool(2);
+  (void)pool.insert(entry(1, 0));
+  (void)pool.insert(entry(1, 1));
+  auto victim = pool.insert(entry(1, 2));
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(victim->key, (BlockKey{FileId{1}, 0}));
+  EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST(BufferPool, TouchProtectsFromEviction) {
+  BufferPool pool(2);
+  (void)pool.insert(entry(1, 0));
+  (void)pool.insert(entry(1, 1));
+  pool.touch(BlockKey{FileId{1}, 0});
+  auto victim = pool.insert(entry(1, 2));
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(victim->key, (BlockKey{FileId{1}, 1}));
+}
+
+TEST(BufferPool, ReinsertUpdatesInPlace) {
+  BufferPool pool(2);
+  (void)pool.insert(entry(1, 0));
+  CacheEntry updated = entry(1, 0, /*dirty=*/true);
+  EXPECT_EQ(pool.insert(updated), std::nullopt);  // no eviction
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_TRUE(pool.find(BlockKey{FileId{1}, 0})->dirty);
+  EXPECT_EQ(pool.dirty_count(), 1u);
+}
+
+TEST(BufferPool, DirtyTracking) {
+  BufferPool pool(4);
+  (void)pool.insert(entry(1, 0));
+  pool.mark_dirty(BlockKey{FileId{1}, 0}, SimTime::ms(5));
+  EXPECT_EQ(pool.dirty_count(), 1u);
+  EXPECT_EQ(pool.find(BlockKey{FileId{1}, 0})->dirty_since, SimTime::ms(5));
+  // Re-dirtying keeps the first timestamp of the episode.
+  pool.mark_dirty(BlockKey{FileId{1}, 0}, SimTime::ms(9));
+  EXPECT_EQ(pool.find(BlockKey{FileId{1}, 0})->dirty_since, SimTime::ms(5));
+  pool.mark_clean(BlockKey{FileId{1}, 0});
+  EXPECT_EQ(pool.dirty_count(), 0u);
+}
+
+TEST(BufferPool, EvictionDropsDirtyIndexEntry) {
+  BufferPool pool(1);
+  (void)pool.insert(entry(1, 0, /*dirty=*/true));
+  EXPECT_EQ(pool.dirty_count(), 1u);
+  auto victim = pool.insert(entry(1, 1));
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_TRUE(victim->dirty);
+  EXPECT_EQ(pool.dirty_count(), 0u);
+}
+
+TEST(BufferPool, ForEachDirtyVisitsExactlyDirtyEntries) {
+  BufferPool pool(8);
+  (void)pool.insert(entry(1, 0, true));
+  (void)pool.insert(entry(1, 1, false));
+  (void)pool.insert(entry(2, 0, true));
+  std::set<std::uint32_t> seen;
+  pool.for_each_dirty(
+      [&](const CacheEntry& e) { seen.insert(raw(e.key.file) * 100 + e.key.index); });
+  EXPECT_EQ(seen, (std::set<std::uint32_t>{100, 200}));
+}
+
+TEST(BufferPool, DropFileRemovesAllItsBlocks) {
+  BufferPool pool(8);
+  (void)pool.insert(entry(1, 0, true));
+  (void)pool.insert(entry(1, 5));
+  (void)pool.insert(entry(2, 0));
+  auto dropped = pool.drop_file(FileId{1});
+  EXPECT_EQ(dropped.size(), 2u);
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_FALSE(pool.contains(BlockKey{FileId{1}, 0}));
+  EXPECT_TRUE(pool.contains(BlockKey{FileId{2}, 0}));
+  EXPECT_EQ(pool.dirty_count(), 0u);  // the dirty block left with its file
+}
+
+TEST(BufferPool, DropMissingFileIsEmpty) {
+  BufferPool pool(2);
+  EXPECT_TRUE(pool.drop_file(FileId{9}).empty());
+}
+
+TEST(BufferPool, EraseReturnsEntry) {
+  BufferPool pool(2);
+  (void)pool.insert(entry(1, 0, true));
+  auto e = pool.erase(BlockKey{FileId{1}, 0});
+  ASSERT_TRUE(e.has_value());
+  EXPECT_TRUE(e->dirty);
+  EXPECT_EQ(pool.size(), 0u);
+  EXPECT_EQ(pool.erase(BlockKey{FileId{1}, 0}), std::nullopt);
+}
+
+TEST(BufferPool, EvictLruOnEmptyPool) {
+  BufferPool pool(2);
+  EXPECT_EQ(pool.evict_lru(), std::nullopt);
+}
+
+// Model-based property test: the pool must agree with a simple reference
+// model under a random operation mix, and never exceed capacity.
+TEST(BufferPoolProperty, AgreesWithReferenceModel) {
+  constexpr std::size_t kCapacity = 16;
+  BufferPool pool(kCapacity);
+  std::set<BlockKey> model;  // contents only; eviction order checked via size
+  Rng rng(2024);
+  for (int step = 0; step < 5000; ++step) {
+    const BlockKey key{FileId{static_cast<std::uint32_t>(rng.uniform_int(0, 3))},
+                       static_cast<std::uint32_t>(rng.uniform_int(0, 31))};
+    switch (rng.uniform_int(0, 3)) {
+      case 0: {  // insert
+        CacheEntry e;
+        e.key = key;
+        auto victim = pool.insert(e);
+        model.insert(key);
+        if (victim) {
+          model.erase(victim->key);
+          EXPECT_NE(victim->key, key);
+        }
+        break;
+      }
+      case 1:  // erase
+        pool.erase(key);
+        model.erase(key);
+        break;
+      case 2:  // touch if present
+        if (pool.contains(key)) pool.touch(key);
+        break;
+      case 3: {  // drop one file
+        for (const auto& e : pool.drop_file(key.file)) model.erase(e.key);
+        break;
+      }
+    }
+    ASSERT_LE(pool.size(), kCapacity);
+    ASSERT_EQ(pool.size(), model.size());
+    for (const auto& k : model) ASSERT_TRUE(pool.contains(k));
+  }
+}
+
+}  // namespace
+}  // namespace lap

@@ -1,0 +1,143 @@
+#include "fs/common/client.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace lap {
+namespace {
+
+// A FileSystem stub that records call order and completes each operation
+// after a fixed latency.
+class StubFs final : public FileSystem {
+ public:
+  explicit StubFs(Engine& eng, SimTime latency) : eng_(&eng), latency_(latency) {}
+
+  struct Call {
+    char op;
+    std::uint32_t pid;
+    SimTime at;
+  };
+
+  SimFuture<Done> open(ProcId pid, NodeId, FileId) override { return op('O', pid); }
+  SimFuture<Done> close(ProcId pid, NodeId, FileId) override { return op('C', pid); }
+  SimFuture<Done> read(ProcId pid, NodeId, FileId, Bytes, Bytes) override {
+    return op('R', pid);
+  }
+  SimFuture<Done> write(ProcId pid, NodeId, FileId, Bytes, Bytes) override {
+    return op('W', pid);
+  }
+  SimFuture<Done> remove(ProcId pid, NodeId, FileId) override {
+    return op('D', pid);
+  }
+  void finalize() override {}
+  [[nodiscard]] PrefetchCounters prefetch_counters_total() const override {
+    return {};
+  }
+
+  std::vector<Call> calls;
+
+ private:
+  SimFuture<Done> op(char kind, ProcId pid) {
+    calls.push_back(Call{kind, raw(pid), eng_->now()});
+    SimPromise<Done> done(*eng_);
+    eng_->schedule_in(latency_, [done] { done.set_value(Done{}); });
+    return done.future();
+  }
+
+  Engine* eng_;
+  SimTime latency_;
+};
+
+Trace two_process_trace(bool serialize) {
+  Trace t;
+  t.serialize_per_node = serialize;
+  t.files = {FileInfo{FileId{0}, 64_KiB}};
+  for (std::uint32_t pid = 0; pid < 2; ++pid) {
+    ProcessTrace p{ProcId{pid}, NodeId{0}, {}};
+    p.records = {
+        TraceRecord{TraceOp::kOpen, FileId{0}, 0, 0, SimTime::ms(1)},
+        TraceRecord{TraceOp::kRead, FileId{0}, 0, 8_KiB, SimTime::ms(2)},
+        TraceRecord{TraceOp::kClose, FileId{0}, 0, 0, SimTime::zero()},
+    };
+    t.processes.push_back(std::move(p));
+  }
+  return t;
+}
+
+TEST(WorkloadRunner, ClosedLoopTiming) {
+  Engine eng;
+  StubFs fs(eng, SimTime::ms(10));
+  Metrics metrics;
+  Trace t = two_process_trace(false);
+  t.processes.resize(1);
+  WorkloadRunner runner(eng, fs, metrics, t);
+  bool done = false;
+  runner.start([&] { done = true; });
+  eng.run();
+  ASSERT_TRUE(done);
+  ASSERT_EQ(fs.calls.size(), 3u);
+  EXPECT_EQ(fs.calls[0].at, SimTime::ms(1));   // after the first think
+  EXPECT_EQ(fs.calls[1].at, SimTime::ms(13));  // open done (11) + think 2
+  EXPECT_EQ(fs.calls[2].at, SimTime::ms(23));  // read done, no think
+}
+
+TEST(WorkloadRunner, ConcurrentProcessesOverlap) {
+  Engine eng;
+  StubFs fs(eng, SimTime::ms(10));
+  Metrics metrics;
+  const Trace t = two_process_trace(/*serialize=*/false);
+  WorkloadRunner runner(eng, fs, metrics, t);
+  runner.start({});
+  eng.run();
+  // Both processes open at t = 1 ms: they run in parallel.
+  ASSERT_GE(fs.calls.size(), 2u);
+  EXPECT_EQ(fs.calls[0].at, SimTime::ms(1));
+  EXPECT_EQ(fs.calls[1].at, SimTime::ms(1));
+}
+
+TEST(WorkloadRunner, SerializedNodeRunsSessionsBackToBack) {
+  Engine eng;
+  StubFs fs(eng, SimTime::ms(10));
+  Metrics metrics;
+  const Trace t = two_process_trace(/*serialize=*/true);
+  WorkloadRunner runner(eng, fs, metrics, t);
+  runner.start({});
+  eng.run();
+  // Process 1 starts only after process 0 finished (t = 23 + 10 close
+  // latency = 33 ms), plus its own 1 ms think.
+  ASSERT_EQ(fs.calls.size(), 6u);
+  EXPECT_EQ(fs.calls[3].op, 'O');
+  EXPECT_EQ(fs.calls[3].pid, 1u);
+  EXPECT_EQ(fs.calls[3].at, SimTime::ms(34));
+}
+
+TEST(WorkloadRunner, RecordsReadAndWriteLatencies) {
+  Engine eng;
+  StubFs fs(eng, SimTime::ms(10));
+  Metrics metrics;
+  Trace t = two_process_trace(false);
+  t.processes.resize(1);
+  t.processes[0].records.push_back(
+      TraceRecord{TraceOp::kWrite, FileId{0}, 0, 8_KiB, SimTime::zero()});
+  WorkloadRunner runner(eng, fs, metrics, t);
+  runner.start({});
+  eng.run();
+  EXPECT_EQ(metrics.reads(), 1u);
+  EXPECT_EQ(metrics.writes(), 1u);
+  EXPECT_DOUBLE_EQ(metrics.avg_read_ms(), 10.0);
+}
+
+TEST(WorkloadRunner, EmptyTraceCompletesImmediately) {
+  Engine eng;
+  StubFs fs(eng, SimTime::ms(1));
+  Metrics metrics;
+  Trace t;
+  WorkloadRunner runner(eng, fs, metrics, t);
+  bool done = false;
+  runner.start([&] { done = true; });
+  EXPECT_TRUE(done);
+}
+
+}  // namespace
+}  // namespace lap

@@ -1,0 +1,99 @@
+// Tests of the optional per-node CPU scheduling model (DIMEMAS short-term
+// scheduling): co-located processes' compute phases serialise on the node's
+// processor.
+#include <gtest/gtest.h>
+
+#include "fs/common/client.hpp"
+
+namespace lap {
+namespace {
+
+// A file system with zero-cost operations: all time comes from think times.
+class NullFs final : public FileSystem {
+ public:
+  explicit NullFs(Engine& eng) : eng_(&eng) {}
+
+  SimFuture<Done> open(ProcId, NodeId, FileId) override { return now(); }
+  SimFuture<Done> close(ProcId, NodeId, FileId) override { return now(); }
+  SimFuture<Done> read(ProcId, NodeId, FileId, Bytes, Bytes) override {
+    return now();
+  }
+  SimFuture<Done> write(ProcId, NodeId, FileId, Bytes, Bytes) override {
+    return now();
+  }
+  SimFuture<Done> remove(ProcId, NodeId, FileId) override { return now(); }
+  void finalize() override {}
+  [[nodiscard]] PrefetchCounters prefetch_counters_total() const override {
+    return {};
+  }
+
+ private:
+  SimFuture<Done> now() {
+    SimPromise<Done> done(*eng_);
+    done.set_value(Done{});
+    return done.future();
+  }
+  Engine* eng_;
+};
+
+Trace colocated_trace() {
+  // Two processes on the same node, each: think 10 ms then one read.
+  Trace t;
+  t.files = {FileInfo{FileId{0}, 8_KiB}};
+  for (std::uint32_t pid = 0; pid < 2; ++pid) {
+    ProcessTrace p{ProcId{pid}, NodeId{0}, {}};
+    p.records = {
+        TraceRecord{TraceOp::kRead, FileId{0}, 0, 8_KiB, SimTime::ms(10)}};
+    t.processes.push_back(std::move(p));
+  }
+  return t;
+}
+
+TEST(CpuContention, OpenModelOverlapsComputePhases) {
+  Engine eng;
+  NullFs fs(eng);
+  Metrics metrics;
+  const Trace t = colocated_trace();
+  WorkloadRunner runner(eng, fs, metrics, t, /*cpu_contention=*/false);
+  runner.start({});
+  eng.run();
+  EXPECT_EQ(eng.now(), SimTime::ms(10));  // both thinks in parallel
+}
+
+TEST(CpuContention, SharedCpuSerializesComputePhases) {
+  Engine eng;
+  NullFs fs(eng);
+  Metrics metrics;
+  const Trace t = colocated_trace();
+  WorkloadRunner runner(eng, fs, metrics, t, /*cpu_contention=*/true);
+  runner.start({});
+  eng.run();
+  EXPECT_EQ(eng.now(), SimTime::ms(20));  // thinks queue on the one CPU
+}
+
+TEST(CpuContention, DifferentNodesStayIndependent) {
+  Engine eng;
+  NullFs fs(eng);
+  Metrics metrics;
+  Trace t = colocated_trace();
+  t.processes[1].node = NodeId{1};
+  WorkloadRunner runner(eng, fs, metrics, t, /*cpu_contention=*/true);
+  runner.start({});
+  eng.run();
+  EXPECT_EQ(eng.now(), SimTime::ms(10));
+}
+
+TEST(CpuContention, ZeroThinkNeedsNoCpu) {
+  Engine eng;
+  NullFs fs(eng);
+  Metrics metrics;
+  Trace t = colocated_trace();
+  for (auto& p : t.processes) p.records[0].think = SimTime::zero();
+  WorkloadRunner runner(eng, fs, metrics, t, /*cpu_contention=*/true);
+  runner.start({});
+  eng.run();
+  EXPECT_EQ(eng.now(), SimTime::zero());
+}
+
+}  // namespace
+}  // namespace lap

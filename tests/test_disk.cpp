@@ -1,0 +1,149 @@
+#include "disk/disk.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/task.hpp"
+
+namespace lap {
+namespace {
+
+DiskConfig paper_disk() {
+  // Table 1: 8 KB blocks, 10 MB/s, 10.5/12.5 ms seeks.
+  return DiskConfig{8_KiB, Bandwidth::mb_per_s(10), SimTime::ms(10.5),
+                    SimTime::ms(12.5)};
+}
+
+SimTask track(SimFuture<Done> fut, Engine& eng, int id,
+              std::vector<std::pair<int, SimTime>>& done) {
+  co_await fut;
+  done.emplace_back(id, eng.now());
+}
+
+TEST(Disk, ServiceTimesMatchTable1) {
+  Engine eng;
+  Disk d(eng, paper_disk());
+  // 10.5 ms + 8192B / 10MB/s = 10.5 + 0.8192 ms.
+  EXPECT_NEAR(d.read_service_time().millis(), 11.3192, 1e-3);
+  EXPECT_NEAR(d.write_service_time().millis(), 13.3192, 1e-3);
+}
+
+TEST(Disk, SingleReadCompletesAfterServiceTime) {
+  Engine eng;
+  Disk d(eng, paper_disk());
+  std::vector<std::pair<int, SimTime>> done;
+  track(d.read_block(prio::kDemand), eng, 0, done);
+  eng.run();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].second, d.read_service_time());
+}
+
+TEST(Disk, QueueSerializesOperations) {
+  Engine eng;
+  Disk d(eng, paper_disk());
+  std::vector<std::pair<int, SimTime>> done;
+  track(d.read_block(prio::kDemand), eng, 0, done);
+  track(d.read_block(prio::kDemand), eng, 1, done);
+  eng.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[1].second, 2 * d.read_service_time());
+}
+
+TEST(Disk, DemandOvertakesQueuedPrefetch) {
+  Engine eng;
+  Disk d(eng, paper_disk());
+  std::vector<std::pair<int, SimTime>> done;
+  track(d.read_block(prio::kDemand), eng, 0, done);    // in service
+  track(d.read_block(prio::kPrefetch), eng, 1, done);  // queued
+  track(d.read_block(prio::kDemand), eng, 2, done);    // queued, urgent
+  eng.run();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_EQ(done[0].first, 0);
+  EXPECT_EQ(done[1].first, 2);
+  EXPECT_EQ(done[2].first, 1);
+}
+
+TEST(Disk, BoostPromotesQueuedPrefetch) {
+  Engine eng;
+  Disk d(eng, paper_disk());
+  std::vector<std::pair<int, SimTime>> done;
+  track(d.read_block(prio::kDemand), eng, 0, done);  // in service
+  Disk::OpId prefetch_id = 0;
+  track(d.read_block(prio::kPrefetch, &prefetch_id), eng, 1, done);
+  track(d.read_block(prio::kSync), eng, 2, done);  // would overtake prefetch
+  d.boost(prefetch_id, prio::kDemand);             // ...unless boosted
+  eng.run();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_EQ(done[1].first, 1);  // boosted prefetch served before the sync op
+  EXPECT_EQ(done[2].first, 2);
+  EXPECT_EQ(d.stats().boosts, 1u);
+}
+
+TEST(Disk, BoostKeepsSubmissionOrderWithinPriority) {
+  Engine eng;
+  Disk d(eng, paper_disk());
+  std::vector<std::pair<int, SimTime>> done;
+  track(d.read_block(prio::kDemand), eng, 0, done);  // in service
+  Disk::OpId a = 0;
+  track(d.read_block(prio::kPrefetch, &a), eng, 1, done);
+  track(d.read_block(prio::kDemand), eng, 2, done);
+  d.boost(a, prio::kDemand);
+  eng.run();
+  // The boosted op was submitted before op 2, so it keeps that order.
+  EXPECT_EQ(done[1].first, 1);
+  EXPECT_EQ(done[2].first, 2);
+}
+
+TEST(Disk, BoostToLessUrgentIsIgnored) {
+  Engine eng;
+  Disk d(eng, paper_disk());
+  std::vector<std::pair<int, SimTime>> done;
+  track(d.read_block(prio::kDemand), eng, 0, done);
+  Disk::OpId id = 0;
+  track(d.read_block(prio::kDemand, &id), eng, 1, done);
+  d.boost(id, prio::kPrefetch);  // no demotion
+  eng.run();
+  EXPECT_EQ(d.stats().boosts, 0u);
+  EXPECT_EQ(done[1].first, 1);
+}
+
+TEST(Disk, BoostAfterCompletionIsIgnored) {
+  Engine eng;
+  Disk d(eng, paper_disk());
+  Disk::OpId id = 0;
+  (void)d.read_block(prio::kPrefetch, &id);
+  eng.run();
+  d.boost(id, prio::kDemand);  // harmless
+  EXPECT_EQ(d.stats().boosts, 0u);
+}
+
+TEST(Disk, StatsCountReadsWritesPrefetches) {
+  Engine eng;
+  Disk d(eng, paper_disk());
+  (void)d.read_block(prio::kDemand);
+  (void)d.read_block(prio::kPrefetch);
+  (void)d.write_block(prio::kSync);
+  eng.run();
+  EXPECT_EQ(d.stats().block_reads, 2u);
+  EXPECT_EQ(d.stats().block_writes, 1u);
+  EXPECT_EQ(d.stats().prefetch_reads, 1u);
+  EXPECT_EQ(d.stats().accesses(), 3u);
+  EXPECT_EQ(d.stats().busy_time,
+            2 * d.read_service_time() + d.write_service_time());
+}
+
+TEST(Disk, BusyAndQueueLength) {
+  Engine eng;
+  Disk d(eng, paper_disk());
+  EXPECT_FALSE(d.busy());
+  (void)d.read_block(prio::kDemand);
+  (void)d.read_block(prio::kDemand);
+  EXPECT_TRUE(d.busy());
+  EXPECT_EQ(d.queue_length(), 1u);  // one in service, one queued
+  eng.run();
+  EXPECT_FALSE(d.busy());
+}
+
+}  // namespace
+}  // namespace lap

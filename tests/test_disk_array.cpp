@@ -1,0 +1,91 @@
+#include "disk/disk_array.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace lap {
+namespace {
+
+DiskConfig cfg() {
+  return DiskConfig{8_KiB, Bandwidth::mb_per_s(10), SimTime::ms(10.5),
+                    SimTime::ms(12.5)};
+}
+
+TEST(DiskArray, StripingIsDeterministic) {
+  Engine eng;
+  DiskArray arr(eng, cfg(), 16);
+  const BlockKey key{FileId{3}, 17};
+  EXPECT_EQ(arr.disk_id_for(key), arr.disk_id_for(key));
+}
+
+TEST(DiskArray, ConsecutiveBlocksHitConsecutiveDisks) {
+  Engine eng;
+  DiskArray arr(eng, cfg(), 16);
+  const auto d0 = raw(arr.disk_id_for(BlockKey{FileId{5}, 0}));
+  const auto d1 = raw(arr.disk_id_for(BlockKey{FileId{5}, 1}));
+  EXPECT_EQ((d0 + 1) % 16, d1);
+}
+
+TEST(DiskArray, FilesStartOnDifferentDisks) {
+  Engine eng;
+  DiskArray arr(eng, cfg(), 16);
+  std::vector<int> start_counts(16, 0);
+  for (std::uint32_t f = 0; f < 256; ++f) {
+    ++start_counts[raw(arr.disk_id_for(BlockKey{FileId{f}, 0}))];
+  }
+  // A perfectly skewed placement would put all 256 starts on one disk; a
+  // hashed placement spreads them (expected 16 per disk).
+  for (int c : start_counts) EXPECT_LT(c, 48);
+}
+
+TEST(DiskArray, OneFileUsesAllSpindles) {
+  Engine eng;
+  DiskArray arr(eng, cfg(), 8);
+  std::vector<bool> used(8, false);
+  for (std::uint32_t b = 0; b < 8; ++b) {
+    used[raw(arr.disk_id_for(BlockKey{FileId{1}, b}))] = true;
+  }
+  for (bool u : used) EXPECT_TRUE(u);
+}
+
+TEST(DiskArray, AggregateStats) {
+  Engine eng;
+  DiskArray arr(eng, cfg(), 4);
+  for (std::uint32_t b = 0; b < 10; ++b) {
+    (void)arr.read(BlockKey{FileId{1}, b}, prio::kDemand);
+    (void)arr.write(BlockKey{FileId{2}, b}, prio::kSync);
+  }
+  eng.run();
+  const DiskStats total = arr.total_stats();
+  EXPECT_EQ(total.block_reads, 10u);
+  EXPECT_EQ(total.block_writes, 10u);
+}
+
+TEST(DiskArray, ResetStats) {
+  Engine eng;
+  DiskArray arr(eng, cfg(), 2);
+  (void)arr.read(BlockKey{FileId{1}, 0}, prio::kDemand);
+  eng.run();
+  arr.reset_stats();
+  EXPECT_EQ(arr.total_stats().accesses(), 0u);
+}
+
+TEST(DiskArray, BoostViaOpRef) {
+  Engine eng;
+  DiskArray arr(eng, cfg(), 1);
+  (void)arr.read(BlockKey{FileId{1}, 0}, prio::kDemand);  // occupies the disk
+  DiskOpRef ref;
+  (void)arr.read(BlockKey{FileId{1}, 1}, prio::kPrefetch, &ref);
+  ref.boost(prio::kDemand);
+  eng.run();
+  EXPECT_EQ(arr.total_stats().boosts, 1u);
+}
+
+TEST(DiskOpRef, DefaultIsInertNoop) {
+  DiskOpRef ref;
+  ref.boost(prio::kDemand);  // must not crash
+}
+
+}  // namespace
+}  // namespace lap

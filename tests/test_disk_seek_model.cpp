@@ -1,0 +1,89 @@
+// Tests of the optional distance-dependent seek model.
+#include <gtest/gtest.h>
+
+#include "disk/disk.hpp"
+#include "disk/disk_array.hpp"
+#include "sim/task.hpp"
+
+namespace lap {
+namespace {
+
+DiskConfig distance_cfg() {
+  DiskConfig cfg{8_KiB, Bandwidth::mb_per_s(10), SimTime::ms(10.5),
+                 SimTime::ms(12.5)};
+  cfg.distance_seeks = true;
+  cfg.cylinders = 1000;
+  return cfg;
+}
+
+TEST(DiskSeekModel, FlatModelIgnoresLba) {
+  Engine eng;
+  DiskConfig cfg = distance_cfg();
+  cfg.distance_seeks = false;
+  Disk d(eng, cfg);
+  EXPECT_EQ(d.service_time(false, 0), d.service_time(false, 999));
+  EXPECT_EQ(d.service_time(false, 0), d.read_service_time());
+}
+
+TEST(DiskSeekModel, NearSeeksAreCheaper) {
+  Engine eng;
+  Disk d(eng, distance_cfg());
+  // Arm starts at 0: a request at lba 0 costs the minimum (0.4x avg).
+  const SimTime near = d.service_time(false, 0);
+  const SimTime far = d.service_time(false, 999);
+  EXPECT_LT(near, far);
+  // 0.4x and 1.6x of the average seek plus the transfer.
+  const double transfer_us = 819.2;
+  EXPECT_NEAR(near.micros() - transfer_us, 0.4 * 10500, 20);
+  EXPECT_NEAR(far.micros() - transfer_us, 1.6 * 10500 * 0.999, 40);
+}
+
+TEST(DiskSeekModel, UniformTrafficAveragesNearTable1) {
+  Engine eng;
+  Disk d(eng, distance_cfg());
+  // Uniformly random positions: mean |d| of two uniforms is 1/3, so the
+  // mean seek is (0.4 + 0.4)x... measure it empirically instead.
+  std::uint64_t lba = 1;
+  for (int i = 0; i < 400; ++i) {
+    (void)d.read_block(prio::kDemand, nullptr, (lba = (lba * 48271) % 1000));
+  }
+  eng.run();
+  const double mean_us = d.stats().busy_time.micros() / 400.0;
+  // 0.4 + 1.2 * E|d| = 0.4 + 0.4 = 0.8x avg seek, plus transfer.
+  EXPECT_NEAR(mean_us, 0.8 * 10500 + 819.2, 400);
+}
+
+TEST(DiskSeekModel, SequentialRunsGetFastAfterTheFirstSeek) {
+  Engine eng;
+  Disk d(eng, distance_cfg());
+  (void)d.read_block(prio::kDemand, nullptr, 500);
+  eng.run();
+  const SimTime before = d.stats().busy_time;
+  (void)d.read_block(prio::kDemand, nullptr, 500);  // same track
+  eng.run();
+  const SimTime second = d.stats().busy_time - before;
+  EXPECT_NEAR(second.micros(), 0.4 * 10500 + 819.2, 10);
+}
+
+TEST(DiskSeekModel, ArrayAssignsAdjacentLbasToFileRuns) {
+  Engine eng;
+  DiskArray arr(eng, distance_cfg(), 16);
+  const BlockKey a{FileId{3}, 0};
+  const BlockKey b{FileId{3}, 16};  // same spindle, next stripe row
+  EXPECT_EQ(arr.disk_id_for(a), arr.disk_id_for(b));
+  EXPECT_EQ(arr.lba_for(b), arr.lba_for(a) + 1);
+}
+
+TEST(DiskSeekModel, BoostStillWorksWithDistanceSeeks) {
+  Engine eng;
+  Disk d(eng, distance_cfg());
+  (void)d.read_block(prio::kDemand, nullptr, 10);
+  Disk::OpId id = 0;
+  (void)d.read_block(prio::kPrefetch, &id, 20);
+  d.boost(id, prio::kDemand);
+  eng.run();
+  EXPECT_EQ(d.stats().boosts, 1u);
+}
+
+}  // namespace
+}  // namespace lap

@@ -1,0 +1,120 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/task.hpp"
+
+namespace lap {
+namespace {
+
+TEST(Engine, StartsAtZero) {
+  Engine eng;
+  EXPECT_EQ(eng.now(), SimTime::zero());
+  EXPECT_TRUE(eng.empty());
+}
+
+TEST(Engine, EventsFireInTimeOrder) {
+  Engine eng;
+  std::vector<int> order;
+  eng.schedule_at(SimTime::us(30), [&] { order.push_back(3); });
+  eng.schedule_at(SimTime::us(10), [&] { order.push_back(1); });
+  eng.schedule_at(SimTime::us(20), [&] { order.push_back(2); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eng.now(), SimTime::us(30));
+}
+
+TEST(Engine, TiesBreakBySubmissionOrder) {
+  Engine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    eng.schedule_at(SimTime::us(5), [&order, i] { order.push_back(i); });
+  }
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, HandlersMayScheduleMoreEvents) {
+  Engine eng;
+  int fired = 0;
+  eng.schedule_at(SimTime::us(1), [&] {
+    ++fired;
+    eng.schedule_in(SimTime::us(1), [&] { ++fired; });
+  });
+  eng.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(eng.now(), SimTime::us(2));
+}
+
+TEST(Engine, RunUntilStopsAtHorizon) {
+  Engine eng;
+  int fired = 0;
+  eng.schedule_at(SimTime::us(10), [&] { ++fired; });
+  eng.schedule_at(SimTime::us(30), [&] { ++fired; });
+  eng.run_until(SimTime::us(20));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(eng.now(), SimTime::us(20));  // advanced to the horizon
+  eng.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, CountsProcessedEvents) {
+  Engine eng;
+  for (int i = 0; i < 7; ++i) eng.schedule_in(SimTime::us(i), [] {});
+  EXPECT_EQ(eng.run(), 7u);
+  EXPECT_EQ(eng.events_processed(), 7u);
+}
+
+TEST(Engine, SchedulingInThePastIsRejected) {
+  Engine eng;
+  eng.schedule_at(SimTime::us(10), [] {});
+  eng.run();
+  EXPECT_DEATH(eng.schedule_at(SimTime::us(5), [] {}), "Precondition");
+}
+
+TEST(EngineCoroutine, DelayAdvancesTime) {
+  Engine eng;
+  SimTime observed;
+  bool finished = false;
+  [](Engine& e, SimTime& obs, bool& done) -> SimTask {
+    co_await e.delay(SimTime::ms(2));
+    obs = e.now();
+    co_await e.delay(SimTime::ms(3));
+    done = true;
+  }(eng, observed, finished);
+  eng.run();
+  EXPECT_EQ(observed, SimTime::ms(2));
+  EXPECT_TRUE(finished);
+  EXPECT_EQ(eng.now(), SimTime::ms(5));
+}
+
+TEST(EngineCoroutine, ZeroDelayStillSuspends) {
+  Engine eng;
+  std::vector<int> order;
+  [](Engine& e, std::vector<int>& ord) -> SimTask {
+    ord.push_back(1);
+    co_await e.delay(SimTime::zero());
+    ord.push_back(3);
+  }(eng, order);
+  order.push_back(2);  // runs between coroutine start and resumption
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EngineCoroutine, ManyConcurrentTasks) {
+  Engine eng;
+  int done = 0;
+  for (int i = 0; i < 1000; ++i) {
+    [](Engine& e, int delay_us, int& d) -> SimTask {
+      co_await e.delay(SimTime::us(delay_us));
+      ++d;
+    }(eng, i % 17, done);
+  }
+  eng.run();
+  EXPECT_EQ(done, 1000);
+}
+
+}  // namespace
+}  // namespace lap

@@ -1,0 +1,89 @@
+#include "fs/common/file_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lap {
+namespace {
+
+TEST(FileModel, AddAndQuery) {
+  FileModel fm(8_KiB);
+  fm.add_file(FileId{1}, 20_KiB);
+  EXPECT_TRUE(fm.exists(FileId{1}));
+  EXPECT_EQ(fm.size(FileId{1}), 20_KiB);
+  EXPECT_EQ(fm.blocks(FileId{1}), 3u);  // ceil(20/8)
+  EXPECT_FALSE(fm.exists(FileId{2}));
+  EXPECT_EQ(fm.blocks(FileId{2}), 0u);
+}
+
+TEST(FileModel, RangeMapsBytesToBlocks) {
+  FileModel fm(8_KiB);
+  fm.add_file(FileId{1}, 80_KiB);  // blocks 0..9
+  const BlockRange r = fm.range(FileId{1}, 20_KiB, 20_KiB);
+  EXPECT_EQ(r.first, 2u);  // bytes 20K..40K touch blocks 2..4
+  EXPECT_EQ(r.count, 3u);
+}
+
+TEST(FileModel, RangeSingleByte) {
+  FileModel fm(8_KiB);
+  fm.add_file(FileId{1}, 80_KiB);
+  const BlockRange r = fm.range(FileId{1}, 8_KiB, 1);
+  EXPECT_EQ(r.first, 1u);
+  EXPECT_EQ(r.count, 1u);
+}
+
+TEST(FileModel, RangeTwoBytesAcrossBlockBoundary) {
+  // The paper: "If a given operation only requests 2 bytes but from two
+  // different blocks, we assume that it was a two block request."
+  FileModel fm(8_KiB);
+  fm.add_file(FileId{1}, 80_KiB);
+  const BlockRange r = fm.range(FileId{1}, 8_KiB - 1, 2);
+  EXPECT_EQ(r.first, 0u);
+  EXPECT_EQ(r.count, 2u);
+}
+
+TEST(FileModel, RangeClipsToFileSize) {
+  FileModel fm(8_KiB);
+  fm.add_file(FileId{1}, 24_KiB);
+  const BlockRange r = fm.range(FileId{1}, 16_KiB, 100_KiB);
+  EXPECT_EQ(r.first, 2u);
+  EXPECT_EQ(r.count, 1u);
+  const BlockRange beyond = fm.range(FileId{1}, 24_KiB, 8_KiB);
+  EXPECT_EQ(beyond.count, 0u);
+}
+
+TEST(FileModel, ExtendGrowsFile) {
+  FileModel fm(8_KiB);
+  fm.add_file(FileId{1}, 8_KiB);
+  fm.extend(FileId{1}, 16_KiB, 8_KiB);
+  EXPECT_EQ(fm.size(FileId{1}), 24_KiB);
+  fm.extend(FileId{1}, 0, 1);  // never shrinks
+  EXPECT_EQ(fm.size(FileId{1}), 24_KiB);
+}
+
+TEST(FileModel, ExtendCreatesUnknownFile) {
+  FileModel fm(8_KiB);
+  fm.extend(FileId{9}, 0, 16_KiB);
+  EXPECT_TRUE(fm.exists(FileId{9}));
+  EXPECT_EQ(fm.blocks(FileId{9}), 2u);
+}
+
+TEST(FileModel, RemoveForgetsFile) {
+  FileModel fm(8_KiB);
+  fm.add_file(FileId{1}, 8_KiB);
+  fm.remove(FileId{1});
+  EXPECT_FALSE(fm.exists(FileId{1}));
+  EXPECT_EQ(fm.range(FileId{1}, 0, 8_KiB).count, 0u);
+}
+
+TEST(FileModel, LoadFromTrace) {
+  Trace t;
+  t.block_size = 8_KiB;
+  t.files = {FileInfo{FileId{0}, 16_KiB}, FileInfo{FileId{1}, 8_KiB}};
+  FileModel fm(t.block_size);
+  fm.load(t);
+  EXPECT_EQ(fm.file_count(), 2u);
+  EXPECT_EQ(fm.blocks(FileId{0}), 2u);
+}
+
+}  // namespace
+}  // namespace lap

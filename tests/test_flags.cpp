@@ -1,0 +1,56 @@
+#include "util/flags.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace lap {
+namespace {
+
+Flags make(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return Flags(static_cast<int>(args.size()),
+               const_cast<char**>(args.data()));
+}
+
+TEST(Flags, EqualsForm) {
+  auto f = make({"--cache-mb=8", "--algo=NP"});
+  EXPECT_EQ(f.get_int("cache-mb", 0), 8);
+  EXPECT_EQ(f.get("algo", ""), "NP");
+}
+
+TEST(Flags, SpaceForm) {
+  auto f = make({"--scale", "0.5"});
+  EXPECT_DOUBLE_EQ(f.get_double("scale", 1.0), 0.5);
+}
+
+TEST(Flags, BareBoolean) {
+  auto f = make({"--verbose"});
+  EXPECT_TRUE(f.get_bool("verbose", false));
+  EXPECT_FALSE(f.get_bool("quiet", false));
+}
+
+TEST(Flags, BooleanValues) {
+  auto f = make({"--a=true", "--b=0", "--c=yes", "--d=no"});
+  EXPECT_TRUE(f.get_bool("a", false));
+  EXPECT_FALSE(f.get_bool("b", true));
+  EXPECT_TRUE(f.get_bool("c", false));
+  EXPECT_FALSE(f.get_bool("d", true));
+}
+
+TEST(Flags, Defaults) {
+  auto f = make({});
+  EXPECT_EQ(f.get("missing", "dflt"), "dflt");
+  EXPECT_EQ(f.get_int("missing", 42), 42);
+  EXPECT_FALSE(f.has("missing"));
+}
+
+TEST(Flags, Positional) {
+  auto f = make({"input.trace", "--x=1", "output.txt"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "input.trace");
+  EXPECT_EQ(f.positional()[1], "output.txt");
+}
+
+}  // namespace
+}  // namespace lap

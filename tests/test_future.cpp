@@ -1,0 +1,141 @@
+#include "sim/future.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/task.hpp"
+
+namespace lap {
+namespace {
+
+TEST(SimFuture, AwaitAfterSetResumesImmediately) {
+  Engine eng;
+  SimPromise<int> p(eng);
+  p.set_value(42);
+  int got = 0;
+  [](SimPromise<int> pr, int& out) -> SimTask {
+    out = co_await pr.future();
+  }(p, got);
+  EXPECT_EQ(got, 42);  // ready future: no suspension at all
+}
+
+TEST(SimFuture, AwaitBeforeSetSuspends) {
+  Engine eng;
+  SimPromise<int> p(eng);
+  int got = 0;
+  [](SimPromise<int> pr, int& out) -> SimTask {
+    out = co_await pr.future();
+  }(p, got);
+  EXPECT_EQ(got, 0);
+  eng.schedule_in(SimTime::us(5), [p] { p.set_value(7); });
+  eng.run();
+  EXPECT_EQ(got, 7);
+  EXPECT_EQ(eng.now(), SimTime::us(5));
+}
+
+TEST(SimFuture, MovesPayload) {
+  Engine eng;
+  SimPromise<std::string> p(eng);
+  std::string got;
+  [](SimPromise<std::string> pr, std::string& out) -> SimTask {
+    out = co_await pr.future();
+  }(p, got);
+  p.set_value("hello");
+  eng.run();
+  EXPECT_EQ(got, "hello");
+}
+
+TEST(SimFuture, DoubleSetIsRejected) {
+  Engine eng;
+  SimPromise<int> p(eng);
+  p.set_value(1);
+  EXPECT_DEATH(p.set_value(2), "Precondition");
+}
+
+TEST(Joiner, ZeroCountResolvesImmediately) {
+  Engine eng;
+  Joiner j(eng, 0);
+  bool done = false;
+  [](Joiner& jo, bool& d) -> SimTask {
+    co_await jo.future();
+    d = true;
+  }(j, done);
+  EXPECT_TRUE(done);
+}
+
+TEST(Joiner, ResolvesOnLastArrival) {
+  Engine eng;
+  Joiner j(eng, 3);
+  bool done = false;
+  [](Joiner& jo, bool& d) -> SimTask {
+    co_await jo.future();
+    d = true;
+  }(j, done);
+  j.arrive();
+  j.arrive();
+  eng.run();
+  EXPECT_FALSE(done);
+  j.arrive();
+  eng.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(Joiner, OverArrivalIsRejected) {
+  Engine eng;
+  Joiner j(eng, 1);
+  j.arrive();
+  EXPECT_DEATH(j.arrive(), "Precondition");
+}
+
+TEST(Broadcast, WakesAllWaiters) {
+  Engine eng;
+  Broadcast bc(eng);
+  int woken = 0;
+  for (int i = 0; i < 4; ++i) {
+    [](Broadcast& b, int& w) -> SimTask {
+      co_await b.wait();
+      ++w;
+    }(bc, woken);
+  }
+  EXPECT_EQ(bc.waiter_count(), 4u);
+  bc.notify_all();
+  eng.run();
+  EXPECT_EQ(woken, 4);
+  EXPECT_EQ(bc.waiter_count(), 0u);
+}
+
+TEST(Broadcast, NotificationIsNotSticky) {
+  Engine eng;
+  Broadcast bc(eng);
+  bc.notify_all();  // nobody waiting: lost
+  int woken = 0;
+  [](Broadcast& b, int& w) -> SimTask {
+    co_await b.wait();
+    ++w;
+  }(bc, woken);
+  eng.run();
+  EXPECT_EQ(woken, 0);
+  bc.notify_all();
+  eng.run();
+  EXPECT_EQ(woken, 1);
+}
+
+TEST(Broadcast, WaiterCanRewait) {
+  Engine eng;
+  Broadcast bc(eng);
+  int wakeups = 0;
+  [](Broadcast& b, int& w) -> SimTask {
+    co_await b.wait();
+    ++w;
+    co_await b.wait();
+    ++w;
+  }(bc, wakeups);
+  bc.notify_all();
+  eng.run();
+  EXPECT_EQ(wakeups, 1);
+  bc.notify_all();
+  eng.run();
+  EXPECT_EQ(wakeups, 2);
+}
+
+}  // namespace
+}  // namespace lap

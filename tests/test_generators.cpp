@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "trace/charisma_gen.hpp"
+#include "trace/sprite_gen.hpp"
+
+namespace lap {
+namespace {
+
+// Structural invariants every generated trace must satisfy.
+void check_invariants(const Trace& t, std::uint32_t nodes) {
+  std::map<std::uint32_t, Bytes> sizes;
+  for (const FileInfo& f : t.files) {
+    EXPECT_GT(f.size, 0u);
+    EXPECT_TRUE(sizes.emplace(raw(f.id), f.size).second) << "duplicate file id";
+  }
+  std::set<std::uint32_t> pids;
+  for (const ProcessTrace& p : t.processes) {
+    EXPECT_TRUE(pids.insert(raw(p.pid)).second) << "duplicate pid";
+    EXPECT_LT(raw(p.node), nodes);
+    std::set<std::uint32_t> opened;
+    std::set<std::uint32_t> deleted;
+    for (const TraceRecord& r : p.records) {
+      EXPECT_GE(r.think.nanos(), 0);
+      ASSERT_TRUE(sizes.contains(raw(r.file))) << "op on unknown file";
+      EXPECT_FALSE(deleted.contains(raw(r.file))) << "op on deleted file";
+      switch (r.op) {
+        case TraceOp::kOpen:
+          opened.insert(raw(r.file));
+          break;
+        case TraceOp::kRead:
+        case TraceOp::kWrite:
+          EXPECT_TRUE(opened.contains(raw(r.file)))
+              << "I/O before open on file " << raw(r.file);
+          EXPECT_GT(r.length, 0u);
+          EXPECT_LE(r.offset + r.length, sizes[raw(r.file)])
+              << "I/O beyond file size";
+          break;
+        case TraceOp::kClose:
+          opened.erase(raw(r.file));
+          break;
+        case TraceOp::kDelete:
+          deleted.insert(raw(r.file));
+          break;
+      }
+    }
+  }
+}
+
+TEST(CharismaGenerator, StructuralInvariants) {
+  CharismaParams p;
+  p.scale = 0.5;
+  const Trace t = generate_charisma(p);
+  EXPECT_FALSE(t.processes.empty());
+  EXPECT_FALSE(t.serialize_per_node);
+  check_invariants(t, p.nodes);
+}
+
+TEST(CharismaGenerator, DeterministicBySeed) {
+  CharismaParams p;
+  p.scale = 0.25;
+  const Trace a = generate_charisma(p);
+  const Trace b = generate_charisma(p);
+  EXPECT_EQ(a, b);
+}
+
+TEST(CharismaGenerator, SeedChangesTheTrace) {
+  CharismaParams p;
+  p.scale = 0.25;
+  const Trace a = generate_charisma(p);
+  p.seed = 12345;
+  const Trace b = generate_charisma(p);
+  EXPECT_NE(a, b);
+}
+
+TEST(CharismaGenerator, ScaleGrowsTheWorkload) {
+  CharismaParams small;
+  small.scale = 0.25;
+  CharismaParams big;
+  big.scale = 1.0;
+  EXPECT_GT(generate_charisma(big).total_io_ops(),
+            2 * generate_charisma(small).total_io_ops());
+}
+
+TEST(CharismaGenerator, LargeRequestsArePresent) {
+  // CHARISMA's signature: many large requests (the aggressiveness driver).
+  CharismaParams p;
+  p.scale = 0.5;
+  const Trace t = generate_charisma(p);
+  std::uint64_t large = 0;
+  for (const auto& proc : t.processes) {
+    for (const auto& r : proc.records) {
+      if (r.op == TraceOp::kRead && r.length >= 8 * t.block_size) ++large;
+    }
+  }
+  EXPECT_GT(large, t.total_io_ops() / 20);
+}
+
+TEST(CharismaGenerator, TempFilesAreDeleted) {
+  CharismaParams p;
+  p.scale = 1.0;
+  p.temp_file_frac = 1.0;
+  const Trace t = generate_charisma(p);
+  std::uint64_t deletes = 0;
+  for (const auto& proc : t.processes) {
+    for (const auto& r : proc.records) deletes += (r.op == TraceOp::kDelete);
+  }
+  EXPECT_GT(deletes, 0u);
+}
+
+TEST(SpriteGenerator, StructuralInvariants) {
+  SpriteParams p;
+  p.scale = 0.3;
+  const Trace t = generate_sprite(p);
+  EXPECT_TRUE(t.serialize_per_node);
+  check_invariants(t, p.nodes);
+}
+
+TEST(SpriteGenerator, DeterministicBySeed) {
+  SpriteParams p;
+  p.scale = 0.2;
+  EXPECT_EQ(generate_sprite(p), generate_sprite(p));
+}
+
+TEST(SpriteGenerator, FilesAreSmall) {
+  SpriteParams p;
+  p.scale = 0.2;
+  const Trace t = generate_sprite(p);
+  Bytes total = 0;
+  for (const FileInfo& f : t.files) {
+    total += f.size;
+    EXPECT_LE(f.size, static_cast<Bytes>(p.file_blocks_max) * p.block_size);
+  }
+  EXPECT_LT(total / t.files.size(), 24 * p.block_size);  // average stays small
+}
+
+TEST(SpriteGenerator, SessionsAreShortLivedProcesses) {
+  SpriteParams p;
+  p.scale = 0.2;
+  const Trace t = generate_sprite(p);
+  for (const auto& proc : t.processes) {
+    EXPECT_LE(proc.records.size(), 220u);  // one small file per session
+  }
+}
+
+TEST(SpriteGenerator, ReReadsExist) {
+  SpriteParams p;
+  p.scale = 0.5;
+  const Trace t = generate_sprite(p);
+  std::map<std::uint32_t, int> opens;
+  for (const auto& proc : t.processes) {
+    for (const auto& r : proc.records) {
+      if (r.op == TraceOp::kOpen) ++opens[raw(r.file)];
+    }
+  }
+  int rereads = 0;
+  for (const auto& [file, n] : opens) rereads += (n > 1);
+  EXPECT_GT(rereads, 10);
+}
+
+TEST(SpriteGenerator, ScriptSessionsRepeatTheirChains) {
+  SpriteParams p;
+  p.scale = 0.5;
+  p.script_session_frac = 0.5;  // make scripts frequent enough to observe
+  const Trace t = generate_sprite(p);
+  // Collect per-node open sequences of multi-open processes (scripts).
+  std::map<std::uint32_t, std::map<std::vector<std::uint32_t>, int>> chains;
+  for (const auto& proc : t.processes) {
+    std::vector<std::uint32_t> opens;
+    for (const auto& r : proc.records) {
+      if (r.op == TraceOp::kOpen) opens.push_back(raw(r.file));
+    }
+    if (opens.size() >= 3) ++chains[raw(proc.node)][opens];
+  }
+  ASSERT_FALSE(chains.empty());
+  // At least one chain repeats verbatim on some node: the deterministic
+  // open sequence whole-file prefetching relies on.
+  bool repeated = false;
+  for (const auto& [node, counts] : chains) {
+    for (const auto& [chain, n] : counts) {
+      if (n >= 2) repeated = true;
+    }
+  }
+  EXPECT_TRUE(repeated);
+}
+
+TEST(SpriteGenerator, PartialPrefixIsAPropertyOfTheFile) {
+  SpriteParams p;
+  p.scale = 0.5;
+  const Trace t = generate_sprite(p);
+  // For every file, all read sessions cover the same prefix length.
+  std::map<std::uint32_t, std::set<Bytes>> max_end;
+  for (const auto& proc : t.processes) {
+    std::map<std::uint32_t, Bytes> session_end;
+    bool wrote = false;
+    for (const auto& r : proc.records) {
+      if (r.op == TraceOp::kWrite) wrote = true;
+      if (r.op == TraceOp::kRead) {
+        auto& e = session_end[raw(r.file)];
+        e = std::max(e, r.offset + r.length);
+      }
+    }
+    if (wrote) continue;  // write sessions read back their own data
+    for (auto& [file, end] : session_end) max_end[file].insert(end);
+  }
+  std::size_t checked = 0;
+  for (const auto& [file, ends] : max_end) {
+    // Strided files land their last request at a draw-dependent position,
+    // so ends may vary by up to one stride of maximal requests; the
+    // *prefix* itself (partial vs whole) is fixed per file.
+    const Bytes spread = *ends.rbegin() - *ends.begin();
+    EXPECT_LE(spread, static_cast<Bytes>(p.stride_max) * p.req_blocks_max *
+                          p.block_size)
+        << "file " << file << " read to widely varying ends";
+    ++checked;
+  }
+  EXPECT_GT(checked, 100u);
+}
+
+TEST(SpriteGenerator, MostWrittenFilesDieYoung) {
+  SpriteParams p;
+  p.scale = 0.5;
+  const Trace t = generate_sprite(p);
+  std::uint64_t writes = 0, deletes = 0;
+  std::set<std::uint32_t> written;
+  for (const auto& proc : t.processes) {
+    for (const auto& r : proc.records) {
+      if (r.op == TraceOp::kWrite) written.insert(raw(r.file));
+      if (r.op == TraceOp::kDelete) ++deletes;
+    }
+  }
+  writes = written.size();
+  ASSERT_GT(writes, 0u);
+  EXPECT_GT(static_cast<double>(deletes) / static_cast<double>(writes), 0.5);
+}
+
+}  // namespace
+}  // namespace lap

@@ -1,0 +1,106 @@
+// Cross-cutting invariants, checked for every (algorithm, file-system)
+// combination over a small workload: whatever the configuration, the
+// simulation must conserve its accounting.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "driver/simulation.hpp"
+#include "trace/charisma_gen.hpp"
+
+namespace lap {
+namespace {
+
+const Trace& small_trace() {
+  static const Trace trace = [] {
+    CharismaParams p;
+    p.scale = 0.15;
+    return generate_charisma(p);
+  }();
+  return trace;
+}
+
+using Case = std::tuple<const char*, FsKind>;
+
+class EveryConfig : public ::testing::TestWithParam<Case> {};
+
+TEST_P(EveryConfig, AccountingInvariantsHold) {
+  const auto& [algo, fs] = GetParam();
+  RunConfig cfg;
+  cfg.machine = MachineConfig::pm();
+  cfg.fs = fs;
+  cfg.cache_per_node = 2_MiB;
+  cfg.algorithm = AlgorithmSpec::parse(algo);
+  cfg.warmup_fraction = 0.0;
+  const RunResult r = run_simulation(small_trace(), cfg);
+
+  // Every traced I/O op completed and was measured.
+  EXPECT_EQ(r.reads + r.writes, small_trace().total_io_ops());
+
+  // Ratios stay in range.
+  EXPECT_GE(r.hit_ratio, 0.0);
+  EXPECT_LE(r.hit_ratio, 1.0);
+  EXPECT_GE(r.misprediction_ratio, 0.0);
+  EXPECT_LE(r.misprediction_ratio, 1.0);
+  EXPECT_GE(r.fallback_fraction, 0.0);
+  EXPECT_LE(r.fallback_fraction, 1.0);
+
+  // Disk accounting is internally consistent.
+  EXPECT_EQ(r.disk_accesses, r.disk_reads + r.disk_writes);
+  EXPECT_LE(r.disk_prefetch_reads, r.disk_reads);
+  EXPECT_LE(r.prefetch_fallback, r.prefetch_issued);
+
+  // NP is exactly "no prefetching".
+  if (cfg.algorithm.kind == AlgorithmSpec::Kind::kNone) {
+    EXPECT_EQ(r.prefetch_issued, 0u);
+    EXPECT_EQ(r.disk_prefetch_reads, 0u);
+  } else if (cfg.algorithm.kind != AlgorithmSpec::Kind::kWholeFile &&
+             cfg.algorithm.kind != AlgorithmSpec::Kind::kVkPpm) {
+    EXPECT_GT(r.prefetch_issued, 0u);
+  }
+
+  // Latency sanity: a block can't complete faster than its copy, nor should
+  // the average exceed a few disk services under this light load.
+  EXPECT_GT(r.avg_read_ms, 0.0);
+  EXPECT_LT(r.avg_read_ms, 60.0);
+
+  // Simulated time moved and the run terminated (events drained).
+  EXPECT_GT(r.sim_duration, SimTime::zero());
+  EXPECT_GT(r.events, 0u);
+}
+
+TEST_P(EveryConfig, RunsAreDeterministic) {
+  const auto& [algo, fs] = GetParam();
+  RunConfig cfg;
+  cfg.machine = MachineConfig::pm();
+  cfg.fs = fs;
+  cfg.cache_per_node = 1_MiB;
+  cfg.algorithm = AlgorithmSpec::parse(algo);
+  const RunResult a = run_simulation(small_trace(), cfg);
+  const RunResult b = run_simulation(small_trace(), cfg);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.sim_duration, b.sim_duration);
+  EXPECT_EQ(a.disk_accesses, b.disk_accesses);
+  EXPECT_EQ(a.prefetch_issued, b.prefetch_issued);
+  EXPECT_DOUBLE_EQ(a.avg_read_ms, b.avg_read_ms);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgorithmsByFs, EveryConfig,
+    ::testing::Combine(
+        ::testing::Values("NP", "OBA", "Ln_Agr_OBA", "IS_PPM:1",
+                          "Ln_Agr_IS_PPM:1", "IS_PPM:3", "Ln_Agr_IS_PPM:3",
+                          "Agr_OBA", "Agr_IS_PPM:1", "VK_PPM:1",
+                          "Ln_Agr_VK_PPM:1", "WholeFile"),
+        ::testing::Values(FsKind::kPafs, FsKind::kXfs)),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      std::string name = std::get<0>(info.param);
+      for (char& c : name) {
+        if (c == ':') c = '_';
+      }
+      return name + "_" +
+             (std::get<1>(info.param) == FsKind::kPafs ? "PAFS" : "xFS");
+    });
+
+}  // namespace
+}  // namespace lap

@@ -1,0 +1,272 @@
+#include "core/is_ppm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+namespace lap {
+namespace {
+
+// ---------------------------------------------------------------------------
+// The paper's worked example (Figures 1-3): the access pattern
+//   (0,2) (3,3) (8,2) (13,3) (18,2) ...
+// i.e. a 2-block request, then a 3-block request 3 blocks apart, then a
+// 2-block request 5 blocks apart, repeating.
+// ---------------------------------------------------------------------------
+
+std::vector<std::pair<std::int64_t, std::uint32_t>> paper_pattern(int n) {
+  std::vector<std::pair<std::int64_t, std::uint32_t>> reqs;
+  std::int64_t off = 0;
+  for (int i = 0; i < n; ++i) {
+    if (i % 2 == 0) {
+      reqs.emplace_back(off, 2);  // 2-block request
+      off += 3;                   // next starts 3 blocks later
+    } else {
+      reqs.emplace_back(off, 3);  // 3-block request
+      off += 5;                   // next starts 5 blocks later
+    }
+  }
+  return reqs;
+}
+
+TEST(IsPpmPaperExample, GraphShapeAfterFiveRequests) {
+  IsPpmGraph graph(1);
+  IsPpmPredictor pred(graph);
+  std::uint64_t t = 0;
+  for (auto [first, size] : paper_pattern(5)) pred.on_request(first, size, ++t);
+  // Figure 2.t5: two nodes — (I=3,S=3) and (I=5,S=2) — and two links.
+  EXPECT_EQ(graph.node_count(), 2u);
+  EXPECT_EQ(graph.edge_count(), 2u);
+}
+
+TEST(IsPpmPaperExample, PredictsBlocks17And18AfterFourthRequest) {
+  IsPpmGraph graph(1);
+  IsPpmPredictor pred(graph);
+  std::uint64_t t = 0;
+  for (auto [first, size] : paper_pattern(4)) pred.on_request(first, size, ++t);
+  // Section 2.2: the fourth request starts at block 12 (1-based; our blocks
+  // are 0-based, so offset 11, size 3); the node (I=3,S=3) predicts
+  // (I=5,S=2), i.e. the paper's blocks 17 and 18 = offsets 16 and 17.
+  const auto p = pred.predict_next();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->first_block, 16);
+  EXPECT_EQ(p->nblocks, 2u);
+}
+
+TEST(IsPpmPaperExample, WalkerFollowsTheWholeChain) {
+  IsPpmGraph graph(1);
+  IsPpmPredictor pred(graph);
+  std::uint64_t t = 0;
+  const auto reqs = paper_pattern(6);
+  for (auto [first, size] : reqs) pred.on_request(first, size, ++t);
+  // Walk forward: the chain must continue the alternating pattern.
+  auto walker = pred.walker();
+  std::int64_t expect_first = reqs.back().first;
+  for (int i = 0; i < 6; ++i) {
+    const auto p = walker.next();
+    ASSERT_TRUE(p.has_value());
+    // Alternating intervals 3, 5 and sizes 3, 2 (request 6 had size 3).
+    expect_first += (i % 2 == 0) ? 5 : 3;
+    EXPECT_EQ(p->first_block, expect_first);
+    EXPECT_EQ(p->nblocks, (i % 2 == 0) ? 2u : 3u);
+  }
+}
+
+TEST(IsPpm, NoPredictionBeforeEnoughRequests) {
+  IsPpmGraph graph(1);
+  IsPpmPredictor pred(graph);
+  EXPECT_FALSE(pred.predict_next().has_value());
+  pred.on_request(0, 2, 1);
+  EXPECT_FALSE(pred.predict_next().has_value());  // no interval yet
+  pred.on_request(3, 3, 2);
+  EXPECT_FALSE(pred.predict_next().has_value());  // node exists, no edge
+}
+
+TEST(IsPpm, SelfLoopPredictsSequentialStream) {
+  IsPpmGraph graph(1);
+  IsPpmPredictor pred(graph);
+  std::uint64_t t = 0;
+  for (std::int64_t b = 0; b < 40; b += 4) pred.on_request(b, 4, ++t);
+  auto walker = pred.walker();
+  std::int64_t expect = 36;
+  for (int i = 0; i < 10; ++i) {
+    const auto p = walker.next();
+    ASSERT_TRUE(p.has_value());
+    expect += 4;
+    EXPECT_EQ(p->first_block, expect);
+    EXPECT_EQ(p->nblocks, 4u);
+  }
+}
+
+TEST(IsPpm, MostRecentEdgeWins) {
+  IsPpmGraph graph(1);
+  IsPpmPredictor pred(graph);
+  // Establish (4,2)->(4,2) self-loop many times, then one (4,2)->(10,1).
+  std::uint64_t t = 0;
+  std::int64_t off = 0;
+  for (int i = 0; i < 6; ++i) {
+    pred.on_request(off, 2, ++t);
+    off += 4;
+  }
+  pred.on_request(off + 6, 1, ++t);  // interval 10, size 1 (most recent)
+  // From node (4,2)... the current node is (10,1); rebuild context at (4,2):
+  IsPpmPredictor fresh(graph);
+  fresh.on_request(100, 2, ++t);
+  fresh.on_request(104, 2, ++t);  // context = (4,2)
+  const auto p = fresh.predict_next();
+  ASSERT_TRUE(p.has_value());
+  // MRU policy: the recent (10,1) edge wins over the frequent self-loop.
+  EXPECT_EQ(p->first_block, 114);
+  EXPECT_EQ(p->nblocks, 1u);
+}
+
+TEST(IsPpm, MostFrequentPolicyPrefersTheCommonEdge) {
+  IsPpmGraph graph(1, IsPpmGraph::EdgePolicy::kMostFrequent);
+  IsPpmPredictor pred(graph);
+  std::uint64_t t = 0;
+  std::int64_t off = 0;
+  for (int i = 0; i < 6; ++i) {
+    pred.on_request(off, 2, ++t);
+    off += 4;
+  }
+  pred.on_request(off + 6, 1, ++t);
+  IsPpmPredictor fresh(graph);
+  fresh.on_request(100, 2, ++t);
+  fresh.on_request(104, 2, ++t);
+  const auto p = fresh.predict_next();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->first_block, 108);  // frequency: the self-loop wins
+  EXPECT_EQ(p->nblocks, 2u);
+}
+
+TEST(IsPpm, WalkStopsAtADeadEndNode) {
+  // Reader 1's stream ends on a context that never gained an outgoing
+  // edge (it read a short header and stopped with a distinctive final
+  // hop).  A later reader's walk ends exactly there — the graph encodes
+  // the stop — whereas sequential read-ahead would keep going.
+  IsPpmGraph graph(1);
+  {
+    IsPpmPredictor first(graph);
+    first.on_request(0, 2, 1);
+    first.on_request(10, 3, 2);  // final hop: node (10,3), no out-edge
+  }
+  IsPpmPredictor second(graph);
+  second.on_request(0, 2, 100);
+  second.on_request(10, 3, 101);
+  auto walker = second.walker();
+  EXPECT_FALSE(walker.next().has_value());
+}
+
+TEST(IsPpm, SelfLoopExtrapolatesPastAReadersStop) {
+  // The flip side: a purely sequential reader's stop is NOT learnable —
+  // the whole stream lives in one self-loop node, so a warm walk keeps
+  // extrapolating (bounded only by the end of the file).  This is the tail
+  // overshoot on partially-read files that Section 5.2 discusses.
+  IsPpmGraph graph(1);
+  {
+    IsPpmPredictor first(graph);
+    std::uint64_t t = 0;
+    for (std::int64_t b = 0; b <= 8; b += 2) first.on_request(b, 2, ++t);
+  }
+  IsPpmPredictor second(graph);
+  second.on_request(0, 2, 100);
+  second.on_request(2, 2, 101);
+  auto walker = second.walker();
+  int steps = 0;
+  while (steps < 100 && walker.next()) ++steps;
+  EXPECT_EQ(steps, 100);  // unbounded without the stream's file clipping
+}
+
+TEST(IsPpmOrder3, PaperFigure3Graph) {
+  IsPpmGraph graph(3);
+  IsPpmPredictor pred(graph);
+  std::uint64_t t = 0;
+  // Enough requests for two order-3 contexts plus the link between them.
+  for (auto [first, size] : paper_pattern(8)) pred.on_request(first, size, ++t);
+  // Figure 3: the 3rd-order graph has exactly two nodes for this pattern.
+  EXPECT_EQ(graph.node_count(), 2u);
+  const auto p = pred.predict_next();
+  ASSERT_TRUE(p.has_value());
+}
+
+TEST(IsPpm, OrderValidation) {
+  EXPECT_DEATH(IsPpmGraph bad(0), "Precondition");
+}
+
+struct StrideCase {
+  std::int64_t start;
+  std::int64_t stride;
+  std::uint32_t size;
+  int order;
+};
+
+class StridePrediction : public ::testing::TestWithParam<StrideCase> {};
+
+// Property: any regular strided pattern is predicted exactly after warm-up,
+// for both tested Markov orders.
+TEST_P(StridePrediction, PredictsExactly) {
+  const StrideCase c = GetParam();
+  IsPpmGraph graph(c.order);
+  IsPpmPredictor pred(graph);
+  std::uint64_t t = 0;
+  std::int64_t off = c.start;
+  const int warmup = c.order + 2;
+  for (int i = 0; i < warmup + 8; ++i) {
+    pred.on_request(off, c.size, ++t);
+    if (i >= warmup) {
+      // After warm-up every next request must have been predicted.
+      const auto p = pred.predict_next();
+      ASSERT_TRUE(p.has_value());
+      EXPECT_EQ(p->first_block, off + c.stride);
+      EXPECT_EQ(p->nblocks, c.size);
+    }
+    off += c.stride;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strides, StridePrediction,
+    ::testing::Values(StrideCase{0, 1, 1, 1}, StrideCase{0, 4, 4, 1},
+                      StrideCase{7, 12, 3, 1}, StrideCase{0, 32, 8, 1},
+                      StrideCase{100, -4, 2, 1},  // backwards scan
+                      StrideCase{0, 4, 4, 3}, StrideCase{5, 9, 2, 3},
+                      StrideCase{0, 1, 1, 3}));
+
+class AlternatingPrediction : public ::testing::TestWithParam<int> {};
+
+// Property: an alternating two-step pattern is predicted by any order >= 1
+// (order 1 suffices because (interval, size) pairs alternate distinctly).
+TEST_P(AlternatingPrediction, TwoPhasePattern) {
+  const int order = GetParam();
+  IsPpmGraph graph(order);
+  IsPpmPredictor pred(graph);
+  std::uint64_t t = 0;
+  std::int64_t off = 0;
+  auto step = [&](int i) {
+    if (i % 2 == 0) {
+      pred.on_request(off, 2, ++t);
+      off += 3;
+    } else {
+      pred.on_request(off, 3, ++t);
+      off += 5;
+    }
+  };
+  const int warmup = 2 * (order + 2);
+  for (int i = 0; i < warmup; ++i) step(i);
+  for (int i = warmup; i < warmup + 10; ++i) {
+    const auto p = pred.predict_next();
+    ASSERT_TRUE(p.has_value()) << "at step " << i;
+    const std::int64_t expect_off = off + (i % 2 == 0 ? 0 : 0);
+    (void)expect_off;
+    EXPECT_EQ(p->first_block, off);
+    step(i);
+    EXPECT_EQ(p->nblocks, i % 2 == 0 ? 2u : 3u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, AlternatingPrediction,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace lap

@@ -1,0 +1,73 @@
+#include "cache/lru.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace lap {
+namespace {
+
+TEST(LruList, PopBackReturnsLeastRecent) {
+  LruList<int> lru;
+  lru.push_front(1);
+  lru.push_front(2);
+  lru.push_front(3);
+  EXPECT_EQ(lru.pop_back(), 1);
+  EXPECT_EQ(lru.pop_back(), 2);
+  EXPECT_EQ(lru.pop_back(), 3);
+  EXPECT_EQ(lru.pop_back(), std::nullopt);
+}
+
+TEST(LruList, TouchMovesToFront) {
+  LruList<int> lru;
+  lru.push_front(1);
+  lru.push_front(2);
+  lru.push_front(3);
+  lru.touch(1);
+  EXPECT_EQ(lru.pop_back(), 2);
+  EXPECT_EQ(lru.pop_back(), 3);
+  EXPECT_EQ(lru.pop_back(), 1);
+}
+
+TEST(LruList, EraseRemovesArbitraryKey) {
+  LruList<int> lru;
+  lru.push_front(1);
+  lru.push_front(2);
+  lru.push_front(3);
+  EXPECT_TRUE(lru.erase(2));
+  EXPECT_FALSE(lru.erase(2));
+  EXPECT_EQ(lru.size(), 2u);
+  EXPECT_EQ(lru.pop_back(), 1);
+  EXPECT_EQ(lru.pop_back(), 3);
+}
+
+TEST(LruList, BackPeeksWithoutRemoving) {
+  LruList<int> lru;
+  EXPECT_EQ(lru.back(), std::nullopt);
+  lru.push_front(7);
+  EXPECT_EQ(lru.back(), 7);
+  EXPECT_EQ(lru.size(), 1u);
+}
+
+TEST(LruList, ContainsAndSize) {
+  LruList<std::string> lru;
+  EXPECT_TRUE(lru.empty());
+  lru.push_front("a");
+  EXPECT_TRUE(lru.contains("a"));
+  EXPECT_FALSE(lru.contains("b"));
+  EXPECT_EQ(lru.size(), 1u);
+}
+
+TEST(LruList, DuplicatePushIsRejected) {
+  LruList<int> lru;
+  lru.push_front(1);
+  EXPECT_DEATH(lru.push_front(1), "Precondition");
+}
+
+TEST(LruList, TouchOfMissingKeyIsRejected) {
+  LruList<int> lru;
+  EXPECT_DEATH(lru.touch(9), "Precondition");
+}
+
+}  // namespace
+}  // namespace lap

@@ -1,0 +1,88 @@
+#include "driver/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lap {
+namespace {
+
+TEST(Metrics, WarmupGatesRecording) {
+  Metrics m;
+  m.set_warmup_ops(2);
+  m.on_io_issued(SimTime::ms(1));
+  m.on_read_done(SimTime::ms(100));  // still warming: dropped
+  EXPECT_FALSE(m.measuring());
+  m.on_io_issued(SimTime::ms(2));
+  m.on_io_issued(SimTime::ms(3));  // third op crosses the boundary
+  EXPECT_TRUE(m.measuring());
+  EXPECT_EQ(m.measure_start(), SimTime::ms(3));
+  m.on_read_done(SimTime::ms(10));
+  EXPECT_EQ(m.reads(), 1u);
+  EXPECT_DOUBLE_EQ(m.avg_read_ms(), 10.0);
+}
+
+TEST(Metrics, ZeroWarmupMeasuresFromTheFirstOp) {
+  Metrics m;
+  m.on_io_issued(SimTime::zero());
+  EXPECT_TRUE(m.measuring());
+}
+
+TEST(Metrics, HitRatio) {
+  Metrics m;
+  m.on_io_issued(SimTime::zero());
+  m.on_hit_local();
+  m.on_hit_remote();
+  m.on_hit_inflight();
+  m.on_miss();
+  EXPECT_DOUBLE_EQ(m.hit_ratio(), 0.75);
+  EXPECT_EQ(m.hits_local(), 1u);
+  EXPECT_EQ(m.hits_remote(), 1u);
+  EXPECT_EQ(m.hits_inflight(), 1u);
+  EXPECT_EQ(m.misses(), 1u);
+}
+
+TEST(Metrics, HitRatioWithNoTraffic) {
+  Metrics m;
+  EXPECT_DOUBLE_EQ(m.hit_ratio(), 0.0);
+}
+
+TEST(Metrics, WritesPerBlock) {
+  Metrics m;
+  m.on_io_issued(SimTime::zero());
+  const BlockKey a{FileId{1}, 0};
+  const BlockKey b{FileId{1}, 1};
+  m.on_disk_write(a);
+  m.on_disk_write(a);
+  m.on_disk_write(a);
+  m.on_disk_write(b);
+  EXPECT_EQ(m.disk_writes(), 4u);
+  EXPECT_EQ(m.distinct_blocks_written(), 2u);
+  EXPECT_DOUBLE_EQ(m.writes_per_block(), 2.0);
+}
+
+TEST(Metrics, DiskCountersSplitPrefetch) {
+  Metrics m;
+  m.on_io_issued(SimTime::zero());
+  m.on_disk_read(false);
+  m.on_disk_read(true);
+  EXPECT_EQ(m.disk_reads(), 2u);
+  EXPECT_EQ(m.disk_prefetch_reads(), 1u);
+  EXPECT_EQ(m.disk_accesses(), 2u);
+}
+
+TEST(Metrics, PrefetchEffectivenessIsWholeRun) {
+  Metrics m;  // never measuring
+  m.on_prefetch_arrived();
+  m.on_prefetch_arrived();
+  m.on_prefetch_first_use();
+  m.on_prefetch_wasted();
+  EXPECT_EQ(m.prefetch_arrived(), 2u);
+  EXPECT_DOUBLE_EQ(m.misprediction_ratio(), 0.5);
+}
+
+TEST(Metrics, MispredictionWithoutPrefetchIsZero) {
+  Metrics m;
+  EXPECT_DOUBLE_EQ(m.misprediction_ratio(), 0.0);
+}
+
+}  // namespace
+}  // namespace lap

@@ -1,0 +1,105 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/task.hpp"
+
+namespace lap {
+namespace {
+
+NetConfig pm_net() {
+  NetConfig c;
+  c.local_port_startup = SimTime::us(2);
+  c.remote_port_startup = SimTime::us(10);
+  c.local_copy_startup = SimTime::us(1);
+  c.remote_copy_startup = SimTime::us(5);
+  c.memory_bw = Bandwidth::mb_per_s(500);
+  c.network_bw = Bandwidth::mb_per_s(200);
+  return c;
+}
+
+SimTask wait_for(SimFuture<Done> fut, Engine& eng, SimTime& done_at) {
+  co_await fut;
+  done_at = eng.now();
+}
+
+TEST(Network, MessageLatencies) {
+  Engine eng;
+  Network net(eng, pm_net(), 4);
+  EXPECT_EQ(net.message_latency(NodeId{0}, NodeId{0}), SimTime::us(2));
+  EXPECT_EQ(net.message_latency(NodeId{0}, NodeId{1}), SimTime::us(10));
+}
+
+TEST(Network, CopyLatencies) {
+  Engine eng;
+  Network net(eng, pm_net(), 4);
+  // Local: 1 us + 8 KiB / 500 MB/s = 1 + 16.384 us.
+  EXPECT_NEAR(net.copy_latency(NodeId{2}, NodeId{2}, 8_KiB).micros(), 17.384,
+              0.01);
+  // Remote: 5 us + 8 KiB / 200 MB/s = 5 + 40.96 us.
+  EXPECT_NEAR(net.copy_latency(NodeId{2}, NodeId{3}, 8_KiB).micros(), 45.96,
+              0.01);
+}
+
+TEST(Network, MessageResolvesAfterLatency) {
+  Engine eng;
+  Network net(eng, pm_net(), 4);
+  SimTime done_at;
+  wait_for(net.message(NodeId{0}, NodeId{1}), eng, done_at);
+  eng.run();
+  EXPECT_EQ(done_at, SimTime::us(10));
+}
+
+TEST(Network, RemoteCopiesSerializeOnSenderNic) {
+  Engine eng;
+  NetConfig cfg = pm_net();
+  cfg.model_contention = true;
+  Network net(eng, cfg, 4);
+  SimTime first, second;
+  wait_for(net.copy(NodeId{0}, NodeId{1}, 8_KiB), eng, first);
+  wait_for(net.copy(NodeId{0}, NodeId{2}, 8_KiB), eng, second);
+  eng.run();
+  const double one = net.copy_latency(NodeId{0}, NodeId{1}, 8_KiB).micros();
+  EXPECT_NEAR(first.micros(), one, 0.01);
+  EXPECT_NEAR(second.micros(), 2 * one, 0.01);  // queued behind the first
+}
+
+TEST(Network, ContentionDisabledAllowsParallelCopies) {
+  Engine eng;
+  NetConfig cfg = pm_net();
+  cfg.model_contention = false;
+  Network net(eng, cfg, 4);
+  SimTime first, second;
+  wait_for(net.copy(NodeId{0}, NodeId{1}, 8_KiB), eng, first);
+  wait_for(net.copy(NodeId{0}, NodeId{2}, 8_KiB), eng, second);
+  eng.run();
+  EXPECT_EQ(first, second);
+}
+
+TEST(Network, LocalCopiesDoNotUseTheNic) {
+  Engine eng;
+  Network net(eng, pm_net(), 4);
+  SimTime remote_done, local_done;
+  wait_for(net.copy(NodeId{0}, NodeId{1}, 8_KiB), eng, remote_done);
+  wait_for(net.copy(NodeId{0}, NodeId{0}, 8_KiB), eng, local_done);
+  eng.run();
+  // The local copy is not delayed by the concurrent remote transfer.
+  EXPECT_NEAR(local_done.micros(), 17.384, 0.01);
+}
+
+TEST(Network, StatsAccumulate) {
+  Engine eng;
+  Network net(eng, pm_net(), 4);
+  (void)net.message(NodeId{0}, NodeId{1});
+  (void)net.copy(NodeId{0}, NodeId{1}, 8_KiB);
+  (void)net.copy(NodeId{1}, NodeId{1}, 4_KiB);
+  eng.run();
+  EXPECT_EQ(net.stats().messages, 1u);
+  EXPECT_EQ(net.stats().transfers, 2u);
+  EXPECT_EQ(net.stats().bytes_moved, 8_KiB + 4_KiB);
+}
+
+}  // namespace
+}  // namespace lap

@@ -1,0 +1,29 @@
+#include "core/oba.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lap {
+namespace {
+
+TEST(Oba, NothingBeforeFirstRequest) {
+  ObaPredictor oba;
+  EXPECT_FALSE(oba.predict_next().has_value());
+}
+
+TEST(Oba, PredictsBlockAfterRequestEnd) {
+  ObaPredictor oba;
+  oba.on_request(10, 4);  // blocks 10..13
+  ASSERT_TRUE(oba.predict_next().has_value());
+  EXPECT_EQ(*oba.predict_next(), 14);
+}
+
+TEST(Oba, FollowsTheFilePointer) {
+  ObaPredictor oba;
+  oba.on_request(0, 1);
+  EXPECT_EQ(*oba.predict_next(), 1);
+  oba.on_request(100, 2);  // a seek: prediction follows
+  EXPECT_EQ(*oba.predict_next(), 102);
+}
+
+}  // namespace
+}  // namespace lap

@@ -1,0 +1,52 @@
+#include "core/open_predictor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lap {
+namespace {
+
+TEST(OpenPredictor, NoPredictionForUnknownFile) {
+  OpenSequencePredictor pred;
+  EXPECT_FALSE(pred.on_open(FileId{1}).has_value());
+}
+
+TEST(OpenPredictor, LearnsTheOpenSequence) {
+  OpenSequencePredictor pred;
+  (void)pred.on_open(FileId{1});
+  (void)pred.on_open(FileId{2});  // 1 -> 2
+  (void)pred.on_open(FileId{3});  // 2 -> 3
+  const auto p = pred.on_open(FileId{1});  // 3 -> 1; predict successor of 1
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, FileId{2});
+}
+
+TEST(OpenPredictor, MostFrequentSuccessorWins) {
+  OpenSequencePredictor pred;
+  for (int i = 0; i < 3; ++i) {
+    (void)pred.on_open(FileId{1});
+    (void)pred.on_open(FileId{2});
+  }
+  (void)pred.on_open(FileId{1});
+  (void)pred.on_open(FileId{9});
+  const auto p = pred.successor(FileId{1});
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, FileId{2});
+}
+
+TEST(OpenPredictor, RepeatedOpenOfSameFileIsNotASelfEdge) {
+  OpenSequencePredictor pred;
+  (void)pred.on_open(FileId{5});
+  (void)pred.on_open(FileId{5});
+  EXPECT_FALSE(pred.successor(FileId{5}).has_value());
+}
+
+TEST(OpenPredictor, TracksDistinctPredecessors) {
+  OpenSequencePredictor pred;
+  (void)pred.on_open(FileId{1});
+  (void)pred.on_open(FileId{2});
+  (void)pred.on_open(FileId{3});
+  EXPECT_EQ(pred.tracked_files(), 2u);  // files 1 and 2 have successors
+}
+
+}  // namespace
+}  // namespace lap

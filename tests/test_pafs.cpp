@@ -1,0 +1,216 @@
+#include "fs/pafs/pafs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "driver/machine_config.hpp"
+#include "sim/task.hpp"
+
+namespace lap {
+namespace {
+
+struct PafsFixture {
+  Engine eng;
+  MachineConfig machine = MachineConfig::pm();
+  Network net{eng, machine.net, machine.nodes};
+  DiskArray disks{eng, machine.disk, machine.disks};
+  FileModel files{machine.block_size};
+  Metrics metrics;
+  bool stop = false;
+  std::unique_ptr<Pafs> fs;
+
+  explicit PafsFixture(const std::string& algo = "NP",
+                       std::size_t cache_blocks = 4096) {
+    PafsConfig cfg;
+    cfg.cache_blocks_total = cache_blocks;
+    cfg.algorithm = AlgorithmSpec::parse(algo);
+    fs = std::make_unique<Pafs>(eng, net, disks, files, metrics, cfg,
+                                machine.nodes, &stop);
+  }
+
+  // Run one operation to completion and return its latency.
+  SimTime do_read(ProcId pid, NodeId node, FileId file, Bytes off, Bytes len) {
+    metrics.on_io_issued(eng.now());
+    const SimTime t0 = eng.now();
+    bool done = false;
+    [](SimFuture<Done> f, bool& d) -> SimTask {
+      co_await f;
+      d = true;
+    }(fs->read(pid, node, file, off, len), done);
+    eng.run();
+    EXPECT_TRUE(done);
+    const SimTime lat = eng.now() - t0;
+    metrics.on_read_done(lat);
+    return lat;
+  }
+
+  void do_write(ProcId pid, NodeId node, FileId file, Bytes off, Bytes len) {
+    metrics.on_io_issued(eng.now());
+    (void)fs->write(pid, node, file, off, len);
+    eng.run();
+  }
+
+  void do_remove(ProcId pid, NodeId node, FileId file) {
+    (void)fs->remove(pid, node, file);
+    eng.run();
+  }
+};
+
+constexpr FileId kF{1};
+
+TEST(Pafs, ColdReadGoesToDisk) {
+  PafsFixture f;
+  f.files.add_file(kF, 80_KiB);
+  const SimTime lat = f.do_read(ProcId{1}, NodeId{0}, kF, 0, 8_KiB);
+  EXPECT_EQ(f.metrics.misses(), 1u);
+  EXPECT_EQ(f.metrics.disk_reads(), 1u);
+  // One block: seek + transfer dominates the latency.
+  EXPECT_GT(lat, SimTime::ms(11));
+  EXPECT_LT(lat, SimTime::ms(13));
+}
+
+TEST(Pafs, SecondReadHitsLocally) {
+  PafsFixture f;
+  f.files.add_file(kF, 80_KiB);
+  (void)f.do_read(ProcId{1}, NodeId{0}, kF, 0, 8_KiB);
+  const SimTime lat = f.do_read(ProcId{1}, NodeId{0}, kF, 0, 8_KiB);
+  EXPECT_EQ(f.metrics.hits_local(), 1u);
+  EXPECT_LT(lat, SimTime::ms(1));
+}
+
+TEST(Pafs, RemoteClientGetsRemoteHit) {
+  PafsFixture f;
+  f.files.add_file(kF, 80_KiB);
+  (void)f.do_read(ProcId{1}, NodeId{0}, kF, 0, 8_KiB);  // homed at node 0
+  const SimTime lat = f.do_read(ProcId{2}, NodeId{5}, kF, 0, 8_KiB);
+  EXPECT_EQ(f.metrics.hits_remote(), 1u);
+  EXPECT_LT(lat, SimTime::ms(1));  // network, not disk
+  EXPECT_EQ(f.metrics.disk_reads(), 1u);
+}
+
+TEST(Pafs, MultiBlockReadsFetchInParallel) {
+  PafsFixture f;
+  f.files.add_file(kF, 800_KiB);
+  // 8 blocks striped over 16 disks: roughly one service time, not eight.
+  const SimTime lat = f.do_read(ProcId{1}, NodeId{0}, kF, 0, 64_KiB);
+  EXPECT_EQ(f.metrics.misses(), 8u);
+  EXPECT_LT(lat, SimTime::ms(15));
+}
+
+TEST(Pafs, WritesAreWriteBack) {
+  PafsFixture f;
+  f.files.add_file(kF, 80_KiB);
+  f.do_write(ProcId{1}, NodeId{0}, kF, 0, 16_KiB);
+  EXPECT_EQ(f.metrics.disk_writes(), 0u);  // buffered, not on disk yet
+  EXPECT_EQ(f.fs->pool().dirty_count(), 2u);
+}
+
+TEST(Pafs, ReadAfterWriteHitsCache) {
+  PafsFixture f;
+  f.files.add_file(kF, 80_KiB);
+  f.do_write(ProcId{1}, NodeId{0}, kF, 0, 8_KiB);
+  const SimTime lat = f.do_read(ProcId{1}, NodeId{0}, kF, 0, 8_KiB);
+  EXPECT_LT(lat, SimTime::ms(1));
+  EXPECT_EQ(f.metrics.disk_reads(), 0u);
+}
+
+TEST(Pafs, DirtyEvictionWritesBack) {
+  PafsFixture f("NP", /*cache_blocks=*/2);
+  f.files.add_file(kF, 800_KiB);
+  f.do_write(ProcId{1}, NodeId{0}, kF, 0, 16_KiB);  // fills both buffers dirty
+  (void)f.do_read(ProcId{1}, NodeId{0}, kF, 64_KiB, 16_KiB);  // evicts them
+  EXPECT_EQ(f.metrics.disk_writes(), 2u);
+}
+
+TEST(Pafs, DeleteDropsDirtyDataWithoutDiskWrites) {
+  PafsFixture f;
+  f.files.add_file(kF, 80_KiB);
+  f.do_write(ProcId{1}, NodeId{0}, kF, 0, 80_KiB);
+  f.do_remove(ProcId{1}, NodeId{0}, kF);
+  EXPECT_EQ(f.metrics.disk_writes(), 0u);  // die-young data never hits disk
+  EXPECT_EQ(f.fs->pool().size(), 0u);
+  EXPECT_FALSE(f.files.exists(kF));
+}
+
+TEST(Pafs, SyncDaemonFlushesDirtyBlocks) {
+  // While the daemon runs, the engine's queue never drains, so this test
+  // advances with run_until instead of the fixture's run-to-completion
+  // helpers.
+  PafsFixture f;
+  f.files.add_file(kF, 80_KiB);
+  f.fs->start_sync_daemon();
+  f.metrics.on_io_issued(f.eng.now());
+  (void)f.fs->write(ProcId{1}, NodeId{0}, kF, 0, 16_KiB);
+  f.eng.run_until(SimTime::sec(3));  // past one sync tick
+  EXPECT_EQ(f.metrics.disk_writes(), 2u);
+  EXPECT_EQ(f.fs->pool().dirty_count(), 0u);
+  f.stop = true;
+  f.eng.run();
+}
+
+TEST(Pafs, SyncCoalescesRewritesWithinAnInterval) {
+  PafsFixture f;
+  f.files.add_file(kF, 80_KiB);
+  f.fs->start_sync_daemon();
+  f.metrics.on_io_issued(f.eng.now());
+  for (int i = 0; i < 5; ++i) {
+    (void)f.fs->write(ProcId{1}, NodeId{0}, kF, 0, 8_KiB);  // same block
+  }
+  f.eng.run_until(SimTime::sec(3));
+  EXPECT_EQ(f.metrics.disk_writes(), 1u);  // one flush despite five writes
+  f.stop = true;
+  f.eng.run();
+}
+
+TEST(Pafs, LinearAggressivePrefetchFillsTheCache) {
+  PafsFixture f("Ln_Agr_OBA");
+  f.files.add_file(kF, 160_KiB);  // 20 blocks
+  (void)f.do_read(ProcId{1}, NodeId{0}, kF, 0, 8_KiB);
+  // Draining the engine lets the pump stream the whole file.
+  EXPECT_EQ(f.fs->pool().size(), 20u);
+  EXPECT_EQ(f.fs->prefetch_counters_total().issued, 19u);
+}
+
+TEST(Pafs, PrefetchedBlocksTurnMissesIntoHits) {
+  PafsFixture f("Ln_Agr_OBA");
+  f.files.add_file(kF, 160_KiB);
+  (void)f.do_read(ProcId{1}, NodeId{0}, kF, 0, 8_KiB);
+  const SimTime lat = f.do_read(ProcId{1}, NodeId{0}, kF, 8_KiB, 8_KiB);
+  EXPECT_LT(lat, SimTime::ms(1));
+  EXPECT_EQ(f.metrics.misses(), 1u);  // only the first block ever missed
+}
+
+TEST(Pafs, UnusedPrefetchesAreCountedAtFinalize) {
+  PafsFixture f("Ln_Agr_OBA");
+  f.files.add_file(kF, 160_KiB);
+  (void)f.do_read(ProcId{1}, NodeId{0}, kF, 0, 8_KiB);  // prefetches 19 blocks
+  f.fs->finalize();
+  EXPECT_EQ(f.metrics.prefetch_wasted(), 19u);
+  EXPECT_DOUBLE_EQ(f.metrics.misprediction_ratio(), 1.0);
+}
+
+TEST(Pafs, UsedPrefetchesAreNotMispredictions) {
+  PafsFixture f("Ln_Agr_OBA");
+  f.files.add_file(kF, 160_KiB);
+  for (Bytes off = 0; off < 160_KiB; off += 8_KiB) {
+    (void)f.do_read(ProcId{1}, NodeId{0}, kF, off, 8_KiB);
+  }
+  f.fs->finalize();
+  EXPECT_EQ(f.metrics.prefetch_wasted(), 0u);
+  EXPECT_DOUBLE_EQ(f.metrics.misprediction_ratio(), 0.0);
+}
+
+TEST(Pafs, ReadOfUnknownFileCompletesHarmlessly) {
+  PafsFixture f;
+  const SimTime lat = f.do_read(ProcId{1}, NodeId{0}, FileId{99}, 0, 8_KiB);
+  EXPECT_LT(lat, SimTime::ms(1));
+  EXPECT_EQ(f.metrics.misses(), 0u);
+}
+
+TEST(Pafs, ServerPlacementIsStable) {
+  PafsFixture f;
+  EXPECT_EQ(f.fs->server_node(kF), f.fs->server_node(kF));
+  EXPECT_LT(raw(f.fs->server_node(kF)), f.machine.nodes);
+}
+
+}  // namespace
+}  // namespace lap

@@ -1,0 +1,155 @@
+// Regression guard for the reproduction itself: scaled-down versions of
+// the paper's headline comparisons must keep their qualitative shape.  If
+// a change to the simulator or the workload generators breaks one of
+// these, the full figures in EXPERIMENTS.md are stale.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "driver/simulation.hpp"
+#include "trace/charisma_gen.hpp"
+#include "trace/sprite_gen.hpp"
+
+namespace lap {
+namespace {
+
+class CharismaShapes : public ::testing::Test {
+ protected:
+  static const Trace& trace() {
+    static const Trace t = [] {
+      CharismaParams p;
+      p.scale = 0.4;
+      return generate_charisma(p);
+    }();
+    return t;
+  }
+
+  static const RunResult& run(const std::string& algo, FsKind fs,
+                              Bytes cache) {
+    static std::map<std::string, RunResult> cache_map;
+    const std::string key =
+        algo + "/" + to_string(fs) + "/" + std::to_string(cache);
+    auto it = cache_map.find(key);
+    if (it == cache_map.end()) {
+      RunConfig cfg;
+      cfg.machine = MachineConfig::pm();
+      cfg.fs = fs;
+      cfg.cache_per_node = cache;
+      cfg.algorithm = AlgorithmSpec::parse(algo);
+      it = cache_map.emplace(key, run_simulation(trace(), cfg)).first;
+    }
+    return it->second;
+  }
+};
+
+TEST_F(CharismaShapes, Figure4ThreeGroupsAt4MB) {
+  const double np = run("NP", FsKind::kPafs, 4_MiB).avg_read_ms;
+  const double oba = run("OBA", FsKind::kPafs, 4_MiB).avg_read_ms;
+  const double isppm = run("IS_PPM:1", FsKind::kPafs, 4_MiB).avg_read_ms;
+  const double ln = run("Ln_Agr_IS_PPM:1", FsKind::kPafs, 4_MiB).avg_read_ms;
+  // Group 1: OBA is a small gain over NP.
+  EXPECT_LT(oba, np * 1.02);
+  EXPECT_GT(oba, np * 0.8);
+  // Group 2: plain IS_PPM is a clear gain.
+  EXPECT_LT(isppm, oba * 0.85);
+  // Group 3: the linear aggressive algorithm is the clear winner (the
+  // paper's headline: a further large step beyond group 2).
+  EXPECT_LT(ln, isppm * 0.75);
+  EXPECT_LT(ln, np * 0.55);
+}
+
+TEST_F(CharismaShapes, Figure4OrderBarelyMatters) {
+  const double o1 = run("Ln_Agr_IS_PPM:1", FsKind::kPafs, 4_MiB).avg_read_ms;
+  const double o3 = run("Ln_Agr_IS_PPM:3", FsKind::kPafs, 4_MiB).avg_read_ms;
+  EXPECT_NEAR(o1, o3, 0.25 * o1);
+}
+
+TEST_F(CharismaShapes, Figure5AggressiveObaFloodsTinyXfsCaches) {
+  const double np = run("NP", FsKind::kXfs, 1_MiB).avg_read_ms;
+  const double agr_oba = run("Ln_Agr_OBA", FsKind::kXfs, 1_MiB).avg_read_ms;
+  const double agr_is = run("Ln_Agr_IS_PPM:1", FsKind::kXfs, 1_MiB).avg_read_ms;
+  // The paper's flooding result: per-node aggressive OBA hurts at 1 MB...
+  EXPECT_GT(agr_oba, np * 0.9);
+  // ...while Ln_Agr_IS_PPM is still the best algorithm there (the 1 MB
+  // anomaly).
+  EXPECT_LT(agr_is, np * 0.85);
+  EXPECT_LT(agr_is, agr_oba * 0.8);
+}
+
+TEST_F(CharismaShapes, Figure9XfsAggressiveAlwaysCostsDiskAccesses) {
+  for (Bytes cache : {1_MiB, 4_MiB}) {
+    const auto np = run("NP", FsKind::kXfs, cache).disk_accesses;
+    const auto agr = run("Ln_Agr_IS_PPM:1", FsKind::kXfs, cache).disk_accesses;
+    EXPECT_GT(agr, np) << "at " << cache;
+  }
+}
+
+TEST_F(CharismaShapes, Table2WritesPerBlockOrdering) {
+  const double np = run("NP", FsKind::kPafs, 4_MiB).writes_per_block;
+  const double oba = run("Ln_Agr_OBA", FsKind::kPafs, 4_MiB).writes_per_block;
+  const double is = run("Ln_Agr_IS_PPM:1", FsKind::kPafs, 4_MiB).writes_per_block;
+  // The robust part of the paper's Table 2 ordering at this reduced scale:
+  // the smarter prefetcher never re-writes more than the dumber one, and
+  // neither inflates write traffic over NP.  (The full NP > Ln_Agr_OBA >
+  // Ln_Agr_IS_PPM ordering needs full-scale application spans; the bench
+  // shows it — see EXPERIMENTS.md E10.)
+  EXPECT_LT(is, oba * 1.02);
+  EXPECT_LT(is, np * 1.03);
+  EXPECT_LT(oba, np * 1.05);
+}
+
+TEST_F(CharismaShapes, FallbackShareIsTiny) {
+  // Section 2.2: "<1%" on large files; allow a few percent at this scale.
+  const auto& r = run("Ln_Agr_IS_PPM:1", FsKind::kPafs, 4_MiB);
+  EXPECT_LT(r.fallback_fraction, 0.06);
+}
+
+class SpriteShapes : public ::testing::Test {
+ protected:
+  static const Trace& trace() {
+    static const Trace t = [] {
+      SpriteParams p;
+      p.scale = 0.4;
+      return generate_sprite(p);
+    }();
+    return t;
+  }
+
+  static RunResult run(const std::string& algo, Bytes cache) {
+    RunConfig cfg;
+    cfg.machine = MachineConfig::now();
+    cfg.fs = FsKind::kPafs;
+    cfg.cache_per_node = cache;
+    cfg.algorithm = AlgorithmSpec::parse(algo);
+    return run_simulation(trace(), cfg);
+  }
+};
+
+TEST_F(SpriteShapes, MispredictionGapSection52) {
+  const RunResult oba = run("Ln_Agr_OBA", 4_MiB);
+  const RunResult is = run("Ln_Agr_IS_PPM:1", 4_MiB);
+  // The paper: 32% vs 15%.  Require the gap's direction and a meaningful
+  // margin.
+  EXPECT_GT(oba.misprediction_ratio, is.misprediction_ratio * 1.2);
+  EXPECT_GT(oba.misprediction_ratio, 0.2);
+  EXPECT_LT(is.misprediction_ratio, 0.35);
+}
+
+TEST_F(SpriteShapes, FallbackShareIsLargeOnSmallFiles) {
+  // Section 2.2: "around 25%" — small files keep the graph cold.
+  const RunResult r = run("Ln_Agr_IS_PPM:1", 4_MiB);
+  EXPECT_GT(r.fallback_fraction, 0.15);
+  EXPECT_LT(r.fallback_fraction, 0.55);
+}
+
+TEST_F(SpriteShapes, GainsAreSmallerThanCharisma) {
+  const RunResult np = run("NP", 4_MiB);
+  const RunResult is = run("Ln_Agr_IS_PPM:1", 4_MiB);
+  const double speedup = np.avg_read_ms / is.avg_read_ms;
+  EXPECT_GT(speedup, 1.1);  // prefetching still helps...
+  EXPECT_LT(speedup, 2.5);  // ...but far less than CHARISMA's 2.5-3x
+}
+
+}  // namespace
+}  // namespace lap

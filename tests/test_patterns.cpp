@@ -1,0 +1,86 @@
+#include "trace/patterns.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace lap {
+namespace {
+
+std::set<std::uint32_t> touched(const std::vector<BlockRequest>& reqs) {
+  std::set<std::uint32_t> blocks;
+  for (const BlockRequest& r : reqs) {
+    for (std::uint32_t b = 0; b < r.nblocks; ++b) blocks.insert(r.first + b);
+  }
+  return blocks;
+}
+
+TEST(Patterns, SequentialCoversWholeFileOnce) {
+  const auto reqs = sequential_pattern(10, 3);
+  ASSERT_EQ(reqs.size(), 4u);
+  EXPECT_EQ(reqs.back().nblocks, 1u);  // clipped tail
+  EXPECT_EQ(touched(reqs).size(), 10u);
+}
+
+TEST(Patterns, SequentialSingleRequest) {
+  const auto reqs = sequential_pattern(4, 8);
+  ASSERT_EQ(reqs.size(), 1u);
+  EXPECT_EQ(reqs[0].nblocks, 4u);
+}
+
+TEST(Patterns, StridedPositions) {
+  const auto reqs = strided_pattern(5, 2, 10, 3);
+  ASSERT_EQ(reqs.size(), 3u);
+  EXPECT_EQ(reqs[0].first, 5u);
+  EXPECT_EQ(reqs[1].first, 15u);
+  EXPECT_EQ(reqs[2].first, 25u);
+  for (const auto& r : reqs) EXPECT_EQ(r.nblocks, 2u);
+}
+
+TEST(Patterns, InterleavedUnionCoversFile) {
+  constexpr std::uint32_t kProcs = 4, kChunk = 3, kBlocks = 50;
+  std::set<std::uint32_t> all;
+  for (std::uint32_t rank = 0; rank < kProcs; ++rank) {
+    const auto part = touched(interleaved_pattern(rank, kProcs, kChunk, kBlocks));
+    for (auto b : part) {
+      EXPECT_TRUE(all.insert(b).second) << "block " << b << " touched twice";
+    }
+  }
+  EXPECT_EQ(all.size(), kBlocks);
+}
+
+TEST(Patterns, InterleavedRankReadsItsChunksOnly) {
+  const auto reqs = interleaved_pattern(1, 3, 2, 20);
+  for (const auto& r : reqs) {
+    EXPECT_EQ((r.first / 2) % 3, 1u);
+  }
+}
+
+TEST(Patterns, FirstPartCoversExactlyThePart) {
+  const auto reqs = first_part_passes(100, 0.4, 3, 2);
+  const auto blocks = touched(reqs);
+  EXPECT_EQ(blocks.size(), 40u);
+  EXPECT_EQ(*blocks.rbegin(), 39u);  // never beyond the part
+}
+
+TEST(Patterns, FirstPartPassesAreStrided) {
+  const auto reqs = first_part_passes(100, 0.5, 2, 5);
+  // Pass 0 reads chunks 0, 2, 4...; pass 1 reads chunks 1, 3, 5...
+  EXPECT_EQ(reqs[0].first, 0u);
+  EXPECT_EQ(reqs[1].first, 10u);
+}
+
+TEST(Patterns, FirstPartOfTinyFile) {
+  const auto reqs = first_part_passes(1, 0.3, 3, 4);
+  EXPECT_FALSE(reqs.empty());
+  EXPECT_EQ(touched(reqs).size(), 1u);
+}
+
+TEST(Patterns, PreconditionsEnforced) {
+  EXPECT_DEATH((void)sequential_pattern(10, 0), "Precondition");
+  EXPECT_DEATH((void)first_part_passes(10, 0.0, 3, 1), "Precondition");
+  EXPECT_DEATH((void)interleaved_pattern(5, 4, 1, 10), "Precondition");
+}
+
+}  // namespace
+}  // namespace lap

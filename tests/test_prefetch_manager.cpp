@@ -1,0 +1,269 @@
+#include "core/prefetch_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace lap {
+namespace {
+
+// A scriptable PrefetchHost: fetches complete after a fixed delay and land
+// in a fake cache; concurrency is tracked to verify the linear limit.
+class MockHost final : public PrefetchHost {
+ public:
+  explicit MockHost(Engine& eng) : eng_(&eng) {}
+
+  [[nodiscard]] bool block_available(BlockKey key) const override {
+    return cached.contains(key) || inflight.contains(key);
+  }
+
+  SimFuture<Done> prefetch_fetch(BlockKey key, NodeId target) override {
+    fetches.push_back(key);
+    targets.push_back(target);
+    SimPromise<Done> done(*eng_);
+    if (block_available(key)) {
+      done.set_value(Done{});
+      return done.future();
+    }
+    inflight.insert(key);
+    ++concurrent;
+    max_concurrent = std::max(max_concurrent, concurrent);
+    eng_->schedule_in(fetch_delay, [this, key, done] {
+      inflight.erase(key);
+      cached.insert(key);
+      --concurrent;
+      done.set_value(Done{});
+    });
+    return done.future();
+  }
+
+  [[nodiscard]] std::uint32_t file_blocks(FileId file) const override {
+    auto it = sizes.find(raw(file));
+    return it == sizes.end() ? 0 : it->second;
+  }
+
+  Engine* eng_;
+  SimTime fetch_delay = SimTime::ms(10);
+  std::set<BlockKey> cached;
+  std::set<BlockKey> inflight;
+  std::vector<BlockKey> fetches;
+  std::vector<NodeId> targets;
+  std::map<std::uint32_t, std::uint32_t> sizes;
+  std::uint32_t concurrent = 0;
+  std::uint32_t max_concurrent = 0;
+};
+
+struct Fixture {
+  Engine eng;
+  MockHost host{eng};
+  bool stop = false;
+
+  PrefetchManager manager(const std::string& algo) {
+    return PrefetchManager(eng, AlgorithmSpec::parse(algo), host, &stop);
+  }
+};
+
+constexpr FileId kFile{1};
+
+TEST(PrefetchManager, NpIssuesNothing) {
+  Fixture f;
+  f.host.sizes[1] = 100;
+  auto mgr = f.manager("NP");
+  mgr.on_request(ProcId{1}, NodeId{0}, kFile, 0, 4);
+  f.eng.run();
+  EXPECT_TRUE(f.host.fetches.empty());
+}
+
+TEST(PrefetchManager, PlainObaPrefetchesExactlyOneBlock) {
+  Fixture f;
+  f.host.sizes[1] = 100;
+  auto mgr = f.manager("OBA");
+  mgr.on_request(ProcId{1}, NodeId{0}, kFile, 0, 4);
+  f.eng.run();
+  ASSERT_EQ(f.host.fetches.size(), 1u);
+  EXPECT_EQ(f.host.fetches[0], (BlockKey{kFile, 4}));
+}
+
+TEST(PrefetchManager, PlainIsPpmPrefetchesOnePredictedRequest) {
+  Fixture f;
+  f.host.sizes[1] = 100;
+  auto mgr = f.manager("IS_PPM:1");
+  // Warm the graph: stride 8, size 3.
+  mgr.on_request(ProcId{1}, NodeId{0}, kFile, 0, 3);
+  f.eng.run();
+  mgr.on_request(ProcId{1}, NodeId{0}, kFile, 8, 3);
+  f.eng.run();
+  f.host.fetches.clear();
+  mgr.on_request(ProcId{1}, NodeId{0}, kFile, 16, 3);
+  // The predicted request 24..26 was issued as a unit (no pacing).
+  std::vector<BlockKey> expect{{kFile, 24}, {kFile, 25}, {kFile, 26}};
+  EXPECT_EQ(f.host.fetches, expect);
+  f.eng.run();
+}
+
+TEST(PrefetchManager, LinearAggressiveKeepsOneBlockInFlight) {
+  Fixture f;
+  f.host.sizes[1] = 64;
+  auto mgr = f.manager("Ln_Agr_OBA");
+  mgr.on_request(ProcId{1}, NodeId{0}, kFile, 0, 2);
+  f.eng.run();
+  // The whole rest of the file was prefetched...
+  EXPECT_EQ(f.host.fetches.size(), 62u);
+  // ...but strictly one block at a time.
+  EXPECT_EQ(f.host.max_concurrent, 1u);
+  // And sequentially.
+  for (std::size_t i = 0; i < f.host.fetches.size(); ++i) {
+    EXPECT_EQ(f.host.fetches[i], (BlockKey{kFile, static_cast<std::uint32_t>(2 + i)}));
+  }
+}
+
+TEST(PrefetchManager, FloodingVariantIssuesEverythingAtOnce) {
+  Fixture f;
+  f.host.sizes[1] = 64;
+  auto mgr = f.manager("Agr_OBA");
+  mgr.on_request(ProcId{1}, NodeId{0}, kFile, 0, 2);
+  EXPECT_EQ(f.host.fetches.size(), 62u);   // all issued synchronously
+  EXPECT_EQ(f.host.max_concurrent, 62u);   // no pacing at all
+  f.eng.run();
+}
+
+TEST(PrefetchManager, CoveredPathDoesNotRetarget) {
+  Fixture f;
+  f.host.sizes[1] = 64;
+  auto mgr = f.manager("Ln_Agr_OBA");
+  mgr.on_request(ProcId{1}, NodeId{0}, kFile, 0, 2);
+  f.eng.run();  // everything prefetched
+  const auto issued_before = mgr.counters().issued;
+  // The app now requests blocks that were prefetched: correct prediction.
+  mgr.on_request(ProcId{1}, NodeId{0}, kFile, 2, 2);
+  mgr.on_request(ProcId{1}, NodeId{0}, kFile, 4, 2);
+  f.eng.run();
+  EXPECT_EQ(mgr.counters().retargets, 0u);
+  EXPECT_EQ(mgr.counters().issued, issued_before);
+}
+
+TEST(PrefetchManager, MispredictedPathRetargets) {
+  Fixture f;
+  f.host.sizes[1] = 1000;
+  auto mgr = f.manager("Ln_Agr_OBA");
+  mgr.on_request(ProcId{1}, NodeId{0}, kFile, 0, 2);
+  f.eng.run_until(f.eng.now() + SimTime::ms(35));  // a few blocks prefetched
+  // Jump far away: the blocks there are not prefetched -> retarget.
+  mgr.on_request(ProcId{1}, NodeId{0}, kFile, 500, 2);
+  EXPECT_EQ(mgr.counters().retargets, 1u);
+  // Let the pump pick up the new stream, then wind it down.
+  f.eng.run_until(f.eng.now() + SimTime::ms(30));
+  f.stop = true;
+  f.eng.run();
+  // Prefetching restarted from the mis-predicted request's position.
+  const BlockKey restart{kFile, 502};
+  EXPECT_NE(std::find(f.host.fetches.begin(), f.host.fetches.end(), restart),
+            f.host.fetches.end());
+}
+
+TEST(PrefetchManager, RoundRobinServesAllReadersOfAFile) {
+  Fixture f;
+  f.host.sizes[1] = 1000;
+  f.host.fetch_delay = SimTime::ms(1);
+  auto mgr = f.manager("Ln_Agr_IS_PPM:1");
+  // Two processes with interleaved strided patterns (chunk 2, stride 4).
+  auto feed = [&](std::uint32_t pid, std::uint32_t start, int n) {
+    for (int i = 0; i < n; ++i) {
+      mgr.on_request(ProcId{pid}, NodeId{pid}, kFile, start + 4 * i, 2);
+    }
+  };
+  feed(1, 0, 3);   // 0, 4, 8
+  feed(2, 2, 3);   // 2, 6, 10
+  f.eng.run_until(f.eng.now() + SimTime::ms(20));
+  f.stop = true;
+  f.eng.run();
+  // Both readers' future chunks were prefetched.
+  bool saw_pid1_chunk = false, saw_pid2_chunk = false;
+  for (const BlockKey& k : f.host.fetches) {
+    if (k.index >= 12 && k.index % 4 == 0) saw_pid1_chunk = true;
+    if (k.index >= 14 && k.index % 4 == 2) saw_pid2_chunk = true;
+  }
+  EXPECT_TRUE(saw_pid1_chunk);
+  EXPECT_TRUE(saw_pid2_chunk);
+  EXPECT_EQ(f.host.max_concurrent, 1u);  // the limit stays per *file*
+}
+
+TEST(PrefetchManager, ColdGraphFallbackIsCountedAndConservative) {
+  Fixture f;
+  f.host.sizes[1] = 100;
+  auto mgr = f.manager("Ln_Agr_IS_PPM:1");
+  mgr.on_request(ProcId{1}, NodeId{0}, kFile, 0, 2);
+  f.eng.run();
+  EXPECT_EQ(mgr.counters().issued, 1u);  // a single OBA fallback block
+  EXPECT_EQ(mgr.counters().fallback_issued, 1u);
+  EXPECT_EQ(f.host.fetches[0], (BlockKey{kFile, 2}));
+}
+
+TEST(PrefetchManager, WarmSharedGraphPredictsForANewReader) {
+  Fixture f;
+  f.host.sizes[1] = 100;
+  f.host.fetch_delay = SimTime::us(10);
+  auto mgr = f.manager("Ln_Agr_IS_PPM:1");
+  // Reader 1 establishes a stride-8 pattern on the file.
+  for (std::uint32_t b = 0; b <= 32; b += 8) {
+    mgr.on_request(ProcId{1}, NodeId{0}, kFile, b, 2);
+    f.eng.run();
+  }
+  f.host.fetches.clear();
+  f.host.cached.clear();  // evict everything: reader 2 starts cold
+  // Reader 2 re-reads the same file: the *shared* per-file graph predicts
+  // from its second request (a private graph would need a third).
+  mgr.on_request(ProcId{2}, NodeId{0}, kFile, 0, 2);
+  f.eng.run();
+  f.host.fetches.clear();
+  mgr.on_request(ProcId{2}, NodeId{0}, kFile, 8, 2);
+  f.eng.run_until(f.eng.now() + SimTime::ms(1));
+  f.stop = true;
+  f.eng.run();
+  // The prefetches follow the learned stride, not sequential fallback.
+  ASSERT_FALSE(f.host.fetches.empty());
+  EXPECT_EQ(f.host.fetches[0], (BlockKey{kFile, 16}));
+}
+
+TEST(PrefetchManager, FileDeletionStopsThePump) {
+  Fixture f;
+  f.host.sizes[1] = 1000;
+  auto mgr = f.manager("Ln_Agr_OBA");
+  mgr.on_request(ProcId{1}, NodeId{0}, kFile, 0, 2);
+  f.eng.run_until(f.eng.now() + SimTime::ms(25));
+  const auto fetched = f.host.fetches.size();
+  EXPECT_GT(fetched, 0u);
+  mgr.on_file_deleted(kFile);
+  f.eng.run();
+  // At most the block in flight at deletion time completes; no new ones.
+  EXPECT_LE(f.host.fetches.size(), fetched + 1);
+}
+
+TEST(PrefetchManager, WritesAlsoTriggerPrefetching) {
+  // Section 2.1: "whenever a block i is read *or written*, block i+1 is
+  // also requested" — the manager is driven by both kinds of request; this
+  // is exercised by calling on_request for a write-shaped access.
+  Fixture f;
+  f.host.sizes[1] = 10;
+  auto mgr = f.manager("OBA");
+  mgr.on_request(ProcId{1}, NodeId{0}, kFile, 5, 1);  // a write, to the FS
+  f.eng.run();
+  ASSERT_EQ(f.host.fetches.size(), 1u);
+  EXPECT_EQ(f.host.fetches[0], (BlockKey{kFile, 6}));
+}
+
+TEST(PrefetchManager, PrefetchTargetsFollowTheRequester) {
+  Fixture f;
+  f.host.sizes[1] = 50;
+  auto mgr = f.manager("Ln_Agr_OBA");
+  mgr.on_request(ProcId{1}, NodeId{7}, kFile, 0, 2);
+  f.eng.run();
+  ASSERT_FALSE(f.host.targets.empty());
+  for (NodeId t : f.host.targets) EXPECT_EQ(t, NodeId{7});
+}
+
+}  // namespace
+}  // namespace lap

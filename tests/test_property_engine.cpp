@@ -1,0 +1,168 @@
+// Property sweeps over the simulation kernel: random event schedules fire
+// in exact timestamp order, coroutine delay chains accumulate exactly, and
+// priority-served resources never invert priorities.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/future.hpp"
+#include "sim/resource.hpp"
+#include "sim/task.hpp"
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+
+namespace lap {
+namespace {
+
+class RandomSchedules : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomSchedules, EventsFireInTimestampOrder) {
+  Rng rng(GetParam());
+  Engine eng;
+  std::vector<std::int64_t> scheduled;
+  std::vector<std::int64_t> fired;
+  for (int i = 0; i < 500; ++i) {
+    const std::int64_t at = rng.uniform_int(0, 10'000);
+    scheduled.push_back(at);
+    eng.schedule_at(SimTime::us(static_cast<double>(at)),
+                    [&fired, at] { fired.push_back(at); });
+  }
+  eng.run();
+  ASSERT_EQ(fired.size(), scheduled.size());
+  EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+  std::sort(scheduled.begin(), scheduled.end());
+  EXPECT_EQ(fired, scheduled);
+}
+
+TEST_P(RandomSchedules, NestedSchedulingStaysOrdered) {
+  Rng rng(GetParam());
+  Engine eng;
+  std::vector<SimTime> fired;
+  // Each event schedules a follow-up at a random future offset.
+  for (int i = 0; i < 50; ++i) {
+    const auto at = SimTime::us(static_cast<double>(rng.uniform_int(0, 1000)));
+    eng.schedule_at(at, [&eng, &fired, &rng] {
+      fired.push_back(eng.now());
+      eng.schedule_in(SimTime::us(static_cast<double>(rng.uniform_int(1, 100))),
+                      [&eng, &fired] { fired.push_back(eng.now()); });
+    });
+  }
+  eng.run();
+  EXPECT_EQ(fired.size(), 100u);
+  EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+}
+
+TEST_P(RandomSchedules, DelayChainsAccumulateExactly) {
+  Rng rng(GetParam());
+  Engine eng;
+  std::int64_t expected_us = 0;
+  std::vector<std::int64_t> delays;
+  for (int i = 0; i < 64; ++i) {
+    const std::int64_t d = rng.uniform_int(0, 500);
+    delays.push_back(d);
+    expected_us += d;
+  }
+  bool done = false;
+  [](Engine& e, const std::vector<std::int64_t>& ds, bool& flag) -> SimTask {
+    for (std::int64_t d : ds) {
+      co_await e.delay(SimTime::us(static_cast<double>(d)));
+    }
+    flag = true;
+  }(eng, delays, done);
+  eng.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(eng.now(), SimTime::us(static_cast<double>(expected_us)));
+}
+
+TEST_P(RandomSchedules, ResourceNeverInvertsPriorities) {
+  Rng rng(GetParam());
+  Engine eng;
+  Resource res(eng);
+  struct Served {
+    int priority;
+    SimTime at;
+  };
+  std::vector<Served> served;
+  for (int i = 0; i < 60; ++i) {
+    const int priority = static_cast<int>(rng.uniform_int(0, 2));
+    [](Engine& e, Resource& r, int prio, std::vector<Served>& out) -> SimTask {
+      auto guard = co_await r.scoped(prio);
+      out.push_back(Served{prio, e.now()});
+      co_await e.delay(SimTime::us(10));
+    }(eng, res, priority, served);
+  }
+  eng.run();
+  ASSERT_EQ(served.size(), 60u);
+  // Once the initial arrivals queue up, no lower-urgency waiter may be
+  // served while a more urgent one was already waiting.  With all 60
+  // submitted at t=0, the service order after the first must be sorted by
+  // priority (FIFO within equal priority is checked by the unit tests).
+  for (std::size_t i = 2; i < served.size(); ++i) {
+    EXPECT_LE(served[i - 1].priority, served[i].priority);
+  }
+}
+
+TEST_P(RandomSchedules, PromisePairsAlwaysRendezvous) {
+  Rng rng(GetParam());
+  Engine eng;
+  int resumed = 0;
+  const int pairs = 100;
+  for (int i = 0; i < pairs; ++i) {
+    SimPromise<int> p(eng);
+    [](SimFuture<int> f, int& count) -> SimTask {
+      (void)co_await f;
+      ++count;
+    }(p.future(), resumed);
+    eng.schedule_in(SimTime::us(static_cast<double>(rng.uniform_int(0, 1000))),
+                    [p, i] { p.set_value(i); });
+  }
+  eng.run();
+  EXPECT_EQ(resumed, pairs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSchedules,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+class TraceRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TraceRoundTrip, RandomTracesSurviveSaveLoad) {
+  Rng rng(GetParam());
+  Trace t;
+  t.block_size = 8_KiB;
+  t.serialize_per_node = rng.chance(0.5);
+  const int files = static_cast<int>(rng.uniform_int(1, 20));
+  for (int f = 0; f < files; ++f) {
+    t.files.push_back(FileInfo{
+        FileId{static_cast<std::uint32_t>(f)},
+        static_cast<Bytes>(rng.uniform_int(1, 1 << 20))});
+  }
+  const int procs = static_cast<int>(rng.uniform_int(1, 10));
+  for (int p = 0; p < procs; ++p) {
+    ProcessTrace proc{ProcId{static_cast<std::uint32_t>(p)},
+                      NodeId{static_cast<std::uint32_t>(rng.uniform_int(0, 63))},
+                      {}};
+    const int records = static_cast<int>(rng.uniform_int(0, 50));
+    for (int r = 0; r < records; ++r) {
+      TraceRecord rec;
+      rec.op = static_cast<TraceOp>(rng.uniform_int(0, 4));
+      rec.file = FileId{static_cast<std::uint32_t>(rng.uniform_int(0, files - 1))};
+      rec.offset = static_cast<Bytes>(rng.uniform_int(0, 1 << 20));
+      rec.length = static_cast<Bytes>(rng.uniform_int(0, 1 << 16));
+      rec.think = SimTime::ns(rng.uniform_int(0, 1'000'000'000));
+      proc.records.push_back(rec);
+    }
+    t.processes.push_back(std::move(proc));
+  }
+  std::stringstream ss;
+  t.save(ss);
+  EXPECT_EQ(Trace::load(ss), t);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceRoundTrip,
+                         ::testing::Values(100, 200, 300, 400, 500, 600));
+
+}  // namespace
+}  // namespace lap

@@ -1,0 +1,116 @@
+#include "driver/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace lap {
+namespace {
+
+RunResult result(const char* algo, Bytes cache, double read_ms) {
+  RunResult r;
+  r.algorithm = algo;
+  r.fs = "PAFS";
+  r.cache_per_node = cache;
+  r.avg_read_ms = read_ms;
+  r.disk_reads = 100;
+  r.disk_writes = 50;
+  r.disk_accesses = 150;
+  r.writes_per_block = 3.5;
+  r.hit_ratio = 0.9;
+  r.prefetch_issued = 1000;
+  r.prefetch_fallback = 10;
+  r.misprediction_ratio = 0.25;
+  r.sim_duration = SimTime::sec(12);
+  return r;
+}
+
+SweepSpec two_by_two() {
+  SweepSpec spec;
+  spec.cache_sizes = {1_MiB, 4_MiB};
+  spec.algorithms = {AlgorithmSpec::parse("NP"),
+                     AlgorithmSpec::parse("Ln_Agr_OBA")};
+  return spec;
+}
+
+std::vector<RunResult> two_by_two_results() {
+  return {result("NP", 1_MiB, 3.0), result("NP", 4_MiB, 2.5),
+          result("Ln_Agr_OBA", 1_MiB, 1.2), result("Ln_Agr_OBA", 4_MiB, 0.9)};
+}
+
+TEST(Report, ReadTimeSeriesLaysOutAlgorithmRows) {
+  std::ostringstream os;
+  print_read_time_series(os, two_by_two(), two_by_two_results());
+  const std::string s = os.str();
+  EXPECT_NE(s.find("1MB"), std::string::npos);
+  EXPECT_NE(s.find("4MB"), std::string::npos);
+  EXPECT_NE(s.find("Ln_Agr_OBA"), std::string::npos);
+  EXPECT_NE(s.find("0.900"), std::string::npos);
+  // NP's row appears before Ln_Agr_OBA's (plot order).
+  EXPECT_LT(s.find("NP"), s.find("Ln_Agr_OBA"));
+}
+
+TEST(Report, DiskSeriesReportsThousands) {
+  std::ostringstream os;
+  print_disk_access_series(os, two_by_two(), two_by_two_results());
+  const std::string s = os.str();
+  EXPECT_NE(s.find("0.1"), std::string::npos);  // 150 accesses = 0.1(5)k
+  EXPECT_NE(s.find("disk *writes*"), std::string::npos);
+}
+
+TEST(Report, WritesPerBlockTable) {
+  std::ostringstream os;
+  print_writes_per_block_table(os, two_by_two(), two_by_two_results());
+  EXPECT_NE(os.str().find("3.50"), std::string::npos);
+}
+
+TEST(Report, HeaderStatesWorkloadAndMachine) {
+  std::ostringstream os;
+  Trace trace;
+  trace.files = {FileInfo{FileId{0}, 8_KiB}};
+  RunConfig cfg;
+  cfg.machine = MachineConfig::pm();
+  print_experiment_header(os, "Figure X", cfg.machine, trace, cfg);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("Figure X"), std::string::npos);
+  EXPECT_NE(s.find("128 nodes"), std::string::npos);
+  EXPECT_NE(s.find("PAFS"), std::string::npos);
+}
+
+TEST(Report, CsvHasHeaderAndOneRowPerRun) {
+  std::ostringstream os;
+  write_results_csv(os, two_by_two_results());
+  const std::string s = os.str();
+  std::size_t lines = 0;
+  for (char c : s) lines += (c == '\n');
+  EXPECT_EQ(lines, 5u);  // header + 4 runs
+  EXPECT_NE(s.find("fs,algorithm,cache_mb"), std::string::npos);
+  EXPECT_NE(s.find("PAFS,NP,1,"), std::string::npos);
+  EXPECT_NE(s.find("PAFS,Ln_Agr_OBA,4,"), std::string::npos);
+}
+
+TEST(Report, RunSummaryIsOneLine) {
+  std::ostringstream os;
+  print_run_summary(os, result("IS_PPM:1", 2_MiB, 1.5));
+  const std::string s = os.str();
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 1);
+  EXPECT_NE(s.find("IS_PPM:1"), std::string::npos);
+  EXPECT_NE(s.find("2MB/node"), std::string::npos);
+}
+
+TEST(MachineConfig, PaperTable1Values) {
+  const MachineConfig pm = MachineConfig::pm();
+  EXPECT_EQ(pm.nodes, 128u);
+  EXPECT_EQ(pm.disks, 16u);
+  EXPECT_EQ(pm.net.remote_port_startup, SimTime::us(10));
+  EXPECT_EQ(pm.disk.read_seek, SimTime::ms(10.5));
+  const MachineConfig now = MachineConfig::now();
+  EXPECT_EQ(now.nodes, 50u);
+  EXPECT_EQ(now.disks, 8u);
+  EXPECT_EQ(now.net.local_copy_startup, SimTime::us(25));
+  EXPECT_NEAR(now.net.network_bw.bytes_per_sec(), 19.4e6, 1.0);
+  EXPECT_NE(pm.describe().find("PM"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lap

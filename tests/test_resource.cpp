@@ -1,0 +1,96 @@
+#include "sim/resource.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/task.hpp"
+
+namespace lap {
+namespace {
+
+SimTask hold_for(Engine& eng, Resource& res, int priority, SimTime duration,
+                 int id, std::vector<int>& order) {
+  auto guard = co_await res.scoped(priority);
+  order.push_back(id);
+  co_await eng.delay(duration);
+}
+
+TEST(Resource, ImmediateAcquisitionWhenIdle) {
+  Engine eng;
+  Resource res(eng);
+  std::vector<int> order;
+  hold_for(eng, res, prio::kDemand, SimTime::us(1), 1, order);
+  EXPECT_EQ(order, (std::vector<int>{1}));  // acquired synchronously
+  eng.run();
+  EXPECT_EQ(res.in_use(), 0u);
+}
+
+TEST(Resource, FifoWithinPriority) {
+  Engine eng;
+  Resource res(eng);
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    hold_for(eng, res, prio::kDemand, SimTime::us(10), i, order);
+  }
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Resource, UrgentWaitersJumpTheQueue) {
+  Engine eng;
+  Resource res(eng);
+  std::vector<int> order;
+  hold_for(eng, res, prio::kDemand, SimTime::us(10), 0, order);    // in service
+  hold_for(eng, res, prio::kPrefetch, SimTime::us(10), 1, order);  // queued
+  hold_for(eng, res, prio::kDemand, SimTime::us(10), 2, order);    // queued, urgent
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 1}));
+}
+
+TEST(Resource, NonPreemptive) {
+  Engine eng;
+  Resource res(eng);
+  std::vector<int> order;
+  hold_for(eng, res, prio::kPrefetch, SimTime::us(10), 0, order);
+  eng.run_until(SimTime::us(1));
+  hold_for(eng, res, prio::kDemand, SimTime::us(1), 1, order);
+  eng.run();
+  // The prefetch finished its service before the demand started.
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(Resource, CapacityAllowsParallelHolders) {
+  Engine eng;
+  Resource res(eng, 2);
+  std::vector<int> order;
+  hold_for(eng, res, prio::kDemand, SimTime::us(10), 0, order);
+  hold_for(eng, res, prio::kDemand, SimTime::us(10), 1, order);
+  hold_for(eng, res, prio::kDemand, SimTime::us(10), 2, order);
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));  // two slots immediately
+  EXPECT_EQ(res.queue_length(), 1u);
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Resource, QueueStats) {
+  Engine eng;
+  Resource res(eng);
+  std::vector<int> order;
+  hold_for(eng, res, prio::kDemand, SimTime::us(5), 0, order);
+  hold_for(eng, res, prio::kDemand, SimTime::us(5), 1, order);
+  EXPECT_TRUE(res.busy());
+  EXPECT_EQ(res.in_use(), 1u);
+  EXPECT_EQ(res.queue_length(), 1u);
+  eng.run();
+  EXPECT_FALSE(res.busy());
+}
+
+TEST(Resource, ReleaseWithoutAcquireIsRejected) {
+  Engine eng;
+  Resource res(eng);
+  EXPECT_DEATH(res.release(), "Precondition");
+}
+
+}  // namespace
+}  // namespace lap

@@ -1,0 +1,139 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace lap {
+namespace {
+
+TEST(Rng, DeterministicBySeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng r(11);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += r.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng r(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform_int(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng r(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.uniform_int(9, 9), 9);
+}
+
+TEST(Rng, UniformIntNegativeRange) {
+  Rng r(17);
+  for (int i = 0; i < 100; ++i) {
+    const auto v = r.uniform_int(-5, -1);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, -1);
+  }
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(23);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(Rng, ExponentialNonNegative) {
+  Rng r(29);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(r.exponential(1.0), 0.0);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(31);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(37);
+  double sum = 0, sq = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, WeightedPickRespectsWeights) {
+  Rng r(41);
+  const std::vector<double> w{1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 40000; ++i) ++counts[r.weighted_pick(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.25);
+}
+
+TEST(Rng, ZipfIsSkewedTowardLowRanks) {
+  Rng r(43);
+  int first = 0, rest = 0;
+  for (int i = 0; i < 20000; ++i) {
+    (r.zipf(100, 1.1) == 0 ? first : rest)++;
+  }
+  // Rank 0 should dominate any individual other rank by far.
+  EXPECT_GT(first, 20000 / 25);
+}
+
+TEST(Rng, ZipfStaysInRange) {
+  Rng r(47);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_LT(r.zipf(37, 0.9), 37u);
+  }
+  EXPECT_EQ(r.zipf(1, 1.0), 0u);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(53);
+  Rng child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (parent.next() == child.next());
+  EXPECT_LT(same, 2);
+}
+
+}  // namespace
+}  // namespace lap

@@ -1,0 +1,157 @@
+// End-to-end integration tests over run_simulation: determinism, metric
+// consistency, and the paper's headline qualitative effects on scaled-down
+// workloads.
+#include "driver/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/charisma_gen.hpp"
+#include "trace/sprite_gen.hpp"
+
+namespace lap {
+namespace {
+
+Trace small_charisma() {
+  CharismaParams p;
+  p.scale = 0.25;
+  return generate_charisma(p);
+}
+
+RunConfig pm_config(const std::string& algo) {
+  RunConfig cfg;
+  cfg.machine = MachineConfig::pm();
+  cfg.fs = FsKind::kPafs;
+  cfg.cache_per_node = 4_MiB;
+  cfg.algorithm = AlgorithmSpec::parse(algo);
+  return cfg;
+}
+
+TEST(Simulation, IsDeterministic) {
+  const Trace trace = small_charisma();
+  const RunConfig cfg = pm_config("Ln_Agr_IS_PPM:1");
+  const RunResult a = run_simulation(trace, cfg);
+  const RunResult b = run_simulation(trace, cfg);
+  EXPECT_EQ(a.avg_read_ms, b.avg_read_ms);
+  EXPECT_EQ(a.disk_accesses, b.disk_accesses);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.sim_duration, b.sim_duration);
+}
+
+TEST(Simulation, CompletesAllRequests) {
+  const Trace trace = small_charisma();
+  RunConfig cfg = pm_config("NP");
+  cfg.warmup_fraction = 0.0;
+  const RunResult r = run_simulation(trace, cfg);
+  EXPECT_EQ(r.reads + r.writes, trace.total_io_ops());
+}
+
+TEST(Simulation, WarmupExcludesEarlyOps) {
+  const Trace trace = small_charisma();
+  RunConfig cfg = pm_config("NP");
+  cfg.warmup_fraction = 0.5;
+  const RunResult r = run_simulation(trace, cfg);
+  EXPECT_LT(r.reads + r.writes, trace.total_io_ops());
+  EXPECT_GT(r.reads, 0u);
+}
+
+TEST(Simulation, NoPrefetchingMeansNoPrefetches) {
+  const Trace trace = small_charisma();
+  const RunResult r = run_simulation(trace, pm_config("NP"));
+  EXPECT_EQ(r.prefetch_issued, 0u);
+  EXPECT_EQ(r.disk_prefetch_reads, 0u);
+  EXPECT_EQ(r.misprediction_ratio, 0.0);
+}
+
+TEST(Simulation, LinearAggressivePrefetchingSpeedsUpReads) {
+  // The headline claim, on a small workload: linear aggressive prefetching
+  // reduces the average read time substantially.
+  const Trace trace = small_charisma();
+  const RunResult np = run_simulation(trace, pm_config("NP"));
+  const RunResult lap = run_simulation(trace, pm_config("Ln_Agr_IS_PPM:1"));
+  EXPECT_LT(lap.avg_read_ms, 0.8 * np.avg_read_ms);
+  EXPECT_GT(lap.hit_ratio, np.hit_ratio);
+}
+
+TEST(Simulation, AggressiveBeatsConservative) {
+  const Trace trace = small_charisma();
+  const RunResult plain = run_simulation(trace, pm_config("IS_PPM:1"));
+  const RunResult aggressive =
+      run_simulation(trace, pm_config("Ln_Agr_IS_PPM:1"));
+  EXPECT_LT(aggressive.avg_read_ms, plain.avg_read_ms);
+}
+
+TEST(Simulation, ObaIsTheConservativeBaseline) {
+  const Trace trace = small_charisma();
+  const RunResult np = run_simulation(trace, pm_config("NP"));
+  const RunResult oba = run_simulation(trace, pm_config("OBA"));
+  // OBA helps a little and never issues more than one block per request.
+  EXPECT_LE(oba.avg_read_ms, np.avg_read_ms * 1.05);
+  EXPECT_LE(oba.prefetch_issued, trace.total_io_ops());
+}
+
+TEST(Simulation, XfsRunsTheSameWorkload) {
+  const Trace trace = small_charisma();
+  RunConfig cfg = pm_config("Ln_Agr_IS_PPM:1");
+  cfg.fs = FsKind::kXfs;
+  const RunResult r = run_simulation(trace, cfg);
+  EXPECT_EQ(r.fs, "xFS");
+  EXPECT_GT(r.reads, 0u);
+  EXPECT_GT(r.hit_ratio, 0.5);
+}
+
+TEST(Simulation, XfsPrefetchesMoreThanPafsOnSharedFiles) {
+  // Per-node prefetchers duplicate work on shared files (Section 4).
+  CharismaParams p;
+  p.scale = 0.25;
+  p.shared_strided_frac = 1.0;
+  p.private_strided_frac = 0.0;
+  p.first_part_frac = 0.0;
+  p.random_frac = 0.0;
+  const Trace trace = generate_charisma(p);
+  RunConfig cfg = pm_config("Ln_Agr_IS_PPM:1");
+  const RunResult pafs = run_simulation(trace, cfg);
+  cfg.fs = FsKind::kXfs;
+  const RunResult xfs = run_simulation(trace, cfg);
+  EXPECT_GT(xfs.prefetch_issued, pafs.prefetch_issued * 3 / 2);
+}
+
+TEST(Simulation, SpriteWorkloadRuns) {
+  SpriteParams p;
+  p.scale = 0.15;
+  const Trace trace = generate_sprite(p);
+  RunConfig cfg;
+  cfg.machine = MachineConfig::now();
+  cfg.fs = FsKind::kPafs;
+  cfg.cache_per_node = 4_MiB;
+  cfg.algorithm = AlgorithmSpec::parse("Ln_Agr_IS_PPM:1");
+  const RunResult r = run_simulation(trace, cfg);
+  EXPECT_GT(r.reads, 0u);
+  EXPECT_GT(r.prefetch_issued, 0u);
+  EXPECT_GT(r.fallback_fraction, 0.0);  // small files: cold-start fallbacks
+}
+
+TEST(Simulation, BiggerCacheNeverHurtsNp) {
+  const Trace trace = small_charisma();
+  RunConfig cfg = pm_config("NP");
+  cfg.cache_per_node = 1_MiB;
+  const RunResult small = run_simulation(trace, cfg);
+  cfg.cache_per_node = 16_MiB;
+  const RunResult big = run_simulation(trace, cfg);
+  EXPECT_LE(big.avg_read_ms, small.avg_read_ms * 1.02);
+  EXPECT_GE(big.hit_ratio + 1e-9, small.hit_ratio);
+}
+
+TEST(Simulation, ResultCarriesConfiguration) {
+  const Trace trace = small_charisma();
+  RunConfig cfg = pm_config("Ln_Agr_OBA");
+  cfg.cache_per_node = 2_MiB;
+  const RunResult r = run_simulation(trace, cfg);
+  EXPECT_EQ(r.algorithm, "Ln_Agr_OBA");
+  EXPECT_EQ(r.fs, "PAFS");
+  EXPECT_EQ(r.cache_per_node, 2_MiB);
+  EXPECT_GT(r.events, 0u);
+  EXPECT_GT(r.sim_duration, SimTime::zero());
+}
+
+}  // namespace
+}  // namespace lap

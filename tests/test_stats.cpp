@@ -1,0 +1,93 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lap {
+namespace {
+
+TEST(Accumulator, Empty) {
+  Accumulator a;
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.stddev(), 0.0);
+}
+
+TEST(Accumulator, KnownValues) {
+  Accumulator a;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.add(x);
+  EXPECT_EQ(a.count(), 8u);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+  EXPECT_DOUBLE_EQ(a.total(), 40.0);
+  EXPECT_NEAR(a.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+}
+
+TEST(Accumulator, MergeMatchesSequential) {
+  Accumulator all, left, right;
+  for (int i = 0; i < 100; ++i) {
+    const double x = i * 0.37 - 3;
+    all.add(x);
+    (i < 42 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(Accumulator, MergeWithEmpty) {
+  Accumulator a, b;
+  a.add(1.0);
+  a.merge(b);  // no-op
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);  // copies
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(Accumulator, Reset) {
+  Accumulator a;
+  a.add(5.0);
+  a.reset();
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.mean(), 0.0);
+}
+
+TEST(Histogram, QuantilesOfUniformSpread) {
+  Histogram h(0.1, 1000.0, 64);
+  for (int i = 1; i <= 1000; ++i) h.add(static_cast<double>(i));
+  EXPECT_EQ(h.count(), 1000u);
+  // Log-bucketed: quantiles are exact only to bucket resolution.
+  EXPECT_NEAR(h.quantile(0.5), 500.0, 100.0);
+  EXPECT_NEAR(h.quantile(0.99), 990.0, 160.0);
+}
+
+TEST(Histogram, UnderflowAndOverflow) {
+  Histogram h(1.0, 10.0, 8);
+  h.add(0.01);   // underflow
+  h.add(100.0);  // overflow
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+}
+
+TEST(Histogram, MergeAddsCounts) {
+  Histogram a(1.0, 100.0, 16);
+  Histogram b(1.0, 100.0, 16);
+  a.add(5.0);
+  b.add(50.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(Histogram, SummaryMentionsCount) {
+  Histogram h(1.0, 100.0, 16);
+  h.add(10.0);
+  EXPECT_NE(h.summary().find("n=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lap

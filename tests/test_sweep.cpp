@@ -1,0 +1,86 @@
+#include "driver/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "trace/charisma_gen.hpp"
+
+namespace lap {
+namespace {
+
+Trace tiny_trace() {
+  CharismaParams p;
+  p.scale = 0.15;
+  return generate_charisma(p);
+}
+
+TEST(Sweep, PaperCacheSizes) {
+  const auto sizes = paper_cache_sizes();
+  ASSERT_EQ(sizes.size(), 5u);
+  EXPECT_EQ(sizes.front(), 1_MiB);
+  EXPECT_EQ(sizes.back(), 16_MiB);
+}
+
+TEST(Sweep, ResultsAreAlgorithmMajorCacheMinor) {
+  const Trace trace = tiny_trace();
+  RunConfig base;
+  base.machine = MachineConfig::pm();
+  SweepSpec spec;
+  spec.cache_sizes = {1_MiB, 4_MiB};
+  spec.algorithms = {AlgorithmSpec::parse("NP"),
+                     AlgorithmSpec::parse("Ln_Agr_OBA")};
+  const auto results = run_sweep(trace, base, spec, /*threads=*/2);
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(results[0].algorithm, "NP");
+  EXPECT_EQ(results[0].cache_per_node, 1_MiB);
+  EXPECT_EQ(results[1].algorithm, "NP");
+  EXPECT_EQ(results[1].cache_per_node, 4_MiB);
+  EXPECT_EQ(results[2].algorithm, "Ln_Agr_OBA");
+  EXPECT_EQ(results[3].cache_per_node, 4_MiB);
+}
+
+TEST(Sweep, MatchesSingleRuns) {
+  const Trace trace = tiny_trace();
+  RunConfig base;
+  base.machine = MachineConfig::pm();
+  SweepSpec spec;
+  spec.cache_sizes = {2_MiB};
+  spec.algorithms = {AlgorithmSpec::parse("IS_PPM:1")};
+  const auto results = run_sweep(trace, base, spec, 2);
+  RunConfig single = base;
+  single.algorithm = spec.algorithms[0];
+  single.cache_per_node = 2_MiB;
+  const RunResult direct = run_simulation(trace, single);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].avg_read_ms, direct.avg_read_ms);
+  EXPECT_EQ(results[0].events, direct.events);
+}
+
+TEST(Sweep, ProgressCallbackSeesEveryRun) {
+  const Trace trace = tiny_trace();
+  RunConfig base;
+  base.machine = MachineConfig::pm();
+  SweepSpec spec;
+  spec.cache_sizes = {1_MiB, 2_MiB};
+  spec.algorithms = {AlgorithmSpec::parse("NP")};
+  std::atomic<std::size_t> calls{0};
+  std::atomic<std::size_t> max_total{0};
+  (void)run_sweep(trace, base, spec, 2,
+                  [&](std::size_t /*done*/, std::size_t total) {
+                    ++calls;
+                    max_total = total;
+                  });
+  EXPECT_EQ(calls.load(), 2u);
+  EXPECT_EQ(max_total.load(), 2u);
+}
+
+TEST(Sweep, EmptySpecIsRejected) {
+  const Trace trace = tiny_trace();
+  RunConfig base;
+  SweepSpec spec;  // empty
+  EXPECT_DEATH((void)run_sweep(trace, base, spec), "Precondition");
+}
+
+}  // namespace
+}  // namespace lap

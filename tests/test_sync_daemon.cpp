@@ -1,0 +1,52 @@
+#include "cache/sync_daemon.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lap {
+namespace {
+
+TEST(SyncDaemon, TicksAtFixedInterval) {
+  Engine eng;
+  bool stop = false;
+  int ticks = 0;
+  SyncDaemon daemon(eng, SimTime::sec(2), [&] { ++ticks; }, &stop);
+  daemon.start();
+  eng.schedule_at(SimTime::sec(7), [&stop] { stop = true; });
+  eng.run();
+  EXPECT_EQ(ticks, 3);  // t = 2, 4, 6; the t = 8 wake-up sees stop
+  EXPECT_EQ(daemon.ticks(), 3u);
+}
+
+TEST(SyncDaemon, StopsBeforeFirstTickIfFlagAlreadySet) {
+  Engine eng;
+  bool stop = true;
+  int ticks = 0;
+  SyncDaemon daemon(eng, SimTime::ms(1), [&] { ++ticks; }, &stop);
+  daemon.start();
+  eng.run();
+  EXPECT_EQ(ticks, 0);
+}
+
+TEST(SyncDaemon, NoTickAtTimeZero) {
+  Engine eng;
+  bool stop = false;
+  int ticks = 0;
+  SyncDaemon daemon(eng, SimTime::sec(1), [&] { ++ticks; }, &stop);
+  daemon.start();
+  eng.run_until(SimTime::ms(999));
+  EXPECT_EQ(ticks, 0);
+  stop = true;
+  eng.run();
+}
+
+TEST(SyncDaemon, DoubleStartIsRejected) {
+  Engine eng;
+  bool stop = true;
+  SyncDaemon daemon(eng, SimTime::sec(1), [] {}, &stop);
+  daemon.start();
+  eng.run();
+  EXPECT_DEATH(daemon.start(), "Precondition");
+}
+
+}  // namespace
+}  // namespace lap

@@ -1,0 +1,75 @@
+#include "trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace lap {
+namespace {
+
+Trace sample() {
+  Trace t;
+  t.block_size = 8_KiB;
+  t.serialize_per_node = true;
+  t.files = {FileInfo{FileId{0}, 64_KiB}, FileInfo{FileId{1}, 8_KiB}};
+  ProcessTrace p1{ProcId{0}, NodeId{3}, {}};
+  p1.records = {
+      TraceRecord{TraceOp::kOpen, FileId{0}, 0, 0, SimTime::ms(1)},
+      TraceRecord{TraceOp::kRead, FileId{0}, 0, 16_KiB, SimTime::us(250)},
+      TraceRecord{TraceOp::kWrite, FileId{1}, 0, 8_KiB, SimTime::zero()},
+      TraceRecord{TraceOp::kClose, FileId{0}, 0, 0, SimTime::zero()},
+      TraceRecord{TraceOp::kDelete, FileId{1}, 0, 0, SimTime::zero()},
+  };
+  t.processes.push_back(std::move(p1));
+  return t;
+}
+
+TEST(TraceOps, CharRoundTrip) {
+  for (TraceOp op : {TraceOp::kOpen, TraceOp::kRead, TraceOp::kWrite,
+                     TraceOp::kClose, TraceOp::kDelete}) {
+    EXPECT_EQ(trace_op_from_char(to_char(op)), op);
+  }
+  EXPECT_THROW(trace_op_from_char('x'), std::invalid_argument);
+}
+
+TEST(Trace, Totals) {
+  const Trace t = sample();
+  EXPECT_EQ(t.total_io_ops(), 2u);  // one read, one write
+  EXPECT_EQ(t.total_records(), 5u);
+  EXPECT_EQ(t.total_bytes_read(), 16_KiB);
+  EXPECT_EQ(t.total_bytes_written(), 8_KiB);
+  EXPECT_EQ(t.node_span(), 4u);
+}
+
+TEST(Trace, SaveLoadRoundTrip) {
+  const Trace t = sample();
+  std::stringstream ss;
+  t.save(ss);
+  const Trace back = Trace::load(ss);
+  EXPECT_EQ(back, t);
+}
+
+TEST(Trace, LoadRejectsRecordBeforeProc) {
+  std::stringstream ss("  100 R 0 0 8192\n");
+  EXPECT_THROW(Trace::load(ss), std::invalid_argument);
+}
+
+TEST(Trace, LoadSkipsCommentsAndBlankLines) {
+  std::stringstream ss(
+      "# comment\n\nblocksize 8192\nproc 1 2\n  5 R 0 0 8192\n");
+  const Trace t = Trace::load(ss);
+  ASSERT_EQ(t.processes.size(), 1u);
+  EXPECT_EQ(t.processes[0].pid, ProcId{1});
+  EXPECT_EQ(t.processes[0].node, NodeId{2});
+  ASSERT_EQ(t.processes[0].records.size(), 1u);
+  EXPECT_EQ(t.processes[0].records[0].think, SimTime::ns(5));
+}
+
+TEST(Trace, EmptyTraceTotals) {
+  Trace t;
+  EXPECT_EQ(t.total_io_ops(), 0u);
+  EXPECT_EQ(t.node_span(), 0u);
+}
+
+}  // namespace
+}  // namespace lap

@@ -1,0 +1,78 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hpp"  // to_string(SimTime)
+
+namespace lap {
+namespace {
+
+TEST(SimTime, ConstructorsAgree) {
+  EXPECT_EQ(SimTime::us(1).nanos(), 1000);
+  EXPECT_EQ(SimTime::ms(1).nanos(), 1'000'000);
+  EXPECT_EQ(SimTime::sec(1).nanos(), 1'000'000'000);
+  EXPECT_EQ(SimTime::ns(5).nanos(), 5);
+  EXPECT_EQ(SimTime::zero().nanos(), 0);
+}
+
+TEST(SimTime, Arithmetic) {
+  const SimTime a = SimTime::us(10);
+  const SimTime b = SimTime::us(3);
+  EXPECT_EQ((a + b).micros(), 13.0);
+  EXPECT_EQ((a - b).micros(), 7.0);
+  EXPECT_EQ((a * 4).micros(), 40.0);
+  EXPECT_EQ((4 * a).micros(), 40.0);
+  SimTime c = a;
+  c += b;
+  EXPECT_EQ(c.micros(), 13.0);
+  c -= b;
+  EXPECT_EQ(c.micros(), 10.0);
+}
+
+TEST(SimTime, Comparisons) {
+  EXPECT_LT(SimTime::us(1), SimTime::us(2));
+  EXPECT_EQ(SimTime::ms(1), SimTime::us(1000));
+  EXPECT_GT(SimTime::sec(1), SimTime::ms(999));
+}
+
+TEST(SimTime, FractionalConversions) {
+  EXPECT_DOUBLE_EQ(SimTime::ms(2.5).millis(), 2.5);
+  EXPECT_DOUBLE_EQ(SimTime::us(0.5).nanos(), 500);
+  EXPECT_DOUBLE_EQ(SimTime::ms(1.0).seconds(), 1e-3);
+}
+
+TEST(SimTime, ToString) {
+  EXPECT_EQ(to_string(SimTime::ns(12)), "12ns");
+  EXPECT_EQ(to_string(SimTime::us(3)), "3us");
+  EXPECT_EQ(to_string(SimTime::ms(7)), "7ms");
+  EXPECT_EQ(to_string(SimTime::sec(2)), "2s");
+}
+
+TEST(Bandwidth, TransferTime) {
+  const Bandwidth bw = Bandwidth::mb_per_s(10);  // 10 MB/s
+  // 8 KiB at 10 MB/s = 8192 / 10^7 s = 819.2 us.
+  EXPECT_NEAR(bw.transfer_time(8_KiB).micros(), 819.2, 0.1);
+  EXPECT_EQ(Bandwidth{}.transfer_time(8_KiB), SimTime::zero());
+}
+
+TEST(Bandwidth, PaperParameters) {
+  // Table 1 sanity: one block over the PM network.
+  const Bandwidth net = Bandwidth::mb_per_s(200);
+  EXPECT_NEAR(net.transfer_time(8_KiB).micros(), 40.96, 0.01);
+}
+
+TEST(ByteLiterals, Values) {
+  EXPECT_EQ(1_KiB, 1024u);
+  EXPECT_EQ(8_KiB, 8192u);
+  EXPECT_EQ(1_MiB, 1024u * 1024u);
+}
+
+TEST(Ids, RawRoundTrip) {
+  EXPECT_EQ(raw(NodeId{7}), 7u);
+  EXPECT_EQ(raw(FileId{9}), 9u);
+  EXPECT_EQ(raw(ProcId{11}), 11u);
+  EXPECT_EQ(raw(DiskId{3}), 3u);
+}
+
+}  // namespace
+}  // namespace lap

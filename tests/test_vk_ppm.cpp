@@ -1,0 +1,114 @@
+#include "core/vk_ppm.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lap {
+namespace {
+
+TEST(VkPpm, NoPredictionWithoutHistory) {
+  VkPpmGraph graph(1);
+  VkPpmPredictor pred(graph);
+  EXPECT_FALSE(pred.predict_next().has_value());
+  pred.on_request(0, 1);
+  EXPECT_FALSE(pred.predict_next().has_value());  // context, but no edge
+}
+
+TEST(VkPpm, LearnsBlockSuccession) {
+  VkPpmGraph graph(1);
+  VkPpmPredictor pred(graph);
+  pred.on_request(0, 3);  // blocks 0,1,2: edges 0->1, 1->2
+  pred.on_request(0, 1);  // back at block 0
+  ASSERT_TRUE(pred.predict_next().has_value());
+  EXPECT_EQ(*pred.predict_next(), 1u);
+}
+
+TEST(VkPpm, MostProbableSuccessorWins) {
+  VkPpmGraph graph(1);
+  VkPpmPredictor pred(graph);
+  // 5 -> 6 three times, 5 -> 9 once.
+  for (int i = 0; i < 3; ++i) {
+    pred.on_request(5, 1);
+    pred.on_request(6, 1);
+  }
+  pred.on_request(5, 1);
+  pred.on_request(9, 1);
+  pred.on_request(5, 1);
+  EXPECT_EQ(*pred.predict_next(), 6u);  // frequency, not recency
+}
+
+TEST(VkPpm, CannotPredictUnseenBlocks) {
+  // The paper's core criticism: "the system would have to wait until a
+  // block has been accessed once before being able to prefetch it".
+  VkPpmGraph graph(1);
+  VkPpmPredictor pred(graph);
+  for (std::uint32_t b = 0; b < 10; b += 2) pred.on_request(b, 1);
+  // A strided pattern over blocks 0,2,4,6,8: block 10 was never seen.
+  auto p = pred.predict_next();  // at block 8: no successor recorded
+  EXPECT_FALSE(p.has_value());
+}
+
+TEST(VkPpm, WalkerFollowsTheChain) {
+  VkPpmGraph graph(1);
+  VkPpmPredictor pred(graph);
+  pred.on_request(0, 6);  // 0->1->2->3->4->5
+  pred.on_request(0, 1);  // ...and the jump back: 5->0
+  auto walker = pred.walker();
+  for (std::uint32_t expect = 1; expect <= 5; ++expect) {
+    auto b = walker.next();
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(*b, expect);
+  }
+  // The re-access closed the loop (5 -> 0): the chain cycles, which is why
+  // aggressive streams need their emit cap.
+  EXPECT_EQ(*walker.next(), 0u);
+  EXPECT_EQ(*walker.next(), 1u);
+}
+
+TEST(VkPpm, WalkerEndsAtAnUnseenSuccessor) {
+  VkPpmGraph graph(1);
+  VkPpmPredictor pred(graph);
+  pred.on_request(0, 4);   // 0->1->2->3
+  pred.on_request(0, 1);   // 3->0
+  pred.on_request(10, 1);  // 0->10; block 10 was never followed by anything
+  EXPECT_FALSE(pred.predict_next().has_value());
+  auto walker = pred.walker();
+  EXPECT_FALSE(walker.next().has_value());
+  // MRU tie-break at block 0: successors 1 and 10 both have count 1; the
+  // newer edge (10) wins.
+  EXPECT_EQ(graph.predict({0}), 10u);
+}
+
+TEST(VkPpm, HigherOrderDisambiguates) {
+  // Block 3 is followed by 4 after (2,3) but by 9 after (8,3): order 2
+  // separates the contexts, order 1 cannot.
+  VkPpmGraph graph(2);
+  VkPpmPredictor pred(graph);
+  for (int i = 0; i < 2; ++i) {
+    pred.on_request(2, 1);
+    pred.on_request(3, 1);
+    pred.on_request(4, 1);
+    pred.on_request(8, 1);
+    pred.on_request(3, 1);
+    pred.on_request(9, 1);
+  }
+  pred.on_request(2, 1);
+  pred.on_request(3, 1);
+  EXPECT_EQ(*pred.predict_next(), 4u);
+  pred.on_request(8, 1);
+  pred.on_request(3, 1);
+  EXPECT_EQ(*pred.predict_next(), 9u);
+}
+
+TEST(VkPpm, ContextCountGrows) {
+  VkPpmGraph graph(1);
+  VkPpmPredictor pred(graph);
+  pred.on_request(0, 5);
+  EXPECT_EQ(graph.context_count(), 4u);  // contexts 0,1,2,3 gained edges
+}
+
+TEST(VkPpm, OrderValidation) {
+  EXPECT_DEATH(VkPpmGraph bad(0), "Precondition");
+}
+
+}  // namespace
+}  // namespace lap

@@ -1,0 +1,211 @@
+#include "fs/xfs/xfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "driver/machine_config.hpp"
+#include "sim/task.hpp"
+
+namespace lap {
+namespace {
+
+struct XfsFixture {
+  Engine eng;
+  MachineConfig machine = MachineConfig::now();
+  Network net{eng, machine.net, machine.nodes};
+  DiskArray disks{eng, machine.disk, machine.disks};
+  FileModel files{machine.block_size};
+  Metrics metrics;
+  bool stop = false;
+  std::unique_ptr<Xfs> fs;
+
+  explicit XfsFixture(const std::string& algo = "NP",
+                      std::size_t cache_blocks_per_node = 512) {
+    XfsConfig cfg;
+    cfg.cache_blocks_per_node = cache_blocks_per_node;
+    cfg.algorithm = AlgorithmSpec::parse(algo);
+    fs = std::make_unique<Xfs>(eng, net, disks, files, metrics, cfg,
+                               machine.nodes, &stop);
+  }
+
+  SimTime do_read(ProcId pid, NodeId node, FileId file, Bytes off, Bytes len) {
+    metrics.on_io_issued(eng.now());
+    const SimTime t0 = eng.now();
+    (void)fs->read(pid, node, file, off, len);
+    eng.run();
+    const SimTime lat = eng.now() - t0;
+    metrics.on_read_done(lat);
+    return lat;
+  }
+
+  void do_write(ProcId pid, NodeId node, FileId file, Bytes off, Bytes len) {
+    metrics.on_io_issued(eng.now());
+    (void)fs->write(pid, node, file, off, len);
+    eng.run();
+  }
+};
+
+constexpr FileId kF{1};
+
+TEST(Xfs, ColdReadMissesToDisk) {
+  XfsFixture f;
+  f.files.add_file(kF, 80_KiB);
+  const SimTime lat = f.do_read(ProcId{1}, NodeId{0}, kF, 0, 8_KiB);
+  EXPECT_EQ(f.metrics.misses(), 1u);
+  EXPECT_GT(lat, SimTime::ms(11));
+}
+
+TEST(Xfs, LocalReReadHitsWithoutManager) {
+  XfsFixture f;
+  f.files.add_file(kF, 80_KiB);
+  (void)f.do_read(ProcId{1}, NodeId{0}, kF, 0, 8_KiB);
+  const auto msgs_before = f.net.stats().messages;
+  const SimTime lat = f.do_read(ProcId{1}, NodeId{0}, kF, 0, 8_KiB);
+  EXPECT_EQ(f.metrics.hits_local(), 1u);
+  EXPECT_EQ(f.net.stats().messages, msgs_before);  // purely local
+  EXPECT_LT(lat, SimTime::ms(1));
+}
+
+TEST(Xfs, RemoteClientHitCreatesAReplica) {
+  XfsFixture f;
+  f.files.add_file(kF, 80_KiB);
+  (void)f.do_read(ProcId{1}, NodeId{0}, kF, 0, 8_KiB);
+  const SimTime lat = f.do_read(ProcId{2}, NodeId{7}, kF, 0, 8_KiB);
+  EXPECT_EQ(f.metrics.hits_remote(), 1u);
+  EXPECT_LT(lat, SimTime::ms(2));
+  EXPECT_EQ(f.metrics.disk_reads(), 1u);  // no second disk read
+  // Replication: both nodes now hold the block.
+  EXPECT_TRUE(f.fs->pool(NodeId{0}).contains(BlockKey{kF, 0}));
+  EXPECT_TRUE(f.fs->pool(NodeId{7}).contains(BlockKey{kF, 0}));
+}
+
+TEST(Xfs, WriterInvalidatesOtherReplicas) {
+  XfsFixture f;
+  f.files.add_file(kF, 80_KiB);
+  (void)f.do_read(ProcId{1}, NodeId{0}, kF, 0, 8_KiB);
+  (void)f.do_read(ProcId{2}, NodeId{7}, kF, 0, 8_KiB);  // replica at 7
+  f.do_write(ProcId{1}, NodeId{0}, kF, 0, 8_KiB);
+  EXPECT_TRUE(f.fs->pool(NodeId{0}).contains(BlockKey{kF, 0}));
+  EXPECT_FALSE(f.fs->pool(NodeId{7}).contains(BlockKey{kF, 0}));
+}
+
+TEST(Xfs, NChanceForwardsTheLastCopy) {
+  // Node 0's cache is tiny: filling it evicts singlets, which must be
+  // forwarded to random peers instead of dropped.
+  XfsFixture f("NP", /*cache_blocks_per_node=*/4);
+  f.files.add_file(kF, 800_KiB);  // 100 blocks
+  for (Bytes off = 0; off < 10 * 8_KiB; off += 8_KiB) {
+    (void)f.do_read(ProcId{1}, NodeId{0}, kF, off, 8_KiB);
+  }
+  // 10 blocks were read; node 0 holds at most 4; the rest live on (or died
+  // at) peers.  Count copies across all nodes.
+  std::size_t copies = 0;
+  for (std::uint32_t n = 0; n < f.machine.nodes; ++n) {
+    f.fs->pool(NodeId{n}).for_each([&](const CacheEntry&) { ++copies; });
+  }
+  EXPECT_GT(copies, 4u);  // forwarding preserved some singlets
+}
+
+TEST(Xfs, ForwardedSingletServesRemoteHits) {
+  XfsFixture f("NP", 4);
+  f.files.add_file(kF, 800_KiB);
+  for (Bytes off = 0; off < 10 * 8_KiB; off += 8_KiB) {
+    (void)f.do_read(ProcId{1}, NodeId{0}, kF, off, 8_KiB);
+  }
+  const auto disk_before = f.metrics.disk_reads();
+  // Re-read everything: some blocks come back from peers, not disk.
+  for (Bytes off = 0; off < 10 * 8_KiB; off += 8_KiB) {
+    (void)f.do_read(ProcId{1}, NodeId{0}, kF, off, 8_KiB);
+  }
+  EXPECT_LT(f.metrics.disk_reads() - disk_before, 10u);
+  EXPECT_GT(f.metrics.hits_remote(), 0u);
+}
+
+TEST(Xfs, PerNodePrefetchersDuplicateWork) {
+  // Two nodes read the same file; each node's prefetcher works locally, so
+  // prefetch issues are duplicated (the paper's "not really linear" xFS).
+  XfsFixture f("Ln_Agr_OBA", 512);
+  f.files.add_file(kF, 160_KiB);  // 20 blocks
+  (void)f.do_read(ProcId{1}, NodeId{0}, kF, 0, 8_KiB);
+  (void)f.do_read(ProcId{2}, NodeId{7}, kF, 0, 8_KiB);
+  const auto counters = f.fs->prefetch_counters_total();
+  EXPECT_GE(counters.issued, 2u * 19u - 2u);  // both nodes streamed the file
+}
+
+TEST(Xfs, PrefetchFetchesFromPeersWhenPossible) {
+  XfsFixture f("Ln_Agr_OBA", 512);
+  f.files.add_file(kF, 160_KiB);
+  (void)f.do_read(ProcId{1}, NodeId{0}, kF, 0, 8_KiB);  // node 0 has it all
+  const auto disk_before = f.disks.total_stats().block_reads;
+  (void)f.do_read(ProcId{2}, NodeId{7}, kF, 0, 8_KiB);  // node 7 prefetches
+  // Node 7's prefetches were served by node 0's copies, not the disks.
+  EXPECT_EQ(f.disks.total_stats().block_reads, disk_before);
+  EXPECT_TRUE(f.fs->pool(NodeId{7}).contains(BlockKey{kF, 10}));
+}
+
+TEST(Xfs, DeleteScrubsAllNodesAndDirectory) {
+  XfsFixture f;
+  f.files.add_file(kF, 80_KiB);
+  (void)f.do_read(ProcId{1}, NodeId{0}, kF, 0, 8_KiB);
+  (void)f.do_read(ProcId{2}, NodeId{7}, kF, 0, 8_KiB);
+  (void)f.fs->remove(ProcId{1}, NodeId{0}, kF);
+  f.eng.run();
+  EXPECT_FALSE(f.fs->pool(NodeId{0}).contains(BlockKey{kF, 0}));
+  EXPECT_FALSE(f.fs->pool(NodeId{7}).contains(BlockKey{kF, 0}));
+  EXPECT_FALSE(f.files.exists(kF));
+}
+
+TEST(Xfs, SyncDaemonFlushesAllNodes) {
+  // The daemon keeps the event queue non-empty, so drive the clock with
+  // run_until rather than the run-to-completion helpers.
+  XfsFixture f;
+  f.files.add_file(kF, 80_KiB);
+  f.fs->start_sync_daemon();
+  f.metrics.on_io_issued(f.eng.now());
+  (void)f.fs->write(ProcId{1}, NodeId{0}, kF, 0, 8_KiB);
+  (void)f.fs->write(ProcId{2}, NodeId{7}, kF, 8_KiB, 8_KiB);
+  f.eng.run_until(SimTime::sec(3));
+  EXPECT_EQ(f.metrics.disk_writes(), 2u);
+  f.stop = true;
+  f.eng.run();
+}
+
+TEST(Xfs, DirectoryStaysConsistentUnderChurn) {
+  // Tiny per-node caches force constant eviction, forwarding and
+  // re-fetching; after every drained operation the block directory and the
+  // node pools must agree exactly.
+  XfsFixture f("Ln_Agr_IS_PPM:1", /*cache_blocks_per_node=*/6);
+  f.files.add_file(kF, 400_KiB);  // 50 blocks
+  f.files.add_file(FileId{2}, 240_KiB);
+  for (int round = 0; round < 3; ++round) {
+    for (Bytes off = 0; off < 400_KiB; off += 24_KiB) {
+      (void)f.do_read(ProcId{1}, NodeId{raw(NodeId{0}) + round}, kF, off,
+                      16_KiB);
+      ASSERT_TRUE(f.fs->directory_consistent());
+    }
+    for (Bytes off = 0; off < 240_KiB; off += 16_KiB) {
+      (void)f.do_read(ProcId{2}, NodeId{9}, FileId{2}, off, 8_KiB);
+      ASSERT_TRUE(f.fs->directory_consistent());
+    }
+  }
+}
+
+TEST(Xfs, DirectoryConsistentAfterWritesAndDeletes) {
+  XfsFixture f("Ln_Agr_OBA", 8);
+  f.files.add_file(kF, 160_KiB);
+  (void)f.do_read(ProcId{1}, NodeId{0}, kF, 0, 16_KiB);
+  (void)f.do_read(ProcId{2}, NodeId{7}, kF, 0, 16_KiB);
+  f.do_write(ProcId{1}, NodeId{0}, kF, 0, 32_KiB);
+  ASSERT_TRUE(f.fs->directory_consistent());
+  (void)f.fs->remove(ProcId{1}, NodeId{0}, kF);
+  f.eng.run();
+  EXPECT_TRUE(f.fs->directory_consistent());
+}
+
+TEST(Xfs, ManagerPlacementIsStable) {
+  XfsFixture f;
+  EXPECT_EQ(f.fs->manager_node(kF), f.fs->manager_node(kF));
+  EXPECT_LT(raw(f.fs->manager_node(kF)), f.machine.nodes);
+}
+
+}  // namespace
+}  // namespace lap
