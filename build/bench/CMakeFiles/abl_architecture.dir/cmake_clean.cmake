@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_architecture.dir/abl_architecture.cpp.o"
+  "CMakeFiles/abl_architecture.dir/abl_architecture.cpp.o.d"
+  "abl_architecture"
+  "abl_architecture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_architecture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_fallback.dir/abl_fallback.cpp.o"
+  "CMakeFiles/abl_fallback.dir/abl_fallback.cpp.o.d"
+  "abl_fallback"
+  "abl_fallback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_fallback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

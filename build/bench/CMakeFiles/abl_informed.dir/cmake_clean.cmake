@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_informed.dir/abl_informed.cpp.o"
+  "CMakeFiles/abl_informed.dir/abl_informed.cpp.o.d"
+  "abl_informed"
+  "abl_informed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_informed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

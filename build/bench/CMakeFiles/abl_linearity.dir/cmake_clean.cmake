@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_linearity.dir/abl_linearity.cpp.o"
+  "CMakeFiles/abl_linearity.dir/abl_linearity.cpp.o.d"
+  "abl_linearity"
+  "abl_linearity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_linearity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_charisma_xfs_read_time.dir/fig05_charisma_xfs_read_time.cpp.o"
+  "CMakeFiles/fig05_charisma_xfs_read_time.dir/fig05_charisma_xfs_read_time.cpp.o.d"
+  "fig05_charisma_xfs_read_time"
+  "fig05_charisma_xfs_read_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_charisma_xfs_read_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

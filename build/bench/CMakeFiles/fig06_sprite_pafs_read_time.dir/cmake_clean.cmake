@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_sprite_pafs_read_time.dir/fig06_sprite_pafs_read_time.cpp.o"
+  "CMakeFiles/fig06_sprite_pafs_read_time.dir/fig06_sprite_pafs_read_time.cpp.o.d"
+  "fig06_sprite_pafs_read_time"
+  "fig06_sprite_pafs_read_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_sprite_pafs_read_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_sprite_xfs_read_time.dir/fig07_sprite_xfs_read_time.cpp.o"
+  "CMakeFiles/fig07_sprite_xfs_read_time.dir/fig07_sprite_xfs_read_time.cpp.o.d"
+  "fig07_sprite_xfs_read_time"
+  "fig07_sprite_xfs_read_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_sprite_xfs_read_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

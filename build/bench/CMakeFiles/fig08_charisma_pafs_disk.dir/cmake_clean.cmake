@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_charisma_pafs_disk.dir/fig08_charisma_pafs_disk.cpp.o"
+  "CMakeFiles/fig08_charisma_pafs_disk.dir/fig08_charisma_pafs_disk.cpp.o.d"
+  "fig08_charisma_pafs_disk"
+  "fig08_charisma_pafs_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_charisma_pafs_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

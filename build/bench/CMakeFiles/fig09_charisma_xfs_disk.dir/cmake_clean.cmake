@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_charisma_xfs_disk.dir/fig09_charisma_xfs_disk.cpp.o"
+  "CMakeFiles/fig09_charisma_xfs_disk.dir/fig09_charisma_xfs_disk.cpp.o.d"
+  "fig09_charisma_xfs_disk"
+  "fig09_charisma_xfs_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_charisma_xfs_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_charisma_xfs_disk.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_sprite_pafs_disk.dir/fig10_sprite_pafs_disk.cpp.o"
+  "CMakeFiles/fig10_sprite_pafs_disk.dir/fig10_sprite_pafs_disk.cpp.o.d"
+  "fig10_sprite_pafs_disk"
+  "fig10_sprite_pafs_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_sprite_pafs_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_sprite_xfs_disk.dir/fig11_sprite_xfs_disk.cpp.o"
+  "CMakeFiles/fig11_sprite_xfs_disk.dir/fig11_sprite_xfs_disk.cpp.o.d"
+  "fig11_sprite_xfs_disk"
+  "fig11_sprite_xfs_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_sprite_xfs_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

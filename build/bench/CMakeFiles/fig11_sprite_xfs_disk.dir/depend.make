@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_sprite_xfs_disk.
+# This may be replaced when dependencies are built.

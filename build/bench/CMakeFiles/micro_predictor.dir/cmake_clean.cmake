@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_predictor.dir/micro_predictor.cpp.o"
+  "CMakeFiles/micro_predictor.dir/micro_predictor.cpp.o.d"
+  "micro_predictor"
+  "micro_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stat_misprediction.dir/stat_misprediction.cpp.o"
+  "CMakeFiles/stat_misprediction.dir/stat_misprediction.cpp.o.d"
+  "stat_misprediction"
+  "stat_misprediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stat_misprediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

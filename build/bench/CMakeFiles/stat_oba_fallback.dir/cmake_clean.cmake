@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stat_oba_fallback.dir/stat_oba_fallback.cpp.o"
+  "CMakeFiles/stat_oba_fallback.dir/stat_oba_fallback.cpp.o.d"
+  "stat_oba_fallback"
+  "stat_oba_fallback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stat_oba_fallback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

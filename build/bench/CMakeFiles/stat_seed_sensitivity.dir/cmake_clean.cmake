@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stat_seed_sensitivity.dir/stat_seed_sensitivity.cpp.o"
+  "CMakeFiles/stat_seed_sensitivity.dir/stat_seed_sensitivity.cpp.o.d"
+  "stat_seed_sensitivity"
+  "stat_seed_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stat_seed_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

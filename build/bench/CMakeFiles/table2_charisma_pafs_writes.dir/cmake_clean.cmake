@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_charisma_pafs_writes.dir/table2_charisma_pafs_writes.cpp.o"
+  "CMakeFiles/table2_charisma_pafs_writes.dir/table2_charisma_pafs_writes.cpp.o.d"
+  "table2_charisma_pafs_writes"
+  "table2_charisma_pafs_writes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_charisma_pafs_writes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table2_charisma_pafs_writes.
+# This may be replaced when dependencies are built.

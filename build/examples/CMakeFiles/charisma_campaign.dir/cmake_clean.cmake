@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charisma_campaign.dir/charisma_campaign.cpp.o"
+  "CMakeFiles/charisma_campaign.dir/charisma_campaign.cpp.o.d"
+  "charisma_campaign"
+  "charisma_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charisma_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

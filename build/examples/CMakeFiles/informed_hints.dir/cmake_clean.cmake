@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/informed_hints.dir/informed_hints.cpp.o"
+  "CMakeFiles/informed_hints.dir/informed_hints.cpp.o.d"
+  "informed_hints"
+  "informed_hints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/informed_hints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

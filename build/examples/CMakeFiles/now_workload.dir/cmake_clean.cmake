@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/now_workload.dir/now_workload.cpp.o"
+  "CMakeFiles/now_workload.dir/now_workload.cpp.o.d"
+  "now_workload"
+  "now_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/now_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

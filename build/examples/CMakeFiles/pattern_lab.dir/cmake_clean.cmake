@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_lab.dir/pattern_lab.cpp.o"
+  "CMakeFiles/pattern_lab.dir/pattern_lab.cpp.o.d"
+  "pattern_lab"
+  "pattern_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

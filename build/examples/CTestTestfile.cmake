@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "--scale" "0.15")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_charisma_campaign "/root/repo/build/examples/charisma_campaign" "--scale" "0.15")
+set_tests_properties(example_charisma_campaign PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_now_workload "/root/repo/build/examples/now_workload" "--scale" "0.1")
+set_tests_properties(example_now_workload PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_pattern_lab "/root/repo/build/examples/pattern_lab" "--pattern" "strided")
+set_tests_properties(example_pattern_lab PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_informed_hints "/root/repo/build/examples/informed_hints" "--file-mb" "2")
+set_tests_properties(example_informed_hints PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_trace_tool "/root/repo/build/examples/trace_tool" "gen" "sprite" "trace_tool_smoke.trace" "--scale" "0.05")
+set_tests_properties(example_trace_tool PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_trace_tool_stats "/root/repo/build/examples/trace_tool" "stats" "trace_tool_smoke.trace")
+set_tests_properties(example_trace_tool_stats PROPERTIES  DEPENDS "example_trace_tool" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_trace_tool_run "/root/repo/build/examples/trace_tool" "run" "trace_tool_smoke.trace" "--algo" "Ln_Agr_IS_PPM:1")
+set_tests_properties(example_trace_tool_run PROPERTIES  DEPENDS "example_trace_tool" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/block_store.cpp" "src/CMakeFiles/lap.dir/cache/block_store.cpp.o" "gcc" "src/CMakeFiles/lap.dir/cache/block_store.cpp.o.d"
+  "/root/repo/src/cache/sync_daemon.cpp" "src/CMakeFiles/lap.dir/cache/sync_daemon.cpp.o" "gcc" "src/CMakeFiles/lap.dir/cache/sync_daemon.cpp.o.d"
+  "/root/repo/src/core/aggressive.cpp" "src/CMakeFiles/lap.dir/core/aggressive.cpp.o" "gcc" "src/CMakeFiles/lap.dir/core/aggressive.cpp.o.d"
+  "/root/repo/src/core/algorithm_registry.cpp" "src/CMakeFiles/lap.dir/core/algorithm_registry.cpp.o" "gcc" "src/CMakeFiles/lap.dir/core/algorithm_registry.cpp.o.d"
+  "/root/repo/src/core/is_ppm.cpp" "src/CMakeFiles/lap.dir/core/is_ppm.cpp.o" "gcc" "src/CMakeFiles/lap.dir/core/is_ppm.cpp.o.d"
+  "/root/repo/src/core/oba.cpp" "src/CMakeFiles/lap.dir/core/oba.cpp.o" "gcc" "src/CMakeFiles/lap.dir/core/oba.cpp.o.d"
+  "/root/repo/src/core/open_predictor.cpp" "src/CMakeFiles/lap.dir/core/open_predictor.cpp.o" "gcc" "src/CMakeFiles/lap.dir/core/open_predictor.cpp.o.d"
+  "/root/repo/src/core/prefetch_manager.cpp" "src/CMakeFiles/lap.dir/core/prefetch_manager.cpp.o" "gcc" "src/CMakeFiles/lap.dir/core/prefetch_manager.cpp.o.d"
+  "/root/repo/src/core/vk_ppm.cpp" "src/CMakeFiles/lap.dir/core/vk_ppm.cpp.o" "gcc" "src/CMakeFiles/lap.dir/core/vk_ppm.cpp.o.d"
+  "/root/repo/src/disk/disk.cpp" "src/CMakeFiles/lap.dir/disk/disk.cpp.o" "gcc" "src/CMakeFiles/lap.dir/disk/disk.cpp.o.d"
+  "/root/repo/src/disk/disk_array.cpp" "src/CMakeFiles/lap.dir/disk/disk_array.cpp.o" "gcc" "src/CMakeFiles/lap.dir/disk/disk_array.cpp.o.d"
+  "/root/repo/src/driver/machine_config.cpp" "src/CMakeFiles/lap.dir/driver/machine_config.cpp.o" "gcc" "src/CMakeFiles/lap.dir/driver/machine_config.cpp.o.d"
+  "/root/repo/src/driver/metrics.cpp" "src/CMakeFiles/lap.dir/driver/metrics.cpp.o" "gcc" "src/CMakeFiles/lap.dir/driver/metrics.cpp.o.d"
+  "/root/repo/src/driver/report.cpp" "src/CMakeFiles/lap.dir/driver/report.cpp.o" "gcc" "src/CMakeFiles/lap.dir/driver/report.cpp.o.d"
+  "/root/repo/src/driver/simulation.cpp" "src/CMakeFiles/lap.dir/driver/simulation.cpp.o" "gcc" "src/CMakeFiles/lap.dir/driver/simulation.cpp.o.d"
+  "/root/repo/src/driver/sweep.cpp" "src/CMakeFiles/lap.dir/driver/sweep.cpp.o" "gcc" "src/CMakeFiles/lap.dir/driver/sweep.cpp.o.d"
+  "/root/repo/src/fs/common/client.cpp" "src/CMakeFiles/lap.dir/fs/common/client.cpp.o" "gcc" "src/CMakeFiles/lap.dir/fs/common/client.cpp.o.d"
+  "/root/repo/src/fs/common/file_model.cpp" "src/CMakeFiles/lap.dir/fs/common/file_model.cpp.o" "gcc" "src/CMakeFiles/lap.dir/fs/common/file_model.cpp.o.d"
+  "/root/repo/src/fs/pafs/pafs.cpp" "src/CMakeFiles/lap.dir/fs/pafs/pafs.cpp.o" "gcc" "src/CMakeFiles/lap.dir/fs/pafs/pafs.cpp.o.d"
+  "/root/repo/src/fs/xfs/xfs.cpp" "src/CMakeFiles/lap.dir/fs/xfs/xfs.cpp.o" "gcc" "src/CMakeFiles/lap.dir/fs/xfs/xfs.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/lap.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/lap.dir/net/network.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/lap.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/lap.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/resource.cpp" "src/CMakeFiles/lap.dir/sim/resource.cpp.o" "gcc" "src/CMakeFiles/lap.dir/sim/resource.cpp.o.d"
+  "/root/repo/src/trace/analysis.cpp" "src/CMakeFiles/lap.dir/trace/analysis.cpp.o" "gcc" "src/CMakeFiles/lap.dir/trace/analysis.cpp.o.d"
+  "/root/repo/src/trace/charisma_gen.cpp" "src/CMakeFiles/lap.dir/trace/charisma_gen.cpp.o" "gcc" "src/CMakeFiles/lap.dir/trace/charisma_gen.cpp.o.d"
+  "/root/repo/src/trace/patterns.cpp" "src/CMakeFiles/lap.dir/trace/patterns.cpp.o" "gcc" "src/CMakeFiles/lap.dir/trace/patterns.cpp.o.d"
+  "/root/repo/src/trace/record.cpp" "src/CMakeFiles/lap.dir/trace/record.cpp.o" "gcc" "src/CMakeFiles/lap.dir/trace/record.cpp.o.d"
+  "/root/repo/src/trace/sprite_gen.cpp" "src/CMakeFiles/lap.dir/trace/sprite_gen.cpp.o" "gcc" "src/CMakeFiles/lap.dir/trace/sprite_gen.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/CMakeFiles/lap.dir/trace/trace.cpp.o" "gcc" "src/CMakeFiles/lap.dir/trace/trace.cpp.o.d"
+  "/root/repo/src/util/flags.cpp" "src/CMakeFiles/lap.dir/util/flags.cpp.o" "gcc" "src/CMakeFiles/lap.dir/util/flags.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/CMakeFiles/lap.dir/util/logging.cpp.o" "gcc" "src/CMakeFiles/lap.dir/util/logging.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/lap.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/lap.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/lap.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/lap.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/lap.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/lap.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/CMakeFiles/lap.dir/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/lap.dir/util/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

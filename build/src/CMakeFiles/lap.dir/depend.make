@@ -1,0 +1,2 @@
+# Empty dependencies file for lap.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_algorithm_registry.dir/test_algorithm_registry.cpp.o"
+  "CMakeFiles/test_algorithm_registry.dir/test_algorithm_registry.cpp.o.d"
+  "test_algorithm_registry"
+  "test_algorithm_registry.pdb"
+  "test_algorithm_registry[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_algorithm_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_disk_array.dir/test_disk_array.cpp.o"
+  "CMakeFiles/test_disk_array.dir/test_disk_array.cpp.o.d"
+  "test_disk_array"
+  "test_disk_array.pdb"
+  "test_disk_array[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_disk_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_informed.dir/test_informed.cpp.o"
+  "CMakeFiles/test_informed.dir/test_informed.cpp.o.d"
+  "test_informed"
+  "test_informed.pdb"
+  "test_informed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_informed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

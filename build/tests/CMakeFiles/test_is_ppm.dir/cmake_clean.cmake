@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_is_ppm.dir/test_is_ppm.cpp.o"
+  "CMakeFiles/test_is_ppm.dir/test_is_ppm.cpp.o.d"
+  "test_is_ppm"
+  "test_is_ppm.pdb"
+  "test_is_ppm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_is_ppm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

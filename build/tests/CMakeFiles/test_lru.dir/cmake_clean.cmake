@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lru.dir/test_lru.cpp.o"
+  "CMakeFiles/test_lru.dir/test_lru.cpp.o.d"
+  "test_lru"
+  "test_lru.pdb"
+  "test_lru[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lru.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_oba.dir/test_oba.cpp.o"
+  "CMakeFiles/test_oba.dir/test_oba.cpp.o.d"
+  "test_oba"
+  "test_oba.pdb"
+  "test_oba[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_oba.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pafs.dir/test_pafs.cpp.o"
+  "CMakeFiles/test_pafs.dir/test_pafs.cpp.o.d"
+  "test_pafs"
+  "test_pafs.pdb"
+  "test_pafs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pafs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

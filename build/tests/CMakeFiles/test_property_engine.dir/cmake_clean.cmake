@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_engine.dir/test_property_engine.cpp.o"
+  "CMakeFiles/test_property_engine.dir/test_property_engine.cpp.o.d"
+  "test_property_engine"
+  "test_property_engine.pdb"
+  "test_property_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_prefetch.dir/test_property_prefetch.cpp.o"
+  "CMakeFiles/test_property_prefetch.dir/test_property_prefetch.cpp.o.d"
+  "test_property_prefetch"
+  "test_property_prefetch.pdb"
+  "test_property_prefetch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sync_daemon.dir/test_sync_daemon.cpp.o"
+  "CMakeFiles/test_sync_daemon.dir/test_sync_daemon.cpp.o.d"
+  "test_sync_daemon"
+  "test_sync_daemon.pdb"
+  "test_sync_daemon[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sync_daemon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

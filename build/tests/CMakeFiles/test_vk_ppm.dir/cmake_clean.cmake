@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vk_ppm.dir/test_vk_ppm.cpp.o"
+  "CMakeFiles/test_vk_ppm.dir/test_vk_ppm.cpp.o.d"
+  "test_vk_ppm"
+  "test_vk_ppm.pdb"
+  "test_vk_ppm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vk_ppm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

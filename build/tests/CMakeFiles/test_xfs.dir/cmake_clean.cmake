@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xfs.dir/test_xfs.cpp.o"
+  "CMakeFiles/test_xfs.dir/test_xfs.cpp.o.d"
+  "test_xfs"
+  "test_xfs.pdb"
+  "test_xfs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
