@@ -6,6 +6,7 @@
 //   --threads <n>   sweep parallelism (default: hardware)
 //   --sync-ms <n>   write-back period in ms (default 2000)
 //   --csv <path>    additionally dump every run's metrics as CSV
+//   --metrics-json <path>  additionally dump manifest + runs as JSON
 //   --quick         0.4x scale and only {1,4,16} MB (CI-sized run)
 #pragma once
 
@@ -16,6 +17,7 @@
 #include "driver/report.hpp"
 #include "driver/simulation.hpp"
 #include "driver/sweep.hpp"
+#include "obs/metrics_json.hpp"
 #include "trace/charisma_gen.hpp"
 #include "trace/sprite_gen.hpp"
 #include "util/flags.hpp"
@@ -104,6 +106,25 @@ inline int run_figure(int argc, char** argv, const std::string& title,
       std::cout << "\n(csv written to " << flags.get("csv", "") << ")\n";
     } else {
       std::cerr << "cannot open csv path " << flags.get("csv", "") << "\n";
+    }
+  }
+  if (flags.has("metrics-json")) {
+    const std::string path = flags.get("metrics-json", "");
+    std::ofstream mf(path);
+    if (mf) {
+      RunManifest manifest = make_manifest(title, base, trace);
+      manifest.workload =
+          workload == Workload::kCharisma ? "charisma" : "sprite";
+      manifest.workload_seed =
+          flags.has("seed")
+              ? static_cast<std::uint64_t>(flags.get_int("seed", 0))
+              : (workload == Workload::kCharisma ? CharismaParams{}.seed
+                                                 : SpriteParams{}.seed);
+      manifest.algorithm = "";  // sweep: per-run algorithms in "runs"
+      write_results_json(mf, manifest, results);
+      std::cout << "\n(metrics json written to " << path << ")\n";
+    } else {
+      std::cerr << "cannot open metrics-json path " << path << "\n";
     }
   }
   std::cout << std::endl;

@@ -3,10 +3,20 @@
 // and print what changed.
 //
 //   ./quickstart [--cache-mb 4] [--scale 0.5] [--algo Ln_Agr_IS_PPM:1]
+//                [--trace-out t.json] [--metrics-json m.json]
+//
+// With --trace-out, the prefetching run streams a Chrome trace_event JSON
+// (open it at https://ui.perfetto.dev).  With --metrics-json, both runs'
+// aggregates plus the sampled counter registry are dumped as JSON.
+#include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "driver/report.hpp"
 #include "driver/simulation.hpp"
+#include "obs/counters.hpp"
+#include "obs/metrics_json.hpp"
+#include "obs/trace_event.hpp"
 #include "trace/charisma_gen.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
@@ -14,6 +24,7 @@
 int main(int argc, char** argv) {
   using lap::operator""_MiB;
   const lap::Flags flags(argc, argv);
+  const lap::ObsOptions obs = lap::parse_obs_options(flags);
 
   lap::CharismaParams wp;
   wp.scale = flags.get_double("scale", 0.5);
@@ -35,10 +46,50 @@ int main(int argc, char** argv) {
   const lap::RunResult base = lap::run_simulation(trace, cfg);
   lap::print_run_summary(std::cout, base);
 
+  // Both runs start at simulated t=0, so the trace records only the second
+  // (prefetching) run — overlaying both on the same tracks would be
+  // unreadable.  The metrics JSON carries both runs.
+  std::ofstream trace_file;
+  std::unique_ptr<lap::TraceSink> sink;
+  lap::CounterRegistry counters;
+  if (obs.trace_out) {
+    trace_file.open(*obs.trace_out);
+    if (!trace_file) {
+      std::cerr << "cannot open " << *obs.trace_out << " for writing\n";
+      return 1;
+    }
+    sink = std::make_unique<lap::TraceSink>(trace_file);
+    cfg.trace = sink.get();
+    cfg.counters = &counters;
+    cfg.counter_sample_interval = obs.sample_interval;
+  }
+
   cfg.algorithm =
       lap::AlgorithmSpec::parse(flags.get("algo", "Ln_Agr_IS_PPM:1"));
   const lap::RunResult pref = lap::run_simulation(trace, cfg);
   lap::print_run_summary(std::cout, pref);
+
+  if (sink != nullptr) {
+    sink->close();
+    std::cout << "\ntrace: " << *obs.trace_out << " (" << sink->events_written()
+              << " events; open at https://ui.perfetto.dev)\n";
+  }
+
+  if (obs.metrics_json) {
+    std::ofstream mf(*obs.metrics_json);
+    if (!mf) {
+      std::cerr << "cannot open " << *obs.metrics_json << " for writing\n";
+      return 1;
+    }
+    lap::RunManifest manifest = lap::make_manifest("quickstart", cfg, trace);
+    manifest.workload = "charisma";
+    manifest.workload_seed = wp.seed;
+    if (obs.trace_out) manifest.trace_out = *obs.trace_out;
+    lap::write_results_json(mf, manifest, {base, pref},
+                            cfg.counters != nullptr ? &counters : nullptr);
+    std::cout << (sink != nullptr ? "" : "\n") << "metrics: "
+              << *obs.metrics_json << "\n";
+  }
 
   if (pref.avg_read_ms > 0.0) {
     std::cout << "\nread-time speedup over NP: "

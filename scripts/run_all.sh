@@ -1,6 +1,10 @@
 #!/usr/bin/env bash
 # Build, test, and regenerate every reproduced figure/table, capturing the
 # outputs the repository documents in EXPERIMENTS.md.
+#
+# The figure/table benches additionally dump machine-readable results into
+# results/ — a CSV per artifact (the gnuplot inputs) and a metrics JSON per
+# artifact (manifest + every run; schema in src/obs/metrics_json.hpp).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -8,9 +12,23 @@ cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build 2>&1 | tee test_output.txt
 
+mkdir -p results
+
 for b in build/bench/*; do
   [ -x "$b" ] || continue
+  name=$(basename "$b")
   echo "### $b"
-  "$b"
+  case "$name" in
+    micro_*)
+      # google-benchmark binaries: no sweep, nothing to export
+      "$b"
+      ;;
+    fig* | table2*)
+      "$b" --csv "results/$name.csv" --metrics-json "results/$name.json"
+      ;;
+    *)
+      "$b"
+      ;;
+  esac
   echo
 done 2>&1 | tee bench_output.txt

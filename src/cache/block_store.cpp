@@ -1,8 +1,18 @@
 #include "cache/block_store.hpp"
 
+#include "sim/engine.hpp"
 #include "util/assert.hpp"
 
 namespace lap {
+
+void BufferPool::trace_instant(const char* name, const CacheEntry& e) const {
+  trace_->instant("cache", name, trace_track_, trace_eng_->now(),
+                  {{"file", raw(e.key.file)},
+                   {"block", e.key.index},
+                   {"dirty", static_cast<int>(e.dirty)},
+                   {"prefetched", static_cast<int>(e.prefetched)},
+                   {"referenced", static_cast<int>(e.referenced)}});
+}
 
 BufferPool::BufferPool(std::size_t capacity_blocks) : capacity_(capacity_blocks) {
   LAP_EXPECTS(capacity_blocks >= 1);
@@ -44,6 +54,7 @@ std::optional<CacheEntry> BufferPool::insert(const CacheEntry& entry) {
   lru_.push_front(entry.key);
   if (entry.dirty) dirty_.insert(entry.key);
   file_index_[raw(entry.key.file)].insert(entry.key.index);
+  if (trace_ != nullptr) trace_instant("cache.insert", entry);
   return victim;
 }
 
@@ -56,6 +67,7 @@ std::optional<CacheEntry> BufferPool::evict_lru() {
   entries_.erase(it);
   dirty_.erase(*key);
   unindex(*key);
+  if (trace_ != nullptr) trace_instant("cache.evict", victim);
   return victim;
 }
 
@@ -67,6 +79,7 @@ std::optional<CacheEntry> BufferPool::erase(BlockKey key) {
   lru_.erase(key);
   dirty_.erase(key);
   unindex(key);
+  if (trace_ != nullptr) trace_instant("cache.erase", entry);
   return entry;
 }
 
@@ -87,6 +100,12 @@ std::vector<CacheEntry> BufferPool::drop_file(FileId file) {
     dirty_.erase(key);
   }
   file_index_.erase(raw(file));
+  if (trace_ != nullptr && !dropped.empty()) {
+    trace_->instant("cache", "cache.drop_file", trace_track_,
+                    trace_eng_->now(),
+                    {{"file", raw(file)},
+                     {"blocks", static_cast<std::uint64_t>(dropped.size())}});
+  }
   return dropped;
 }
 

@@ -16,9 +16,12 @@
 
 #include "cache/block.hpp"
 #include "cache/lru.hpp"
+#include "obs/trace_event.hpp"
 #include "util/units.hpp"
 
 namespace lap {
+
+class Engine;
 
 struct CacheEntry {
   BlockKey key{};
@@ -71,10 +74,23 @@ class BufferPool {
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   [[nodiscard]] std::size_t dirty_count() const { return dirty_.size(); }
+  [[nodiscard]] const LruListStats& lru_stats() const { return lru_.stats(); }
+
+  /// Attach the trace sink: inserts/evictions/invalidations become instants
+  /// on `track` (the owning node's cache row), timestamped off `eng`.
+  void set_trace(TraceSink* sink, const Engine* eng, TraceTrack track) {
+    trace_ = sink;
+    trace_eng_ = eng;
+    trace_track_ = track;
+  }
 
  private:
   void unindex(BlockKey key);
+  void trace_instant(const char* name, const CacheEntry& e) const;
 
+  TraceSink* trace_ = nullptr;
+  const Engine* trace_eng_ = nullptr;
+  TraceTrack trace_track_{};
   std::size_t capacity_;
   std::unordered_map<BlockKey, CacheEntry, BlockKeyHash> entries_;
   LruList<BlockKey, BlockKeyHash> lru_;

@@ -3,6 +3,7 @@
 // invariants are unit-testable in isolation.
 #pragma once
 
+#include <cstdint>
 #include <list>
 #include <optional>
 #include <unordered_map>
@@ -11,12 +12,23 @@
 
 namespace lap {
 
+/// Observability counters: how hard the replacement order is being worked.
+/// Sampled by the metrics registry (hit churn vs. eviction churn is the
+/// first thing to look at when a cache size behaves oddly).
+struct LruListStats {
+  std::uint64_t pushes = 0;
+  std::uint64_t touches = 0;
+  std::uint64_t pops = 0;
+  std::uint64_t erases = 0;
+};
+
 template <typename K, typename Hash = std::hash<K>>
 class LruList {
  public:
   /// Insert as most-recently-used.  Key must not be present.
   void push_front(const K& key) {
     LAP_EXPECTS(!contains(key));
+    ++stats_.pushes;
     order_.push_front(key);
     index_.emplace(key, order_.begin());
   }
@@ -25,12 +37,14 @@ class LruList {
   void touch(const K& key) {
     auto it = index_.find(key);
     LAP_EXPECTS(it != index_.end());
+    ++stats_.touches;
     order_.splice(order_.begin(), order_, it->second);
   }
 
   /// Remove and return the least-recently-used key.
   std::optional<K> pop_back() {
     if (order_.empty()) return std::nullopt;
+    ++stats_.pops;
     K key = order_.back();
     order_.pop_back();
     index_.erase(key);
@@ -46,6 +60,7 @@ class LruList {
   bool erase(const K& key) {
     auto it = index_.find(key);
     if (it == index_.end()) return false;
+    ++stats_.erases;
     order_.erase(it->second);
     index_.erase(it);
     return true;
@@ -54,10 +69,12 @@ class LruList {
   [[nodiscard]] bool contains(const K& key) const { return index_.contains(key); }
   [[nodiscard]] std::size_t size() const { return index_.size(); }
   [[nodiscard]] bool empty() const { return index_.empty(); }
+  [[nodiscard]] const LruListStats& stats() const { return stats_; }
 
  private:
   std::list<K> order_;  // front = MRU, back = LRU
   std::unordered_map<K, typename std::list<K>::iterator, Hash> index_;
+  LruListStats stats_;
 };
 
 }  // namespace lap

@@ -1,5 +1,6 @@
 #include "core/prefetch_manager.hpp"
 
+#include "obs/trace_event.hpp"
 #include "util/assert.hpp"
 
 namespace lap {
@@ -8,6 +9,22 @@ PrefetchManager::PrefetchManager(Engine& eng, AlgorithmSpec spec,
                                  PrefetchHost& host, const bool* stop_flag)
     : eng_(&eng), spec_(spec), host_(&host), stop_flag_(stop_flag) {
   LAP_EXPECTS(stop_flag != nullptr);
+}
+
+void PrefetchManager::trace_issue(FileId file, std::uint32_t block,
+                                  bool fallback) {
+  trace_->name_thread(tracks::kFilePid, raw(file) + 1,
+                      "file " + std::to_string(raw(file)));
+  trace_->instant("prefetch", "prefetch.issue", tracks::file(file),
+                  eng_->now(),
+                  {{"block", block}, {"fallback", static_cast<int>(fallback)}});
+}
+
+void PrefetchManager::trace_restart(FileId file, std::uint32_t from_block) {
+  trace_->name_thread(tracks::kFilePid, raw(file) + 1,
+                      "file " + std::to_string(raw(file)));
+  trace_->instant("prefetch", "prefetch.restart", tracks::file(file),
+                  eng_->now(), {{"from_block", from_block}});
 }
 
 std::unique_ptr<PrefetchStream> PrefetchManager::build_stream(PidState& ps,
@@ -127,7 +144,10 @@ void PrefetchManager::on_request(ProcId pid, NodeId client, FileId file,
       // stream still running on its OBA fallback is also rebuilt as soon
       // as the graph knows enough to predict.  A correctly predicted path
       // continues untouched, "as if the user had not requested any block".
-      if (ps.stream != nullptr && !covered) ++counters_.retargets;
+      if (ps.stream != nullptr && !covered) {
+        ++counters_.retargets;
+        if (trace_ != nullptr) trace_restart(file, first);
+      }
       ++counters_.streams_started;
       ps.stream = build_stream(ps, file);
     }
@@ -143,6 +163,7 @@ void PrefetchManager::on_request(ProcId pid, NodeId client, FileId file,
   while (auto item = next_uncached(*ps.stream, file)) {
     ++counters_.issued;
     if (item->fallback) ++counters_.fallback_issued;
+    if (trace_ != nullptr) trace_issue(file, item->block, item->fallback);
     (void)host_->prefetch_fetch(BlockKey{file, item->block}, client);
   }
 }
@@ -154,6 +175,9 @@ void PrefetchManager::ensure_pumps(FileId file, FileState& fs) {
     while (auto item = next_from_any_stream(fs, file)) {
       ++counters_.issued;
       if (item->item.fallback) ++counters_.fallback_issued;
+      if (trace_ != nullptr) {
+        trace_issue(file, item->item.block, item->item.fallback);
+      }
       (void)host_->prefetch_fetch(BlockKey{file, item->item.block},
                                   item->target);
     }
@@ -183,6 +207,7 @@ SimTask PrefetchManager::pump(FileId file) {
     fs.drained = false;
     ++counters_.issued;
     if (item->item.fallback) ++counters_.fallback_issued;
+    if (trace_ != nullptr) trace_issue(file, item->item.block, item->item.fallback);
     // The linear limitation: this pump waits for the block to arrive
     // before asking any stream for the next one.
     co_await host_->prefetch_fetch(BlockKey{file, item->item.block},
@@ -216,6 +241,7 @@ void PrefetchManager::on_open(ProcId, NodeId client, FileId file) {
     const BlockKey key{*predicted, b};
     if (host_->block_available(key)) continue;
     ++counters_.issued;
+    if (trace_ != nullptr) trace_issue(*predicted, b, /*fallback=*/false);
     (void)host_->prefetch_fetch(key, client);
   }
 }

@@ -38,6 +38,8 @@
 
 namespace lap {
 
+class TraceSink;
+
 /// Services the host file system provides to the prefetcher.
 class PrefetchHost {
  public:
@@ -86,6 +88,10 @@ class PrefetchManager {
   [[nodiscard]] const PrefetchCounters& counters() const { return counters_; }
   [[nodiscard]] const AlgorithmSpec& spec() const { return spec_; }
 
+  /// Attach the trace sink: issue/restart decisions become instants on the
+  /// per-file prefetch tracks.
+  void set_trace(TraceSink* sink) { trace_ = sink; }
+
  private:
   struct PidState {
     std::unique_ptr<IsPpmPredictor> predictor;  // IS_PPM only; shares the
@@ -118,11 +124,14 @@ class PrefetchManager {
   std::optional<PumpItem> next_from_any_stream(FileState& fs, FileId file);
   void ensure_pumps(FileId file, FileState& fs);
   SimTask pump(FileId file);
+  void trace_issue(FileId file, std::uint32_t block, bool fallback);
+  void trace_restart(FileId file, std::uint32_t from_block);
 
   Engine* eng_;
   AlgorithmSpec spec_;
   PrefetchHost* host_;
   const bool* stop_flag_;
+  TraceSink* trace_ = nullptr;
   std::unordered_map<std::uint32_t, FileState> files_;
   // Whole-file baseline only: one open-sequence model per client node —
   // Kroeger & Long's predictor works on a single client's open stream, and

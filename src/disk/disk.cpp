@@ -1,5 +1,6 @@
 #include "disk/disk.hpp"
 
+#include "obs/trace_event.hpp"
 #include "util/assert.hpp"
 
 namespace lap {
@@ -72,6 +73,7 @@ void Disk::maybe_start() {
   if (in_service_ || queue_.empty()) return;
   auto it = queue_.begin();
   const OpId id = it->first.second;
+  const int priority = it->first.first;
   Op op = std::move(it->second);
   queue_.erase(it);
   by_id_.erase(id);
@@ -79,6 +81,18 @@ void Disk::maybe_start() {
   // Seek is computed at service start: the arm position is whatever the
   // previous operation left behind.
   const SimTime service = service_time(op.write, op.lba);
+  if (trace_ != nullptr) {
+    const SimTime transfer = cfg_.bandwidth.transfer_time(cfg_.block_size);
+    const char* name = op.write             ? "disk.write"
+                       : priority >= prio::kPrefetch ? "disk.prefetch_read"
+                                                     : "disk.read";
+    trace_->complete("disk", name, tracks::disk(trace_index_), eng_->now(),
+                     service,
+                     {{"lba", op.lba},
+                      {"seek_us", (service - transfer).micros()},
+                      {"transfer_us", transfer.micros()},
+                      {"queued_behind", static_cast<std::uint64_t>(queue_.size())}});
+  }
   arm_position_ = std::min(op.lba, cfg_.cylinders - 1);
   stats_.busy_time += service;
   eng_->schedule_in(service, [this, done = op.done] {

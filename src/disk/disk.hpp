@@ -22,6 +22,8 @@
 
 namespace lap {
 
+class TraceSink;
+
 struct DiskConfig {
   Bytes block_size;
   Bandwidth bandwidth;
@@ -82,6 +84,13 @@ class Disk {
   /// (identical to the flat model when distance_seeks is off).
   [[nodiscard]] SimTime service_time(bool write, std::uint64_t lba) const;
 
+  /// Attach the trace sink; `index` labels this spindle's track.  Each
+  /// service window is emitted as a span with its seek/transfer breakdown.
+  void set_trace(TraceSink* sink, std::uint32_t index) {
+    trace_ = sink;
+    trace_index_ = index;
+  }
+
   [[nodiscard]] const DiskStats& stats() const { return stats_; }
   [[nodiscard]] DiskStats& stats() { return stats_; }
   [[nodiscard]] std::size_t queue_length() const { return queue_.size(); }
@@ -102,6 +111,8 @@ class Disk {
 
   Engine* eng_;
   DiskConfig cfg_;
+  TraceSink* trace_ = nullptr;
+  std::uint32_t trace_index_ = 0;
   OpId next_id_ = 0;
   bool in_service_ = false;
   std::uint64_t arm_position_ = 0;  // distance-seek model state

@@ -1,5 +1,7 @@
 #include "disk/disk_array.hpp"
 
+#include "obs/trace_event.hpp"
+
 namespace lap {
 
 DiskArray::DiskArray(Engine& eng, DiskConfig cfg, std::uint32_t disks) {
@@ -24,6 +26,19 @@ std::uint64_t DiskArray::lba_for(BlockKey key) const {
   // start at hash-spread positions.
   const std::uint64_t base = BlockKeyHash{}(BlockKey{key.file, 0}) % (1u << 19);
   return base + key.index / disks_.size();
+}
+
+void DiskArray::set_trace(TraceSink* sink) {
+  if (sink != nullptr) {
+    sink->name_process(tracks::kDiskPid, "disks");
+    for (std::uint32_t i = 0; i < disks_.size(); ++i) {
+      sink->name_thread(tracks::kDiskPid, i + 1,
+                        "disk " + std::to_string(i));
+    }
+  }
+  for (std::uint32_t i = 0; i < disks_.size(); ++i) {
+    disks_[i]->set_trace(sink, i);
+  }
 }
 
 DiskStats DiskArray::total_stats() const {

@@ -51,6 +51,9 @@ class DiskArray {
   }
   [[nodiscard]] Disk& disk(DiskId id) { return *disks_[raw(id)]; }
 
+  /// Attach a trace sink to every spindle and name their tracks.
+  void set_trace(TraceSink* sink);
+
   /// Aggregate statistics over all spindles.
   [[nodiscard]] DiskStats total_stats() const;
   void reset_stats();

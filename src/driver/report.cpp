@@ -2,6 +2,7 @@
 
 #include <ostream>
 
+#include "obs/metrics_json.hpp"
 #include "util/assert.hpp"
 #include "util/table.hpp"
 
@@ -149,6 +150,12 @@ void write_results_csv(std::ostream& os,
        << fmt_double(r.writes_per_block, 6) << ','
        << fmt_double(r.sim_duration.seconds(), 3) << '\n';
   }
+}
+
+void write_results_json(std::ostream& os, const RunManifest& manifest,
+                        const std::vector<RunResult>& results,
+                        const CounterRegistry* registry) {
+  write_metrics_json(os, manifest, results, registry);
 }
 
 }  // namespace lap

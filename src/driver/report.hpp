@@ -44,4 +44,13 @@ void print_run_summary(std::ostream& os, const RunResult& r);
 ///   misprediction_ratio,writes_per_block,sim_seconds
 void write_results_csv(std::ostream& os, const std::vector<RunResult>& results);
 
+class CounterRegistry;
+struct RunManifest;
+
+/// JSON twin of write_results_csv: the obs metrics document (manifest +
+/// one "runs" row per result + optional final counter values).
+void write_results_json(std::ostream& os, const RunManifest& manifest,
+                        const std::vector<RunResult>& results,
+                        const CounterRegistry* registry = nullptr);
+
 }  // namespace lap

@@ -10,6 +10,8 @@
 #include "fs/pafs/pafs.hpp"
 #include "fs/xfs/xfs.hpp"
 #include "net/network.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace_event.hpp"
 #include "sim/engine.hpp"
 #include "util/assert.hpp"
 
@@ -42,6 +44,8 @@ RunResult run_simulation(const Trace& trace, const RunConfig& cfg) {
       std::max<Bytes>(1, cfg.cache_per_node / machine.block_size));
 
   std::unique_ptr<FileSystem> fs;
+  Pafs* pafs_raw = nullptr;
+  Xfs* xfs_raw = nullptr;
   if (cfg.fs == FsKind::kPafs) {
     PafsConfig pcfg;
     pcfg.cache_blocks_total = blocks_per_node * nodes;
@@ -51,6 +55,7 @@ RunResult run_simulation(const Trace& trace, const RunConfig& cfg) {
     auto pafs = std::make_unique<Pafs>(eng, net, disks, files, metrics, pcfg,
                                        nodes, &stop);
     pafs->start_sync_daemon();
+    pafs_raw = pafs.get();
     fs = std::move(pafs);
   } else {
     XfsConfig xcfg;
@@ -61,7 +66,105 @@ RunResult run_simulation(const Trace& trace, const RunConfig& cfg) {
     auto xfs = std::make_unique<Xfs>(eng, net, disks, files, metrics, xcfg,
                                      nodes, &stop);
     xfs->start_sync_daemon();
+    xfs_raw = xfs.get();
     fs = std::move(xfs);
+  }
+
+  if (cfg.trace != nullptr) {
+    for (std::uint32_t i = 0; i < nodes; ++i) {
+      const std::uint32_t pid = i + 1;
+      cfg.trace->name_process(pid, "node " + std::to_string(i));
+      cfg.trace->name_thread(pid, 1, "fs");
+      cfg.trace->name_thread(pid, 2, "net");
+      cfg.trace->name_thread(pid, 3, "cache");
+    }
+    cfg.trace->name_process(tracks::kFilePid, "prefetch (per file)");
+    cfg.trace->name_process(tracks::kMetricsPid, "metrics");
+    eng.set_trace_sink(cfg.trace);
+    net.set_trace(cfg.trace);
+    disks.set_trace(cfg.trace);
+    fs->set_trace(cfg.trace);
+  }
+
+  if (cfg.counters != nullptr) {
+    CounterRegistry& reg = *cfg.counters;
+    // Probes read the run's components directly; they are frozen to their
+    // final level before those components are destroyed (end of this
+    // function), so exports after the run stay valid.
+    reg.probe("engine.events", [&eng] {
+      return static_cast<double>(eng.events_processed());
+    });
+    reg.probe("engine.pending",
+              [&eng] { return static_cast<double>(eng.pending()); });
+    reg.probe("net.messages", [&net] {
+      return static_cast<double>(net.stats().messages);
+    });
+    reg.probe("net.transfers", [&net] {
+      return static_cast<double>(net.stats().transfers);
+    });
+    reg.probe("net.bytes_moved", [&net] {
+      return static_cast<double>(net.stats().bytes_moved);
+    });
+    reg.probe("disk.reads", [&disks] {
+      return static_cast<double>(disks.total_stats().block_reads);
+    });
+    reg.probe("disk.writes", [&disks] {
+      return static_cast<double>(disks.total_stats().block_writes);
+    });
+    reg.probe("disk.prefetch_reads", [&disks] {
+      return static_cast<double>(disks.total_stats().prefetch_reads);
+    });
+    reg.probe("disk.busy_seconds",
+              [&disks] { return disks.total_stats().busy_time.seconds(); });
+    reg.probe("cache.hits", [&metrics] {
+      return static_cast<double>(metrics.hits_local() + metrics.hits_remote() +
+                                 metrics.hits_inflight());
+    });
+    reg.probe("cache.misses",
+              [&metrics] { return static_cast<double>(metrics.misses()); });
+    if (pafs_raw != nullptr) {
+      reg.probe("cache.blocks", [pafs_raw] {
+        return static_cast<double>(pafs_raw->pool().size());
+      });
+      reg.probe("cache.dirty_blocks", [pafs_raw] {
+        return static_cast<double>(pafs_raw->pool().dirty_count());
+      });
+      reg.probe("cache.evictions", [pafs_raw] {
+        return static_cast<double>(pafs_raw->pool().lru_stats().pops);
+      });
+    } else {
+      reg.probe("cache.blocks", [xfs_raw, nodes] {
+        std::size_t total = 0;
+        for (std::uint32_t i = 0; i < nodes; ++i) {
+          total += xfs_raw->pool(NodeId{i}).size();
+        }
+        return static_cast<double>(total);
+      });
+      reg.probe("cache.dirty_blocks", [xfs_raw, nodes] {
+        std::size_t total = 0;
+        for (std::uint32_t i = 0; i < nodes; ++i) {
+          total += xfs_raw->pool(NodeId{i}).dirty_count();
+        }
+        return static_cast<double>(total);
+      });
+      reg.probe("cache.evictions", [xfs_raw, nodes] {
+        std::uint64_t total = 0;
+        for (std::uint32_t i = 0; i < nodes; ++i) {
+          total += xfs_raw->pool(NodeId{i}).lru_stats().pops;
+        }
+        return static_cast<double>(total);
+      });
+    }
+    reg.probe("prefetch.issued", [fsp = fs.get()] {
+      return static_cast<double>(fsp->prefetch_counters_total().issued);
+    });
+    reg.probe("prefetch.retargets", [fsp = fs.get()] {
+      return static_cast<double>(fsp->prefetch_counters_total().retargets);
+    });
+    if (cfg.trace != nullptr) {
+      start_counter_sampling(eng, reg, *cfg.trace,
+                             cfg.counter_sample_interval, &stop);
+    }
   }
 
   if (cfg.algorithm.kind == AlgorithmSpec::Kind::kInformed) {
@@ -120,6 +223,7 @@ RunResult run_simulation(const Trace& trace, const RunConfig& cfg) {
   r.wall_seconds = std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - wall_start)
                        .count();
+  if (cfg.counters != nullptr) cfg.counters->freeze_probes();
   return r;
 }
 

@@ -13,6 +13,9 @@
 
 namespace lap {
 
+class CounterRegistry;
+class TraceSink;
+
 enum class FsKind { kPafs, kXfs };
 
 [[nodiscard]] std::string to_string(FsKind kind);
@@ -37,6 +40,16 @@ struct RunConfig {
   // phases serialise on their node's processor.  Off by default (the
   // paper's workloads place roughly one process per node).
   bool cpu_contention = false;
+
+  // Observability (both optional, not owned).  When `trace` is set, the
+  // engine, network, disks, caches and prefetchers stream events into it.
+  // When `counters` is also set, its instruments are registered against
+  // this run's components and sampled into the trace every
+  // `counter_sample_interval` of simulated time.  A sink must not be
+  // shared between concurrently running simulations.
+  TraceSink* trace = nullptr;
+  CounterRegistry* counters = nullptr;
+  SimTime counter_sample_interval = SimTime::ms(50);
 };
 
 struct RunResult {

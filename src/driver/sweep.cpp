@@ -4,6 +4,7 @@
 #include <future>
 
 #include "util/assert.hpp"
+#include "util/logging.hpp"
 #include "util/thread_pool.hpp"
 
 namespace lap {
@@ -29,9 +30,18 @@ std::vector<RunResult> run_sweep(
       RunConfig cfg = base;
       cfg.algorithm = algo;
       cfg.cache_per_node = cache;
+      // A TraceSink records exactly one run; concurrent runs sharing the
+      // base config's sink would interleave their events, so sweep runs
+      // are never traced.  The counter registry is per-run for the same
+      // reason.
+      cfg.trace = nullptr;
+      cfg.counters = nullptr;
       futures.push_back(pool.submit([&trace, cfg, &completed, total, &on_done] {
         RunResult r = run_simulation(trace, cfg);
         const std::size_t done = completed.fetch_add(1) + 1;
+        LAP_LOG(kDebug) << "sweep: " << r.algorithm << "/" << r.fs << " cache="
+                        << (r.cache_per_node >> 20) << " MiB done (" << done
+                        << "/" << total << ")";
         if (on_done) on_done(done, total);
         return r;
       }));

@@ -13,6 +13,7 @@
 namespace lap {
 
 class Metrics;
+class TraceSink;
 
 /// Deterministic file -> node placement (PAFS file servers, xFS managers).
 [[nodiscard]] inline NodeId node_for_file(FileId file, std::uint32_t nodes) {
@@ -53,6 +54,9 @@ class FileSystem {
   virtual void provide_hints(ProcId /*pid*/, NodeId /*client*/,
                              FileId /*file*/,
                              std::vector<BlockRequest> /*hints*/) {}
+
+  /// Attach the trace sink (nullptr detaches).  Default: no tracing.
+  virtual void set_trace(TraceSink* /*sink*/) {}
 };
 
 }  // namespace lap

@@ -32,6 +32,19 @@ Pafs::Pafs(Engine& eng, Network& net, DiskArray& disks, FileModel& files,
 
 void Pafs::start_sync_daemon() { sync_->start(); }
 
+void Pafs::set_trace(TraceSink* sink) {
+  trace_ = sink;
+  prefetcher_->set_trace(sink);
+  // PAFS runs one globally managed pool; its events land on node 0's cache
+  // row (the pool spans all nodes' memories, so no single node owns it).
+  pool_.set_trace(sink, eng_, tracks::node_cache(NodeId{0}));
+}
+
+void Pafs::trace_wasted(const CacheEntry& e) {
+  trace_->instant("prefetch", "prefetch.wasted", tracks::file(e.key.file),
+                  eng_->now(), {{"block", e.key.index}});
+}
+
 NodeId Pafs::server_node(FileId file) const {
   return node_for_file(file, nodes_);
 }
@@ -77,6 +90,7 @@ SimFuture<Done> Pafs::read(ProcId pid, NodeId client, FileId file, Bytes offset,
 
 SimTask Pafs::read_task(ProcId pid, NodeId client, FileId file, Bytes offset,
                         Bytes length, SimPromise<Done> done) {
+  const SimTime t0 = eng_->now();
   const BlockRange range = files_->range(file, offset, length);
   if (range.count == 0) {
     done.set_value(Done{});
@@ -99,6 +113,13 @@ SimTask Pafs::read_task(ProcId pid, NodeId client, FileId file, Bytes offset,
   }
   co_await joiner->future();
   co_await net_->message(srv, client);
+  if (trace_ != nullptr) {
+    trace_->complete("fs", "fs.read", tracks::node_fs(client), t0,
+                     eng_->now() - t0,
+                     {{"file", raw(file)},
+                      {"first", range.first},
+                      {"blocks", range.count}});
+  }
   done.set_value(Done{});
 }
 
@@ -108,7 +129,13 @@ SimTask Pafs::read_block(BlockKey key, NodeId client,
   for (;;) {
     if (CacheEntry* e = pool_.find(key)) {
       pool_.touch(key);
-      if (e->prefetched && !e->referenced) metrics_->on_prefetch_first_use();
+      if (e->prefetched && !e->referenced) {
+        metrics_->on_prefetch_first_use();
+        if (trace_ != nullptr) {
+          trace_->instant("prefetch", "prefetch.used", tracks::file(key.file),
+                          eng_->now(), {{"block", key.index}});
+        }
+      }
       e->referenced = true;
       if (!classified) {
         if (e->home == client) {
@@ -158,6 +185,7 @@ SimFuture<Done> Pafs::write(ProcId pid, NodeId client, FileId file,
 
 SimTask Pafs::write_task(ProcId pid, NodeId client, FileId file, Bytes offset,
                          Bytes length, SimPromise<Done> done) {
+  const SimTime t0 = eng_->now();
   if (!files_->exists(file) || length == 0) {
     done.set_value(Done{});
     co_return;
@@ -188,6 +216,13 @@ SimTask Pafs::write_task(ProcId pid, NodeId client, FileId file, Bytes offset,
   co_await net_->copy(client, client, range.count * files_->block_size(),
                       prio::kDemand);
   co_await net_->message(srv, client);
+  if (trace_ != nullptr) {
+    trace_->complete("fs", "fs.write", tracks::node_fs(client), t0,
+                     eng_->now() - t0,
+                     {{"file", raw(file)},
+                      {"first", range.first},
+                      {"blocks", range.count}});
+  }
   done.set_value(Done{});
 }
 
@@ -208,7 +243,10 @@ SimTask Pafs::remove_task(NodeId client, FileId file, SimPromise<Done> done) {
   // Dirty buffers of a deleted file never reach the disk — the mechanism
   // that lets short-lived files vanish without write traffic.
   for (const CacheEntry& e : pool_.drop_file(file)) {
-    if (e.prefetched && !e.referenced) metrics_->on_prefetch_wasted();
+    if (e.prefetched && !e.referenced) {
+      metrics_->on_prefetch_wasted();
+      if (trace_ != nullptr) trace_wasted(e);
+    }
   }
   files_->remove(file);
   co_await net_->message(srv, client);
@@ -226,6 +264,7 @@ SimTask Pafs::prefetch_task(BlockKey key, NodeId target, SimPromise<Done> done) 
     done.set_value(Done{});
     co_return;
   }
+  const SimTime t0 = eng_->now();
   auto bc = std::make_shared<Broadcast>(*eng_);
   DiskOpRef op;
   auto fetch = disks_->read(key, cfg_.prefetch_priority, &op);
@@ -235,6 +274,10 @@ SimTask Pafs::prefetch_task(BlockKey key, NodeId target, SimPromise<Done> done) 
   in_flight_.erase(key);
   insert_block(key, target, /*dirty=*/false, /*prefetched=*/true);
   metrics_->on_prefetch_arrived();
+  if (trace_ != nullptr) {
+    trace_->complete("prefetch", "prefetch.fetch", tracks::file(key.file), t0,
+                     eng_->now() - t0, {{"block", key.index}});
+  }
   bc->notify_all();
   done.set_value(Done{});
 }
@@ -252,7 +295,10 @@ void Pafs::insert_block(BlockKey key, NodeId home, bool dirty, bool prefetched) 
 }
 
 void Pafs::handle_eviction(const CacheEntry& victim) {
-  if (victim.prefetched && !victim.referenced) metrics_->on_prefetch_wasted();
+  if (victim.prefetched && !victim.referenced) {
+    metrics_->on_prefetch_wasted();
+    if (trace_ != nullptr) trace_wasted(victim);
+  }
   if (victim.dirty) {
     metrics_->on_disk_write(victim.key);
     (void)disks_->write(victim.key, prio::kSync);
@@ -277,7 +323,10 @@ void Pafs::flush_tick() {
 
 void Pafs::finalize() {
   pool_.for_each([&](const CacheEntry& e) {
-    if (e.prefetched && !e.referenced) metrics_->on_prefetch_wasted();
+    if (e.prefetched && !e.referenced) {
+      metrics_->on_prefetch_wasted();
+      if (trace_ != nullptr) trace_wasted(e);
+    }
     // Shutdown flush: dirty buffers that survived to the end of the run
     // would be written once by the final sync; account for them.
     if (e.dirty) metrics_->on_disk_write(e.key);

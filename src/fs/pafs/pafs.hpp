@@ -54,6 +54,7 @@ class Pafs final : public FileSystem, public PrefetchHost {
   void finalize() override;
   void provide_hints(ProcId pid, NodeId client, FileId file,
                      std::vector<BlockRequest> hints) override;
+  void set_trace(TraceSink* sink) override;
 
   // --- PrefetchHost ---
   [[nodiscard]] bool block_available(BlockKey key) const override;
@@ -86,6 +87,7 @@ class Pafs final : public FileSystem, public PrefetchHost {
   void insert_block(BlockKey key, NodeId home, bool dirty, bool prefetched);
   void handle_eviction(const CacheEntry& victim);
   void flush_tick();
+  void trace_wasted(const CacheEntry& e);
 
   Engine* eng_;
   Network* net_;
@@ -95,6 +97,7 @@ class Pafs final : public FileSystem, public PrefetchHost {
   PafsConfig cfg_;
   std::uint32_t nodes_;
   const bool* stop_flag_;
+  TraceSink* trace_ = nullptr;
 
   struct InFlight {
     std::shared_ptr<Broadcast> bc;

@@ -59,6 +59,19 @@ Xfs::~Xfs() = default;
 
 void Xfs::start_sync_daemon() { sync_->start(); }
 
+void Xfs::set_trace(TraceSink* sink) {
+  trace_ = sink;
+  for (std::uint32_t i = 0; i < nodes_; ++i) {
+    node_[i].prefetcher->set_trace(sink);
+    node_[i].pool->set_trace(sink, eng_, tracks::node_cache(NodeId{i}));
+  }
+}
+
+void Xfs::trace_wasted(const CacheEntry& e) {
+  trace_->instant("prefetch", "prefetch.wasted", tracks::file(e.key.file),
+                  eng_->now(), {{"block", e.key.index}});
+}
+
 NodeId Xfs::manager_node(FileId file) const {
   return node_for_file(file, nodes_);
 }
@@ -144,6 +157,7 @@ SimFuture<Done> Xfs::read(ProcId pid, NodeId client, FileId file, Bytes offset,
 
 SimTask Xfs::read_task(ProcId pid, NodeId client, FileId file, Bytes offset,
                        Bytes length, SimPromise<Done> done) {
+  const SimTime t0 = eng_->now();
   const BlockRange range = files_->range(file, offset, length);
   if (range.count == 0) {
     done.set_value(Done{});
@@ -157,6 +171,13 @@ SimTask Xfs::read_task(ProcId pid, NodeId client, FileId file, Bytes offset,
     read_block(client, BlockKey{file, range.first + i}, joiner);
   }
   co_await joiner->future();
+  if (trace_ != nullptr) {
+    trace_->complete("fs", "fs.read", tracks::node_fs(client), t0,
+                     eng_->now() - t0,
+                     {{"file", raw(file)},
+                      {"first", range.first},
+                      {"blocks", range.count}});
+  }
   done.set_value(Done{});
 }
 
@@ -167,7 +188,13 @@ SimTask Xfs::read_block(NodeId client, BlockKey key,
   for (;;) {
     if (CacheEntry* e = ns.pool->find(key)) {
       ns.pool->touch(key);
-      if (e->prefetched && !e->referenced) metrics_->on_prefetch_first_use();
+      if (e->prefetched && !e->referenced) {
+        metrics_->on_prefetch_first_use();
+        if (trace_ != nullptr) {
+          trace_->instant("prefetch", "prefetch.used", tracks::file(key.file),
+                          eng_->now(), {{"block", key.index}});
+        }
+      }
       e->referenced = true;
       if (!classified) metrics_->on_hit_local();
       co_await net_->copy(client, client, files_->block_size(), prio::kDemand);
@@ -248,6 +275,7 @@ SimFuture<Done> Xfs::write(ProcId pid, NodeId client, FileId file, Bytes offset,
 
 SimTask Xfs::write_task(ProcId pid, NodeId client, FileId file, Bytes offset,
                         Bytes length, SimPromise<Done> done) {
+  const SimTime t0 = eng_->now();
   if (!files_->exists(file) || length == 0) {
     done.set_value(Done{});
     co_return;
@@ -283,6 +311,7 @@ SimTask Xfs::write_task(ProcId pid, NodeId client, FileId file, Bytes offset,
         if (auto victim = node_[raw(other)].pool->erase(key)) {
           if (victim->prefetched && !victim->referenced) {
             metrics_->on_prefetch_wasted();
+            if (trace_ != nullptr) trace_wasted(*victim);
           }
           // An invalidated dirty replica cannot exist under single-writer
           // semantics, but stay safe and flush it if it does.
@@ -305,6 +334,13 @@ SimTask Xfs::write_task(ProcId pid, NodeId client, FileId file, Bytes offset,
   }
   co_await net_->copy(client, client, range.count * files_->block_size(),
                       prio::kDemand);
+  if (trace_ != nullptr) {
+    trace_->complete("fs", "fs.write", tracks::node_fs(client), t0,
+                     eng_->now() - t0,
+                     {{"file", raw(file)},
+                      {"first", range.first},
+                      {"blocks", range.count}});
+  }
   done.set_value(Done{});
 }
 
@@ -324,7 +360,10 @@ SimTask Xfs::remove_task(NodeId client, FileId file, SimPromise<Done> done) {
   for (NodeState& ns : node_) {
     ns.prefetcher->on_file_deleted(file);
     for (const CacheEntry& e : ns.pool->drop_file(file)) {
-      if (e.prefetched && !e.referenced) metrics_->on_prefetch_wasted();
+      if (e.prefetched && !e.referenced) {
+        metrics_->on_prefetch_wasted();
+        if (trace_ != nullptr) trace_wasted(e);
+      }
     }
   }
   dir_drop_file(file);
@@ -344,6 +383,7 @@ SimTask Xfs::prefetch_task(NodeId node, BlockKey key, SimPromise<Done> done) {
     done.set_value(Done{});
     co_return;
   }
+  const SimTime t0 = eng_->now();
   NodeState& ns = node_[raw(node)];
   auto bc = std::make_shared<Broadcast>(*eng_);
   ns.in_flight.emplace(key, InFlight{bc, DiskOpRef{}});
@@ -390,6 +430,13 @@ SimTask Xfs::prefetch_task(NodeId node, BlockKey key, SimPromise<Done> done) {
   insert_at(node, entry);
   dir_add(key, node);
   metrics_->on_prefetch_arrived();
+  if (trace_ != nullptr) {
+    trace_->complete("prefetch", "prefetch.fetch", tracks::file(key.file), t0,
+                     eng_->now() - t0,
+                     {{"block", key.index},
+                      {"node", raw(node)},
+                      {"via_peer", static_cast<int>(have_peer)}});
+  }
   bc->notify_all();
   done.set_value(Done{});
 }
@@ -397,7 +444,10 @@ SimTask Xfs::prefetch_task(NodeId node, BlockKey key, SimPromise<Done> done) {
 SimTask Xfs::forward_task(NodeId from, NodeId to, CacheEntry victim) {
   co_await net_->copy(from, to, files_->block_size(), prio::kSync);
   if (!files_->exists(victim.key.file)) {
-    if (victim.prefetched && !victim.referenced) metrics_->on_prefetch_wasted();
+    if (victim.prefetched && !victim.referenced) {
+      metrics_->on_prefetch_wasted();
+      if (trace_ != nullptr) trace_wasted(victim);
+    }
     co_return;
   }
   victim.home = to;
@@ -416,7 +466,10 @@ void Xfs::insert_at(NodeId node, const CacheEntry& entry) {
 void Xfs::handle_eviction(NodeId node, const CacheEntry& victim) {
   dir_remove(victim.key, node);
   if (victim.dirty) {
-    if (victim.prefetched && !victim.referenced) metrics_->on_prefetch_wasted();
+    if (victim.prefetched && !victim.referenced) {
+      metrics_->on_prefetch_wasted();
+      if (trace_ != nullptr) trace_wasted(victim);
+    }
     metrics_->on_disk_write(victim.key);
     (void)disks_->write(victim.key, prio::kSync);
     return;
@@ -431,11 +484,21 @@ void Xfs::handle_eviction(NodeId node, const CacheEntry& victim) {
       NodeId peer{static_cast<std::uint32_t>(
           rng_.uniform_int(0, static_cast<std::int64_t>(nodes_) - 2))};
       if (raw(peer) >= raw(node)) peer = NodeId{raw(peer) + 1};
+      if (trace_ != nullptr) {
+        trace_->instant("cache", "cache.nchance_forward",
+                        tracks::node_cache(node), eng_->now(),
+                        {{"file", raw(victim.key.file)},
+                         {"block", victim.key.index},
+                         {"to", raw(peer)}});
+      }
       forward_task(node, peer, victim);
       return;
     }
   }
-  if (victim.prefetched && !victim.referenced) metrics_->on_prefetch_wasted();
+  if (victim.prefetched && !victim.referenced) {
+    metrics_->on_prefetch_wasted();
+    if (trace_ != nullptr) trace_wasted(victim);
+  }
 }
 
 void Xfs::provide_hints(ProcId pid, NodeId client, FileId file,
@@ -493,7 +556,10 @@ bool Xfs::directory_consistent() const {
 void Xfs::finalize() {
   for (const NodeState& ns : node_) {
     ns.pool->for_each([&](const CacheEntry& e) {
-      if (e.prefetched && !e.referenced) metrics_->on_prefetch_wasted();
+      if (e.prefetched && !e.referenced) {
+        metrics_->on_prefetch_wasted();
+        if (trace_ != nullptr) trace_wasted(e);
+      }
       if (e.dirty) metrics_->on_disk_write(e.key);
     });
   }

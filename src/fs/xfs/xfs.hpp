@@ -60,6 +60,7 @@ class Xfs final : public FileSystem {
   void finalize() override;
   void provide_hints(ProcId pid, NodeId client, FileId file,
                      std::vector<BlockRequest> hints) override;
+  void set_trace(TraceSink* sink) override;
 
   [[nodiscard]] NodeId manager_node(FileId file) const;
 
@@ -109,6 +110,7 @@ class Xfs final : public FileSystem {
   void insert_at(NodeId node, const CacheEntry& entry);
   void handle_eviction(NodeId node, const CacheEntry& victim);
   void flush_tick();
+  void trace_wasted(const CacheEntry& e);
 
   Engine* eng_;
   Network* net_;
@@ -118,6 +120,7 @@ class Xfs final : public FileSystem {
   XfsConfig cfg_;
   std::uint32_t nodes_;
   const bool* stop_flag_;
+  TraceSink* trace_ = nullptr;
   Rng rng_;
 
   std::vector<NodeState> node_;

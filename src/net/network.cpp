@@ -1,5 +1,7 @@
 #include "net/network.hpp"
 
+#include "obs/trace_event.hpp"
+
 namespace lap {
 
 Network::Network(Engine& eng, NetConfig cfg, std::uint32_t nodes)
@@ -29,8 +31,12 @@ SimFuture<Done> Network::message(NodeId src, NodeId dst) {
   SimPromise<Done> done(*eng_);
   // Control messages are short; they are charged latency but do not occupy
   // the NIC (matching DIMEMAS, where the startup is CPU activity).
-  eng_->schedule_in(message_latency(src, dst),
-                    [done] { done.set_value(Done{}); });
+  const SimTime latency = message_latency(src, dst);
+  if (trace_ != nullptr) {
+    trace_->complete("net", "net.message", tracks::node_net(src), eng_->now(),
+                     latency, {{"src", raw(src)}, {"dst", raw(dst)}});
+  }
+  eng_->schedule_in(latency, [done] { done.set_value(Done{}); });
   return done.future();
 }
 
@@ -41,17 +47,30 @@ SimFuture<Done> Network::copy(NodeId src, NodeId dst, Bytes n, int priority) {
   const SimTime duration = copy_latency(src, dst, n);
   const bool remote = src != dst;
   if (cfg_.model_contention && remote) {
-    run_transfer(src, duration, priority, done, remote);
+    run_transfer(src, dst, n, duration, priority, done);
   } else {
+    if (trace_ != nullptr) {
+      trace_->complete("net", "net.copy", tracks::node_net(src), eng_->now(),
+                       duration,
+                       {{"src", raw(src)}, {"dst", raw(dst)}, {"bytes", n}});
+    }
     eng_->schedule_in(duration, [done] { done.set_value(Done{}); });
   }
   return done.future();
 }
 
-SimTask Network::run_transfer(NodeId src, SimTime duration, int priority,
-                              SimPromise<Done> done, bool /*remote*/) {
+SimTask Network::run_transfer(NodeId src, NodeId dst, Bytes bytes,
+                              SimTime duration, int priority,
+                              SimPromise<Done> done) {
   Resource& nic = *nics_[raw(src)];
   auto guard = co_await nic.scoped(priority);
+  // The span starts when the NIC is acquired, so queueing delay under
+  // contention is visible as the gap from the enclosing operation.
+  if (trace_ != nullptr) {
+    trace_->complete("net", "net.copy", tracks::node_net(src), eng_->now(),
+                     duration,
+                     {{"src", raw(src)}, {"dst", raw(dst)}, {"bytes", bytes}});
+  }
   co_await eng_->delay(duration);
   done.set_value(Done{});
 }

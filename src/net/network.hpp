@@ -20,6 +20,8 @@
 
 namespace lap {
 
+class TraceSink;
+
 struct NetConfig {
   SimTime local_port_startup;   // control message, same node
   SimTime remote_port_startup;  // control message, across the network
@@ -55,15 +57,20 @@ class Network {
   [[nodiscard]] SimFuture<Done> copy(NodeId src, NodeId dst, Bytes n,
                                      int priority = prio::kDemand);
 
+  /// Attach the trace sink: every message/copy service window becomes a
+  /// span on the sending node's network track.
+  void set_trace(TraceSink* sink) { trace_ = sink; }
+
   [[nodiscard]] const NetStats& stats() const { return stats_; }
   [[nodiscard]] const NetConfig& config() const { return cfg_; }
 
  private:
-  SimTask run_transfer(NodeId src, SimTime duration, int priority,
-                       SimPromise<Done> done, bool remote);
+  SimTask run_transfer(NodeId src, NodeId dst, Bytes bytes, SimTime duration,
+                       int priority, SimPromise<Done> done);
 
   Engine* eng_;
   NetConfig cfg_;
+  TraceSink* trace_ = nullptr;
   std::vector<std::unique_ptr<Resource>> nics_;  // one per node
   NetStats stats_;
 };

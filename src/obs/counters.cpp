@@ -1,0 +1,139 @@
+#include "obs/counters.hpp"
+
+#include "obs/json.hpp"
+#include "obs/trace_event.hpp"
+#include "sim/engine.hpp"
+#include "util/assert.hpp"
+
+namespace lap {
+
+CounterRegistry::Entry& CounterRegistry::get_or_create(std::string_view name,
+                                                       Kind kind, double lo,
+                                                       double hi,
+                                                       std::size_t buckets) {
+  auto it = by_name_.find(std::string(name));
+  if (it != by_name_.end()) {
+    // Duplicate registration: same name must mean the same instrument.
+    LAP_EXPECTS(it->second->kind == kind);
+    return *it->second;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = std::string(name);
+  entry->kind = kind;
+  switch (kind) {
+    case Kind::kCounter:
+      entry->counter = std::make_unique<Counter>();
+      break;
+    case Kind::kGauge:
+      entry->gauge = std::make_unique<Gauge>();
+      break;
+    case Kind::kHistogram:
+      entry->histogram = std::make_unique<HistogramStat>(lo, hi, buckets);
+      break;
+  }
+  Entry* raw = entry.get();
+  entries_.push_back(std::move(entry));
+  by_name_.emplace(raw->name, raw);
+  return *raw;
+}
+
+Counter& CounterRegistry::counter(std::string_view name) {
+  return *get_or_create(name, Kind::kCounter, 0, 0, 0).counter;
+}
+
+Gauge& CounterRegistry::gauge(std::string_view name) {
+  return *get_or_create(name, Kind::kGauge, 0, 0, 0).gauge;
+}
+
+Gauge& CounterRegistry::probe(std::string_view name,
+                              std::function<double()> probe) {
+  Gauge& g = gauge(name);
+  g.set_probe(std::move(probe));
+  return g;
+}
+
+HistogramStat& CounterRegistry::histogram(std::string_view name, double lo,
+                                          double hi, std::size_t buckets) {
+  return *get_or_create(name, Kind::kHistogram, lo, hi, buckets).histogram;
+}
+
+bool CounterRegistry::has(std::string_view name) const {
+  return by_name_.contains(std::string(name));
+}
+
+void CounterRegistry::sample_into(TraceSink& sink, SimTime now) const {
+  for (const auto& e : entries_) {
+    switch (e->kind) {
+      case Kind::kCounter:
+        sink.counter(e->name.c_str(), now,
+                     static_cast<double>(e->counter->value()));
+        break;
+      case Kind::kGauge:
+        sink.counter(e->name.c_str(), now, e->gauge->value());
+        break;
+      case Kind::kHistogram:
+        sink.counter(e->name.c_str(), now, e->histogram->accumulator().mean());
+        break;
+    }
+  }
+}
+
+void CounterRegistry::write_json(JsonWriter& w) const {
+  w.begin_object();
+  for (const auto& e : entries_) {
+    w.key(e->name);
+    switch (e->kind) {
+      case Kind::kCounter:
+        w.value(e->counter->value());
+        break;
+      case Kind::kGauge:
+        w.value(e->gauge->value());
+        break;
+      case Kind::kHistogram: {
+        const Accumulator& a = e->histogram->accumulator();
+        const Histogram& h = e->histogram->histogram();
+        w.begin_object();
+        w.member("count", a.count());
+        w.member("mean", a.mean());
+        w.member("min", a.min());
+        w.member("max", a.max());
+        w.member("p50", h.quantile(0.50));
+        w.member("p95", h.quantile(0.95));
+        w.member("p99", h.quantile(0.99));
+        w.end_object();
+        break;
+      }
+    }
+  }
+  w.end_object();
+}
+
+void CounterRegistry::freeze_probes() {
+  for (const auto& e : entries_) {
+    if (e->kind == Kind::kGauge) e->gauge->freeze();
+  }
+}
+
+namespace {
+
+void schedule_sample_tick(Engine& eng, const CounterRegistry& reg,
+                          TraceSink& sink, SimTime interval, const bool* stop) {
+  eng.schedule_in(interval, [&eng, &reg, &sink, interval, stop] {
+    reg.sample_into(sink, eng.now());
+    // Observe the end-of-workload flag, like every daemon, so the engine's
+    // queue still drains once the workload completes.
+    if (!*stop) schedule_sample_tick(eng, reg, sink, interval, stop);
+  });
+}
+
+}  // namespace
+
+void start_counter_sampling(Engine& eng, const CounterRegistry& reg,
+                            TraceSink& sink, SimTime interval,
+                            const bool* stop) {
+  LAP_EXPECTS(interval > SimTime::zero());
+  LAP_EXPECTS(stop != nullptr);
+  schedule_sample_tick(eng, reg, sink, interval, stop);
+}
+
+}  // namespace lap

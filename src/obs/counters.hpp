@@ -1,0 +1,135 @@
+// Named counter/gauge/histogram registry.
+//
+// Any component can register an instrument by name (get-or-create: a second
+// registration under the same name returns the same instrument, so
+// independent call sites safely share one series).  The driver samples the
+// whole registry periodically into the trace as Perfetto counter tracks and
+// dumps final values into the metrics JSON at end of run.
+//
+// Instruments are owned by the registry and referenced by stable pointers;
+// registration order is preserved so exports are deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace lap {
+
+class JsonWriter;
+class TraceSink;
+class Engine;
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) { value_ += delta; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Point-in-time level.  Either set explicitly by the owning component or
+/// given a probe callback evaluated at each sample (for components that
+/// already track the level themselves, e.g. queue lengths).
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void set_probe(std::function<double()> probe) { probe_ = std::move(probe); }
+  [[nodiscard]] double value() const { return probe_ ? probe_() : value_; }
+
+  /// Capture the probe's current value and detach the probe.  Called when
+  /// the probed component is about to die (end of run) so later exports
+  /// read the frozen level instead of a dangling callback.
+  void freeze() {
+    value_ = value();
+    probe_ = nullptr;
+  }
+
+ private:
+  double value_ = 0.0;
+  std::function<double()> probe_;
+};
+
+/// Value distribution: streaming moments plus log-spaced buckets for
+/// percentile queries (reuses the metrics layer's accumulators).
+class HistogramStat {
+ public:
+  HistogramStat(double lo, double hi, std::size_t buckets)
+      : hist_(lo, hi, buckets) {}
+
+  void add(double x) {
+    acc_.add(x);
+    hist_.add(x);
+  }
+  [[nodiscard]] const Accumulator& accumulator() const { return acc_; }
+  [[nodiscard]] const Histogram& histogram() const { return hist_; }
+
+ private:
+  Accumulator acc_;
+  Histogram hist_;
+};
+
+class CounterRegistry {
+ public:
+  CounterRegistry() = default;
+  CounterRegistry(const CounterRegistry&) = delete;
+  CounterRegistry& operator=(const CounterRegistry&) = delete;
+
+  /// Get-or-create.  A name registers exactly one kind of instrument;
+  /// re-registering under a different kind is a precondition violation.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// Gauge whose value is pulled from `probe` at each sample.
+  Gauge& probe(std::string_view name, std::function<double()> probe);
+  HistogramStat& histogram(std::string_view name, double lo = 1e-3,
+                           double hi = 1e5, std::size_t buckets = 96);
+
+  [[nodiscard]] bool has(std::string_view name) const;
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Emit one "C" trace event per instrument at simulated time `now`
+  /// (histograms sample their running mean).
+  void sample_into(TraceSink& sink, SimTime now) const;
+
+  /// Dump final values as one JSON object: counters/gauges as numbers,
+  /// histograms as {count,mean,min,max,p50,p95,p99}.
+  void write_json(JsonWriter& w) const;
+
+  /// Freeze every probe gauge (see Gauge::freeze).  The driver calls this
+  /// before the simulated components the probes reference are destroyed.
+  void freeze_probes();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    std::string name;
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<HistogramStat> histogram;
+  };
+
+  Entry& get_or_create(std::string_view name, Kind kind, double lo, double hi,
+                       std::size_t buckets);
+
+  std::vector<std::unique_ptr<Entry>> entries_;  // registration order
+  std::unordered_map<std::string, Entry*> by_name_;
+};
+
+/// Sample `reg` into `sink` every `interval` of simulated time until
+/// `*stop` is observed true (the driver's end-of-workload flag — the same
+/// protocol the sync daemons use, so the event queue still drains).
+void start_counter_sampling(Engine& eng, const CounterRegistry& reg,
+                            TraceSink& sink, SimTime interval,
+                            const bool* stop);
+
+}  // namespace lap

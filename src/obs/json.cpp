@@ -1,0 +1,300 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/assert.hpp"
+
+namespace lap {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "0";
+  // Integers print exactly; everything else with enough digits to round-trip.
+  if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
+      std::fabs(v) < 9.0e15) {
+    return std::to_string(static_cast<std::int64_t>(v));
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+void JsonWriter::comma() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // value belongs to the key just written
+  }
+  if (!need_comma_.empty()) {
+    if (need_comma_.back()) *os_ << ',';
+    need_comma_.back() = true;
+  }
+}
+
+void JsonWriter::begin_object() {
+  comma();
+  *os_ << '{';
+  need_comma_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  LAP_EXPECTS(!need_comma_.empty());
+  need_comma_.pop_back();
+  *os_ << '}';
+}
+
+void JsonWriter::begin_array() {
+  comma();
+  *os_ << '[';
+  need_comma_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  LAP_EXPECTS(!need_comma_.empty());
+  need_comma_.pop_back();
+  *os_ << ']';
+}
+
+void JsonWriter::key(std::string_view k) {
+  LAP_EXPECTS(!pending_key_);
+  comma();
+  *os_ << '"' << json_escape(k) << "\":";
+  pending_key_ = true;
+}
+
+void JsonWriter::value(std::string_view v) {
+  comma();
+  *os_ << '"' << json_escape(v) << '"';
+}
+
+void JsonWriter::value(double v) {
+  comma();
+  *os_ << json_number(v);
+}
+
+void JsonWriter::value(std::int64_t v) {
+  comma();
+  *os_ << v;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  comma();
+  *os_ << v;
+}
+
+void JsonWriter::value(bool v) {
+  comma();
+  *os_ << (v ? "true" : "false");
+}
+
+void JsonWriter::value_null() {
+  comma();
+  *os_ << "null";
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+// Recursive-descent parser over a string_view with a cursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> parse() {
+    auto v = parse_value();
+    if (!v) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing junk
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool eat(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  std::optional<std::string> parse_string() {
+    if (!eat('"')) return std::nullopt;
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return std::nullopt;
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return std::nullopt;
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return std::nullopt;
+            }
+            // Our own documents only escape control characters; encode the
+            // code point as UTF-8 without surrogate-pair handling.
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: return std::nullopt;
+        }
+      } else {
+        out += c;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<JsonValue> parse_value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return std::nullopt;
+    JsonValue v;
+    char c = text_[pos_];
+    if (c == 'n') {
+      if (!literal("null")) return std::nullopt;
+      return v;
+    }
+    if (c == 't' || c == 'f') {
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = c == 't';
+      if (!literal(c == 't' ? "true" : "false")) return std::nullopt;
+      return v;
+    }
+    if (c == '"') {
+      auto s = parse_string();
+      if (!s) return std::nullopt;
+      v.kind = JsonValue::Kind::kString;
+      v.string = std::move(*s);
+      return v;
+    }
+    if (c == '[') {
+      ++pos_;
+      v.kind = JsonValue::Kind::kArray;
+      skip_ws();
+      if (eat(']')) return v;
+      for (;;) {
+        auto elem = parse_value();
+        if (!elem) return std::nullopt;
+        v.array.push_back(std::move(*elem));
+        if (eat(']')) return v;
+        if (!eat(',')) return std::nullopt;
+      }
+    }
+    if (c == '{') {
+      ++pos_;
+      v.kind = JsonValue::Kind::kObject;
+      skip_ws();
+      if (eat('}')) return v;
+      for (;;) {
+        skip_ws();
+        auto k = parse_string();
+        if (!k) return std::nullopt;
+        if (!eat(':')) return std::nullopt;
+        auto member = parse_value();
+        if (!member) return std::nullopt;
+        v.object.emplace_back(std::move(*k), std::move(*member));
+        if (eat('}')) return v;
+        if (!eat(',')) return std::nullopt;
+      }
+    }
+    // Number.
+    const std::size_t start = pos_;
+    if (c == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return std::nullopt;
+    char* end = nullptr;
+    const std::string num(text_.substr(start, pos_ - start));
+    v.kind = JsonValue::Kind::kNumber;
+    v.number = std::strtod(num.c_str(), &end);
+    if (end != num.c_str() + num.size()) return std::nullopt;
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<JsonValue> parse_json(std::string_view text) {
+  return Parser(text).parse();
+}
+
+}  // namespace lap

@@ -1,0 +1,86 @@
+// Minimal JSON support for the observability layer: a streaming writer used
+// by the trace/metrics exporters and a small recursive-descent parser used
+// to validate their output (tests, golden-file checks).  Deliberately tiny —
+// the simulator emits and re-reads only its own documents.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace lap {
+
+/// Escape `s` per RFC 8259 (quotes, backslash, control characters).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Render a double the way JSON expects (finite; "0" for NaN/Inf so the
+/// document stays parseable even if a metric degenerates).
+[[nodiscard]] std::string json_number(double v);
+
+/// Streaming writer with explicit structure calls.  Commas are inserted
+/// automatically; the caller is responsible for balanced begin/end pairs.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(&os) {}
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Start a named member inside an object; follow with a value call or a
+  /// begin_object/begin_array.
+  void key(std::string_view k);
+
+  void value(std::string_view v);
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(double v);
+  void value(std::int64_t v);
+  void value(std::uint64_t v);
+  void value(bool v);
+  void value_null();
+
+  // Convenience: key + scalar value.
+  template <typename T>
+  void member(std::string_view k, T v) {
+    key(k);
+    value(v);
+  }
+
+ private:
+  void comma();
+
+  std::ostream* os_;
+  // One flag per open container: has a member/element been written yet?
+  std::vector<bool> need_comma_;
+  bool pending_key_ = false;
+};
+
+/// Parsed JSON document (used by tests and the golden-file checks).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+};
+
+/// Parse a complete document; nullopt on any syntax error or trailing junk.
+[[nodiscard]] std::optional<JsonValue> parse_json(std::string_view text);
+
+}  // namespace lap

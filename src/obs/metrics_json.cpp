@@ -1,0 +1,115 @@
+#include "obs/metrics_json.hpp"
+
+#include "obs/counters.hpp"
+#include "obs/json.hpp"
+#include "trace/trace.hpp"
+#include "util/flags.hpp"
+#include "util/logging.hpp"
+
+namespace lap {
+
+RunManifest make_manifest(const std::string& title, const RunConfig& cfg,
+                          const Trace& trace) {
+  RunManifest m;
+  m.title = title;
+  m.machine = cfg.machine.describe();
+  m.nodes = std::max(cfg.machine.nodes, trace.node_span());
+  m.disks = cfg.machine.disks;
+  m.block_size = cfg.machine.block_size;
+  m.processes = trace.processes.size();
+  m.files = trace.files.size();
+  m.io_ops = trace.total_io_ops();
+  m.fs = to_string(cfg.fs);
+  m.algorithm = cfg.algorithm.name();
+  m.cache_per_node = cfg.cache_per_node;
+  m.sync_interval_ms = cfg.sync_interval.millis();
+  m.warmup_fraction = cfg.warmup_fraction;
+  return m;
+}
+
+void write_run_result_json(JsonWriter& w, const RunResult& r) {
+  w.begin_object();
+  w.member("fs", r.fs);
+  w.member("algorithm", r.algorithm);
+  w.member("cache_per_node_bytes", r.cache_per_node);
+  w.member("avg_read_ms", r.avg_read_ms);
+  w.member("avg_write_ms", r.avg_write_ms);
+  w.member("read_p95_ms", r.read_p95_ms);
+  w.member("reads", r.reads);
+  w.member("writes", r.writes);
+  w.member("disk_reads", r.disk_reads);
+  w.member("disk_writes", r.disk_writes);
+  w.member("disk_accesses", r.disk_accesses);
+  w.member("disk_prefetch_reads", r.disk_prefetch_reads);
+  w.member("writes_per_block", r.writes_per_block);
+  w.member("hit_ratio", r.hit_ratio);
+  w.member("hits_local", r.hits_local);
+  w.member("hits_remote", r.hits_remote);
+  w.member("hits_inflight", r.hits_inflight);
+  w.member("misses", r.misses);
+  w.member("misprediction_ratio", r.misprediction_ratio);
+  w.member("prefetch_issued", r.prefetch_issued);
+  w.member("prefetch_fallback", r.prefetch_fallback);
+  w.member("fallback_fraction", r.fallback_fraction);
+  w.member("sim_seconds", r.sim_duration.seconds());
+  w.member("events", r.events);
+  w.member("wall_seconds", r.wall_seconds);
+  w.end_object();
+}
+
+void write_metrics_json(std::ostream& os, const RunManifest& manifest,
+                        const std::vector<RunResult>& results,
+                        const CounterRegistry* registry) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.member("schema_version", std::int64_t{1});
+
+  w.key("manifest");
+  w.begin_object();
+  w.member("title", manifest.title);
+  w.member("machine", manifest.machine);
+  w.member("nodes", std::uint64_t{manifest.nodes});
+  w.member("disks", std::uint64_t{manifest.disks});
+  w.member("block_size", manifest.block_size);
+  w.member("workload", manifest.workload);
+  w.member("workload_seed", manifest.workload_seed);
+  w.member("processes", std::uint64_t{manifest.processes});
+  w.member("files", std::uint64_t{manifest.files});
+  w.member("io_ops", manifest.io_ops);
+  w.member("fs", manifest.fs);
+  w.member("algorithm", manifest.algorithm);
+  w.member("cache_per_node_bytes", manifest.cache_per_node);
+  w.member("sync_interval_ms", manifest.sync_interval_ms);
+  w.member("warmup_fraction", manifest.warmup_fraction);
+  w.member("trace_out", manifest.trace_out);
+  w.end_object();
+
+  w.key("runs");
+  w.begin_array();
+  for (const RunResult& r : results) write_run_result_json(w, r);
+  w.end_array();
+
+  if (registry != nullptr) {
+    w.key("counters");
+    registry->write_json(w);
+  }
+  w.end_object();
+  os << '\n';
+}
+
+ObsOptions parse_obs_options(const Flags& flags) {
+  ObsOptions opts;
+  opts.trace_out = flags.get_opt("trace-out");
+  opts.metrics_json = flags.get_opt("metrics-json");
+  // User input: reject a non-positive period here rather than letting the
+  // sampler's precondition abort the run.
+  const int sample_ms = flags.get_int("obs-sample-ms", 50);
+  if (sample_ms <= 0) {
+    LAP_LOG(kWarn) << "--obs-sample-ms must be positive, using default 50";
+  } else {
+    opts.sample_interval = SimTime::ms(static_cast<double>(sample_ms));
+  }
+  return opts;
+}
+
+}  // namespace lap

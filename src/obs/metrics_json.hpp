@@ -1,0 +1,81 @@
+// Structured (machine-readable) export of simulation results: a run
+// manifest (machine, workload, RNG seed, algorithm, trace identity) plus
+// every RunResult row, and optionally the final counter registry — the JSON
+// twin of the human tables in driver/report.
+//
+// Document schema (schema_version 1):
+//   {
+//     "schema_version": 1,
+//     "manifest": { "title", "machine", "nodes", "disks", "block_size",
+//                   "workload", "workload_seed", "processes", "files",
+//                   "io_ops", "fs", "algorithm", "cache_per_node_bytes",
+//                   "sync_interval_ms", "warmup_fraction", "trace_out" },
+//     "runs": [ { every RunResult field, times in ms / sizes in bytes } ],
+//     "counters": { name: number | {count,mean,min,max,p50,p95,p99} }   (optional)
+//   }
+#pragma once
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "driver/simulation.hpp"
+
+namespace lap {
+
+class CounterRegistry;
+class Flags;
+class JsonWriter;
+
+/// Everything needed to re-run / attribute a result file.
+struct RunManifest {
+  std::string title;     // binary or figure name
+  std::string machine;   // MachineConfig::describe()
+  std::uint32_t nodes = 0;
+  std::uint32_t disks = 0;
+  Bytes block_size = 0;
+  std::string workload;  // generator name, e.g. "charisma"
+  std::uint64_t workload_seed = 0;
+  std::size_t processes = 0;
+  std::size_t files = 0;
+  std::uint64_t io_ops = 0;
+  std::string fs;
+  std::string algorithm;  // of the primary run ("" for sweeps)
+  Bytes cache_per_node = 0;
+  double sync_interval_ms = 0.0;
+  double warmup_fraction = 0.0;
+  std::string trace_out;  // sibling trace file, "" when tracing was off
+};
+
+/// Fill the config/workload-derived manifest fields from `cfg` and `trace`.
+[[nodiscard]] RunManifest make_manifest(const std::string& title,
+                                        const RunConfig& cfg,
+                                        const Trace& trace);
+
+/// One RunResult as a JSON object (the "runs" row shape).
+void write_run_result_json(JsonWriter& w, const RunResult& r);
+
+/// Complete metrics document; `registry` adds the "counters" member.
+void write_metrics_json(std::ostream& os, const RunManifest& manifest,
+                        const std::vector<RunResult>& results,
+                        const CounterRegistry* registry = nullptr);
+
+/// The standard observability command-line surface shared by the examples
+/// and bench binaries:
+///   --trace-out <path>       write a Chrome trace_event JSON
+///   --metrics-json <path>    write the metrics document above
+///   --obs-sample-ms <n>      counter sampling period in simulated ms (50)
+struct ObsOptions {
+  std::optional<std::string> trace_out;
+  std::optional<std::string> metrics_json;
+  SimTime sample_interval = SimTime::ms(50);
+
+  [[nodiscard]] bool any() const {
+    return trace_out.has_value() || metrics_json.has_value();
+  }
+};
+
+[[nodiscard]] ObsOptions parse_obs_options(const Flags& flags);
+
+}  // namespace lap

@@ -1,0 +1,142 @@
+#include "obs/trace_event.hpp"
+
+#include <cstdio>
+
+#include "obs/json.hpp"
+
+namespace lap {
+namespace {
+
+// Timestamps are microseconds in the trace_event format; SimTime is ns, so
+// three decimals preserve full resolution.
+void append_ts(std::string& out, const char* field, SimTime t) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, ",\"%s\":%.3f", field,
+                static_cast<double>(t.nanos()) / 1e3);
+  out += buf;
+}
+
+void append_args(std::string& out, TraceArgs args) {
+  out += ",\"args\":{";
+  bool first = true;
+  for (const TraceArg& a : args) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += json_escape(a.key);
+    out += "\":";
+    switch (a.kind) {
+      case TraceArg::Kind::kInt:
+        out += std::to_string(a.i);
+        break;
+      case TraceArg::Kind::kDouble:
+        out += json_number(a.d);
+        break;
+      case TraceArg::Kind::kString:
+        out += '"';
+        out += json_escape(a.s);
+        out += '"';
+        break;
+    }
+  }
+  out += '}';
+}
+
+}  // namespace
+
+TraceSink::TraceSink(std::ostream& os) : os_(&os) {
+  *os_ << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+}
+
+TraceSink::~TraceSink() { close(); }
+
+void TraceSink::close() {
+  std::lock_guard lock(mu_);
+  if (!open_) return;
+  open_ = false;
+  *os_ << "\n]}\n";
+  os_->flush();
+}
+
+void TraceSink::write_prefix_locked() {
+  if (any_) *os_ << ",\n";
+  any_ = true;
+  ++events_;
+}
+
+void TraceSink::emit(const char* ph, const char* cat, const char* name,
+                     TraceTrack track, SimTime ts, const SimTime* duration,
+                     TraceArgs args) {
+  std::string line;
+  line.reserve(160);
+  line += "{\"ph\":\"";
+  line += ph;
+  line += "\",\"name\":\"";
+  line += json_escape(name);
+  line += '"';
+  if (cat != nullptr) {
+    line += ",\"cat\":\"";
+    line += cat;
+    line += '"';
+  }
+  append_ts(line, "ts", ts);
+  if (duration != nullptr) append_ts(line, "dur", *duration);
+  line += ",\"pid\":" + std::to_string(track.pid);
+  line += ",\"tid\":" + std::to_string(track.tid);
+  if (*ph == 'i') line += ",\"s\":\"t\"";
+  if (args.size() > 0) append_args(line, args);
+  line += '}';
+
+  std::lock_guard lock(mu_);
+  if (!open_) return;
+  write_prefix_locked();
+  *os_ << line;
+}
+
+void TraceSink::name_process(std::uint32_t pid, std::string_view name) {
+  const std::uint64_t id = static_cast<std::uint64_t>(pid) << 32 | 0xffffffffu;
+  std::lock_guard lock(mu_);
+  if (!open_ || !named_.insert(id).second) return;
+  write_prefix_locked();
+  *os_ << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << pid
+       << ",\"args\":{\"name\":\"" << json_escape(name) << "\"}}";
+}
+
+void TraceSink::name_thread(std::uint32_t pid, std::uint32_t tid,
+                            std::string_view name) {
+  const std::uint64_t id = static_cast<std::uint64_t>(pid) << 32 | tid;
+  std::lock_guard lock(mu_);
+  if (!open_ || !named_.insert(id).second) return;
+  write_prefix_locked();
+  *os_ << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" << pid
+       << ",\"tid\":" << tid << ",\"args\":{\"name\":\"" << json_escape(name)
+       << "\"}}";
+}
+
+void TraceSink::instant(const char* cat, const char* name, TraceTrack track,
+                        SimTime ts, TraceArgs args) {
+  emit("i", cat, name, track, ts, nullptr, args);
+}
+
+void TraceSink::complete(const char* cat, const char* name, TraceTrack track,
+                         SimTime start, SimTime duration, TraceArgs args) {
+  emit("X", cat, name, track, start, &duration, args);
+}
+
+void TraceSink::counter(const char* name, SimTime ts, double value) {
+  std::string line;
+  line.reserve(120);
+  line += "{\"ph\":\"C\",\"name\":\"";
+  line += json_escape(name);
+  line += '"';
+  append_ts(line, "ts", ts);
+  line += ",\"pid\":" + std::to_string(tracks::kMetricsPid);
+  line += ",\"args\":{\"value\":" + json_number(value) + "}}";
+
+  std::lock_guard lock(mu_);
+  if (!open_) return;
+  write_prefix_locked();
+  *os_ << line;
+}
+
+}  // namespace lap

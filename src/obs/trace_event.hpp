@@ -1,0 +1,133 @@
+// Chrome trace_event JSON sink (Perfetto / chrome://tracing loadable).
+//
+// One sink records a single simulation run.  Every instrumented component
+// holds a `TraceSink*` that is nullptr unless the run was started with
+// `--trace-out`: the hook at each call site is then a single pointer check,
+// so an untraced run pays one predictable branch and nothing else.
+//
+// Track layout (Perfetto groups by pid, rows by tid):
+//   pid 1..N           "node i"   — tid 1 fs ops, tid 2 network, tid 3 cache
+//   pid kDiskPid       "disks"    — one tid per spindle
+//   pid kFilePid       "files"    — one tid per file: the prefetch timeline
+//   pid kMetricsPid    "metrics"  — sampled counters ("C" events)
+//
+// Events are rendered and streamed to the output as they happen, so a long
+// run never buffers its whole trace in memory.  The stream is guarded by a
+// mutex: a single simulation is single-threaded, but sinks stay safe if a
+// caller shares one across threads.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <unordered_set>
+
+#include "util/units.hpp"
+
+namespace lap {
+
+/// Where an event lands in the Perfetto UI.
+struct TraceTrack {
+  std::uint32_t pid = 0;
+  std::uint32_t tid = 0;
+};
+
+namespace tracks {
+
+inline constexpr std::uint32_t kDiskPid = 100000;
+inline constexpr std::uint32_t kFilePid = 200000;
+inline constexpr std::uint32_t kMetricsPid = 300000;
+
+[[nodiscard]] constexpr TraceTrack node_fs(NodeId n) {
+  return TraceTrack{raw(n) + 1, 1};
+}
+[[nodiscard]] constexpr TraceTrack node_net(NodeId n) {
+  return TraceTrack{raw(n) + 1, 2};
+}
+[[nodiscard]] constexpr TraceTrack node_cache(NodeId n) {
+  return TraceTrack{raw(n) + 1, 3};
+}
+[[nodiscard]] constexpr TraceTrack disk(std::uint32_t index) {
+  return TraceTrack{kDiskPid, index + 1};
+}
+[[nodiscard]] constexpr TraceTrack file(FileId f) {
+  return TraceTrack{kFilePid, raw(f) + 1};
+}
+[[nodiscard]] constexpr TraceTrack metrics() {
+  return TraceTrack{kMetricsPid, 1};
+}
+
+}  // namespace tracks
+
+/// One `"args"` entry.  Integral/floating/string values only — exactly what
+/// the instrumentation sites need.
+struct TraceArg {
+  enum class Kind { kInt, kDouble, kString };
+
+  constexpr TraceArg(const char* k, std::int64_t v)
+      : key(k), kind(Kind::kInt), i(v) {}
+  constexpr TraceArg(const char* k, std::uint64_t v)
+      : key(k), kind(Kind::kInt), i(static_cast<std::int64_t>(v)) {}
+  constexpr TraceArg(const char* k, std::uint32_t v)
+      : key(k), kind(Kind::kInt), i(v) {}
+  constexpr TraceArg(const char* k, int v) : key(k), kind(Kind::kInt), i(v) {}
+  constexpr TraceArg(const char* k, double v)
+      : key(k), kind(Kind::kDouble), d(v) {}
+  constexpr TraceArg(const char* k, const char* v)
+      : key(k), kind(Kind::kString), s(v) {}
+
+  const char* key;
+  Kind kind;
+  std::int64_t i = 0;
+  double d = 0.0;
+  const char* s = "";
+};
+
+using TraceArgs = std::initializer_list<TraceArg>;
+
+class TraceSink {
+ public:
+  /// Stream events into `os` (kept alive by the caller for the sink's
+  /// lifetime).  The JSON document is completed by close()/destruction.
+  explicit TraceSink(std::ostream& os);
+  ~TraceSink();
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  /// Name a Perfetto process/thread row (metadata events, deduplicated, so
+  /// call sites may name lazily on every use).
+  void name_process(std::uint32_t pid, std::string_view name);
+  void name_thread(std::uint32_t pid, std::uint32_t tid, std::string_view name);
+
+  /// Zero-duration marker ("i" event, thread scope).
+  void instant(const char* cat, const char* name, TraceTrack track, SimTime ts,
+               TraceArgs args = {});
+
+  /// Span with known start and duration ("X" complete event).
+  void complete(const char* cat, const char* name, TraceTrack track,
+                SimTime start, SimTime duration, TraceArgs args = {});
+
+  /// Sampled counter value ("C" event); Perfetto plots it as a time series.
+  void counter(const char* name, SimTime ts, double value);
+
+  /// Finish the JSON document.  Further events are dropped.
+  void close();
+
+  [[nodiscard]] std::uint64_t events_written() const { return events_; }
+
+ private:
+  void emit(const char* ph, const char* cat, const char* name, TraceTrack track,
+            SimTime ts, const SimTime* duration, TraceArgs args);
+  void write_prefix_locked();
+
+  std::ostream* os_;
+  std::mutex mu_;
+  bool open_ = true;
+  bool any_ = false;
+  std::uint64_t events_ = 0;
+  std::unordered_set<std::uint64_t> named_;  // (pid<<32)|tid metadata dedup
+};
+
+}  // namespace lap

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "util/logging.hpp"
+
 namespace lap {
 
 void Engine::schedule_at(SimTime at, std::function<void()> fn) {
@@ -12,6 +14,9 @@ void Engine::schedule_at(SimTime at, std::function<void()> fn) {
 std::uint64_t Engine::run() { return run_until(SimTime::max()); }
 
 std::uint64_t Engine::run_until(SimTime horizon) {
+  // Log lines emitted by event handlers on this thread carry the simulated
+  // timestamp of the event being processed.
+  log_detail::ScopedSimClock log_clock(&now_);
   std::uint64_t count = 0;
   while (!queue_.empty()) {
     const Event& top = queue_.top();

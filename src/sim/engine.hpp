@@ -16,6 +16,8 @@
 
 namespace lap {
 
+class TraceSink;
+
 class Engine {
  public:
   Engine() = default;
@@ -61,6 +63,13 @@ class Engine {
   [[nodiscard]] bool empty() const { return queue_.empty(); }
   [[nodiscard]] std::size_t pending() const { return queue_.size(); }
 
+  /// Attach an observability sink (nullptr detaches).  The engine itself
+  /// emits nothing — the dispatch loop is the simulator's hottest path, and
+  /// queue depth is already sampled via the counter registry's
+  /// `engine.pending` probe — but components reach the run's sink here.
+  void set_trace_sink(TraceSink* sink) { trace_ = sink; }
+  [[nodiscard]] TraceSink* trace_sink() const { return trace_; }
+
  private:
   struct Event {
     SimTime at;
@@ -77,6 +86,7 @@ class Engine {
   SimTime now_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
+  TraceSink* trace_ = nullptr;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
 };
 

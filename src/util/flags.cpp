@@ -28,6 +28,12 @@ std::string Flags::get(const std::string& key, const std::string& def) const {
   return it == values_.end() ? def : it->second;
 }
 
+std::optional<std::string> Flags::get_opt(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
 std::int64_t Flags::get_int(const std::string& key, std::int64_t def) const {
   auto it = values_.find(key);
   return it == values_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 10);

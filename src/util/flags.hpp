@@ -16,6 +16,10 @@ class Flags {
 
   [[nodiscard]] std::string get(const std::string& key,
                                 const std::string& def) const;
+  /// Value of `--key` if it was passed, nullopt otherwise — for flags whose
+  /// mere presence changes behaviour (e.g. output paths).
+  [[nodiscard]] std::optional<std::string> get_opt(
+      const std::string& key) const;
   [[nodiscard]] std::int64_t get_int(const std::string& key,
                                      std::int64_t def) const;
   [[nodiscard]] double get_double(const std::string& key, double def) const;

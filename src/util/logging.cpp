@@ -1,20 +1,57 @@
 #include "util/logging.hpp"
 
 #include <cstdio>
+#include <mutex>
+#include <string>
 
 namespace lap {
 namespace log_detail {
+namespace {
+
+// Per-thread simulated clock (installed by Engine::run via ScopedSimClock).
+thread_local const SimTime* tls_sim_clock = nullptr;
+
+std::mutex& emit_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+}  // namespace
 
 LogLevel& global_level() {
   static LogLevel level = LogLevel::kWarn;
   return level;
 }
 
+ScopedSimClock::ScopedSimClock(const SimTime* now) : prev_(tls_sim_clock) {
+  tls_sim_clock = now;
+}
+
+ScopedSimClock::~ScopedSimClock() { tls_sim_clock = prev_; }
+
+const SimTime* current_sim_clock() { return tls_sim_clock; }
+
 void emit(LogLevel level, std::string_view msg) {
   static constexpr const char* kNames[] = {"TRACE", "DEBUG", "INFO",
                                            "WARN", "ERROR", "OFF"};
-  std::fprintf(stderr, "[%s] %.*s\n", kNames[static_cast<int>(level)],
-               static_cast<int>(msg.size()), msg.data());
+  // Render the complete line first, then write it in one locked call:
+  // concurrent sweep workers may log at the same instant.
+  char prefix[64];
+  if (const SimTime* now = tls_sim_clock) {
+    std::snprintf(prefix, sizeof prefix, "[%-5s %12.6fs] ",
+                  kNames[static_cast<int>(level)], now->seconds());
+  } else {
+    std::snprintf(prefix, sizeof prefix, "[%-5s] ",
+                  kNames[static_cast<int>(level)]);
+  }
+  std::string line;
+  line.reserve(sizeof prefix + msg.size() + 1);
+  line += prefix;
+  line.append(msg.data(), msg.size());
+  line += '\n';
+
+  std::lock_guard lock(emit_mutex());
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace log_detail

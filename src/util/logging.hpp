@@ -5,13 +5,34 @@
 #include <sstream>
 #include <string_view>
 
+#include "util/units.hpp"
+
 namespace lap {
 
 enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
 
 namespace log_detail {
 LogLevel& global_level();
+/// Thread-safe: the whole line (level + simulated time + message) is
+/// rendered into one buffer and written under a lock, so concurrent sweep
+/// workers never interleave mid-line.
 void emit(LogLevel level, std::string_view msg);
+
+/// RAII: publish a simulated clock to this thread's log lines.  The engine
+/// installs its clock for the duration of run(), so LAP_LOG output carries
+/// the simulated timestamp of the event being processed; sweeps run each
+/// simulation on its own thread, so the binding is per thread.
+class ScopedSimClock {
+ public:
+  explicit ScopedSimClock(const SimTime* now);
+  ~ScopedSimClock();
+  ScopedSimClock(const ScopedSimClock&) = delete;
+  ScopedSimClock& operator=(const ScopedSimClock&) = delete;
+
+ private:
+  const SimTime* prev_;
+};
+[[nodiscard]] const SimTime* current_sim_clock();
 }  // namespace log_detail
 
 /// Set the process-wide log threshold; returns the previous value.

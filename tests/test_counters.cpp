@@ -1,0 +1,134 @@
+// CounterRegistry: get-or-create identity, probe gauges, trace sampling,
+// JSON dump shape, and the engine-driven sampling daemon.
+#include "obs/counters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "obs/trace_event.hpp"
+#include "sim/engine.hpp"
+
+namespace lap {
+namespace {
+
+TEST(Counters, GetOrCreateReturnsTheSameInstrument) {
+  CounterRegistry reg;
+  Counter& a = reg.counter("disk.reads");
+  a.add(3);
+  Counter& b = reg.counter("disk.reads");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 3u);
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_TRUE(reg.has("disk.reads"));
+  EXPECT_FALSE(reg.has("disk.writes"));
+}
+
+TEST(Counters, DuplicateNameWithDifferentKindAborts) {
+  CounterRegistry reg;
+  reg.counter("x");
+  EXPECT_DEATH(reg.gauge("x"), "Precondition");
+}
+
+TEST(Counters, ProbeGaugeAndFreeze) {
+  CounterRegistry reg;
+  double level = 4.0;
+  Gauge& g = reg.probe("net.queue", [&level] { return level; });
+  EXPECT_EQ(g.value(), 4.0);
+  level = 9.0;
+  EXPECT_EQ(g.value(), 9.0);
+
+  reg.freeze_probes();
+  level = 123.0;  // probed variable "dies": frozen value must persist
+  EXPECT_EQ(g.value(), 9.0);
+}
+
+TEST(Counters, SampleIntoEmitsOneCounterEventPerInstrument) {
+  CounterRegistry reg;
+  reg.counter("c").add(5);
+  reg.gauge("g").set(2.5);
+  reg.histogram("h").add(10.0);
+
+  std::ostringstream os;
+  TraceSink sink(os);
+  reg.sample_into(sink, SimTime::ms(7));
+  sink.close();
+
+  const auto doc = parse_json(os.str());
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue* evs = doc->find("traceEvents");
+  ASSERT_NE(evs, nullptr);
+  ASSERT_EQ(evs->array.size(), 3u);
+  for (const JsonValue& e : evs->array) {
+    EXPECT_EQ(e.find("ph")->string, "C");
+    EXPECT_DOUBLE_EQ(e.find("ts")->number, 7000.0);
+  }
+  EXPECT_DOUBLE_EQ(evs->array[0].find("args")->find("value")->number, 5.0);
+  EXPECT_DOUBLE_EQ(evs->array[1].find("args")->find("value")->number, 2.5);
+  EXPECT_DOUBLE_EQ(evs->array[2].find("args")->find("value")->number, 10.0);
+}
+
+TEST(Counters, WriteJsonShape) {
+  CounterRegistry reg;
+  reg.counter("reads").add(11);
+  reg.gauge("depth").set(3.5);
+  HistogramStat& h = reg.histogram("latency");
+  for (int i = 1; i <= 100; ++i) h.add(static_cast<double>(i));
+
+  std::ostringstream os;
+  {
+    JsonWriter w(os);
+    reg.write_json(w);
+  }
+  const auto doc = parse_json(os.str());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_DOUBLE_EQ(doc->find("reads")->number, 11.0);
+  EXPECT_DOUBLE_EQ(doc->find("depth")->number, 3.5);
+
+  const JsonValue* lat = doc->find("latency");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_DOUBLE_EQ(lat->find("count")->number, 100.0);
+  EXPECT_DOUBLE_EQ(lat->find("mean")->number, 50.5);
+  EXPECT_DOUBLE_EQ(lat->find("min")->number, 1.0);
+  EXPECT_DOUBLE_EQ(lat->find("max")->number, 100.0);
+  // Percentiles come from log-spaced buckets: approximate, but ordered and
+  // in range.
+  const double p50 = lat->find("p50")->number;
+  const double p95 = lat->find("p95")->number;
+  const double p99 = lat->find("p99")->number;
+  EXPECT_GT(p50, 25.0);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, 110.0);
+}
+
+TEST(Counters, SamplingDaemonFollowsTheStopFlag) {
+  Engine eng;
+  CounterRegistry reg;
+  Counter& c = reg.counter("ticks");
+  std::ostringstream os;
+  TraceSink sink(os);
+
+  bool stop = false;
+  start_counter_sampling(eng, reg, sink, SimTime::ms(10), &stop);
+  eng.schedule_at(SimTime::ms(5), [&c] { c.add(); });
+  // Raise the flag mid-run: the daemon must observe it and stop rescheduling
+  // so the queue drains (this is how run_simulation terminates).
+  eng.schedule_at(SimTime::ms(35), [&stop] { stop = true; });
+  eng.run();
+  sink.close();
+
+  const auto doc = parse_json(os.str());
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue* evs = doc->find("traceEvents");
+  ASSERT_NE(evs, nullptr);
+  // Samples at t=10,20,30,40ms; the 40ms tick sees stop==true and does not
+  // reschedule.
+  ASSERT_EQ(evs->array.size(), 4u);
+  EXPECT_DOUBLE_EQ(evs->array[0].find("args")->find("value")->number, 1.0);
+  EXPECT_DOUBLE_EQ(evs->array.back().find("ts")->number, 40000.0);
+}
+
+}  // namespace
+}  // namespace lap

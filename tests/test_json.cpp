@@ -1,0 +1,82 @@
+// JsonWriter / parse_json round-trip: the writer's output is exactly what
+// the parser accepts, including escapes, nesting, and degenerate numbers.
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace lap {
+namespace {
+
+TEST(Json, EscapeCoversQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(Json, NumberStaysFiniteAndParseable) {
+  EXPECT_EQ(json_number(std::numeric_limits<double>::quiet_NaN()), "0");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "0");
+  const auto parsed = parse_json(json_number(0.25));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_DOUBLE_EQ(parsed->number, 0.25);
+}
+
+TEST(Json, WriterOutputRoundTripsThroughParser) {
+  std::ostringstream os;
+  {
+    JsonWriter w(os);
+    w.begin_object();
+    w.member("s", "he said \"hi\"");
+    w.member("i", std::int64_t{-3});
+    w.member("u", std::uint64_t{1} << 53);
+    w.member("d", 1.5);
+    w.member("b", true);
+    w.key("n");
+    w.value_null();
+    w.key("a");
+    w.begin_array();
+    w.value(std::int64_t{1});
+    w.begin_object();
+    w.member("k", "v");
+    w.end_object();
+    w.end_array();
+    w.end_object();
+  }
+  const auto doc = parse_json(os.str());
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc->is_object());
+  EXPECT_EQ(doc->find("s")->string, "he said \"hi\"");
+  EXPECT_DOUBLE_EQ(doc->find("i")->number, -3.0);
+  EXPECT_DOUBLE_EQ(doc->find("u")->number, 9007199254740992.0);
+  EXPECT_DOUBLE_EQ(doc->find("d")->number, 1.5);
+  EXPECT_TRUE(doc->find("b")->boolean);
+  EXPECT_EQ(doc->find("n")->kind, JsonValue::Kind::kNull);
+  const JsonValue* a = doc->find("a");
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->array.size(), 2u);
+  EXPECT_DOUBLE_EQ(a->array[0].number, 1.0);
+  EXPECT_EQ(a->array[1].find("k")->string, "v");
+}
+
+TEST(Json, ParserRejectsMalformedDocuments) {
+  EXPECT_FALSE(parse_json("").has_value());
+  EXPECT_FALSE(parse_json("{").has_value());
+  EXPECT_FALSE(parse_json("[1,]").has_value());
+  EXPECT_FALSE(parse_json("{\"a\":1} junk").has_value());
+  EXPECT_FALSE(parse_json("\"unterminated").has_value());
+}
+
+TEST(Json, FindIsNullSafeOnNonObjects) {
+  const auto doc = parse_json("[1,2]");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("x"), nullptr);
+}
+
+}  // namespace
+}  // namespace lap

@@ -1,0 +1,139 @@
+// Metrics JSON export: the document parses, the manifest reflects the
+// config, and every "runs" row field equals the RunResult it came from
+// (golden check for --metrics-json consumers).
+#include "obs/metrics_json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "driver/simulation.hpp"
+#include "obs/counters.hpp"
+#include "obs/json.hpp"
+#include "trace/charisma_gen.hpp"
+#include "util/flags.hpp"
+
+namespace lap {
+namespace {
+
+TEST(MetricsJson, RunRowsMatchRunResultExactly) {
+  CharismaParams p;
+  p.scale = 0.25;
+  const Trace trace = generate_charisma(p);
+
+  RunConfig cfg;
+  cfg.machine = MachineConfig::pm();
+  cfg.fs = FsKind::kPafs;
+  cfg.cache_per_node = 4_MiB;
+  cfg.algorithm = AlgorithmSpec::parse("Ln_Agr_IS_PPM:1");
+  const RunResult r = run_simulation(trace, cfg);
+
+  RunManifest manifest = make_manifest("test", cfg, trace);
+  manifest.workload = "charisma";
+  manifest.workload_seed = p.seed;
+
+  std::ostringstream os;
+  write_metrics_json(os, manifest, {r});
+  const auto doc = parse_json(os.str());
+  ASSERT_TRUE(doc.has_value());
+
+  EXPECT_DOUBLE_EQ(doc->find("schema_version")->number, 1.0);
+
+  const JsonValue* m = doc->find("manifest");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->find("title")->string, "test");
+  EXPECT_EQ(m->find("machine")->string, cfg.machine.describe());
+  EXPECT_EQ(m->find("workload")->string, "charisma");
+  EXPECT_DOUBLE_EQ(m->find("workload_seed")->number, double(p.seed));
+  EXPECT_DOUBLE_EQ(m->find("processes")->number,
+                   double(trace.processes.size()));
+  EXPECT_DOUBLE_EQ(m->find("files")->number, double(trace.files.size()));
+  EXPECT_DOUBLE_EQ(m->find("io_ops")->number, double(trace.total_io_ops()));
+  EXPECT_EQ(m->find("fs")->string, to_string(cfg.fs));
+  EXPECT_EQ(m->find("algorithm")->string, cfg.algorithm.name());
+  EXPECT_DOUBLE_EQ(m->find("cache_per_node_bytes")->number,
+                   double(cfg.cache_per_node));
+  EXPECT_EQ(m->find("trace_out")->string, "");
+
+  const JsonValue* runs = doc->find("runs");
+  ASSERT_NE(runs, nullptr);
+  ASSERT_EQ(runs->array.size(), 1u);
+  const JsonValue& row = runs->array[0];
+  EXPECT_EQ(row.find("fs")->string, r.fs);
+  EXPECT_EQ(row.find("algorithm")->string, r.algorithm);
+  EXPECT_DOUBLE_EQ(row.find("cache_per_node_bytes")->number,
+                   double(r.cache_per_node));
+  EXPECT_DOUBLE_EQ(row.find("avg_read_ms")->number, r.avg_read_ms);
+  EXPECT_DOUBLE_EQ(row.find("avg_write_ms")->number, r.avg_write_ms);
+  EXPECT_DOUBLE_EQ(row.find("read_p95_ms")->number, r.read_p95_ms);
+  EXPECT_DOUBLE_EQ(row.find("reads")->number, double(r.reads));
+  EXPECT_DOUBLE_EQ(row.find("writes")->number, double(r.writes));
+  EXPECT_DOUBLE_EQ(row.find("disk_reads")->number, double(r.disk_reads));
+  EXPECT_DOUBLE_EQ(row.find("disk_writes")->number, double(r.disk_writes));
+  EXPECT_DOUBLE_EQ(row.find("disk_accesses")->number,
+                   double(r.disk_accesses));
+  EXPECT_DOUBLE_EQ(row.find("disk_prefetch_reads")->number,
+                   double(r.disk_prefetch_reads));
+  EXPECT_DOUBLE_EQ(row.find("writes_per_block")->number, r.writes_per_block);
+  EXPECT_DOUBLE_EQ(row.find("hit_ratio")->number, r.hit_ratio);
+  EXPECT_DOUBLE_EQ(row.find("hits_local")->number, double(r.hits_local));
+  EXPECT_DOUBLE_EQ(row.find("hits_remote")->number, double(r.hits_remote));
+  EXPECT_DOUBLE_EQ(row.find("hits_inflight")->number,
+                   double(r.hits_inflight));
+  EXPECT_DOUBLE_EQ(row.find("misses")->number, double(r.misses));
+  EXPECT_DOUBLE_EQ(row.find("misprediction_ratio")->number,
+                   r.misprediction_ratio);
+  EXPECT_DOUBLE_EQ(row.find("prefetch_issued")->number,
+                   double(r.prefetch_issued));
+  EXPECT_DOUBLE_EQ(row.find("prefetch_fallback")->number,
+                   double(r.prefetch_fallback));
+  EXPECT_DOUBLE_EQ(row.find("fallback_fraction")->number,
+                   r.fallback_fraction);
+  EXPECT_DOUBLE_EQ(row.find("sim_seconds")->number,
+                   r.sim_duration.seconds());
+  EXPECT_DOUBLE_EQ(row.find("events")->number, double(r.events));
+}
+
+TEST(MetricsJson, CountersMemberIsPresentWhenRegistryGiven) {
+  CounterRegistry reg;
+  reg.counter("disk.reads").add(42);
+  RunManifest manifest;
+  manifest.title = "t";
+
+  std::ostringstream os;
+  write_metrics_json(os, manifest, {}, &reg);
+  const auto doc = parse_json(os.str());
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue* counters = doc->find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_DOUBLE_EQ(counters->find("disk.reads")->number, 42.0);
+
+  // Without a registry the member is simply absent.
+  std::ostringstream os2;
+  write_metrics_json(os2, manifest, {});
+  const auto doc2 = parse_json(os2.str());
+  ASSERT_TRUE(doc2.has_value());
+  EXPECT_EQ(doc2->find("counters"), nullptr);
+}
+
+TEST(MetricsJson, ParseObsOptions) {
+  const char* argv[] = {"prog",           "--trace-out",     "t.json",
+                        "--metrics-json", "m.json",          "--obs-sample-ms",
+                        "25"};
+  const Flags flags(7, const_cast<char**>(argv));
+  const ObsOptions obs = parse_obs_options(flags);
+  ASSERT_TRUE(obs.trace_out.has_value());
+  EXPECT_EQ(*obs.trace_out, "t.json");
+  ASSERT_TRUE(obs.metrics_json.has_value());
+  EXPECT_EQ(*obs.metrics_json, "m.json");
+  EXPECT_EQ(obs.sample_interval, SimTime::ms(25));
+  EXPECT_TRUE(obs.any());
+
+  const char* bare[] = {"prog"};
+  const ObsOptions none = parse_obs_options(Flags(1, const_cast<char**>(bare)));
+  EXPECT_FALSE(none.any());
+  EXPECT_EQ(none.sample_interval, SimTime::ms(50));
+}
+
+}  // namespace
+}  // namespace lap

@@ -1,0 +1,186 @@
+// TraceSink: document validity, span nesting, metadata dedup, closed-sink
+// behaviour, and a whole-simulation trace carrying every subsystem's events.
+#include "obs/trace_event.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "driver/simulation.hpp"
+#include "obs/counters.hpp"
+#include "obs/json.hpp"
+#include "trace/charisma_gen.hpp"
+
+namespace lap {
+namespace {
+
+const JsonValue& events_of(const JsonValue& doc) {
+  const JsonValue* evs = doc.find("traceEvents");
+  EXPECT_NE(evs, nullptr);
+  EXPECT_TRUE(evs->is_array());
+  return *evs;
+}
+
+TEST(TraceEvent, EmitsValidJson) {
+  std::ostringstream os;
+  TraceSink sink(os);
+  sink.name_process(1, "node 0");
+  sink.name_thread(1, 1, "fs");
+  sink.instant("cat", "marker", tracks::node_fs(NodeId{0}), SimTime::ms(1),
+               {{"a", 1}});
+  sink.complete("cat", "span", tracks::node_fs(NodeId{0}), SimTime::ms(1),
+                SimTime::ms(2), {{"b", 2.5}, {"c", "x"}});
+  sink.counter("q", SimTime::ms(3), 7.0);
+  sink.close();
+
+  const auto doc = parse_json(os.str());
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue& evs = events_of(*doc);
+  ASSERT_EQ(evs.array.size(), 5u);
+  EXPECT_EQ(sink.events_written(), 5u);
+
+  // The instant is thread-scoped and carries its args.
+  const JsonValue& inst = evs.array[2];
+  EXPECT_EQ(inst.find("ph")->string, "i");
+  EXPECT_EQ(inst.find("s")->string, "t");
+  EXPECT_EQ(inst.find("args")->find("a")->number, 1.0);
+
+  // The complete span has microsecond ts/dur.
+  const JsonValue& span = evs.array[3];
+  EXPECT_EQ(span.find("ph")->string, "X");
+  EXPECT_DOUBLE_EQ(span.find("ts")->number, 1000.0);
+  EXPECT_DOUBLE_EQ(span.find("dur")->number, 2000.0);
+  EXPECT_EQ(span.find("args")->find("c")->string, "x");
+
+  // The counter lands on the metrics pid with a "value" arg.
+  const JsonValue& ctr = evs.array[4];
+  EXPECT_EQ(ctr.find("ph")->string, "C");
+  EXPECT_EQ(ctr.find("pid")->number, double(tracks::kMetricsPid));
+  EXPECT_DOUBLE_EQ(ctr.find("args")->find("value")->number, 7.0);
+}
+
+TEST(TraceEvent, MetadataIsDeduplicated) {
+  std::ostringstream os;
+  TraceSink sink(os);
+  sink.name_process(7, "node 6");
+  sink.name_process(7, "node 6");
+  sink.name_thread(7, 2, "net");
+  sink.name_thread(7, 2, "net");
+  sink.close();
+  const auto doc = parse_json(os.str());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(events_of(*doc).array.size(), 2u);
+}
+
+TEST(TraceEvent, SpansNestOnOneTrack) {
+  // An fs.read span [1ms, 6ms) containing a disk span [2ms, 3ms): Perfetto
+  // renders nesting purely from ts/dur containment, so emission order and
+  // interval containment are what we guarantee.
+  std::ostringstream os;
+  TraceSink sink(os);
+  const TraceTrack t = tracks::node_fs(NodeId{3});
+  sink.complete("fs", "outer", t, SimTime::ms(1), SimTime::ms(5));
+  sink.complete("fs", "inner", t, SimTime::ms(2), SimTime::ms(1));
+  sink.close();
+  const auto doc = parse_json(os.str());
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue& evs = events_of(*doc);
+  ASSERT_EQ(evs.array.size(), 2u);
+  const JsonValue& outer = evs.array[0];
+  const JsonValue& inner = evs.array[1];
+  EXPECT_EQ(outer.find("pid")->number, inner.find("pid")->number);
+  EXPECT_EQ(outer.find("tid")->number, inner.find("tid")->number);
+  EXPECT_LE(outer.find("ts")->number, inner.find("ts")->number);
+  EXPECT_GE(outer.find("ts")->number + outer.find("dur")->number,
+            inner.find("ts")->number + inner.find("dur")->number);
+}
+
+TEST(TraceEvent, ClosedSinkDropsEvents) {
+  std::ostringstream os;
+  TraceSink sink(os);
+  sink.instant("cat", "kept", tracks::metrics(), SimTime::ms(1));
+  sink.close();
+  sink.instant("cat", "dropped", tracks::metrics(), SimTime::ms(2));
+  sink.counter("dropped", SimTime::ms(2), 1.0);
+  EXPECT_EQ(sink.events_written(), 1u);
+  const auto doc = parse_json(os.str());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(events_of(*doc).array.size(), 1u);
+}
+
+TEST(TraceEvent, EscapesNamesAndStringArgs) {
+  std::ostringstream os;
+  TraceSink sink(os);
+  sink.instant("cat", "quote\"back\\slash", tracks::metrics(), SimTime::ms(1),
+               {{"k", "line\nbreak"}});
+  sink.close();
+  const auto doc = parse_json(os.str());
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue& ev = events_of(*doc).array[0];
+  EXPECT_EQ(ev.find("name")->string, "quote\"back\\slash");
+  EXPECT_EQ(ev.find("args")->find("k")->string, "line\nbreak");
+}
+
+TEST(TraceEvent, WholeSimulationTraceCoversEverySubsystem) {
+  CharismaParams p;
+  p.scale = 0.25;
+  const Trace trace = generate_charisma(p);
+
+  std::ostringstream os;
+  TraceSink sink(os);
+  CounterRegistry counters;
+  RunConfig cfg;
+  cfg.machine = MachineConfig::pm();
+  cfg.fs = FsKind::kPafs;
+  cfg.cache_per_node = 4_MiB;
+  cfg.algorithm = AlgorithmSpec::parse("Ln_Agr_IS_PPM:1");
+  cfg.trace = &sink;
+  cfg.counters = &counters;
+  const RunResult r = run_simulation(trace, cfg);
+  sink.close();
+  EXPECT_GT(r.prefetch_issued, 0u);
+
+  const auto doc = parse_json(os.str());
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue& evs = events_of(*doc);
+  ASSERT_GT(evs.array.size(), 100u);
+
+  std::set<std::string> cats;
+  std::set<std::string> phases;
+  for (const JsonValue& e : evs.array) {
+    if (const JsonValue* c = e.find("cat")) cats.insert(c->string);
+    phases.insert(e.find("ph")->string);
+  }
+  for (const char* cat : {"fs", "net", "disk", "cache", "prefetch"}) {
+    EXPECT_TRUE(cats.contains(cat)) << "missing category " << cat;
+  }
+  for (const char* ph : {"M", "X", "i", "C"}) {
+    EXPECT_TRUE(phases.contains(ph)) << "missing phase " << ph;
+  }
+}
+
+TEST(TraceEvent, TracingDoesNotPerturbTheSimulation) {
+  CharismaParams p;
+  p.scale = 0.25;
+  const Trace trace = generate_charisma(p);
+  RunConfig cfg;
+  cfg.machine = MachineConfig::pm();
+  cfg.fs = FsKind::kXfs;
+  cfg.cache_per_node = 4_MiB;
+  cfg.algorithm = AlgorithmSpec::parse("Ln_Agr_IS_PPM:1");
+  const RunResult bare = run_simulation(trace, cfg);
+
+  std::ostringstream os;
+  TraceSink sink(os);
+  cfg.trace = &sink;
+  const RunResult traced = run_simulation(trace, cfg);
+
+  EXPECT_EQ(bare.avg_read_ms, traced.avg_read_ms);
+  EXPECT_EQ(bare.disk_accesses, traced.disk_accesses);
+  EXPECT_EQ(bare.hit_ratio, traced.hit_ratio);
+  EXPECT_EQ(bare.prefetch_issued, traced.prefetch_issued);
+  EXPECT_GT(sink.events_written(), 0u);
+}
+
+}  // namespace
+}  // namespace lap
