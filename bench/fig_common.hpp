@@ -7,17 +7,20 @@
 //   --sync-ms <n>   write-back period in ms (default 2000)
 //   --csv <path>    additionally dump every run's metrics as CSV
 //   --metrics-json <path>  additionally dump manifest + runs as JSON
+//   --trace-out <prefix>   per-run Chrome traces: <prefix>.<algo>.<mb>mb.json
 //   --quick         0.4x scale and only {1,4,16} MB (CI-sized run)
 #pragma once
 
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "driver/report.hpp"
 #include "driver/simulation.hpp"
 #include "driver/sweep.hpp"
 #include "obs/metrics_json.hpp"
+#include "obs/trace_event.hpp"
 #include "trace/charisma_gen.hpp"
 #include "trace/sprite_gen.hpp"
 #include "util/flags.hpp"
@@ -80,7 +83,19 @@ inline int run_figure(int argc, char** argv, const std::string& title,
   const Flags flags(argc, argv);
   const Trace trace = make_workload(workload, flags);
   const RunConfig base = make_base(workload, fs, flags);
-  const SweepSpec spec = make_spec(kind, flags);
+  SweepSpec spec = make_spec(kind, flags);
+  if (flags.has("trace-out")) {
+    // One private sink per grid point; concurrent runs never share a sink.
+    const std::string prefix = flags.get("trace-out", "sweep-trace");
+    spec.sink_factory =
+        [prefix](const RunConfig& cfg) -> std::unique_ptr<TraceSink> {
+      auto os = std::make_unique<std::ofstream>(
+          prefix + "." + cfg.algorithm.name() + "." +
+          std::to_string(cfg.cache_per_node / 1_MiB) + "mb.json");
+      if (!*os) return nullptr;
+      return std::make_unique<TraceSink>(std::move(os));
+    };
+  }
 
   print_experiment_header(std::cout, title, base.machine, trace, base);
   const auto threads =

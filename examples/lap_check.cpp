@@ -1,0 +1,83 @@
+// lap_check: the simulation fuzzer.
+//
+// Fuzz mode (default) draws scenarios from a seed range, replays each under
+// PAFS and xFS with the invariant oracle attached, and diffs traced vs
+// untraced runs.  The first failure is shrunk to a minimal scenario, saved
+// as a repro file, and the exit status is 1.
+//
+//   ./lap_check [--scenarios 200] [--seed 1] [--repro-out lap_check.repro]
+//   ./lap_check --repro lap_check.repro     # replay a saved failure
+//
+// The base seed is always printed, so a failing CI run reproduces with
+// `--scenarios 1 --seed <seed_of_failure>` even without the artifact.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "check/differential.hpp"
+#include "check/shrink.hpp"
+#include "util/flags.hpp"
+
+namespace {
+
+int replay(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot open " << path << "\n";
+    return 2;
+  }
+  const lap::Scenario s = lap::load_scenario(in);
+  const lap::CheckReport report = lap::run_checked(s);
+  std::cout << report.summary() << "\n";
+  return report.ok() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const lap::Flags flags(argc, argv);
+  if (const auto repro = flags.get_opt("repro")) return replay(*repro);
+
+  const std::uint64_t base_seed =
+      static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const std::int64_t n = flags.get_int("scenarios", 200);
+  const std::string repro_out = flags.get("repro-out", "lap_check.repro");
+  std::cout << "lap_check: " << n << " scenarios from seed " << base_seed
+            << "\n";
+
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);
+    const lap::Scenario scenario = lap::generate_scenario(seed);
+    const lap::CheckReport report = lap::run_checked(scenario);
+    if (report.ok()) {
+      if ((i + 1) % 50 == 0) {
+        std::cout << "  " << (i + 1) << "/" << n << " ok\n";
+      }
+      continue;
+    }
+
+    std::cout << "FAIL at seed " << seed << "\n"
+              << report.summary() << "\n\nshrinking...\n";
+    const lap::Scenario small = lap::shrink_scenario(
+        scenario,
+        [](const lap::Scenario& c) { return !lap::run_checked(c).ok(); });
+    std::cout << "shrunk " << scenario.total_records() << " -> "
+              << small.total_records() << " records\n"
+              << lap::run_checked(small).summary() << "\n";
+
+    std::ofstream out(repro_out);
+    if (out) {
+      lap::save_scenario(out, small);
+      std::cout << "repro: " << repro_out << " (replay with --repro "
+                << repro_out << ")\n";
+    } else {
+      std::ostringstream os;
+      lap::save_scenario(os, small);
+      std::cerr << "cannot write " << repro_out
+                << "; repro follows:\n" << os.str();
+    }
+    return 1;
+  }
+  std::cout << "all " << n << " scenarios ok\n";
+  return 0;
+}

@@ -4,6 +4,7 @@
 //
 //   ./quickstart [--cache-mb 4] [--scale 0.5] [--algo Ln_Agr_IS_PPM:1]
 //                [--trace-out t.json] [--metrics-json m.json]
+//   ./quickstart --repro failure.repro     # replay a lap_check repro file
 //
 // With --trace-out, the prefetching run streams a Chrome trace_event JSON
 // (open it at https://ui.perfetto.dev).  With --metrics-json, both runs'
@@ -12,6 +13,7 @@
 #include <iostream>
 #include <memory>
 
+#include "check/differential.hpp"
 #include "driver/report.hpp"
 #include "driver/simulation.hpp"
 #include "obs/counters.hpp"
@@ -24,6 +26,18 @@
 int main(int argc, char** argv) {
   using lap::operator""_MiB;
   const lap::Flags flags(argc, argv);
+  if (const auto repro = flags.get_opt("repro")) {
+    // Replay a scenario saved by the lap_check fuzzer through the full
+    // checked pipeline (oracle + traced/untraced differential).
+    std::ifstream in(*repro);
+    if (!in) {
+      std::cerr << "cannot open " << *repro << "\n";
+      return 2;
+    }
+    const lap::CheckReport report = lap::run_checked(lap::load_scenario(in));
+    std::cout << report.summary() << "\n";
+    return report.ok() ? 0 : 1;
+  }
   const lap::ObsOptions obs = lap::parse_obs_options(flags);
 
   lap::CharismaParams wp;

@@ -37,12 +37,20 @@ void BufferPool::touch(BlockKey key) {
 
 std::optional<CacheEntry> BufferPool::insert(const CacheEntry& entry) {
   if (auto it = entries_.find(entry.key); it != entries_.end()) {
-    // Replace in place; preserve the dirty index.
-    const bool was_dirty = it->second.dirty;
-    it->second = entry;
-    if (was_dirty && !entry.dirty) dirty_.erase(entry.key);
-    if (!was_dirty && entry.dirty) dirty_.insert(entry.key);
+    // Merge into the resident buffer.  A plain overwrite would lose a dirty
+    // bit when a clean fetch completion lands on a buffer a writer dirtied
+    // in the meantime (a lost write), and would erase prefetch provenance
+    // mid-accounting — so flags combine monotonically instead.
+    CacheEntry& cur = it->second;
+    if (entry.dirty && !cur.dirty) {
+      cur.dirty_since = entry.dirty_since;
+      dirty_.insert(entry.key);
+    }
+    cur.dirty = cur.dirty || entry.dirty;
+    cur.prefetched = cur.prefetched || entry.prefetched;
+    cur.referenced = cur.referenced || entry.referenced;
     lru_.touch(entry.key);
+    if (trace_ != nullptr) trace_instant("cache.replace", cur);
     return std::nullopt;
   }
 
@@ -116,12 +124,16 @@ void BufferPool::mark_dirty(BlockKey key, SimTime now) {
     entry->dirty = true;
     entry->dirty_since = now;
     dirty_.insert(key);
+    if (trace_ != nullptr) trace_instant("cache.mark_dirty", *entry);
   }
 }
 
 void BufferPool::mark_clean(BlockKey key) {
   auto* entry = find(key);
   if (entry == nullptr) return;
+  if (entry->dirty && trace_ != nullptr) {
+    trace_instant("cache.mark_clean", *entry);
+  }
   entry->dirty = false;
   dirty_.erase(key);
 }

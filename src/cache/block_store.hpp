@@ -45,9 +45,11 @@ class BufferPool {
   /// Promote to most-recently-used.
   void touch(BlockKey key);
 
-  /// Insert a new entry.  If the key already exists the entry is replaced
-  /// in place (and touched).  If the pool is full, the LRU entry is evicted
-  /// and returned so the caller can write it back / forward it.
+  /// Insert a new entry.  If the key already exists the resident buffer is
+  /// kept and touched, with dirty/prefetched/referenced merged in (OR), so a
+  /// concurrent writer's dirty bit survives a clean fetch completing on the
+  /// same key.  If the pool is full, the LRU entry is evicted and returned
+  /// so the caller can write it back / forward it.
   std::optional<CacheEntry> insert(const CacheEntry& entry);
 
   /// Remove and return the LRU entry (used by xFS N-chance forwarding).

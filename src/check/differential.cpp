@@ -1,0 +1,136 @@
+#include "check/differential.hpp"
+
+#include <sstream>
+
+#include "check/oracle.hpp"
+
+namespace lap {
+namespace {
+
+template <typename T>
+void field(std::vector<std::string>& out, const std::string& label,
+           const char* name, const T& a, const T& b) {
+  if (a == b) return;
+  std::ostringstream os;
+  os << label << ": " << name << " " << a << " != " << b;
+  out.push_back(os.str());
+}
+
+void reconcile(std::vector<std::string>& out, const std::string& label,
+               const char* name, std::uint64_t run, std::uint64_t oracle) {
+  if (run == oracle) return;
+  out.push_back(label + ": RunResult." + name + "=" + std::to_string(run) +
+                " but the oracle counted " + std::to_string(oracle));
+}
+
+}  // namespace
+
+std::string CheckReport::summary() const {
+  std::ostringstream os;
+  os << "seed " << seed << ": " << violations.size() << " violation(s), "
+     << diffs.size() << " diff(s)";
+  for (const std::string& v : violations) os << "\n  [invariant] " << v;
+  for (const std::string& d : diffs) os << "\n  [diff] " << d;
+  return os.str();
+}
+
+std::vector<std::string> diff_run_results(const RunResult& a,
+                                          const RunResult& b,
+                                          const std::string& label) {
+  std::vector<std::string> out;
+  field(out, label, "algorithm", a.algorithm, b.algorithm);
+  field(out, label, "fs", a.fs, b.fs);
+  field(out, label, "cache_per_node", a.cache_per_node, b.cache_per_node);
+  field(out, label, "avg_read_ms", a.avg_read_ms, b.avg_read_ms);
+  field(out, label, "avg_write_ms", a.avg_write_ms, b.avg_write_ms);
+  field(out, label, "reads", a.reads, b.reads);
+  field(out, label, "writes", a.writes, b.writes);
+  field(out, label, "disk_reads", a.disk_reads, b.disk_reads);
+  field(out, label, "disk_writes", a.disk_writes, b.disk_writes);
+  field(out, label, "disk_accesses", a.disk_accesses, b.disk_accesses);
+  field(out, label, "disk_prefetch_reads", a.disk_prefetch_reads,
+        b.disk_prefetch_reads);
+  field(out, label, "writes_per_block", a.writes_per_block, b.writes_per_block);
+  field(out, label, "hit_ratio", a.hit_ratio, b.hit_ratio);
+  field(out, label, "hits_local", a.hits_local, b.hits_local);
+  field(out, label, "hits_remote", a.hits_remote, b.hits_remote);
+  field(out, label, "hits_inflight", a.hits_inflight, b.hits_inflight);
+  field(out, label, "misses", a.misses, b.misses);
+  field(out, label, "misprediction_ratio", a.misprediction_ratio,
+        b.misprediction_ratio);
+  field(out, label, "prefetch_issued", a.prefetch_issued, b.prefetch_issued);
+  field(out, label, "prefetch_fallback", a.prefetch_fallback,
+        b.prefetch_fallback);
+  field(out, label, "prefetch_arrived", a.prefetch_arrived,
+        b.prefetch_arrived);
+  field(out, label, "prefetch_used", a.prefetch_used, b.prefetch_used);
+  field(out, label, "prefetch_wasted", a.prefetch_wasted, b.prefetch_wasted);
+  field(out, label, "fallback_fraction", a.fallback_fraction,
+        b.fallback_fraction);
+  field(out, label, "read_p95_ms", a.read_p95_ms, b.read_p95_ms);
+  field(out, label, "sim_duration", a.sim_duration.nanos(),
+        b.sim_duration.nanos());
+  field(out, label, "events", a.events, b.events);
+  return out;
+}
+
+CheckReport run_checked(const Scenario& s) {
+  CheckReport report;
+  report.seed = s.seed;
+
+  RunResult per_fs[2];
+  for (FsKind fs : {FsKind::kPafs, FsKind::kXfs}) {
+    const std::string tag = to_string(fs);
+    const RunConfig cfg = scenario_config(s, fs);
+
+    const RunResult plain = run_simulation(s.trace, cfg);
+
+    InvariantOracle oracle({.spec = cfg.algorithm});
+    RunConfig traced_cfg = cfg;
+    traced_cfg.trace = &oracle;
+    const RunResult traced = run_simulation(s.trace, traced_cfg);
+    oracle.finish();
+
+    for (const std::string& v : oracle.violations()) {
+      report.violations.push_back(tag + ": " + v);
+    }
+    for (std::string& d :
+         diff_run_results(plain, traced, tag + " traced-vs-untraced")) {
+      report.diffs.push_back(std::move(d));
+    }
+
+    // The oracle's event tallies must agree with the metrics the run
+    // reports — a mismatch means an event was dropped or double-emitted.
+    reconcile(report.diffs, tag, "prefetch_arrived", traced.prefetch_arrived,
+              oracle.arrived());
+    reconcile(report.diffs, tag, "prefetch_used", traced.prefetch_used,
+              oracle.used());
+    reconcile(report.diffs, tag, "prefetch_wasted", traced.prefetch_wasted,
+              oracle.wasted());
+
+    // Every demand-read block is classified hit or miss.  xFS leaves blocks
+    // of a deleted file unclassified (its read path bails out), so with
+    // deletes the classification may only undershoot the event stream.
+    const std::uint64_t classified = traced.hits_local + traced.hits_remote +
+                                     traced.hits_inflight + traced.misses;
+    if (s.has_deletes() ? classified > oracle.read_blocks()
+                        : classified != oracle.read_blocks()) {
+      report.diffs.push_back(
+          tag + ": hits+misses=" + std::to_string(classified) +
+          (s.has_deletes() ? " exceeds " : " != ") + "fs.read blocks=" +
+          std::to_string(oracle.read_blocks()));
+    }
+
+    per_fs[fs == FsKind::kXfs ? 1 : 0] = plain;
+  }
+
+  // Shared-invariant cross-check: both file systems replay the same closed
+  // loop, so the demand operation counts must agree exactly.
+  field(report.diffs, "pafs-vs-xfs", "reads", per_fs[0].reads,
+        per_fs[1].reads);
+  field(report.diffs, "pafs-vs-xfs", "writes", per_fs[0].writes,
+        per_fs[1].writes);
+  return report;
+}
+
+}  // namespace lap

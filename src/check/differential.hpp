@@ -1,0 +1,40 @@
+// Differential driver: replays one Scenario several ways and diffs the
+// outcomes.
+//
+// Runs are bit-deterministic, so a traced run must produce a RunResult
+// identical (field by field, doubles compared exactly; wall_seconds
+// excluded) to its untraced twin — observation must not perturb the
+// simulation.  On top of that, the oracle's event tallies must reconcile
+// with the metrics the run reports, and PAFS and xFS must agree on the
+// workload-shape facts they share (operation counts).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/scenario.hpp"
+#include "driver/simulation.hpp"
+
+namespace lap {
+
+struct CheckReport {
+  std::uint64_t seed = 0;
+  std::vector<std::string> violations;  // oracle invariant failures
+  std::vector<std::string> diffs;       // differential / reconciliation failures
+
+  [[nodiscard]] bool ok() const { return violations.empty() && diffs.empty(); }
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Field-by-field RunResult comparison; each mismatch becomes one message
+/// prefixed with `label`.  wall_seconds is the only field ignored.
+[[nodiscard]] std::vector<std::string> diff_run_results(const RunResult& a,
+                                                        const RunResult& b,
+                                                        const std::string& label);
+
+/// Run `s` under PAFS and xFS, each untraced and oracle-traced, and collect
+/// every invariant violation and differential mismatch.
+[[nodiscard]] CheckReport run_checked(const Scenario& s);
+
+}  // namespace lap

@@ -1,0 +1,47 @@
+// Fault injectors: TraceSink shims that corrupt the event stream on its way
+// to the oracle.  They exist to prove the oracle can actually catch the bugs
+// it claims to — a checker that never fires is indistinguishable from one
+// that checks nothing.
+#pragma once
+
+#include <cstring>
+
+#include "obs/trace_event.hpp"
+
+namespace lap {
+
+/// Duplicates every `prefetch.issue` event, which is what a pacing bug that
+/// launched a second outstanding prefetch per file would look like.  The
+/// downstream oracle must flag it as a linearity violation.
+class DoubleIssueInjector final : public TraceSink {
+ public:
+  explicit DoubleIssueInjector(TraceSink& down) : down_(&down) {}
+
+  void name_process(std::uint32_t pid, std::string_view name) override {
+    down_->name_process(pid, name);
+  }
+  void name_thread(std::uint32_t pid, std::uint32_t tid,
+                   std::string_view name) override {
+    down_->name_thread(pid, tid, name);
+  }
+  void instant(const char* cat, const char* name, TraceTrack track, SimTime ts,
+               TraceArgs args) override {
+    down_->instant(cat, name, track, ts, args);
+    if (std::strcmp(name, "prefetch.issue") == 0) {
+      down_->instant(cat, name, track, ts, args);
+    }
+  }
+  void complete(const char* cat, const char* name, TraceTrack track,
+                SimTime start, SimTime duration, TraceArgs args) override {
+    down_->complete(cat, name, track, start, duration, args);
+  }
+  void counter(const char* name, SimTime ts, double value) override {
+    down_->counter(name, ts, value);
+  }
+  void close() override { down_->close(); }
+
+ private:
+  TraceSink* down_;
+};
+
+}  // namespace lap

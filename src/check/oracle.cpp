@@ -1,0 +1,257 @@
+#include "check/oracle.hpp"
+
+#include <cstring>
+
+namespace lap {
+namespace {
+
+std::uint64_t block_key(std::int64_t file, std::int64_t block) {
+  return static_cast<std::uint64_t>(file) << 32 |
+         static_cast<std::uint64_t>(block & 0xffffffff);
+}
+
+std::int64_t arg_or(TraceArgs args, const char* key, std::int64_t fallback) {
+  const TraceArg* a = find_arg(args, key);
+  return a == nullptr ? fallback : a->i;
+}
+
+bool is(const char* name, const char* want) {
+  return std::strcmp(name, want) == 0;
+}
+
+}  // namespace
+
+void InvariantOracle::violate(SimTime ts, std::string msg) {
+  if (violations_.size() >= opts_.max_violations) return;
+  violations_.push_back("t=" + std::to_string(ts.nanos()) + "ns: " +
+                        std::move(msg));
+}
+
+InvariantOracle::SiteFile& InvariantOracle::site_file(std::int64_t site,
+                                                      std::uint32_t file) {
+  return sf_[static_cast<std::uint64_t>(site) << 32 | file];
+}
+
+void InvariantOracle::set_dirty(std::uint64_t key, std::uint32_t row,
+                                bool dirty, SimTime ts) {
+  Resident& r = resident_[row][key];
+  if (r.dirty == dirty) return;
+  r.dirty = dirty;
+  std::uint32_t& rows = dirty_rows_[key];
+  if (dirty) {
+    ++rows;
+    if (rows > 1) {
+      // Two caches dirty on the same block is legal only inside the atomic
+      // invalidation step of a write (the writer dirties its copy, then
+      // erases every replica at the same simulated instant).  It must not
+      // survive the instant.
+      double_dirty_[key] = ts;
+    }
+  } else {
+    if (rows == 0) {
+      violate(ts, "dirty bookkeeping underflow on block " +
+                      std::to_string(key));
+    } else {
+      --rows;
+    }
+    if (rows <= 1) double_dirty_.erase(key);
+  }
+}
+
+void InvariantOracle::advance_time(SimTime ts) {
+  if (double_dirty_.empty()) return;
+  for (auto it = double_dirty_.begin(); it != double_dirty_.end();) {
+    if (ts > it->second) {
+      violate(it->second, "block " + std::to_string(it->first) +
+                              " dirty in two caches past the write instant "
+                              "(single-writer violation)");
+      it = double_dirty_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void InvariantOracle::on_cache_event(const char* name, TraceTrack track,
+                                     SimTime ts, TraceArgs args) {
+  const std::uint32_t row = track.pid;
+  const std::int64_t file = arg_or(args, "file", -1);
+  if (is(name, "cache.drop_file")) {
+    const std::int64_t expect = arg_or(args, "blocks", -1);
+    auto& entries = resident_[row];
+    std::int64_t dropped = 0;
+    for (auto it = entries.begin(); it != entries.end();) {
+      if (static_cast<std::int64_t>(it->first >> 32) == file) {
+        if (it->second.dirty) set_dirty(it->first, row, false, ts);
+        it = entries.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+    if (dropped != expect) {
+      violate(ts, "cache.drop_file file=" + std::to_string(file) +
+                      " reported " + std::to_string(expect) +
+                      " blocks, row held " + std::to_string(dropped));
+    }
+    return;
+  }
+  if (is(name, "cache.nchance_forward")) return;  // the insert follows
+
+  const std::uint64_t key = block_key(file, arg_or(args, "block", -1));
+  const bool dirty = arg_or(args, "dirty", 0) != 0;
+  auto& entries = resident_[row];
+  const bool present = entries.contains(key);
+
+  if (is(name, "cache.insert")) {
+    if (present) {
+      violate(ts, "cache.insert over a resident block (file " +
+                      std::to_string(file) + ")");
+      return;
+    }
+    entries.emplace(key, Resident{});
+    if (dirty) set_dirty(key, row, true, ts);
+    return;
+  }
+  if (!present) {
+    violate(ts, std::string(name) + " on a block the row does not hold "
+                                    "(file " +
+                    std::to_string(file) + ")");
+    return;
+  }
+  if (is(name, "cache.replace") || is(name, "cache.mark_dirty") ||
+      is(name, "cache.mark_clean")) {
+    set_dirty(key, row, is(name, "cache.mark_clean") ? false : dirty, ts);
+    return;
+  }
+  if (is(name, "cache.evict") || is(name, "cache.erase")) {
+    if (entries[key].dirty) set_dirty(key, row, false, ts);
+    entries.erase(key);
+    return;
+  }
+}
+
+void InvariantOracle::instant(const char* cat, const char* name,
+                              TraceTrack track, SimTime ts, TraceArgs args) {
+  advance_time(ts);
+  if (cat != nullptr && std::strcmp(cat, "cache") == 0) {
+    on_cache_event(name, track, ts, args);
+    return;
+  }
+  if (cat == nullptr || std::strcmp(cat, "prefetch") != 0) return;
+  // Prefetch events land on the per-file track: tid = raw(file) + 1.
+  const std::uint32_t file = track.tid - 1;
+  const std::int64_t site = arg_or(args, "site", 0);
+
+  if (is(name, "prefetch.request")) {
+    SiteFile& sf = site_file(site, file);
+    ++sf.requests;
+    sf.has_request = true;
+    sf.last_request_first = arg_or(args, "first", -1);
+    sf.last_request_ts = ts;
+    return;
+  }
+  if (is(name, "prefetch.issue")) {
+    SiteFile& sf = site_file(site, file);
+    ++sf.outstanding;
+    const bool bounded = opts_.spec.aggressive &&
+                         opts_.spec.max_outstanding != AlgorithmSpec::kUnlimited;
+    if (bounded &&
+        sf.outstanding > static_cast<std::int64_t>(opts_.spec.max_outstanding)) {
+      violate(ts, "linearity: " + std::to_string(sf.outstanding) +
+                      " outstanding prefetches on site " +
+                      std::to_string(site) + " file " + std::to_string(file) +
+                      " (limit " + std::to_string(opts_.spec.max_outstanding) +
+                      ")");
+    }
+    if (opts_.spec.kind == AlgorithmSpec::Kind::kIsPpm &&
+        opts_.spec.oba_fallback && arg_or(args, "fallback", 0) == 0 &&
+        sf.requests < 2) {
+      violate(ts, "IS_PPM issued a graph prediction on site " +
+                      std::to_string(site) + " file " + std::to_string(file) +
+                      " before the graph could hold an edge (" +
+                      std::to_string(sf.requests) + " requests seen)");
+    }
+    return;
+  }
+  if (is(name, "prefetch.elided")) {
+    SiteFile& sf = site_file(site, file);
+    --sf.outstanding;
+    if (sf.outstanding < 0) {
+      violate(ts, "prefetch.elided without a matching issue on site " +
+                      std::to_string(site) + " file " + std::to_string(file));
+    }
+    return;
+  }
+  if (is(name, "prefetch.restart")) {
+    SiteFile& sf = site_file(site, file);
+    const std::int64_t from = arg_or(args, "from_block", -1);
+    if (!sf.has_request || sf.last_request_ts != ts) {
+      violate(ts, "prefetch.restart not caused by a demand request on site " +
+                      std::to_string(site) + " file " + std::to_string(file));
+    } else if (from != sf.last_request_first) {
+      violate(ts, "prefetch.restart from block " + std::to_string(from) +
+                      " but the faulting request started at block " +
+                      std::to_string(sf.last_request_first));
+    }
+    return;
+  }
+  if (is(name, "prefetch.used")) {
+    ++used_;
+    return;
+  }
+  if (is(name, "prefetch.wasted")) {
+    ++wasted_;
+    return;
+  }
+}
+
+void InvariantOracle::complete(const char* cat, const char* name,
+                               TraceTrack track, SimTime start,
+                               SimTime duration, TraceArgs args) {
+  // Disk and network spans are emitted at their *start* with a precomputed
+  // duration, so start+duration can lie in the simulated future; `start` is
+  // the only bound on emission time that holds for every complete event.
+  advance_time(start);
+  if (is(name, "prefetch.fetch")) {
+    const std::uint32_t file = track.tid - 1;
+    const std::int64_t site = arg_or(args, "site", 0);
+    SiteFile& sf = site_file(site, file);
+    --sf.outstanding;
+    ++arrived_;
+    if (sf.outstanding < 0) {
+      violate(start + duration,
+              "prefetch.fetch completed without a matching issue on site " +
+                  std::to_string(site) + " file " + std::to_string(file));
+    }
+    return;
+  }
+  if (is(name, "fs.read")) {
+    read_blocks_ += static_cast<std::uint64_t>(arg_or(args, "blocks", 0));
+    return;
+  }
+}
+
+void InvariantOracle::finish() {
+  for (const auto& [key, sf] : sf_) {
+    if (sf.outstanding != 0) {
+      violate(SimTime::zero(),
+              "end of run: " + std::to_string(sf.outstanding) +
+                  " prefetches still outstanding on site " +
+                  std::to_string(key >> 32) + " file " +
+                  std::to_string(key & 0xffffffff));
+    }
+  }
+  for (const auto& [key, ts] : double_dirty_) {
+    violate(ts, "end of run: block " + std::to_string(key) +
+                    " dirty in two caches");
+  }
+  if (arrived_ != used_ + wasted_) {
+    violate(SimTime::zero(),
+            "prefetch conservation: arrived=" + std::to_string(arrived_) +
+                " != used=" + std::to_string(used_) + " + wasted=" +
+                std::to_string(wasted_));
+  }
+}
+
+}  // namespace lap

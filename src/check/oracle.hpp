@@ -1,0 +1,99 @@
+// InvariantOracle — a TraceSink that checks the paper's structural
+// invariants on the live event stream instead of rendering JSON.
+//
+// Checked while the simulation runs:
+//   - Linearity (Section 3): for an aggressive algorithm with a finite
+//     outstanding limit, at most `max_outstanding` prefetched blocks are in
+//     flight per (site, file).  Site 0 is PAFS's global per-file-server
+//     manager (the exact limit); xFS sites are per node (node id + 1), the
+//     paper's "per node and file" scope.
+//   - Restart-after-mispredict (Section 3): every prefetch.restart must be
+//     caused by the demand request it coincides with, and restart from the
+//     faulting block ("restarts once again from the miss-predicted block").
+//   - Cold-graph OBA fallback (Section 2.2): an IS_PPM issue that is NOT
+//     flagged as fallback needs a pattern-graph edge, which takes at least
+//     two prior requests on that (site, file).
+//   - Cooperative-cache residency: per cache row, inserts/evicts/erases/
+//     marks must act on consistent resident state, and no block is dirty in
+//     two caches at once (xFS single-writer).
+// At finish():
+//   - every issued prefetch completed or was elided (outstanding == 0), and
+//   - prefetch arrivals reconcile: arrived == used + wasted.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/algorithm_registry.hpp"
+#include "obs/trace_event.hpp"
+
+namespace lap {
+
+class InvariantOracle final : public TraceSink {
+ public:
+  struct Options {
+    AlgorithmSpec spec;
+    std::size_t max_violations = 16;  // stop accumulating after this many
+  };
+
+  explicit InvariantOracle(Options opts) : opts_(opts) {}
+
+  void instant(const char* cat, const char* name, TraceTrack track, SimTime ts,
+               TraceArgs args) override;
+  void complete(const char* cat, const char* name, TraceTrack track,
+                SimTime start, SimTime duration, TraceArgs args) override;
+
+  /// End-of-run checks; call after Engine::run() has drained.
+  void finish();
+
+  [[nodiscard]] bool ok() const { return violations_.empty(); }
+  [[nodiscard]] const std::vector<std::string>& violations() const {
+    return violations_;
+  }
+
+  // Event tallies the differential driver cross-checks against RunResult.
+  [[nodiscard]] std::uint64_t read_blocks() const { return read_blocks_; }
+  [[nodiscard]] std::uint64_t arrived() const { return arrived_; }
+  [[nodiscard]] std::uint64_t used() const { return used_; }
+  [[nodiscard]] std::uint64_t wasted() const { return wasted_; }
+
+ private:
+  struct SiteFile {
+    std::int64_t outstanding = 0;
+    std::uint64_t requests = 0;
+    bool has_request = false;
+    std::int64_t last_request_first = -1;
+    SimTime last_request_ts;
+  };
+  struct Resident {
+    bool dirty = false;
+  };
+
+  void violate(SimTime ts, std::string msg);
+  SiteFile& site_file(std::int64_t site, std::uint32_t file);
+  void on_cache_event(const char* name, TraceTrack track, SimTime ts,
+                      TraceArgs args);
+  void set_dirty(std::uint64_t key, std::uint32_t row, bool dirty, SimTime ts);
+  // A write dirties its copy and erases every replica within one simulated
+  // instant, so "dirty in two caches" is only a violation if it outlives the
+  // instant it arose in.
+  void advance_time(SimTime ts);
+
+  Options opts_;
+  std::vector<std::string> violations_;
+  std::unordered_map<std::uint64_t, SiteFile> sf_;
+  // Residency per cache row: row -> (file,block) -> state.
+  std::unordered_map<std::uint32_t,
+                     std::unordered_map<std::uint64_t, Resident>>
+      resident_;
+  std::unordered_map<std::uint64_t, std::uint32_t> dirty_rows_;  // key -> count
+  std::unordered_map<std::uint64_t, SimTime> double_dirty_;      // key -> since
+  std::uint64_t read_blocks_ = 0;
+  std::uint64_t arrived_ = 0;
+  std::uint64_t used_ = 0;
+  std::uint64_t wasted_ = 0;
+};
+
+}  // namespace lap

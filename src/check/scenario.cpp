@@ -1,0 +1,229 @@
+#include "check/scenario.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace lap {
+namespace {
+
+// Weighted toward the aggressive/linear algorithms: they are the ones with
+// pacing, restart and fallback machinery for the oracle to falsify.
+const char* pick_algorithm(Rng& rng) {
+  static constexpr const char* kPool[] = {
+      "Ln_Agr_IS_PPM:1", "Ln_Agr_IS_PPM:1", "Ln_Agr_IS_PPM:2",
+      "Ln_Agr_IS_PPM:3", "Ln_Agr_OBA",      "Ln_Agr_OBA",
+      "Agr_IS_PPM:1",    "Agr_OBA",         "IS_PPM:1",
+      "IS_PPM:2",        "OBA",             "NP",
+      "VK_PPM:1",        "Ln_Agr_VK_PPM:1", "WholeFile",
+      "Informed",        "Ln_Informed",
+  };
+  return kPool[rng.uniform_int(0, std::size(kPool) - 1)];
+}
+
+SimTime think(Rng& rng) {
+  if (!rng.chance(0.5)) return SimTime::zero();
+  return SimTime::ns(static_cast<std::int64_t>(rng.exponential(20'000.0)) + 1);
+}
+
+// One demand request record; `len` may span several blocks or end inside
+// one.
+TraceRecord io(TraceOp op, FileId f, Bytes block_size, std::int64_t block,
+               Bytes len, SimTime t) {
+  TraceRecord r;
+  r.op = op;
+  r.file = f;
+  r.offset = static_cast<Bytes>(block) * block_size;
+  r.length = len;
+  r.think = t;
+  return r;
+}
+
+}  // namespace
+
+bool Scenario::has_deletes() const {
+  for (const ProcessTrace& p : trace.processes) {
+    for (const TraceRecord& r : p.records) {
+      if (r.op == TraceOp::kDelete) return true;
+    }
+  }
+  return false;
+}
+
+Scenario generate_scenario(std::uint64_t seed) {
+  Rng rng(seed);
+  Scenario s;
+  s.seed = seed;
+  s.algorithm = pick_algorithm(rng);
+  s.nodes = static_cast<std::uint32_t>(rng.uniform_int(1, 6));
+  s.cache_blocks_per_node = static_cast<std::uint32_t>(rng.uniform_int(4, 64));
+  s.sync_ns = rng.uniform_int(5, 200) * 1'000'000;
+
+  static constexpr Bytes kBlockSizes[] = {1024, 4096, 8192};
+  const Bytes bs = kBlockSizes[rng.uniform_int(0, 2)];
+  s.trace.block_size = bs;
+  s.trace.serialize_per_node = rng.chance(0.25);
+
+  const int nfiles = static_cast<int>(rng.uniform_int(1, 6));
+  for (int i = 0; i < nfiles; ++i) {
+    Bytes size = static_cast<Bytes>(rng.uniform_int(1, 48)) * bs;
+    if (rng.chance(0.3)) size += static_cast<Bytes>(rng.uniform_int(1, bs - 1));
+    s.trace.files.push_back(FileInfo{FileId{static_cast<std::uint32_t>(i)},
+                                     size});
+  }
+
+  const int nprocs = static_cast<int>(rng.uniform_int(1, 5));
+  for (int p = 0; p < nprocs; ++p) {
+    ProcessTrace proc;
+    proc.pid = ProcId{static_cast<std::uint32_t>(p + 1)};
+    proc.node = NodeId{static_cast<std::uint32_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(s.nodes) - 1))};
+
+    const int budget = static_cast<int>(rng.uniform_int(3, 40));
+    while (static_cast<int>(proc.records.size()) < budget) {
+      const auto fid = FileId{static_cast<std::uint32_t>(
+          rng.uniform_int(0, nfiles - 1))};
+      const std::int64_t fblocks = std::max<std::int64_t>(
+          1, static_cast<std::int64_t>(s.trace.files[raw(fid)].size / bs));
+      if (rng.chance(0.3)) {
+        proc.records.push_back(io(TraceOp::kOpen, fid, bs, 0, 0, think(rng)));
+      }
+      // A request usually covers one block, sometimes a multi-block span or
+      // a partial tail.
+      const auto req_len = [&]() -> Bytes {
+        if (rng.chance(0.75)) return bs;
+        return static_cast<Bytes>(rng.uniform_int(1, 3 * bs));
+      };
+      const std::int64_t start = rng.uniform_int(0, fblocks - 1);
+      const int k = static_cast<int>(rng.uniform_int(2, 10));
+      switch (rng.uniform_int(0, 5)) {
+        case 0:  // sequential run — the bread and butter of OBA/IS_PPM
+          for (int j = 0; j < k; ++j) {
+            proc.records.push_back(io(TraceOp::kRead, fid, bs,
+                                      (start + j) % fblocks, req_len(),
+                                      think(rng)));
+          }
+          break;
+        case 1: {  // strided — the interval structure IS_PPM models
+          const std::int64_t stride = rng.uniform_int(2, 4);
+          for (int j = 0; j < k; ++j) {
+            proc.records.push_back(io(TraceOp::kRead, fid, bs,
+                                      (start + j * stride) % fblocks,
+                                      req_len(), think(rng)));
+          }
+          break;
+        }
+        case 2: {  // re-read loop — lets the pattern graph warm up
+          const std::int64_t w = rng.uniform_int(2, 4);
+          for (int rep = 0; rep < 3; ++rep) {
+            for (std::int64_t j = 0; j < w; ++j) {
+              proc.records.push_back(io(TraceOp::kRead, fid, bs,
+                                        (start + j) % fblocks, bs,
+                                        think(rng)));
+            }
+          }
+          break;
+        }
+        case 3: {  // bait-and-switch: teach a path, then fault off it
+          for (int j = 0; j < k; ++j) {
+            proc.records.push_back(io(TraceOp::kRead, fid, bs,
+                                      (start + j) % fblocks, bs, think(rng)));
+          }
+          const std::int64_t jump = rng.uniform_int(0, fblocks - 1);
+          for (int j = 0; j < k / 2 + 1; ++j) {
+            proc.records.push_back(io(TraceOp::kRead, fid, bs,
+                                      (jump + j) % fblocks, bs, think(rng)));
+          }
+          break;
+        }
+        case 4:  // adversarial: independent random blocks
+          for (int j = 0; j < k; ++j) {
+            proc.records.push_back(io(TraceOp::kRead, fid, bs,
+                                      rng.uniform_int(0, fblocks - 1),
+                                      req_len(), think(rng)));
+          }
+          break;
+        case 5:  // write run, possibly extending the file past EOF
+          for (int j = 0; j < k; ++j) {
+            proc.records.push_back(io(TraceOp::kWrite, fid, bs,
+                                      start + j, req_len(), think(rng)));
+          }
+          break;
+      }
+      if (rng.chance(0.3)) {
+        proc.records.push_back(io(TraceOp::kClose, fid, bs, 0, 0, think(rng)));
+      }
+      if (rng.chance(0.06)) {
+        // Delete mid-stream; later segments may still reference the file —
+        // those requests must degrade to no-ops, not corrupt accounting.
+        proc.records.push_back(io(TraceOp::kDelete, fid, bs, 0, 0,
+                                  think(rng)));
+      }
+    }
+    s.trace.processes.push_back(std::move(proc));
+  }
+  return s;
+}
+
+RunConfig scenario_config(const Scenario& s, FsKind fs) {
+  RunConfig cfg;
+  MachineConfig m = MachineConfig::now();
+  m.nodes = s.nodes;
+  m.block_size = s.trace.block_size;
+  m.disks = std::max<std::uint32_t>(1, s.nodes / 2);
+  cfg.machine = m;
+  cfg.fs = fs;
+  cfg.cache_per_node =
+      static_cast<Bytes>(s.cache_blocks_per_node) * s.trace.block_size;
+  cfg.algorithm = AlgorithmSpec::parse(s.algorithm);
+  cfg.sync_interval = SimTime::ns(s.sync_ns);
+  cfg.warmup_fraction = 0.0;
+  return cfg;
+}
+
+void save_scenario(std::ostream& os, const Scenario& s) {
+  os << "# lap-scenario v1\n";
+  os << "seed " << s.seed << '\n';
+  os << "algorithm " << s.algorithm << '\n';
+  os << "nodes " << s.nodes << '\n';
+  os << "cacheblocks " << s.cache_blocks_per_node << '\n';
+  os << "syncns " << s.sync_ns << '\n';
+  s.trace.save(os);
+}
+
+Scenario load_scenario(std::istream& is) {
+  Scenario s;
+  std::string line;
+  if (!std::getline(is, line) || line != "# lap-scenario v1") {
+    throw std::invalid_argument("not a lap-scenario file");
+  }
+  while (is.peek() != EOF && is.peek() != '#') {
+    if (!std::getline(is, line)) break;
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string tok;
+    ls >> tok;
+    if (tok == "seed") {
+      ls >> s.seed;
+    } else if (tok == "algorithm") {
+      ls >> s.algorithm;
+    } else if (tok == "nodes") {
+      ls >> s.nodes;
+    } else if (tok == "cacheblocks") {
+      ls >> s.cache_blocks_per_node;
+    } else if (tok == "syncns") {
+      ls >> s.sync_ns;
+    } else {
+      throw std::invalid_argument("unknown scenario key: " + tok);
+    }
+    if (!ls) throw std::invalid_argument("malformed scenario line: " + line);
+  }
+  s.trace = Trace::load(is);  // consumes "# lap-trace v1" onward
+  return s;
+}
+
+}  // namespace lap

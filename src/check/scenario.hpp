@@ -1,0 +1,53 @@
+// Randomized simulation scenarios for the fuzz / differential harness.
+//
+// A Scenario bundles everything one checked run needs — a synthetic trace
+// plus the machine/cache/algorithm shape to replay it under — and is fully
+// determined by its generator seed, so any failure reproduces from a single
+// integer.  Failing scenarios are saved as repro files (a "# lap-scenario
+// v1" header followed by the embedded "# lap-trace v1" body) replayable via
+// `lap_check --repro` or `quickstart --repro`.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "driver/simulation.hpp"
+#include "trace/trace.hpp"
+
+namespace lap {
+
+struct Scenario {
+  std::uint64_t seed = 0;  // generator provenance, echoed into repro files
+  std::string algorithm = "Ln_Agr_IS_PPM:1";
+  std::uint32_t nodes = 2;
+  std::uint32_t cache_blocks_per_node = 16;
+  std::int64_t sync_ns = 50'000'000;  // write-back period
+  Trace trace;
+
+  [[nodiscard]] bool has_deletes() const;
+  [[nodiscard]] std::uint64_t total_records() const {
+    return trace.total_records();
+  }
+
+  friend bool operator==(const Scenario&, const Scenario&) = default;
+};
+
+/// Deterministically derive a scenario from `seed`.  The population is
+/// deliberately wider than the CHARISMA/Sprite shapes: 1-6 nodes, tiny to
+/// mid caches, mixed access patterns (sequential, strided, re-read loops,
+/// bait-and-switch mispredict streams, random), writes past EOF, opens,
+/// closes, and occasional deletes with post-delete traffic.
+[[nodiscard]] Scenario generate_scenario(std::uint64_t seed);
+
+/// The RunConfig that replays `s` on `fs`.  Warm-up is disabled so every
+/// demand block is classified (the conservation invariants need equality,
+/// not a measured suffix).
+[[nodiscard]] RunConfig scenario_config(const Scenario& s, FsKind fs);
+
+void save_scenario(std::ostream& os, const Scenario& s);
+
+/// Parses a repro file; throws std::invalid_argument on junk.
+[[nodiscard]] Scenario load_scenario(std::istream& is);
+
+}  // namespace lap

@@ -1,0 +1,106 @@
+#include "check/shrink.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+namespace lap {
+namespace {
+
+class Budget {
+ public:
+  Budget(const ScenarioPredicate& pred, std::size_t max_evals)
+      : pred_(pred), left_(max_evals) {}
+
+  [[nodiscard]] bool exhausted() const { return left_ == 0; }
+
+  /// Evaluates the predicate, or reports "fixed" once the budget is spent
+  /// (a conservative answer: the candidate removal is rejected).
+  [[nodiscard]] bool still_fails(const Scenario& s) {
+    if (left_ == 0) return false;
+    --left_;
+    return pred_(s);
+  }
+
+ private:
+  const ScenarioPredicate& pred_;
+  std::size_t left_;
+};
+
+bool drop_processes(Scenario& s, Budget& budget) {
+  bool changed = false;
+  for (std::size_t i = s.trace.processes.size(); i-- > 0;) {
+    if (s.trace.processes.size() == 1) break;  // keep the trace replayable
+    Scenario candidate = s;
+    candidate.trace.processes.erase(candidate.trace.processes.begin() +
+                                    static_cast<std::ptrdiff_t>(i));
+    if (budget.still_fails(candidate)) {
+      s = std::move(candidate);
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+bool drop_record_chunks(Scenario& s, Budget& budget) {
+  bool changed = false;
+  for (std::size_t p = 0; p < s.trace.processes.size(); ++p) {
+    // `s` is reassigned whenever a candidate sticks, so always re-index it
+    // rather than holding references across iterations.
+    const std::size_t initial = s.trace.processes[p].records.size();
+    for (std::size_t chunk = std::max<std::size_t>(1, initial / 2); chunk >= 1;
+         chunk /= 2) {
+      for (std::size_t i = 0;
+           i + chunk <= s.trace.processes[p].records.size();) {
+        Scenario candidate = s;
+        auto& crecs = candidate.trace.processes[p].records;
+        crecs.erase(crecs.begin() + static_cast<std::ptrdiff_t>(i),
+                    crecs.begin() + static_cast<std::ptrdiff_t>(i + chunk));
+        if (budget.still_fails(candidate)) {
+          s = std::move(candidate);
+          changed = true;  // same index now holds the next chunk
+        } else {
+          i += chunk;
+        }
+      }
+      if (chunk == 1) break;
+    }
+  }
+  return changed;
+}
+
+bool drop_unused_files(Scenario& s, Budget& budget) {
+  std::unordered_set<std::uint32_t> referenced;
+  for (const ProcessTrace& p : s.trace.processes) {
+    for (const TraceRecord& r : p.records) referenced.insert(raw(r.file));
+  }
+  bool changed = false;
+  for (std::size_t i = s.trace.files.size(); i-- > 0;) {
+    if (referenced.contains(raw(s.trace.files[i].id))) continue;
+    Scenario candidate = s;
+    candidate.trace.files.erase(candidate.trace.files.begin() +
+                                static_cast<std::ptrdiff_t>(i));
+    if (budget.still_fails(candidate)) {
+      s = std::move(candidate);
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+}  // namespace
+
+Scenario shrink_scenario(Scenario s, const ScenarioPredicate& still_fails,
+                         std::size_t max_evaluations) {
+  Budget budget(still_fails, max_evaluations);
+  bool changed = true;
+  while (changed && !budget.exhausted()) {
+    changed = false;
+    changed |= drop_processes(s, budget);
+    changed |= drop_record_chunks(s, budget);
+    changed |= drop_unused_files(s, budget);
+  }
+  return s;
+}
+
+}  // namespace lap

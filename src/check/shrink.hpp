@@ -1,0 +1,26 @@
+// Greedy scenario shrinker.
+//
+// Given a failing Scenario and a predicate that re-checks it, repeatedly
+// removes structure — whole processes, then record chunks (delta-debugging
+// style, halving chunk sizes down to single records), then unreferenced
+// files — keeping any removal after which the predicate still fails.
+// Passes repeat to a fixpoint under an evaluation budget, so the result is
+// 1-minimal per pass granularity, not globally minimal: good enough to turn
+// a 200-record fuzz case into a handful of records a human can read.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "check/scenario.hpp"
+
+namespace lap {
+
+/// Returns true when the scenario still exhibits the failure being chased.
+using ScenarioPredicate = std::function<bool(const Scenario&)>;
+
+[[nodiscard]] Scenario shrink_scenario(Scenario s,
+                                       const ScenarioPredicate& still_fails,
+                                       std::size_t max_evaluations = 400);
+
+}  // namespace lap

@@ -6,9 +6,24 @@
 namespace lap {
 
 PrefetchManager::PrefetchManager(Engine& eng, AlgorithmSpec spec,
-                                 PrefetchHost& host, const bool* stop_flag)
-    : eng_(&eng), spec_(spec), host_(&host), stop_flag_(stop_flag) {
+                                 PrefetchHost& host, const bool* stop_flag,
+                                 std::uint32_t site)
+    : eng_(&eng), spec_(spec), host_(&host), stop_flag_(stop_flag),
+      site_(site) {
   LAP_EXPECTS(stop_flag != nullptr);
+}
+
+void PrefetchManager::trace_request(ProcId pid, FileId file,
+                                    std::uint32_t first,
+                                    std::uint32_t nblocks) {
+  trace_->name_thread(tracks::kFilePid, raw(file) + 1,
+                      "file " + std::to_string(raw(file)));
+  trace_->instant("prefetch", "prefetch.request", tracks::file(file),
+                  eng_->now(),
+                  {{"site", site_},
+                   {"pid", raw(pid)},
+                   {"first", first},
+                   {"blocks", nblocks}});
 }
 
 void PrefetchManager::trace_issue(FileId file, std::uint32_t block,
@@ -17,14 +32,16 @@ void PrefetchManager::trace_issue(FileId file, std::uint32_t block,
                       "file " + std::to_string(raw(file)));
   trace_->instant("prefetch", "prefetch.issue", tracks::file(file),
                   eng_->now(),
-                  {{"block", block}, {"fallback", static_cast<int>(fallback)}});
+                  {{"site", site_},
+                   {"block", block},
+                   {"fallback", static_cast<int>(fallback)}});
 }
 
 void PrefetchManager::trace_restart(FileId file, std::uint32_t from_block) {
   trace_->name_thread(tracks::kFilePid, raw(file) + 1,
                       "file " + std::to_string(raw(file)));
   trace_->instant("prefetch", "prefetch.restart", tracks::file(file),
-                  eng_->now(), {{"from_block", from_block}});
+                  eng_->now(), {{"site", site_}, {"from_block", from_block}});
 }
 
 std::unique_ptr<PrefetchStream> PrefetchManager::build_stream(PidState& ps,
@@ -88,7 +105,11 @@ void PrefetchManager::on_request(ProcId pid, NodeId client, FileId file,
                                  std::uint32_t first, std::uint32_t nblocks) {
   if (!spec_.prefetching() || nblocks == 0) return;
   if (spec_.kind == AlgorithmSpec::Kind::kWholeFile) return;  // open-driven
+  // Emitted before any restart/issue this request triggers, so a consumer
+  // sees the demand request causally ahead of the decisions it caused.
+  if (trace_ != nullptr) trace_request(pid, file, first, nblocks);
   FileState& fs = files_[raw(file)];
+  if (fs.generation == 0) fs.generation = ++generations_;
   PidState& ps = fs.pids[raw(pid)];
 
   ++clock_;
@@ -185,7 +206,7 @@ void PrefetchManager::ensure_pumps(FileId file, FileState& fs) {
   }
   while (fs.active_pumps < spec_.max_outstanding) {
     ++fs.active_pumps;
-    pump(file);
+    pump(file, fs.generation);
     // pump() runs synchronously until its first co_await and may finish
     // (and decrement active_pumps) immediately if nothing is prefetchable.
     auto it = files_.find(raw(file));
@@ -193,18 +214,27 @@ void PrefetchManager::ensure_pumps(FileId file, FileState& fs) {
   }
 }
 
-SimTask PrefetchManager::pump(FileId file) {
+PrefetchManager::FileState* PrefetchManager::live_state(
+    FileId file, std::uint64_t generation) {
+  auto it = files_.find(raw(file));
+  if (it == files_.end() || it->second.generation != generation) return nullptr;
+  return &it->second;
+}
+
+SimTask PrefetchManager::pump(FileId file, std::uint64_t generation) {
   for (;;) {
     if (*stop_flag_) break;
-    auto it = files_.find(raw(file));
-    if (it == files_.end()) co_return;  // file deleted: state is gone
-    FileState& fs = it->second;
-    auto item = next_from_any_stream(fs, file);
+    // Re-resolve by generation: if the file was deleted while this pump was
+    // suspended, its state is gone even if a later request on a recycled id
+    // has created a new one (that state has its own pumps).
+    FileState* fs = live_state(file, generation);
+    if (fs == nullptr) co_return;
+    auto item = next_from_any_stream(*fs, file);
     if (!item) {
-      fs.drained = true;
+      fs->drained = true;
       break;
     }
-    fs.drained = false;
+    fs->drained = false;
     ++counters_.issued;
     if (item->item.fallback) ++counters_.fallback_issued;
     if (trace_ != nullptr) trace_issue(file, item->item.block, item->item.fallback);
@@ -213,10 +243,9 @@ SimTask PrefetchManager::pump(FileId file) {
     co_await host_->prefetch_fetch(BlockKey{file, item->item.block},
                                    item->target);
   }
-  auto it = files_.find(raw(file));
-  if (it != files_.end()) {
-    LAP_ASSERT(it->second.active_pumps > 0);
-    --it->second.active_pumps;
+  if (FileState* fs = live_state(file, generation)) {
+    LAP_ASSERT(fs->active_pumps > 0);
+    --fs->active_pumps;
   }
 }
 

@@ -66,8 +66,12 @@ struct PrefetchCounters {
 
 class PrefetchManager {
  public:
+  /// `site` identifies this manager in the trace stream (PAFS's single
+  /// global manager uses 0; xFS uses the node id + 1).  The invariant oracle
+  /// keys outstanding-prefetch accounting on (site, file), which is exactly
+  /// the paper's "per node and file" scope for xFS.
   PrefetchManager(Engine& eng, AlgorithmSpec spec, PrefetchHost& host,
-                  const bool* stop_flag);
+                  const bool* stop_flag, std::uint32_t site = 0);
 
   /// Observe a demand request (read or write) on `file` by process `pid`
   /// running at `client`; may issue prefetches.
@@ -112,6 +116,11 @@ class PrefetchManager {
     std::size_t rr_cursor = 0;
     std::uint32_t active_pumps = 0;
     bool drained = false;
+    // Distinguishes this state from a successor created after a delete
+    // recycles the file id: a pump suspended across the delete must not
+    // adopt the new state (it would double the outstanding limit and
+    // corrupt active_pumps).
+    std::uint64_t generation = 0;
   };
   struct PumpItem {
     StreamItem item;
@@ -123,7 +132,12 @@ class PrefetchManager {
   std::optional<StreamItem> next_uncached(PrefetchStream& stream, FileId file);
   std::optional<PumpItem> next_from_any_stream(FileState& fs, FileId file);
   void ensure_pumps(FileId file, FileState& fs);
-  SimTask pump(FileId file);
+  SimTask pump(FileId file, std::uint64_t generation);
+  /// The live state for `file`, or nullptr if it was deleted (and possibly
+  /// re-created) since the caller captured `generation`.
+  [[nodiscard]] FileState* live_state(FileId file, std::uint64_t generation);
+  void trace_request(ProcId pid, FileId file, std::uint32_t first,
+                     std::uint32_t nblocks);
   void trace_issue(FileId file, std::uint32_t block, bool fallback);
   void trace_restart(FileId file, std::uint32_t from_block);
 
@@ -131,6 +145,7 @@ class PrefetchManager {
   AlgorithmSpec spec_;
   PrefetchHost* host_;
   const bool* stop_flag_;
+  std::uint32_t site_ = 0;
   TraceSink* trace_ = nullptr;
   std::unordered_map<std::uint32_t, FileState> files_;
   // Whole-file baseline only: one open-sequence model per client node —
@@ -138,6 +153,7 @@ class PrefetchManager {
   // a globally interleaved sequence would be noise.
   std::unordered_map<std::uint32_t, OpenSequencePredictor> open_predictors_;
   std::uint64_t clock_ = 0;  // logical timestamps for MRU edges
+  std::uint64_t generations_ = 0;  // FileState ids ever handed out
   PrefetchCounters counters_;
 };
 

@@ -213,6 +213,9 @@ RunResult run_simulation(const Trace& trace, const RunConfig& cfg) {
   const PrefetchCounters pc = fs->prefetch_counters_total();
   r.prefetch_issued = pc.issued;
   r.prefetch_fallback = pc.fallback_issued;
+  r.prefetch_arrived = metrics.prefetch_arrived();
+  r.prefetch_used = metrics.prefetch_used();
+  r.prefetch_wasted = metrics.prefetch_wasted();
   r.fallback_fraction =
       pc.issued == 0 ? 0.0
                      : static_cast<double>(pc.fallback_issued) /

@@ -81,6 +81,11 @@ struct RunResult {
   double misprediction_ratio = 0.0;
   std::uint64_t prefetch_issued = 0;
   std::uint64_t prefetch_fallback = 0;
+  // Whole-run prefetch accounting; every arrived block is eventually
+  // settled used or wasted, so arrived == used + wasted at end of run.
+  std::uint64_t prefetch_arrived = 0;
+  std::uint64_t prefetch_used = 0;
+  std::uint64_t prefetch_wasted = 0;
   double fallback_fraction = 0.0;
   double read_p95_ms = 0.0;
 

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <future>
 
+#include "obs/trace_event.hpp"
 #include "util/assert.hpp"
 #include "util/logging.hpp"
 #include "util/thread_pool.hpp"
@@ -31,13 +32,22 @@ std::vector<RunResult> run_sweep(
       cfg.algorithm = algo;
       cfg.cache_per_node = cache;
       // A TraceSink records exactly one run; concurrent runs sharing the
-      // base config's sink would interleave their events, so sweep runs
-      // are never traced.  The counter registry is per-run for the same
-      // reason.
+      // base config's sink would interleave their events, so the base
+      // config's sink is dropped and each run gets a private one from
+      // spec.sink_factory (if any).  The counter registry samples through
+      // the sink and is per-run for the same reason.
       cfg.trace = nullptr;
       cfg.counters = nullptr;
-      futures.push_back(pool.submit([&trace, cfg, &completed, total, &on_done] {
-        RunResult r = run_simulation(trace, cfg);
+      // shared_ptr (not unique_ptr): ThreadPool::submit needs a copyable
+      // callable.
+      std::shared_ptr<TraceSink> sink;
+      if (spec.sink_factory) sink = spec.sink_factory(cfg);
+      futures.push_back(pool.submit([&trace, cfg, sink, &completed, total,
+                                     &on_done] {
+        RunConfig run_cfg = cfg;
+        run_cfg.trace = sink.get();
+        RunResult r = run_simulation(trace, run_cfg);
+        if (sink != nullptr) sink->close();
         const std::size_t done = completed.fetch_add(1) + 1;
         LAP_LOG(kDebug) << "sweep: " << r.algorithm << "/" << r.fs << " cache="
                         << (r.cache_per_node >> 20) << " MiB done (" << done

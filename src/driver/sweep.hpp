@@ -5,6 +5,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "driver/simulation.hpp"
@@ -12,9 +13,19 @@
 
 namespace lap {
 
+class TraceSink;
+
 struct SweepSpec {
   std::vector<Bytes> cache_sizes;          // per-node, in bytes
   std::vector<AlgorithmSpec> algorithms;
+
+  // Optional per-run observability: called once per grid point (from the
+  // coordinating thread, before the run is submitted) with that run's
+  // config; a non-null result becomes the run's private TraceSink, closed
+  // when the run finishes.  This is how --trace-out works in sweep mode —
+  // one sink per run, so concurrent runs never interleave events.  Return
+  // nullptr to leave a run untraced.
+  std::function<std::unique_ptr<TraceSink>(const RunConfig&)> sink_factory;
 };
 
 /// The paper's x-axis: 1, 2, 4, 8, 16 MB per node.

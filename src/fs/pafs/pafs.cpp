@@ -207,6 +207,16 @@ SimTask Pafs::write_task(ProcId pid, NodeId client, FileId file, Bytes offset,
     const BlockKey key{file, range.first + i};
     if (CacheEntry* e = pool_.find(key)) {
       pool_.touch(key);
+      if (e->prefetched && !e->referenced) {
+        // A write over a prefetched buffer still saved the demand fetch the
+        // overwrite would otherwise have needed for the partial block; count
+        // the first use so arrived == used + wasted keeps reconciling.
+        metrics_->on_prefetch_first_use();
+        if (trace_ != nullptr) {
+          trace_->instant("prefetch", "prefetch.used", tracks::file(key.file),
+                          eng_->now(), {{"block", key.index}});
+        }
+      }
       e->referenced = true;
       pool_.mark_dirty(key, eng_->now());
     } else {
@@ -261,6 +271,10 @@ SimFuture<Done> Pafs::prefetch_fetch(BlockKey key, NodeId target) {
 
 SimTask Pafs::prefetch_task(BlockKey key, NodeId target, SimPromise<Done> done) {
   if (block_available(key) || !files_->exists(key.file)) {
+    if (trace_ != nullptr) {
+      trace_->instant("prefetch", "prefetch.elided", tracks::file(key.file),
+                      eng_->now(), {{"site", 0}, {"block", key.index}});
+    }
     done.set_value(Done{});
     co_return;
   }
@@ -272,11 +286,23 @@ SimTask Pafs::prefetch_task(BlockKey key, NodeId target, SimPromise<Done> done) 
   metrics_->on_disk_read(/*prefetch=*/true);
   co_await fetch;
   in_flight_.erase(key);
-  insert_block(key, target, /*dirty=*/false, /*prefetched=*/true);
   metrics_->on_prefetch_arrived();
+  if (!files_->exists(key.file) || pool_.contains(key)) {
+    // The file vanished mid-fetch, or a write landed its own buffer while
+    // the disk was busy: the fetched data has nowhere useful to go.  Settle
+    // the arrival as wasted right here so the prefetch accounting still
+    // reconciles (arrived == used + wasted at end of run).
+    metrics_->on_prefetch_wasted();
+    if (trace_ != nullptr) {
+      trace_->instant("prefetch", "prefetch.wasted", tracks::file(key.file),
+                      eng_->now(), {{"block", key.index}});
+    }
+  } else {
+    insert_block(key, target, /*dirty=*/false, /*prefetched=*/true);
+  }
   if (trace_ != nullptr) {
     trace_->complete("prefetch", "prefetch.fetch", tracks::file(key.file), t0,
-                     eng_->now() - t0, {{"block", key.index}});
+                     eng_->now() - t0, {{"site", 0}, {"block", key.index}});
   }
   bc->notify_all();
   done.set_value(Done{});

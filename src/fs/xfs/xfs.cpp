@@ -47,8 +47,10 @@ Xfs::Xfs(Engine& eng, Network& net, DiskArray& disks, FileModel& files,
     NodeState& ns = node_[i];
     ns.pool = std::make_unique<BufferPool>(cfg.cache_blocks_per_node);
     ns.host = std::make_unique<NodeHost>(this, NodeId{i});
-    ns.prefetcher = std::make_unique<PrefetchManager>(eng, cfg.algorithm,
-                                                      *ns.host, stop_flag);
+    // Site i+1 keeps xFS's per-node managers distinct from PAFS's single
+    // global site 0 in the trace stream.
+    ns.prefetcher = std::make_unique<PrefetchManager>(
+        eng, cfg.algorithm, *ns.host, stop_flag, /*site=*/i + 1);
     ns.cpu = std::make_unique<Resource>(eng);
   }
   sync_ = std::make_unique<SyncDaemon>(
@@ -252,12 +254,14 @@ SimTask Xfs::read_block(NodeId client, BlockKey key,
       co_await fetch;
     }
 
-    CacheEntry entry;
-    entry.key = key;
-    entry.home = client;
-    entry.dirty_since = eng_->now();
-    insert_at(client, entry);
-    dir_add(key, client);
+    if (files_->exists(key.file)) {
+      CacheEntry entry;
+      entry.key = key;
+      entry.home = client;
+      entry.dirty_since = eng_->now();
+      insert_at(client, entry);
+      dir_add(key, client);
+    }
     ns.in_flight.erase(key);
     bc->notify_all();
     co_await net_->copy(client, client, files_->block_size(), prio::kDemand);
@@ -291,6 +295,15 @@ SimTask Xfs::write_task(ProcId pid, NodeId client, FileId file, Bytes offset,
     const BlockKey key{file, range.first + i};
     if (CacheEntry* e = ns.pool->find(key)) {
       ns.pool->touch(key);
+      if (e->prefetched && !e->referenced) {
+        // First demand use via a write still counts: the prefetched buffer
+        // absorbed the write-allocate, so the arrival settles as used.
+        metrics_->on_prefetch_first_use();
+        if (trace_ != nullptr) {
+          trace_->instant("prefetch", "prefetch.used", tracks::file(key.file),
+                          eng_->now(), {{"block", key.index}});
+        }
+      }
       e->referenced = true;
       ns.pool->mark_dirty(key, eng_->now());
     } else {
@@ -380,6 +393,11 @@ SimFuture<Done> Xfs::prefetch_fetch(NodeId node, BlockKey key) {
 
 SimTask Xfs::prefetch_task(NodeId node, BlockKey key, SimPromise<Done> done) {
   if (local_available(node, key) || !files_->exists(key.file)) {
+    if (trace_ != nullptr) {
+      trace_->instant("prefetch", "prefetch.elided", tracks::file(key.file),
+                      eng_->now(),
+                      {{"site", raw(node) + 1}, {"block", key.index}});
+    }
     done.set_value(Done{});
     co_return;
   }
@@ -422,18 +440,31 @@ SimTask Xfs::prefetch_task(NodeId node, BlockKey key, SimPromise<Done> done) {
     co_await fetch;
   }
   ns.in_flight.erase(key);
-  CacheEntry entry;
-  entry.key = key;
-  entry.home = node;
-  entry.prefetched = true;
-  entry.dirty_since = eng_->now();
-  insert_at(node, entry);
-  dir_add(key, node);
   metrics_->on_prefetch_arrived();
+  if (!files_->exists(key.file) || ns.pool->contains(key)) {
+    // The file vanished mid-fetch, or a local write (or forwarded copy)
+    // claimed the buffer while we waited: settle this arrival as wasted so
+    // arrived == used + wasted still reconciles, and skip dir_add — a
+    // directory entry for a buffer we never inserted would go stale.
+    metrics_->on_prefetch_wasted();
+    if (trace_ != nullptr) {
+      trace_->instant("prefetch", "prefetch.wasted", tracks::file(key.file),
+                      eng_->now(), {{"block", key.index}});
+    }
+  } else {
+    CacheEntry entry;
+    entry.key = key;
+    entry.home = node;
+    entry.prefetched = true;
+    entry.dirty_since = eng_->now();
+    insert_at(node, entry);
+    dir_add(key, node);
+  }
   if (trace_ != nullptr) {
     trace_->complete("prefetch", "prefetch.fetch", tracks::file(key.file), t0,
                      eng_->now() - t0,
-                     {{"block", key.index},
+                     {{"site", raw(node) + 1},
+                      {"block", key.index},
                       {"node", raw(node)},
                       {"via_peer", static_cast<int>(have_peer)}});
   }
@@ -443,7 +474,12 @@ SimTask Xfs::prefetch_task(NodeId node, BlockKey key, SimPromise<Done> done) {
 
 SimTask Xfs::forward_task(NodeId from, NodeId to, CacheEntry victim) {
   co_await net_->copy(from, to, files_->block_size(), prio::kSync);
-  if (!files_->exists(victim.key.file)) {
+  if (!files_->exists(victim.key.file) ||
+      node_[raw(to)].pool->contains(victim.key)) {
+    // The file vanished, or the destination acquired its own copy while the
+    // forward was on the wire — merging the forwarded buffer in would fold
+    // two prefetch provenances into one entry and break the arrived ==
+    // used + wasted reconciliation, so the redundant copy settles here.
     if (victim.prefetched && !victim.referenced) {
       metrics_->on_prefetch_wasted();
       if (trace_ != nullptr) trace_wasted(victim);

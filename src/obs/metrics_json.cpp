@@ -51,6 +51,9 @@ void write_run_result_json(JsonWriter& w, const RunResult& r) {
   w.member("prefetch_issued", r.prefetch_issued);
   w.member("prefetch_fallback", r.prefetch_fallback);
   w.member("fallback_fraction", r.fallback_fraction);
+  w.member("prefetch_arrived", r.prefetch_arrived);
+  w.member("prefetch_used", r.prefetch_used);
+  w.member("prefetch_wasted", r.prefetch_wasted);
   w.member("sim_seconds", r.sim_duration.seconds());
   w.member("events", r.events);
   w.member("wall_seconds", r.wall_seconds);

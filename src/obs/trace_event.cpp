@@ -48,12 +48,20 @@ TraceSink::TraceSink(std::ostream& os) : os_(&os) {
   *os_ << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
 }
 
-TraceSink::~TraceSink() { close(); }
+TraceSink::TraceSink(std::unique_ptr<std::ostream> os)
+    : owned_(std::move(os)), os_(owned_.get()) {
+  *os_ << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+}
+
+TraceSink::TraceSink() : os_(nullptr) {}
+
+TraceSink::~TraceSink() { TraceSink::close(); }
 
 void TraceSink::close() {
   std::lock_guard lock(mu_);
   if (!open_) return;
   open_ = false;
+  if (os_ == nullptr) return;
   *os_ << "\n]}\n";
   os_->flush();
 }
@@ -88,7 +96,7 @@ void TraceSink::emit(const char* ph, const char* cat, const char* name,
   line += '}';
 
   std::lock_guard lock(mu_);
-  if (!open_) return;
+  if (!open_ || os_ == nullptr) return;
   write_prefix_locked();
   *os_ << line;
 }
@@ -96,7 +104,7 @@ void TraceSink::emit(const char* ph, const char* cat, const char* name,
 void TraceSink::name_process(std::uint32_t pid, std::string_view name) {
   const std::uint64_t id = static_cast<std::uint64_t>(pid) << 32 | 0xffffffffu;
   std::lock_guard lock(mu_);
-  if (!open_ || !named_.insert(id).second) return;
+  if (!open_ || os_ == nullptr || !named_.insert(id).second) return;
   write_prefix_locked();
   *os_ << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << pid
        << ",\"args\":{\"name\":\"" << json_escape(name) << "\"}}";
@@ -106,7 +114,7 @@ void TraceSink::name_thread(std::uint32_t pid, std::uint32_t tid,
                             std::string_view name) {
   const std::uint64_t id = static_cast<std::uint64_t>(pid) << 32 | tid;
   std::lock_guard lock(mu_);
-  if (!open_ || !named_.insert(id).second) return;
+  if (!open_ || os_ == nullptr || !named_.insert(id).second) return;
   write_prefix_locked();
   *os_ << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" << pid
        << ",\"tid\":" << tid << ",\"args\":{\"name\":\"" << json_escape(name)
@@ -134,7 +142,7 @@ void TraceSink::counter(const char* name, SimTime ts, double value) {
   line += ",\"args\":{\"value\":" + json_number(value) + "}}";
 
   std::lock_guard lock(mu_);
-  if (!open_) return;
+  if (!open_ || os_ == nullptr) return;
   write_prefix_locked();
   *os_ << line;
 }

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <initializer_list>
+#include <memory>
 #include <mutex>
 #include <ostream>
 #include <string>
@@ -87,47 +88,70 @@ struct TraceArg {
 
 using TraceArgs = std::initializer_list<TraceArg>;
 
+/// The event methods are virtual so that non-JSON consumers — the invariant
+/// oracle and fault injector under src/check — can sit behind the same
+/// `TraceSink*` hooks the instrumented components already hold.  The
+/// untraced path is still a single nullptr check; a traced run adds one
+/// virtual dispatch per event, noise next to the JSON formatting it buys.
 class TraceSink {
  public:
   /// Stream events into `os` (kept alive by the caller for the sink's
   /// lifetime).  The JSON document is completed by close()/destruction.
   explicit TraceSink(std::ostream& os);
-  ~TraceSink();
+  /// Same, owning the stream (e.g. a per-sweep-run file).
+  explicit TraceSink(std::unique_ptr<std::ostream> os);
+  virtual ~TraceSink();
   TraceSink(const TraceSink&) = delete;
   TraceSink& operator=(const TraceSink&) = delete;
 
   /// Name a Perfetto process/thread row (metadata events, deduplicated, so
   /// call sites may name lazily on every use).
-  void name_process(std::uint32_t pid, std::string_view name);
-  void name_thread(std::uint32_t pid, std::uint32_t tid, std::string_view name);
+  virtual void name_process(std::uint32_t pid, std::string_view name);
+  virtual void name_thread(std::uint32_t pid, std::uint32_t tid,
+                           std::string_view name);
 
   /// Zero-duration marker ("i" event, thread scope).
-  void instant(const char* cat, const char* name, TraceTrack track, SimTime ts,
-               TraceArgs args = {});
+  virtual void instant(const char* cat, const char* name, TraceTrack track,
+                       SimTime ts, TraceArgs args = {});
 
-  /// Span with known start and duration ("X" complete event).
-  void complete(const char* cat, const char* name, TraceTrack track,
-                SimTime start, SimTime duration, TraceArgs args = {});
+  /// Span with known start and duration ("X" complete event).  Emitted when
+  /// the span *ends*, so a sink observes events in simulation order.
+  virtual void complete(const char* cat, const char* name, TraceTrack track,
+                        SimTime start, SimTime duration, TraceArgs args = {});
 
   /// Sampled counter value ("C" event); Perfetto plots it as a time series.
-  void counter(const char* name, SimTime ts, double value);
+  virtual void counter(const char* name, SimTime ts, double value);
 
   /// Finish the JSON document.  Further events are dropped.
-  void close();
+  virtual void close();
 
   [[nodiscard]] std::uint64_t events_written() const { return events_; }
+
+ protected:
+  /// For subclasses that consume events instead of rendering JSON.
+  TraceSink();
 
  private:
   void emit(const char* ph, const char* cat, const char* name, TraceTrack track,
             SimTime ts, const SimTime* duration, TraceArgs args);
   void write_prefix_locked();
 
-  std::ostream* os_;
+  std::unique_ptr<std::ostream> owned_;  // only for the owning constructor
+  std::ostream* os_;                     // nullptr for consuming subclasses
   std::mutex mu_;
   bool open_ = true;
   bool any_ = false;
   std::uint64_t events_ = 0;
   std::unordered_set<std::uint64_t> named_;  // (pid<<32)|tid metadata dedup
 };
+
+/// Look up an integral event argument by key (shared by the check oracle
+/// and tests that pick events apart).
+[[nodiscard]] inline const TraceArg* find_arg(TraceArgs args, const char* key) {
+  for (const TraceArg& a : args) {
+    if (std::string_view(a.key) == key) return &a;
+  }
+  return nullptr;
+}
 
 }  // namespace lap

@@ -1,0 +1,46 @@
+#include "check/differential.hpp"
+
+#include <gtest/gtest.h>
+
+#include "check/scenario.hpp"
+
+namespace lap {
+namespace {
+
+TEST(DiffRunResults, EqualResultsProduceNoDiffs) {
+  const Scenario s = generate_scenario(4);
+  const RunResult r = run_simulation(s.trace, scenario_config(s, FsKind::kPafs));
+  EXPECT_TRUE(diff_run_results(r, r, "twin").empty());
+}
+
+TEST(DiffRunResults, FlagsEveryDivergentField) {
+  RunResult a, b;
+  b.hits_local = 3;
+  b.avg_read_ms = 0.25;
+  const auto diffs = diff_run_results(a, b, "x");
+  ASSERT_EQ(diffs.size(), 2u);
+  EXPECT_NE(diffs[0].find("avg_read_ms"), std::string::npos);
+  EXPECT_NE(diffs[1].find("hits_local"), std::string::npos);
+}
+
+TEST(DiffRunResults, IgnoresWallClock) {
+  RunResult a, b;
+  a.wall_seconds = 1.0;
+  b.wall_seconds = 9.0;
+  EXPECT_TRUE(diff_run_results(a, b, "x").empty());
+}
+
+TEST(RunChecked, PassesOnAHandfulOfScenarios) {
+  for (std::uint64_t seed : {1ull, 173ull, 1118ull}) {
+    const CheckReport report = run_checked(generate_scenario(seed));
+    EXPECT_TRUE(report.ok()) << report.summary();
+  }
+}
+
+TEST(RunChecked, SummaryNamesTheSeed) {
+  const CheckReport report = run_checked(generate_scenario(6));
+  EXPECT_NE(report.summary().find("seed 6"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lap

@@ -1,0 +1,21 @@
+// Fixed-seed fuzz smoke: the 200 scenarios CI checks on every push (the
+// nightly tier runs 10k+ from a fresh seed via the lap_check binary).  Every
+// scenario replays under PAFS and xFS, untraced and oracle-traced, with all
+// invariant and differential checks on.
+#include <gtest/gtest.h>
+
+#include "check/differential.hpp"
+#include "check/scenario.hpp"
+
+namespace lap {
+namespace {
+
+TEST(FuzzSmoke, TwoHundredFixedSeeds) {
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    const CheckReport report = run_checked(generate_scenario(seed));
+    ASSERT_TRUE(report.ok()) << report.summary();
+  }
+}
+
+}  // namespace
+}  // namespace lap

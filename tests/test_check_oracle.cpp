@@ -1,0 +1,120 @@
+// The acceptance test for the oracle itself: a deliberately injected
+// linearity bug (a second outstanding prefetch on one file) must be caught,
+// and the failing scenario must shrink to a repro a human can read.
+#include "check/oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "check/differential.hpp"
+#include "check/fault_injection.hpp"
+#include "check/scenario.hpp"
+#include "check/shrink.hpp"
+
+namespace lap {
+namespace {
+
+// A workload that reliably makes a linear aggressive algorithm prefetch:
+// two processes on separate nodes streaming long sequential reads.
+Scenario streaming_scenario() {
+  Scenario s;
+  s.algorithm = "Ln_Agr_OBA";
+  s.nodes = 2;
+  s.cache_blocks_per_node = 16;
+  s.trace.block_size = 8192;
+  s.trace.files.push_back(FileInfo{FileId{0}, 64 * 8192});
+  s.trace.files.push_back(FileInfo{FileId{1}, 8 * 8192});  // never touched
+  for (std::uint32_t p = 0; p < 2; ++p) {
+    ProcessTrace proc;
+    proc.pid = ProcId{p + 1};
+    proc.node = NodeId{p};
+    for (std::uint32_t j = 0; j < 30; ++j) {
+      TraceRecord r;
+      r.op = TraceOp::kRead;
+      r.file = FileId{0};
+      r.offset = static_cast<Bytes>((p * 17 + j) % 64) * 8192;
+      r.length = 8192;
+      r.think = SimTime::us(10);
+      proc.records.push_back(r);
+    }
+    s.trace.processes.push_back(std::move(proc));
+  }
+  return s;
+}
+
+bool has_linearity_violation(const InvariantOracle& oracle) {
+  for (const std::string& v : oracle.violations()) {
+    if (v.find("linearity") != std::string::npos) return true;
+  }
+  return false;
+}
+
+// Replays `s` with every prefetch.issue event duplicated on its way to the
+// oracle — the observable signature of a second outstanding prefetch.
+bool injected_bug_is_caught(const Scenario& s) {
+  RunConfig cfg = scenario_config(s, FsKind::kPafs);
+  InvariantOracle oracle({.spec = cfg.algorithm});
+  DoubleIssueInjector injector(oracle);
+  cfg.trace = &injector;
+  (void)run_simulation(s.trace, cfg);
+  oracle.finish();
+  return has_linearity_violation(oracle);
+}
+
+TEST(InvariantOracle, CleanRunHasNoViolations) {
+  const Scenario s = streaming_scenario();
+  RunConfig cfg = scenario_config(s, FsKind::kPafs);
+  InvariantOracle oracle({.spec = cfg.algorithm});
+  cfg.trace = &oracle;
+  const RunResult r = run_simulation(s.trace, cfg);
+  oracle.finish();
+  EXPECT_TRUE(oracle.ok()) << oracle.violations().front();
+  // The scenario actually exercised the prefetcher, so the oracle had
+  // something to check.
+  EXPECT_GT(r.prefetch_issued, 0u);
+  EXPECT_GT(oracle.arrived(), 0u);
+}
+
+TEST(InvariantOracle, CatchesInjectedDoubleIssue) {
+  EXPECT_TRUE(injected_bug_is_caught(streaming_scenario()));
+}
+
+TEST(InvariantOracle, InjectedBugShrinksToASmallRepro) {
+  const Scenario original = streaming_scenario();
+  ASSERT_TRUE(injected_bug_is_caught(original));
+  const Scenario small = shrink_scenario(original, injected_bug_is_caught);
+  EXPECT_TRUE(injected_bug_is_caught(small));
+  // 62 records in, a readable handful out (acceptance bound: <= 20).
+  EXPECT_LE(small.total_records(), 20u);
+  EXPECT_LT(small.total_records(), original.total_records());
+}
+
+TEST(InvariantOracle, ViolationListIsCapped) {
+  const Scenario s = streaming_scenario();
+  RunConfig cfg = scenario_config(s, FsKind::kPafs);
+  InvariantOracle oracle({.spec = cfg.algorithm, .max_violations = 3});
+  DoubleIssueInjector injector(oracle);
+  cfg.trace = &injector;
+  (void)run_simulation(s.trace, cfg);
+  oracle.finish();
+  EXPECT_FALSE(oracle.ok());
+  EXPECT_LE(oracle.violations().size(), 3u);
+}
+
+TEST(InvariantOracle, TalliesMatchRunResult) {
+  const Scenario s = streaming_scenario();
+  RunConfig cfg = scenario_config(s, FsKind::kXfs);
+  InvariantOracle oracle({.spec = cfg.algorithm});
+  cfg.trace = &oracle;
+  const RunResult r = run_simulation(s.trace, cfg);
+  oracle.finish();
+  EXPECT_TRUE(oracle.ok());
+  EXPECT_EQ(oracle.arrived(), r.prefetch_arrived);
+  EXPECT_EQ(oracle.used(), r.prefetch_used);
+  EXPECT_EQ(oracle.wasted(), r.prefetch_wasted);
+  EXPECT_EQ(oracle.arrived(), oracle.used() + oracle.wasted());
+}
+
+}  // namespace
+}  // namespace lap

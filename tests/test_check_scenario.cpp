@@ -1,0 +1,84 @@
+#include "check/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace lap {
+namespace {
+
+TEST(Scenario, GenerationIsDeterministic) {
+  for (std::uint64_t seed : {1ull, 42ull, 999ull}) {
+    const Scenario a = generate_scenario(seed);
+    const Scenario b = generate_scenario(seed);
+    EXPECT_EQ(a, b) << "seed " << seed;
+  }
+}
+
+TEST(Scenario, DifferentSeedsDiffer) {
+  EXPECT_NE(generate_scenario(1), generate_scenario(2));
+}
+
+TEST(Scenario, GeneratedShapesAreReplayable) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const Scenario s = generate_scenario(seed);
+    ASSERT_GE(s.nodes, 1u);
+    ASSERT_FALSE(s.trace.files.empty());
+    ASSERT_FALSE(s.trace.processes.empty());
+    // Every process must run on a node the machine actually has.
+    for (const ProcessTrace& p : s.trace.processes) {
+      EXPECT_LT(raw(p.node), s.nodes);
+    }
+    // parse() must accept the algorithm the generator picked.
+    EXPECT_NO_THROW((void)AlgorithmSpec::parse(s.algorithm));
+  }
+}
+
+TEST(Scenario, SaveLoadRoundTrips) {
+  const Scenario s = generate_scenario(7);
+  std::stringstream ss;
+  save_scenario(ss, s);
+  const Scenario loaded = load_scenario(ss);
+  EXPECT_EQ(loaded, s);
+}
+
+TEST(Scenario, LoadRejectsJunk) {
+  std::stringstream not_a_scenario("hello\nworld\n");
+  EXPECT_THROW((void)load_scenario(not_a_scenario), std::invalid_argument);
+  std::stringstream bad_key("# lap-scenario v1\nbogus 3\n# lap-trace v1\n");
+  EXPECT_THROW((void)load_scenario(bad_key), std::invalid_argument);
+}
+
+TEST(Scenario, ConfigMatchesScenarioShape) {
+  const Scenario s = generate_scenario(11);
+  const RunConfig cfg = scenario_config(s, FsKind::kXfs);
+  EXPECT_EQ(cfg.machine.nodes, s.nodes);
+  EXPECT_EQ(cfg.machine.block_size, s.trace.block_size);
+  EXPECT_EQ(cfg.cache_per_node,
+            static_cast<Bytes>(s.cache_blocks_per_node) * s.trace.block_size);
+  EXPECT_EQ(cfg.fs, FsKind::kXfs);
+  // Conservation checks need every demand block classified.
+  EXPECT_EQ(cfg.warmup_fraction, 0.0);
+}
+
+TEST(Scenario, PopulationCoversTheInterestingAxes) {
+  // Across a modest seed range the generator must exercise deletes,
+  // serialized replay, multi-node machines and the linear algorithms —
+  // otherwise the fuzzer silently stops covering the paper's machinery.
+  bool saw_delete = false, saw_serialized = false, saw_multi_node = false,
+       saw_linear = false;
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    const Scenario s = generate_scenario(seed);
+    saw_delete = saw_delete || s.has_deletes();
+    saw_serialized = saw_serialized || s.trace.serialize_per_node;
+    saw_multi_node = saw_multi_node || s.nodes > 1;
+    saw_linear = saw_linear || AlgorithmSpec::parse(s.algorithm).linear();
+  }
+  EXPECT_TRUE(saw_delete);
+  EXPECT_TRUE(saw_serialized);
+  EXPECT_TRUE(saw_multi_node);
+  EXPECT_TRUE(saw_linear);
+}
+
+}  // namespace
+}  // namespace lap

@@ -1,0 +1,75 @@
+#include "check/shrink.hpp"
+
+#include <gtest/gtest.h>
+
+#include "check/scenario.hpp"
+
+namespace lap {
+namespace {
+
+// Counts the property evaluations the shrinker spends.
+struct CountingPredicate {
+  ScenarioPredicate inner;
+  std::size_t* calls;
+
+  bool operator()(const Scenario& s) const {
+    ++*calls;
+    return inner(s);
+  }
+};
+
+bool touches_file_zero(const Scenario& s) {
+  for (const ProcessTrace& p : s.trace.processes) {
+    for (const TraceRecord& r : p.records) {
+      if (r.op == TraceOp::kWrite && raw(r.file) == 0) return true;
+    }
+  }
+  return false;
+}
+
+TEST(Shrink, ReducesToTheRecordsThePredicateNeeds) {
+  // Among hundreds of generated records, "a write to file 0" should shrink
+  // to a single-record scenario.
+  Scenario s;
+  for (std::uint64_t seed = 1;; ++seed) {
+    s = generate_scenario(seed);
+    if (touches_file_zero(s) && s.total_records() > 20) break;
+  }
+  const Scenario small = shrink_scenario(s, touches_file_zero);
+  EXPECT_TRUE(touches_file_zero(small));
+  EXPECT_EQ(small.total_records(), 1u);
+  EXPECT_EQ(small.trace.processes.size(), 1u);
+}
+
+TEST(Shrink, DropsFilesTheTraceNoLongerReferences) {
+  Scenario s = generate_scenario(3);
+  ASSERT_TRUE(s.trace.files.size() > 1 || s.total_records() > 1);
+  const Scenario small = shrink_scenario(s, touches_file_zero);
+  // Only file 0 can still be referenced by the surviving write.
+  EXPECT_EQ(small.trace.files.size(), 1u);
+  EXPECT_EQ(raw(small.trace.files[0].id), 0u);
+}
+
+TEST(Shrink, RespectsTheEvaluationBudget) {
+  const Scenario s = generate_scenario(5);
+  std::size_t calls = 0;
+  (void)shrink_scenario(s, CountingPredicate{touches_file_zero, &calls},
+                        /*max_evaluations=*/10);
+  EXPECT_LE(calls, 10u);
+}
+
+TEST(Shrink, NeverReturnsAPassingScenario) {
+  // Whatever the budget, the result must still fail the predicate — the
+  // shrinker only keeps removals the predicate survived.
+  for (std::uint64_t seed : {2ull, 4ull, 9ull}) {
+    const Scenario s = generate_scenario(seed);
+    if (!touches_file_zero(s)) continue;
+    for (std::size_t budget : {0u, 1u, 25u}) {
+      EXPECT_TRUE(
+          touches_file_zero(shrink_scenario(s, touches_file_zero, budget)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lap

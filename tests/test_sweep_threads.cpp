@@ -1,0 +1,40 @@
+// Thread-count independence: a sweep is a grid of single-threaded,
+// deterministic simulations, so the worker-pool size must not leak into any
+// result — every RunResult field (doubles compared exactly; wall_seconds
+// excluded) must be bit-identical between threads=1 and threads=8.
+#include <gtest/gtest.h>
+
+#include "check/differential.hpp"
+#include "driver/sweep.hpp"
+#include "trace/charisma_gen.hpp"
+
+namespace lap {
+namespace {
+
+TEST(SweepThreads, ResultsAreIndependentOfThreadCount) {
+  CharismaParams p;
+  p.scale = 0.15;
+  const Trace trace = generate_charisma(p);
+
+  RunConfig base;
+  base.machine = MachineConfig::pm();
+  SweepSpec spec;
+  spec.cache_sizes = {1_MiB, 4_MiB};
+  spec.algorithms = {AlgorithmSpec::parse("NP"),
+                     AlgorithmSpec::parse("Ln_Agr_OBA"),
+                     AlgorithmSpec::parse("Ln_Agr_IS_PPM:1")};
+
+  const auto serial = run_sweep(trace, base, spec, /*threads=*/1);
+  const auto parallel = run_sweep(trace, base, spec, /*threads=*/8);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    const auto diffs =
+        diff_run_results(serial[i], parallel[i],
+                         serial[i].algorithm + "/" +
+                             std::to_string(serial[i].cache_per_node));
+    EXPECT_TRUE(diffs.empty()) << diffs.front();
+  }
+}
+
+}  // namespace
+}  // namespace lap
