@@ -1,0 +1,176 @@
+// Machine-readable output for the micro-benchmarks (perf-regression gate).
+//
+// LAP_BENCHMARK_JSON_MAIN() replaces BENCHMARK_MAIN(): the binary behaves
+// exactly like a stock google-benchmark binary (console output, standard
+// flags) but additionally understands
+//
+//     --json <path>    (or --json=<path>)
+//
+// which appends this binary's results to `path` in the lap-bench-v1 schema:
+//
+//     {
+//       "schema": "lap-bench-v1",
+//       "binaries":   { "<binary>": { "max_rss_kb": N } },
+//       "benchmarks": { "<name>": { "binary": "<binary>",
+//                                   "real_ns": ns-per-iteration,
+//                                   "items_per_second": rate-or-0 } }
+//     }
+//
+// Appending merges by benchmark name (a re-run of one binary replaces only
+// its own entries), so micro_engine and micro_predictor can share one
+// BENCH_micro.json — the file scripts/check_bench_regression.py gates CI
+// on.  RSS is the process peak (getrusage), recorded per binary.
+#pragma once
+
+#include <benchmark/benchmark.h>
+#include <sys/resource.h>
+
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace lap::benchjson {
+
+struct Entry {
+  std::string binary;
+  double real_ns = 0.0;
+  double items_per_second = 0.0;
+};
+
+/// Console output plus per-run capture of the numbers the gate compares.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      Entry e;
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      e.real_ns = run.real_accumulated_time * 1e9 / iters;
+      if (auto it = run.counters.find("items_per_second");
+          it != run.counters.end()) {
+        e.items_per_second = static_cast<double>(it->second);
+      }
+      results[run.benchmark_name()] = e;
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::map<std::string, Entry> results;  // ordered → stable JSON diffs
+};
+
+inline std::string basename_of(const char* argv0) {
+  std::string s(argv0);
+  const auto slash = s.find_last_of('/');
+  return slash == std::string::npos ? s : s.substr(slash + 1);
+}
+
+/// Fold an existing lap-bench-v1 document into `benchmarks`/`rss`, skipping
+/// entries owned by `binary` (they are being replaced).
+inline void merge_existing(const std::string& path, const std::string& binary,
+                           std::map<std::string, Entry>& benchmarks,
+                           std::map<std::string, double>& rss) {
+  std::ifstream in(path);
+  if (!in) return;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const auto doc = parse_json(buf.str());
+  if (!doc || !doc->is_object()) return;
+  if (const JsonValue* bins = doc->find("binaries"); bins && bins->is_object()) {
+    for (const auto& [name, v] : bins->object) {
+      if (name == binary) continue;
+      if (const JsonValue* kb = v.find("max_rss_kb")) rss[name] = kb->number;
+    }
+  }
+  const JsonValue* benches = doc->find("benchmarks");
+  if (!benches || !benches->is_object()) return;
+  for (const auto& [name, v] : benches->object) {
+    Entry e;
+    if (const JsonValue* b = v.find("binary")) e.binary = b->string;
+    if (e.binary == binary) continue;
+    if (const JsonValue* ns = v.find("real_ns")) e.real_ns = ns->number;
+    if (const JsonValue* ips = v.find("items_per_second")) {
+      e.items_per_second = ips->number;
+    }
+    benchmarks[name] = e;
+  }
+}
+
+inline int run_main(int argc, char** argv) {
+  // Peel off --json before google-benchmark sees (and rejects) it.
+  std::string json_path;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (json_path.empty()) return 0;
+
+  const std::string binary = basename_of(argv[0]);
+  std::map<std::string, Entry> benchmarks;
+  std::map<std::string, double> rss;
+  merge_existing(json_path, binary, benchmarks, rss);
+  for (auto& [name, e] : reporter.results) {
+    e.binary = binary;
+    benchmarks[name] = e;
+  }
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  rss[binary] = static_cast<double>(usage.ru_maxrss);  // KiB on Linux
+
+  std::ofstream out(json_path);
+  if (!out) return 1;
+  JsonWriter w(out);
+  w.begin_object();
+  w.member("schema", "lap-bench-v1");
+  w.key("binaries");
+  w.begin_object();
+  for (const auto& [name, kb] : rss) {
+    w.key(name);
+    w.begin_object();
+    w.member("max_rss_kb", kb);
+    w.end_object();
+  }
+  w.end_object();
+  w.key("benchmarks");
+  w.begin_object();
+  for (const auto& [name, e] : benchmarks) {
+    w.key(name);
+    w.begin_object();
+    w.member("binary", e.binary);
+    w.member("real_ns", e.real_ns);
+    w.member("items_per_second", e.items_per_second);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  out << "\n";
+  return 0;
+}
+
+}  // namespace lap::benchjson
+
+#define LAP_BENCHMARK_JSON_MAIN()                  \
+  int main(int argc, char** argv) {                \
+    return lap::benchjson::run_main(argc, argv);   \
+  }

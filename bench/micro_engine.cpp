@@ -3,6 +3,7 @@
 // a simulated system the harness can sweep.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
 #include "sim/engine.hpp"
 #include "sim/future.hpp"
 #include "sim/resource.hpp"
@@ -72,4 +73,4 @@ BENCHMARK(BM_PromiseRendezvous)->Arg(1024)->Arg(8192);
 }  // namespace
 }  // namespace lap
 
-BENCHMARK_MAIN();
+LAP_BENCHMARK_JSON_MAIN();

@@ -3,6 +3,10 @@
 // per-request overhead a real file server would pay.
 #include <benchmark/benchmark.h>
 
+#include <utility>
+#include <vector>
+
+#include "bench_json.hpp"
 #include "core/aggressive.hpp"
 #include "core/is_ppm.hpp"
 #include "core/oba.hpp"
@@ -62,6 +66,41 @@ void BM_IsPpmPredict(benchmark::State& state) {
 }
 BENCHMARK(BM_IsPpmPredict);
 
+void BM_IsPpmCharismaStream(benchmark::State& state) {
+  // Higher-order lookup cost on a long CHARISMA-like stream: P processes
+  // read a shared file in interleaved strided chunks (the paper's parallel
+  // scientific traces), with a phase change re-reading from the start every
+  // few thousand requests.  Every request is one graph intern (order-j
+  // context) plus one prediction — the per-request price a file server
+  // pays, on realistic (mostly-repeating, occasionally-novel) contexts.
+  const int order = static_cast<int>(state.range(0));
+  constexpr int kProcs = 8;
+  constexpr std::uint32_t kChunk = 4;       // blocks per request
+  constexpr std::int64_t kPhaseLen = 4096;  // requests between re-reads
+  std::vector<std::pair<std::int64_t, std::uint32_t>> requests;
+  requests.reserve(32768);
+  std::int64_t cursor[kProcs] = {};
+  for (int p = 0; p < kProcs; ++p) cursor[p] = p * kChunk;
+  for (int i = 0; i < 32768; ++i) {
+    const int p = i % kProcs;
+    if (i % kPhaseLen == kPhaseLen - 1) cursor[p] = p * kChunk;  // new phase
+    requests.emplace_back(cursor[p], kChunk);
+    cursor[p] += kProcs * kChunk;  // the strided CHARISMA access
+  }
+  for (auto _ : state) {
+    IsPpmGraph graph(order);
+    IsPpmPredictor pred(graph);
+    std::uint64_t t = 0;
+    for (const auto& [off, len] : requests) {
+      pred.on_request(off, len, ++t);
+      benchmark::DoNotOptimize(pred.predict_next());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(requests.size()));
+}
+BENCHMARK(BM_IsPpmCharismaStream)->Arg(2)->Arg(3);
+
 void BM_AggressiveWalk(benchmark::State& state) {
   IsPpmGraph graph(1);
   IsPpmPredictor pred(graph);
@@ -91,4 +130,4 @@ BENCHMARK(BM_SequentialStream);
 }  // namespace
 }  // namespace lap
 
-BENCHMARK_MAIN();
+LAP_BENCHMARK_JSON_MAIN();

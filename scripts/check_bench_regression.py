@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Gate CI on micro-benchmark regressions.
+
+Compares a freshly generated lap-bench-v1 JSON (see bench/bench_json.hpp)
+against the committed baseline bench/BENCH_micro.json and fails when any
+benchmark got more than FACTOR times slower (real_ns), or any binary's peak
+RSS more than FACTOR times larger.
+
+The factor is deliberately loose (2x by default): CI runners are shared and
+noisy, so the gate catches accidental algorithmic regressions (a container
+swap reverting to O(n), an allocation sneaking back into the hot loop), not
+single-digit-percent drift.  Benchmarks present on only one side are
+reported but never fail the gate, so adding or retiring a benchmark does
+not require touching the baseline in the same commit.
+
+Usage:
+    check_bench_regression.py CURRENT.json [BASELINE.json] [--factor 2.0]
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "bench" / "BENCH_micro.json"
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "lap-bench-v1":
+        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    return doc
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("current", help="freshly generated BENCH_micro.json")
+    ap.add_argument("baseline", nargs="?", default=str(DEFAULT_BASELINE))
+    ap.add_argument("--factor", type=float, default=2.0,
+                    help="fail when current/baseline exceeds this (default 2.0)")
+    args = ap.parse_args()
+
+    cur = load(args.current)
+    base = load(args.baseline)
+    failures = []
+
+    cur_b = cur.get("benchmarks", {})
+    base_b = base.get("benchmarks", {})
+    for name in sorted(base_b.keys() | cur_b.keys()):
+        if name not in cur_b:
+            print(f"  [gone] {name} (in baseline only — not a failure)")
+            continue
+        if name not in base_b:
+            print(f"  [new ] {name} (no baseline — not a failure)")
+            continue
+        b, c = base_b[name]["real_ns"], cur_b[name]["real_ns"]
+        if b <= 0:
+            continue
+        ratio = c / b
+        status = "FAIL" if ratio > args.factor else "ok  "
+        print(f"  [{status}] {name}: {b:.1f} -> {c:.1f} ns ({ratio:.2f}x)")
+        if ratio > args.factor:
+            failures.append(f"{name}: {ratio:.2f}x slower")
+
+    cur_r = cur.get("binaries", {})
+    base_r = base.get("binaries", {})
+    for name in sorted(base_r.keys() & cur_r.keys()):
+        b, c = base_r[name]["max_rss_kb"], cur_r[name]["max_rss_kb"]
+        if b <= 0:
+            continue
+        ratio = c / b
+        status = "FAIL" if ratio > args.factor else "ok  "
+        print(f"  [{status}] {name} peak RSS: {b:.0f} -> {c:.0f} KiB ({ratio:.2f}x)")
+        if ratio > args.factor:
+            failures.append(f"{name}: peak RSS {ratio:.2f}x larger")
+
+    if failures:
+        print(f"\n{len(failures)} regression(s) beyond {args.factor}x:",
+              file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nAll within {args.factor}x of baseline.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,8 +20,9 @@ for b in build/bench/*; do
   echo "### $b"
   case "$name" in
     micro_*)
-      # google-benchmark binaries: no sweep, nothing to export
-      "$b"
+      # google-benchmark binaries: refresh the committed perf baseline that
+      # CI's perf-smoke job gates against (2x; scripts/check_bench_regression.py)
+      "$b" --json bench/BENCH_micro.json
       ;;
     fig* | table2*)
       "$b" --csv "results/$name.csv" --metrics-json "results/$name.json"

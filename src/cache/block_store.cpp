@@ -16,6 +16,11 @@ void BufferPool::trace_instant(const char* name, const CacheEntry& e) const {
 
 BufferPool::BufferPool(std::size_t capacity_blocks) : capacity_(capacity_blocks) {
   LAP_EXPECTS(capacity_blocks >= 1);
+  // A full pool holds exactly `capacity_` entries; sizing the tables up
+  // front avoids every growth rehash (only tombstone compaction after long
+  // erase/insert churn can still re-slot the tables).
+  entries_.reserve(capacity_blocks);
+  lru_.reserve(capacity_blocks);
 }
 
 CacheEntry* BufferPool::find(BlockKey key) {
@@ -96,7 +101,9 @@ std::vector<CacheEntry> BufferPool::drop_file(FileId file) {
   auto it = file_index_.find(raw(file));
   if (it == file_index_.end()) return dropped;
   // Copy: erase() mutates the index we are iterating.
-  const std::vector<std::uint32_t> indices(it->second.begin(), it->second.end());
+  std::vector<std::uint32_t> indices;
+  indices.reserve(it->second.size());
+  it->second.for_each([&](std::uint32_t index) { indices.push_back(index); });
   dropped.reserve(indices.size());
   for (std::uint32_t index : indices) {
     const BlockKey key{file, index};

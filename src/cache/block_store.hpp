@@ -10,13 +10,13 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "cache/block.hpp"
 #include "cache/lru.hpp"
 #include "obs/trace_event.hpp"
+#include "util/flat_hash.hpp"
 #include "util/units.hpp"
 
 namespace lap {
@@ -94,10 +94,17 @@ class BufferPool {
   const Engine* trace_eng_ = nullptr;
   TraceTrack trace_track_{};
   std::size_t capacity_;
-  std::unordered_map<BlockKey, CacheEntry, BlockKeyHash> entries_;
+  // Flat tables, reserve()d to `capacity_` at construction so the steady
+  // state never rehashes (lookups on the demand path are the pool's
+  // hottest operation).
+  FlatHashMap<BlockKey, CacheEntry, BlockKeyHash> entries_;
   LruList<BlockKey, BlockKeyHash> lru_;
+  // Deliberately still node-based: the sync daemon flushes dirty buffers in
+  // this set's iteration order, and keeping the seed's std::unordered_set
+  // preserves that order bit-exactly (it only sees dirty-transition
+  // traffic, not per-access traffic, so it is off the hot path).
   std::unordered_set<BlockKey, BlockKeyHash> dirty_;
-  std::unordered_map<std::uint32_t, std::unordered_set<std::uint32_t>>
+  FlatHashMap<std::uint32_t, FlatHashSet<std::uint32_t>>
       file_index_;  // raw(file) -> block indices
 };
 

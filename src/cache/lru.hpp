@@ -1,14 +1,20 @@
-// A small LRU ordering container: list of keys with O(1) touch/evict via a
-// side map of iterators.  Used by the buffer pools; kept separate so its
-// invariants are unit-testable in isolation.
+// A small LRU ordering container with O(1) touch/evict.
+//
+// Intrusive array implementation: recency links are prev/next *indices*
+// into one contiguous node array recycled through a free-list, and the only
+// per-key lookup is a flat open-addressing index from key to node slot — no
+// std::list nodes, no per-entry allocation after the arrays warm up.  Each
+// operation hashes its key at most once (find and erase share the slot, the
+// historical double-hash of pop_back/touch is gone).  Used by the buffer
+// pools; kept separate so its invariants are unit-testable in isolation.
 #pragma once
 
 #include <cstdint>
-#include <list>
 #include <optional>
-#include <unordered_map>
+#include <vector>
 
 #include "util/assert.hpp"
+#include "util/flat_hash.hpp"
 
 namespace lap {
 
@@ -22,15 +28,31 @@ struct LruListStats {
   std::uint64_t erases = 0;
 };
 
-template <typename K, typename Hash = std::hash<K>>
+template <typename K, typename Hash = FlatHash<K>>
 class LruList {
  public:
+  /// Pre-size the node array and index for `n` keys.
+  void reserve(std::size_t n) {
+    nodes_.reserve(n);
+    index_.reserve(n);
+  }
+
   /// Insert as most-recently-used.  Key must not be present.
   void push_front(const K& key) {
-    LAP_EXPECTS(!contains(key));
+    auto [it, inserted] = index_.emplace(key, kNull);
+    LAP_EXPECTS(inserted);
     ++stats_.pushes;
-    order_.push_front(key);
-    index_.emplace(key, order_.begin());
+    std::uint32_t node;
+    if (free_ != kNull) {
+      node = free_;
+      free_ = nodes_[node].next;
+      nodes_[node].key = key;
+    } else {
+      node = static_cast<std::uint32_t>(nodes_.size());
+      nodes_.push_back(Node{key, kNull, kNull});
+    }
+    it->second = node;
+    link_front(node);
   }
 
   /// Move an existing key to most-recently-used.
@@ -38,30 +60,39 @@ class LruList {
     auto it = index_.find(key);
     LAP_EXPECTS(it != index_.end());
     ++stats_.touches;
-    order_.splice(order_.begin(), order_, it->second);
+    const std::uint32_t node = it->second;
+    if (node == head_) return;
+    unlink(node);
+    link_front(node);
   }
 
   /// Remove and return the least-recently-used key.
   std::optional<K> pop_back() {
-    if (order_.empty()) return std::nullopt;
+    if (tail_ == kNull) return std::nullopt;
     ++stats_.pops;
-    K key = order_.back();
-    order_.pop_back();
-    index_.erase(key);
+    const std::uint32_t node = tail_;
+    K key = std::move(nodes_[node].key);
+    unlink(node);
+    release(node);
+    auto it = index_.find(key);
+    LAP_ASSERT(it != index_.end());
+    index_.erase(it);
     return key;
   }
 
   /// Peek at the least-recently-used key without removing it.
   [[nodiscard]] std::optional<K> back() const {
-    if (order_.empty()) return std::nullopt;
-    return order_.back();
+    if (tail_ == kNull) return std::nullopt;
+    return nodes_[tail_].key;
   }
 
   bool erase(const K& key) {
     auto it = index_.find(key);
     if (it == index_.end()) return false;
     ++stats_.erases;
-    order_.erase(it->second);
+    const std::uint32_t node = it->second;
+    unlink(node);
+    release(node);
     index_.erase(it);
     return true;
   }
@@ -72,8 +103,40 @@ class LruList {
   [[nodiscard]] const LruListStats& stats() const { return stats_; }
 
  private:
-  std::list<K> order_;  // front = MRU, back = LRU
-  std::unordered_map<K, typename std::list<K>::iterator, Hash> index_;
+  static constexpr std::uint32_t kNull = 0xffffffffU;
+
+  struct Node {
+    K key;
+    std::uint32_t prev;
+    std::uint32_t next;
+  };
+
+  void link_front(std::uint32_t node) {
+    nodes_[node].prev = kNull;
+    nodes_[node].next = head_;
+    if (head_ != kNull) nodes_[head_].prev = node;
+    head_ = node;
+    if (tail_ == kNull) tail_ = node;
+  }
+
+  void unlink(std::uint32_t node) {
+    const std::uint32_t p = nodes_[node].prev;
+    const std::uint32_t n = nodes_[node].next;
+    if (p != kNull) nodes_[p].next = n; else head_ = n;
+    if (n != kNull) nodes_[n].prev = p; else tail_ = p;
+  }
+
+  void release(std::uint32_t node) {
+    // Freed nodes are chained through their `next` field.
+    nodes_[node].next = free_;
+    free_ = node;
+  }
+
+  std::vector<Node> nodes_;
+  std::uint32_t head_ = kNull;
+  std::uint32_t tail_ = kNull;
+  std::uint32_t free_ = kNull;
+  FlatHashMap<K, std::uint32_t, Hash> index_;
   LruListStats stats_;
 };
 

@@ -1,0 +1,71 @@
+#include "check/golden.hpp"
+
+#include <bit>
+#include <string_view>
+
+#include "check/scenario.hpp"
+
+namespace lap {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+void mix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xffU;
+    h *= kFnvPrime;
+  }
+}
+
+void mix(std::uint64_t& h, double v) { mix(h, std::bit_cast<std::uint64_t>(v)); }
+
+void mix(std::uint64_t& h, std::string_view s) {
+  mix(h, static_cast<std::uint64_t>(s.size()));
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= kFnvPrime;
+  }
+}
+
+}  // namespace
+
+std::uint64_t hash_run_result(const RunResult& r) {
+  std::uint64_t h = kFnvOffset;
+  mix(h, r.algorithm);
+  mix(h, r.fs);
+  mix(h, static_cast<std::uint64_t>(r.cache_per_node));
+  mix(h, r.avg_read_ms);
+  mix(h, r.avg_write_ms);
+  mix(h, r.reads);
+  mix(h, r.writes);
+  mix(h, r.disk_reads);
+  mix(h, r.disk_writes);
+  mix(h, r.disk_accesses);
+  mix(h, r.disk_prefetch_reads);
+  mix(h, r.writes_per_block);
+  mix(h, r.hit_ratio);
+  mix(h, r.hits_local);
+  mix(h, r.hits_remote);
+  mix(h, r.hits_inflight);
+  mix(h, r.misses);
+  mix(h, r.misprediction_ratio);
+  mix(h, r.prefetch_issued);
+  mix(h, r.prefetch_fallback);
+  mix(h, r.prefetch_arrived);
+  mix(h, r.prefetch_used);
+  mix(h, r.prefetch_wasted);
+  mix(h, r.fallback_fraction);
+  mix(h, r.read_p95_ms);
+  mix(h, static_cast<std::uint64_t>(r.sim_duration.nanos()));
+  mix(h, r.events);
+  return h;
+}
+
+std::uint64_t golden_scenario_hash(std::uint64_t seed, FsKind fs) {
+  const Scenario s = generate_scenario(seed);
+  return hash_run_result(run_simulation(s.trace, scenario_config(s, fs)));
+}
+
+}  // namespace lap

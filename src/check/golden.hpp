@@ -1,0 +1,28 @@
+// Canonical RunResult fingerprinting for the container-swap differential
+// corpus.
+//
+// The hot-path containers (event heap, flat hash tables, intrusive LRU,
+// flat disk queue) were rewritten under a "same bits, fewer nanoseconds"
+// contract: every simulation must produce a RunResult identical to the one
+// the original node-based containers produced.  This header pins that
+// contract down to a single number per run — an FNV-1a hash over every
+// RunResult field except wall_seconds, with doubles hashed by exact bit
+// pattern — so a corpus of golden hashes captured before the rewrite keeps
+// guarding it afterwards.
+#pragma once
+
+#include <cstdint>
+
+#include "driver/simulation.hpp"
+
+namespace lap {
+
+/// Order- and layout-stable hash of `r`; wall_seconds is the only field
+/// excluded (it measures the host, not the simulation).
+[[nodiscard]] std::uint64_t hash_run_result(const RunResult& r);
+
+/// Hash of the scenario derived from `seed` replayed under `fs`
+/// (scenario_config defaults: untraced, warm-up disabled).
+[[nodiscard]] std::uint64_t golden_scenario_hash(std::uint64_t seed, FsKind fs);
+
+}  // namespace lap

@@ -1,52 +1,80 @@
 #include "core/is_ppm.hpp"
 
+#include <algorithm>
+
 #include "util/assert.hpp"
 
 namespace lap {
 
-std::size_t IsPpmGraph::KeyHash::operator()(
-    const std::vector<IntervalSize>& v) const noexcept {
+std::uint64_t IsPpmGraph::fingerprint(
+    std::span<const IntervalSize> context) noexcept {
   std::uint64_t h = 0x9e3779b97f4a7c15ULL;
-  for (const auto& p : v) {
+  for (const auto& p : context) {
     std::uint64_t x = static_cast<std::uint64_t>(p.interval) * 0x9ddfea08eb382d69ULL;
     x ^= p.size + 0x2545f4914f6cdd1dULL + (x << 6) + (x >> 2);
     h ^= x + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
   }
-  return static_cast<std::size_t>(h);
+  return h;
 }
 
 IsPpmGraph::IsPpmGraph(int order, EdgePolicy policy)
     : order_(order), policy_(policy) {
   LAP_EXPECTS(order >= 1);
+  index_.resize(16, IndexSlot{0, -1});
+}
+
+void IsPpmGraph::grow_index() {
+  std::vector<IndexSlot> old = std::move(index_);
+  index_.assign(old.size() * 2, IndexSlot{0, -1});
+  const std::size_t mask = index_.size() - 1;
+  for (const IndexSlot& slot : old) {
+    if (slot.id < 0) continue;
+    std::size_t pos = slot.fingerprint & mask;
+    while (index_[pos].id >= 0) pos = (pos + 1) & mask;
+    index_[pos] = slot;
+  }
 }
 
 int IsPpmGraph::intern(std::span<const IntervalSize> context) {
   LAP_EXPECTS(static_cast<int>(context.size()) == order_);
-  std::vector<IntervalSize> key(context.begin(), context.end());
-  if (auto it = index_.find(key); it != index_.end()) return it->second;
-  const int id = static_cast<int>(nodes_.size());
-  nodes_.push_back(Node{key, {}});
-  index_.emplace(std::move(key), id);
+  const std::uint64_t fp = fingerprint(context);
+  const std::size_t mask = index_.size() - 1;
+  std::size_t pos = fp & mask;
+  while (index_[pos].id >= 0) {
+    const IndexSlot& slot = index_[pos];
+    if (slot.fingerprint == fp &&
+        std::ranges::equal(context_of(slot.id), context)) {
+      return slot.id;
+    }
+    pos = (pos + 1) & mask;
+  }
+  // New node: ids are assigned in first-seen order.
+  const int id = static_cast<int>(edges_.size());
+  edges_.emplace_back();
+  contexts_.insert(contexts_.end(), context.begin(), context.end());
+  index_[pos] = IndexSlot{fp, id};
+  // Keep load factor under 3/4 (the pool never shrinks, so no tombstones).
+  if ((edges_.size() + 1) * 4 > index_.size() * 3) grow_index();
   return id;
 }
 
 void IsPpmGraph::link(int from, int to, std::uint64_t timestamp) {
-  LAP_EXPECTS(from >= 0 && from < static_cast<int>(nodes_.size()));
-  LAP_EXPECTS(to >= 0 && to < static_cast<int>(nodes_.size()));
-  for (Edge& e : nodes_[from].edges) {
+  LAP_EXPECTS(from >= 0 && from < static_cast<int>(edges_.size()));
+  LAP_EXPECTS(to >= 0 && to < static_cast<int>(edges_.size()));
+  for (Edge& e : edges_[from]) {
     if (e.to == to) {
       e.last_used = timestamp;
       ++e.count;
       return;
     }
   }
-  nodes_[from].edges.push_back(Edge{to, timestamp, 1});
+  edges_[from].push_back(Edge{to, timestamp, 1});
   ++edge_count_;
 }
 
 std::optional<int> IsPpmGraph::successor(int node) const {
-  LAP_EXPECTS(node >= 0 && node < static_cast<int>(nodes_.size()));
-  const auto& edges = nodes_[node].edges;
+  LAP_EXPECTS(node >= 0 && node < static_cast<int>(edges_.size()));
+  const auto& edges = edges_[node];
   if (edges.empty()) return std::nullopt;
   const Edge* best = &edges.front();
   for (const Edge& e : edges) {
@@ -61,11 +89,13 @@ std::optional<int> IsPpmGraph::successor(int node) const {
 }
 
 const IntervalSize& IsPpmGraph::last_pair(int node) const {
-  LAP_EXPECTS(node >= 0 && node < static_cast<int>(nodes_.size()));
-  return nodes_[node].context.back();
+  LAP_EXPECTS(node >= 0 && node < static_cast<int>(edges_.size()));
+  return contexts_[static_cast<std::size_t>(node + 1) * order_ - 1];
 }
 
-IsPpmPredictor::IsPpmPredictor(IsPpmGraph& graph) : graph_(&graph) {}
+IsPpmPredictor::IsPpmPredictor(IsPpmGraph& graph) : graph_(&graph) {
+  context_.reserve(static_cast<std::size_t>(graph.order()) + 1);
+}
 
 void IsPpmPredictor::on_request(std::int64_t first_block, std::uint32_t nblocks,
                                 std::uint64_t timestamp) {
@@ -73,10 +103,11 @@ void IsPpmPredictor::on_request(std::int64_t first_block, std::uint32_t nblocks,
   if (last_first_.has_value()) {
     const IntervalSize pair{first_block - *last_first_, nblocks};
     context_.push_back(pair);
-    if (static_cast<int>(context_.size()) > graph_->order()) context_.pop_front();
+    if (static_cast<int>(context_.size()) > graph_->order()) {
+      context_.erase(context_.begin());
+    }
     if (static_cast<int>(context_.size()) == graph_->order()) {
-      const std::vector<IntervalSize> key(context_.begin(), context_.end());
-      const int node = graph_->intern(key);
+      const int node = graph_->intern(context_);
       if (current_node_.has_value()) {
         graph_->link(*current_node_, node, timestamp);
       }

@@ -13,10 +13,8 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 namespace lap {
@@ -50,7 +48,7 @@ class IsPpmGraph {
 
   [[nodiscard]] int order() const { return order_; }
   [[nodiscard]] EdgePolicy policy() const { return policy_; }
-  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t node_count() const { return edges_.size(); }
   [[nodiscard]] std::size_t edge_count() const { return edge_count_; }
 
  private:
@@ -59,18 +57,30 @@ class IsPpmGraph {
     std::uint64_t last_used;
     std::uint64_t count;
   };
-  struct Node {
-    std::vector<IntervalSize> context;  // `order_` pairs, oldest first
-    std::vector<Edge> edges;
+  // Interning is allocation-free on the lookup path: the candidate context
+  // arrives as a span, is fingerprinted in place, and is compared directly
+  // against the flat context pool — a key vector is materialised never
+  // (contexts_ grows only when a genuinely new node is created).  The
+  // index is open-addressing and append-only (nodes are never removed), so
+  // each slot just pairs the fingerprint with the node id.
+  struct IndexSlot {
+    std::uint64_t fingerprint;
+    int id;  // -1 = empty
   };
-  struct KeyHash {
-    std::size_t operator()(const std::vector<IntervalSize>& v) const noexcept;
-  };
+
+  [[nodiscard]] static std::uint64_t fingerprint(
+      std::span<const IntervalSize> context) noexcept;
+  [[nodiscard]] std::span<const IntervalSize> context_of(int id) const {
+    return {contexts_.data() + static_cast<std::size_t>(id) * order_,
+            static_cast<std::size_t>(order_)};
+  }
+  void grow_index();
 
   int order_;
   EdgePolicy policy_;
-  std::vector<Node> nodes_;
-  std::unordered_map<std::vector<IntervalSize>, int, KeyHash> index_;
+  std::vector<std::vector<Edge>> edges_;   // per node, in id order
+  std::vector<IntervalSize> contexts_;     // node i: [i*order_, (i+1)*order_)
+  std::vector<IndexSlot> index_;           // power-of-two, linear probing
   std::size_t edge_count_ = 0;
 };
 
@@ -121,7 +131,11 @@ class IsPpmPredictor {
 
  private:
   IsPpmGraph* graph_;
-  std::deque<IntervalSize> context_;       // up to `order` most recent pairs
+  // Sliding window of the last `order` pairs, oldest first.  A plain
+  // vector beats a deque here: order is tiny (1-3), the contiguous window
+  // doubles as the intern() lookup span, and after warm-up the erase-front
+  // shuffle reuses the same capacity forever (no allocation per request).
+  std::vector<IntervalSize> context_;
   std::optional<int> current_node_;        // node for `context_` when full
   std::optional<std::int64_t> last_first_; // previous request's first block
   std::int64_t last_end_ = 0;              // one past the last request

@@ -11,9 +11,9 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "util/flat_hash.hpp"
 #include "util/units.hpp"
 
 namespace lap {
@@ -39,7 +39,9 @@ class OpenSequencePredictor {
 
   std::uint64_t clock_ = 0;
   std::optional<std::uint32_t> last_open_;
-  std::unordered_map<std::uint32_t, std::vector<Successor>> table_;
+  // Keyed lookups only (never iterated), so slot order is irrelevant and
+  // the flat table is a drop-in.
+  FlatHashMap<std::uint32_t, std::vector<Successor>> table_;
 };
 
 }  // namespace lap

@@ -24,7 +24,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 
 #include "cache/block.hpp"
 #include "core/aggressive.hpp"
@@ -35,6 +34,7 @@
 #include "sim/engine.hpp"
 #include "sim/future.hpp"
 #include "sim/task.hpp"
+#include "util/flat_hash.hpp"
 
 namespace lap {
 
@@ -111,7 +111,7 @@ class PrefetchManager {
   struct FileState {
     std::unique_ptr<IsPpmGraph> graph;     // one pattern graph per file
     std::unique_ptr<VkPpmGraph> vk_graph;  // VK_PPM baseline only
-    std::unordered_map<std::uint32_t, PidState> pids;
+    FlatHashMap<std::uint32_t, PidState> pids;
     std::vector<std::uint32_t> pump_order;  // pids in arrival order
     std::size_t rr_cursor = 0;
     std::uint32_t active_pumps = 0;
@@ -147,11 +147,15 @@ class PrefetchManager {
   const bool* stop_flag_;
   std::uint32_t site_ = 0;
   TraceSink* trace_ = nullptr;
-  std::unordered_map<std::uint32_t, FileState> files_;
+  // Flat tables: on_request's files_/pids lookups are on the demand path
+  // of every read and write.  No reference into either map is held across
+  // an insert into the same map (pumps re-resolve through live_state()),
+  // which is the flat-table stability contract.
+  FlatHashMap<std::uint32_t, FileState> files_;
   // Whole-file baseline only: one open-sequence model per client node —
   // Kroeger & Long's predictor works on a single client's open stream, and
   // a globally interleaved sequence would be noise.
-  std::unordered_map<std::uint32_t, OpenSequencePredictor> open_predictors_;
+  FlatHashMap<std::uint32_t, OpenSequencePredictor> open_predictors_;
   std::uint64_t clock_ = 0;  // logical timestamps for MRU edges
   std::uint64_t generations_ = 0;  // FileState ids ever handed out
   PrefetchCounters counters_;

@@ -1,27 +1,68 @@
 #include "core/vk_ppm.hpp"
 
+#include <algorithm>
+
 #include "util/assert.hpp"
 
 namespace lap {
 
-std::size_t VkPpmGraph::KeyHash::operator()(
-    const std::vector<std::uint32_t>& v) const noexcept {
+std::uint64_t VkPpmGraph::fingerprint(
+    std::span<const std::uint32_t> ctx) noexcept {
   std::uint64_t h = 0x9e3779b97f4a7c15ULL;
-  for (std::uint32_t x : v) {
+  for (std::uint32_t x : ctx) {
     h ^= (x + 0x9e3779b97f4a7c15ULL) + (h << 6) + (h >> 2);
     h *= 0xbf58476d1ce4e5b9ULL;
   }
-  return static_cast<std::size_t>(h);
+  return h;
 }
 
 VkPpmGraph::VkPpmGraph(int order) : order_(order) {
   LAP_EXPECTS(order >= 1);
+  index_.resize(16, IndexSlot{0, -1});
 }
 
-void VkPpmGraph::observe(const std::vector<std::uint32_t>& ctx,
+void VkPpmGraph::grow_index() {
+  std::vector<IndexSlot> old = std::move(index_);
+  index_.assign(old.size() * 2, IndexSlot{0, -1});
+  const std::size_t mask = index_.size() - 1;
+  for (const IndexSlot& slot : old) {
+    if (slot.id < 0) continue;
+    std::size_t pos = slot.fingerprint & mask;
+    while (index_[pos].id >= 0) pos = (pos + 1) & mask;
+    index_[pos] = slot;
+  }
+}
+
+int VkPpmGraph::lookup(std::span<const std::uint32_t> ctx,
+                       std::size_t* insert_pos) const {
+  const std::uint64_t fp = fingerprint(ctx);
+  const std::size_t mask = index_.size() - 1;
+  std::size_t pos = fp & mask;
+  while (index_[pos].id >= 0) {
+    const IndexSlot& slot = index_[pos];
+    if (slot.fingerprint == fp &&
+        std::ranges::equal(context_of(slot.id), ctx)) {
+      return slot.id;
+    }
+    pos = (pos + 1) & mask;
+  }
+  if (insert_pos != nullptr) *insert_pos = pos;
+  return -1;
+}
+
+void VkPpmGraph::observe(std::span<const std::uint32_t> ctx,
                          std::uint32_t next) {
   LAP_EXPECTS(static_cast<int>(ctx.size()) == order_);
-  auto& successors = table_[ctx];
+  std::size_t pos = 0;
+  int id = lookup(ctx, &pos);
+  if (id < 0) {
+    id = static_cast<int>(successors_.size());
+    successors_.emplace_back();
+    ctx_pool_.insert(ctx_pool_.end(), ctx.begin(), ctx.end());
+    index_[pos] = IndexSlot{fingerprint(ctx), id};
+    if ((successors_.size() + 1) * 4 > index_.size() * 3) grow_index();
+  }
+  auto& successors = successors_[id];
   ++clock_;
   for (Successor& s : successors) {
     if (s.block == next) {
@@ -34,11 +75,11 @@ void VkPpmGraph::observe(const std::vector<std::uint32_t>& ctx,
 }
 
 std::optional<std::uint32_t> VkPpmGraph::predict(
-    const std::vector<std::uint32_t>& ctx) const {
-  auto it = table_.find(ctx);
-  if (it == table_.end() || it->second.empty()) return std::nullopt;
-  const Successor* best = &it->second.front();
-  for (const Successor& s : it->second) {
+    std::span<const std::uint32_t> ctx) const {
+  const int id = lookup(ctx, nullptr);
+  if (id < 0 || successors_[id].empty()) return std::nullopt;
+  const Successor* best = &successors_[id].front();
+  for (const Successor& s : successors_[id]) {
     // Most probable; recency breaks ties.
     if (s.count > best->count ||
         (s.count == best->count && s.last_used > best->last_used)) {
@@ -48,12 +89,14 @@ std::optional<std::uint32_t> VkPpmGraph::predict(
   return best->block;
 }
 
-VkPpmPredictor::VkPpmPredictor(VkPpmGraph& graph) : graph_(&graph) {}
+VkPpmPredictor::VkPpmPredictor(VkPpmGraph& graph) : graph_(&graph) {
+  context_.reserve(static_cast<std::size_t>(graph.order()) + 1);
+}
 
 void VkPpmPredictor::push_block(std::uint32_t block) {
   if (static_cast<int>(context_.size()) == graph_->order()) {
-    graph_->observe({context_.begin(), context_.end()}, block);
-    context_.pop_front();
+    graph_->observe(context_, block);
+    context_.erase(context_.begin());
   }
   context_.push_back(block);
 }
@@ -65,7 +108,7 @@ void VkPpmPredictor::on_request(std::uint32_t first_block,
 
 std::optional<std::uint32_t> VkPpmPredictor::predict_next() const {
   if (!has_context()) return std::nullopt;
-  return graph_->predict({context_.begin(), context_.end()});
+  return graph_->predict(context_);
 }
 
 std::optional<std::uint32_t> VkPpmPredictor::Walker::next() {

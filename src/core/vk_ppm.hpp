@@ -12,9 +12,9 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
+#include <initializer_list>
 #include <optional>
-#include <unordered_map>
+#include <span>
 #include <vector>
 
 namespace lap {
@@ -24,14 +24,18 @@ class VkPpmGraph {
   explicit VkPpmGraph(int order);
 
   /// Record that `next` followed the context `ctx` (exactly `order` ids).
-  void observe(const std::vector<std::uint32_t>& ctx, std::uint32_t next);
+  void observe(std::span<const std::uint32_t> ctx, std::uint32_t next);
 
   /// Most probable successor of `ctx`, if any.
   [[nodiscard]] std::optional<std::uint32_t> predict(
-      const std::vector<std::uint32_t>& ctx) const;
+      std::span<const std::uint32_t> ctx) const;
+  [[nodiscard]] std::optional<std::uint32_t> predict(
+      std::initializer_list<std::uint32_t> ctx) const {
+    return predict(std::span<const std::uint32_t>{ctx.begin(), ctx.size()});
+  }
 
   [[nodiscard]] int order() const { return order_; }
-  [[nodiscard]] std::size_t context_count() const { return table_.size(); }
+  [[nodiscard]] std::size_t context_count() const { return successors_.size(); }
 
  private:
   struct Successor {
@@ -39,14 +43,32 @@ class VkPpmGraph {
     std::uint64_t count;
     std::uint64_t last_used;
   };
-  struct KeyHash {
-    std::size_t operator()(const std::vector<std::uint32_t>& v) const noexcept;
+  // Same allocation-free interning layout as IsPpmGraph: contexts live
+  // back-to-back in one flat pool, looked up through an append-only
+  // open-addressing index of (fingerprint, id) pairs, with the span
+  // compared directly against the pool — no per-lookup key vector.
+  struct IndexSlot {
+    std::uint64_t fingerprint;
+    int id;  // -1 = empty
   };
+
+  [[nodiscard]] static std::uint64_t fingerprint(
+      std::span<const std::uint32_t> ctx) noexcept;
+  [[nodiscard]] std::span<const std::uint32_t> context_of(int id) const {
+    return {ctx_pool_.data() + static_cast<std::size_t>(id) * order_,
+            static_cast<std::size_t>(order_)};
+  }
+  /// Find `ctx` in the index; returns its id or -1.  `insert_pos`, when
+  /// non-null, receives the probe position a new entry would occupy.
+  [[nodiscard]] int lookup(std::span<const std::uint32_t> ctx,
+                           std::size_t* insert_pos) const;
+  void grow_index();
 
   int order_;
   std::uint64_t clock_ = 0;
-  std::unordered_map<std::vector<std::uint32_t>, std::vector<Successor>, KeyHash>
-      table_;
+  std::vector<std::vector<Successor>> successors_;  // per context, id order
+  std::vector<std::uint32_t> ctx_pool_;  // id i: [i*order_, (i+1)*order_)
+  std::vector<IndexSlot> index_;         // power-of-two, linear probing
 };
 
 /// Per-stream state over a shared per-file VK graph: feeds the block-id
@@ -84,7 +106,10 @@ class VkPpmPredictor {
   void push_block(std::uint32_t block);
 
   VkPpmGraph* graph_;
-  std::deque<std::uint32_t> context_;
+  // Sliding window of the last `order` block ids, oldest first (vector for
+  // the same reasons as IsPpmPredictor: tiny, contiguous, allocation-free
+  // after warm-up).
+  std::vector<std::uint32_t> context_;
 };
 
 }  // namespace lap

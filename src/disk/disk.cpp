@@ -1,5 +1,7 @@
 #include "disk/disk.hpp"
 
+#include <algorithm>
+
 #include "obs/trace_event.hpp"
 #include "util/assert.hpp"
 
@@ -42,41 +44,60 @@ SimFuture<Done> Disk::write_block(int priority, OpId* id, std::uint64_t lba) {
   return submit(/*write=*/true, lba, priority, id);
 }
 
+void Disk::check_queue() const {
+#ifndef NDEBUG
+  for (std::size_t i = 1; i < queue_.size(); ++i) {
+    const Op& above = queue_[i - 1];  // less urgent
+    const Op& below = queue_[i];
+    LAP_ASSERT(above.priority > below.priority ||
+               (above.priority == below.priority && above.id > below.id));
+  }
+#endif
+}
+
+void Disk::enqueue(Op op) {
+  // Descending (priority, id): the most urgent (smallest) entry stays at
+  // back().  Demand traffic therefore inserts near the end, behind only
+  // same-priority earlier arrivals.
+  auto pos = std::upper_bound(
+      queue_.begin(), queue_.end(), op, [](const Op& a, const Op& b) {
+        if (a.priority != b.priority) return a.priority > b.priority;
+        return a.id > b.id;
+      });
+  queue_.insert(pos, std::move(op));
+  check_queue();
+}
+
 SimFuture<Done> Disk::submit(bool write, std::uint64_t lba, int priority,
                              OpId* id) {
   const OpId op_id = next_id_++;
   if (id != nullptr) *id = op_id;
   SimPromise<Done> done(*eng_);
-  const Key key{priority, op_id};
-  queue_.emplace(key, Op{write, lba, done});
-  by_id_.emplace(op_id, key);
+  enqueue(Op{priority, op_id, write, lba, done});
   maybe_start();
   return done.future();
 }
 
 void Disk::boost(OpId id, int priority) {
-  auto it = by_id_.find(id);
-  if (it == by_id_.end()) return;  // started or finished
-  const Key old_key = it->second;
-  if (old_key.first <= priority) return;  // already as urgent
+  // One linear scan over the (short) queue replaces the old id-map lookup
+  // plus keyed-map erase/re-insert; not finding the id means the operation
+  // already started or finished.
+  auto it = std::find_if(queue_.begin(), queue_.end(),
+                         [id](const Op& op) { return op.id == id; });
+  if (it == queue_.end()) return;  // started or finished
+  if (it->priority <= priority) return;  // already as urgent
   ++stats_.boosts;
-  auto qit = queue_.find(old_key);
-  LAP_ASSERT(qit != queue_.end());
-  Op op = std::move(qit->second);
-  queue_.erase(qit);
-  const Key new_key{priority, old_key.second};  // keep submission order
-  queue_.emplace(new_key, std::move(op));
-  it->second = new_key;
+  Op op = std::move(*it);
+  queue_.erase(it);
+  op.priority = priority;  // id (submission order) is the tie-break
+  enqueue(std::move(op));
 }
 
 void Disk::maybe_start() {
   if (in_service_ || queue_.empty()) return;
-  auto it = queue_.begin();
-  const OpId id = it->first.second;
-  const int priority = it->first.first;
-  Op op = std::move(it->second);
-  queue_.erase(it);
-  by_id_.erase(id);
+  Op op = std::move(queue_.back());
+  queue_.pop_back();
+  const int priority = op.priority;
   in_service_ = true;
   // Seek is computed at service start: the arm position is whatever the
   // previous operation left behind.

@@ -11,9 +11,9 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "sim/engine.hpp"
 #include "sim/future.hpp"
@@ -97,17 +97,28 @@ class Disk {
   [[nodiscard]] bool busy() const { return in_service_ || !queue_.empty(); }
 
  private:
+  // One flat queue entry carries the whole operation: the former
+  // (priority, id) -> Op map plus the id -> key side-map collapsed into a
+  // single sorted vector, so completing or boosting an operation is one
+  // lookup with no bookkeeping to keep in sync.  The vector is sorted
+  // DESCENDING by (priority, id) — the most urgent operation sits at
+  // back(), making the hot dequeue an O(1) pop_back; inserts shift the
+  // (short) tail of less-urgent entries.
   struct Op {
+    int priority;
+    OpId id;
     bool write;
     std::uint64_t lba;
     SimPromise<Done> done;
   };
-  /// Queue key: (priority, submission order).
-  using Key = std::pair<int, OpId>;
 
   [[nodiscard]] SimFuture<Done> submit(bool write, std::uint64_t lba,
                                        int priority, OpId* id);
   void maybe_start();
+  /// Insert `op` keeping the descending (priority, id) order.
+  void enqueue(Op op);
+  /// Debug invariant: the queue is strictly descending (unique ids).
+  void check_queue() const;
 
   Engine* eng_;
   DiskConfig cfg_;
@@ -116,8 +127,7 @@ class Disk {
   OpId next_id_ = 0;
   bool in_service_ = false;
   std::uint64_t arm_position_ = 0;  // distance-seek model state
-  std::map<Key, Op> queue_;
-  std::map<OpId, Key> by_id_;  // queued ops only
+  std::vector<Op> queue_;  // sorted descending; back() = most urgent
   DiskStats stats_;
 };
 

@@ -8,9 +8,9 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 
 #include "cache/block.hpp"
+#include "util/flat_hash.hpp"
 #include "util/stats.hpp"
 #include "util/units.hpp"
 
@@ -137,7 +137,8 @@ class Metrics {
   std::uint64_t disk_reads_ = 0;
   std::uint64_t disk_writes_ = 0;
   std::uint64_t disk_prefetch_reads_ = 0;
-  std::unordered_map<BlockKey, std::uint32_t, BlockKeyHash> block_write_counts_;
+  // Only bumped and counted (never iterated): flat table, order-free.
+  FlatHashMap<BlockKey, std::uint32_t, BlockKeyHash> block_write_counts_;
 
   std::uint64_t prefetch_arrived_ = 0;
   std::uint64_t prefetch_used_ = 0;

@@ -11,7 +11,6 @@
 #pragma once
 
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "cache/block_store.hpp"
@@ -105,7 +104,11 @@ class Pafs final : public FileSystem, public PrefetchHost {
   };
 
   BufferPool pool_;
-  std::unordered_map<BlockKey, InFlight, BlockKeyHash> in_flight_;
+  // Flat table: consulted by block_available() on every demand block and
+  // every prefetch-candidate probe.  Entries are always re-found by key
+  // after a co_await (the Broadcast is copied out before suspending), so
+  // rehash invalidation cannot bite.
+  FlatHashMap<BlockKey, InFlight, BlockKeyHash> in_flight_;
   std::vector<std::unique_ptr<Resource>> server_cpu_;
   std::unique_ptr<PrefetchManager> prefetcher_;
   std::unique_ptr<SyncDaemon> sync_;

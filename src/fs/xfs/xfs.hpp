@@ -15,7 +15,6 @@
 #pragma once
 
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "cache/block_store.hpp"
@@ -83,7 +82,7 @@ class Xfs final : public FileSystem {
   };
   struct NodeState {
     std::unique_ptr<BufferPool> pool;
-    std::unordered_map<BlockKey, InFlight, BlockKeyHash> in_flight;
+    FlatHashMap<BlockKey, InFlight, BlockKeyHash> in_flight;
     std::unique_ptr<NodeHost> host;
     std::unique_ptr<PrefetchManager> prefetcher;
     std::unique_ptr<Resource> cpu;  // manager service on this node
@@ -124,9 +123,11 @@ class Xfs final : public FileSystem {
   Rng rng_;
 
   std::vector<NodeState> node_;
-  // file -> block index -> caching nodes
-  std::unordered_map<std::uint32_t,
-                     std::unordered_map<std::uint32_t, std::vector<NodeId>>>
+  // file -> block index -> caching nodes.  Flat at both levels: the
+  // directory is probed on every miss and every manager consult.  holders()
+  // pointers are only read before the next directory mutation (write_task
+  // copies the list before invalidating), per the flat-table contract.
+  FlatHashMap<std::uint32_t, FlatHashMap<std::uint32_t, std::vector<NodeId>>>
       dir_;
   std::unique_ptr<SyncDaemon> sync_;
 };

@@ -6,11 +6,6 @@
 
 namespace lap {
 
-void Engine::schedule_at(SimTime at, std::function<void()> fn) {
-  LAP_EXPECTS(at >= now_);
-  queue_.push(Event{at, next_seq_++, std::move(fn)});
-}
-
 std::uint64_t Engine::run() { return run_until(SimTime::max()); }
 
 std::uint64_t Engine::run_until(SimTime horizon) {
@@ -19,11 +14,12 @@ std::uint64_t Engine::run_until(SimTime horizon) {
   log_detail::ScopedSimClock log_clock(&now_);
   std::uint64_t count = 0;
   while (!queue_.empty()) {
-    const Event& top = queue_.top();
+    const Event top = queue_.top();
     if (top.at > horizon) break;
-    // Move the closure out before popping: the callback may schedule new
-    // events, which can reallocate the heap's storage.
-    auto fn = std::move(const_cast<Event&>(top).fn);
+    // Take the closure out of its slab slot before popping: the callback
+    // may schedule new events, which can grow both the heap and the slab.
+    auto fn = fns_.take(
+        static_cast<std::uint32_t>(top.seq_slot & ((1u << kSlotBits) - 1)));
     now_ = top.at;
     queue_.pop();
     fn();

@@ -8,10 +8,10 @@
 #include <coroutine>
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <vector>
 
 #include "util/assert.hpp"
+#include "util/dary_heap.hpp"
+#include "util/slab.hpp"
 #include "util/units.hpp"
 
 namespace lap {
@@ -27,7 +27,13 @@ class Engine {
   [[nodiscard]] SimTime now() const { return now_; }
 
   /// Schedule `fn` to run at absolute simulated time `at` (>= now).
-  void schedule_at(SimTime at, std::function<void()> fn);
+  void schedule_at(SimTime at, std::function<void()> fn) {
+    LAP_EXPECTS(at >= now_);
+    const std::uint32_t slot = fns_.put(std::move(fn));
+    LAP_ASSERT(slot < (1u << kSlotBits));
+    LAP_ASSERT(next_seq_ < (1ULL << (64 - kSlotBits)));
+    queue_.push(Event{at, (next_seq_++ << kSlotBits) | slot});
+  }
 
   /// Schedule `fn` to run `delay` from now.
   void schedule_in(SimTime delay, std::function<void()> fn) {
@@ -71,15 +77,24 @@ class Engine {
   [[nodiscard]] TraceSink* trace_sink() const { return trace_; }
 
  private:
+  // The heap holds only this 16-byte POD; the callback lives in a slab slot
+  // that is recycled across events, so heap maintenance never moves (or
+  // reallocates) the closures.  seq and slot share one word — seq in the
+  // high bits, so comparing seq_slot compares seq (seq is unique; the slot
+  // bits can never decide) — which keeps dispatch order the total (at, seq)
+  // order, bit-identical to the former std::priority_queue implementation,
+  // while a sift touches a third fewer cache lines.  The split allows 2^24
+  // concurrently pending events and 2^40 scheduled per run, both asserted
+  // at schedule time.
+  static constexpr unsigned kSlotBits = 24;
   struct Event {
     SimTime at;
-    std::uint64_t seq;
-    std::function<void()> fn;
+    std::uint64_t seq_slot;
   };
-  struct Later {
+  struct Earlier {
     bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
+      if (a.at != b.at) return a.at < b.at;
+      return a.seq_slot < b.seq_slot;  // seq in the high bits decides
     }
   };
 
@@ -87,7 +102,8 @@ class Engine {
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
   TraceSink* trace_ = nullptr;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Slab<std::function<void()>> fns_;
+  DaryHeap<Event, Earlier, 4> queue_;
 };
 
 }  // namespace lap

@@ -10,12 +10,11 @@
 #include <coroutine>
 #include <cstdint>
 #include <utility>
-#include <queue>
-#include <vector>
 
 #include "sim/engine.hpp"
 #include "sim/priority.hpp"
 #include "util/assert.hpp"
+#include "util/dary_heap.hpp"
 
 namespace lap {
 
@@ -93,15 +92,18 @@ class Resource {
   [[nodiscard]] bool busy() const { return in_use_ > 0 || !queue_.empty(); }
 
  private:
+  // Flat 4-ary min-heap of small PODs; (priority, seq) is a total order
+  // (seq is unique), so service order matches the former
+  // std::priority_queue implementation exactly.
   struct Waiter {
     int priority;
     std::uint64_t seq;
     std::coroutine_handle<> handle;
   };
-  struct Later {
+  struct Earlier {
     bool operator()(const Waiter& a, const Waiter& b) const {
-      if (a.priority != b.priority) return a.priority > b.priority;
-      return a.seq > b.seq;
+      if (a.priority != b.priority) return a.priority < b.priority;
+      return a.seq < b.seq;
     }
   };
 
@@ -109,7 +111,7 @@ class Resource {
   std::uint32_t capacity_;
   std::uint32_t in_use_ = 0;
   std::uint64_t next_seq_ = 0;
-  std::priority_queue<Waiter, std::vector<Waiter>, Later> queue_;
+  DaryHeap<Waiter, Earlier, 4> queue_;
 };
 
 }  // namespace lap

@@ -1,0 +1,113 @@
+// A flat d-ary min-heap (d = 4 by default).
+//
+// Replaces std::priority_queue in the event engine and the resource
+// queues.  A 4-ary layout halves the tree depth of a binary heap and keeps
+// the four children of a node in one or two cache lines, which is where a
+// discrete-event simulator's pop-heavy workload spends its time.  Entries
+// are intended to be small PODs ({time, seq, slot-index}); the heavy
+// payload lives in a Slab addressed by the slot index.
+//
+// `Less` is a strict-weak order; the heap pops the SMALLEST element (note
+// std::priority_queue's comparator convention is the inverse).  Ties must
+// be broken by the caller's comparator (the engine uses a strictly
+// increasing sequence number) — the heap itself is not stable.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace lap {
+
+template <typename T, typename Less, std::size_t Arity = 4>
+class DaryHeap {
+  static_assert(Arity >= 2);
+
+ public:
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  void reserve(std::size_t n) { items_.reserve(n); }
+
+  [[nodiscard]] const T& top() const {
+    LAP_EXPECTS(!items_.empty());
+    return items_.front();
+  }
+
+  void push(T item) {
+    items_.push_back(std::move(item));
+    sift_up(items_.size() - 1);
+  }
+
+  // Bottom-up deletion (Wegener): walk the hole down the min-child path
+  // without comparing against the replacement, then bubble the replacement
+  // up from the bottom.  The replacement comes from the back of the array —
+  // almost always large — so it rarely rises more than a level, and the
+  // descent does Arity-1 comparisons per level instead of Arity.  With a
+  // strict total order (all our comparators break ties by sequence number)
+  // the popped sequence is identical to the classic top-down sift.
+  void pop() {
+    LAP_EXPECTS(!items_.empty());
+    const std::size_t n = items_.size() - 1;
+    T item = std::move(items_.back());
+    items_.pop_back();
+    if (n == 0) return;
+    std::size_t hole = 0;
+    for (;;) {
+      const std::size_t first_child = hole * Arity + 1;
+      if (first_child >= n) break;
+      const std::size_t last_child =
+          first_child + Arity <= n ? first_child + Arity : n;
+      std::size_t best = first_child;
+      for (std::size_t c = first_child + 1; c < last_child; ++c) {
+        if (less_(items_[c], items_[best])) best = c;
+      }
+      items_[hole] = std::move(items_[best]);
+      hole = best;
+    }
+    while (hole > 0) {
+      const std::size_t parent = (hole - 1) / Arity;
+      if (!less_(item, items_[parent])) break;
+      items_[hole] = std::move(items_[parent]);
+      hole = parent;
+    }
+    items_[hole] = std::move(item);
+  }
+
+ private:
+  void sift_up(std::size_t i) {
+    T item = std::move(items_[i]);
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / Arity;
+      if (!less_(item, items_[parent])) break;
+      items_[i] = std::move(items_[parent]);
+      i = parent;
+    }
+    items_[i] = std::move(item);
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = items_.size();
+    T item = std::move(items_[i]);
+    for (;;) {
+      const std::size_t first_child = i * Arity + 1;
+      if (first_child >= n) break;
+      const std::size_t last_child =
+          first_child + Arity <= n ? first_child + Arity : n;
+      std::size_t best = first_child;
+      for (std::size_t c = first_child + 1; c < last_child; ++c) {
+        if (less_(items_[c], items_[best])) best = c;
+      }
+      if (!less_(items_[best], item)) break;
+      items_[i] = std::move(items_[best]);
+      i = best;
+    }
+    items_[i] = std::move(item);
+  }
+
+  std::vector<T> items_;
+  [[no_unique_address]] Less less_{};
+};
+
+}  // namespace lap

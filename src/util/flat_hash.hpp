@@ -1,0 +1,352 @@
+// Open-addressing hash containers for the simulator's hot paths.
+//
+// FlatHashMap / FlatHashSet store their elements inline in one contiguous
+// slot array probed linearly from the hashed bucket — no per-node
+// allocation, no pointer chasing — which is what block lookup, in-flight
+// tracking and per-file prefetch state spend most of their time doing.
+// Deletion uses tombstones; a rehash (growth or same-capacity compaction
+// once tombstones pile up) drops every tombstone.
+//
+// Iterator / pointer stability rules (narrower than std::unordered_map —
+// these are the rules the unit tests pin down):
+//   - insert/emplace/operator[] invalidate ALL iterators and element
+//     pointers when they trigger a rehash (growth keeps the load factor
+//     under ~0.75 including tombstones);
+//   - erase() invalidates only the erased element; every other slot stays
+//     put (tombstone deletion never moves elements);
+//   - reserve(n) up front makes subsequent inserts up to n elements
+//     rehash-free, so pointers handed out stay valid until then.
+//
+// Iteration order is slot order: deterministic for a deterministic
+// insert/erase history (the simulator's requirement), but arbitrary and
+// NOT insertion order — nothing order-sensitive may iterate these tables.
+//
+// Integer keys are finalised with splitmix64 (std::hash of an int is the
+// identity in common stdlibs; linear probing needs the bits spread), and
+// BlockKey reuses its existing splitmix64-based hasher.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <new>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace lap {
+
+/// splitmix64 finaliser: the default bit-mixer for integer keys.
+[[nodiscard]] constexpr std::uint64_t mix_u64(std::uint64_t v) noexcept {
+  v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  v = (v ^ (v >> 27)) * 0x94d049bb133111ebULL;
+  return v ^ (v >> 31);
+}
+
+/// Default hash: splitmix64 for integers/enums, std::hash otherwise.
+template <typename K>
+struct FlatHash {
+  [[nodiscard]] std::size_t operator()(const K& k) const noexcept {
+    if constexpr (std::is_integral_v<K> || std::is_enum_v<K>) {
+      return static_cast<std::size_t>(mix_u64(static_cast<std::uint64_t>(k)));
+    } else {
+      return std::hash<K>{}(k);
+    }
+  }
+};
+
+namespace flat_detail {
+
+enum : std::uint8_t { kEmpty = 0, kFull = 1, kTombstone = 2 };
+
+}  // namespace flat_detail
+
+template <typename K, typename V, typename Hash = FlatHash<K>,
+          typename Eq = std::equal_to<K>>
+class FlatHashMap {
+ public:
+  using value_type = std::pair<K, V>;
+  static_assert(alignof(std::pair<K, V>) <= alignof(std::max_align_t),
+                "slot storage relies on operator new's default alignment");
+
+  class const_iterator;
+
+  class iterator {
+   public:
+    iterator() = default;
+    value_type& operator*() const { return map_->slot(pos_); }
+    value_type* operator->() const { return &map_->slot(pos_); }
+    iterator& operator++() {
+      pos_ = map_->next_full(pos_ + 1);
+      return *this;
+    }
+    friend bool operator==(iterator a, iterator b) { return a.pos_ == b.pos_; }
+
+   private:
+    friend class FlatHashMap;
+    friend class const_iterator;
+    iterator(FlatHashMap* m, std::size_t pos) : map_(m), pos_(pos) {}
+    FlatHashMap* map_ = nullptr;
+    std::size_t pos_ = 0;
+  };
+
+  class const_iterator {
+   public:
+    const_iterator() = default;
+    const_iterator(iterator it) : map_(it.map_), pos_(it.pos_) {}
+    const value_type& operator*() const { return map_->slot(pos_); }
+    const value_type* operator->() const { return &map_->slot(pos_); }
+    const_iterator& operator++() {
+      pos_ = map_->next_full(pos_ + 1);
+      return *this;
+    }
+    friend bool operator==(const_iterator a, const_iterator b) {
+      return a.pos_ == b.pos_;
+    }
+
+   private:
+    friend class FlatHashMap;
+    const_iterator(const FlatHashMap* m, std::size_t pos)
+        : map_(m), pos_(pos) {}
+    const FlatHashMap* map_ = nullptr;
+    std::size_t pos_ = 0;
+  };
+
+  FlatHashMap() = default;
+  FlatHashMap(FlatHashMap&& o) noexcept { swap(o); }
+  FlatHashMap& operator=(FlatHashMap&& o) noexcept {
+    if (this != &o) {
+      destroy_all();
+      reset_storage();
+      swap(o);
+    }
+    return *this;
+  }
+  FlatHashMap(const FlatHashMap& o) { copy_from(o); }
+  FlatHashMap& operator=(const FlatHashMap& o) {
+    if (this != &o) {
+      destroy_all();
+      reset_storage();
+      copy_from(o);
+    }
+    return *this;
+  }
+  ~FlatHashMap() { destroy_all(); }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const { return cap_; }
+
+  iterator begin() { return iterator{this, next_full(0)}; }
+  iterator end() { return iterator{this, cap_}; }
+  const_iterator begin() const { return const_iterator{this, next_full(0)}; }
+  const_iterator end() const { return const_iterator{this, cap_}; }
+
+  /// Ensure `n` elements fit without any further rehash.
+  void reserve(std::size_t n) {
+    std::size_t want = 8;
+    // Growth threshold is 3/4 of capacity; pick the smallest power of two
+    // whose threshold covers n.
+    while (want - want / 4 < n + 1) want *= 2;
+    if (want > cap_) rehash(want);
+  }
+
+  [[nodiscard]] bool contains(const K& key) const {
+    return find_pos(key) != cap_;
+  }
+
+  iterator find(const K& key) {
+    const std::size_t pos = find_pos(key);
+    return iterator{this, pos};
+  }
+  const_iterator find(const K& key) const {
+    return const_iterator{this, find_pos(key)};
+  }
+
+  /// Insert (key, V(args...)) if absent; returns {slot, inserted}.
+  template <typename KK, typename... Args>
+  std::pair<iterator, bool> emplace(KK&& key, Args&&... args) {
+    if (need_grow()) rehash(cap_ == 0 ? 8 : cap_ * 2);
+    const std::size_t h = hash_(key);
+    std::size_t pos = probe_start(h);
+    std::size_t insert_at = cap_;
+    for (;;) {
+      const std::uint8_t st = state_[pos];
+      if (st == flat_detail::kEmpty) {
+        if (insert_at == cap_) insert_at = pos;
+        break;
+      }
+      if (st == flat_detail::kTombstone) {
+        if (insert_at == cap_) insert_at = pos;
+      } else if (eq_(slot(pos).first, key)) {
+        return {iterator{this, pos}, false};
+      }
+      pos = (pos + 1) & (cap_ - 1);
+    }
+    if (state_[insert_at] == flat_detail::kTombstone) --tombstones_;
+    ::new (static_cast<void*>(&slot(insert_at)))
+        value_type(std::piecewise_construct,
+                   std::forward_as_tuple(std::forward<KK>(key)),
+                   std::forward_as_tuple(std::forward<Args>(args)...));
+    state_[insert_at] = flat_detail::kFull;
+    ++size_;
+    return {iterator{this, insert_at}, true};
+  }
+
+  std::pair<iterator, bool> insert(value_type v) {
+    return emplace(std::move(v.first), std::move(v.second));
+  }
+
+  V& operator[](const K& key) { return emplace(key).first->second; }
+
+  /// Erase by iterator: O(1), tombstones the slot, moves nothing else.
+  void erase(iterator it) {
+    LAP_EXPECTS(it.map_ == this && it.pos_ < cap_ &&
+                state_[it.pos_] == flat_detail::kFull);
+    slot(it.pos_).~value_type();
+    state_[it.pos_] = flat_detail::kTombstone;
+    --size_;
+    ++tombstones_;
+  }
+
+  bool erase(const K& key) {
+    const std::size_t pos = find_pos(key);
+    if (pos == cap_) return false;
+    erase(iterator{this, pos});
+    return true;
+  }
+
+  void clear() {
+    destroy_all();
+    if (cap_ != 0) {
+      std::memset(state_.data(), flat_detail::kEmpty, cap_);
+    }
+    size_ = 0;
+    tombstones_ = 0;
+  }
+
+ private:
+  [[nodiscard]] value_type& slot(std::size_t pos) {
+    return *std::launder(
+        reinterpret_cast<value_type*>(storage_.data() + pos * sizeof(value_type)));
+  }
+  [[nodiscard]] const value_type& slot(std::size_t pos) const {
+    return *std::launder(reinterpret_cast<const value_type*>(
+        storage_.data() + pos * sizeof(value_type)));
+  }
+
+  [[nodiscard]] std::size_t probe_start(std::size_t h) const {
+    return h & (cap_ - 1);
+  }
+
+  [[nodiscard]] std::size_t next_full(std::size_t pos) const {
+    while (pos < cap_ && state_[pos] != flat_detail::kFull) ++pos;
+    return pos < cap_ ? pos : cap_;
+  }
+
+  [[nodiscard]] std::size_t find_pos(const K& key) const {
+    if (cap_ == 0) return cap_;
+    std::size_t pos = probe_start(hash_(key));
+    for (;;) {
+      const std::uint8_t st = state_[pos];
+      if (st == flat_detail::kEmpty) return cap_;
+      if (st == flat_detail::kFull && eq_(slot(pos).first, key)) return pos;
+      pos = (pos + 1) & (cap_ - 1);
+    }
+  }
+
+  [[nodiscard]] bool need_grow() const {
+    // Load factor (full + tombstone) capped at 3/4.
+    return cap_ == 0 || (size_ + tombstones_ + 1) * 4 > cap_ * 3;
+  }
+
+  void rehash(std::size_t new_cap) {
+    // Plain growth doubles; if live elements fit comfortably, the same
+    // capacity is kept and only tombstones are squeezed out.
+    while (new_cap - new_cap / 4 < size_ + 1) new_cap *= 2;
+    std::vector<std::uint8_t> old_state = std::move(state_);
+    std::vector<unsigned char> old_storage = std::move(storage_);
+    const std::size_t old_cap = cap_;
+    cap_ = new_cap;
+    state_.assign(cap_, flat_detail::kEmpty);
+    storage_.resize(cap_ * sizeof(value_type));
+    size_ = 0;
+    tombstones_ = 0;
+    for (std::size_t i = 0; i < old_cap; ++i) {
+      if (old_state[i] != flat_detail::kFull) continue;
+      auto* v = std::launder(reinterpret_cast<value_type*>(
+          old_storage.data() + i * sizeof(value_type)));
+      emplace(std::move(v->first), std::move(v->second));
+      v->~value_type();
+    }
+  }
+
+  void destroy_all() {
+    for (std::size_t i = 0; i < cap_; ++i) {
+      if (state_[i] == flat_detail::kFull) slot(i).~value_type();
+    }
+  }
+
+  void reset_storage() {
+    state_.clear();
+    storage_.clear();
+    cap_ = 0;
+    size_ = 0;
+    tombstones_ = 0;
+  }
+
+  void copy_from(const FlatHashMap& o) {
+    hash_ = o.hash_;
+    eq_ = o.eq_;
+    reserve(o.size_);
+    for (const auto& kv : o) emplace(kv.first, kv.second);
+  }
+
+  void swap(FlatHashMap& o) noexcept {
+    std::swap(state_, o.state_);
+    std::swap(storage_, o.storage_);
+    std::swap(cap_, o.cap_);
+    std::swap(size_, o.size_);
+    std::swap(tombstones_, o.tombstones_);
+    std::swap(hash_, o.hash_);
+    std::swap(eq_, o.eq_);
+  }
+
+  std::vector<std::uint8_t> state_;
+  std::vector<unsigned char> storage_;  // cap_ * sizeof(value_type), raw
+  std::size_t cap_ = 0;
+  std::size_t size_ = 0;
+  std::size_t tombstones_ = 0;
+  [[no_unique_address]] Hash hash_{};
+  [[no_unique_address]] Eq eq_{};
+};
+
+/// Set counterpart: a FlatHashMap whose mapped value is empty.
+template <typename K, typename Hash = FlatHash<K>, typename Eq = std::equal_to<K>>
+class FlatHashSet {
+ public:
+  struct Unit {};
+
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+  [[nodiscard]] bool empty() const { return map_.empty(); }
+  [[nodiscard]] bool contains(const K& key) const { return map_.contains(key); }
+  void reserve(std::size_t n) { map_.reserve(n); }
+  bool insert(const K& key) { return map_.emplace(key).second; }
+  bool erase(const K& key) { return map_.erase(key); }
+  void clear() { map_.clear(); }
+
+  /// Iterates keys in slot order (see FlatHashMap's ordering caveat).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& kv : map_) fn(kv.first);
+  }
+
+ private:
+  FlatHashMap<K, Unit, Hash, Eq> map_;
+};
+
+}  // namespace lap

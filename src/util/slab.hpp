@@ -1,0 +1,68 @@
+// Slab: an index-addressed object pool with a free-list.
+//
+// The event engine stores each scheduled callback in a slab slot and keeps
+// only a small POD {time, seq, slot} in its heap, so pushing the heap around
+// never moves the (fat, potentially allocating) callback objects, and a
+// freed slot's object is reused by assignment — for std::function that
+// means the small-buffer storage is recycled instead of reallocated.
+//
+// Slots are recycled, not destroyed: free(id) leaves a moved-from object in
+// place (its destructor runs when the slot is reused or the slab dies).
+// take(id) moves the object out and frees the slot in one step.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace lap {
+
+template <typename T>
+class Slab {
+ public:
+  using Id = std::uint32_t;
+
+  /// Store `value`, returning the slot id.
+  Id put(T&& value) {
+    if (free_.empty()) {
+      items_.push_back(std::move(value));
+      return static_cast<Id>(items_.size() - 1);
+    }
+    const Id id = free_.back();
+    free_.pop_back();
+    items_[id] = std::move(value);
+    return id;
+  }
+
+  [[nodiscard]] T& operator[](Id id) { return items_[id]; }
+  [[nodiscard]] const T& operator[](Id id) const { return items_[id]; }
+
+  /// Move the object out and recycle its slot.
+  [[nodiscard]] T take(Id id) {
+    T value = std::move(items_[id]);
+    free_.push_back(id);
+    return value;
+  }
+
+  /// Recycle a slot without taking the object (it is overwritten on reuse).
+  void free(Id id) { free_.push_back(id); }
+
+  /// Live objects (slots handed out and not yet freed).
+  [[nodiscard]] std::size_t size() const { return items_.size() - free_.size(); }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  /// Total slots ever created (high-water mark of concurrent liveness).
+  [[nodiscard]] std::size_t slots() const { return items_.size(); }
+
+  void reserve(std::size_t n) {
+    items_.reserve(n);
+    free_.reserve(n);
+  }
+
+ private:
+  std::vector<T> items_;
+  std::vector<Id> free_;
+};
+
+}  // namespace lap

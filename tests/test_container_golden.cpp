@@ -1,0 +1,85 @@
+// Differential corpus for the hot-path container rewrite.
+//
+// The golden hashes below were captured by running the PR 2 fuzzer's
+// scenario generator (seeds 1..32, both file systems) against the
+// *original* node-based containers (std::priority_queue event loop,
+// std::unordered_map tables, std::list-backed LRU, std::map disk queue)
+// and fingerprinting each RunResult with hash_run_result().  The flat
+// containers must reproduce every run bit-for-bit: any mismatch means the
+// rewrite changed simulation behaviour, not just its speed.
+#include "check/golden.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace lap {
+namespace {
+
+struct Golden {
+  std::uint64_t seed;
+  std::uint64_t pafs;
+  std::uint64_t xfs;
+};
+
+// Captured 2026-08-05 at commit 99d0654 (pre-rewrite).
+constexpr Golden kCorpus[] = {
+    {1, 0x919471c41fa3d7b8ULL, 0xdf2af069d4f232adULL},
+    {2, 0x59ea5faaf39f047dULL, 0x55515c318acc8c69ULL},
+    {3, 0x44c4cca64b3c08eaULL, 0x2c47c0f796d8fe61ULL},
+    {4, 0x3937c22dfa7f89cdULL, 0x8a0a6eb93bc35e8aULL},
+    {5, 0xe279b2fe39d1ea32ULL, 0x11b5908c240dcf64ULL},
+    {6, 0x04801e500d2d7023ULL, 0xe4d5c7b4f67b8692ULL},
+    {7, 0x85fd671af6bbe24fULL, 0x76abd73bcf8470b5ULL},
+    {8, 0xe2e369c8f547544fULL, 0x9520e4a0f0b1554cULL},
+    {9, 0xa7c4225526388f6bULL, 0x450ae3b00e6a2586ULL},
+    {10, 0x1b4bd5fd808bd240ULL, 0x21b898e9a893eda0ULL},
+    {11, 0xa22c72d06f9524faULL, 0xc75b1f93b52fa482ULL},
+    {12, 0xad6aa0fbca5903ceULL, 0xfed07d468d90dc73ULL},
+    {13, 0x7230b4197237c98dULL, 0xc40649894750c871ULL},
+    {14, 0xaa527d90404076f9ULL, 0x1745b89ddb3db9dfULL},
+    {15, 0x62d2f92d1e36403eULL, 0x8a1437c0820c3297ULL},
+    {16, 0x00d361b0ecbe77bdULL, 0xe8302e3176bffa11ULL},
+    {17, 0xc2f93d9a6e66d0d9ULL, 0x777ddbc6598c4159ULL},
+    {18, 0xc9a8f7665cbc387eULL, 0x9d375468d9d5e819ULL},
+    {19, 0xb4b255eb5bd6ee36ULL, 0x6b3db4b9e655a506ULL},
+    {20, 0xbe58198e8dd65bc2ULL, 0xb2cd467e52e4be95ULL},
+    {21, 0x16711544f5d91a04ULL, 0x7a633988e41441c6ULL},
+    {22, 0xb80eebd5ac25f282ULL, 0xa2c9dbabe6403f99ULL},
+    {23, 0x2ae4ebfbc1f21e60ULL, 0x725959f8e95126cbULL},
+    {24, 0xec931daeb17d76c1ULL, 0x3e7da832fd9ff0acULL},
+    {25, 0x10be602fb919e189ULL, 0x8f28dcd707257590ULL},
+    {26, 0x742cf7a98ee7ea22ULL, 0x7e164f2d53df65e5ULL},
+    {27, 0x50e14093fbd4d200ULL, 0x10e850550984607bULL},
+    {28, 0x34eab7139c593d82ULL, 0x60be9a1e6a5c9c02ULL},
+    {29, 0x5ad07dacc54a7212ULL, 0x1c8f52b12340f638ULL},
+    {30, 0xbf4488ba6409416aULL, 0x2c51cf9ea9321d79ULL},
+    {31, 0x4cf60fd88b2f65a7ULL, 0xd99ad4bdc7200c7cULL},
+    {32, 0xec17ef16e865d88bULL, 0xdc91d7e008422cc0ULL},
+};
+
+TEST(ContainerGolden, PafsCorpusIsBitExact) {
+  for (const Golden& g : kCorpus) {
+    EXPECT_EQ(golden_scenario_hash(g.seed, FsKind::kPafs), g.pafs)
+        << "seed " << g.seed;
+  }
+}
+
+TEST(ContainerGolden, XfsCorpusIsBitExact) {
+  for (const Golden& g : kCorpus) {
+    EXPECT_EQ(golden_scenario_hash(g.seed, FsKind::kXfs), g.xfs)
+        << "seed " << g.seed;
+  }
+}
+
+// The fingerprint itself must stay stable: if hash_run_result changes, the
+// whole corpus above silently re-keys.  Two differing results must differ.
+TEST(ContainerGolden, HashDiscriminates) {
+  const std::uint64_t a = golden_scenario_hash(1, FsKind::kPafs);
+  const std::uint64_t b = golden_scenario_hash(2, FsKind::kPafs);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, golden_scenario_hash(1, FsKind::kPafs));  // deterministic
+}
+
+}  // namespace
+}  // namespace lap

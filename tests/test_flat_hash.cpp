@@ -1,0 +1,165 @@
+#include "util/flat_hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace lap {
+namespace {
+
+TEST(FlatHashMap, InsertFindErase) {
+  FlatHashMap<std::uint64_t, int> m;
+  EXPECT_TRUE(m.empty());
+  auto [it, inserted] = m.emplace(7u, 70);
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(it->second, 70);
+  EXPECT_FALSE(m.emplace(7u, 71).second);  // duplicate keeps the original
+  EXPECT_EQ(m.find(7u)->second, 70);
+  EXPECT_TRUE(m.contains(7u));
+  EXPECT_FALSE(m.contains(8u));
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_TRUE(m.erase(7u));
+  EXPECT_FALSE(m.erase(7u));
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(FlatHashMap, OperatorBracketDefaultConstructs) {
+  FlatHashMap<std::uint32_t, std::vector<int>> m;
+  m[3].push_back(1);
+  m[3].push_back(2);
+  EXPECT_EQ(m[3].size(), 2u);
+  EXPECT_TRUE(m[9].empty());  // created empty
+  EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(FlatHashMap, TombstoneSlotIsReused) {
+  FlatHashMap<std::uint64_t, int> m;
+  m.reserve(64);
+  for (std::uint64_t k = 0; k < 32; ++k) m.emplace(k, static_cast<int>(k));
+  // Erase and re-insert the same keys: the table must not grow (tombstones
+  // are reclaimed by the re-insert probing the same chain).
+  for (std::uint64_t k = 0; k < 32; ++k) EXPECT_TRUE(m.erase(k));
+  EXPECT_TRUE(m.empty());
+  for (std::uint64_t k = 0; k < 32; ++k) m.emplace(k, static_cast<int>(k * 2));
+  EXPECT_EQ(m.size(), 32u);
+  for (std::uint64_t k = 0; k < 32; ++k) {
+    EXPECT_EQ(m.find(k)->second, static_cast<int>(k * 2));
+  }
+}
+
+TEST(FlatHashMap, EraseByIteratorKeepsOtherEntriesFindable) {
+  FlatHashMap<std::uint64_t, int> m;
+  for (std::uint64_t k = 0; k < 100; ++k) m.emplace(k, static_cast<int>(k));
+  for (std::uint64_t k = 0; k < 100; k += 2) {
+    auto it = m.find(k);
+    ASSERT_NE(it, m.end());
+    m.erase(it);
+  }
+  EXPECT_EQ(m.size(), 50u);
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    EXPECT_EQ(m.contains(k), k % 2 == 1) << k;
+  }
+}
+
+TEST(FlatHashMap, RehashPreservesContents) {
+  FlatHashMap<std::uint64_t, std::uint64_t> m;  // no reserve: force growth
+  for (std::uint64_t k = 0; k < 10'000; ++k) m.emplace(k * k, k);
+  EXPECT_EQ(m.size(), 10'000u);
+  for (std::uint64_t k = 0; k < 10'000; ++k) {
+    auto it = m.find(k * k);
+    ASSERT_NE(it, m.end()) << k;
+    EXPECT_EQ(it->second, k);
+  }
+}
+
+TEST(FlatHashMap, ReserveMakesPointersStableAcrossInserts) {
+  FlatHashMap<std::uint64_t, int> m;
+  m.reserve(1000);
+  m.emplace(0u, 42);
+  int* p = &m.find(0u)->second;
+  for (std::uint64_t k = 1; k < 1000; ++k) m.emplace(k, static_cast<int>(k));
+  // No growth rehash occurred, so the early pointer still points at the
+  // same slot.
+  EXPECT_EQ(p, &m.find(0u)->second);
+  EXPECT_EQ(*p, 42);
+}
+
+TEST(FlatHashMap, IterationVisitsEveryLiveEntryOnce) {
+  FlatHashMap<std::uint64_t, int> m;
+  for (std::uint64_t k = 0; k < 500; ++k) m.emplace(k, 1);
+  for (std::uint64_t k = 0; k < 500; k += 3) m.erase(k);
+  std::unordered_map<std::uint64_t, int> seen;
+  for (const auto& [k, v] : m) seen[k] += v;
+  EXPECT_EQ(seen.size(), m.size());
+  for (const auto& [k, v] : seen) {
+    EXPECT_EQ(v, 1) << k;
+    EXPECT_NE(k % 3, 0u) << k;
+  }
+}
+
+TEST(FlatHashMap, CopyAndMoveKeepContents) {
+  FlatHashMap<std::uint32_t, std::string> m;
+  m.emplace(1u, "one");
+  m.emplace(2u, "two");
+  FlatHashMap<std::uint32_t, std::string> copy = m;
+  EXPECT_EQ(copy.find(1u)->second, "one");
+  EXPECT_EQ(m.size(), 2u);
+  FlatHashMap<std::uint32_t, std::string> moved = std::move(m);
+  EXPECT_EQ(moved.find(2u)->second, "two");
+  EXPECT_EQ(moved.size(), 2u);
+}
+
+TEST(FlatHashMap, MatchesUnorderedMapUnderRandomChurn) {
+  FlatHashMap<std::uint64_t, std::uint64_t> flat;
+  std::unordered_map<std::uint64_t, std::uint64_t> model;
+  std::mt19937_64 rng(20260805);
+  for (int step = 0; step < 200'000; ++step) {
+    const std::uint64_t key = rng() % 512;  // small space → heavy churn
+    switch (rng() % 4) {
+      case 0:
+      case 1: {  // insert-or-keep
+        const std::uint64_t value = rng();
+        flat.emplace(key, value);
+        model.emplace(key, value);
+        break;
+      }
+      case 2:  // erase
+        EXPECT_EQ(flat.erase(key), model.erase(key) > 0);
+        break;
+      case 3: {  // lookup
+        auto fit = flat.find(key);
+        auto mit = model.find(key);
+        ASSERT_EQ(fit == flat.end(), mit == model.end());
+        if (mit != model.end()) {
+          EXPECT_EQ(fit->second, mit->second);
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(flat.size(), model.size());
+  }
+}
+
+TEST(FlatHashSet, InsertEraseContains) {
+  FlatHashSet<std::uint32_t> s;
+  EXPECT_TRUE(s.insert(5));
+  EXPECT_FALSE(s.insert(5));
+  EXPECT_TRUE(s.contains(5));
+  EXPECT_EQ(s.size(), 1u);
+  std::size_t visited = 0;
+  s.for_each([&](std::uint32_t v) {
+    EXPECT_EQ(v, 5u);
+    ++visited;
+  });
+  EXPECT_EQ(visited, 1u);
+  EXPECT_TRUE(s.erase(5));
+  EXPECT_FALSE(s.erase(5));
+  EXPECT_TRUE(s.empty());
+}
+
+}  // namespace
+}  // namespace lap

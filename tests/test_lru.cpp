@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <list>
+#include <random>
 #include <string>
+#include <vector>
 
 namespace lap {
 namespace {
@@ -67,6 +71,78 @@ TEST(LruList, DuplicatePushIsRejected) {
 TEST(LruList, TouchOfMissingKeyIsRejected) {
   LruList<int> lru;
   EXPECT_DEATH(lru.touch(9), "Precondition");
+}
+
+// Reference model: the textbook std::list-based LRU the intrusive array
+// version replaced.  Every operation must agree, including the full
+// recency order (checked by draining).
+class ModelLru {
+ public:
+  void push_front(int key) { order_.push_front(key); }
+  void touch(int key) {
+    auto it = std::find(order_.begin(), order_.end(), key);
+    order_.splice(order_.begin(), order_, it);
+  }
+  std::optional<int> pop_back() {
+    if (order_.empty()) return std::nullopt;
+    int key = order_.back();
+    order_.pop_back();
+    return key;
+  }
+  [[nodiscard]] std::optional<int> back() const {
+    if (order_.empty()) return std::nullopt;
+    return order_.back();
+  }
+  bool erase(int key) {
+    auto it = std::find(order_.begin(), order_.end(), key);
+    if (it == order_.end()) return false;
+    order_.erase(it);
+    return true;
+  }
+  [[nodiscard]] bool contains(int key) const {
+    return std::find(order_.begin(), order_.end(), key) != order_.end();
+  }
+  [[nodiscard]] std::size_t size() const { return order_.size(); }
+
+ private:
+  std::list<int> order_;  // front = most recent
+};
+
+TEST(LruList, MatchesListModelUnderRandomChurn) {
+  LruList<int> lru;
+  ModelLru model;
+  std::mt19937_64 rng(42);
+  for (int step = 0; step < 100'000; ++step) {
+    const int key = static_cast<int>(rng() % 64);  // small space → churn
+    switch (rng() % 5) {
+      case 0:
+        if (!model.contains(key)) {
+          model.push_front(key);
+          lru.push_front(key);
+        }
+        break;
+      case 1:
+        if (model.contains(key)) {
+          model.touch(key);
+          lru.touch(key);
+        }
+        break;
+      case 2:
+        ASSERT_EQ(lru.pop_back(), model.pop_back());
+        break;
+      case 3:
+        ASSERT_EQ(lru.erase(key), model.erase(key));
+        break;
+      case 4:
+        ASSERT_EQ(lru.contains(key), model.contains(key));
+        ASSERT_EQ(lru.back(), model.back());
+        break;
+    }
+    ASSERT_EQ(lru.size(), model.size());
+  }
+  // Drain: the complete recency order must match.
+  while (auto key = model.pop_back()) ASSERT_EQ(lru.pop_back(), key);
+  EXPECT_TRUE(lru.empty());
 }
 
 }  // namespace
