@@ -8,6 +8,9 @@
 //   --csv <path>    additionally dump every run's metrics as CSV
 //   --metrics-json <path>  additionally dump manifest + runs as JSON
 //   --trace-out <prefix>   per-run Chrome traces: <prefix>.<algo>.<mb>mb.json
+//   --trace-in <path>      replay a trace file (text or .lapt binary)
+//                          instead of the built-in generator; --scale and
+//                          --seed are then ignored
 //   --quick         0.4x scale and only {1,4,16} MB (CI-sized run)
 #pragma once
 
@@ -22,6 +25,7 @@
 #include "obs/metrics_json.hpp"
 #include "obs/trace_event.hpp"
 #include "trace/charisma_gen.hpp"
+#include "trace/io/binary_io.hpp"
 #include "trace/sprite_gen.hpp"
 #include "util/flags.hpp"
 
@@ -31,6 +35,12 @@ enum class Workload { kCharisma, kSprite };
 enum class FigureKind { kReadTime, kDiskAccesses, kWritesPerBlock };
 
 inline Trace make_workload(Workload w, const Flags& flags) {
+  if (const auto path = flags.get_opt("trace-in")) {
+    // External workload: the figure sweeps whatever trace the file holds
+    // (captured from a generator run, a fuzzer scenario, or a ChampSim
+    // ingest) instead of generating one.
+    return load_trace_file(*path);
+  }
   const double quick = flags.get_bool("quick", false) ? 0.4 : 1.0;
   if (w == Workload::kCharisma) {
     CharismaParams p;
@@ -135,6 +145,11 @@ inline int run_figure(int argc, char** argv, const std::string& title,
               ? static_cast<std::uint64_t>(flags.get_int("seed", 0))
               : (workload == Workload::kCharisma ? CharismaParams{}.seed
                                                  : SpriteParams{}.seed);
+      if (flags.has("trace-in")) {
+        // Replayed from a file: the generator parameters don't apply.
+        manifest.workload = "file:" + flags.get("trace-in", "");
+        manifest.workload_seed = 0;
+      }
       manifest.algorithm = "";  // sweep: per-run algorithms in "runs"
       write_results_json(mf, manifest, results);
       std::cout << "\n(metrics json written to " << path << ")\n";

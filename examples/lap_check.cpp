@@ -1,12 +1,19 @@
 // lap_check: the simulation fuzzer.
 //
 // Fuzz mode (default) draws scenarios from a seed range, replays each under
-// PAFS and xFS with the invariant oracle attached, and diffs traced vs
-// untraced runs.  The first failure is shrunk to a minimal scenario, saved
-// as a repro file, and the exit status is 1.
+// PAFS and xFS with the invariant oracle attached, diffs traced vs untraced
+// runs, and then pushes the trace through the serialization stage: text and
+// binary round-trips plus binary-loaded and streamed replays, each diffed
+// against the unserialized run.  The first failure is shrunk to a minimal
+// scenario, saved as a repro file, and the exit status is 1.
 //
 //   ./lap_check [--scenarios 200] [--seed 1] [--repro-out lap_check.repro]
+//               [--no-serialization] [--capture-dir <dir>]
 //   ./lap_check --repro lap_check.repro     # replay a saved failure
+//
+// `--capture-dir` records every generated scenario's trace as
+// `<dir>/scenario-<seed>.lapt` before running it — the capture sink that
+// turns any fuzzer corpus into replayable `.lapt` workloads.
 //
 // The base seed is always printed, so a failing CI run reproduces with
 // `--scenarios 1 --seed <seed_of_failure>` even without the artifact.
@@ -16,18 +23,31 @@
 
 #include "check/differential.hpp"
 #include "check/shrink.hpp"
+#include "trace/io/binary_io.hpp"
 #include "util/flags.hpp"
 
 namespace {
 
-int replay(const std::string& path) {
+lap::CheckReport check_all(const lap::Scenario& s, bool serialization) {
+  lap::CheckReport report = lap::run_checked(s);
+  if (serialization) {
+    lap::CheckReport ser = lap::check_serialization(s);
+    for (std::string& v : ser.violations) {
+      report.violations.push_back(std::move(v));
+    }
+    for (std::string& d : ser.diffs) report.diffs.push_back(std::move(d));
+  }
+  return report;
+}
+
+int replay(const std::string& path, bool serialization) {
   std::ifstream in(path);
   if (!in) {
     std::cerr << "cannot open " << path << "\n";
     return 2;
   }
   const lap::Scenario s = lap::load_scenario(in);
-  const lap::CheckReport report = lap::run_checked(s);
+  const lap::CheckReport report = check_all(s, serialization);
   std::cout << report.summary() << "\n";
   return report.ok() ? 0 : 1;
 }
@@ -36,19 +56,28 @@ int replay(const std::string& path) {
 
 int main(int argc, char** argv) {
   const lap::Flags flags(argc, argv);
-  if (const auto repro = flags.get_opt("repro")) return replay(*repro);
+  const bool serialization = !flags.get_bool("no-serialization", false);
+  if (const auto repro = flags.get_opt("repro")) {
+    return replay(*repro, serialization);
+  }
 
   const std::uint64_t base_seed =
       static_cast<std::uint64_t>(flags.get_int("seed", 1));
   const std::int64_t n = flags.get_int("scenarios", 200);
   const std::string repro_out = flags.get("repro-out", "lap_check.repro");
+  const auto capture_dir = flags.get_opt("capture-dir");
   std::cout << "lap_check: " << n << " scenarios from seed " << base_seed
-            << "\n";
+            << (serialization ? "" : " (serialization stage off)") << "\n";
 
   for (std::int64_t i = 0; i < n; ++i) {
     const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);
     const lap::Scenario scenario = lap::generate_scenario(seed);
-    const lap::CheckReport report = lap::run_checked(scenario);
+    if (capture_dir) {
+      lap::save_trace_file(
+          *capture_dir + "/scenario-" + std::to_string(seed) + ".lapt",
+          scenario.trace);
+    }
+    const lap::CheckReport report = check_all(scenario, serialization);
     if (report.ok()) {
       if ((i + 1) % 50 == 0) {
         std::cout << "  " << (i + 1) << "/" << n << " ok\n";
@@ -59,11 +88,12 @@ int main(int argc, char** argv) {
     std::cout << "FAIL at seed " << seed << "\n"
               << report.summary() << "\n\nshrinking...\n";
     const lap::Scenario small = lap::shrink_scenario(
-        scenario,
-        [](const lap::Scenario& c) { return !lap::run_checked(c).ok(); });
+        scenario, [serialization](const lap::Scenario& c) {
+          return !check_all(c, serialization).ok();
+        });
     std::cout << "shrunk " << scenario.total_records() << " -> "
               << small.total_records() << " records\n"
-              << lap::run_checked(small).summary() << "\n";
+              << check_all(small, serialization).summary() << "\n";
 
     std::ofstream out(repro_out);
     if (out) {

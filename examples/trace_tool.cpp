@@ -1,19 +1,31 @@
-// Trace utility: generate a workload trace to a file, inspect one, or
-// replay it through a simulated file system.
+// Trace utility: generate, inspect, convert, ingest and replay workload
+// traces in either of the two on-disk formats — "# lap-trace v1" text and
+// LAPT binary (`.lapt`).  Output format follows the file extension;
+// inspection/replay commands sniff the format from the file's content.
 //
-//   ./trace_tool gen charisma out.trace [--scale 0.5] [--seed 7]
+//   ./trace_tool gen charisma out.lapt [--scale 0.5] [--seed 7]
 //   ./trace_tool gen sprite out.trace
-//   ./trace_tool info out.trace
+//   ./trace_tool info out.lapt
 //   ./trace_tool stats out.trace        # workload characterisation
-//   ./trace_tool run out.trace [--fs pafs|xfs] [--algo Ln_Agr_IS_PPM:1]
-//                              [--cache-mb 4]
+//   ./trace_tool convert in.trace out.lapt       # text <-> binary
+//   ./trace_tool ingest-champsim in.txt out.lapt [--block-kb 8]
+//                [--file-mb 1] [--line-bytes 64] [--ns-per-cycle 1]
+//                [--nodes 1]
+//   ./trace_tool run out.lapt [--fs pafs|xfs] [--algo Ln_Agr_IS_PPM:1]
+//                             [--cache-mb 4] [--stream]
+//
+// `run --stream` replays a `.lapt` file through the chunked streaming
+// reader (bounded memory) instead of materialising it in RAM.
+#include <exception>
 #include <fstream>
 #include <iostream>
 
 #include "driver/report.hpp"
 #include "driver/simulation.hpp"
-#include "trace/charisma_gen.hpp"
 #include "trace/analysis.hpp"
+#include "trace/charisma_gen.hpp"
+#include "trace/io/binary_io.hpp"
+#include "trace/io/champsim.hpp"
 #include "trace/sprite_gen.hpp"
 #include "util/flags.hpp"
 
@@ -21,17 +33,44 @@ namespace {
 
 int usage() {
   std::cerr << "usage: trace_tool gen <charisma|sprite> <file> |\n"
-               "       trace_tool info <file> |\n"
+               "       trace_tool info <file> | trace_tool stats <file> |\n"
+               "       trace_tool convert <in> <out> |\n"
+               "       trace_tool ingest-champsim <in> <out> |\n"
                "       trace_tool run <file> [--fs pafs|xfs] [--algo A] "
-               "[--cache-mb N]\n";
+               "[--cache-mb N] [--stream]\n"
+               "(.lapt extension selects the binary format on output; "
+               "info/stats/run sniff the format)\n";
   return 2;
 }
 
-}  // namespace
+void print_info(const lap::Trace& trace) {
+  std::cout << "processes:   " << trace.processes.size() << "\n"
+            << "files:       " << trace.files.size() << "\n"
+            << "records:     " << trace.total_records() << "\n"
+            << "I/O ops:     " << trace.total_io_ops() << "\n"
+            << "bytes read:  " << trace.total_bytes_read() << "\n"
+            << "bytes written: " << trace.total_bytes_written() << "\n"
+            << "nodes:       " << trace.node_span() << "\n"
+            << "replay:      "
+            << (trace.serialize_per_node ? "serialized per node"
+                                         : "concurrent processes")
+            << "\n";
+}
 
-int main(int argc, char** argv) {
+lap::RunConfig run_config_for(const lap::Flags& flags, std::uint32_t nodes) {
   using namespace lap;
   using lap::operator""_MiB;
+  RunConfig cfg;
+  // Pick the machine by node span: the NOW preset covers 50 nodes.
+  cfg.machine = nodes <= 50 ? MachineConfig::now() : MachineConfig::pm();
+  cfg.fs = flags.get("fs", "pafs") == "xfs" ? FsKind::kXfs : FsKind::kPafs;
+  cfg.algorithm = AlgorithmSpec::parse(flags.get("algo", "Ln_Agr_IS_PPM:1"));
+  cfg.cache_per_node = static_cast<Bytes>(flags.get_int("cache-mb", 4)) * 1_MiB;
+  return cfg;
+}
+
+int main_checked(int argc, char** argv) {
+  using namespace lap;
   const Flags flags(argc, argv);
   const auto& args = flags.positional();
   if (args.empty()) return usage();
@@ -53,59 +92,88 @@ int main(int argc, char** argv) {
     } else {
       return usage();
     }
-    std::ofstream out(args[2]);
-    if (!out) {
-      std::cerr << "cannot open " << args[2] << "\n";
-      return 1;
-    }
-    trace.save(out);
+    save_trace_file(args[2], trace);
     std::cout << "wrote " << trace.total_records() << " records ("
               << trace.total_io_ops() << " I/O ops, " << trace.files.size()
-              << " files) to " << args[2] << "\n";
+              << " files, " << (is_lapt_path(args[2]) ? "binary" : "text")
+              << ") to " << args[2] << "\n";
     return 0;
   }
 
-  if (args.size() < 2) return usage();
-  std::ifstream in(args[1]);
-  if (!in) {
-    std::cerr << "cannot open " << args[1] << "\n";
-    return 1;
+  if (cmd == "convert") {
+    if (args.size() < 3) return usage();
+    const Trace trace = load_trace_file(args[1]);
+    save_trace_file(args[2], trace);
+    std::cout << "converted " << args[1] << " -> " << args[2] << " ("
+              << trace.total_records() << " records, "
+              << (is_lapt_path(args[2]) ? "binary" : "text") << ")\n";
+    return 0;
   }
-  const Trace trace = Trace::load(in);
 
-  if (cmd == "info") {
-    std::cout << "processes:   " << trace.processes.size() << "\n"
-              << "files:       " << trace.files.size() << "\n"
-              << "records:     " << trace.total_records() << "\n"
-              << "I/O ops:     " << trace.total_io_ops() << "\n"
-              << "bytes read:  " << trace.total_bytes_read() << "\n"
-              << "bytes written: " << trace.total_bytes_written() << "\n"
-              << "nodes:       " << trace.node_span() << "\n"
-              << "replay:      "
-              << (trace.serialize_per_node ? "serialized per node"
-                                           : "concurrent processes")
+  if (cmd == "ingest-champsim") {
+    if (args.size() < 3) return usage();
+    std::ifstream in(args[1]);
+    if (!in) {
+      std::cerr << "cannot open " << args[1] << "\n";
+      return 1;
+    }
+    ChampsimIngestOptions opts;
+    opts.block_size = static_cast<Bytes>(flags.get_int("block-kb", 8)) * 1024;
+    opts.bytes_per_file =
+        static_cast<Bytes>(flags.get_int("file-mb", 1)) * 1024 * 1024;
+    opts.line_bytes = static_cast<Bytes>(flags.get_int("line-bytes", 64));
+    opts.ns_per_cycle = flags.get_double("ns-per-cycle", 1.0);
+    opts.nodes = static_cast<std::uint32_t>(flags.get_int("nodes", 1));
+    ChampsimIngestStats stats;
+    const Trace trace = ingest_champsim(in, opts, &stats);
+    save_trace_file(args[2], trace);
+    std::cout << "ingested " << stats.lines << " lines (" << stats.loads
+              << " loads, " << stats.stores << " stores, " << stats.skipped
+              << " skipped) -> " << trace.files.size() << " files, "
+              << trace.processes.size() << " processes in " << args[2]
               << "\n";
     return 0;
   }
 
+  if (args.size() < 2) return usage();
+
+  if (cmd == "info") {
+    print_info(load_trace_file(args[1]));
+    return 0;
+  }
+
   if (cmd == "stats") {
-    profile_trace(trace).print(std::cout);
+    profile_trace(load_trace_file(args[1])).print(std::cout);
     return 0;
   }
 
   if (cmd == "run") {
-    RunConfig cfg;
-    // Pick the machine by node span: the NOW preset covers 50 nodes.
-    cfg.machine = trace.node_span() <= 50 ? MachineConfig::now()
-                                          : MachineConfig::pm();
-    cfg.fs = flags.get("fs", "pafs") == "xfs" ? FsKind::kXfs : FsKind::kPafs;
-    cfg.algorithm = AlgorithmSpec::parse(flags.get("algo", "Ln_Agr_IS_PPM:1"));
-    cfg.cache_per_node =
-        static_cast<Bytes>(flags.get_int("cache-mb", 4)) * 1_MiB;
+    if (flags.get_bool("stream", false)) {
+      // Bounded-memory replay straight off the file.
+      auto source = BinaryTraceSource::open_file(args[1]);
+      const RunConfig cfg =
+          run_config_for(flags, source->meta().node_span());
+      const RunResult r = run_simulation(*source, cfg);
+      print_run_summary(std::cout, r);
+      return 0;
+    }
+    const Trace trace = load_trace_file(args[1]);
+    const RunConfig cfg = run_config_for(flags, trace.node_span());
     const RunResult r = run_simulation(trace, cfg);
     print_run_summary(std::cout, r);
     return 0;
   }
 
   return usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return main_checked(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "trace_tool: " << e.what() << "\n";
+    return 1;
+  }
 }

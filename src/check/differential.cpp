@@ -1,8 +1,10 @@
 #include "check/differential.hpp"
 
+#include <memory>
 #include <sstream>
 
 #include "check/oracle.hpp"
+#include "trace/io/binary_io.hpp"
 
 namespace lap {
 namespace {
@@ -72,6 +74,52 @@ std::vector<std::string> diff_run_results(const RunResult& a,
         b.sim_duration.nanos());
   field(out, label, "events", a.events, b.events);
   return out;
+}
+
+CheckReport check_serialization(const Scenario& s) {
+  CheckReport report;
+  report.seed = s.seed;
+
+  // Format round-trips: text and binary must each reproduce the trace
+  // exactly, so by transitivity the two formats agree with each other.
+  std::stringstream text;
+  s.trace.save(text);
+  const Trace from_text = Trace::load(text);
+  if (from_text != s.trace) {
+    report.diffs.push_back("text round-trip: load(save(t)) != t");
+  }
+
+  std::stringstream binary(std::ios::in | std::ios::out | std::ios::binary);
+  save_binary_trace(binary, s.trace);
+  const std::string image = binary.str();
+  binary.seekg(0);
+  const Trace from_binary = load_binary_trace(binary);
+  if (from_binary != s.trace) {
+    report.diffs.push_back("binary round-trip: load(save(t)) != t");
+  }
+
+  for (FsKind fs : {FsKind::kPafs, FsKind::kXfs}) {
+    const std::string tag = to_string(fs);
+    const RunConfig cfg = scenario_config(s, fs);
+    const RunResult baseline = run_simulation(s.trace, cfg);
+
+    const RunResult loaded = run_simulation(from_binary, cfg);
+    for (std::string& d :
+         diff_run_results(baseline, loaded, tag + " binary-loaded")) {
+      report.diffs.push_back(std::move(d));
+    }
+
+    BinaryTraceSource streamed(
+        std::make_unique<std::stringstream>(
+            image, std::ios::in | std::ios::binary),
+        /*chunk_bytes=*/256);  // tiny chunks exercise every refill path
+    const RunResult stream_run = run_simulation(streamed, cfg);
+    for (std::string& d :
+         diff_run_results(baseline, stream_run, tag + " streamed")) {
+      report.diffs.push_back(std::move(d));
+    }
+  }
+  return report;
 }
 
 CheckReport run_checked(const Scenario& s) {

@@ -37,4 +37,12 @@ struct CheckReport {
 /// every invariant violation and differential mismatch.
 [[nodiscard]] CheckReport run_checked(const Scenario& s);
 
+/// Trace-serialization differential: round-trip `s.trace` through the text
+/// and LAPT binary formats (load(save(t)) must equal t in both and across
+/// formats), then replay the binary-loaded trace and the chunked streaming
+/// reader under both file systems — each must reproduce the unserialized
+/// run bit for bit.  The on-disk boundary gets the same adversarial
+/// treatment as the containers did.
+[[nodiscard]] CheckReport check_serialization(const Scenario& s);
+
 }  // namespace lap

@@ -22,22 +22,28 @@ std::string to_string(FsKind kind) {
 }
 
 RunResult run_simulation(const Trace& trace, const RunConfig& cfg) {
+  InMemoryTraceSource source(trace);
+  return run_simulation(source, cfg);
+}
+
+RunResult run_simulation(TraceSource& source, const RunConfig& cfg) {
   const auto wall_start = std::chrono::steady_clock::now();
+  const TraceMeta& meta = source.meta();
 
   Engine eng;
   MachineConfig machine = cfg.machine;
   machine.net.model_contention = cfg.net_contention;
-  const std::uint32_t nodes = std::max(machine.nodes, trace.node_span());
+  const std::uint32_t nodes = std::max(machine.nodes, meta.node_span());
 
   Network net(eng, machine.net, nodes);
   machine.disk.distance_seeks = cfg.distance_seeks;
   DiskArray disks(eng, machine.disk, machine.disks);
-  FileModel files(trace.block_size);
-  files.load(trace);
+  FileModel files(meta.block_size);
+  files.load(meta.files);
 
   Metrics metrics;
   metrics.set_warmup_ops(static_cast<std::uint64_t>(
-      static_cast<double>(trace.total_io_ops()) * cfg.warmup_fraction));
+      static_cast<double>(meta.total_io_ops) * cfg.warmup_fraction));
 
   bool stop = false;
   const std::size_t blocks_per_node = static_cast<std::size_t>(
@@ -169,10 +175,15 @@ RunResult run_simulation(const Trace& trace, const RunConfig& cfg) {
 
   if (cfg.algorithm.kind == AlgorithmSpec::Kind::kInformed) {
     // Disclose every process's future reads up front: the trace itself is
-    // the perfect hint source the informed upper bound assumes.
-    for (const ProcessTrace& proc : trace.processes) {
+    // the perfect hint source the informed upper bound assumes.  Each
+    // stream is scanned once through a throwaway cursor (sources support
+    // re-opening), so this works for on-disk workloads too.
+    for (std::size_t i = 0; i < meta.processes.size(); ++i) {
+      const TraceMeta::ProcessInfo& proc = meta.processes[i];
       std::unordered_map<std::uint32_t, std::vector<BlockRequest>> per_file;
-      for (const TraceRecord& rec : proc.records) {
+      auto cursor = source.open(i);
+      TraceRecord rec;
+      while (cursor->next(rec)) {
         if (rec.op != TraceOp::kRead) continue;
         const BlockRange range = files.range(rec.file, rec.offset, rec.length);
         if (range.count == 0) continue;
@@ -184,7 +195,7 @@ RunResult run_simulation(const Trace& trace, const RunConfig& cfg) {
     }
   }
 
-  WorkloadRunner runner(eng, *fs, metrics, trace, cfg.cpu_contention);
+  WorkloadRunner runner(eng, *fs, metrics, source, cfg.cpu_contention);
   runner.start([&stop] { stop = true; });
   eng.run();  // drains: daemons and prefetch pumps observe `stop`
   LAP_ENSURES(runner.live_processes() == 0);

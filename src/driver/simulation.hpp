@@ -9,6 +9,7 @@
 #include "core/algorithm_registry.hpp"
 #include "driver/machine_config.hpp"
 #include "driver/metrics.hpp"
+#include "trace/io/source.hpp"
 #include "trace/trace.hpp"
 
 namespace lap {
@@ -97,6 +98,14 @@ struct RunResult {
 /// Run one simulation to completion.  The trace is shared read-only, so
 /// concurrent runs over the same trace are safe.
 [[nodiscard]] RunResult run_simulation(const Trace& trace,
+                                       const RunConfig& cfg);
+
+/// Same, but pulling records through the streaming interface, so an
+/// on-disk `.lapt` workload replays in bounded memory (the in-memory
+/// overload above is this one over an InMemoryTraceSource, and the two are
+/// bit-exact for equal traces).  Unlike a Trace, a source carries replay
+/// state and must be private to this run.
+[[nodiscard]] RunResult run_simulation(TraceSource& source,
                                        const RunConfig& cfg);
 
 }  // namespace lap

@@ -8,12 +8,15 @@
 namespace lap {
 namespace {
 
-/// Replay one process's records front to back; fulfil `done` at the end.
-/// `cpu` is the node's (shared) processor, or nullptr for the open model.
-SimTask replay(Engine& eng, FileSystem& fs, Metrics& metrics,
-               const ProcessTrace& proc, Resource* cpu,
-               SimPromise<Done> done) {
-  for (const TraceRecord& r : proc.records) {
+/// Replay one process's record stream front to back; fulfil `done` at the
+/// end.  `cpu` is the node's (shared) processor, or nullptr for the open
+/// model.  The cursor is owned by the coroutine frame, so a streaming
+/// source's chunk buffer lives exactly as long as the replay does.
+SimTask replay(Engine& eng, FileSystem& fs, Metrics& metrics, ProcId pid,
+               NodeId node, std::unique_ptr<RecordCursor> records,
+               Resource* cpu, SimPromise<Done> done) {
+  TraceRecord r;
+  while (records->next(r)) {
     if (r.think > SimTime::zero()) {
       if (cpu != nullptr) {
         auto guard = co_await cpu->scoped(prio::kDemand);
@@ -24,27 +27,27 @@ SimTask replay(Engine& eng, FileSystem& fs, Metrics& metrics,
     }
     switch (r.op) {
       case TraceOp::kOpen:
-        co_await fs.open(proc.pid, proc.node, r.file);
+        co_await fs.open(pid, node, r.file);
         break;
       case TraceOp::kClose:
-        co_await fs.close(proc.pid, proc.node, r.file);
+        co_await fs.close(pid, node, r.file);
         break;
       case TraceOp::kRead: {
         metrics.on_io_issued(eng.now());
         const SimTime t0 = eng.now();
-        co_await fs.read(proc.pid, proc.node, r.file, r.offset, r.length);
+        co_await fs.read(pid, node, r.file, r.offset, r.length);
         metrics.on_read_done(eng.now() - t0);
         break;
       }
       case TraceOp::kWrite: {
         metrics.on_io_issued(eng.now());
         const SimTime t0 = eng.now();
-        co_await fs.write(proc.pid, proc.node, r.file, r.offset, r.length);
+        co_await fs.write(pid, node, r.file, r.offset, r.length);
         metrics.on_write_done(eng.now() - t0);
         break;
       }
       case TraceOp::kDelete:
-        co_await fs.remove(proc.pid, proc.node, r.file);
+        co_await fs.remove(pid, node, r.file);
         break;
     }
   }
@@ -54,14 +57,27 @@ SimTask replay(Engine& eng, FileSystem& fs, Metrics& metrics,
 }  // namespace
 
 WorkloadRunner::WorkloadRunner(Engine& eng, FileSystem& fs, Metrics& metrics,
+                               TraceSource& source, bool cpu_contention)
+    : eng_(&eng), fs_(&fs), metrics_(&metrics), source_(&source) {
+  init_cpus(cpu_contention);
+}
+
+WorkloadRunner::WorkloadRunner(Engine& eng, FileSystem& fs, Metrics& metrics,
                                const Trace& trace, bool cpu_contention)
-    : eng_(&eng), fs_(&fs), metrics_(&metrics), trace_(&trace) {
-  if (cpu_contention) {
-    const std::uint32_t nodes = trace.node_span();
-    cpus_.reserve(nodes);
-    for (std::uint32_t i = 0; i < nodes; ++i) {
-      cpus_.push_back(std::make_unique<Resource>(eng));
-    }
+    : eng_(&eng),
+      fs_(&fs),
+      metrics_(&metrics),
+      owned_(std::make_unique<InMemoryTraceSource>(trace)),
+      source_(owned_.get()) {
+  init_cpus(cpu_contention);
+}
+
+void WorkloadRunner::init_cpus(bool cpu_contention) {
+  if (!cpu_contention) return;
+  const std::uint32_t nodes = source_->meta().node_span();
+  cpus_.reserve(nodes);
+  for (std::uint32_t i = 0; i < nodes; ++i) {
+    cpus_.push_back(std::make_unique<Resource>(*eng_));
   }
 }
 
@@ -73,37 +89,41 @@ Resource* WorkloadRunner::cpu_for(NodeId node) {
 void WorkloadRunner::start(std::function<void()> on_all_done) {
   LAP_EXPECTS(live_ == 0);
   on_all_done_ = std::move(on_all_done);
-  if (trace_->processes.empty()) {
+  const TraceMeta& meta = source_->meta();
+  if (meta.processes.empty()) {
     if (on_all_done_) on_all_done_();
     return;
   }
-  if (trace_->serialize_per_node) {
-    std::unordered_map<std::uint32_t, std::vector<const ProcessTrace*>> by_node;
-    for (const ProcessTrace& p : trace_->processes) {
-      by_node[raw(p.node)].push_back(&p);
+  if (meta.serialize_per_node) {
+    std::unordered_map<std::uint32_t, std::vector<std::size_t>> by_node;
+    for (std::size_t i = 0; i < meta.processes.size(); ++i) {
+      by_node[raw(meta.processes[i].node)].push_back(i);
     }
     live_ = by_node.size();
-    for (auto& [node, procs] : by_node) {
-      run_node_serialized(std::move(procs));
+    for (auto& [node, indices] : by_node) {
+      run_node_serialized(std::move(indices));
     }
   } else {
-    live_ = trace_->processes.size();
-    for (const ProcessTrace& p : trace_->processes) run_process(p);
+    live_ = meta.processes.size();
+    for (std::size_t i = 0; i < meta.processes.size(); ++i) run_process(i);
   }
 }
 
-SimTask WorkloadRunner::run_process(const ProcessTrace& proc) {
+SimTask WorkloadRunner::run_process(std::size_t index) {
+  const TraceMeta::ProcessInfo& p = source_->meta().processes[index];
   SimPromise<Done> done(*eng_);
-  replay(*eng_, *fs_, *metrics_, proc, cpu_for(proc.node), done);
+  replay(*eng_, *fs_, *metrics_, p.pid, p.node, source_->open(index),
+         cpu_for(p.node), done);
   co_await done.future();
   process_finished();
 }
 
-SimTask WorkloadRunner::run_node_serialized(
-    std::vector<const ProcessTrace*> procs) {
-  for (const ProcessTrace* p : procs) {
+SimTask WorkloadRunner::run_node_serialized(std::vector<std::size_t> indices) {
+  for (std::size_t index : indices) {
+    const TraceMeta::ProcessInfo& p = source_->meta().processes[index];
     SimPromise<Done> done(*eng_);
-    replay(*eng_, *fs_, *metrics_, *p, cpu_for(p->node), done);
+    replay(*eng_, *fs_, *metrics_, p.pid, p.node, source_->open(index),
+           cpu_for(p.node), done);
     co_await done.future();
   }
   process_finished();

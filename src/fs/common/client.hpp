@@ -4,6 +4,10 @@
 // then performs the file operation and waits for it to complete before
 // moving on.  Faster I/O therefore shortens the application's wall time —
 // the paper's traces work the same way (demand sequences, not timestamps).
+//
+// Records are pulled through the TraceSource streaming interface, so the
+// runner replays an on-disk `.lapt` workload in bounded memory exactly as
+// it replays an in-memory Trace (which it wraps on the spot).
 #pragma once
 
 #include <functional>
@@ -15,7 +19,7 @@
 #include "sim/engine.hpp"
 #include "sim/resource.hpp"
 #include "sim/task.hpp"
-#include "trace/trace.hpp"
+#include "trace/io/source.hpp"
 
 namespace lap {
 
@@ -26,6 +30,11 @@ class WorkloadRunner {
   /// (DIMEMAS's short-term scheduling model).  Off by default — the
   /// paper's workloads run roughly one process per node.
   WorkloadRunner(Engine& eng, FileSystem& fs, Metrics& metrics,
+                 TraceSource& source, bool cpu_contention = false);
+
+  /// Convenience: replay an in-memory trace (wrapped in an owned
+  /// InMemoryTraceSource; `trace` must outlive the runner).
+  WorkloadRunner(Engine& eng, FileSystem& fs, Metrics& metrics,
                  const Trace& trace, bool cpu_contention = false);
 
   /// Spawn all client processes.  `on_all_done` fires when the last record
@@ -35,8 +44,9 @@ class WorkloadRunner {
   [[nodiscard]] std::uint64_t live_processes() const { return live_; }
 
  private:
-  SimTask run_process(const ProcessTrace& proc);
-  SimTask run_node_serialized(std::vector<const ProcessTrace*> procs);
+  void init_cpus(bool cpu_contention);
+  SimTask run_process(std::size_t index);
+  SimTask run_node_serialized(std::vector<std::size_t> indices);
   void process_finished();
 
   [[nodiscard]] Resource* cpu_for(NodeId node);
@@ -44,7 +54,8 @@ class WorkloadRunner {
   Engine* eng_;
   FileSystem* fs_;
   Metrics* metrics_;
-  const Trace* trace_;
+  std::unique_ptr<TraceSource> owned_;  // set by the Trace constructor
+  TraceSource* source_;
   std::vector<std::unique_ptr<Resource>> cpus_;  // per node; empty when off
   std::uint64_t live_ = 0;
   std::function<void()> on_all_done_;

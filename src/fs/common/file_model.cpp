@@ -10,8 +10,10 @@ FileModel::FileModel(Bytes block_size) : block_size_(block_size) {
   LAP_EXPECTS(block_size > 0);
 }
 
-void FileModel::load(const Trace& trace) {
-  for (const FileInfo& f : trace.files) add_file(f.id, f.size);
+void FileModel::load(const Trace& trace) { load(trace.files); }
+
+void FileModel::load(const std::vector<FileInfo>& files) {
+  for (const FileInfo& f : files) add_file(f.id, f.size);
 }
 
 void FileModel::add_file(FileId id, Bytes size) { sizes_[raw(id)] = size; }

@@ -21,6 +21,7 @@ class FileModel {
 
   /// Seed from a trace preamble.
   void load(const Trace& trace);
+  void load(const std::vector<FileInfo>& files);
 
   void add_file(FileId id, Bytes size);
   [[nodiscard]] bool exists(FileId id) const;

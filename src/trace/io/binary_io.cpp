@@ -1,0 +1,486 @@
+#include "trace/io/binary_io.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "trace/io/format.hpp"
+#include "util/assert.hpp"
+
+namespace lap {
+
+namespace wire {
+
+std::uint64_t get_varint(const unsigned char** pos, const unsigned char* end) {
+  const unsigned char* p = *pos;
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < kMaxVarintBytes; ++i) {
+    if (p == end) throw TraceIoError(TraceIoErrc::kTruncated, "varint");
+    const unsigned char byte = *p++;
+    // The tenth byte may only carry the top bit of a u64.
+    if (i == kMaxVarintBytes - 1 && (byte & 0xfe) != 0) {
+      throw TraceIoError(TraceIoErrc::kBadRecord, "varint exceeds 64 bits");
+    }
+    v |= static_cast<std::uint64_t>(byte & 0x7f) << (7 * i);
+    if ((byte & 0x80) == 0) {
+      *pos = p;
+      return v;
+    }
+  }
+  throw TraceIoError(TraceIoErrc::kBadRecord, "varint exceeds 10 bytes");
+}
+
+std::int64_t get_svarint(const unsigned char** pos, const unsigned char* end) {
+  return unzigzag(get_varint(pos, end));
+}
+
+}  // namespace wire
+
+std::string to_string(TraceIoErrc code) {
+  switch (code) {
+    case TraceIoErrc::kTruncated: return "truncated input";
+    case TraceIoErrc::kBadMagic: return "bad magic (not a LAPT trace)";
+    case TraceIoErrc::kUnsupportedVersion: return "unsupported format version";
+    case TraceIoErrc::kHeaderCorrupt: return "corrupt header";
+    case TraceIoErrc::kCountOverflow: return "record count overflow";
+    case TraceIoErrc::kBadFileTable: return "bad file table";
+    case TraceIoErrc::kBadProcessTable: return "bad process table";
+    case TraceIoErrc::kUnknownFile: return "record references unknown file";
+    case TraceIoErrc::kBadRecord: return "undecodable record";
+    case TraceIoErrc::kTrailingGarbage: return "trailing garbage";
+  }
+  return "trace io error";
+}
+
+namespace {
+
+using namespace wire;
+
+constexpr std::uint8_t kMaxOp = static_cast<std::uint8_t>(TraceOp::kDelete);
+constexpr std::int64_t kI64Max = std::numeric_limits<std::int64_t>::max();
+
+/// Per-stream delta-coding state (writer and reader run the same walk).
+struct DeltaState {
+  std::int64_t prev_file = 0;
+  std::int64_t prev_end = 0;  // previous record's offset + length
+  std::int64_t prev_len = 0;
+  std::int64_t prev_think = 0;
+};
+
+void encode_record(std::string& out, const TraceRecord& r, DeltaState& st) {
+  // The wire codes byte quantities as signed deltas; anything above 2^62
+  // cannot appear in a real workload and would overflow the arithmetic.
+  LAP_EXPECTS(r.offset <= static_cast<Bytes>(kI64Max / 2) &&
+              r.length <= static_cast<Bytes>(kI64Max / 2));
+  LAP_EXPECTS(r.think.nanos() >= 0);
+  out.push_back(static_cast<char>(static_cast<std::uint8_t>(r.op)));
+  const auto file = static_cast<std::int64_t>(raw(r.file));
+  const auto offset = static_cast<std::int64_t>(r.offset);
+  const auto length = static_cast<std::int64_t>(r.length);
+  put_svarint(out, file - st.prev_file);
+  put_svarint(out, offset - st.prev_end);
+  put_svarint(out, length - st.prev_len);
+  put_svarint(out, r.think.nanos() - st.prev_think);
+  st.prev_file = file;
+  st.prev_end = offset + length;
+  st.prev_len = length;
+  st.prev_think = r.think.nanos();
+}
+
+TraceRecord decode_record(const unsigned char** pos, const unsigned char* end,
+                          DeltaState& st,
+                          const std::vector<std::uint32_t>& file_ids) {
+  if (*pos == end) throw TraceIoError(TraceIoErrc::kTruncated, "record op");
+  const std::uint8_t op = **pos;
+  ++*pos;
+  if (op > kMaxOp) {
+    throw TraceIoError(TraceIoErrc::kBadRecord,
+                       "op byte " + std::to_string(op));
+  }
+  const std::int64_t file = st.prev_file + get_svarint(pos, end);
+  const std::int64_t offset = st.prev_end + get_svarint(pos, end);
+  const std::int64_t length = st.prev_len + get_svarint(pos, end);
+  const std::int64_t think = st.prev_think + get_svarint(pos, end);
+  if (file < 0 || file > std::numeric_limits<std::uint32_t>::max()) {
+    throw TraceIoError(TraceIoErrc::kBadRecord, "file id out of range");
+  }
+  if (offset < 0 || length < 0 || offset > kI64Max - length) {
+    throw TraceIoError(TraceIoErrc::kBadRecord, "negative offset or length");
+  }
+  if (think < 0) {
+    throw TraceIoError(TraceIoErrc::kBadRecord, "negative think time");
+  }
+  const auto fid = static_cast<std::uint32_t>(file);
+  if (!std::binary_search(file_ids.begin(), file_ids.end(), fid)) {
+    throw TraceIoError(TraceIoErrc::kUnknownFile,
+                       "file " + std::to_string(fid));
+  }
+  st.prev_file = file;
+  st.prev_end = offset + length;
+  st.prev_len = length;
+  st.prev_think = think;
+  TraceRecord r;
+  r.op = static_cast<TraceOp>(op);
+  r.file = FileId{fid};
+  r.offset = static_cast<Bytes>(offset);
+  r.length = static_cast<Bytes>(length);
+  r.think = SimTime::ns(think);
+  return r;
+}
+
+struct Layout {
+  TraceMeta meta;
+  std::vector<BinaryTraceSource::Extent> extents;  // contiguous, in order
+  std::vector<std::uint32_t> file_ids;             // sorted
+};
+
+/// Validate the header + tables in `head` (which must hold at least the
+/// header and both tables) against a file of `file_size` bytes total.
+Layout parse_layout(const unsigned char* head, std::uint64_t head_size,
+                    std::uint64_t file_size) {
+  if (head_size < kHeaderBytes) {
+    throw TraceIoError(TraceIoErrc::kTruncated,
+                       "header needs " + std::to_string(kHeaderBytes) +
+                           " bytes, have " + std::to_string(head_size));
+  }
+  if (std::memcmp(head, kMagic, sizeof(kMagic)) != 0) {
+    throw TraceIoError(TraceIoErrc::kBadMagic, "expected \"LAPT\"");
+  }
+  const std::uint16_t version = get_u16(head + 4);
+  if (version != kVersion) {
+    throw TraceIoError(TraceIoErrc::kUnsupportedVersion,
+                       "version " + std::to_string(version) +
+                           " (reader knows " + std::to_string(kVersion) + ")");
+  }
+  const std::uint16_t flags = get_u16(head + 6);
+  if ((flags & ~kFlagSerializePerNode) != 0) {
+    throw TraceIoError(TraceIoErrc::kHeaderCorrupt, "unknown flag bits");
+  }
+  Layout lay;
+  lay.meta.block_size = get_u64(head + 8);
+  if (lay.meta.block_size == 0) {
+    throw TraceIoError(TraceIoErrc::kHeaderCorrupt, "block size zero");
+  }
+  lay.meta.serialize_per_node = (flags & kFlagSerializePerNode) != 0;
+  const std::uint64_t file_count = get_u32(head + 16);
+  const std::uint64_t proc_count = get_u32(head + 20);
+  const std::uint64_t total_records = get_u64(head + 24);
+  lay.meta.total_io_ops = get_u64(head + 32);
+
+  const std::uint64_t tables_end = kHeaderBytes + file_count * kFileEntryBytes +
+                                   proc_count * kProcEntryBytes;
+  if (tables_end > file_size || tables_end > head_size) {
+    throw TraceIoError(TraceIoErrc::kTruncated,
+                       "file/process tables extend past end of input");
+  }
+  // Even an empty record stream costs kMinRecordBytes per record, so a
+  // total_records claim the file cannot possibly hold is rejected before
+  // any allocation sized from it.
+  if (total_records > file_size / kMinRecordBytes) {
+    throw TraceIoError(TraceIoErrc::kCountOverflow,
+                       "total_records " + std::to_string(total_records));
+  }
+
+  const unsigned char* p = head + kHeaderBytes;
+  lay.meta.files.reserve(file_count);
+  lay.file_ids.reserve(file_count);
+  for (std::uint64_t i = 0; i < file_count; ++i, p += kFileEntryBytes) {
+    const std::uint32_t id = get_u32(p);
+    lay.meta.files.push_back(FileInfo{FileId{id}, get_u64(p + 4)});
+    lay.file_ids.push_back(id);
+  }
+  std::sort(lay.file_ids.begin(), lay.file_ids.end());
+  if (std::adjacent_find(lay.file_ids.begin(), lay.file_ids.end()) !=
+      lay.file_ids.end()) {
+    throw TraceIoError(TraceIoErrc::kBadFileTable, "duplicate file id");
+  }
+
+  std::uint64_t expected_offset = tables_end;
+  std::uint64_t sum_records = 0;
+  lay.meta.processes.reserve(proc_count);
+  lay.extents.reserve(proc_count);
+  for (std::uint64_t i = 0; i < proc_count; ++i, p += kProcEntryBytes) {
+    BinaryTraceSource::Extent e;
+    const std::uint32_t pid = get_u32(p);
+    const std::uint32_t node = get_u32(p + 4);
+    e.records = get_u64(p + 8);
+    e.offset = get_u64(p + 16);
+    e.bytes = get_u64(p + 24);
+    // Streams are laid out back to back in table order; requiring that
+    // makes overlap impossible and trailing-garbage detection exact.
+    if (e.offset != expected_offset || e.bytes > file_size - e.offset) {
+      throw TraceIoError(TraceIoErrc::kBadProcessTable,
+                         "stream " + std::to_string(i) +
+                             " not contiguous or out of bounds");
+    }
+    if (e.records > e.bytes / kMinRecordBytes ||
+        (e.records == 0 && e.bytes != 0)) {
+      throw TraceIoError(TraceIoErrc::kCountOverflow,
+                         "stream " + std::to_string(i) + " claims " +
+                             std::to_string(e.records) + " records in " +
+                             std::to_string(e.bytes) + " bytes");
+    }
+    expected_offset += e.bytes;
+    sum_records += e.records;
+    lay.meta.processes.push_back(
+        TraceMeta::ProcessInfo{ProcId{pid}, NodeId{node}, e.records});
+    lay.extents.push_back(e);
+  }
+  if (sum_records != total_records) {
+    throw TraceIoError(TraceIoErrc::kHeaderCorrupt,
+                       "total_records disagrees with process table");
+  }
+  lay.meta.total_records = total_records;
+  if (expected_offset != file_size) {
+    throw TraceIoError(TraceIoErrc::kTrailingGarbage,
+                       std::to_string(file_size - expected_offset) +
+                           " bytes after last record stream");
+  }
+  return lay;
+}
+
+/// Seekable-stream size, restoring nothing (callers reposition anyway).
+std::uint64_t stream_size(std::istream& in) {
+  in.clear();
+  in.seekg(0, std::ios::end);
+  const auto end = in.tellg();
+  if (end < 0 || !in) {
+    throw TraceIoError(TraceIoErrc::kTruncated, "stream is not seekable");
+  }
+  return static_cast<std::uint64_t>(end);
+}
+
+class ChunkedCursor final : public RecordCursor {
+ public:
+  ChunkedCursor(std::istream& in, const BinaryTraceSource::Extent& extent,
+                const std::vector<std::uint32_t>& file_ids, std::size_t chunk)
+      : in_(&in),
+        file_ids_(&file_ids),
+        chunk_(std::max<std::size_t>(chunk, kMaxRecordBytes)),
+        file_pos_(extent.offset),
+        stream_end_(extent.offset + extent.bytes),
+        remaining_(extent.records) {}
+
+  bool next(TraceRecord& out) override {
+    if (remaining_ == 0) return false;
+    refill_if_low();
+    const unsigned char* p = data() + pos_;
+    const unsigned char* end = data() + buf_.size();
+    out = decode_record(&p, end, state_, *file_ids_);
+    pos_ = static_cast<std::size_t>(p - data());
+    --remaining_;
+    if (remaining_ == 0) {
+      // The record count and the byte count must agree exactly.
+      if (pos_ != buf_.size() || file_pos_ != stream_end_) {
+        throw TraceIoError(TraceIoErrc::kBadRecord,
+                           "stream bytes left over after last record");
+      }
+    }
+    return true;
+  }
+
+ private:
+  [[nodiscard]] const unsigned char* data() const {
+    return reinterpret_cast<const unsigned char*>(buf_.data());
+  }
+
+  void refill_if_low() {
+    if (buf_.size() - pos_ >= kMaxRecordBytes || file_pos_ == stream_end_) {
+      return;
+    }
+    buf_.erase(0, pos_);
+    pos_ = 0;
+    const auto want = static_cast<std::size_t>(
+        std::min<std::uint64_t>(chunk_, stream_end_ - file_pos_));
+    const std::size_t old = buf_.size();
+    buf_.resize(old + want);
+    in_->clear();
+    in_->seekg(static_cast<std::streamoff>(file_pos_));
+    in_->read(buf_.data() + old, static_cast<std::streamsize>(want));
+    if (static_cast<std::size_t>(in_->gcount()) != want) {
+      throw TraceIoError(TraceIoErrc::kTruncated,
+                         "record stream ends early (file shrank?)");
+    }
+    file_pos_ += want;
+  }
+
+  std::istream* in_;
+  const std::vector<std::uint32_t>* file_ids_;
+  std::size_t chunk_;
+  std::uint64_t file_pos_;    // next unread byte of this stream in the file
+  std::uint64_t stream_end_;  // absolute end of this stream
+  std::uint64_t remaining_;   // records still to decode
+  std::string buf_;
+  std::size_t pos_ = 0;
+  DeltaState state_;
+};
+
+}  // namespace
+
+void save_binary_trace(std::ostream& os, const Trace& trace) {
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  put_u16(out, kVersion);
+  put_u16(out, trace.serialize_per_node ? kFlagSerializePerNode : 0);
+  put_u64(out, trace.block_size);
+  put_u32(out, static_cast<std::uint32_t>(trace.files.size()));
+  put_u32(out, static_cast<std::uint32_t>(trace.processes.size()));
+  put_u64(out, trace.total_records());
+  put_u64(out, trace.total_io_ops());
+  LAP_ENSURES(out.size() == kHeaderBytes);
+
+  for (const FileInfo& f : trace.files) {
+    put_u32(out, raw(f.id));
+    put_u64(out, f.size);
+  }
+
+  std::vector<std::string> streams;
+  streams.reserve(trace.processes.size());
+  for (const ProcessTrace& p : trace.processes) {
+    std::string s;
+    DeltaState st;
+    for (const TraceRecord& r : p.records) encode_record(s, r, st);
+    streams.push_back(std::move(s));
+  }
+
+  std::uint64_t offset = out.size() + trace.processes.size() * kProcEntryBytes;
+  for (std::size_t i = 0; i < trace.processes.size(); ++i) {
+    const ProcessTrace& p = trace.processes[i];
+    put_u32(out, raw(p.pid));
+    put_u32(out, raw(p.node));
+    put_u64(out, p.records.size());
+    put_u64(out, offset);
+    put_u64(out, streams[i].size());
+    offset += streams[i].size();
+  }
+  for (const std::string& s : streams) out += s;
+
+  os.write(out.data(), static_cast<std::streamsize>(out.size()));
+  if (!os) throw std::runtime_error("lapt: write failed");
+}
+
+BinaryTraceSource::BinaryTraceSource(std::unique_ptr<std::istream> in,
+                                     std::size_t chunk_bytes)
+    : in_(std::move(in)), chunk_(chunk_bytes) {
+  LAP_EXPECTS(in_ != nullptr);
+  const std::uint64_t size = stream_size(*in_);
+
+  // Read the header alone first (its counts size the tables), then the
+  // header plus both tables, then hand everything to the validator.
+  std::string head(kHeaderBytes, '\0');
+  in_->clear();
+  in_->seekg(0);
+  in_->read(head.data(), static_cast<std::streamsize>(head.size()));
+  const auto got = static_cast<std::uint64_t>(in_->gcount());
+  if (got < kHeaderBytes) {
+    // Always throws kTruncated for a short header.
+    parse_layout(reinterpret_cast<const unsigned char*>(head.data()), got,
+                 size);
+  }
+  const std::uint64_t file_count =
+      get_u32(reinterpret_cast<const unsigned char*>(head.data()) + 16);
+  const std::uint64_t proc_count =
+      get_u32(reinterpret_cast<const unsigned char*>(head.data()) + 20);
+  const std::uint64_t tables_end = kHeaderBytes +
+                                   file_count * kFileEntryBytes +
+                                   proc_count * kProcEntryBytes;
+  if (tables_end > size) {
+    throw TraceIoError(TraceIoErrc::kTruncated,
+                       "file/process tables extend past end of input");
+  }
+  head.resize(static_cast<std::size_t>(tables_end));
+  in_->clear();
+  in_->seekg(0);
+  in_->read(head.data(), static_cast<std::streamsize>(head.size()));
+  if (static_cast<std::uint64_t>(in_->gcount()) != tables_end) {
+    throw TraceIoError(TraceIoErrc::kTruncated, "tables");
+  }
+  Layout lay = parse_layout(reinterpret_cast<const unsigned char*>(head.data()),
+                            tables_end, size);
+  meta_ = std::move(lay.meta);
+  extents_ = std::move(lay.extents);
+  file_ids_ = std::move(lay.file_ids);
+}
+
+std::unique_ptr<BinaryTraceSource> BinaryTraceSource::open_file(
+    const std::string& path) {
+  auto in = std::make_unique<std::ifstream>(path, std::ios::binary);
+  if (!*in) throw std::runtime_error("cannot open " + path);
+  return std::make_unique<BinaryTraceSource>(std::move(in));
+}
+
+std::unique_ptr<RecordCursor> BinaryTraceSource::open(std::size_t index) {
+  LAP_EXPECTS(index < extents_.size());
+  return std::make_unique<ChunkedCursor>(*in_, extents_[index], file_ids_,
+                                         chunk_);
+}
+
+Trace load_binary_trace(std::istream& is) {
+  BinaryTraceSource src(
+      [&is]() -> std::unique_ptr<std::istream> {
+        // Slurp so arbitrary (even non-seekable) istreams work and the
+        // trailing-garbage check sees the true end of input.
+        auto owned = std::make_unique<std::stringstream>(
+            std::ios::in | std::ios::out | std::ios::binary);
+        *owned << is.rdbuf();
+        return owned;
+      }(),
+      /*chunk_bytes=*/1 << 20);
+  Trace t;
+  const TraceMeta& m = src.meta();
+  t.block_size = m.block_size;
+  t.serialize_per_node = m.serialize_per_node;
+  t.files = m.files;
+  t.processes.reserve(m.processes.size());
+  std::uint64_t io_ops = 0;
+  for (std::size_t i = 0; i < m.processes.size(); ++i) {
+    ProcessTrace p;
+    p.pid = m.processes[i].pid;
+    p.node = m.processes[i].node;
+    p.records.reserve(static_cast<std::size_t>(m.processes[i].records));
+    auto cur = src.open(i);
+    TraceRecord r;
+    while (cur->next(r)) {
+      if (r.op == TraceOp::kRead || r.op == TraceOp::kWrite) ++io_ops;
+      p.records.push_back(r);
+    }
+    t.processes.push_back(std::move(p));
+  }
+  if (io_ops != m.total_io_ops) {
+    throw TraceIoError(TraceIoErrc::kHeaderCorrupt,
+                       "total_io_ops disagrees with records");
+  }
+  return t;
+}
+
+bool is_lapt_path(const std::string& path) {
+  return path.size() >= 5 && path.compare(path.size() - 5, 5, ".lapt") == 0;
+}
+
+Trace load_trace_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  char magic[4] = {};
+  in.read(magic, 4);
+  const bool binary = in.gcount() == 4 && std::memcmp(magic, kMagic, 4) == 0;
+  in.clear();
+  in.seekg(0);
+  return binary ? load_binary_trace(in) : Trace::load(in);
+}
+
+void save_trace_file(const std::string& path, const Trace& trace) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  if (is_lapt_path(path)) {
+    save_binary_trace(out, trace);
+  } else {
+    trace.save(out);
+  }
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace lap

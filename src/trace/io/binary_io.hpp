@@ -1,0 +1,78 @@
+// `.lapt` binary trace I/O: writer, strict validating loader, and the
+// bounded-memory streaming source.  Wire layout in format.hpp; design
+// rationale in DESIGN.md §11.
+//
+// The loader and the streaming source share one decode path, and both are
+// strict: any malformed input — truncated header, wrong magic, newer
+// version, impossible record counts, out-of-range file ids, undecodable
+// records, trailing bytes — raises a TraceIoError with a typed code.
+// Nothing is ever silently dropped, and no input can invoke UB.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/io/source.hpp"
+
+namespace lap {
+
+/// Serialise `trace` in LAPT v1 format.  Throws std::runtime_error if the
+/// stream fails.
+void save_binary_trace(std::ostream& os, const Trace& trace);
+
+/// Parse and fully validate a LAPT image (every record is decoded, counts
+/// cross-checked, trailing bytes rejected).  Throws TraceIoError.
+[[nodiscard]] Trace load_binary_trace(std::istream& is);
+
+/// Streaming reader: validates the header and tables up front, then decodes
+/// each process's record stream in fixed-size chunks as the replay pulls on
+/// it — memory is O(live cursors x chunk), not O(records).  The stream must
+/// be seekable (file or string stream); record-level corruption therefore
+/// surfaces lazily, as a TraceIoError from RecordCursor::next.  Like every
+/// TraceSource, an instance must not be shared between concurrent runs.
+class BinaryTraceSource final : public TraceSource {
+ public:
+  /// Takes ownership of a seekable stream.  Throws TraceIoError.
+  explicit BinaryTraceSource(std::unique_ptr<std::istream> in,
+                             std::size_t chunk_bytes = 64 * 1024);
+
+  /// Opens `path`; throws std::runtime_error when unreadable.
+  [[nodiscard]] static std::unique_ptr<BinaryTraceSource> open_file(
+      const std::string& path);
+
+  [[nodiscard]] const TraceMeta& meta() const override { return meta_; }
+  [[nodiscard]] std::unique_ptr<RecordCursor> open(std::size_t index) override;
+
+  /// Where one process's record stream lives in the file (exposed for the
+  /// decoder internals; not useful to callers).
+  struct Extent {
+    std::uint64_t offset = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t records = 0;
+  };
+
+ private:
+  std::unique_ptr<std::istream> in_;
+  std::size_t chunk_;
+  TraceMeta meta_;
+  std::vector<Extent> extents_;
+  std::vector<std::uint32_t> file_ids_;  // sorted, for record validation
+};
+
+/// True when `path` names a LAPT file by extension (".lapt").
+[[nodiscard]] bool is_lapt_path(const std::string& path);
+
+/// Load a trace from disk, sniffing the format by content: LAPT magic ->
+/// binary, anything else -> "# lap-trace v1" text.  Throws TraceIoError /
+/// std::invalid_argument on malformed input, std::runtime_error when the
+/// file cannot be read.
+[[nodiscard]] Trace load_trace_file(const std::string& path);
+
+/// Capture `trace` to disk, picking the format by extension (".lapt" ->
+/// binary, anything else -> text).  Throws std::runtime_error on I/O
+/// failure.
+void save_trace_file(const std::string& path, const Trace& trace);
+
+}  // namespace lap

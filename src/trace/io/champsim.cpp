@@ -1,0 +1,197 @@
+#include "trace/io/champsim.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <istream>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lap {
+namespace {
+
+enum class AccessType { kLoad, kStore };
+
+std::optional<AccessType> type_keyword(std::string_view tok) {
+  std::string up;
+  up.reserve(tok.size());
+  for (char c : tok) up.push_back(static_cast<char>(std::toupper(
+      static_cast<unsigned char>(c))));
+  if (up == "LOAD" || up == "L" || up == "R" || up == "READ") {
+    return AccessType::kLoad;
+  }
+  if (up == "STORE" || up == "S" || up == "W" || up == "WRITE" ||
+      up == "RFO") {
+    return AccessType::kStore;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint64_t> parse_number(std::string_view tok) {
+  int base = 10;
+  if (tok.size() > 2 && tok[0] == '0' && (tok[1] == 'x' || tok[1] == 'X')) {
+    tok.remove_prefix(2);
+    base = 16;
+  }
+  if (tok.empty()) return std::nullopt;
+  std::uint64_t v = 0;
+  const auto [ptr, ec] =
+      std::from_chars(tok.data(), tok.data() + tok.size(), v, base);
+  if (ec != std::errc{} || ptr != tok.data() + tok.size()) return std::nullopt;
+  return v;
+}
+
+std::vector<std::string_view> split_fields(std::string_view line) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() &&
+           (line[i] == ' ' || line[i] == '\t' || line[i] == ',' ||
+            line[i] == '\r')) {
+      ++i;
+    }
+    const std::size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t' &&
+           line[i] != ',' && line[i] != '\r') {
+      ++i;
+    }
+    if (i > start) out.push_back(line.substr(start, i - start));
+  }
+  return out;
+}
+
+struct Access {
+  AccessType type = AccessType::kLoad;
+  std::uint64_t addr = 0;
+  std::optional<std::uint64_t> cycle;
+};
+
+/// One line -> one access, or nullopt for junk.
+std::optional<Access> parse_line(std::string_view line) {
+  const std::vector<std::string_view> fields = split_fields(line);
+  if (fields.empty()) return std::nullopt;
+
+  std::optional<AccessType> type;
+  std::vector<std::uint64_t> nums;
+  for (std::string_view f : fields) {
+    if (!type) {
+      if (auto t = type_keyword(f)) {
+        type = t;
+        continue;
+      }
+    }
+    if (auto n = parse_number(f)) nums.push_back(*n);
+  }
+
+  Access a;
+  if (type) {
+    // Typed line: the first number is the address.
+    if (nums.empty()) return std::nullopt;
+    a.type = *type;
+    a.addr = nums[0];
+    return a;
+  }
+  // Load-trace CSV: instr_id, cycle, addr[, pc[, hit]] — all loads.
+  if (nums.size() < 3) return std::nullopt;
+  a.type = AccessType::kLoad;
+  a.cycle = nums[1];
+  a.addr = nums[2];
+  return a;
+}
+
+}  // namespace
+
+Trace ingest_champsim(std::istream& is, const ChampsimIngestOptions& opts,
+                      ChampsimIngestStats* stats) {
+  if (opts.block_size == 0 || opts.line_bytes == 0 ||
+      opts.bytes_per_file == 0 || opts.nodes == 0 ||
+      opts.ns_per_cycle < 0.0) {
+    throw std::invalid_argument("champsim ingest: invalid options");
+  }
+
+  Trace t;
+  t.block_size = opts.block_size;
+  t.serialize_per_node = false;
+
+  // One client process per node; file f lives with client f % nodes, so a
+  // striped address stream becomes cross-node traffic.
+  std::vector<ProcessTrace> procs(opts.nodes);
+  std::vector<std::optional<std::uint64_t>> last_cycle(opts.nodes);
+  for (std::uint32_t i = 0; i < opts.nodes; ++i) {
+    procs[i].pid = ProcId{i + 1};
+    procs[i].node = NodeId{i};
+  }
+  std::map<std::uint32_t, Bytes> file_end;  // max byte touched, per file
+
+  ChampsimIngestStats local;
+  ChampsimIngestStats& st = stats != nullptr ? *stats : local;
+  st = ChampsimIngestStats{};
+
+  std::string line;
+  while (std::getline(is, line)) {
+    std::string_view sv(line);
+    while (!sv.empty() && (sv.front() == ' ' || sv.front() == '\t')) {
+      sv.remove_prefix(1);
+    }
+    if (sv.empty() || sv.front() == '#') continue;
+    ++st.lines;
+    const std::optional<Access> access = parse_line(sv);
+    if (!access) {
+      ++st.skipped;
+      continue;
+    }
+    (access->type == AccessType::kLoad ? st.loads : st.stores) += 1;
+
+    const std::uint64_t file = access->addr / opts.bytes_per_file;
+    // Cap the file id space; gigantic sparse addresses fold back in.
+    const auto fid = static_cast<std::uint32_t>(file & 0x00ffffffu);
+    const Bytes in_file = access->addr % opts.bytes_per_file;
+    const Bytes offset = (in_file / opts.block_size) * opts.block_size;
+    const Bytes length =
+        std::min<Bytes>(opts.line_bytes, opts.bytes_per_file - in_file);
+
+    const std::uint32_t shard = fid % opts.nodes;
+    ProcessTrace& proc = procs[shard];
+
+    TraceRecord r;
+    r.op = access->type == AccessType::kLoad ? TraceOp::kRead : TraceOp::kWrite;
+    r.file = FileId{fid};
+    r.offset = offset;
+    r.length = length;
+    r.think = SimTime::zero();
+    if (access->cycle && last_cycle[shard] &&
+        *access->cycle > *last_cycle[shard]) {
+      r.think = SimTime::ns(static_cast<std::int64_t>(
+          static_cast<double>(*access->cycle - *last_cycle[shard]) *
+          opts.ns_per_cycle));
+    }
+    if (access->cycle) last_cycle[shard] = access->cycle;
+
+    Bytes& end = file_end[fid];
+    end = std::max(end, offset + std::max<Bytes>(length, 1));
+    proc.records.push_back(r);
+  }
+
+  if (st.loads + st.stores == 0) {
+    throw std::invalid_argument(
+        "champsim ingest: no parseable accesses in input");
+  }
+
+  for (const auto& [fid, end] : file_end) {
+    // Round the preamble size up to whole blocks so the last access's
+    // block exists in full.
+    const Bytes size = ((end + opts.block_size - 1) / opts.block_size) *
+                       opts.block_size;
+    t.files.push_back(FileInfo{FileId{fid}, size});
+  }
+  for (ProcessTrace& p : procs) {
+    if (!p.records.empty()) t.processes.push_back(std::move(p));
+  }
+  return t;
+}
+
+}  // namespace lap

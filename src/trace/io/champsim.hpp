@@ -1,0 +1,56 @@
+// ChampSim-style trace ingestion.
+//
+// Prefetcher papers are routinely evaluated on externally captured
+// block-access traces (ChampSim memory traces and the "load trace" CSV
+// dumps derived from them).  This adapter turns such a stream of
+// LOAD/STORE accesses into a lap workload trace, so foreign corpora can be
+// replayed through the cooperative cache exactly like the built-in
+// CHARISMA/Sprite generators.
+//
+// Accepted input, one access per line (commas or whitespace separate
+// fields; '#'-lines and blank lines are skipped):
+//
+//   typed:      LOAD <addr> [...]      |   <addr> LOAD [...]
+//               (type keywords: LOAD/STORE, L/S, R/W, RFO; any case)
+//   load-CSV:   <instr_id> <cycle> <addr> [<pc> [<hit>]]
+//               (>= 3 numeric fields, no type keyword: all LOADs, cycle
+//               deltas become think time)
+//
+// Numbers may be decimal or 0x-hex.  The flat memory address space is
+// striped into files (`bytes_per_file`), each access becomes one
+// block-aligned read/write of `line_bytes`, and accesses are sharded
+// across `nodes` single-process clients by file so a multi-node
+// cooperative cache sees cross-node sharing of a real address stream.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "trace/trace.hpp"
+
+namespace lap {
+
+struct ChampsimIngestOptions {
+  Bytes block_size = 8_KiB;    // cache block size of the produced trace
+  Bytes line_bytes = 64;       // bytes touched per access (ChampSim line)
+  Bytes bytes_per_file = 1_MiB;  // address-space stripe that becomes a file
+  double ns_per_cycle = 1.0;   // cycle deltas -> think time (load-CSV only)
+  std::uint32_t nodes = 1;     // shard accesses across this many clients
+};
+
+struct ChampsimIngestStats {
+  std::uint64_t lines = 0;    // non-blank, non-comment lines seen
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t skipped = 0;  // unparseable lines (reported, not fatal)
+};
+
+/// Convert a ChampSim-style access stream to a workload trace.  Throws
+/// std::invalid_argument when the input yields no accesses at all or an
+/// option is invalid; individual junk lines are counted in
+/// `stats->skipped` instead of aborting a multi-million-line ingest.
+[[nodiscard]] Trace ingest_champsim(std::istream& is,
+                                    const ChampsimIngestOptions& opts = {},
+                                    ChampsimIngestStats* stats = nullptr);
+
+}  // namespace lap

@@ -1,0 +1,142 @@
+// LAPT wire format: constants, typed errors and varint primitives.
+//
+// A `.lapt` file is the binary counterpart of the "# lap-trace v1" text
+// format — same model (file table + per-process record streams), but
+// delta/varint coded so million-record workloads stay small and can be
+// replayed in bounded memory.  Layout (all integers little-endian):
+//
+//   header   magic "LAPT" | u16 version | u16 flags | u64 block_size
+//            | u32 file_count | u32 process_count | u64 total_records
+//            | u64 total_io_ops                                  (40 bytes)
+//   files    file_count  x { u32 id | u64 size }                 (12 bytes)
+//   procs    process_count x { u32 pid | u32 node | u64 record_count
+//            | u64 stream_offset | u64 stream_bytes }            (32 bytes)
+//   streams  process_count record streams, back to back, each exactly
+//            stream_bytes long, starting at stream_offset from the start
+//            of the file.  Nothing may follow the last stream.
+//
+// Record coding (per stream, all delta state starts at zero):
+//
+//   u8 op | svarint(file - prev_file) | svarint(offset - prev_end)
+//        | svarint(length - prev_len) | svarint(think - prev_think)
+//
+// where prev_end is the previous record's offset+length — a sequential
+// scan encodes as offset delta 0 — and svarint is a zigzag-coded LEB128
+// varint.  Version policy: readers accept exactly the versions they know
+// (currently 1) and must reject anything newer; any layout or coding
+// change bumps kVersion.  See DESIGN.md §11.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace lap {
+
+/// Why the reader rejected an input.  Every malformed input maps to one of
+/// these — the reader never crashes and never silently truncates.
+enum class TraceIoErrc {
+  kTruncated,           // input ends before the layout says it should
+  kBadMagic,            // not a LAPT file
+  kUnsupportedVersion,  // newer (or unknown) format version
+  kHeaderCorrupt,       // header fields are internally inconsistent
+  kCountOverflow,       // a count that cannot fit in the bytes that carry it
+  kBadFileTable,        // duplicate or invalid file table entry
+  kBadProcessTable,     // overlapping / out-of-bounds record streams
+  kUnknownFile,         // record references a file id not in the table
+  kBadRecord,           // undecodable record (bad op, varint, or range)
+  kTrailingGarbage,     // bytes after the last record stream
+};
+
+[[nodiscard]] std::string to_string(TraceIoErrc code);
+
+class TraceIoError : public std::runtime_error {
+ public:
+  TraceIoError(TraceIoErrc code, const std::string& detail)
+      : std::runtime_error(to_string(code) + ": " + detail), code_(code) {}
+
+  [[nodiscard]] TraceIoErrc code() const { return code_; }
+
+ private:
+  TraceIoErrc code_;
+};
+
+namespace wire {
+
+inline constexpr char kMagic[4] = {'L', 'A', 'P', 'T'};
+inline constexpr std::uint16_t kVersion = 1;
+inline constexpr std::uint16_t kFlagSerializePerNode = 1u << 0;
+inline constexpr std::size_t kHeaderBytes = 40;
+inline constexpr std::size_t kFileEntryBytes = 12;
+inline constexpr std::size_t kProcEntryBytes = 32;
+/// Smallest possible record: op byte + four one-byte varints.
+inline constexpr std::uint64_t kMinRecordBytes = 5;
+/// Largest possible record: op byte + four ten-byte varints.
+inline constexpr std::size_t kMaxRecordBytes = 41;
+inline constexpr std::size_t kMaxVarintBytes = 10;
+
+// --- encoding (append to a byte string) ---
+
+inline void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+inline void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+inline void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+inline void put_varint(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+[[nodiscard]] inline std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+inline void put_svarint(std::string& out, std::int64_t v) {
+  put_varint(out, zigzag(v));
+}
+
+// --- decoding (from a bounded byte view; cursor advances) ---
+
+[[nodiscard]] inline std::uint16_t get_u16(const unsigned char* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+[[nodiscard]] inline std::uint32_t get_u32(const unsigned char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+[[nodiscard]] inline std::uint64_t get_u64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+[[nodiscard]] inline std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+/// Decode one varint from [*pos, end).  Advances *pos past it.  Throws
+/// kTruncated when the buffer ends mid-varint and kBadRecord when the
+/// encoding exceeds 10 bytes (cannot be a u64).
+[[nodiscard]] std::uint64_t get_varint(const unsigned char** pos,
+                                       const unsigned char* end);
+
+[[nodiscard]] std::int64_t get_svarint(const unsigned char** pos,
+                                       const unsigned char* end);
+
+}  // namespace wire
+}  // namespace lap

@@ -1,0 +1,60 @@
+#include "trace/io/source.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace lap {
+
+std::uint32_t TraceMeta::node_span() const {
+  std::uint32_t max_node = 0;
+  for (const ProcessInfo& p : processes) max_node = std::max(max_node, raw(p.node));
+  return processes.empty() ? 0 : max_node + 1;
+}
+
+TraceMeta make_meta(const Trace& trace) {
+  TraceMeta m;
+  m.block_size = trace.block_size;
+  m.serialize_per_node = trace.serialize_per_node;
+  m.files = trace.files;
+  m.processes.reserve(trace.processes.size());
+  for (const ProcessTrace& p : trace.processes) {
+    m.processes.push_back(TraceMeta::ProcessInfo{
+        p.pid, p.node, static_cast<std::uint64_t>(p.records.size())});
+    m.total_records += p.records.size();
+    for (const TraceRecord& r : p.records) {
+      if (r.op == TraceOp::kRead || r.op == TraceOp::kWrite) ++m.total_io_ops;
+    }
+  }
+  return m;
+}
+
+namespace {
+
+class VectorCursor final : public RecordCursor {
+ public:
+  explicit VectorCursor(const std::vector<TraceRecord>& records)
+      : records_(&records) {}
+
+  bool next(TraceRecord& out) override {
+    if (pos_ >= records_->size()) return false;
+    out = (*records_)[pos_++];
+    return true;
+  }
+
+ private:
+  const std::vector<TraceRecord>* records_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+InMemoryTraceSource::InMemoryTraceSource(const Trace& trace)
+    : trace_(&trace), meta_(make_meta(trace)) {}
+
+std::unique_ptr<RecordCursor> InMemoryTraceSource::open(std::size_t index) {
+  LAP_EXPECTS(index < trace_->processes.size());
+  return std::make_unique<VectorCursor>(trace_->processes[index].records);
+}
+
+}  // namespace lap

@@ -1,0 +1,83 @@
+// Streaming workload input.
+//
+// A TraceSource is what the driver actually replays: trace-wide metadata
+// plus per-process record streams that are pulled one record at a time, so
+// a million-record workload never has to be materialised in RAM.  The
+// in-memory `Trace` is one implementation; the chunked `.lapt` file reader
+// (binary_io.hpp) is another, proven bit-exact against it by RunResult
+// hashes (tests/test_trace_io.cpp).
+//
+// `open(i)` may be called any number of times per process — the informed
+// upper bound scans each stream once for hints before replaying it — and
+// cursors for different processes are live concurrently (that is how
+// concurrent client processes replay).  A source is single-run property:
+// it must not be shared between simulations running in parallel.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace lap {
+
+/// Everything about a trace that the driver needs up front (sizing caches,
+/// placing processes, computing the warm-up boundary) — without the
+/// records themselves.
+struct TraceMeta {
+  struct ProcessInfo {
+    ProcId pid{};
+    NodeId node{};
+    std::uint64_t records = 0;
+  };
+
+  Bytes block_size = 8_KiB;
+  bool serialize_per_node = false;
+  std::vector<FileInfo> files;
+  std::vector<ProcessInfo> processes;
+  std::uint64_t total_records = 0;
+  std::uint64_t total_io_ops = 0;  // READ + WRITE records
+
+  /// Largest node id used plus one (0 when there are no processes).
+  [[nodiscard]] std::uint32_t node_span() const;
+};
+
+/// Pull-based iterator over one process's records.
+class RecordCursor {
+ public:
+  virtual ~RecordCursor() = default;
+
+  /// Fill `out` with the next record; false at end of stream.
+  virtual bool next(TraceRecord& out) = 0;
+};
+
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+
+  [[nodiscard]] virtual const TraceMeta& meta() const = 0;
+
+  /// Fresh cursor over process `meta().processes[index]`, positioned at its
+  /// first record.
+  [[nodiscard]] virtual std::unique_ptr<RecordCursor> open(
+      std::size_t index) = 0;
+};
+
+/// Adapter over an in-memory Trace (not owned; must outlive the source).
+class InMemoryTraceSource final : public TraceSource {
+ public:
+  explicit InMemoryTraceSource(const Trace& trace);
+
+  [[nodiscard]] const TraceMeta& meta() const override { return meta_; }
+  [[nodiscard]] std::unique_ptr<RecordCursor> open(std::size_t index) override;
+
+ private:
+  const Trace* trace_;
+  TraceMeta meta_;
+};
+
+/// The metadata an in-memory trace implies.
+[[nodiscard]] TraceMeta make_meta(const Trace& trace);
+
+}  // namespace lap

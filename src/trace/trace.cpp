@@ -1,10 +1,13 @@
 #include "trace/trace.hpp"
 
+#include <charconv>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace lap {
 
@@ -64,6 +67,57 @@ void Trace::save(std::ostream& os) const {
   }
 }
 
+namespace {
+
+// Strict line tokenizer for the text format.  Every directive has a fixed
+// arity and every numeric field must parse completely — trailing tokens,
+// partial records and negative values are errors, never silently dropped.
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream ls(line);
+  std::string tok;
+  while (ls >> tok) out.push_back(std::move(tok));
+  return out;
+}
+
+[[noreturn]] void bad_line(const std::string& why, const std::string& line) {
+  throw std::invalid_argument("trace: " + why + ": \"" + line + "\"");
+}
+
+std::uint64_t parse_u64(const std::string& tok, const std::string& line) {
+  std::uint64_t v = 0;
+  const auto [ptr, ec] =
+      std::from_chars(tok.data(), tok.data() + tok.size(), v);
+  if (ec != std::errc{} || ptr != tok.data() + tok.size()) {
+    bad_line("expected unsigned integer, got \"" + tok + "\"", line);
+  }
+  return v;
+}
+
+std::uint32_t parse_u32(const std::string& tok, const std::string& line) {
+  const std::uint64_t v = parse_u64(tok, line);
+  if (v > std::numeric_limits<std::uint32_t>::max()) {
+    bad_line("value out of range: \"" + tok + "\"", line);
+  }
+  return static_cast<std::uint32_t>(v);
+}
+
+void expect_arity(const std::vector<std::string>& toks, std::size_t n,
+                  const std::string& line) {
+  if (toks.size() < n) bad_line("partial record (missing fields)", line);
+  if (toks.size() > n) bad_line("trailing garbage after record", line);
+}
+
+bool is_integer(const std::string& tok) {
+  std::int64_t v = 0;
+  const auto [ptr, ec] =
+      std::from_chars(tok.data(), tok.data() + tok.size(), v);
+  return ec == std::errc{} && ptr == tok.data() + tok.size();
+}
+
+}  // namespace
+
 Trace Trace::load(std::istream& is) {
   Trace trace;
   trace.files.clear();
@@ -71,38 +125,44 @@ Trace Trace::load(std::istream& is) {
   ProcessTrace* current = nullptr;
   while (std::getline(is, line)) {
     if (line.empty() || line[0] == '#') continue;
-    std::istringstream ls(line);
-    std::string tok;
-    ls >> tok;
+    const std::vector<std::string> toks = tokenize(line);
+    if (toks.empty()) continue;  // whitespace-only line
+    const std::string& tok = toks[0];
     if (tok == "blocksize") {
-      ls >> trace.block_size;
+      expect_arity(toks, 2, line);
+      trace.block_size = parse_u64(toks[1], line);
+      if (trace.block_size == 0) bad_line("block size must be positive", line);
     } else if (tok == "serialize") {
-      int v = 0;
-      ls >> v;
-      trace.serialize_per_node = v != 0;
+      expect_arity(toks, 2, line);
+      trace.serialize_per_node = parse_u64(toks[1], line) != 0;
     } else if (tok == "file") {
-      std::uint32_t id = 0;
-      Bytes size = 0;
-      ls >> id >> size;
-      trace.files.push_back(FileInfo{FileId{id}, size});
+      expect_arity(toks, 3, line);
+      trace.files.push_back(FileInfo{FileId{parse_u32(toks[1], line)},
+                                     parse_u64(toks[2], line)});
     } else if (tok == "proc") {
-      std::uint32_t pid = 0;
-      std::uint32_t node = 0;
-      ls >> pid >> node;
-      trace.processes.push_back(ProcessTrace{ProcId{pid}, NodeId{node}, {}});
+      expect_arity(toks, 3, line);
+      trace.processes.push_back(ProcessTrace{ProcId{parse_u32(toks[1], line)},
+                                             NodeId{parse_u32(toks[2], line)},
+                                             {}});
       current = &trace.processes.back();
-    } else {
+    } else if (is_integer(tok)) {
       if (current == nullptr) throw std::invalid_argument("record before proc");
+      expect_arity(toks, 5, line);
+      if (toks[1].size() != 1) bad_line("bad op \"" + toks[1] + "\"", line);
       TraceRecord r;
-      std::int64_t think_ns = std::stoll(tok);
-      char op = 0;
-      std::uint32_t file = 0;
-      ls >> op >> file >> r.offset >> r.length;
-      if (!ls) throw std::invalid_argument("malformed trace record: " + line);
-      r.think = SimTime::ns(think_ns);
-      r.op = trace_op_from_char(op);
-      r.file = FileId{file};
+      const std::uint64_t think = parse_u64(tok, line);  // rejects negatives
+      if (think > static_cast<std::uint64_t>(
+                      std::numeric_limits<std::int64_t>::max())) {
+        bad_line("think time out of range", line);
+      }
+      r.think = SimTime::ns(static_cast<std::int64_t>(think));
+      r.op = trace_op_from_char(toks[1][0]);
+      r.file = FileId{parse_u32(toks[2], line)};
+      r.offset = parse_u64(toks[3], line);
+      r.length = parse_u64(toks[4], line);
       current->records.push_back(r);
+    } else {
+      bad_line("unknown directive \"" + tok + "\"", line);
     }
   }
   return trace;

@@ -1,0 +1,26 @@
+// Fuzz-smoke tier: the trace-serialization differential stage.
+//
+// For a band of generator seeds, check_serialization() round-trips the
+// scenario's trace through both on-disk formats and replays the
+// binary-loaded and streamed variants under both file systems, diffing
+// every RunResult field against the unserialized baseline.  Any format or
+// streaming bug that changes simulation behavior lands here as a readable
+// field-level diff rather than a golden-hash mismatch.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "check/differential.hpp"
+
+namespace lap {
+namespace {
+
+TEST(CheckSerialization, SeedBandIsClean) {
+  for (std::uint64_t seed = 1; seed <= 48; ++seed) {
+    const CheckReport report = check_serialization(generate_scenario(seed));
+    EXPECT_TRUE(report.ok()) << report.summary();
+  }
+}
+
+}  // namespace
+}  // namespace lap

@@ -65,6 +65,57 @@ TEST(Trace, LoadSkipsCommentsAndBlankLines) {
   EXPECT_EQ(t.processes[0].records[0].think, SimTime::ns(5));
 }
 
+// --- strict text-format parsing: malformed lines are errors, never
+// silently dropped or partially applied ---
+
+void expect_rejected(const std::string& body) {
+  std::stringstream ss(body);
+  EXPECT_THROW(Trace::load(ss), std::invalid_argument) << body;
+}
+
+TEST(Trace, LoadRejectsTrailingGarbageAfterRecord) {
+  expect_rejected("proc 1 0\n  5 R 0 0 8192 extra\n");
+  expect_rejected("proc 1 0\n  5 R 0 0 8192 9\n");
+}
+
+TEST(Trace, LoadRejectsPartialFinalRecord) {
+  expect_rejected("proc 1 0\n  5 R 0 0\n");      // missing length
+  expect_rejected("proc 1 0\n  5 R\n");          // op only
+  expect_rejected("proc 1 0\n  5\n");            // think only
+}
+
+TEST(Trace, LoadRejectsMalformedDirectives) {
+  expect_rejected("blocksize\n");                // missing value
+  expect_rejected("blocksize 0\n");              // zero block size
+  expect_rejected("blocksize 8192 extra\n");
+  expect_rejected("file 0\n");                   // missing size
+  expect_rejected("file 0 100 extra\n");
+  expect_rejected("proc 1\n");                   // missing node
+  expect_rejected("proc 1 0 extra\n");
+  expect_rejected("serialize\n");
+  expect_rejected("frobnicate 1\n");             // unknown directive
+}
+
+TEST(Trace, LoadRejectsBadNumbersAndOps) {
+  expect_rejected("proc 1 0\n  -5 R 0 0 8192\n");    // negative think
+  expect_rejected("proc 1 0\n  5 R 0 -1 8192\n");    // negative offset
+  expect_rejected("proc 1 0\n  5 RR 0 0 8192\n");    // two-char op
+  expect_rejected("proc 1 0\n  5 Z 0 0 8192\n");     // unknown op
+  expect_rejected("proc 1 0\n  5 R 0 12x 8192\n");   // junk suffix on number
+  expect_rejected("file 4294967296 100\n");          // file id > u32
+  expect_rejected("blocksize 99999999999999999999999999\n");  // overflow
+}
+
+TEST(Trace, LoadAcceptsWhitespaceVariations) {
+  // Strictness is about content, not layout: extra spaces and tabs between
+  // the fixed-arity fields stay legal.
+  std::stringstream ss("proc   1\t0\n\t  5   R  0   0  8192 \n");
+  const Trace t = Trace::load(ss);
+  ASSERT_EQ(t.processes.size(), 1u);
+  ASSERT_EQ(t.processes[0].records.size(), 1u);
+  EXPECT_EQ(t.processes[0].records[0].length, 8192u);
+}
+
 TEST(Trace, EmptyTraceTotals) {
   Trace t;
   EXPECT_EQ(t.total_io_ops(), 0u);

@@ -1,0 +1,91 @@
+// Byte-identity golden tests for the `.lapt` fixtures under tests/data/.
+//
+// The committed fixture bytes pin the wire format: if an innocent-looking
+// change to the writer shifts even one byte, these tests fail and force a
+// conscious decision — either revert, or bump wire::kVersion and regenerate
+// the fixtures (see DESIGN.md §11's versioning policy).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "check/scenario.hpp"
+#include "trace/io/binary_io.hpp"
+#include "trace/io/format.hpp"
+
+namespace lap {
+namespace {
+
+std::string fixture_path(const std::string& name) {
+  return std::string(LAP_TEST_DATA_DIR) + "/" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+std::string serialize(const Trace& t) {
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  save_binary_trace(ss, t);
+  return ss.str();
+}
+
+/// The trace behind tests/data/mini.lapt.  Keep in sync with
+/// tests/data/README.md — regenerating the fixture means re-running the
+/// recipe there, not editing bytes.
+Trace mini_trace() {
+  Trace t;
+  t.block_size = 8_KiB;
+  t.serialize_per_node = false;
+  t.files = {FileInfo{FileId{0}, 64_KiB}, FileInfo{FileId{1}, 16_KiB}};
+  ProcessTrace p0{ProcId{0}, NodeId{0}, {}};
+  p0.records = {
+      TraceRecord{TraceOp::kOpen, FileId{0}, 0, 0, SimTime::zero()},
+      TraceRecord{TraceOp::kRead, FileId{0}, 0, 16_KiB, SimTime::us(50)},
+      TraceRecord{TraceOp::kRead, FileId{0}, 16_KiB, 16_KiB, SimTime::us(50)},
+      TraceRecord{TraceOp::kClose, FileId{0}, 0, 0, SimTime::zero()},
+  };
+  ProcessTrace p1{ProcId{1}, NodeId{1}, {}};
+  p1.records = {
+      TraceRecord{TraceOp::kWrite, FileId{1}, 0, 8_KiB, SimTime::ms(1)},
+      TraceRecord{TraceOp::kRead, FileId{1}, 0, 8_KiB, SimTime::zero()},
+  };
+  t.processes.push_back(std::move(p0));
+  t.processes.push_back(std::move(p1));
+  return t;
+}
+
+TEST(GoldenFixture, MiniIsByteIdentical) {
+  const std::string on_disk = read_file(fixture_path("mini.lapt"));
+  EXPECT_EQ(on_disk, serialize(mini_trace()));
+}
+
+TEST(GoldenFixture, Scenario7IsByteIdentical) {
+  const std::string on_disk = read_file(fixture_path("scenario7.lapt"));
+  EXPECT_EQ(on_disk, serialize(generate_scenario(7).trace));
+}
+
+TEST(GoldenFixture, FixturesLoadBackToTheExpectedTraces) {
+  std::stringstream mini(read_file(fixture_path("mini.lapt")),
+                         std::ios::in | std::ios::binary);
+  EXPECT_EQ(load_binary_trace(mini), mini_trace());
+  std::stringstream s7(read_file(fixture_path("scenario7.lapt")),
+                       std::ios::in | std::ios::binary);
+  EXPECT_EQ(load_binary_trace(s7), generate_scenario(7).trace);
+}
+
+TEST(GoldenFixture, FixturesStartWithTheMagic) {
+  for (const char* name : {"mini.lapt", "scenario7.lapt"}) {
+    const std::string bytes = read_file(fixture_path(name));
+    ASSERT_GE(bytes.size(), wire::kHeaderBytes) << name;
+    EXPECT_EQ(bytes.compare(0, 4, "LAPT"), 0) << name;
+  }
+}
+
+}  // namespace
+}  // namespace lap

@@ -1,0 +1,213 @@
+// Property tests for the LAPT binary format and the streaming replay path.
+//
+// The contract under test: load(save(t)) == t in both on-disk formats and
+// across them, for every shape the fuzzer's generator can produce and for
+// quick-scale CHARISMA/Sprite workloads — and replaying a `.lapt` image
+// through the chunked streaming reader is bit-exact (same RunResult hash)
+// with replaying the in-memory trace it came from.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <sstream>
+
+#include "check/golden.hpp"
+#include "check/scenario.hpp"
+#include "trace/charisma_gen.hpp"
+#include "trace/io/binary_io.hpp"
+#include "trace/io/champsim.hpp"
+#include "trace/io/format.hpp"
+#include "trace/sprite_gen.hpp"
+
+namespace lap {
+namespace {
+
+Trace binary_round_trip(const Trace& t) {
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  save_binary_trace(ss, t);
+  ss.seekg(0);
+  return load_binary_trace(ss);
+}
+
+Trace text_round_trip(const Trace& t) {
+  std::stringstream ss;
+  t.save(ss);
+  return Trace::load(ss);
+}
+
+Trace sample() {
+  Trace t;
+  t.block_size = 8_KiB;
+  t.serialize_per_node = true;
+  t.files = {FileInfo{FileId{0}, 64_KiB}, FileInfo{FileId{7}, 8_KiB + 123}};
+  ProcessTrace p1{ProcId{4}, NodeId{3}, {}};
+  p1.records = {
+      TraceRecord{TraceOp::kOpen, FileId{0}, 0, 0, SimTime::ms(1)},
+      TraceRecord{TraceOp::kRead, FileId{0}, 0, 16_KiB, SimTime::us(250)},
+      TraceRecord{TraceOp::kRead, FileId{0}, 16_KiB, 16_KiB, SimTime::zero()},
+      TraceRecord{TraceOp::kWrite, FileId{7}, 4_KiB, 8_KiB, SimTime::zero()},
+      TraceRecord{TraceOp::kClose, FileId{0}, 0, 0, SimTime::zero()},
+      TraceRecord{TraceOp::kDelete, FileId{7}, 0, 0, SimTime::ns(1)},
+  };
+  t.processes.push_back(std::move(p1));
+  t.processes.push_back(ProcessTrace{ProcId{5}, NodeId{0}, {}});  // empty
+  return t;
+}
+
+TEST(Varint, RoundTripEdgeValues) {
+  using namespace wire;
+  const std::uint64_t cases[] = {0,
+                                 1,
+                                 127,
+                                 128,
+                                 300,
+                                 (1ULL << 32) - 1,
+                                 1ULL << 32,
+                                 (1ULL << 63) - 1,
+                                 ~0ULL};
+  for (std::uint64_t v : cases) {
+    std::string buf;
+    put_varint(buf, v);
+    ASSERT_LE(buf.size(), kMaxVarintBytes);
+    const auto* p = reinterpret_cast<const unsigned char*>(buf.data());
+    const auto* end = p + buf.size();
+    EXPECT_EQ(get_varint(&p, end), v);
+    EXPECT_EQ(p, end);
+  }
+}
+
+TEST(Varint, SignedRoundTrip) {
+  using namespace wire;
+  const std::int64_t cases[] = {0, -1, 1, -64, 64, -1'000'000'000,
+                                std::numeric_limits<std::int64_t>::min(),
+                                std::numeric_limits<std::int64_t>::max()};
+  for (std::int64_t v : cases) {
+    std::string buf;
+    put_svarint(buf, v);
+    const auto* p = reinterpret_cast<const unsigned char*>(buf.data());
+    EXPECT_EQ(get_svarint(&p, p + buf.size()), v);
+  }
+}
+
+TEST(BinaryRoundTrip, SampleAndEmpty) {
+  EXPECT_EQ(binary_round_trip(sample()), sample());
+  EXPECT_EQ(binary_round_trip(Trace{}), Trace{});
+}
+
+// The heart of the property wall: every golden fuzzer scenario round-trips
+// through both formats, and the two loads agree with each other.
+TEST(BinaryRoundTrip, AllGoldenScenariosBothFormats) {
+  for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+    const Trace t = generate_scenario(seed).trace;
+    const Trace from_binary = binary_round_trip(t);
+    const Trace from_text = text_round_trip(t);
+    EXPECT_EQ(from_binary, t) << "binary, seed " << seed;
+    EXPECT_EQ(from_text, t) << "text, seed " << seed;
+    EXPECT_EQ(from_binary, from_text) << "cross-format, seed " << seed;
+  }
+}
+
+TEST(BinaryRoundTrip, QuickScaleCharismaAndSprite) {
+  CharismaParams cp;
+  cp.scale = 0.1;
+  const Trace charisma = generate_charisma(cp);
+  EXPECT_EQ(binary_round_trip(charisma), charisma);
+  EXPECT_EQ(text_round_trip(charisma), charisma);
+
+  SpriteParams sp;
+  sp.scale = 0.05;
+  const Trace sprite = generate_sprite(sp);
+  EXPECT_EQ(binary_round_trip(sprite), sprite);
+  EXPECT_EQ(text_round_trip(sprite), sprite);
+}
+
+TEST(BinaryRoundTrip, ChampsimIngestSurvivesSerialization) {
+  std::stringstream in(
+      "1, 100, 0x1000, 0x400100, 1\n"
+      "2, 250, 0x1040, 0x400104, 0\n"
+      "LOAD 0x203000\n"
+      "STORE 0x203040\n");
+  ChampsimIngestOptions opts;
+  opts.nodes = 2;
+  const Trace t = ingest_champsim(in, opts);
+  EXPECT_EQ(binary_round_trip(t), t);
+  EXPECT_EQ(text_round_trip(t), t);
+}
+
+TEST(BinaryRoundTrip, MetaMatchesTrace) {
+  const Trace t = generate_scenario(11).trace;
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  save_binary_trace(ss, t);
+  BinaryTraceSource src(std::make_unique<std::stringstream>(
+      ss.str(), std::ios::in | std::ios::binary));
+  const TraceMeta& m = src.meta();
+  EXPECT_EQ(m.block_size, t.block_size);
+  EXPECT_EQ(m.serialize_per_node, t.serialize_per_node);
+  EXPECT_EQ(m.files, t.files);
+  EXPECT_EQ(m.total_records, t.total_records());
+  EXPECT_EQ(m.total_io_ops, t.total_io_ops());
+  EXPECT_EQ(m.node_span(), t.node_span());
+  ASSERT_EQ(m.processes.size(), t.processes.size());
+  for (std::size_t i = 0; i < m.processes.size(); ++i) {
+    EXPECT_EQ(m.processes[i].pid, t.processes[i].pid);
+    EXPECT_EQ(m.processes[i].node, t.processes[i].node);
+    EXPECT_EQ(m.processes[i].records, t.processes[i].records.size());
+  }
+}
+
+// Streaming binary replay must be bit-exact with in-memory replay: the
+// RunResult fingerprints (which cover every metric the figures use) agree
+// for all 32 golden scenarios under both file systems.
+TEST(StreamingReplay, BitExactWithInMemoryOnGoldenCorpus) {
+  for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+    const Scenario s = generate_scenario(seed);
+    std::stringstream image(std::ios::in | std::ios::out | std::ios::binary);
+    save_binary_trace(image, s.trace);
+    for (FsKind fs : {FsKind::kPafs, FsKind::kXfs}) {
+      const RunConfig cfg = scenario_config(s, fs);
+      const std::uint64_t expected =
+          hash_run_result(run_simulation(s.trace, cfg));
+      BinaryTraceSource src(
+          std::make_unique<std::stringstream>(image.str(),
+                                              std::ios::in | std::ios::binary),
+          /*chunk_bytes=*/512);  // force many refills
+      EXPECT_EQ(hash_run_result(run_simulation(src, cfg)), expected)
+          << "seed " << seed << " fs " << to_string(fs);
+    }
+  }
+}
+
+// Chunk size is an implementation knob, never a semantic one.
+TEST(StreamingReplay, ChunkSizeIndependent) {
+  const Scenario s = generate_scenario(5);
+  std::stringstream image(std::ios::in | std::ios::out | std::ios::binary);
+  save_binary_trace(image, s.trace);
+  const RunConfig cfg = scenario_config(s, FsKind::kPafs);
+  const std::uint64_t expected = hash_run_result(run_simulation(s.trace, cfg));
+  for (std::size_t chunk :
+       {std::size_t{1}, std::size_t{64}, std::size_t{4096}, std::size_t{1} << 20}) {
+    BinaryTraceSource src(
+        std::make_unique<std::stringstream>(image.str(),
+                                            std::ios::in | std::ios::binary),
+        chunk);
+    EXPECT_EQ(hash_run_result(run_simulation(src, cfg)), expected)
+        << "chunk " << chunk;
+  }
+}
+
+// A source supports re-opening streams (the informed pre-pass needs it).
+TEST(StreamingReplay, InformedHintsWorkThroughStreaming) {
+  Scenario s = generate_scenario(9);
+  s.algorithm = "Informed";
+  std::stringstream image(std::ios::in | std::ios::out | std::ios::binary);
+  save_binary_trace(image, s.trace);
+  const RunConfig cfg = scenario_config(s, FsKind::kPafs);
+  const std::uint64_t expected = hash_run_result(run_simulation(s.trace, cfg));
+  BinaryTraceSource src(std::make_unique<std::stringstream>(
+      image.str(), std::ios::in | std::ios::binary));
+  EXPECT_EQ(hash_run_result(run_simulation(src, cfg)), expected);
+}
+
+}  // namespace
+}  // namespace lap

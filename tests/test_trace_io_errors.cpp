@@ -1,0 +1,333 @@
+// Negative-path wall for the LAPT binary reader.
+//
+// Every malformed input — truncated, bit-flipped, or adversarially
+// hand-assembled — must surface as a TraceIoError carrying the right
+// TraceIoErrc, never a crash, hang, or silently wrong Trace.  These tests
+// run under the asan/ubsan CI job, so "never crash" is checked with
+// sanitizers watching.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "trace/io/binary_io.hpp"
+#include "trace/io/format.hpp"
+
+namespace lap {
+namespace {
+
+using namespace wire;
+
+Trace sample() {
+  Trace t;
+  t.block_size = 8_KiB;
+  t.files = {FileInfo{FileId{0}, 64_KiB}, FileInfo{FileId{7}, 32_KiB}};
+  ProcessTrace p{ProcId{1}, NodeId{0}, {}};
+  p.records = {
+      TraceRecord{TraceOp::kRead, FileId{0}, 0, 16_KiB, SimTime::us(10)},
+      TraceRecord{TraceOp::kWrite, FileId{7}, 0, 8_KiB, SimTime::zero()},
+      TraceRecord{TraceOp::kRead, FileId{0}, 16_KiB, 16_KiB, SimTime::zero()},
+  };
+  t.processes.push_back(std::move(p));
+  return t;
+}
+
+std::string image_of(const Trace& t) {
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  save_binary_trace(ss, t);
+  return ss.str();
+}
+
+// Offsets into the sample image (see format.hpp's layout diagram).
+constexpr std::size_t kVersionOff = 4;
+constexpr std::size_t kFlagsOff = 6;
+constexpr std::size_t kBlockSizeOff = 8;
+constexpr std::size_t kTotalRecordsOff = 24;
+constexpr std::size_t kTotalIoOpsOff = 32;
+constexpr std::size_t kFileTableOff = kHeaderBytes;
+
+std::size_t proc_entry_off(const Trace& t, std::size_t i) {
+  return kHeaderBytes + t.files.size() * kFileEntryBytes + i * kProcEntryBytes;
+}
+
+std::size_t streams_off(const Trace& t) {
+  return proc_entry_off(t, t.processes.size());
+}
+
+void patch_u64(std::string& image, std::size_t off, std::uint64_t v) {
+  std::string tmp;
+  put_u64(tmp, v);
+  image.replace(off, tmp.size(), tmp);
+}
+
+void patch_u32(std::string& image, std::size_t off, std::uint32_t v) {
+  std::string tmp;
+  put_u32(tmp, v);
+  image.replace(off, tmp.size(), tmp);
+}
+
+void patch_u16(std::string& image, std::size_t off, std::uint16_t v) {
+  std::string tmp;
+  put_u16(tmp, v);
+  image.replace(off, tmp.size(), tmp);
+}
+
+/// Assert that loading `image` throws a TraceIoError with exactly `want`.
+void expect_errc(const std::string& image, TraceIoErrc want,
+                 const std::string& what) {
+  std::stringstream in(image, std::ios::in | std::ios::binary);
+  try {
+    (void)load_binary_trace(in);
+    FAIL() << what << ": load accepted a malformed image";
+  } catch (const TraceIoError& e) {
+    EXPECT_EQ(e.code(), want) << what << ": " << e.what();
+  }
+  // catch of anything else falls through to gtest and fails the test,
+  // which is exactly what "typed errors only" means.
+}
+
+TEST(TraceIoErrors, EmptyAndTruncatedHeader) {
+  const std::string image = image_of(sample());
+  expect_errc("", TraceIoErrc::kTruncated, "empty input");
+  for (std::size_t len : {std::size_t{1}, std::size_t{4}, std::size_t{39}}) {
+    expect_errc(image.substr(0, len), TraceIoErrc::kTruncated,
+                "header cut to " + std::to_string(len));
+  }
+}
+
+TEST(TraceIoErrors, BadMagic) {
+  std::string image = image_of(sample());
+  image[0] = 'X';
+  expect_errc(image, TraceIoErrc::kBadMagic, "flipped magic");
+  expect_errc(std::string(64, '\0'), TraceIoErrc::kBadMagic, "all zeros");
+}
+
+TEST(TraceIoErrors, UnsupportedVersion) {
+  std::string image = image_of(sample());
+  patch_u16(image, kVersionOff, 99);
+  expect_errc(image, TraceIoErrc::kUnsupportedVersion, "version 99");
+  patch_u16(image, kVersionOff, 0);
+  expect_errc(image, TraceIoErrc::kUnsupportedVersion, "version 0");
+}
+
+TEST(TraceIoErrors, UnknownFlagBits) {
+  std::string image = image_of(sample());
+  patch_u16(image, kFlagsOff, 0x8000);
+  expect_errc(image, TraceIoErrc::kHeaderCorrupt, "unknown flag");
+}
+
+TEST(TraceIoErrors, ZeroBlockSize) {
+  std::string image = image_of(sample());
+  patch_u64(image, kBlockSizeOff, 0);
+  expect_errc(image, TraceIoErrc::kHeaderCorrupt, "block size 0");
+}
+
+TEST(TraceIoErrors, TruncatedTables) {
+  const std::string image = image_of(sample());
+  // Header intact, but the input ends inside the file table.
+  expect_errc(image.substr(0, kHeaderBytes + 3), TraceIoErrc::kTruncated,
+              "cut inside file table");
+}
+
+TEST(TraceIoErrors, TotalRecordCountOverflow) {
+  std::string image = image_of(sample());
+  // More records than the file could hold even at kMinRecordBytes each —
+  // must be rejected before any allocation is sized from the claim.
+  patch_u64(image, kTotalRecordsOff, ~0ULL);
+  expect_errc(image, TraceIoErrc::kCountOverflow, "total_records ~0");
+}
+
+TEST(TraceIoErrors, StreamRecordCountOverflow) {
+  const Trace t = sample();
+  std::string image = image_of(t);
+  const std::uint64_t stream_bytes = image.size() - streams_off(t);
+  // record_count field of process 0 claims more records than its stream's
+  // byte count can possibly encode.
+  patch_u64(image, proc_entry_off(t, 0) + 8, stream_bytes + 1);
+  expect_errc(image, TraceIoErrc::kCountOverflow, "per-stream overflow");
+}
+
+TEST(TraceIoErrors, TotalRecordsDisagreesWithProcessTable) {
+  std::string image = image_of(sample());
+  patch_u64(image, kTotalRecordsOff, 2);  // process table sums to 3
+  expect_errc(image, TraceIoErrc::kHeaderCorrupt, "total_records 2 vs 3");
+}
+
+TEST(TraceIoErrors, NonContiguousStream) {
+  const Trace t = sample();
+  std::string image = image_of(t);
+  patch_u64(image, proc_entry_off(t, 0) + 16,
+            static_cast<std::uint64_t>(streams_off(t)) + 1);
+  expect_errc(image, TraceIoErrc::kBadProcessTable, "shifted stream offset");
+}
+
+TEST(TraceIoErrors, StreamPastEndOfFile) {
+  const std::string image = image_of(sample());
+  // Dropping the final byte leaves the last stream's claimed extent
+  // hanging past the end of input.
+  expect_errc(image.substr(0, image.size() - 1), TraceIoErrc::kBadProcessTable,
+              "stream extent out of bounds");
+}
+
+TEST(TraceIoErrors, TrailingGarbage) {
+  std::string image = image_of(sample());
+  image.push_back('\0');
+  expect_errc(image, TraceIoErrc::kTrailingGarbage, "one byte appended");
+  image.append("junk");
+  expect_errc(image, TraceIoErrc::kTrailingGarbage, "five bytes appended");
+}
+
+TEST(TraceIoErrors, DuplicateFileId) {
+  std::string image = image_of(sample());
+  // Second file table entry renamed to collide with the first (id 0).
+  patch_u32(image, kFileTableOff + kFileEntryBytes, 0);
+  expect_errc(image, TraceIoErrc::kBadFileTable, "duplicate id 0");
+}
+
+TEST(TraceIoErrors, RecordReferencesUnknownFile) {
+  std::string image = image_of(sample());
+  // Rename file 7 to 9 in the table; the second record still encodes
+  // file id 7, which no longer exists.
+  patch_u32(image, kFileTableOff + kFileEntryBytes, 9);
+  expect_errc(image, TraceIoErrc::kUnknownFile, "record -> missing file 7");
+}
+
+TEST(TraceIoErrors, BadOpByte) {
+  const Trace t = sample();
+  std::string image = image_of(t);
+  image[streams_off(t)] = static_cast<char>(0xee);
+  expect_errc(image, TraceIoErrc::kBadRecord, "op byte 0xee");
+}
+
+TEST(TraceIoErrors, TotalIoOpsDisagreesWithRecords) {
+  std::string image = image_of(sample());
+  patch_u64(image, kTotalIoOpsOff, 17);  // the records decode to 3
+  expect_errc(image, TraceIoErrc::kHeaderCorrupt, "total_io_ops lie");
+}
+
+// --- adversarial hand-assembled images (shapes the writer never emits) ---
+
+/// Minimal valid prologue: header + one file (id 0) + one process whose
+/// stream is `stream` verbatim, claiming `records` records.
+std::string assemble(const std::string& stream, std::uint64_t records,
+                     std::uint64_t total_io_ops = 0) {
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  put_u16(out, kVersion);
+  put_u16(out, 0);
+  put_u64(out, 8192);          // block_size
+  put_u32(out, 1);             // file_count
+  put_u32(out, 1);             // process_count
+  put_u64(out, records);       // total_records
+  put_u64(out, total_io_ops);  // total_io_ops
+  put_u32(out, 0);             // file id 0
+  put_u64(out, 1 << 20);       // file size
+  const std::uint64_t stream_off =
+      kHeaderBytes + kFileEntryBytes + kProcEntryBytes;
+  put_u32(out, 1);              // pid
+  put_u32(out, 0);              // node
+  put_u64(out, records);        // record_count
+  put_u64(out, stream_off);     // stream_offset
+  put_u64(out, stream.size());  // stream_bytes
+  out += stream;
+  return out;
+}
+
+TEST(TraceIoErrors, VarintRunsOffStreamEnd) {
+  // One record: op byte + a varint whose continuation bits never clear
+  // before the stream ends.
+  std::string stream;
+  stream.push_back(0);  // kOpen
+  stream.append(4, static_cast<char>(0x80));
+  expect_errc(assemble(stream, 1), TraceIoErrc::kTruncated,
+              "unterminated varint");
+}
+
+TEST(TraceIoErrors, OverlongVarint) {
+  // An 11-byte varint cannot encode a u64; the spare record fields keep the
+  // per-stream count check (>= kMinRecordBytes per record) satisfied.
+  std::string stream;
+  stream.push_back(0);  // kOpen
+  stream.append(10, static_cast<char>(0x80));
+  stream.push_back(0x01);
+  stream.append(3, '\0');
+  expect_errc(assemble(stream, 1), TraceIoErrc::kBadRecord, "11-byte varint");
+}
+
+TEST(TraceIoErrors, NegativeLengthDelta) {
+  // svarint deltas: file 0, offset 0, length -1, think 0.
+  std::string stream;
+  stream.push_back(1);  // kRead
+  put_svarint(stream, 0);
+  put_svarint(stream, 0);
+  put_svarint(stream, -1);
+  put_svarint(stream, 0);
+  expect_errc(assemble(stream, 1), TraceIoErrc::kBadRecord, "length -1");
+}
+
+TEST(TraceIoErrors, NegativeThinkDelta) {
+  std::string stream;
+  stream.push_back(1);  // kRead
+  put_svarint(stream, 0);
+  put_svarint(stream, 0);
+  put_svarint(stream, 0);
+  put_svarint(stream, -5);
+  expect_errc(assemble(stream, 1), TraceIoErrc::kBadRecord, "think -5");
+}
+
+TEST(TraceIoErrors, FileIdDeltaOutOfU32Range) {
+  std::string stream;
+  stream.push_back(1);  // kRead
+  put_svarint(stream, -3);  // file id -3
+  put_svarint(stream, 0);
+  put_svarint(stream, 0);
+  put_svarint(stream, 0);
+  expect_errc(assemble(stream, 1), TraceIoErrc::kBadRecord, "file id -3");
+}
+
+TEST(TraceIoErrors, StreamBytesLeftOverAfterLastRecord) {
+  // A valid 5-byte record followed by a stray byte the record count does
+  // not account for.
+  std::string stream;
+  stream.push_back(1);  // kRead
+  put_svarint(stream, 0);
+  put_svarint(stream, 0);
+  put_svarint(stream, 0);
+  put_svarint(stream, 0);
+  stream.push_back('\0');
+  expect_errc(assemble(stream, 1, /*total_io_ops=*/1), TraceIoErrc::kBadRecord,
+              "stray stream byte");
+}
+
+TEST(TraceIoErrors, SourceConstructorValidatesEagerly) {
+  // BinaryTraceSource itself (not just load_binary_trace) must reject a
+  // corrupt layout at construction time, before any cursor is opened.
+  std::string image = image_of(sample());
+  image[0] = '?';
+  try {
+    BinaryTraceSource src(std::make_unique<std::stringstream>(
+        image, std::ios::in | std::ios::binary));
+    FAIL() << "constructor accepted bad magic";
+  } catch (const TraceIoError& e) {
+    EXPECT_EQ(e.code(), TraceIoErrc::kBadMagic);
+  }
+}
+
+TEST(TraceIoErrors, ErrorStringsNameTheCode) {
+  // what() must lead with the human-readable code so CI logs are readable.
+  const TraceIoError e(TraceIoErrc::kBadMagic, "detail");
+  EXPECT_NE(std::string(e.what()).find("bad magic"), std::string::npos);
+  for (TraceIoErrc c :
+       {TraceIoErrc::kTruncated, TraceIoErrc::kBadMagic,
+        TraceIoErrc::kUnsupportedVersion, TraceIoErrc::kHeaderCorrupt,
+        TraceIoErrc::kCountOverflow, TraceIoErrc::kBadFileTable,
+        TraceIoErrc::kBadProcessTable, TraceIoErrc::kUnknownFile,
+        TraceIoErrc::kBadRecord, TraceIoErrc::kTrailingGarbage}) {
+    EXPECT_FALSE(to_string(c).empty());
+  }
+}
+
+}  // namespace
+}  // namespace lap
