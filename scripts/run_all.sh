@@ -10,6 +10,9 @@ cd "$(dirname "$0")/.."
 
 cmake -B build -G Ninja
 cmake --build build
+# Project-invariant lint (determinism, container policy, error taxonomy,
+# include hygiene) — same gate CI's lint job applies.
+./build/tools/lap_lint --tree src
 ctest --test-dir build 2>&1 | tee test_output.txt
 
 mkdir -p results

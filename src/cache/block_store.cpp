@@ -1,5 +1,10 @@
 #include "cache/block_store.hpp"
 
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
 #include "sim/engine.hpp"
 #include "util/assert.hpp"
 

@@ -103,6 +103,7 @@ class BufferPool {
   // this set's iteration order, and keeping the seed's std::unordered_set
   // preserves that order bit-exactly (it only sees dirty-transition
   // traffic, not per-access traffic, so it is off the hot path).
+  // lap-lint: allow(container-policy)
   std::unordered_set<BlockKey, BlockKeyHash> dirty_;
   FlatHashMap<std::uint32_t, FlatHashSet<std::uint32_t>>
       file_index_;  // raw(file) -> block indices

@@ -1,5 +1,7 @@
 #include "cache/sync_daemon.hpp"
 
+#include <functional>
+
 #include "util/assert.hpp"
 
 namespace lap {

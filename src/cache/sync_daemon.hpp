@@ -7,6 +7,7 @@
 // workload signals completion.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 
 #include "sim/engine.hpp"

@@ -1,7 +1,10 @@
 #include "check/differential.hpp"
 
+#include <cstdint>
 #include <memory>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "check/oracle.hpp"
 #include "trace/io/binary_io.hpp"

@@ -4,6 +4,7 @@
 // that checks nothing.
 #pragma once
 
+#include <cstdint>
 #include <cstring>
 
 #include "obs/trace_event.hpp"

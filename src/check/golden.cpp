@@ -1,6 +1,7 @@
 #include "check/golden.hpp"
 
 #include <bit>
+#include <cstdint>
 #include <string_view>
 
 #include "check/scenario.hpp"

@@ -1,6 +1,8 @@
 #include "check/oracle.hpp"
 
+#include <cstdint>
 #include <cstring>
+#include <string>
 
 namespace lap {
 namespace {
@@ -206,7 +208,7 @@ void InvariantOracle::instant(const char* cat, const char* name,
   }
 }
 
-void InvariantOracle::complete(const char* cat, const char* name,
+void InvariantOracle::complete(const char* /*cat*/, const char* name,
                                TraceTrack track, SimTime start,
                                SimTime duration, TraceArgs args) {
   // Disk and network spans are emitted at their *start* with a precomputed

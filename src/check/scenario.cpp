@@ -1,10 +1,12 @@
 #include "check/scenario.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <istream>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <string>
 
 #include "util/rng.hpp"
 

@@ -1,6 +1,7 @@
 #include "check/shrink.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <unordered_set>
 #include <vector>
 

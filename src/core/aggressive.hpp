@@ -25,6 +25,7 @@
 #include <limits>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "core/is_ppm.hpp"
 #include "core/vk_ppm.hpp"

@@ -1,6 +1,9 @@
 #include "core/algorithm_registry.hpp"
 
+#include <cstdint>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 namespace lap {
 namespace {
@@ -26,12 +29,16 @@ std::string AlgorithmSpec::name() const {
       return max_outstanding == 1 ? "Ln_Agr_OBA" : "Agr_OBA";
     }
     case Kind::kIsPpm: {
-      const std::string suffix = ":" + std::to_string(order);
+      // Built with += (not `":" + std::to_string(...)`): GCC 12's -Wrestrict
+      // false-fires on the operator+(const char*, string&&) insert path.
+      std::string suffix = ":";
+      suffix += std::to_string(order);
       if (!aggressive) return "IS_PPM" + suffix;
       return (max_outstanding == 1 ? "Ln_Agr_IS_PPM" : "Agr_IS_PPM") + suffix;
     }
     case Kind::kVkPpm: {
-      const std::string suffix = ":" + std::to_string(order);
+      std::string suffix = ":";
+      suffix += std::to_string(order);
       if (!aggressive) return "VK_PPM" + suffix;
       return (max_outstanding == 1 ? "Ln_Agr_VK_PPM" : "Agr_VK_PPM") + suffix;
     }

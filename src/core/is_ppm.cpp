@@ -1,6 +1,9 @@
 #include "core/is_ppm.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <vector>
 
 #include "util/assert.hpp"
 

@@ -1,5 +1,7 @@
 #include "core/open_predictor.hpp"
 
+#include <optional>
+
 namespace lap {
 
 std::optional<FileId> OpenSequencePredictor::on_open(FileId file) {

@@ -1,5 +1,10 @@
 #include "core/prefetch_manager.hpp"
 
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
 #include "obs/trace_event.hpp"
 #include "util/assert.hpp"
 

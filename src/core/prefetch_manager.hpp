@@ -24,6 +24,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
+#include <vector>
 
 #include "cache/block.hpp"
 #include "core/aggressive.hpp"

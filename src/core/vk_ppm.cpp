@@ -1,6 +1,9 @@
 #include "core/vk_ppm.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <vector>
 
 #include "util/assert.hpp"
 

@@ -1,6 +1,7 @@
 #include "disk/disk.hpp"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "obs/trace_event.hpp"
 #include "util/assert.hpp"

@@ -1,5 +1,8 @@
 #include "disk/disk_array.hpp"
 
+#include <cstdint>
+#include <memory>
+
 #include "obs/trace_event.hpp"
 
 namespace lap {

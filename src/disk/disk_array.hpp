@@ -4,6 +4,7 @@
 // different files over all spindles.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 

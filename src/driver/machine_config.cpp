@@ -1,6 +1,7 @@
 #include "driver/machine_config.hpp"
 
 #include <sstream>
+#include <string>
 
 namespace lap {
 

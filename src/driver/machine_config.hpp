@@ -1,6 +1,7 @@
 // Machine presets — Table 1 of the paper, verbatim.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "disk/disk.hpp"

@@ -1,6 +1,8 @@
 #include "driver/report.hpp"
 
 #include <ostream>
+#include <string>
+#include <vector>
 
 #include "obs/metrics_json.hpp"
 #include "util/assert.hpp"

@@ -2,7 +2,11 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "disk/disk_array.hpp"
 #include "fs/common/client.hpp"
@@ -14,6 +18,7 @@
 #include "obs/trace_event.hpp"
 #include "sim/engine.hpp"
 #include "util/assert.hpp"
+#include "util/flat_hash.hpp"
 
 namespace lap {
 
@@ -27,6 +32,9 @@ RunResult run_simulation(const Trace& trace, const RunConfig& cfg) {
 }
 
 RunResult run_simulation(TraceSource& source, const RunConfig& cfg) {
+  // Wall-clock here measures host-side runtime for RunResult::wall_seconds
+  // only; it never feeds simulated state and is excluded from the golden
+  // RunResult fingerprint.  lap-lint: allow(no-wallclock)
   const auto wall_start = std::chrono::steady_clock::now();
   const TraceMeta& meta = source.meta();
 
@@ -180,14 +188,22 @@ RunResult run_simulation(TraceSource& source, const RunConfig& cfg) {
     // re-opening), so this works for on-disk workloads too.
     for (std::size_t i = 0; i < meta.processes.size(); ++i) {
       const TraceMeta::ProcessInfo& proc = meta.processes[i];
-      std::unordered_map<std::uint32_t, std::vector<BlockRequest>> per_file;
+      // Hints are grouped per file in first-touch order — deterministic,
+      // unlike the std::unordered_map this replaced.
+      FlatHashMap<std::uint32_t, std::size_t> slot_of;
+      std::vector<std::pair<std::uint32_t, std::vector<BlockRequest>>> per_file;
       auto cursor = source.open(i);
       TraceRecord rec;
       while (cursor->next(rec)) {
         if (rec.op != TraceOp::kRead) continue;
         const BlockRange range = files.range(rec.file, rec.offset, rec.length);
         if (range.count == 0) continue;
-        per_file[raw(rec.file)].push_back(BlockRequest{range.first, range.count});
+        const auto slot = slot_of.emplace(raw(rec.file), per_file.size());
+        if (slot.second) {
+          per_file.emplace_back(raw(rec.file), std::vector<BlockRequest>{});
+        }
+        per_file[slot.first->second].second.push_back(
+            BlockRequest{range.first, range.count});
       }
       for (auto& [file, hints] : per_file) {
         fs->provide_hints(proc.pid, proc.node, FileId{file}, std::move(hints));

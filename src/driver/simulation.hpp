@@ -3,6 +3,7 @@
 // figures report.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 

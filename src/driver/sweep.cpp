@@ -1,7 +1,10 @@
 #include "driver/sweep.hpp"
 
 #include <atomic>
+#include <functional>
 #include <future>
+#include <memory>
+#include <vector>
 
 #include "obs/trace_event.hpp"
 #include "util/assert.hpp"

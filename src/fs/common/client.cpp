@@ -1,6 +1,9 @@
 #include "fs/common/client.hpp"
 
-#include <unordered_map>
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "util/assert.hpp"
@@ -95,13 +98,26 @@ void WorkloadRunner::start(std::function<void()> on_all_done) {
     return;
   }
   if (meta.serialize_per_node) {
-    std::unordered_map<std::uint32_t, std::vector<std::size_t>> by_node;
+    // Group process indices by node and launch the per-node drivers in
+    // REVERSE first-appearance order.  That is an explicit, deterministic
+    // order — and it is also bit-exact with the std::unordered_map this
+    // replaced (libstdc++ splices each fresh bucket at the head of its
+    // element list, so distinct small keys iterated in reverse insertion
+    // order), which keeps the golden corpus unchanged.
+    std::vector<std::pair<std::uint32_t, std::vector<std::size_t>>> by_node;
     for (std::size_t i = 0; i < meta.processes.size(); ++i) {
-      by_node[raw(meta.processes[i].node)].push_back(i);
+      const std::uint32_t node = raw(meta.processes[i].node);
+      auto it = std::find_if(by_node.begin(), by_node.end(),
+                             [node](const auto& e) { return e.first == node; });
+      if (it == by_node.end()) {
+        by_node.emplace_back(node, std::vector<std::size_t>{});
+        it = std::prev(by_node.end());
+      }
+      it->second.push_back(i);
     }
     live_ = by_node.size();
-    for (auto& [node, indices] : by_node) {
-      run_node_serialized(std::move(indices));
+    for (auto it = by_node.rbegin(); it != by_node.rend(); ++it) {
+      run_node_serialized(std::move(it->second));
     }
   } else {
     live_ = meta.processes.size();

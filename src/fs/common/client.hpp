@@ -10,6 +10,7 @@
 // it replays an in-memory Trace (which it wraps on the spot).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>

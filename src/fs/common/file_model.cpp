@@ -1,6 +1,8 @@
 #include "fs/common/file_model.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <vector>
 
 #include "util/assert.hpp"
 

@@ -3,9 +3,10 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <vector>
 
 #include "trace/trace.hpp"
+#include "util/flat_hash.hpp"
 #include "util/units.hpp"
 
 namespace lap {
@@ -40,7 +41,7 @@ class FileModel {
 
  private:
   Bytes block_size_;
-  std::unordered_map<std::uint32_t, Bytes> sizes_;
+  FlatHashMap<std::uint32_t, Bytes> sizes_;  // lookups only, never iterated
 };
 
 }  // namespace lap

@@ -3,6 +3,7 @@
 // organisations.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "core/prefetch_manager.hpp"

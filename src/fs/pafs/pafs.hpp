@@ -10,6 +10,7 @@
 // implementable here.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 

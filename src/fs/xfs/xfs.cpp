@@ -1,6 +1,9 @@
 #include "fs/xfs/xfs.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "util/assert.hpp"
 

@@ -14,6 +14,7 @@
 // parallel, the paper's "not really linear" xFS implementation.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 

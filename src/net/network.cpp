@@ -1,5 +1,8 @@
 #include "net/network.hpp"
 
+#include <cstdint>
+#include <memory>
+
 #include "obs/trace_event.hpp"
 
 namespace lap {

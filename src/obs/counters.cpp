@@ -1,5 +1,9 @@
 #include "obs/counters.hpp"
 
+#include <functional>
+#include <memory>
+#include <string>
+
 #include "obs/json.hpp"
 #include "obs/trace_event.hpp"
 #include "sim/engine.hpp"

@@ -2,8 +2,11 @@
 
 #include <cctype>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
+#include <string>
 
 #include "util/assert.hpp"
 

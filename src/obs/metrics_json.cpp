@@ -1,5 +1,9 @@
 #include "obs/metrics_json.hpp"
 
+#include <cstdint>
+#include <string>
+#include <vector>
+
 #include "obs/counters.hpp"
 #include "obs/json.hpp"
 #include "trace/trace.hpp"
@@ -106,7 +110,7 @@ ObsOptions parse_obs_options(const Flags& flags) {
   opts.metrics_json = flags.get_opt("metrics-json");
   // User input: reject a non-positive period here rather than letting the
   // sampler's precondition abort the run.
-  const int sample_ms = flags.get_int("obs-sample-ms", 50);
+  const std::int64_t sample_ms = flags.get_int("obs-sample-ms", 50);
   if (sample_ms <= 0) {
     LAP_LOG(kWarn) << "--obs-sample-ms must be positive, using default 50";
   } else {

@@ -15,6 +15,7 @@
 //   }
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <ostream>
 #include <string>

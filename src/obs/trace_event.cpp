@@ -1,6 +1,9 @@
 #include "obs/trace_event.hpp"
 
+#include <cstdint>
 #include <cstdio>
+#include <memory>
+#include <string>
 
 #include "obs/json.hpp"
 

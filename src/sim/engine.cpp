@@ -1,5 +1,6 @@
 #include "sim/engine.hpp"
 
+#include <cstdint>
 #include <utility>
 
 #include "util/logging.hpp"

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <coroutine>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <utility>

@@ -1,6 +1,7 @@
 #include "trace/analysis.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <ostream>
 #include <set>
 #include <unordered_map>
@@ -71,6 +72,9 @@ TraceProfile profile_trace(const Trace& trace) {
   TraceProfile p;
   const Bytes bs = trace.block_size;
 
+  // Iterated only to fold into commutative sums/counts, so the unordered
+  // iteration order cannot leak into the profile.
+  // lap-lint: allow(unordered-iteration)
   std::unordered_map<std::uint64_t, StreamClassifier> streams;
   std::unordered_map<std::uint32_t, std::set<std::uint32_t>> readers;
   std::uint64_t total_read_blocks = 0;

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <deque>
 #include <numeric>
 #include <tuple>
+#include <vector>
 
 #include "trace/patterns.hpp"
 #include "util/assert.hpp"

@@ -1,12 +1,16 @@
 #include "trace/io/binary_io.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <istream>
 #include <limits>
+#include <memory>
 #include <ostream>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "trace/io/format.hpp"
 #include "util/assert.hpp"
@@ -52,6 +56,8 @@ std::string to_string(TraceIoErrc code) {
     case TraceIoErrc::kUnknownFile: return "record references unknown file";
     case TraceIoErrc::kBadRecord: return "undecodable record";
     case TraceIoErrc::kTrailingGarbage: return "trailing garbage";
+    case TraceIoErrc::kIoFailure: return "file I/O failure";
+    case TraceIoErrc::kBadOptions: return "invalid options";
   }
   return "trace io error";
 }
@@ -360,7 +366,7 @@ void save_binary_trace(std::ostream& os, const Trace& trace) {
   for (const std::string& s : streams) out += s;
 
   os.write(out.data(), static_cast<std::streamsize>(out.size()));
-  if (!os) throw std::runtime_error("lapt: write failed");
+  if (!os) throw TraceIoError(TraceIoErrc::kIoFailure, "lapt: write failed");
 }
 
 BinaryTraceSource::BinaryTraceSource(std::unique_ptr<std::istream> in,
@@ -409,7 +415,7 @@ BinaryTraceSource::BinaryTraceSource(std::unique_ptr<std::istream> in,
 std::unique_ptr<BinaryTraceSource> BinaryTraceSource::open_file(
     const std::string& path) {
   auto in = std::make_unique<std::ifstream>(path, std::ios::binary);
-  if (!*in) throw std::runtime_error("cannot open " + path);
+  if (!*in) throw TraceIoError(TraceIoErrc::kIoFailure, "cannot open " + path);
   return std::make_unique<BinaryTraceSource>(std::move(in));
 }
 
@@ -463,7 +469,7 @@ bool is_lapt_path(const std::string& path) {
 
 Trace load_trace_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("cannot open " + path);
+  if (!in) throw TraceIoError(TraceIoErrc::kIoFailure, "cannot open " + path);
   char magic[4] = {};
   in.read(magic, 4);
   const bool binary = in.gcount() == 4 && std::memcmp(magic, kMagic, 4) == 0;
@@ -474,13 +480,16 @@ Trace load_trace_file(const std::string& path) {
 
 void save_trace_file(const std::string& path, const Trace& trace) {
   std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  if (!out) {
+    throw TraceIoError(TraceIoErrc::kIoFailure,
+                       "cannot open " + path + " for writing");
+  }
   if (is_lapt_path(path)) {
     save_binary_trace(out, trace);
   } else {
     trace.save(out);
   }
-  if (!out) throw std::runtime_error("write failed: " + path);
+  if (!out) throw TraceIoError(TraceIoErrc::kIoFailure, "write failed: " + path);
 }
 
 }  // namespace lap

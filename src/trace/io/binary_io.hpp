@@ -9,6 +9,7 @@
 // Nothing is ever silently dropped, and no input can invoke UB.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <memory>
 #include <string>

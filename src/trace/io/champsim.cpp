@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <charconv>
+#include <cstdint>
 #include <istream>
 #include <map>
 #include <optional>
@@ -10,6 +11,8 @@
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "trace/io/format.hpp"
 
 namespace lap {
 namespace {
@@ -110,7 +113,7 @@ Trace ingest_champsim(std::istream& is, const ChampsimIngestOptions& opts,
   if (opts.block_size == 0 || opts.line_bytes == 0 ||
       opts.bytes_per_file == 0 || opts.nodes == 0 ||
       opts.ns_per_cycle < 0.0) {
-    throw std::invalid_argument("champsim ingest: invalid options");
+    throw TraceIoError(TraceIoErrc::kBadOptions, "champsim ingest");
   }
 
   Trace t;
@@ -177,8 +180,8 @@ Trace ingest_champsim(std::istream& is, const ChampsimIngestOptions& opts,
   }
 
   if (st.loads + st.stores == 0) {
-    throw std::invalid_argument(
-        "champsim ingest: no parseable accesses in input");
+    throw TraceIoError(TraceIoErrc::kBadRecord,
+                       "champsim ingest: no parseable accesses in input");
   }
 
   for (const auto& [fid, end] : file_end) {

@@ -46,6 +46,8 @@ enum class TraceIoErrc {
   kUnknownFile,         // record references a file id not in the table
   kBadRecord,           // undecodable record (bad op, varint, or range)
   kTrailingGarbage,     // bytes after the last record stream
+  kIoFailure,           // the underlying file cannot be opened or written
+  kBadOptions,          // caller-supplied ingestion options are invalid
 };
 
 [[nodiscard]] std::string to_string(TraceIoErrc code);

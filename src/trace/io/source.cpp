@@ -1,6 +1,9 @@
 #include "trace/io/source.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "util/assert.hpp"
 

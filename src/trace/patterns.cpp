@@ -1,6 +1,8 @@
 #include "trace/patterns.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <vector>
 
 #include "util/assert.hpp"
 

@@ -1,6 +1,7 @@
 #include "trace/record.hpp"
 
 #include <stdexcept>
+#include <string>
 
 namespace lap {
 

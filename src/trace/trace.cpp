@@ -1,6 +1,7 @@
 #include "trace/trace.hpp"
 
 #include <charconv>
+#include <cstdint>
 #include <istream>
 #include <limits>
 #include <ostream>

@@ -1,6 +1,7 @@
 // In-memory workload trace plus a line-oriented text format.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <vector>
 
@@ -44,7 +45,7 @@ struct Trace {
   [[nodiscard]] std::uint32_t node_span() const;
 
   void save(std::ostream& os) const;
-  static Trace load(std::istream& is);
+  [[nodiscard]] static Trace load(std::istream& is);
 
   friend bool operator==(const Trace&, const Trace&) = default;
 };

@@ -1,6 +1,9 @@
 #include "util/flags.hpp"
 
+#include <cstdint>
 #include <cstdlib>
+#include <optional>
+#include <string>
 #include <string_view>
 
 namespace lap {

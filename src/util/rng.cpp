@@ -1,6 +1,7 @@
 #include "util/rng.hpp"
 
 #include <cmath>
+#include <cstdint>
 
 namespace lap {
 namespace {

@@ -4,6 +4,8 @@
 #include <iomanip>
 #include <ostream>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "util/assert.hpp"
 

@@ -1,5 +1,7 @@
 #include "util/thread_pool.hpp"
 
+#include <functional>
+
 namespace lap {
 
 ThreadPool::ThreadPool(std::size_t threads) {

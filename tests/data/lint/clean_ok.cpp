@@ -1,0 +1,5 @@
+// Clean fixture: nothing to report.
+// lap-lint: path(src/core/fixture_clean.cpp)
+#include <cstdint>
+
+std::uint32_t add_one(std::uint32_t v) { return v + 1; }

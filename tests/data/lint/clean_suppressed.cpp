@@ -1,0 +1,11 @@
+// Same violations as violate_multi_rule.cpp, but every rule is
+// suppressed by a per-file allow() directive — lints clean.
+// lap-lint: path(src/core/fixture_suppressed.cpp)
+// lap-lint: allow(no-rand, no-wallclock)
+#include <chrono>
+#include <cstdlib>
+
+int jitter() {
+  (void)std::chrono::steady_clock::now();
+  return rand();
+}

@@ -1,0 +1,8 @@
+// Violates container-policy: node-based containers on a hot path.
+// lap-lint: path(src/cache/fixture_table.cpp)
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+std::unordered_map<std::uint32_t, int> table;
+std::map<std::uint32_t, int> ordered;

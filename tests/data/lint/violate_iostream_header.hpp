@@ -1,0 +1,5 @@
+// Violates no-iostream-in-header.
+// lap-lint: path(src/sim/fixture_log.hpp)
+#pragma once
+
+#include <iostream>

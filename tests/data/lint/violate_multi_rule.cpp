@@ -1,0 +1,9 @@
+// Two different rules violated; exercised by the --only filter tests.
+// lap-lint: path(src/core/fixture_multi.cpp)
+#include <chrono>
+#include <cstdlib>
+
+int mix() {
+  (void)std::chrono::steady_clock::now();
+  return rand();
+}

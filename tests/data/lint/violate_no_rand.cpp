@@ -1,0 +1,9 @@
+// Violates no-rand: ambient RNG in simulation code.
+// lap-lint: path(src/core/fixture_rand.cpp)
+#include <cstdlib>
+#include <random>
+
+int noise() {
+  std::random_device rd;
+  return static_cast<int>(rd()) + rand();
+}

@@ -1,0 +1,8 @@
+// Violates no-wallclock: real time read on a simulation path.
+// lap-lint: path(src/sim/fixture_clock.cpp)
+#include <chrono>
+
+double now_seconds() {
+  const auto t = std::chrono::system_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}

@@ -1,0 +1,9 @@
+// Violates nodiscard-result: result-returning API without [[nodiscard]].
+// lap-lint: path(src/trace/io/fixture_api.hpp)
+#pragma once
+
+namespace lap {
+class Trace;
+Trace parse_trace();
+[[nodiscard]] Trace load_trace();  // compliant — must NOT be reported
+}  // namespace lap

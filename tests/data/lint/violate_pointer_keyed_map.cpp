@@ -1,0 +1,8 @@
+// Violates pointer-keyed-map: address-ordered iteration is not
+// reproducible across runs.
+// lap-lint: path(src/obs/fixture_ptrmap.cpp)
+#include <map>
+
+struct Node {};
+
+std::map<Node*, int> order;

@@ -1,0 +1,9 @@
+// Violates trace-io-typed-errors: bare throw / abort in trace I/O.
+// lap-lint: path(src/trace/io/fixture_errors.cpp)
+#include <cstdlib>
+#include <stdexcept>
+
+void reject(bool bad) {
+  if (bad) throw std::runtime_error("nope");
+  std::abort();
+}

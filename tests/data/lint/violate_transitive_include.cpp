@@ -1,0 +1,5 @@
+// Violates transitive-include: std::vector without a direct <vector>.
+// lap-lint: path(src/util/fixture_vec.cpp)
+#include <cstdint>
+
+std::vector<std::uint32_t> ids();

@@ -1,0 +1,12 @@
+// Violates unordered-iteration: range-for over an unordered table.
+// lap-lint: path(src/obs/fixture_iter.cpp)
+#include <cstdint>
+#include <unordered_map>
+
+std::uint64_t total(std::uint64_t seed) {
+  std::unordered_map<std::uint64_t, std::uint64_t> counts;
+  counts[seed] = 1;
+  std::uint64_t sum = 0;
+  for (const auto& [k, v] : counts) sum += v;
+  return sum;
+}

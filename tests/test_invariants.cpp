@@ -93,13 +93,13 @@ INSTANTIATE_TEST_SUITE_P(
                           "Agr_OBA", "Agr_IS_PPM:1", "VK_PPM:1",
                           "Ln_Agr_VK_PPM:1", "WholeFile"),
         ::testing::Values(FsKind::kPafs, FsKind::kXfs)),
-    [](const ::testing::TestParamInfo<Case>& info) {
-      std::string name = std::get<0>(info.param);
+    [](const ::testing::TestParamInfo<Case>& param_info) {
+      std::string name = std::get<0>(param_info.param);
       for (char& c : name) {
         if (c == ':') c = '_';
       }
       return name + "_" +
-             (std::get<1>(info.param) == FsKind::kPafs ? "PAFS" : "xFS");
+             (std::get<1>(param_info.param) == FsKind::kPafs ? "PAFS" : "xFS");
     });
 
 }  // namespace

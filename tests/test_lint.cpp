@@ -1,0 +1,255 @@
+// lap_lint golden-fixture suite.
+//
+// Each fixture under tests/data/lint/ violates exactly one rule (or none);
+// the tests pin the rule id AND the line where it fires, so any tokenizer
+// or rule regression shows up as a diff against this file.  The suite also
+// asserts the two facts CI depends on: every violate_* fixture makes the
+// CLI exit non-zero, and the repo's own src/ tree lints clean.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+using lap::lint::Diagnostic;
+using lap::lint::Options;
+
+std::string fixture(const std::string& name) {
+  return std::string(LAP_LINT_FIXTURE_DIR) + "/" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::vector<Diagnostic> lint_fixture(const std::string& name,
+                                     const Options& opts = {}) {
+  return lap::lint::lint_file(fixture(name), opts);
+}
+
+// Assert the diagnostics are exactly `want` (rule, line), in order.
+void expect_diags(const std::vector<Diagnostic>& got,
+                  const std::vector<std::pair<std::string, int>>& want) {
+  ASSERT_EQ(got.size(), want.size()) << [&] {
+    std::string all;
+    for (const Diagnostic& d : got) all += format_diagnostic(d) + "\n";
+    return all;
+  }();
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].rule, want[i].first) << "diagnostic " << i;
+    EXPECT_EQ(got[i].line, want[i].second) << "diagnostic " << i;
+  }
+}
+
+TEST(LintCatalog, ListsEveryRule) {
+  const auto catalog = lap::lint::rule_catalog();
+  ASSERT_EQ(catalog.size(), 9u);
+  const char* expected[] = {
+      "no-rand",          "no-wallclock",          "unordered-iteration",
+      "pointer-keyed-map", "container-policy",     "trace-io-typed-errors",
+      "nodiscard-result", "no-iostream-in-header", "transitive-include"};
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    EXPECT_EQ(catalog[i].id, expected[i]);
+    EXPECT_FALSE(catalog[i].summary.empty());
+    EXPECT_TRUE(lap::lint::is_known_rule(catalog[i].id));
+  }
+  EXPECT_FALSE(lap::lint::is_known_rule("not-a-rule"));
+}
+
+// --- one fixture per rule, pinned to exact lines --------------------------
+
+TEST(LintRules, NoRandFiresOnRandomDeviceAndRand) {
+  expect_diags(lint_fixture("violate_no_rand.cpp"),
+               {{"no-rand", 7}, {"no-rand", 8}});
+}
+
+TEST(LintRules, NoWallclockFiresOnSystemClock) {
+  expect_diags(lint_fixture("violate_no_wallclock.cpp"),
+               {{"no-wallclock", 6}});
+}
+
+TEST(LintRules, UnorderedIterationFiresOnRangeFor) {
+  expect_diags(lint_fixture("violate_unordered_iteration.cpp"),
+               {{"unordered-iteration", 10}});
+}
+
+TEST(LintRules, PointerKeyedMapFires) {
+  expect_diags(lint_fixture("violate_pointer_keyed_map.cpp"),
+               {{"pointer-keyed-map", 8}});
+}
+
+TEST(LintRules, ContainerPolicyFiresOnIncludesAndUses) {
+  expect_diags(lint_fixture("violate_container_policy.cpp"),
+               {{"container-policy", 4},
+                {"container-policy", 5},
+                {"container-policy", 7},
+                {"container-policy", 8}});
+}
+
+TEST(LintRules, TraceIoTypedErrorsFiresOnBareThrowAndAbort) {
+  expect_diags(lint_fixture("violate_trace_io_typed_errors.cpp"),
+               {{"trace-io-typed-errors", 7}, {"trace-io-typed-errors", 8}});
+}
+
+TEST(LintRules, NodiscardResultFlagsOnlyTheUnmarkedDecl) {
+  // Line 8's [[nodiscard]] declaration must NOT be reported.
+  expect_diags(lint_fixture("violate_nodiscard_result.hpp"),
+               {{"nodiscard-result", 7}});
+}
+
+TEST(LintRules, IostreamInHeaderFires) {
+  expect_diags(lint_fixture("violate_iostream_header.hpp"),
+               {{"no-iostream-in-header", 5}});
+}
+
+TEST(LintRules, TransitiveIncludeFires) {
+  expect_diags(lint_fixture("violate_transitive_include.cpp"),
+               {{"transitive-include", 5}});
+}
+
+// --- suppression + path directives ----------------------------------------
+
+TEST(LintDirectives, CleanFixtureHasNoDiagnostics) {
+  expect_diags(lint_fixture("clean_ok.cpp"), {});
+}
+
+TEST(LintDirectives, AllowDirectiveSuppressesListedRules) {
+  expect_diags(lint_fixture("clean_suppressed.cpp"), {});
+
+  // Strip the allow(...) line and the same content must violate both rules
+  // again — proving the directive (not the content) made it clean.
+  std::string content = slurp(fixture("clean_suppressed.cpp"));
+  const std::string directive = "// lap-lint: allow(no-rand, no-wallclock)";
+  const std::size_t at = content.find(directive);
+  ASSERT_NE(at, std::string::npos);
+  content.replace(at, directive.size(), "//");
+  const auto diags =
+      lap::lint::lint_source("clean_suppressed.cpp", content, {});
+  expect_diags(diags, {{"no-wallclock", 9}, {"no-rand", 10}});
+}
+
+TEST(LintDirectives, PathDirectiveDrivesDirectoryScopedRules) {
+  // container-policy only applies under src/{cache,core,fs,sim,driver}; the
+  // same content is clean outside that scope and dirty inside it.
+  const std::string body = "#include <map>\nstd::map<int, int> m;\n";
+  EXPECT_TRUE(lap::lint::lint_source("bench/scratch.cpp", body, {}).empty());
+
+  const std::string pinned =
+      "// lap-lint: path(src/cache/pinned.cpp)\n" + body;
+  const auto diags = lap::lint::lint_source("bench/scratch.cpp", pinned, {});
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_EQ(diags[0].rule, "container-policy");
+  EXPECT_EQ(diags[0].file, "src/cache/pinned.cpp");  // reported path is pinned
+}
+
+// --- diagnostic format -----------------------------------------------------
+
+TEST(LintFormat, GccStyleDiagnostic) {
+  const Diagnostic d{"src/cache/foo.cpp", 12, "no-rand", "boom"};
+  EXPECT_EQ(lap::lint::format_diagnostic(d),
+            "src/cache/foo.cpp:12: error[no-rand]: boom");
+}
+
+TEST(LintFormat, CliOutputLinesAreParseable) {
+  std::string out;
+  const int rc =
+      lap::lint::run_cli({fixture("violate_no_rand.cpp")}, out);
+  EXPECT_EQ(rc, 1);
+  // First line: "<path>:7: error[no-rand]: ..." — the path() directive in
+  // the fixture pins the reported path.
+  const std::string want = "src/core/fixture_rand.cpp:7: error[no-rand]: ";
+  EXPECT_EQ(out.compare(0, want.size(), want), 0) << out;
+  EXPECT_NE(out.find("lap_lint: 2 violations\n"), std::string::npos) << out;
+}
+
+// --- CLI exit codes + --only filtering -------------------------------------
+
+TEST(LintCli, CleanFileExitsZero) {
+  std::string out;
+  EXPECT_EQ(lap::lint::run_cli({fixture("clean_ok.cpp")}, out), 0);
+  EXPECT_TRUE(out.empty()) << out;
+}
+
+TEST(LintCli, OnlyFilterRestrictsToNamedRule) {
+  std::string out;
+  const int rc = lap::lint::run_cli(
+      {"--only=no-rand", fixture("violate_multi_rule.cpp")}, out);
+  EXPECT_EQ(rc, 1);
+  EXPECT_NE(out.find("error[no-rand]"), std::string::npos) << out;
+  EXPECT_EQ(out.find("error[no-wallclock]"), std::string::npos) << out;
+
+  // Same via the library API.
+  Options opts;
+  opts.only = {"no-wallclock"};
+  expect_diags(lint_fixture("violate_multi_rule.cpp", opts),
+               {{"no-wallclock", 7}});
+}
+
+TEST(LintCli, UnknownRuleIsUsageError) {
+  std::string out;
+  EXPECT_EQ(lap::lint::run_cli(
+                {"--only=not-a-rule", fixture("clean_ok.cpp")}, out),
+            2);
+  EXPECT_NE(out.find("unknown rule"), std::string::npos) << out;
+}
+
+TEST(LintCli, NoInputsIsUsageError) {
+  std::string out;
+  EXPECT_EQ(lap::lint::run_cli({}, out), 2);
+}
+
+TEST(LintCli, MissingFileIsIoError) {
+  std::string out;
+  EXPECT_EQ(lap::lint::run_cli({fixture("does_not_exist.cpp")}, out), 2);
+}
+
+TEST(LintCli, ListRulesPrintsTheCatalog) {
+  std::string out;
+  EXPECT_EQ(lap::lint::run_cli({"--list-rules"}, out), 0);
+  for (const auto& r : lap::lint::rule_catalog()) {
+    EXPECT_NE(out.find(r.id), std::string::npos) << r.id;
+  }
+}
+
+// --- the two facts CI depends on -------------------------------------------
+
+TEST(LintCorpus, EveryViolatingFixtureFailsAndEveryCleanOnePasses) {
+  namespace fs = std::filesystem;
+  int violating = 0;
+  int clean = 0;
+  for (const auto& e : fs::directory_iterator(LAP_LINT_FIXTURE_DIR)) {
+    const std::string name = e.path().filename().string();
+    std::string out;
+    const int rc = lap::lint::run_cli({e.path().string()}, out);
+    if (name.rfind("violate_", 0) == 0) {
+      EXPECT_EQ(rc, 1) << name << "\n" << out;
+      ++violating;
+    } else if (name.rfind("clean_", 0) == 0) {
+      EXPECT_EQ(rc, 0) << name << "\n" << out;
+      ++clean;
+    } else {
+      ADD_FAILURE() << "fixture with unknown prefix: " << name;
+    }
+  }
+  EXPECT_EQ(violating, 10);  // one per rule + the multi-rule fixture
+  EXPECT_EQ(clean, 2);
+}
+
+TEST(LintCorpus, RepoSrcTreeLintsClean) {
+  std::string out;
+  const int rc = lap::lint::run_cli({"--tree", LAP_LINT_SRC_DIR}, out);
+  EXPECT_EQ(rc, 0) << "src/ has lint violations:\n" << out;
+}
+
+}  // namespace

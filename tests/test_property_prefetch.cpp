@@ -145,12 +145,12 @@ INSTANTIATE_TEST_SUITE_P(
         ::testing::Values(Pattern::kSequential, Pattern::kStrided,
                           Pattern::kFirstPart, Pattern::kRandom,
                           Pattern::kBackward)),
-    [](const ::testing::TestParamInfo<Case>& info) {
-      std::string name = std::get<0>(info.param);
+    [](const ::testing::TestParamInfo<Case>& param_info) {
+      std::string name = std::get<0>(param_info.param);
       for (char& c : name) {
         if (c == ':') c = '_';
       }
-      switch (std::get<1>(info.param)) {
+      switch (std::get<1>(param_info.param)) {
         case Pattern::kSequential: name += "_seq"; break;
         case Pattern::kStrided: name += "_strided"; break;
         case Pattern::kFirstPart: name += "_firstpart"; break;

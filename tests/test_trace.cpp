@@ -29,7 +29,7 @@ TEST(TraceOps, CharRoundTrip) {
                      TraceOp::kClose, TraceOp::kDelete}) {
     EXPECT_EQ(trace_op_from_char(to_char(op)), op);
   }
-  EXPECT_THROW(trace_op_from_char('x'), std::invalid_argument);
+  EXPECT_THROW((void)trace_op_from_char('x'), std::invalid_argument);
 }
 
 TEST(Trace, Totals) {

@@ -1,0 +1,794 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace lap::lint {
+namespace {
+
+// --- tokenizer ------------------------------------------------------------
+
+struct Tok {
+  enum Kind { kIdent, kNumber, kPunct };
+  Kind kind;
+  std::string text;
+  int line;
+};
+
+struct Include {
+  std::string name;  // header name without the delimiters
+  bool angled;       // <...> vs "..."
+  int line;
+};
+
+struct Comment {
+  std::string text;
+  int line;
+};
+
+/// Lexed view of one translation unit: tokens with comments, string and
+/// character literals stripped (their contents can never violate a rule),
+/// plus the include directives and every comment (for lap-lint
+/// directives).
+struct Lexed {
+  std::vector<Tok> toks;
+  std::vector<Include> includes;
+  std::vector<Comment> comments;
+};
+
+[[nodiscard]] bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+[[nodiscard]] bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Consume a raw string literal starting at the opening quote of
+/// R"delim( ... )delim".  Returns the index one past the closing quote.
+[[nodiscard]] std::size_t skip_raw_string(const std::string& s, std::size_t i,
+                                          int& line) {
+  // s[i] == '"'; collect the delimiter up to '('.
+  std::size_t j = i + 1;
+  std::string delim;
+  while (j < s.size() && s[j] != '(') delim += s[j++];
+  const std::string closer = ")" + delim + "\"";
+  std::size_t end = s.find(closer, j);
+  if (end == std::string::npos) return s.size();
+  for (std::size_t k = i; k < end + closer.size(); ++k) {
+    if (s[k] == '\n') ++line;
+  }
+  return end + closer.size();
+}
+
+[[nodiscard]] Lexed lex(const std::string& s) {
+  Lexed out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = s.size();
+  bool line_start = true;  // nothing but whitespace since the last newline
+
+  while (i < n) {
+    const char c = s[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      line_start = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '/' && i + 1 < n && s[i + 1] == '/') {
+      std::size_t j = s.find('\n', i);
+      if (j == std::string::npos) j = n;
+      out.comments.push_back({s.substr(i + 2, j - i - 2), line});
+      i = j;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && s[i + 1] == '*') {
+      const int start_line = line;
+      std::size_t j = s.find("*/", i + 2);
+      if (j == std::string::npos) j = n;
+      out.comments.push_back({s.substr(i + 2, j - i - 2), start_line});
+      for (std::size_t k = i; k < std::min(j + 2, n); ++k) {
+        if (s[k] == '\n') ++line;
+      }
+      i = std::min(j + 2, n);
+      continue;
+    }
+    // Preprocessor directive: consume the logical line, record includes.
+    if (c == '#' && line_start) {
+      std::size_t j = i;
+      std::string dir;
+      while (j < n) {
+        if (s[j] == '\\' && j + 1 < n && s[j + 1] == '\n') {
+          ++line;
+          j += 2;
+          continue;
+        }
+        if (s[j] == '\n') break;
+        dir += s[j++];
+      }
+      std::size_t p = dir.find_first_not_of(" \t", 1);
+      if (p != std::string::npos && dir.compare(p, 7, "include") == 0) {
+        std::size_t q = dir.find_first_not_of(" \t", p + 7);
+        if (q != std::string::npos && (dir[q] == '<' || dir[q] == '"')) {
+          const char close = dir[q] == '<' ? '>' : '"';
+          std::size_t e = dir.find(close, q + 1);
+          if (e != std::string::npos) {
+            out.includes.push_back(
+                {dir.substr(q + 1, e - q - 1), dir[q] == '<', line});
+          }
+        }
+      }
+      i = j;
+      line_start = false;
+      continue;
+    }
+    line_start = false;
+    // String / char literals (contents stripped).
+    if (c == '"' || c == '\'') {
+      std::size_t j = i + 1;
+      while (j < n && s[j] != c) {
+        if (s[j] == '\\' && j + 1 < n) {
+          j += 2;
+          continue;
+        }
+        if (s[j] == '\n') ++line;
+        ++j;
+      }
+      i = j < n ? j + 1 : n;
+      continue;
+    }
+    // Identifiers (raw-string prefixes included: R"( …)").
+    if (ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && ident_char(s[j])) ++j;
+      std::string id = s.substr(i, j - i);
+      if (j < n && s[j] == '"' &&
+          (id == "R" || id == "LR" || id == "uR" || id == "UR" ||
+           id == "u8R")) {
+        i = skip_raw_string(s, j, line);
+        continue;
+      }
+      out.toks.push_back({Tok::kIdent, std::move(id), line});
+      i = j;
+      continue;
+    }
+    // Numbers (incl. hex, suffixes, digit separators).
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      std::size_t j = i;
+      while (j < n && (ident_char(s[j]) || s[j] == '\'' || s[j] == '.')) ++j;
+      out.toks.push_back({Tok::kNumber, s.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    // Punctuation: '::', '[[' and ']]' matter to the rules; everything
+    // else is a single character.
+    if (i + 1 < n && ((c == ':' && s[i + 1] == ':') ||
+                      (c == '[' && s[i + 1] == '[') ||
+                      (c == ']' && s[i + 1] == ']'))) {
+      out.toks.push_back({Tok::kPunct, s.substr(i, 2), line});
+      i += 2;
+      continue;
+    }
+    out.toks.push_back({Tok::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+// --- directive parsing ----------------------------------------------------
+
+struct Directives {
+  std::set<std::string> allowed;  // rule ids suppressed for this file
+  std::string virtual_path;       // from path(...), empty if absent
+};
+
+[[nodiscard]] Directives parse_directives(const std::vector<Comment>& comments) {
+  Directives d;
+  for (const Comment& c : comments) {
+    std::size_t at = c.text.find("lap-lint:");
+    while (at != std::string::npos) {
+      std::size_t p = at + 9;
+      while (p < c.text.size() &&
+             std::isspace(static_cast<unsigned char>(c.text[p])) != 0) {
+        ++p;
+      }
+      std::size_t open = c.text.find('(', p);
+      std::size_t close =
+          open == std::string::npos ? std::string::npos : c.text.find(')', open);
+      if (open != std::string::npos && close != std::string::npos) {
+        const std::string verb = c.text.substr(p, open - p);
+        std::string body = c.text.substr(open + 1, close - open - 1);
+        if (verb == "allow") {
+          std::stringstream ss(body);
+          std::string id;
+          while (std::getline(ss, id, ',')) {
+            id.erase(0, id.find_first_not_of(" \t"));
+            id.erase(id.find_last_not_of(" \t") + 1);
+            if (!id.empty()) d.allowed.insert(id);
+          }
+        } else if (verb == "path") {
+          body.erase(0, body.find_first_not_of(" \t"));
+          body.erase(body.find_last_not_of(" \t") + 1);
+          d.virtual_path = body;
+        }
+      }
+      at = c.text.find("lap-lint:", at + 9);
+    }
+  }
+  return d;
+}
+
+// --- file context + rule plumbing ----------------------------------------
+
+struct FileCtx {
+  std::string path;  // effective path, '/' separators
+  std::string rel;   // path after the last "src/" component; empty if none
+  bool in_src = false;
+  bool is_header = false;
+  const Lexed* lx = nullptr;
+  const Directives* dirs = nullptr;
+};
+
+void emit(const FileCtx& ctx, std::vector<Diagnostic>& out,
+          const std::string& rule, int line, const std::string& msg) {
+  if (ctx.dirs->allowed.count(rule) != 0) return;
+  out.push_back({ctx.path, line, rule, msg});
+}
+
+[[nodiscard]] bool rel_in(const FileCtx& ctx,
+                          std::initializer_list<const char*> dirs) {
+  if (!ctx.in_src) return false;
+  for (const char* d : dirs) {
+    const std::string prefix = std::string(d) + "/";
+    if (ctx.rel.compare(0, prefix.size(), prefix) == 0) return true;
+  }
+  return false;
+}
+
+[[nodiscard]] bool has_include(const FileCtx& ctx, const std::string& name) {
+  for (const Include& inc : ctx.lx->includes) {
+    if (inc.name == name) return true;
+  }
+  return false;
+}
+
+/// Token text at `i`, or "" past the end (lets rules look around freely).
+[[nodiscard]] const std::string& tok_at(const std::vector<Tok>& t,
+                                        std::size_t i) {
+  static const std::string empty;
+  return i < t.size() ? t[i].text : empty;
+}
+
+[[nodiscard]] bool prefixed_std(const std::vector<Tok>& t, std::size_t i) {
+  return i >= 2 && t[i - 1].text == "::" && t[i - 2].text == "std";
+}
+
+// --- rules ----------------------------------------------------------------
+
+// no-rand: ambient RNG.  Simulation code must draw randomness from the
+// seeded util/rng.hpp so every run is reproducible.
+void check_no_rand(const FileCtx& ctx, std::vector<Diagnostic>& out) {
+  if (!ctx.in_src) return;
+  static const std::set<std::string> kCalls = {"rand",    "srand",   "rand_r",
+                                               "drand48", "lrand48", "mrand48",
+                                               "srand48"};
+  const auto& t = ctx.lx->toks;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Tok::kIdent) continue;
+    if (t[i].text == "random_device") {
+      emit(ctx, out, "no-rand", t[i].line,
+           "std::random_device is nondeterministic; use the seeded "
+           "util/rng.hpp");
+    } else if (kCalls.count(t[i].text) != 0 && tok_at(t, i + 1) == "(") {
+      emit(ctx, out, "no-rand", t[i].line,
+           "'" + t[i].text +
+               "()' is ambient randomness; use the seeded util/rng.hpp");
+    }
+  }
+}
+
+// no-wallclock: real time leaking into simulation state breaks replay
+// determinism; only simulated time (sim/engine.hpp) is allowed.
+void check_no_wallclock(const FileCtx& ctx, std::vector<Diagnostic>& out) {
+  if (!ctx.in_src) return;
+  static const std::set<std::string> kClocks = {
+      "system_clock", "steady_clock",  "high_resolution_clock",
+      "gettimeofday", "clock_gettime", "timespec_get",
+      "localtime",    "gmtime"};
+  for (const Tok& tok : ctx.lx->toks) {
+    if (tok.kind == Tok::kIdent && kClocks.count(tok.text) != 0) {
+      emit(ctx, out, "no-wallclock", tok.line,
+           "'" + tok.text +
+               "' reads wall-clock time; simulation code must use simulated "
+               "time only");
+    }
+  }
+}
+
+// container-policy: the PR 3 hot-path dirs must use util/flat_hash.hpp,
+// not the node-based std containers.
+void check_container_policy(const FileCtx& ctx, std::vector<Diagnostic>& out) {
+  if (!rel_in(ctx, {"cache", "core", "fs", "sim", "driver"})) return;
+  const auto& t = ctx.lx->toks;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Tok::kIdent) continue;
+    if (t[i].text == "unordered_map" || t[i].text == "unordered_set") {
+      emit(ctx, out, "container-policy", t[i].line,
+           "std::" + t[i].text +
+               " is banned on hot paths; use FlatHashMap/FlatHashSet "
+               "(util/flat_hash.hpp)");
+    } else if (t[i].text == "map" && prefixed_std(t, i)) {
+      emit(ctx, out, "container-policy", t[i].line,
+           "std::map is banned on hot paths; use FlatHashMap "
+           "(util/flat_hash.hpp) or a sorted vector");
+    }
+  }
+  for (const Include& inc : ctx.lx->includes) {
+    if (inc.angled && (inc.name == "unordered_map" ||
+                       inc.name == "unordered_set" || inc.name == "map")) {
+      emit(ctx, out, "container-policy", inc.line,
+           "<" + inc.name + "> include is banned on hot paths; use "
+           "util/flat_hash.hpp");
+    }
+  }
+}
+
+/// Scan a template argument list opened by the '<' at `open` and decide
+/// whether the FIRST depth-1 argument is a pointer type (ends in '*').
+[[nodiscard]] bool first_template_arg_is_pointer(const std::vector<Tok>& t,
+                                                 std::size_t open) {
+  int depth = 1;
+  std::string last;
+  for (std::size_t i = open + 1; i < t.size() && depth > 0; ++i) {
+    const std::string& x = t[i].text;
+    if (x == "<") {
+      ++depth;
+    } else if (x == ">") {
+      --depth;
+      if (depth == 0) return last == "*";
+    } else if (x == "," && depth == 1) {
+      return last == "*";
+    } else if (x == ";" || x == "{") {
+      return false;  // was a comparison, not a template argument list
+    } else {
+      last = x;
+    }
+  }
+  return false;
+}
+
+// pointer-keyed-map: an ordered container keyed by a pointer iterates in
+// address order — nondeterministic across runs (ASLR).
+void check_pointer_keyed_map(const FileCtx& ctx, std::vector<Diagnostic>& out) {
+  if (!ctx.in_src) return;
+  const auto& t = ctx.lx->toks;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Tok::kIdent) continue;
+    if ((t[i].text == "map" || t[i].text == "set" || t[i].text == "multimap" ||
+         t[i].text == "multiset") &&
+        prefixed_std(t, i) && tok_at(t, i + 1) == "<" &&
+        first_template_arg_is_pointer(t, i + 1)) {
+      emit(ctx, out, "pointer-keyed-map", t[i].line,
+           "std::" + t[i].text +
+               " keyed by a pointer iterates in address order "
+               "(nondeterministic); key by a stable id instead");
+    }
+  }
+}
+
+// unordered-iteration: range-for over a std::unordered_* variable declared
+// in this file.  Unordered iteration order is stdlib-defined, so anything
+// it feeds (output, trace, simulation events) silently depends on it.
+void check_unordered_iteration(const FileCtx& ctx,
+                               std::vector<Diagnostic>& out) {
+  if (!ctx.in_src) return;
+  const auto& t = ctx.lx->toks;
+  // Pass 1: names declared as unordered containers.
+  std::set<std::string> unordered_vars;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Tok::kIdent ||
+        (t[i].text != "unordered_map" && t[i].text != "unordered_set")) {
+      continue;
+    }
+    if (tok_at(t, i + 1) != "<") continue;
+    int depth = 1;
+    std::size_t j = i + 2;
+    for (; j < t.size() && depth > 0; ++j) {
+      if (t[j].text == "<") ++depth;
+      if (t[j].text == ">") --depth;
+      if (t[j].text == ";" || t[j].text == "{") break;  // not a declaration
+    }
+    if (depth == 0 && j < t.size() && t[j].kind == Tok::kIdent) {
+      unordered_vars.insert(t[j].text);
+    }
+  }
+  if (unordered_vars.empty()) return;
+  // Pass 2: range-for statements whose range names one of them.
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].text != "for" || tok_at(t, i + 1) != "(") continue;
+    int depth = 1;
+    std::size_t colon = 0;
+    std::size_t j = i + 2;
+    for (; j < t.size() && depth > 0; ++j) {
+      if (t[j].text == "(") ++depth;
+      if (t[j].text == ")") --depth;
+      if (t[j].text == ":" && depth == 1 && colon == 0) colon = j;
+      if (t[j].text == ";" && depth == 1) colon = 0;  // classic for loop
+      if (depth == 1 && colon == 0 && t[j].text == "{") break;
+    }
+    if (colon == 0) continue;
+    for (std::size_t k = colon + 1; k < j; ++k) {
+      if (t[k].kind == Tok::kIdent && unordered_vars.count(t[k].text) != 0) {
+        emit(ctx, out, "unordered-iteration", t[k].line,
+             "iterating unordered container '" + t[k].text +
+                 "' — order is stdlib-defined; use a deterministic "
+                 "container or ordering");
+        break;
+      }
+    }
+  }
+}
+
+// trace-io-typed-errors: src/trace/io rejects malformed input with the
+// typed TraceIoError taxonomy, never bare exceptions or abort().
+void check_trace_io_errors(const FileCtx& ctx, std::vector<Diagnostic>& out) {
+  if (!ctx.in_src || ctx.rel.compare(0, 9, "trace/io/") != 0) return;
+  const auto& t = ctx.lx->toks;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Tok::kIdent) continue;
+    if (t[i].text == "throw") {
+      const std::string& next = tok_at(t, i + 1);
+      if (next != "TraceIoError" && next != ";") {
+        emit(ctx, out, "trace-io-typed-errors", t[i].line,
+             "trace I/O must throw the typed TraceIoError (see "
+             "trace/io/format.hpp), not '" +
+                 next + "'");
+      }
+    } else if ((t[i].text == "abort" || t[i].text == "exit") &&
+               tok_at(t, i + 1) == "(") {
+      emit(ctx, out, "trace-io-typed-errors", t[i].line,
+           "'" + t[i].text +
+               "()' is banned in trace I/O; report via TraceIoError");
+    }
+  }
+}
+
+// nodiscard-result: error/result-carrying return types in the trace-I/O
+// and check subsystems must be [[nodiscard]] so callers cannot silently
+// drop a failure or a freshly-parsed artifact.
+void check_nodiscard_result(const FileCtx& ctx, std::vector<Diagnostic>& out) {
+  if (!ctx.is_header || !rel_in(ctx, {"trace", "check"})) return;
+  static const std::set<std::string> kResultTypes = {
+      "Trace", "TraceMeta", "TraceIoErrc", "CheckReport", "Scenario"};
+  static const std::set<std::string> kDeclStart = {
+      ";", "{", "}", ":", "public", "private", "protected"};
+  static const std::set<std::string> kSpecifiers = {
+      "virtual", "static", "inline", "constexpr", "friend", "explicit"};
+  const auto& t = ctx.lx->toks;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Tok::kIdent || kResultTypes.count(t[i].text) == 0) {
+      continue;
+    }
+    // Return-type position: a plain function declaration `T name(`.
+    if (!(i + 2 < t.size() && t[i + 1].kind == Tok::kIdent &&
+          t[i + 2].text == "(")) {
+      continue;
+    }
+    // Walk back over declaration specifiers, then over an attribute block
+    // `[[...]]` (which satisfies the check when it names `nodiscard`),
+    // and require a declaration boundary before all of that.
+    std::size_t p = i;
+    while (p > 0 && kSpecifiers.count(t[p - 1].text) != 0) --p;
+    bool has_nodiscard = false;
+    if (p > 0 && t[p - 1].text == "]]") {
+      std::size_t q = p - 1;
+      while (q > 0 && t[q].text != "[[") {
+        if (t[q].text == "nodiscard") has_nodiscard = true;
+        --q;
+      }
+      p = q;
+    }
+    const bool at_decl_start = p == 0 || kDeclStart.count(t[p - 1].text) != 0;
+    if (!at_decl_start || has_nodiscard) continue;
+    emit(ctx, out, "nodiscard-result", t[i].line,
+         "'" + t[i].text + " " + t[i + 1].text +
+             "(...)' returns a result type and must be [[nodiscard]]");
+  }
+}
+
+// no-iostream-in-header: <iostream> in a header injects the ios_base
+// static initializer into every TU; headers take <ostream>/<istream>.
+void check_iostream_header(const FileCtx& ctx, std::vector<Diagnostic>& out) {
+  if (!ctx.in_src || !ctx.is_header) return;
+  for (const Include& inc : ctx.lx->includes) {
+    if (inc.angled && inc.name == "iostream") {
+      emit(ctx, out, "no-iostream-in-header", inc.line,
+           "<iostream> in a header drags the ios_base static initializer "
+           "into every TU; include <ostream>/<istream> where needed");
+    }
+  }
+}
+
+// transitive-include: a curated symbol list must be included directly —
+// relying on another header to drag the definition in breaks the first
+// time that header sheds a dependency.
+struct SymbolHeader {
+  const char* symbol;  // identifier used as std::<symbol>
+  const char* header;
+};
+constexpr SymbolHeader kCuratedSymbols[] = {
+    {"vector", "vector"},
+    {"string", "string"},
+    {"unordered_map", "unordered_map"},
+    {"unordered_set", "unordered_set"},
+    {"optional", "optional"},
+    {"variant", "variant"},
+    {"function", "functional"},
+    {"unique_ptr", "memory"},
+    {"shared_ptr", "memory"},
+    {"make_unique", "memory"},
+    {"make_shared", "memory"},
+    {"sort", "algorithm"},
+    {"stable_sort", "algorithm"},
+    {"lower_bound", "algorithm"},
+    {"upper_bound", "algorithm"},
+    {"uint8_t", "cstdint"},
+    {"uint16_t", "cstdint"},
+    {"uint32_t", "cstdint"},
+    {"uint64_t", "cstdint"},
+    {"int8_t", "cstdint"},
+    {"int16_t", "cstdint"},
+    {"int32_t", "cstdint"},
+    {"int64_t", "cstdint"},
+};
+
+void check_transitive_include(const FileCtx& ctx,
+                              std::vector<Diagnostic>& out) {
+  if (!ctx.in_src) return;
+  const auto& t = ctx.lx->toks;
+  std::set<std::string> reported;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Tok::kIdent || !prefixed_std(t, i)) continue;
+    for (const SymbolHeader& sh : kCuratedSymbols) {
+      if (t[i].text != sh.symbol) continue;
+      if (has_include(ctx, sh.header) || reported.count(sh.symbol) != 0) break;
+      reported.insert(sh.symbol);
+      emit(ctx, out, "transitive-include", t[i].line,
+           "std::" + t[i].text + " used without a direct #include <" +
+               sh.header + "> (transitive includes are not a contract)");
+      break;
+    }
+  }
+}
+
+using CheckFn = void (*)(const FileCtx&, std::vector<Diagnostic>&);
+
+struct Rule {
+  const char* id;
+  const char* summary;
+  CheckFn fn;
+};
+
+constexpr Rule kRules[] = {
+    {"no-rand",
+     "ambient randomness (rand(), std::random_device, ...) banned in src/",
+     check_no_rand},
+    {"no-wallclock",
+     "wall-clock reads (system_clock, steady_clock, gettimeofday, ...) "
+     "banned in src/",
+     check_no_wallclock},
+    {"unordered-iteration",
+     "range-for over a std::unordered_* container banned in src/",
+     check_unordered_iteration},
+    {"pointer-keyed-map",
+     "std::map/std::set keyed by a pointer banned in src/",
+     check_pointer_keyed_map},
+    {"container-policy",
+     "std::unordered_map/std::map banned in src/{cache,core,fs,sim,driver} "
+     "(use util/flat_hash.hpp)",
+     check_container_policy},
+    {"trace-io-typed-errors",
+     "src/trace/io throws typed TraceIoError only; no bare throw/abort",
+     check_trace_io_errors},
+    {"nodiscard-result",
+     "result-returning APIs in src/trace and src/check headers must be "
+     "[[nodiscard]]",
+     check_nodiscard_result},
+    {"no-iostream-in-header", "<iostream> banned in src/ headers",
+     check_iostream_header},
+    {"transitive-include",
+     "curated std symbols must be included directly, not transitively",
+     check_transitive_include},
+};
+
+[[nodiscard]] std::string normalize(std::string path) {
+  std::replace(path.begin(), path.end(), '\\', '/');
+  return path;
+}
+
+void fill_scope(FileCtx& ctx) {
+  const std::string& p = ctx.path;
+  std::size_t at = std::string::npos;
+  if (p.compare(0, 4, "src/") == 0) at = 0;
+  std::size_t found = p.rfind("/src/");
+  if (found != std::string::npos) at = found + 1;
+  if (at != std::string::npos) {
+    ctx.in_src = true;
+    ctx.rel = p.substr(at + 4);
+  }
+  const auto ends_with = [&p](const char* suf) {
+    const std::size_t l = std::char_traits<char>::length(suf);
+    return p.size() >= l && p.compare(p.size() - l, l, suf) == 0;
+  };
+  ctx.is_header = ends_with(".hpp") || ends_with(".h") || ends_with(".hh");
+}
+
+}  // namespace
+
+std::vector<RuleInfo> rule_catalog() {
+  std::vector<RuleInfo> out;
+  for (const Rule& r : kRules) out.push_back({r.id, r.summary});
+  return out;
+}
+
+bool is_known_rule(const std::string& id) {
+  for (const Rule& r : kRules) {
+    if (id == r.id) return true;
+  }
+  return false;
+}
+
+std::vector<Diagnostic> lint_source(const std::string& path,
+                                    const std::string& content,
+                                    const Options& opts) {
+  const Lexed lx = lex(content);
+  const Directives dirs = parse_directives(lx.comments);
+
+  FileCtx ctx;
+  ctx.path = normalize(dirs.virtual_path.empty() ? path : dirs.virtual_path);
+  ctx.lx = &lx;
+  ctx.dirs = &dirs;
+  fill_scope(ctx);
+
+  std::vector<Diagnostic> out;
+  for (const Rule& r : kRules) {
+    if (!opts.only.empty() &&
+        std::find(opts.only.begin(), opts.only.end(), r.id) ==
+            opts.only.end()) {
+      continue;
+    }
+    r.fn(ctx, out);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return a.line < b.line;
+                   });
+  return out;
+}
+
+std::vector<Diagnostic> lint_file(const std::string& path,
+                                  const Options& opts) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return lint_source(path, ss.str(), opts);
+}
+
+std::vector<Diagnostic> lint_tree(const std::string& root,
+                                  const Options& opts) {
+  namespace fs = std::filesystem;
+  if (!fs::exists(root)) throw std::runtime_error("no such directory: " + root);
+  std::vector<std::string> paths;
+  for (const auto& e : fs::recursive_directory_iterator(root)) {
+    if (!e.is_regular_file()) continue;
+    const std::string ext = e.path().extension().string();
+    if (ext == ".cpp" || ext == ".cc" || ext == ".hpp" || ext == ".h" ||
+        ext == ".hh") {
+      paths.push_back(e.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  std::vector<Diagnostic> out;
+  for (const std::string& p : paths) {
+    std::vector<Diagnostic> d = lint_file(p, opts);
+    out.insert(out.end(), d.begin(), d.end());
+  }
+  return out;
+}
+
+std::string format_diagnostic(const Diagnostic& d) {
+  return d.file + ":" + std::to_string(d.line) + ": error[" + d.rule +
+         "]: " + d.message;
+}
+
+int run_cli(const std::vector<std::string>& args, std::string& out) {
+  Options opts;
+  std::vector<std::string> files;
+  std::vector<std::string> trees;
+  bool list_rules = false;
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--list-rules") {
+      list_rules = true;
+    } else if (a.compare(0, 7, "--only=") == 0) {
+      std::stringstream ss(a.substr(7));
+      std::string id;
+      while (std::getline(ss, id, ',')) {
+        if (id.empty()) continue;
+        if (!is_known_rule(id)) {
+          out += "lap_lint: unknown rule '" + id +
+                 "' (see --list-rules)\n";
+          return 2;
+        }
+        opts.only.push_back(id);
+      }
+    } else if (a == "--tree") {
+      if (i + 1 >= args.size()) {
+        out += "lap_lint: --tree needs a directory\n";
+        return 2;
+      }
+      trees.push_back(args[++i]);
+    } else if (a == "--help" || a == "-h") {
+      out +=
+          "usage: lap_lint [--only=rule[,rule...]] [--list-rules] "
+          "[--tree DIR]... [FILE]...\n"
+          "exit: 0 clean, 1 violations, 2 usage/I/O error\n";
+      return 0;
+    } else if (!a.empty() && a[0] == '-') {
+      out += "lap_lint: unknown option '" + a + "'\n";
+      return 2;
+    } else {
+      files.push_back(a);
+    }
+  }
+
+  if (list_rules) {
+    for (const RuleInfo& r : rule_catalog()) {
+      out += r.id + "  " + r.summary + "\n";
+    }
+    return 0;
+  }
+  if (files.empty() && trees.empty()) {
+    out += "lap_lint: nothing to lint (give files or --tree DIR)\n";
+    return 2;
+  }
+
+  std::vector<Diagnostic> diags;
+  try {
+    for (const std::string& t : trees) {
+      std::vector<Diagnostic> d = lint_tree(t, opts);
+      diags.insert(diags.end(), d.begin(), d.end());
+    }
+    for (const std::string& f : files) {
+      std::vector<Diagnostic> d = lint_file(f, opts);
+      diags.insert(diags.end(), d.begin(), d.end());
+    }
+  } catch (const std::exception& e) {
+    out += std::string("lap_lint: ") + e.what() + "\n";
+    return 2;
+  }
+
+  for (const Diagnostic& d : diags) out += format_diagnostic(d) + "\n";
+  if (!diags.empty()) {
+    out += "lap_lint: " + std::to_string(diags.size()) + " violation" +
+           (diags.size() == 1 ? "" : "s") + "\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace lap::lint

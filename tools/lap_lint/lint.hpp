@@ -1,0 +1,75 @@
+// lap-lint: the project's invariant checker.
+//
+// A small standalone static analyzer (own tokenizer, no libclang) that
+// enforces the policies the simulator's correctness story depends on but
+// that the compiler cannot see: determinism (no ambient randomness or
+// wall-clock time on simulation paths, no iteration over unordered
+// containers), the PR 3 container policy (flat_hash on hot paths), the
+// PR 4 error taxonomy (typed TraceIoError only in src/trace/io), and
+// include hygiene.  Rules are table-driven (see rule_catalog()); every
+// rule can be suppressed per file with
+//
+//   // lap-lint: allow(<rule-id>[, <rule-id>...])
+//
+// and fixture files can pin the path used for directory-scoped rules with
+//
+//   // lap-lint: path(src/cache/whatever.cpp)
+//
+// Diagnostics are GCC-style — `file:line: error[rule-id]: message` — so
+// editors and CI annotations pick them up unmodified.  DESIGN.md §12 has
+// the full catalog and the policy for adding rules.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lap::lint {
+
+struct Diagnostic {
+  std::string file;  // effective path (a path() directive overrides)
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct Options {
+  std::vector<std::string> only;  // restrict to these rule ids; empty = all
+};
+
+struct RuleInfo {
+  std::string id;
+  std::string summary;
+};
+
+/// Every rule the analyzer knows, in reporting order.
+[[nodiscard]] std::vector<RuleInfo> rule_catalog();
+
+/// True if `id` names a known rule.
+[[nodiscard]] bool is_known_rule(const std::string& id);
+
+/// Lint one translation unit given its contents.  `path` drives the
+/// directory-scoped rules unless the content carries a path() directive.
+[[nodiscard]] std::vector<Diagnostic> lint_source(const std::string& path,
+                                                  const std::string& content,
+                                                  const Options& opts = {});
+
+/// Lint a file on disk.  Throws std::runtime_error if unreadable.
+[[nodiscard]] std::vector<Diagnostic> lint_file(const std::string& path,
+                                                const Options& opts = {});
+
+/// Recursively lint every C++ source/header under `root`, in sorted path
+/// order (deterministic output).  Throws std::runtime_error on a missing
+/// root.
+[[nodiscard]] std::vector<Diagnostic> lint_tree(const std::string& root,
+                                                const Options& opts = {});
+
+/// "file:line: error[rule-id]: message"
+[[nodiscard]] std::string format_diagnostic(const Diagnostic& d);
+
+/// CLI entry point, shared by main() and the test suite.  Appends all
+/// output (diagnostics and errors) to `out`.  Returns the process exit
+/// code: 0 clean, 1 violations found, 2 usage or I/O error.
+[[nodiscard]] int run_cli(const std::vector<std::string>& args,
+                          std::string& out);
+
+}  // namespace lap::lint

@@ -1,0 +1,16 @@
+// lap_lint CLI — see lint.hpp for the rule catalog and DESIGN.md §12 for
+// the policy.  All logic lives in the library so the test suite can drive
+// the exact CLI surface in-process.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::string out;
+  const int rc = lap::lint::run_cli(args, out);
+  std::fputs(out.c_str(), rc == 0 || rc == 1 ? stdout : stderr);
+  return rc;
+}
