@@ -1,0 +1,78 @@
+// Observability-overhead micro-benchmark (google-benchmark): the same
+// deterministic mini-CHARISMA workload replayed end to end with the span
+// collector detached (every hook is one untaken null-check branch) and
+// attached (full lifecycle provenance).  Throughput is engine events per
+// second, so the spans-off/spans-on ratio is the per-event cost of the
+// subsystem — the number DESIGN.md §13 budgets at under 5%.  Results are
+// committed as bench/BENCH_obs_overhead.json and gated by CI's perf-smoke
+// job via scripts/check_bench_regression.py.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "bench_json.hpp"
+#include "driver/simulation.hpp"
+#include "obs/span.hpp"
+#include "trace/charisma_gen.hpp"
+
+namespace lap {
+namespace {
+
+// Two waves of two applications on 16 nodes: ~130k engine events and a few
+// thousand prefetches per replay, so the steady-state per-event hook cost
+// dominates over collector setup.  Deterministic: identical event counts
+// on both sides of the comparison.
+const Trace& workload() {
+  static const Trace trace = [] {
+    CharismaParams p;
+    p.nodes = 16;
+    p.scale = 0.125;
+    p.apps_per_wave = 2;
+    return generate_charisma(p);
+  }();
+  return trace;
+}
+
+void replay(benchmark::State& state, FsKind fs, bool with_spans) {
+  const Trace& trace = workload();
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    RunConfig cfg;
+    cfg.machine = MachineConfig::pm();
+    cfg.fs = fs;
+    cfg.algorithm = AlgorithmSpec::parse("Ln_Agr_IS_PPM:1");
+    cfg.cache_per_node = 4_MiB;
+    SpanCollector spans;
+    if (with_spans) cfg.spans = &spans;
+    const RunResult r = run_simulation(trace, cfg);
+    events = r.events;
+    benchmark::DoNotOptimize(r.avg_read_ms);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(events));
+}
+
+void BM_RunPafsNullSink(benchmark::State& state) {
+  replay(state, FsKind::kPafs, /*with_spans=*/false);
+}
+BENCHMARK(BM_RunPafsNullSink);
+
+void BM_RunPafsWithSpans(benchmark::State& state) {
+  replay(state, FsKind::kPafs, /*with_spans=*/true);
+}
+BENCHMARK(BM_RunPafsWithSpans);
+
+void BM_RunXfsNullSink(benchmark::State& state) {
+  replay(state, FsKind::kXfs, /*with_spans=*/false);
+}
+BENCHMARK(BM_RunXfsNullSink);
+
+void BM_RunXfsWithSpans(benchmark::State& state) {
+  replay(state, FsKind::kXfs, /*with_spans=*/true);
+}
+BENCHMARK(BM_RunXfsWithSpans);
+
+}  // namespace
+}  // namespace lap
+
+LAP_BENCHMARK_JSON_MAIN();

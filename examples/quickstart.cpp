@@ -18,6 +18,7 @@
 #include "driver/simulation.hpp"
 #include "obs/counters.hpp"
 #include "obs/metrics_json.hpp"
+#include "obs/span.hpp"
 #include "obs/trace_event.hpp"
 #include "trace/charisma_gen.hpp"
 #include "util/flags.hpp"
@@ -66,6 +67,7 @@ int main(int argc, char** argv) {
   std::ofstream trace_file;
   std::unique_ptr<lap::TraceSink> sink;
   lap::CounterRegistry counters;
+  lap::SpanCollector spans;
   if (obs.trace_out) {
     trace_file.open(*obs.trace_out);
     if (!trace_file) {
@@ -74,8 +76,11 @@ int main(int argc, char** argv) {
     }
     sink = std::make_unique<lap::TraceSink>(trace_file);
     cfg.trace = sink.get();
+  }
+  if (obs.any()) {
     cfg.counters = &counters;
     cfg.counter_sample_interval = obs.sample_interval;
+    cfg.spans = &spans;  // span.* counters + async lifecycle tracks
   }
 
   cfg.algorithm =

@@ -13,15 +13,29 @@
 //                [--nodes 1]
 //   ./trace_tool run out.lapt [--fs pafs|xfs] [--algo Ln_Agr_IS_PPM:1]
 //                             [--cache-mb 4] [--stream]
+//                             [--metrics-json m.json] [--trace-out t.json]
+//   ./trace_tool explain out.lapt [run options...] [--latency-breakdown]
+//                [--wasted] [--block <file>:<index>] [--json] [--out r.txt]
 //
 // `run --stream` replays a `.lapt` file through the chunked streaming
-// reader (bounded memory) instead of materialising it in RAM.
+// reader (bounded memory) instead of materialising it in RAM.  `run` and
+// `explain` both accept the standard observability surface (--metrics-json,
+// --trace-out, --obs-sample-ms); `explain` replays the workload with the
+// span collector attached and renders the provenance audit (see
+// DESIGN.md §13) to stdout or --out.
 #include <exception>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <string>
 
+#include "driver/explain.hpp"
 #include "driver/report.hpp"
 #include "driver/simulation.hpp"
+#include "obs/counters.hpp"
+#include "obs/metrics_json.hpp"
+#include "obs/span.hpp"
+#include "obs/trace_event.hpp"
 #include "trace/analysis.hpp"
 #include "trace/charisma_gen.hpp"
 #include "trace/io/binary_io.hpp"
@@ -38,6 +52,10 @@ int usage() {
                "       trace_tool ingest-champsim <in> <out> |\n"
                "       trace_tool run <file> [--fs pafs|xfs] [--algo A] "
                "[--cache-mb N] [--stream]\n"
+               "                 [--metrics-json M] [--trace-out T]\n"
+               "       trace_tool explain <file> [run options] "
+               "[--latency-breakdown] [--wasted]\n"
+               "                 [--block F:I] [--json] [--out R]\n"
                "(.lapt extension selects the binary format on output; "
                "info/stats/run sniff the format)\n";
   return 2;
@@ -67,6 +85,87 @@ lap::RunConfig run_config_for(const lap::Flags& flags, std::uint32_t nodes) {
   cfg.algorithm = AlgorithmSpec::parse(flags.get("algo", "Ln_Agr_IS_PPM:1"));
   cfg.cache_per_node = static_cast<Bytes>(flags.get_int("cache-mb", 4)) * 1_MiB;
   return cfg;
+}
+
+// Shared replay path for `run` and `explain`: loads `path` (in-memory or,
+// with --stream, through the bounded-memory binary reader), attaches the
+// standard observability surface (--trace-out / --metrics-json /
+// --obs-sample-ms) and the optional span collector, and runs to completion.
+// Obs side-output notes go to stderr so `explain --json` on stdout stays a
+// clean document.  Returns 0 on success.
+int replay_trace(const lap::Flags& flags, const std::string& path,
+                 lap::SpanCollector* spans, lap::RunResult* result) {
+  using namespace lap;
+  const ObsOptions obs = parse_obs_options(flags);
+
+  Trace trace;  // backing storage for the in-memory path
+  std::unique_ptr<TraceSource> source;
+  if (flags.get_bool("stream", false)) {
+    source = BinaryTraceSource::open_file(path);
+  } else {
+    trace = load_trace_file(path);
+    source = std::make_unique<InMemoryTraceSource>(trace);
+  }
+  RunConfig cfg = run_config_for(flags, source->meta().node_span());
+  // Any observability output implies provenance: span totals/histograms go
+  // into the metrics document, async span tracks into the trace.
+  SpanCollector obs_spans;
+  if (spans == nullptr && obs.any()) spans = &obs_spans;
+  cfg.spans = spans;
+
+  std::ofstream trace_file;
+  std::unique_ptr<TraceSink> sink;
+  CounterRegistry counters;
+  if (obs.trace_out) {
+    trace_file.open(*obs.trace_out);
+    if (!trace_file) {
+      std::cerr << "cannot open " << *obs.trace_out << " for writing\n";
+      return 1;
+    }
+    sink = std::make_unique<TraceSink>(trace_file);
+    cfg.trace = sink.get();
+  }
+  if (obs.any()) {
+    cfg.counters = &counters;
+    cfg.counter_sample_interval = obs.sample_interval;
+  }
+
+  *result = run_simulation(*source, cfg);
+
+  if (sink != nullptr) {
+    sink->close();
+    std::cerr << "trace: " << *obs.trace_out << " (" << sink->events_written()
+              << " events; open at https://ui.perfetto.dev)\n";
+  }
+  if (obs.metrics_json) {
+    std::ofstream mf(*obs.metrics_json);
+    if (!mf) {
+      std::cerr << "cannot open " << *obs.metrics_json << " for writing\n";
+      return 1;
+    }
+    // The replayed file stands in for a generator name; everything else in
+    // the manifest comes from the trace's own metadata.
+    const TraceMeta& meta = source->meta();
+    RunManifest manifest;
+    manifest.title = "trace_tool";
+    manifest.machine = cfg.machine.describe();
+    manifest.nodes = std::max(cfg.machine.nodes, meta.node_span());
+    manifest.disks = cfg.machine.disks;
+    manifest.block_size = cfg.machine.block_size;
+    manifest.workload = path;
+    manifest.processes = meta.processes.size();
+    manifest.files = meta.files.size();
+    manifest.io_ops = meta.total_io_ops;
+    manifest.fs = to_string(cfg.fs);
+    manifest.algorithm = cfg.algorithm.name();
+    manifest.cache_per_node = cfg.cache_per_node;
+    manifest.sync_interval_ms = cfg.sync_interval.millis();
+    manifest.warmup_fraction = cfg.warmup_fraction;
+    if (obs.trace_out) manifest.trace_out = *obs.trace_out;
+    write_results_json(mf, manifest, {*result}, &counters);
+    std::cerr << "metrics: " << *obs.metrics_json << "\n";
+  }
+  return 0;
 }
 
 int main_checked(int argc, char** argv) {
@@ -148,19 +247,41 @@ int main_checked(int argc, char** argv) {
   }
 
   if (cmd == "run") {
-    if (flags.get_bool("stream", false)) {
-      // Bounded-memory replay straight off the file.
-      auto source = BinaryTraceSource::open_file(args[1]);
-      const RunConfig cfg =
-          run_config_for(flags, source->meta().node_span());
-      const RunResult r = run_simulation(*source, cfg);
-      print_run_summary(std::cout, r);
-      return 0;
-    }
-    const Trace trace = load_trace_file(args[1]);
-    const RunConfig cfg = run_config_for(flags, trace.node_span());
-    const RunResult r = run_simulation(trace, cfg);
+    RunResult r;
+    const int rc = replay_trace(flags, args[1], /*spans=*/nullptr, &r);
+    if (rc != 0) return rc;
     print_run_summary(std::cout, r);
+    return 0;
+  }
+
+  if (cmd == "explain") {
+    ExplainOptions opts;
+    opts.latency = flags.get_bool("latency-breakdown", false);
+    opts.wasted = flags.get_bool("wasted", false);
+    opts.json = flags.get_bool("json", false);
+    if (const auto block = flags.get_opt("block")) {
+      opts.block = parse_block_query(*block);
+      if (!opts.block) {
+        std::cerr << "malformed --block '" << *block
+                  << "' (want <file>:<index>, e.g. 3:17)\n";
+        return 2;
+      }
+    }
+    SpanCollector spans;
+    RunResult r;
+    const int rc = replay_trace(flags, args[1], &spans, &r);
+    if (rc != 0) return rc;
+    if (const auto out = flags.get_opt("out")) {
+      std::ofstream of(*out);
+      if (!of) {
+        std::cerr << "cannot open " << *out << " for writing\n";
+        return 1;
+      }
+      write_explain(of, spans, r, opts);
+      std::cerr << "explain: " << *out << "\n";
+    } else {
+      write_explain(std::cout, spans, r, opts);
+    }
     return 0;
   }
 

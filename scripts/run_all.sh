@@ -22,6 +22,12 @@ for b in build/bench/*; do
   name=$(basename "$b")
   echo "### $b"
   case "$name" in
+    micro_obs)
+      # Span-collector overhead baseline: kept in its own JSON so the
+      # perf-smoke gate compares spans-off vs spans-on runs independently
+      # of the engine/predictor micro numbers.
+      "$b" --json bench/BENCH_obs_overhead.json
+      ;;
     micro_*)
       # google-benchmark binaries: refresh the committed perf baseline that
       # CI's perf-smoke job gates against (2x; scripts/check_bench_regression.py)

@@ -59,6 +59,7 @@ std::optional<CacheEntry> BufferPool::insert(const CacheEntry& entry) {
     cur.dirty = cur.dirty || entry.dirty;
     cur.prefetched = cur.prefetched || entry.prefetched;
     cur.referenced = cur.referenced || entry.referenced;
+    if (cur.span == 0) cur.span = entry.span;
     lru_.touch(entry.key);
     if (trace_ != nullptr) trace_instant("cache.replace", cur);
     return std::nullopt;

@@ -31,6 +31,9 @@ struct CacheEntry {
   bool referenced = false;  // ...and later used by a demand request?
   SimTime dirty_since;      // first dirtying of the current dirty episode
   std::uint8_t recirculation = 0;  // N-chance forwarding hops (xFS)
+  // Provenance span ref (obs/span.hpp) riding with the buffer so the span
+  // can be settled used/wasted wherever the entry's life ends; 0 = none.
+  std::uint64_t span = 0;
 };
 
 class BufferPool {

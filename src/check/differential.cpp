@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "check/oracle.hpp"
+#include "obs/span.hpp"
 #include "trace/io/binary_io.hpp"
 
 namespace lap {
@@ -137,8 +138,12 @@ CheckReport run_checked(const Scenario& s) {
     const RunResult plain = run_simulation(s.trace, cfg);
 
     InvariantOracle oracle({.spec = cfg.algorithm});
+    SpanCollector spans;
     RunConfig traced_cfg = cfg;
     traced_cfg.trace = &oracle;
+    // Spans ride the traced leg only: the traced-vs-untraced diff below then
+    // also proves the collector never perturbs the simulation.
+    traced_cfg.spans = &spans;
     const RunResult traced = run_simulation(s.trace, traced_cfg);
     oracle.finish();
 
@@ -158,6 +163,22 @@ CheckReport run_checked(const Scenario& s) {
               oracle.used());
     reconcile(report.diffs, tag, "prefetch_wasted", traced.prefetch_wasted,
               oracle.wasted());
+
+    // Span-provenance accounting must agree with the same ground truth: the
+    // collector settles every arrived block exactly once (used xor wasted),
+    // and its totals match the run's own prefetch counters bit-for-bit.
+    const SpanCollector::Totals st = spans.totals();
+    reconcile(report.diffs, tag + " spans", "prefetch_arrived",
+              traced.prefetch_arrived, st.arrived);
+    reconcile(report.diffs, tag + " spans", "prefetch_used",
+              traced.prefetch_used, st.used);
+    reconcile(report.diffs, tag + " spans", "prefetch_wasted",
+              traced.prefetch_wasted, st.wasted);
+    if (st.used + st.wasted != st.arrived) {
+      report.diffs.push_back(tag + " spans: used+wasted=" +
+                             std::to_string(st.used + st.wasted) +
+                             " != arrived=" + std::to_string(st.arrived));
+    }
 
     // Every demand-read block is classified hit or miss.  xFS leaves blocks
     // of a deleted file unclassified (its read path bails out), so with

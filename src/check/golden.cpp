@@ -5,6 +5,7 @@
 #include <string_view>
 
 #include "check/scenario.hpp"
+#include "obs/span.hpp"
 
 namespace lap {
 
@@ -64,9 +65,13 @@ std::uint64_t hash_run_result(const RunResult& r) {
   return h;
 }
 
-std::uint64_t golden_scenario_hash(std::uint64_t seed, FsKind fs) {
+std::uint64_t golden_scenario_hash(std::uint64_t seed, FsKind fs,
+                                   bool with_spans) {
   const Scenario s = generate_scenario(seed);
-  return hash_run_result(run_simulation(s.trace, scenario_config(s, fs)));
+  RunConfig cfg = scenario_config(s, fs);
+  SpanCollector spans;
+  if (with_spans) cfg.spans = &spans;
+  return hash_run_result(run_simulation(s.trace, cfg));
 }
 
 }  // namespace lap

@@ -22,7 +22,10 @@ namespace lap {
 [[nodiscard]] std::uint64_t hash_run_result(const RunResult& r);
 
 /// Hash of the scenario derived from `seed` replayed under `fs`
-/// (scenario_config defaults: untraced, warm-up disabled).
-[[nodiscard]] std::uint64_t golden_scenario_hash(std::uint64_t seed, FsKind fs);
+/// (scenario_config defaults: untraced, warm-up disabled).  With
+/// `with_spans`, a provenance SpanCollector rides the run — the hash must
+/// not change, proving span collection never perturbs the simulation.
+[[nodiscard]] std::uint64_t golden_scenario_hash(std::uint64_t seed, FsKind fs,
+                                                 bool with_spans = false);
 
 }  // namespace lap

@@ -5,6 +5,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/span.hpp"
 #include "obs/trace_event.hpp"
 #include "util/assert.hpp"
 
@@ -47,6 +48,33 @@ void PrefetchManager::trace_restart(FileId file, std::uint32_t from_block) {
                       "file " + std::to_string(raw(file)));
   trace_->instant("prefetch", "prefetch.restart", tracks::file(file),
                   eng_->now(), {{"site", site_}, {"from_block", from_block}});
+}
+
+void PrefetchManager::note_issue(FileId file, std::uint32_t block,
+                                 bool fallback, std::uint32_t pid,
+                                 std::int64_t trigger, NodeId target) {
+  SpanCollector* sp = eng_->span_collector();
+  if (sp == nullptr) return;
+  PrefetchOrigin origin = PrefetchOrigin::kSequential;
+  switch (spec_.kind) {
+    case AlgorithmSpec::Kind::kIsPpm:
+    case AlgorithmSpec::Kind::kVkPpm:
+      origin = fallback ? PrefetchOrigin::kFallback : PrefetchOrigin::kGraph;
+      break;
+    case AlgorithmSpec::Kind::kOba:
+      origin = PrefetchOrigin::kSequential;
+      break;
+    case AlgorithmSpec::Kind::kInformed:
+      origin = PrefetchOrigin::kHint;
+      break;
+    case AlgorithmSpec::Kind::kWholeFile:
+      origin = PrefetchOrigin::kWholeFile;
+      break;
+    case AlgorithmSpec::Kind::kNone:
+      break;
+  }
+  sp->prefetch_predicted(site_, BlockKey{file, block}, origin, fallback, pid,
+                         trigger, target, eng_->now());
 }
 
 std::unique_ptr<PrefetchStream> PrefetchManager::build_stream(PidState& ps,
@@ -100,7 +128,7 @@ std::optional<PrefetchManager::PumpItem> PrefetchManager::next_from_any_stream(
     auto pit = fs.pids.find(pid);
     if (pit == fs.pids.end() || pit->second.stream == nullptr) continue;
     if (auto item = next_uncached(*pit->second.stream, file)) {
-      return PumpItem{*item, pit->second.target};
+      return PumpItem{*item, pit->second.target, pid, pit->second.last_first};
     }
   }
   return std::nullopt;
@@ -153,6 +181,7 @@ void PrefetchManager::on_request(ProcId pid, NodeId client, FileId file,
   }
 
   ps.last_end = static_cast<std::int64_t>(first) + nblocks;
+  ps.last_first = static_cast<std::int64_t>(first);
   ps.target = client;
   if (!ps.seen) {
     ps.seen = true;
@@ -190,6 +219,8 @@ void PrefetchManager::on_request(ProcId pid, NodeId client, FileId file,
     ++counters_.issued;
     if (item->fallback) ++counters_.fallback_issued;
     if (trace_ != nullptr) trace_issue(file, item->block, item->fallback);
+    note_issue(file, item->block, item->fallback, raw(pid),
+               static_cast<std::int64_t>(first), client);
     (void)host_->prefetch_fetch(BlockKey{file, item->block}, client);
   }
 }
@@ -204,6 +235,8 @@ void PrefetchManager::ensure_pumps(FileId file, FileState& fs) {
       if (trace_ != nullptr) {
         trace_issue(file, item->item.block, item->item.fallback);
       }
+      note_issue(file, item->item.block, item->item.fallback, item->pid,
+                 item->trigger, item->target);
       (void)host_->prefetch_fetch(BlockKey{file, item->item.block},
                                   item->target);
     }
@@ -243,6 +276,8 @@ SimTask PrefetchManager::pump(FileId file, std::uint64_t generation) {
     ++counters_.issued;
     if (item->item.fallback) ++counters_.fallback_issued;
     if (trace_ != nullptr) trace_issue(file, item->item.block, item->item.fallback);
+    note_issue(file, item->item.block, item->item.fallback, item->pid,
+               item->trigger, item->target);
     // The linear limitation: this pump waits for the block to arrive
     // before asking any stream for the next one.
     co_await host_->prefetch_fetch(BlockKey{file, item->item.block},
@@ -262,7 +297,7 @@ void PrefetchManager::provide_hints(ProcId pid, FileId file,
   ps.hint_cursor = 0;
 }
 
-void PrefetchManager::on_open(ProcId, NodeId client, FileId file) {
+void PrefetchManager::on_open(ProcId pid, NodeId client, FileId file) {
   if (spec_.kind != AlgorithmSpec::Kind::kWholeFile) return;
   const auto predicted = open_predictors_[raw(client)].on_open(file);
   if (!predicted || !host_->file_blocks(*predicted)) return;
@@ -276,6 +311,8 @@ void PrefetchManager::on_open(ProcId, NodeId client, FileId file) {
     if (host_->block_available(key)) continue;
     ++counters_.issued;
     if (trace_ != nullptr) trace_issue(*predicted, b, /*fallback=*/false);
+    note_issue(*predicted, b, /*fallback=*/false, raw(pid), /*trigger=*/-1,
+               client);
     (void)host_->prefetch_fetch(key, client);
   }
 }

@@ -107,6 +107,7 @@ class PrefetchManager {
     std::size_t hint_cursor = 0;                // next undisclosed request
     std::unique_ptr<PrefetchStream> stream;     // this reader's active path
     std::int64_t last_end = 0;                  // one past the last request
+    std::int64_t last_first = -1;               // first block of that request
     NodeId target{};                            // where its blocks should land
     bool seen = false;
   };
@@ -127,6 +128,8 @@ class PrefetchManager {
   struct PumpItem {
     StreamItem item;
     NodeId target;
+    std::uint32_t pid = 0;       // reader whose stream yielded the item
+    std::int64_t trigger = -1;   // first block of that reader's last request
   };
 
   [[nodiscard]] std::unique_ptr<PrefetchStream> build_stream(PidState& ps,
@@ -138,6 +141,11 @@ class PrefetchManager {
   /// The live state for `file`, or nullptr if it was deleted (and possibly
   /// re-created) since the caller captured `generation`.
   [[nodiscard]] FileState* live_state(FileId file, std::uint64_t generation);
+  /// Open a provenance span for an issue decision (no-op without a
+  /// collector); must run before prefetch_fetch so the fetch's disk/net
+  /// operations find the open span to attribute their stages to.
+  void note_issue(FileId file, std::uint32_t block, bool fallback,
+                  std::uint32_t pid, std::int64_t trigger, NodeId target);
   void trace_request(ProcId pid, FileId file, std::uint32_t first,
                      std::uint32_t nblocks);
   void trace_issue(FileId file, std::uint32_t block, bool fallback);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "obs/span.hpp"
 #include "obs/trace_event.hpp"
 #include "util/assert.hpp"
 
@@ -34,15 +35,17 @@ SimTime Disk::service_time(bool write, std::uint64_t lba) const {
          transfer;
 }
 
-SimFuture<Done> Disk::read_block(int priority, OpId* id, std::uint64_t lba) {
+SimFuture<Done> Disk::read_block(int priority, OpId* id, std::uint64_t lba,
+                                 std::uint64_t span) {
   ++stats_.block_reads;
   if (priority >= prio::kPrefetch) ++stats_.prefetch_reads;
-  return submit(/*write=*/false, lba, priority, id);
+  return submit(/*write=*/false, lba, priority, id, span);
 }
 
-SimFuture<Done> Disk::write_block(int priority, OpId* id, std::uint64_t lba) {
+SimFuture<Done> Disk::write_block(int priority, OpId* id, std::uint64_t lba,
+                                  std::uint64_t span) {
   ++stats_.block_writes;
-  return submit(/*write=*/true, lba, priority, id);
+  return submit(/*write=*/true, lba, priority, id, span);
 }
 
 void Disk::check_queue() const {
@@ -70,11 +73,11 @@ void Disk::enqueue(Op op) {
 }
 
 SimFuture<Done> Disk::submit(bool write, std::uint64_t lba, int priority,
-                             OpId* id) {
+                             OpId* id, std::uint64_t span) {
   const OpId op_id = next_id_++;
   if (id != nullptr) *id = op_id;
   SimPromise<Done> done(*eng_);
-  enqueue(Op{priority, op_id, write, lba, done});
+  enqueue(Op{priority, op_id, write, lba, done, span, eng_->now()});
   maybe_start();
   return done.future();
 }
@@ -103,6 +106,11 @@ void Disk::maybe_start() {
   // Seek is computed at service start: the arm position is whatever the
   // previous operation left behind.
   const SimTime service = service_time(op.write, op.lba);
+  if (op.span != 0) {
+    if (SpanCollector* sp = eng_->span_collector(); sp != nullptr) {
+      sp->disk_serviced(op.span, eng_->now() - op.submitted, service);
+    }
+  }
   if (trace_ != nullptr) {
     const SimTime transfer = cfg_.bandwidth.transfer_time(cfg_.block_size);
     const char* name = op.write             ? "disk.write"

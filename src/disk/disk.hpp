@@ -66,13 +66,17 @@ class Disk {
 
   /// Enqueue a block read; resolves when the data is in memory.  The
   /// operation's id is written to *id when requested.  `lba` is the
-  /// logical position, used only by the distance-seek model.
+  /// logical position, used only by the distance-seek model.  `span` tags
+  /// the operation with a provenance span ref (obs/span.hpp, 0 = none): at
+  /// service start the queue wait and service window are attributed to it.
   [[nodiscard]] SimFuture<Done> read_block(int priority, OpId* id = nullptr,
-                                           std::uint64_t lba = 0);
+                                           std::uint64_t lba = 0,
+                                           std::uint64_t span = 0);
 
   /// Enqueue a block write; resolves when the block is on the platter.
   [[nodiscard]] SimFuture<Done> write_block(int priority, OpId* id = nullptr,
-                                            std::uint64_t lba = 0);
+                                            std::uint64_t lba = 0,
+                                            std::uint64_t span = 0);
 
   /// Raise a queued operation to `priority` (no-op if it already started,
   /// completed, or was at least as urgent).
@@ -110,10 +114,13 @@ class Disk {
     bool write;
     std::uint64_t lba;
     SimPromise<Done> done;
+    std::uint64_t span;  // provenance span ref; 0 = untagged
+    SimTime submitted;   // enqueue time, for queue-wait attribution
   };
 
   [[nodiscard]] SimFuture<Done> submit(bool write, std::uint64_t lba,
-                                       int priority, OpId* id);
+                                       int priority, OpId* id,
+                                       std::uint64_t span);
   void maybe_start();
   /// Insert `op` keeping the descending (priority, id) order.
   void enqueue(Op op);

@@ -36,15 +36,17 @@ class DiskArray {
   [[nodiscard]] std::uint64_t lba_for(BlockKey key) const;
 
   [[nodiscard]] SimFuture<Done> read(BlockKey key, int priority,
-                                     DiskOpRef* ref = nullptr) {
+                                     DiskOpRef* ref = nullptr,
+                                     std::uint64_t span = 0) {
     Disk& d = disk_for(key);
     Disk::OpId id = 0;
-    auto fut = d.read_block(priority, &id, lba_for(key));
+    auto fut = d.read_block(priority, &id, lba_for(key), span);
     if (ref != nullptr) *ref = DiskOpRef{&d, id};
     return fut;
   }
-  [[nodiscard]] SimFuture<Done> write(BlockKey key, int priority) {
-    return disk_for(key).write_block(priority, nullptr, lba_for(key));
+  [[nodiscard]] SimFuture<Done> write(BlockKey key, int priority,
+                                      std::uint64_t span = 0) {
+    return disk_for(key).write_block(priority, nullptr, lba_for(key), span);
   }
 
   [[nodiscard]] std::uint32_t count() const {

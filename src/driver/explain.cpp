@@ -1,0 +1,430 @@
+#include "driver/explain.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "driver/simulation.hpp"
+#include "obs/json.hpp"
+#include "obs/span.hpp"
+#include "util/table.hpp"
+
+namespace lap {
+namespace {
+
+constexpr PrefetchOrigin kOrigins[] = {
+    PrefetchOrigin::kGraph, PrefetchOrigin::kFallback,
+    PrefetchOrigin::kSequential, PrefetchOrigin::kHint,
+    PrefetchOrigin::kWholeFile};
+constexpr WasteReason kReasons[] = {
+    WasteReason::kEvicted,    WasteReason::kInvalidated,
+    WasteReason::kDeleted,    WasteReason::kSuperseded,
+    WasteReason::kForwardDropped, WasteReason::kShutdown};
+constexpr DemandClass kClasses[] = {DemandClass::kHitLocal,
+                                    DemandClass::kHitRemote,
+                                    DemandClass::kHitInflight,
+                                    DemandClass::kMiss};
+
+[[nodiscard]] double to_ms(std::int64_t ns) {
+  return static_cast<double>(ns) / 1e6;
+}
+[[nodiscard]] double to_ms(SimTime t) { return to_ms(t.nanos()); }
+
+/// One latency population: integer-nanosecond samples, summarised with
+/// exact nearest-rank percentiles (no bucketing), so the rendered numbers
+/// are bit-stable across platforms.
+struct StagePop {
+  std::string name;
+  std::vector<std::int64_t> ns;
+
+  void add(SimTime t) { ns.push_back(t.nanos()); }
+
+  [[nodiscard]] std::int64_t pct(double q) const {
+    if (ns.empty()) return 0;
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(ns.size())));
+    return ns[rank == 0 ? 0 : rank - 1];
+  }
+  [[nodiscard]] double mean_ms() const {
+    if (ns.empty()) return 0.0;
+    std::int64_t total = 0;
+    for (const std::int64_t v : ns) total += v;
+    return to_ms(total) / static_cast<double>(ns.size());
+  }
+
+  void finish() { std::sort(ns.begin(), ns.end()); }
+
+  void add_row(Table& table) const {
+    table.add_row({name, std::to_string(ns.size()), fmt_double(mean_ms(), 3),
+                   fmt_double(to_ms(pct(0.50)), 3),
+                   fmt_double(to_ms(pct(0.90)), 3),
+                   fmt_double(to_ms(pct(0.99)), 3),
+                   fmt_double(ns.empty() ? 0.0 : to_ms(ns.back()), 3)});
+  }
+  void write_json(JsonWriter& w, const char* label_key) const {
+    w.begin_object();
+    w.member(label_key, name);
+    w.member("count", static_cast<std::uint64_t>(ns.size()));
+    w.member("mean_ms", mean_ms());
+    w.member("p50_ms", to_ms(pct(0.50)));
+    w.member("p90_ms", to_ms(pct(0.90)));
+    w.member("p99_ms", to_ms(pct(0.99)));
+    w.member("max_ms", ns.empty() ? 0.0 : to_ms(ns.back()));
+    w.end_object();
+  }
+};
+
+/// The two percentile table families, built in one pass over the spans.
+/// Stage membership mirrors SpanCollector::publish() exactly: disk stages
+/// only when the span actually touched a disk, net stages only when it
+/// crossed the wire, so a stage's count tells you how many flights it
+/// participated in.
+struct LatencyReport {
+  StagePop pf[7] = {{"in_flight", {}}, {"disk_queue", {}}, {"disk", {}},
+                    {"net_wait", {}},  {"net", {}},        {"other", {}},
+                    {"residence", {}}};
+  StagePop dm[5] = {{"hit_local", {}},
+                    {"hit_remote", {}},
+                    {"hit_inflight", {}},
+                    {"miss", {}},
+                    {"all", {}}};
+
+  explicit LatencyReport(const SpanCollector& spans) {
+    for (const BlockSpan& s : spans.spans()) {
+      if (s.demand) {
+        if (s.outcome == SpanOutcome::kOpen) continue;
+        const SimTime total = s.settled - s.predicted;
+        if (s.demand_class != DemandClass::kUnclassified) {
+          dm[static_cast<std::size_t>(s.demand_class) - 1].add(total);
+        }
+        dm[4].add(total);
+        continue;
+      }
+      if (s.outcome != SpanOutcome::kUsed &&
+          s.outcome != SpanOutcome::kWasted) {
+        continue;  // elided or still open: no flight to attribute
+      }
+      pf[0].add(s.in_flight());
+      if (s.disk_service > SimTime::zero()) {
+        pf[1].add(s.disk_wait);
+        pf[2].add(s.disk_service);
+      }
+      if (s.net_hops > 0) {
+        pf[3].add(s.net_wait);
+        pf[4].add(s.net_time);
+      }
+      pf[5].add(s.other());
+      pf[6].add(s.residence());
+    }
+    for (StagePop& p : pf) p.finish();
+    for (StagePop& p : dm) p.finish();
+  }
+};
+
+/// Wasted-prefetch attribution: origin rows x waste-reason columns.
+struct WasteReport {
+  std::uint64_t predicted[std::size(kOrigins)] = {};
+  std::uint64_t used[std::size(kOrigins)] = {};
+  std::uint64_t wasted[std::size(kOrigins)] = {};
+  std::uint64_t reason[std::size(kOrigins)][std::size(kReasons)] = {};
+
+  explicit WasteReport(const SpanCollector& spans) {
+    for (const BlockSpan& s : spans.spans()) {
+      if (s.demand) continue;
+      const auto oi = static_cast<std::size_t>(s.origin);
+      ++predicted[oi];
+      if (s.outcome == SpanOutcome::kUsed) ++used[oi];
+      if (s.outcome == SpanOutcome::kWasted) {
+        ++wasted[oi];
+        if (s.waste != WasteReason::kNone) {
+          ++reason[oi][static_cast<std::size_t>(s.waste) - 1];
+        }
+      }
+    }
+  }
+};
+
+[[nodiscard]] std::string site_name(std::uint32_t site) {
+  // PAFS keeps all prefetch state on the file's server (site 0 = the global
+  // manager); xFS managers are per node.
+  return site == 0 ? "server" : "node " + std::to_string(site - 1);
+}
+
+void write_block_chain_text(std::ostream& os, const SpanCollector& spans,
+                            BlockKey key) {
+  std::size_t matched = 0;
+  for (std::size_t i = 0; i < spans.spans().size(); ++i) {
+    const BlockSpan& s = spans.spans()[i];
+    if (s.key != key) continue;
+    ++matched;
+    os << "  span #" << (i + 1) << ": ";
+    if (s.demand) {
+      os << "demand read by node " << raw(s.target) << "\n"
+         << "    started    t=" << fmt_double(to_ms(s.predicted), 3)
+         << " ms\n"
+         << "    class      " << to_string(s.demand_class) << "\n";
+    } else {
+      os << "prefetch [" << to_string(s.origin) << "] by "
+         << site_name(s.site) << " for node " << raw(s.target) << "\n"
+         << "    predicted  t=" << fmt_double(to_ms(s.predicted), 3)
+         << " ms  (trigger pid " << s.trigger_pid << ", ";
+      if (s.trigger_block < 0) {
+        os << "open)\n";
+      } else {
+        os << "block " << s.trigger_block << ")\n";
+      }
+    }
+    if (s.disk_service > SimTime::zero()) {
+      os << "    disk       wait " << fmt_double(to_ms(s.disk_wait), 3)
+         << " ms, service " << fmt_double(to_ms(s.disk_service), 3)
+         << " ms\n";
+    }
+    if (s.net_hops > 0) {
+      os << "    net        wait " << fmt_double(to_ms(s.net_wait), 3)
+         << " ms, " << s.net_hops << " hop(s), "
+         << fmt_double(to_ms(s.net_time), 3) << " ms\n";
+    }
+    if (!s.demand && s.arrived != SimTime::zero()) {
+      os << "    arrived    t=" << fmt_double(to_ms(s.arrived), 3) << " ms ("
+         << (s.via_peer ? "from peer cache" : "from disk") << ", in flight "
+         << fmt_double(to_ms(s.in_flight()), 3) << " ms)\n";
+    }
+    os << "    outcome    ";
+    switch (s.outcome) {
+      case SpanOutcome::kOpen:
+        os << "open (never settled)\n";
+        break;
+      case SpanOutcome::kUsed:
+        os << "used t=" << fmt_double(to_ms(s.settled), 3)
+           << " ms (residence " << fmt_double(to_ms(s.residence()), 3)
+           << " ms)\n";
+        break;
+      case SpanOutcome::kWasted:
+        os << "wasted [" << to_string(s.waste)
+           << "] t=" << fmt_double(to_ms(s.settled), 3) << " ms (residence "
+           << fmt_double(to_ms(s.residence()), 3) << " ms)\n";
+        break;
+      case SpanOutcome::kElided:
+        os << "elided t=" << fmt_double(to_ms(s.settled), 3)
+           << " ms (already available)\n";
+        break;
+      case SpanOutcome::kDemand:
+        os << "done t=" << fmt_double(to_ms(s.settled), 3) << " ms (total "
+           << fmt_double(to_ms(s.settled - s.predicted), 3) << " ms)\n";
+        break;
+    }
+  }
+  if (matched == 0) {
+    os << "  no spans recorded for this block\n";
+  }
+}
+
+void write_block_chain_json(JsonWriter& w, const SpanCollector& spans,
+                            BlockKey key) {
+  w.begin_object();
+  w.member("file", static_cast<std::uint64_t>(raw(key.file)));
+  w.member("index", static_cast<std::uint64_t>(key.index));
+  w.key("spans");
+  w.begin_array();
+  for (std::size_t i = 0; i < spans.spans().size(); ++i) {
+    const BlockSpan& s = spans.spans()[i];
+    if (s.key != key) continue;
+    w.begin_object();
+    w.member("ref", static_cast<std::uint64_t>(i + 1));
+    w.member("kind", s.demand ? "demand" : "prefetch");
+    w.member("site", static_cast<std::uint64_t>(s.site));
+    if (!s.demand) {
+      w.member("origin", to_string(s.origin));
+      w.member("fallback", s.fallback);
+      w.member("trigger_pid", static_cast<std::uint64_t>(s.trigger_pid));
+      w.member("trigger_block", static_cast<std::int64_t>(s.trigger_block));
+    }
+    w.member("target", static_cast<std::uint64_t>(raw(s.target)));
+    w.member("predicted_ms", to_ms(s.predicted));
+    w.member("arrived_ms", to_ms(s.arrived));
+    w.member("settled_ms", to_ms(s.settled));
+    w.member("disk_wait_ms", to_ms(s.disk_wait));
+    w.member("disk_service_ms", to_ms(s.disk_service));
+    w.member("net_wait_ms", to_ms(s.net_wait));
+    w.member("net_ms", to_ms(s.net_time));
+    w.member("net_hops", static_cast<std::uint64_t>(s.net_hops));
+    w.member("via_peer", s.via_peer);
+    w.member("outcome", to_string(s.outcome));
+    w.member("waste", to_string(s.waste));
+    w.member("class", to_string(s.demand_class));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+void write_text(std::ostream& os, const SpanCollector& spans,
+                const RunResult& run, const ExplainOptions& opts) {
+  const SpanCollector::Totals t = spans.totals();
+  os << "prefetch provenance — " << run.fs << " " << run.algorithm
+     << ", cache "
+     << fmt_double(static_cast<double>(run.cache_per_node) / (1024.0 * 1024.0),
+                   1)
+     << " MiB/node\n";
+  os << "spans: " << t.predicted << " predicted (" << t.elided << " elided), "
+     << t.arrived << " arrived, " << t.used << " used, " << t.wasted
+     << " wasted; " << t.demand_blocks << " demand blocks\n";
+  const bool ok = t.arrived == run.prefetch_arrived &&
+                  t.used == run.prefetch_used &&
+                  t.wasted == run.prefetch_wasted;
+  os << "reconciliation: run counters arrived/used/wasted = "
+     << run.prefetch_arrived << "/" << run.prefetch_used << "/"
+     << run.prefetch_wasted << " — " << (ok ? "OK" : "MISMATCH") << "\n";
+
+  if (opts.show_latency()) {
+    const LatencyReport lat(spans);
+    os << "\nprefetch latency breakdown (ms)\n";
+    Table pf({"stage", "count", "mean", "p50", "p90", "p99", "max"});
+    for (const StagePop& p : lat.pf) p.add_row(pf);
+    pf.print(os);
+    os << "\ndemand latency breakdown (ms)\n";
+    Table dm({"class", "count", "mean", "p50", "p90", "p99", "max"});
+    for (const StagePop& p : lat.dm) p.add_row(dm);
+    dm.print(os);
+  }
+
+  if (opts.show_wasted()) {
+    const WasteReport wr(spans);
+    os << "\nwasted-prefetch attribution (" << t.wasted << " wasted of "
+       << t.arrived << " arrived)\n";
+    std::vector<std::string> header = {"origin", "predicted", "used",
+                                       "wasted"};
+    for (const WasteReason r : kReasons) header.emplace_back(to_string(r));
+    Table table(std::move(header));
+    for (std::size_t oi = 0; oi < std::size(kOrigins); ++oi) {
+      std::vector<std::string> row = {to_string(kOrigins[oi]),
+                                      std::to_string(wr.predicted[oi]),
+                                      std::to_string(wr.used[oi]),
+                                      std::to_string(wr.wasted[oi])};
+      for (std::size_t ri = 0; ri < std::size(kReasons); ++ri) {
+        row.push_back(std::to_string(wr.reason[oi][ri]));
+      }
+      table.add_row(std::move(row));
+    }
+    table.print(os);
+  }
+
+  if (opts.block) {
+    os << "\nblock " << raw(opts.block->file) << ":" << opts.block->index
+       << "\n";
+    write_block_chain_text(os, spans, *opts.block);
+  }
+}
+
+void write_json(std::ostream& os, const SpanCollector& spans,
+                const RunResult& run, const ExplainOptions& opts) {
+  const SpanCollector::Totals t = spans.totals();
+  JsonWriter w(os);
+  w.begin_object();
+  w.member("schema", "lap-explain-v1");
+  w.key("run");
+  w.begin_object();
+  w.member("fs", run.fs);
+  w.member("algorithm", run.algorithm);
+  w.member("cache_per_node_bytes", static_cast<std::uint64_t>(
+                                       run.cache_per_node));
+  w.end_object();
+  w.key("totals");
+  w.begin_object();
+  w.member("predicted", t.predicted);
+  w.member("elided", t.elided);
+  w.member("arrived", t.arrived);
+  w.member("used", t.used);
+  w.member("wasted", t.wasted);
+  w.member("demand_blocks", t.demand_blocks);
+  w.end_object();
+  w.key("reconciliation");
+  w.begin_object();
+  w.member("run_arrived", run.prefetch_arrived);
+  w.member("run_used", run.prefetch_used);
+  w.member("run_wasted", run.prefetch_wasted);
+  w.member("match", t.arrived == run.prefetch_arrived &&
+                        t.used == run.prefetch_used &&
+                        t.wasted == run.prefetch_wasted);
+  w.end_object();
+
+  if (opts.show_latency()) {
+    const LatencyReport lat(spans);
+    w.key("latency");
+    w.begin_object();
+    w.key("prefetch");
+    w.begin_array();
+    for (const StagePop& p : lat.pf) p.write_json(w, "stage");
+    w.end_array();
+    w.key("demand");
+    w.begin_array();
+    for (const StagePop& p : lat.dm) p.write_json(w, "class");
+    w.end_array();
+    w.end_object();
+  }
+
+  if (opts.show_wasted()) {
+    const WasteReport wr(spans);
+    w.key("wasted");
+    w.begin_array();
+    for (std::size_t oi = 0; oi < std::size(kOrigins); ++oi) {
+      w.begin_object();
+      w.member("origin", to_string(kOrigins[oi]));
+      w.member("predicted", wr.predicted[oi]);
+      w.member("used", wr.used[oi]);
+      w.member("wasted", wr.wasted[oi]);
+      w.key("reasons");
+      w.begin_object();
+      for (std::size_t ri = 0; ri < std::size(kReasons); ++ri) {
+        w.member(to_string(kReasons[ri]), wr.reason[oi][ri]);
+      }
+      w.end_object();
+      w.end_object();
+    }
+    w.end_array();
+  }
+
+  if (opts.block) {
+    w.key("block");
+    write_block_chain_json(w, spans, *opts.block);
+  }
+  w.end_object();
+  os << "\n";
+}
+
+}  // namespace
+
+std::optional<BlockKey> parse_block_query(const std::string& text) {
+  const std::size_t colon = text.find(':');
+  if (colon == 0 || colon == std::string::npos || colon + 1 == text.size()) {
+    return std::nullopt;
+  }
+  std::uint32_t file = 0;
+  std::uint32_t index = 0;
+  const char* const begin = text.data();
+  const char* const mid = begin + colon;
+  const char* const end = begin + text.size();
+  const auto [fp, fe] = std::from_chars(begin, mid, file);
+  if (fe != std::errc{} || fp != mid) return std::nullopt;
+  const auto [ip, ie] = std::from_chars(mid + 1, end, index);
+  if (ie != std::errc{} || ip != end) return std::nullopt;
+  return BlockKey{FileId{file}, index};
+}
+
+void write_explain(std::ostream& os, const SpanCollector& spans,
+                   const RunResult& run, const ExplainOptions& opts) {
+  if (opts.json) {
+    write_json(os, spans, run, opts);
+  } else {
+    write_text(os, spans, run, opts);
+  }
+}
+
+}  // namespace lap

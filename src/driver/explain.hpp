@@ -1,0 +1,56 @@
+// Provenance audit reports: renders a run's SpanCollector record as human
+// tables or a machine-readable document ("lap-explain-v1" schema).
+//
+// Three sections, all derived purely from integer-nanosecond span state so
+// every byte of the output is deterministic (the golden test pins a full
+// report):
+//   - latency breakdown: per-stage percentile tables for prefetch flights
+//     (disk queue/service, net wait/wire, unattributed, residence) and
+//     demand reads split by service class;
+//   - wasted attribution: which predictor issued the blocks that were never
+//     used, and why each was wasted (evicted, invalidated, superseded, ...);
+//   - block chain: the full causal story of one (file, block) — who
+//     predicted it, which access triggered the decision, where its
+//     nanoseconds went, how it settled.
+// The report header always reconciles span totals against the run's own
+// prefetch counters; a mismatch is rendered loudly (and is a bug — the
+// lap_check fuzzer asserts this equality on every scenario).
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "cache/block.hpp"
+
+namespace lap {
+
+class SpanCollector;
+struct RunResult;
+
+struct ExplainOptions {
+  bool latency = false;           // --latency-breakdown
+  bool wasted = false;            // --wasted
+  std::optional<BlockKey> block;  // --block <file>:<index>
+  bool json = false;              // --json
+
+  /// With no section selected, the report includes every aggregate section
+  /// (latency + wasted); --block is always opt-in.
+  [[nodiscard]] bool show_latency() const {
+    return latency || (!wasted && !block.has_value());
+  }
+  [[nodiscard]] bool show_wasted() const {
+    return wasted || (!latency && !block.has_value());
+  }
+};
+
+/// Parse a "<file>:<index>" block query (both parts decimal, e.g. "3:17").
+/// nullopt on malformed input.
+[[nodiscard]] std::optional<BlockKey> parse_block_query(
+    const std::string& text);
+
+/// Render the audit report for one finished run.
+void write_explain(std::ostream& os, const SpanCollector& spans,
+                   const RunResult& run, const ExplainOptions& opts);
+
+}  // namespace lap

@@ -15,6 +15,7 @@
 #include "fs/xfs/xfs.hpp"
 #include "net/network.hpp"
 #include "obs/counters.hpp"
+#include "obs/span.hpp"
 #include "obs/trace_event.hpp"
 #include "sim/engine.hpp"
 #include "util/assert.hpp"
@@ -99,6 +100,9 @@ RunResult run_simulation(TraceSource& source, const RunConfig& cfg) {
     disks.set_trace(cfg.trace);
     fs->set_trace(cfg.trace);
   }
+  // Provenance spans ride the same engine-held pointer as the trace sink:
+  // one branch per hook when detached, strictly passive when attached.
+  eng.set_span_collector(cfg.spans);
 
   if (cfg.counters != nullptr) {
     CounterRegistry& reg = *cfg.counters;
@@ -174,6 +178,18 @@ RunResult run_simulation(TraceSource& source, const RunConfig& cfg) {
     });
     reg.probe("prefetch.retargets", [fsp = fs.get()] {
       return static_cast<double>(fsp->prefetch_counters_total().retargets);
+    });
+    // Whole-run prefetch settlement totals: the ground truth the span
+    // collector's own totals must reconcile with exactly (lap_check fuzzes
+    // that equality on every scenario).
+    reg.probe("prefetch.arrived", [&metrics] {
+      return static_cast<double>(metrics.prefetch_arrived());
+    });
+    reg.probe("prefetch.used", [&metrics] {
+      return static_cast<double>(metrics.prefetch_used());
+    });
+    reg.probe("prefetch.wasted", [&metrics] {
+      return static_cast<double>(metrics.prefetch_wasted());
     });
     if (cfg.trace != nullptr) {
       start_counter_sampling(eng, reg, *cfg.trace,
@@ -253,6 +269,13 @@ RunResult run_simulation(TraceSource& source, const RunConfig& cfg) {
   r.wall_seconds = std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - wall_start)
                        .count();
+  if (cfg.spans != nullptr) {
+    // finalize() has settled every resident prefetched-unused buffer, so the
+    // collector is complete: publish totals + stage histograms and render
+    // the async span tracks (timestamps are historical; viewers sort by ts).
+    if (cfg.counters != nullptr) cfg.spans->publish(*cfg.counters);
+    if (cfg.trace != nullptr) cfg.spans->emit_async(*cfg.trace);
+  }
   if (cfg.counters != nullptr) cfg.counters->freeze_probes();
   return r;
 }

@@ -16,6 +16,7 @@
 namespace lap {
 
 class CounterRegistry;
+class SpanCollector;
 class TraceSink;
 
 enum class FsKind { kPafs, kXfs };
@@ -52,6 +53,12 @@ struct RunConfig {
   TraceSink* trace = nullptr;
   CounterRegistry* counters = nullptr;
   SimTime counter_sample_interval = SimTime::ms(50);
+  // Prefetch-lifecycle provenance (optional, not owned).  When set, every
+  // prefetched and demand-read block records a causal span (predictor,
+  // trigger, per-stage latencies, settlement).  The collector is strictly
+  // passive — attaching it never perturbs simulated state — and its totals
+  // are published into `counters` / rendered into `trace` at end of run.
+  SpanCollector* spans = nullptr;
 };
 
 struct RunResult {

@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/span.hpp"
 #include "util/assert.hpp"
 
 namespace lap {
@@ -128,12 +129,16 @@ SimTask Pafs::read_task(ProcId pid, NodeId client, FileId file, Bytes offset,
 
 SimTask Pafs::read_block(BlockKey key, NodeId client,
                          std::shared_ptr<Joiner> joiner) {
+  SpanCollector* const sp = eng_->span_collector();
+  const SpanRef dspan =
+      sp != nullptr ? sp->demand_started(client, key, eng_->now()) : 0;
   bool classified = false;
   for (;;) {
     if (CacheEntry* e = pool_.find(key)) {
       pool_.touch(key);
       if (e->prefetched && !e->referenced) {
         metrics_->on_prefetch_first_use();
+        if (sp != nullptr) sp->settle_used(e->span, eng_->now());
         if (trace_ != nullptr) {
           trace_->instant("prefetch", "prefetch.used", tracks::file(key.file),
                           eng_->now(), {{"block", key.index}});
@@ -143,15 +148,27 @@ SimTask Pafs::read_block(BlockKey key, NodeId client,
       if (!classified) {
         if (e->home == client) {
           metrics_->on_hit_local();
+          if (sp != nullptr) {
+            sp->demand_classified(dspan, DemandClass::kHitLocal, eng_->now());
+          }
         } else {
           metrics_->on_hit_remote();
+          if (sp != nullptr) {
+            sp->demand_classified(dspan, DemandClass::kHitRemote, eng_->now());
+          }
         }
       }
-      co_await net_->copy(e->home, client, files_->block_size(), prio::kDemand);
+      co_await net_->copy(e->home, client, files_->block_size(), prio::kDemand,
+                          dspan);
       break;
     }
     if (auto it = in_flight_.find(key); it != in_flight_.end()) {
-      if (!classified) metrics_->on_hit_inflight();
+      if (!classified) {
+        metrics_->on_hit_inflight();
+        if (sp != nullptr) {
+          sp->demand_classified(dspan, DemandClass::kHitInflight, eng_->now());
+        }
+      }
       classified = true;
       // A demand request never waits at prefetch priority: raise the
       // queued fetch to demand service.
@@ -161,21 +178,28 @@ SimTask Pafs::read_block(BlockKey key, NodeId client,
       continue;  // usually cached now; re-resolve
     }
     // Miss: demand-fetch from disk into a buffer homed at the client.
-    if (!classified) metrics_->on_miss();
+    if (!classified) {
+      metrics_->on_miss();
+      if (sp != nullptr) {
+        sp->demand_classified(dspan, DemandClass::kMiss, eng_->now());
+      }
+    }
     classified = true;
     if (!files_->exists(key.file)) break;  // deleted under us
     auto bc = std::make_shared<Broadcast>(*eng_);
     DiskOpRef op;
-    auto fetch = disks_->read(key, prio::kDemand, &op);
+    auto fetch = disks_->read(key, prio::kDemand, &op, dspan);
     in_flight_.emplace(key, InFlight{bc, op});
     metrics_->on_disk_read(/*prefetch=*/false);
     co_await fetch;
     in_flight_.erase(key);
     insert_block(key, client, /*dirty=*/false, /*prefetched=*/false);
     bc->notify_all();
-    co_await net_->copy(client, client, files_->block_size(), prio::kDemand);
+    co_await net_->copy(client, client, files_->block_size(), prio::kDemand,
+                        dspan);
     break;
   }
+  if (sp != nullptr) sp->demand_done(dspan, eng_->now());
   joiner->arrive();
 }
 
@@ -215,6 +239,9 @@ SimTask Pafs::write_task(ProcId pid, NodeId client, FileId file, Bytes offset,
         // overwrite would otherwise have needed for the partial block; count
         // the first use so arrived == used + wasted keeps reconciling.
         metrics_->on_prefetch_first_use();
+        if (SpanCollector* sp = eng_->span_collector(); sp != nullptr) {
+          sp->settle_used(e->span, eng_->now());
+        }
         if (trace_ != nullptr) {
           trace_->instant("prefetch", "prefetch.used", tracks::file(key.file),
                           eng_->now(), {{"block", key.index}});
@@ -258,6 +285,9 @@ SimTask Pafs::remove_task(NodeId client, FileId file, SimPromise<Done> done) {
   for (const CacheEntry& e : pool_.drop_file(file)) {
     if (e.prefetched && !e.referenced) {
       metrics_->on_prefetch_wasted();
+      if (SpanCollector* sp = eng_->span_collector(); sp != nullptr) {
+        sp->settle_wasted(e.span, WasteReason::kDeleted, eng_->now());
+      }
       if (trace_ != nullptr) trace_wasted(e);
     }
   }
@@ -273,7 +303,9 @@ SimFuture<Done> Pafs::prefetch_fetch(BlockKey key, NodeId target) {
 }
 
 SimTask Pafs::prefetch_task(BlockKey key, NodeId target, SimPromise<Done> done) {
+  SpanCollector* const sp = eng_->span_collector();
   if (block_available(key) || !files_->exists(key.file)) {
+    if (sp != nullptr) sp->prefetch_elided(/*site=*/0, key, eng_->now());
     if (trace_ != nullptr) {
       trace_->instant("prefetch", "prefetch.elided", tracks::file(key.file),
                       eng_->now(), {{"site", 0}, {"block", key.index}});
@@ -284,24 +316,33 @@ SimTask Pafs::prefetch_task(BlockKey key, NodeId target, SimPromise<Done> done) 
   const SimTime t0 = eng_->now();
   auto bc = std::make_shared<Broadcast>(*eng_);
   DiskOpRef op;
-  auto fetch = disks_->read(key, cfg_.prefetch_priority, &op);
+  auto fetch = disks_->read(key, cfg_.prefetch_priority, &op,
+                            sp != nullptr ? sp->open_ref(/*site=*/0, key) : 0);
   in_flight_.emplace(key, InFlight{bc, op});
   metrics_->on_disk_read(/*prefetch=*/true);
   co_await fetch;
   in_flight_.erase(key);
   metrics_->on_prefetch_arrived();
+  const SpanRef span =
+      sp != nullptr
+          ? sp->prefetch_arrived(/*site=*/0, key, /*via_peer=*/false,
+                                 eng_->now())
+          : 0;
   if (!files_->exists(key.file) || pool_.contains(key)) {
     // The file vanished mid-fetch, or a write landed its own buffer while
     // the disk was busy: the fetched data has nowhere useful to go.  Settle
     // the arrival as wasted right here so the prefetch accounting still
     // reconciles (arrived == used + wasted at end of run).
     metrics_->on_prefetch_wasted();
+    if (sp != nullptr) {
+      sp->settle_wasted(span, WasteReason::kSuperseded, eng_->now());
+    }
     if (trace_ != nullptr) {
       trace_->instant("prefetch", "prefetch.wasted", tracks::file(key.file),
                       eng_->now(), {{"block", key.index}});
     }
   } else {
-    insert_block(key, target, /*dirty=*/false, /*prefetched=*/true);
+    insert_block(key, target, /*dirty=*/false, /*prefetched=*/true, span);
   }
   if (trace_ != nullptr) {
     trace_->complete("prefetch", "prefetch.fetch", tracks::file(key.file), t0,
@@ -311,7 +352,8 @@ SimTask Pafs::prefetch_task(BlockKey key, NodeId target, SimPromise<Done> done) 
   done.set_value(Done{});
 }
 
-void Pafs::insert_block(BlockKey key, NodeId home, bool dirty, bool prefetched) {
+void Pafs::insert_block(BlockKey key, NodeId home, bool dirty, bool prefetched,
+                        std::uint64_t span) {
   if (!files_->exists(key.file)) return;  // deleted while in flight
   CacheEntry entry;
   entry.key = key;
@@ -320,12 +362,16 @@ void Pafs::insert_block(BlockKey key, NodeId home, bool dirty, bool prefetched) 
   entry.prefetched = prefetched;
   entry.referenced = false;
   entry.dirty_since = eng_->now();
+  entry.span = span;
   if (auto victim = pool_.insert(entry)) handle_eviction(*victim);
 }
 
 void Pafs::handle_eviction(const CacheEntry& victim) {
   if (victim.prefetched && !victim.referenced) {
     metrics_->on_prefetch_wasted();
+    if (SpanCollector* sp = eng_->span_collector(); sp != nullptr) {
+      sp->settle_wasted(victim.span, WasteReason::kEvicted, eng_->now());
+    }
     if (trace_ != nullptr) trace_wasted(victim);
   }
   if (victim.dirty) {
@@ -351,9 +397,13 @@ void Pafs::flush_tick() {
 }
 
 void Pafs::finalize() {
+  SpanCollector* const sp = eng_->span_collector();
   pool_.for_each([&](const CacheEntry& e) {
     if (e.prefetched && !e.referenced) {
       metrics_->on_prefetch_wasted();
+      if (sp != nullptr) {
+        sp->settle_wasted(e.span, WasteReason::kShutdown, eng_->now());
+      }
       if (trace_ != nullptr) trace_wasted(e);
     }
     // Shutdown flush: dirty buffers that survived to the end of the run

@@ -84,7 +84,8 @@ class Pafs final : public FileSystem, public PrefetchHost {
                      std::shared_ptr<Joiner> joiner);
   SimTask prefetch_task(BlockKey key, NodeId target, SimPromise<Done> done);
 
-  void insert_block(BlockKey key, NodeId home, bool dirty, bool prefetched);
+  void insert_block(BlockKey key, NodeId home, bool dirty, bool prefetched,
+                    std::uint64_t span = 0);
   void handle_eviction(const CacheEntry& victim);
   void flush_tick();
   void trace_wasted(const CacheEntry& e);

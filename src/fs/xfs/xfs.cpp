@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/span.hpp"
 #include "util/assert.hpp"
 
 namespace lap {
@@ -189,24 +190,39 @@ SimTask Xfs::read_task(ProcId pid, NodeId client, FileId file, Bytes offset,
 SimTask Xfs::read_block(NodeId client, BlockKey key,
                         std::shared_ptr<Joiner> joiner) {
   NodeState& ns = node_[raw(client)];
+  SpanCollector* const sp = eng_->span_collector();
+  const SpanRef dspan =
+      sp != nullptr ? sp->demand_started(client, key, eng_->now()) : 0;
   bool classified = false;
   for (;;) {
     if (CacheEntry* e = ns.pool->find(key)) {
       ns.pool->touch(key);
       if (e->prefetched && !e->referenced) {
         metrics_->on_prefetch_first_use();
+        if (sp != nullptr) sp->settle_used(e->span, eng_->now());
         if (trace_ != nullptr) {
           trace_->instant("prefetch", "prefetch.used", tracks::file(key.file),
                           eng_->now(), {{"block", key.index}});
         }
       }
       e->referenced = true;
-      if (!classified) metrics_->on_hit_local();
-      co_await net_->copy(client, client, files_->block_size(), prio::kDemand);
+      if (!classified) {
+        metrics_->on_hit_local();
+        if (sp != nullptr) {
+          sp->demand_classified(dspan, DemandClass::kHitLocal, eng_->now());
+        }
+      }
+      co_await net_->copy(client, client, files_->block_size(), prio::kDemand,
+                          dspan);
       break;
     }
     if (auto it = ns.in_flight.find(key); it != ns.in_flight.end()) {
-      if (!classified) metrics_->on_hit_inflight();
+      if (!classified) {
+        metrics_->on_hit_inflight();
+        if (sp != nullptr) {
+          sp->demand_classified(dspan, DemandClass::kHitInflight, eng_->now());
+        }
+      }
       classified = true;
       // Never wait at prefetch priority for a demanded block.
       it->second.op.boost(prio::kDemand);
@@ -241,16 +257,27 @@ SimTask Xfs::read_block(NodeId client, BlockKey key,
     }
 
     if (have_peer) {
-      if (!classified) metrics_->on_hit_remote();
+      if (!classified) {
+        metrics_->on_hit_remote();
+        if (sp != nullptr) {
+          sp->demand_classified(dspan, DemandClass::kHitRemote, eng_->now());
+        }
+      }
       classified = true;
       co_await net_->message(mgr, peer);
-      co_await net_->copy(peer, client, files_->block_size(), prio::kDemand);
+      co_await net_->copy(peer, client, files_->block_size(), prio::kDemand,
+                          dspan);
     } else {
-      if (!classified) metrics_->on_miss();
+      if (!classified) {
+        metrics_->on_miss();
+        if (sp != nullptr) {
+          sp->demand_classified(dspan, DemandClass::kMiss, eng_->now());
+        }
+      }
       classified = true;
       metrics_->on_disk_read(/*prefetch=*/false);
       DiskOpRef op;
-      auto fetch = disks_->read(key, prio::kDemand, &op);
+      auto fetch = disks_->read(key, prio::kDemand, &op, dspan);
       if (auto fit = ns.in_flight.find(key); fit != ns.in_flight.end()) {
         fit->second.op = op;
       }
@@ -267,9 +294,11 @@ SimTask Xfs::read_block(NodeId client, BlockKey key,
     }
     ns.in_flight.erase(key);
     bc->notify_all();
-    co_await net_->copy(client, client, files_->block_size(), prio::kDemand);
+    co_await net_->copy(client, client, files_->block_size(), prio::kDemand,
+                        dspan);
     break;
   }
+  if (sp != nullptr) sp->demand_done(dspan, eng_->now());
   joiner->arrive();
 }
 
@@ -302,6 +331,9 @@ SimTask Xfs::write_task(ProcId pid, NodeId client, FileId file, Bytes offset,
         // First demand use via a write still counts: the prefetched buffer
         // absorbed the write-allocate, so the arrival settles as used.
         metrics_->on_prefetch_first_use();
+        if (SpanCollector* sp = eng_->span_collector(); sp != nullptr) {
+          sp->settle_used(e->span, eng_->now());
+        }
         if (trace_ != nullptr) {
           trace_->instant("prefetch", "prefetch.used", tracks::file(key.file),
                           eng_->now(), {{"block", key.index}});
@@ -327,6 +359,10 @@ SimTask Xfs::write_task(ProcId pid, NodeId client, FileId file, Bytes offset,
         if (auto victim = node_[raw(other)].pool->erase(key)) {
           if (victim->prefetched && !victim->referenced) {
             metrics_->on_prefetch_wasted();
+            if (SpanCollector* sp = eng_->span_collector(); sp != nullptr) {
+              sp->settle_wasted(victim->span, WasteReason::kInvalidated,
+                                eng_->now());
+            }
             if (trace_ != nullptr) trace_wasted(*victim);
           }
           // An invalidated dirty replica cannot exist under single-writer
@@ -378,6 +414,9 @@ SimTask Xfs::remove_task(NodeId client, FileId file, SimPromise<Done> done) {
     for (const CacheEntry& e : ns.pool->drop_file(file)) {
       if (e.prefetched && !e.referenced) {
         metrics_->on_prefetch_wasted();
+        if (SpanCollector* sp = eng_->span_collector(); sp != nullptr) {
+          sp->settle_wasted(e.span, WasteReason::kDeleted, eng_->now());
+        }
         if (trace_ != nullptr) trace_wasted(e);
       }
     }
@@ -395,7 +434,10 @@ SimFuture<Done> Xfs::prefetch_fetch(NodeId node, BlockKey key) {
 }
 
 SimTask Xfs::prefetch_task(NodeId node, BlockKey key, SimPromise<Done> done) {
+  SpanCollector* const sp = eng_->span_collector();
+  const std::uint32_t site = raw(node) + 1;
   if (local_available(node, key) || !files_->exists(key.file)) {
+    if (sp != nullptr) sp->prefetch_elided(site, key, eng_->now());
     if (trace_ != nullptr) {
       trace_->instant("prefetch", "prefetch.elided", tracks::file(key.file),
                       eng_->now(),
@@ -432,11 +474,13 @@ SimTask Xfs::prefetch_task(NodeId node, BlockKey key, SimPromise<Done> done) {
   }
   if (have_peer) {
     co_await net_->message(mgr, peer);
-    co_await net_->copy(peer, node, files_->block_size(), prio::kPrefetch);
+    co_await net_->copy(peer, node, files_->block_size(), prio::kPrefetch,
+                        sp != nullptr ? sp->open_ref(site, key) : 0);
   } else {
     metrics_->on_disk_read(/*prefetch=*/true);
     DiskOpRef op;
-    auto fetch = disks_->read(key, cfg_.prefetch_priority, &op);
+    auto fetch = disks_->read(key, cfg_.prefetch_priority, &op,
+                              sp != nullptr ? sp->open_ref(site, key) : 0);
     if (auto fit = ns.in_flight.find(key); fit != ns.in_flight.end()) {
       fit->second.op = op;
     }
@@ -444,12 +488,18 @@ SimTask Xfs::prefetch_task(NodeId node, BlockKey key, SimPromise<Done> done) {
   }
   ns.in_flight.erase(key);
   metrics_->on_prefetch_arrived();
+  const SpanRef span =
+      sp != nullptr ? sp->prefetch_arrived(site, key, have_peer, eng_->now())
+                    : 0;
   if (!files_->exists(key.file) || ns.pool->contains(key)) {
     // The file vanished mid-fetch, or a local write (or forwarded copy)
     // claimed the buffer while we waited: settle this arrival as wasted so
     // arrived == used + wasted still reconciles, and skip dir_add — a
     // directory entry for a buffer we never inserted would go stale.
     metrics_->on_prefetch_wasted();
+    if (sp != nullptr) {
+      sp->settle_wasted(span, WasteReason::kSuperseded, eng_->now());
+    }
     if (trace_ != nullptr) {
       trace_->instant("prefetch", "prefetch.wasted", tracks::file(key.file),
                       eng_->now(), {{"block", key.index}});
@@ -460,6 +510,7 @@ SimTask Xfs::prefetch_task(NodeId node, BlockKey key, SimPromise<Done> done) {
     entry.home = node;
     entry.prefetched = true;
     entry.dirty_since = eng_->now();
+    entry.span = span;
     insert_at(node, entry);
     dir_add(key, node);
   }
@@ -485,6 +536,10 @@ SimTask Xfs::forward_task(NodeId from, NodeId to, CacheEntry victim) {
     // used + wasted reconciliation, so the redundant copy settles here.
     if (victim.prefetched && !victim.referenced) {
       metrics_->on_prefetch_wasted();
+      if (SpanCollector* sp = eng_->span_collector(); sp != nullptr) {
+        sp->settle_wasted(victim.span, WasteReason::kForwardDropped,
+                          eng_->now());
+      }
       if (trace_ != nullptr) trace_wasted(victim);
     }
     co_return;
@@ -507,6 +562,9 @@ void Xfs::handle_eviction(NodeId node, const CacheEntry& victim) {
   if (victim.dirty) {
     if (victim.prefetched && !victim.referenced) {
       metrics_->on_prefetch_wasted();
+      if (SpanCollector* sp = eng_->span_collector(); sp != nullptr) {
+        sp->settle_wasted(victim.span, WasteReason::kEvicted, eng_->now());
+      }
       if (trace_ != nullptr) trace_wasted(victim);
     }
     metrics_->on_disk_write(victim.key);
@@ -536,6 +594,9 @@ void Xfs::handle_eviction(NodeId node, const CacheEntry& victim) {
   }
   if (victim.prefetched && !victim.referenced) {
     metrics_->on_prefetch_wasted();
+    if (SpanCollector* sp = eng_->span_collector(); sp != nullptr) {
+      sp->settle_wasted(victim.span, WasteReason::kEvicted, eng_->now());
+    }
     if (trace_ != nullptr) trace_wasted(victim);
   }
 }
@@ -593,10 +654,14 @@ bool Xfs::directory_consistent() const {
 }
 
 void Xfs::finalize() {
+  SpanCollector* const sp = eng_->span_collector();
   for (const NodeState& ns : node_) {
     ns.pool->for_each([&](const CacheEntry& e) {
       if (e.prefetched && !e.referenced) {
         metrics_->on_prefetch_wasted();
+        if (sp != nullptr) {
+          sp->settle_wasted(e.span, WasteReason::kShutdown, eng_->now());
+        }
         if (trace_ != nullptr) trace_wasted(e);
       }
       if (e.dirty) metrics_->on_disk_write(e.key);

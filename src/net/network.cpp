@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "obs/span.hpp"
 #include "obs/trace_event.hpp"
 
 namespace lap {
@@ -43,15 +44,21 @@ SimFuture<Done> Network::message(NodeId src, NodeId dst) {
   return done.future();
 }
 
-SimFuture<Done> Network::copy(NodeId src, NodeId dst, Bytes n, int priority) {
+SimFuture<Done> Network::copy(NodeId src, NodeId dst, Bytes n, int priority,
+                              std::uint64_t span) {
   ++stats_.transfers;
   stats_.bytes_moved += n;
   SimPromise<Done> done(*eng_);
   const SimTime duration = copy_latency(src, dst, n);
   const bool remote = src != dst;
   if (cfg_.model_contention && remote) {
-    run_transfer(src, dst, n, duration, priority, done);
+    run_transfer(src, dst, n, duration, priority, span, done);
   } else {
+    if (span != 0) {
+      if (SpanCollector* sp = eng_->span_collector(); sp != nullptr) {
+        sp->net_transferred(span, SimTime::zero(), duration);
+      }
+    }
     if (trace_ != nullptr) {
       trace_->complete("net", "net.copy", tracks::node_net(src), eng_->now(),
                        duration,
@@ -64,11 +71,17 @@ SimFuture<Done> Network::copy(NodeId src, NodeId dst, Bytes n, int priority) {
 
 SimTask Network::run_transfer(NodeId src, NodeId dst, Bytes bytes,
                               SimTime duration, int priority,
-                              SimPromise<Done> done) {
+                              std::uint64_t span, SimPromise<Done> done) {
+  const SimTime enqueued = eng_->now();
   Resource& nic = *nics_[raw(src)];
   auto guard = co_await nic.scoped(priority);
   // The span starts when the NIC is acquired, so queueing delay under
   // contention is visible as the gap from the enclosing operation.
+  if (span != 0) {
+    if (SpanCollector* sp = eng_->span_collector(); sp != nullptr) {
+      sp->net_transferred(span, eng_->now() - enqueued, duration);
+    }
+  }
   if (trace_ != nullptr) {
     trace_->complete("net", "net.copy", tracks::node_net(src), eng_->now(),
                      duration,

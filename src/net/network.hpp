@@ -53,9 +53,12 @@ class Network {
   /// queueing when contention is enabled).
   [[nodiscard]] SimFuture<Done> message(NodeId src, NodeId dst);
 
-  /// Move `n` payload bytes from src's memory to dst's memory.
+  /// Move `n` payload bytes from src's memory to dst's memory.  `span`
+  /// tags the transfer with a provenance span ref (obs/span.hpp, 0 = none):
+  /// NIC wait and wire time are attributed to it as one hop.
   [[nodiscard]] SimFuture<Done> copy(NodeId src, NodeId dst, Bytes n,
-                                     int priority = prio::kDemand);
+                                     int priority = prio::kDemand,
+                                     std::uint64_t span = 0);
 
   /// Attach the trace sink: every message/copy service window becomes a
   /// span on the sending node's network track.
@@ -66,7 +69,8 @@ class Network {
 
  private:
   SimTask run_transfer(NodeId src, NodeId dst, Bytes bytes, SimTime duration,
-                       int priority, SimPromise<Done> done);
+                       int priority, std::uint64_t span,
+                       SimPromise<Done> done);
 
   Engine* eng_;
   NetConfig cfg_;

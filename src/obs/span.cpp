@@ -1,0 +1,328 @@
+#include "obs/span.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+#include <string>
+
+#include "obs/counters.hpp"
+#include "obs/trace_event.hpp"
+
+namespace lap {
+namespace {
+
+[[nodiscard]] double to_ms(SimTime t) {
+  return static_cast<double>(t.nanos()) / 1e6;
+}
+
+constexpr PrefetchOrigin kOrigins[] = {
+    PrefetchOrigin::kGraph, PrefetchOrigin::kFallback,
+    PrefetchOrigin::kSequential, PrefetchOrigin::kHint,
+    PrefetchOrigin::kWholeFile};
+
+}  // namespace
+
+const char* to_string(PrefetchOrigin o) {
+  switch (o) {
+    case PrefetchOrigin::kGraph: return "graph";
+    case PrefetchOrigin::kFallback: return "fallback";
+    case PrefetchOrigin::kSequential: return "sequential";
+    case PrefetchOrigin::kHint: return "hint";
+    case PrefetchOrigin::kWholeFile: return "whole_file";
+  }
+  return "?";
+}
+
+const char* to_string(SpanOutcome o) {
+  switch (o) {
+    case SpanOutcome::kOpen: return "open";
+    case SpanOutcome::kUsed: return "used";
+    case SpanOutcome::kWasted: return "wasted";
+    case SpanOutcome::kElided: return "elided";
+    case SpanOutcome::kDemand: return "demand";
+  }
+  return "?";
+}
+
+const char* to_string(WasteReason r) {
+  switch (r) {
+    case WasteReason::kNone: return "none";
+    case WasteReason::kEvicted: return "evicted";
+    case WasteReason::kInvalidated: return "invalidated";
+    case WasteReason::kDeleted: return "deleted";
+    case WasteReason::kSuperseded: return "superseded";
+    case WasteReason::kForwardDropped: return "forward_dropped";
+    case WasteReason::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+const char* to_string(DemandClass c) {
+  switch (c) {
+    case DemandClass::kUnclassified: return "unclassified";
+    case DemandClass::kHitLocal: return "hit_local";
+    case DemandClass::kHitRemote: return "hit_remote";
+    case DemandClass::kHitInflight: return "hit_inflight";
+    case DemandClass::kMiss: return "miss";
+  }
+  return "?";
+}
+
+SpanRef SpanCollector::prefetch_predicted(std::uint32_t site, BlockKey key,
+                                          PrefetchOrigin origin, bool fallback,
+                                          std::uint32_t trigger_pid,
+                                          std::int64_t trigger_block,
+                                          NodeId target, SimTime now) {
+  BlockSpan s;
+  s.key = key;
+  s.site = site;
+  s.origin = origin;
+  s.fallback = fallback;
+  s.trigger_pid = trigger_pid;
+  s.trigger_block = trigger_block;
+  s.target = target;
+  s.predicted = now;
+  spans_.push_back(s);
+  const SpanRef ref = spans_.size();
+  open_[OpenKey{site, key}] = ref;
+  return ref;
+}
+
+void SpanCollector::prefetch_elided(std::uint32_t site, BlockKey key,
+                                    SimTime now) {
+  const auto it = open_.find(OpenKey{site, key});
+  if (it == open_.end()) return;
+  BlockSpan* s = live(it->second);
+  open_.erase(OpenKey{site, key});
+  if (s == nullptr || s->outcome != SpanOutcome::kOpen) return;
+  s->outcome = SpanOutcome::kElided;
+  s->settled = now;
+}
+
+SpanRef SpanCollector::prefetch_arrived(std::uint32_t site, BlockKey key,
+                                        bool via_peer, SimTime now) {
+  const auto it = open_.find(OpenKey{site, key});
+  if (it == open_.end()) return 0;
+  const SpanRef ref = it->second;
+  open_.erase(OpenKey{site, key});
+  BlockSpan* s = live(ref);
+  if (s == nullptr) return 0;
+  s->arrived = now;
+  s->via_peer = via_peer;
+  return ref;
+}
+
+SpanRef SpanCollector::open_ref(std::uint32_t site, BlockKey key) const {
+  const auto it = open_.find(OpenKey{site, key});
+  return it == open_.end() ? 0 : it->second;
+}
+
+void SpanCollector::settle_used(SpanRef ref, SimTime now) {
+  BlockSpan* s = live(ref);
+  if (s == nullptr || s->outcome != SpanOutcome::kOpen) return;
+  s->outcome = SpanOutcome::kUsed;
+  s->settled = now;
+}
+
+void SpanCollector::settle_wasted(SpanRef ref, WasteReason reason,
+                                  SimTime now) {
+  BlockSpan* s = live(ref);
+  if (s == nullptr || s->outcome != SpanOutcome::kOpen) return;
+  s->outcome = SpanOutcome::kWasted;
+  s->waste = reason;
+  s->settled = now;
+}
+
+SpanRef SpanCollector::demand_started(NodeId client, BlockKey key,
+                                      SimTime now) {
+  BlockSpan s;
+  s.key = key;
+  s.site = raw(client) + 1;
+  s.demand = true;
+  s.target = client;
+  s.predicted = now;
+  spans_.push_back(s);
+  return spans_.size();
+}
+
+void SpanCollector::demand_classified(SpanRef ref, DemandClass c, SimTime now) {
+  BlockSpan* s = live(ref);
+  if (s == nullptr || s->demand_class != DemandClass::kUnclassified) return;
+  s->demand_class = c;
+  s->arrived = now;
+}
+
+void SpanCollector::demand_done(SpanRef ref, SimTime now) {
+  BlockSpan* s = live(ref);
+  if (s == nullptr || s->outcome != SpanOutcome::kOpen) return;
+  if (s->arrived == SimTime::zero()) s->arrived = now;
+  s->outcome = SpanOutcome::kDemand;
+  s->settled = now;
+}
+
+void SpanCollector::disk_serviced(SpanRef ref, SimTime queue_wait,
+                                  SimTime service) {
+  BlockSpan* s = live(ref);
+  if (s == nullptr) return;
+  s->disk_wait += queue_wait;
+  s->disk_service += service;
+}
+
+void SpanCollector::net_transferred(SpanRef ref, SimTime wait,
+                                    SimTime duration) {
+  BlockSpan* s = live(ref);
+  if (s == nullptr) return;
+  s->net_wait += wait;
+  s->net_time += duration;
+  ++s->net_hops;
+}
+
+SpanCollector::Totals SpanCollector::totals() const {
+  Totals t;
+  for (const BlockSpan& s : spans_) {
+    if (s.demand) {
+      ++t.demand_blocks;
+      continue;
+    }
+    ++t.predicted;
+    switch (s.outcome) {
+      case SpanOutcome::kElided:
+        ++t.elided;
+        break;
+      case SpanOutcome::kUsed:
+        ++t.arrived;
+        ++t.used;
+        break;
+      case SpanOutcome::kWasted:
+        ++t.arrived;
+        ++t.wasted;
+        break;
+      case SpanOutcome::kOpen:
+        if (s.arrived != SimTime::zero()) ++t.arrived;
+        break;
+      case SpanOutcome::kDemand:
+        break;  // unreachable: demand spans are filtered above
+    }
+  }
+  return t;
+}
+
+void SpanCollector::publish(CounterRegistry& reg) const {
+  // The instrument set and registration order are fixed regardless of what
+  // this run observed, so metrics-JSON export order is deterministic.
+  const Totals t = totals();
+  reg.counter("span.prefetch.predicted").add(t.predicted);
+  reg.counter("span.prefetch.elided").add(t.elided);
+  reg.counter("span.prefetch.arrived").add(t.arrived);
+  reg.counter("span.prefetch.used").add(t.used);
+  reg.counter("span.prefetch.wasted").add(t.wasted);
+  reg.counter("span.demand.blocks").add(t.demand_blocks);
+
+  Counter* origin_counters[std::size(kOrigins)][3] = {};
+  for (std::size_t i = 0; i < std::size(kOrigins); ++i) {
+    const std::string base = std::string("span.origin.") +
+                             to_string(kOrigins[i]);
+    origin_counters[i][0] = &reg.counter(base + ".predicted");
+    origin_counters[i][1] = &reg.counter(base + ".used");
+    origin_counters[i][2] = &reg.counter(base + ".wasted");
+  }
+  Counter* waste_counters[] = {
+      &reg.counter("span.wasted.evicted"),
+      &reg.counter("span.wasted.invalidated"),
+      &reg.counter("span.wasted.deleted"),
+      &reg.counter("span.wasted.superseded"),
+      &reg.counter("span.wasted.forward_dropped"),
+      &reg.counter("span.wasted.shutdown"),
+  };
+  Counter* demand_counters[] = {
+      &reg.counter("span.demand.hit_local"),
+      &reg.counter("span.demand.hit_remote"),
+      &reg.counter("span.demand.hit_inflight"),
+      &reg.counter("span.demand.miss"),
+  };
+
+  HistogramStat& h_inflight = reg.histogram("span.prefetch.inflight_ms");
+  HistogramStat& h_queue = reg.histogram("span.prefetch.queue_ms");
+  HistogramStat& h_disk = reg.histogram("span.prefetch.disk_ms");
+  HistogramStat& h_net_wait = reg.histogram("span.prefetch.net_wait_ms");
+  HistogramStat& h_net = reg.histogram("span.prefetch.net_ms");
+  HistogramStat& h_other = reg.histogram("span.prefetch.other_ms");
+  HistogramStat& h_residence = reg.histogram("span.prefetch.residence_ms");
+  HistogramStat& h_d_total = reg.histogram("span.demand.total_ms");
+  HistogramStat& h_d_queue = reg.histogram("span.demand.queue_ms");
+  HistogramStat& h_d_disk = reg.histogram("span.demand.disk_ms");
+  HistogramStat& h_d_net = reg.histogram("span.demand.net_ms");
+
+  for (const BlockSpan& s : spans_) {
+    if (s.demand) {
+      if (s.outcome == SpanOutcome::kOpen) continue;
+      h_d_total.add(to_ms(s.settled - s.predicted));
+      if (s.disk_service > SimTime::zero()) {
+        h_d_queue.add(to_ms(s.disk_wait));
+        h_d_disk.add(to_ms(s.disk_service));
+      }
+      if (s.net_hops > 0) h_d_net.add(to_ms(s.net_time));
+      if (s.demand_class != DemandClass::kUnclassified) {
+        demand_counters[static_cast<std::size_t>(s.demand_class) - 1]->add();
+      }
+      continue;
+    }
+
+    const auto oi = static_cast<std::size_t>(s.origin);
+    origin_counters[oi][0]->add();
+    if (s.outcome == SpanOutcome::kUsed) origin_counters[oi][1]->add();
+    if (s.outcome == SpanOutcome::kWasted) {
+      origin_counters[oi][2]->add();
+      if (s.waste != WasteReason::kNone) {
+        waste_counters[static_cast<std::size_t>(s.waste) - 1]->add();
+      }
+    }
+
+    if (s.outcome != SpanOutcome::kUsed && s.outcome != SpanOutcome::kWasted) {
+      continue;  // elided / still open: no flight to attribute
+    }
+    h_inflight.add(to_ms(s.in_flight()));
+    if (s.disk_service > SimTime::zero()) {
+      h_queue.add(to_ms(s.disk_wait));
+      h_disk.add(to_ms(s.disk_service));
+    }
+    if (s.net_hops > 0) {
+      h_net_wait.add(to_ms(s.net_wait));
+      h_net.add(to_ms(s.net_time));
+    }
+    h_other.add(to_ms(s.other()));
+    h_residence.add(to_ms(s.residence()));
+  }
+}
+
+void SpanCollector::emit_async(TraceSink& sink) const {
+  sink.name_process(tracks::kFilePid, "files");
+  for (std::size_t i = 0; i < spans_.size(); ++i) {
+    const BlockSpan& s = spans_[i];
+    const std::uint64_t id = i + 1;
+    const TraceTrack track = tracks::file(s.key.file);
+    const char* name = s.demand ? "demand" : "prefetch";
+    SimTime end = s.settled;
+    if (end == SimTime::zero()) end = s.arrived;
+    if (end == SimTime::zero()) end = s.predicted;
+    sink.async_begin("span", name, track, id, s.predicted,
+                     {{"block", s.key.index},
+                      {"site", s.site},
+                      {"origin", s.demand ? "-" : to_string(s.origin)},
+                      {"trigger_pid", s.trigger_pid},
+                      {"trigger_block", s.trigger_block},
+                      {"target", raw(s.target)}});
+    sink.async_end("span", name, track, id, end,
+                   {{"outcome", to_string(s.outcome)},
+                    {"waste", to_string(s.waste)},
+                    {"class", to_string(s.demand_class)},
+                    {"queue_ms", to_ms(s.disk_wait)},
+                    {"disk_ms", to_ms(s.disk_service)},
+                    {"net_wait_ms", to_ms(s.net_wait)},
+                    {"net_ms", to_ms(s.net_time)},
+                    {"hops", s.net_hops},
+                    {"via_peer", s.via_peer ? 1 : 0}});
+  }
+}
+
+}  // namespace lap

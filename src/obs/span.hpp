@@ -1,0 +1,234 @@
+// Prefetch-lifecycle provenance: per-block spans with causal attribution.
+//
+// A BlockSpan records one block's journey through the system —
+//
+//   predicted -> (disk queue -> disk service)? -> (net wait -> net hop)*
+//             -> arrived -> used | wasted | elided
+//
+// — together with *why* it happened: which predictor decided to fetch it
+// (graph prediction, order-k fallback, sequential readahead, informed hint,
+// whole-file flood), which client access triggered the decision, and where
+// each nanosecond of its in-flight latency went.  Demand reads get spans
+// too, so hit/miss service time can be broken down the same way.
+//
+// Wiring follows the PR 1 observability contract exactly: components reach
+// the run's collector through `Engine::span_collector()`, which is nullptr
+// by default, so every hook is a single predictable branch when provenance
+// is off.  The collector is strictly passive — it never schedules events,
+// allocates only on its own side, and the traced-vs-untraced differential
+// in src/check proves a run with spans attached stays bit-exact.
+//
+// Span identity is a SpanRef: index+1 into the append-only span vector,
+// 0 meaning "no span".  While a prefetch is in flight the collector keeps
+// the ref in a (site, block) map — collision-free because the managers
+// elide duplicate fetches and both filesystems register a fetch with the
+// in-flight table before their first suspension point.  Once the block
+// lands in a cache the ref is stamped into CacheEntry::span and travels
+// with the entry (including xFS N-chance forwarding), so settlement needs
+// no resident-block map at all.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "cache/block.hpp"
+#include "util/flat_hash.hpp"
+#include "util/units.hpp"
+
+namespace lap {
+
+class CounterRegistry;
+class TraceSink;
+
+/// Why a prefetch was issued.
+enum class PrefetchOrigin : std::uint8_t {
+  kGraph,       // PPM graph prediction (IS_PPM / VK_PPM highest order hit)
+  kFallback,    // PPM miss, order-0 frequency fallback
+  kSequential,  // one-block-ahead sequential readahead (OBA)
+  kHint,        // informed upper bound: application-disclosed access list
+  kWholeFile,   // open-triggered whole-file flood
+};
+
+/// Terminal state of a span.
+enum class SpanOutcome : std::uint8_t {
+  kOpen,    // still in flight / resident (transient; none remain at finalize)
+  kUsed,    // a client read or write touched the block before eviction
+  kWasted,  // fetched but never referenced
+  kElided,  // issue decision hit an already-available block; no I/O happened
+  kDemand,  // demand-read span (terminal once the read completes)
+};
+
+/// Why a prefetched block was wasted.
+enum class WasteReason : std::uint8_t {
+  kNone,
+  kEvicted,        // cache pressure pushed it out unreferenced
+  kInvalidated,    // a writer invalidated the replica before first use
+  kDeleted,        // its file was removed
+  kSuperseded,     // a demand fetch for the same block won the race
+  kForwardDropped, // xFS N-chance forward found no room at the target
+  kShutdown,       // still resident and unreferenced at end of run
+};
+
+/// How a demand read was served.
+enum class DemandClass : std::uint8_t {
+  kUnclassified,
+  kHitLocal,     // block cached on the reading node
+  kHitRemote,    // block cached on a peer
+  kHitInflight,  // piggybacked on an outstanding fetch
+  kMiss,         // went to disk
+};
+
+[[nodiscard]] const char* to_string(PrefetchOrigin o);
+[[nodiscard]] const char* to_string(SpanOutcome o);
+[[nodiscard]] const char* to_string(WasteReason r);
+[[nodiscard]] const char* to_string(DemandClass c);
+
+/// Opaque span handle: index+1 into SpanCollector::spans(); 0 = no span.
+using SpanRef = std::uint64_t;
+
+/// One block's lifecycle.  All times are simulation timestamps/durations;
+/// everything here derives from integer nanoseconds, so any rendering of a
+/// span is deterministic across runs and platforms.
+struct BlockSpan {
+  BlockKey key{};
+  std::uint32_t site = 0;  // issuing manager: 0 = PAFS global, node+1 = xFS
+  bool demand = false;     // false: prefetch span; true: demand-read span
+
+  // Causal attribution (prefetch spans).
+  PrefetchOrigin origin = PrefetchOrigin::kGraph;
+  bool fallback = false;           // order-0 fallback within a PPM predictor
+  std::uint32_t trigger_pid = 0;   // process whose access triggered the issue
+  std::int64_t trigger_block = -1; // first block of that access (-1: open)
+  NodeId target{};                 // node the block was fetched for
+
+  // Lifecycle timestamps.
+  SimTime predicted;  // issue decision (prefetch) / read entry (demand)
+  SimTime arrived;    // data resident in a cache / read classified
+  SimTime settled;    // terminal event (first use, waste, read completion)
+
+  // Per-stage latency attribution, accumulated while in flight.
+  SimTime disk_wait;     // disk queue wait (submit -> service start)
+  SimTime disk_service;  // seek + rotation + transfer window
+  SimTime net_wait;      // NIC arbitration wait
+  SimTime net_time;      // wire time, summed over hops
+  std::uint32_t net_hops = 0;
+  bool via_peer = false;  // served from a peer cache rather than disk
+
+  SpanOutcome outcome = SpanOutcome::kOpen;
+  WasteReason waste = WasteReason::kNone;
+  DemandClass demand_class = DemandClass::kUnclassified;
+
+  /// predicted -> arrived (valid once arrived is set).
+  [[nodiscard]] SimTime in_flight() const { return arrived - predicted; }
+  /// arrived -> settled: cache residence until first use / waste.
+  [[nodiscard]] SimTime residence() const { return settled - arrived; }
+  /// In-flight time not attributed to disk or net: manager CPU, control
+  /// messages, event-loop ordering.  Clamped at zero.
+  [[nodiscard]] SimTime other() const {
+    const SimTime attributed = disk_wait + disk_service + net_wait + net_time;
+    const SimTime o = in_flight() - attributed;
+    return o < SimTime::zero() ? SimTime::zero() : o;
+  }
+};
+
+/// Passive sink for span events.  One instance per run; attach via
+/// RunConfig::spans (the driver hands it to the engine).
+class SpanCollector {
+ public:
+  SpanCollector() = default;
+  SpanCollector(const SpanCollector&) = delete;
+  SpanCollector& operator=(const SpanCollector&) = delete;
+
+  // --- prefetch lifecycle -------------------------------------------------
+
+  /// A manager decided to fetch `key` for `target`.  Returns the new ref;
+  /// the span stays in the open table until arrival.
+  SpanRef prefetch_predicted(std::uint32_t site, BlockKey key,
+                             PrefetchOrigin origin, bool fallback,
+                             std::uint32_t trigger_pid,
+                             std::int64_t trigger_block, NodeId target,
+                             SimTime now);
+
+  /// The fetch found the block already available (or its file gone): no I/O.
+  void prefetch_elided(std::uint32_t site, BlockKey key, SimTime now);
+
+  /// The block is resident.  Removes the open-table entry and returns the
+  /// ref so the filesystem can stamp it into the cache entry (or settle it
+  /// superseded).  Returns 0 if no open span matches.
+  SpanRef prefetch_arrived(std::uint32_t site, BlockKey key, bool via_peer,
+                           SimTime now);
+
+  /// Ref of the in-flight span for (site, key), 0 if none — used to tag
+  /// disk/net operations issued on the span's behalf.
+  [[nodiscard]] SpanRef open_ref(std::uint32_t site, BlockKey key) const;
+
+  void settle_used(SpanRef ref, SimTime now);
+  void settle_wasted(SpanRef ref, WasteReason reason, SimTime now);
+
+  // --- demand lifecycle ---------------------------------------------------
+
+  SpanRef demand_started(NodeId client, BlockKey key, SimTime now);
+  void demand_classified(SpanRef ref, DemandClass c, SimTime now);
+  void demand_done(SpanRef ref, SimTime now);
+
+  // --- stage attribution (called by disk / net with the tagged ref) -------
+
+  void disk_serviced(SpanRef ref, SimTime queue_wait, SimTime service);
+  void net_transferred(SpanRef ref, SimTime wait, SimTime duration);
+
+  // --- end of run ---------------------------------------------------------
+
+  /// Register span totals and per-stage latency histograms (milliseconds)
+  /// with the counter registry.  The instrument set and order are fixed, so
+  /// metrics-JSON export stays registration-order deterministic.
+  void publish(CounterRegistry& reg) const;
+
+  /// Emit every span as a Perfetto async track pair ("b"/"e") plus per-stage
+  /// args.  Timestamps are historical; trace viewers sort by ts.
+  void emit_async(TraceSink& sink) const;
+
+  // --- queries ------------------------------------------------------------
+
+  [[nodiscard]] const std::vector<BlockSpan>& spans() const { return spans_; }
+  [[nodiscard]] const BlockSpan* span(SpanRef ref) const {
+    return ref == 0 || ref > spans_.size() ? nullptr : &spans_[ref - 1];
+  }
+
+  /// Whole-run totals; `arrived == used + wasted` by construction, and the
+  /// three must equal the counter-registry / RunResult prefetch totals
+  /// (cross-checked on every lap_check fuzz run).
+  struct Totals {
+    std::uint64_t predicted = 0;  // prefetch spans incl. elided
+    std::uint64_t elided = 0;
+    std::uint64_t arrived = 0;
+    std::uint64_t used = 0;
+    std::uint64_t wasted = 0;
+    std::uint64_t demand_blocks = 0;
+  };
+  [[nodiscard]] Totals totals() const;
+
+ private:
+  struct OpenKey {
+    std::uint32_t site = 0;
+    BlockKey key{};
+    friend constexpr bool operator==(OpenKey, OpenKey) = default;
+  };
+  struct OpenKeyHash {
+    [[nodiscard]] std::size_t operator()(OpenKey k) const noexcept {
+      std::uint64_t v = BlockKeyHash{}(k.key);
+      v ^= (static_cast<std::uint64_t>(k.site) + 0x9e3779b97f4a7c15ULL) +
+           (v << 6) + (v >> 2);
+      return static_cast<std::size_t>(v);
+    }
+  };
+
+  [[nodiscard]] BlockSpan* live(SpanRef ref) {
+    return ref == 0 || ref > spans_.size() ? nullptr : &spans_[ref - 1];
+  }
+
+  std::vector<BlockSpan> spans_;
+  FlatHashMap<OpenKey, SpanRef, OpenKeyHash> open_;
+};
+
+}  // namespace lap

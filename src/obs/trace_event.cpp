@@ -77,7 +77,7 @@ void TraceSink::write_prefix_locked() {
 
 void TraceSink::emit(const char* ph, const char* cat, const char* name,
                      TraceTrack track, SimTime ts, const SimTime* duration,
-                     TraceArgs args) {
+                     const std::uint64_t* id, TraceArgs args) {
   std::string line;
   line.reserve(160);
   line += "{\"ph\":\"";
@@ -94,6 +94,7 @@ void TraceSink::emit(const char* ph, const char* cat, const char* name,
   if (duration != nullptr) append_ts(line, "dur", *duration);
   line += ",\"pid\":" + std::to_string(track.pid);
   line += ",\"tid\":" + std::to_string(track.tid);
+  if (id != nullptr) line += ",\"id\":\"" + std::to_string(*id) + '"';
   if (*ph == 'i') line += ",\"s\":\"t\"";
   if (args.size() > 0) append_args(line, args);
   line += '}';
@@ -126,12 +127,22 @@ void TraceSink::name_thread(std::uint32_t pid, std::uint32_t tid,
 
 void TraceSink::instant(const char* cat, const char* name, TraceTrack track,
                         SimTime ts, TraceArgs args) {
-  emit("i", cat, name, track, ts, nullptr, args);
+  emit("i", cat, name, track, ts, nullptr, nullptr, args);
 }
 
 void TraceSink::complete(const char* cat, const char* name, TraceTrack track,
                          SimTime start, SimTime duration, TraceArgs args) {
-  emit("X", cat, name, track, start, &duration, args);
+  emit("X", cat, name, track, start, &duration, nullptr, args);
+}
+
+void TraceSink::async_begin(const char* cat, const char* name, TraceTrack track,
+                            std::uint64_t id, SimTime ts, TraceArgs args) {
+  emit("b", cat, name, track, ts, nullptr, &id, args);
+}
+
+void TraceSink::async_end(const char* cat, const char* name, TraceTrack track,
+                          std::uint64_t id, SimTime ts, TraceArgs args) {
+  emit("e", cat, name, track, ts, nullptr, &id, args);
 }
 
 void TraceSink::counter(const char* name, SimTime ts, double value) {

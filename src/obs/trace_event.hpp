@@ -119,6 +119,15 @@ class TraceSink {
   virtual void complete(const char* cat, const char* name, TraceTrack track,
                         SimTime start, SimTime duration, TraceArgs args = {});
 
+  /// Async span pair ("b"/"e" nestable events).  Begin/end are matched by
+  /// (cat, id) rather than call nesting, so spans on the same track may
+  /// overlap — exactly what concurrent prefetch lifecycles need.  `cat` is
+  /// mandatory for these phases (the matching key includes it).
+  virtual void async_begin(const char* cat, const char* name, TraceTrack track,
+                           std::uint64_t id, SimTime ts, TraceArgs args = {});
+  virtual void async_end(const char* cat, const char* name, TraceTrack track,
+                         std::uint64_t id, SimTime ts, TraceArgs args = {});
+
   /// Sampled counter value ("C" event); Perfetto plots it as a time series.
   virtual void counter(const char* name, SimTime ts, double value);
 
@@ -133,7 +142,8 @@ class TraceSink {
 
  private:
   void emit(const char* ph, const char* cat, const char* name, TraceTrack track,
-            SimTime ts, const SimTime* duration, TraceArgs args);
+            SimTime ts, const SimTime* duration, const std::uint64_t* id,
+            TraceArgs args);
   void write_prefix_locked();
 
   std::unique_ptr<std::ostream> owned_;  // only for the owning constructor

@@ -16,6 +16,7 @@
 
 namespace lap {
 
+class SpanCollector;
 class TraceSink;
 
 class Engine {
@@ -76,6 +77,12 @@ class Engine {
   void set_trace_sink(TraceSink* sink) { trace_ = sink; }
   [[nodiscard]] TraceSink* trace_sink() const { return trace_; }
 
+  /// Attach a provenance span collector (nullptr detaches).  Same contract
+  /// as the trace sink: the engine never calls it, components reach the
+  /// run's collector here, and a detached run pays one branch per hook.
+  void set_span_collector(SpanCollector* spans) { spans_ = spans; }
+  [[nodiscard]] SpanCollector* span_collector() const { return spans_; }
+
  private:
   // The heap holds only this 16-byte POD; the callback lives in a slab slot
   // that is recycled across events, so heap maintenance never moves (or
@@ -102,6 +109,7 @@ class Engine {
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
   TraceSink* trace_ = nullptr;
+  SpanCollector* spans_ = nullptr;
   Slab<std::function<void()>> fns_;
   DaryHeap<Event, Earlier, 4> queue_;
 };

@@ -72,6 +72,22 @@ TEST(ContainerGolden, XfsCorpusIsBitExact) {
   }
 }
 
+// Provenance non-perturbation over the full corpus: every seed, both file
+// systems, replayed with a SpanCollector attached, must reproduce the
+// pre-span golden hashes bit-for-bit.  The collector observes through
+// passive hooks only; any hash drift here means a hook leaked simulated
+// state.
+TEST(ContainerGolden, SpanCollectorKeepsTheCorpusBitExact) {
+  for (const Golden& g : kCorpus) {
+    EXPECT_EQ(golden_scenario_hash(g.seed, FsKind::kPafs, /*with_spans=*/true),
+              g.pafs)
+        << "seed " << g.seed;
+    EXPECT_EQ(golden_scenario_hash(g.seed, FsKind::kXfs, /*with_spans=*/true),
+              g.xfs)
+        << "seed " << g.seed;
+  }
+}
+
 // The fingerprint itself must stay stable: if hash_run_result changes, the
 // whole corpus above silently re-keys.  Two differing results must differ.
 TEST(ContainerGolden, HashDiscriminates) {

@@ -103,6 +103,80 @@ TEST(Counters, WriteJsonShape) {
   EXPECT_LE(p99, 110.0);
 }
 
+TEST(Counters, EmptyHistogramExportsZeros) {
+  // The span collector registers its full histogram set even when a run
+  // recorded nothing (no net hops, no disk stages), so the empty-histogram
+  // export shape is load-bearing for metrics-JSON consumers.
+  CounterRegistry reg;
+  reg.histogram("empty");
+  std::ostringstream os;
+  {
+    JsonWriter w(os);
+    reg.write_json(w);
+  }
+  const auto doc = parse_json(os.str());
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue* h = doc->find("empty");
+  ASSERT_NE(h, nullptr);
+  EXPECT_DOUBLE_EQ(h->find("count")->number, 0.0);
+  EXPECT_DOUBLE_EQ(h->find("mean")->number, 0.0);
+  EXPECT_DOUBLE_EQ(h->find("min")->number, 0.0);
+  EXPECT_DOUBLE_EQ(h->find("max")->number, 0.0);
+  EXPECT_DOUBLE_EQ(h->find("p50")->number, 0.0);
+  EXPECT_DOUBLE_EQ(h->find("p99")->number, 0.0);
+}
+
+TEST(Counters, SingleSamplePercentilesAllLandInItsBucket) {
+  CounterRegistry reg;
+  HistogramStat& h = reg.histogram("one", 1e-3, 1e5, 96);
+  h.add(42.0);
+  // With one sample every quantile falls in the same bucket: identical
+  // values whose boundary encloses 42.
+  const double p50 = h.histogram().quantile(0.50);
+  const double p99 = h.histogram().quantile(0.99);
+  EXPECT_EQ(p50, p99);
+  EXPECT_GE(p50, 42.0);
+  EXPECT_LT(p50, 42.0 * 1.3);  // log-bucket width at 96 buckets over 8 decades
+  EXPECT_DOUBLE_EQ(h.accumulator().mean(), 42.0);
+  EXPECT_DOUBLE_EQ(h.accumulator().min(), 42.0);
+  EXPECT_DOUBLE_EQ(h.accumulator().max(), 42.0);
+}
+
+TEST(Counters, OutOfRangeSamplesClampToTheEdgeBuckets) {
+  CounterRegistry reg;
+  HistogramStat& h = reg.histogram("edges", 1.0, 100.0, 8);
+  h.add(0.0);     // below lo: underflow bucket
+  h.add(1e9);     // above hi: overflow bucket
+  h.add(100.0);   // exactly hi: also overflow (buckets are [lo, hi))
+  EXPECT_EQ(h.histogram().count(), 3u);
+  // Quantiles clamp to the declared range rather than extrapolating.
+  EXPECT_DOUBLE_EQ(h.histogram().quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.histogram().quantile(1.0), 100.0);
+  // The accumulator still reports the exact extremes.
+  EXPECT_DOUBLE_EQ(h.accumulator().min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.accumulator().max(), 1e9);
+}
+
+TEST(Counters, JsonExportFollowsRegistrationOrderNotInsertionValues) {
+  // publish() relies on this: the export order is the registration order,
+  // independent of names or which instruments saw data.
+  CounterRegistry reg;
+  reg.counter("zz.last_name_first_registered").add(1);
+  reg.histogram("aa.histogram");
+  reg.counter("mm.middle").add(2);
+  std::ostringstream os;
+  {
+    JsonWriter w(os);
+    reg.write_json(w);
+  }
+  const auto doc = parse_json(os.str());
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_EQ(doc->object.size(), 3u);
+  EXPECT_EQ(doc->object[0].first, "zz.last_name_first_registered");
+  EXPECT_EQ(doc->object[1].first, "aa.histogram");
+  EXPECT_EQ(doc->object[2].first, "mm.middle");
+}
+
 TEST(Counters, SamplingDaemonFollowsTheStopFlag) {
   Engine eng;
   CounterRegistry reg;

@@ -1,0 +1,164 @@
+// Byte-identity golden test for the `trace_tool explain` report.
+//
+// A hand-built two-node workload is replayed under PAFS Ln_Agr_IS_PPM:1
+// with the span collector attached, and the full explain report (latency
+// breakdown + wasted attribution + one block chain, text and JSON) must
+// match the committed fixtures byte for byte.  Every number in the report
+// derives from integer-nanosecond simulation state, so any drift means the
+// simulation, the span hooks, or the renderer changed — each a conscious
+// decision.  Regenerate by running this binary with LAP_UPDATE_GOLDEN=1
+// (see tests/data/README.md), then review the fixture diff.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "driver/explain.hpp"
+#include "driver/simulation.hpp"
+#include "obs/json.hpp"
+#include "obs/span.hpp"
+#include "trace/trace.hpp"
+
+namespace lap {
+namespace {
+
+std::string fixture_path(const std::string& name) {
+  return std::string(LAP_TEST_DATA_DIR) + "/" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Two nodes, two files.  Process 0 streams file 0 sequentially twice,
+/// training IS_PPM and keeping the small global pool churning; process 1
+/// walks file 1 sequentially but stops short of the end, so the one-ahead
+/// prefetch past its stopping point arrives and is never referenced — a
+/// guaranteed wasted prefetch for the attribution table.
+Trace explain_trace() {
+  Trace t;
+  t.block_size = 8_KiB;
+  t.serialize_per_node = false;
+  t.files = {FileInfo{FileId{0}, 96_KiB}, FileInfo{FileId{1}, 64_KiB}};
+  ProcessTrace p0{ProcId{0}, NodeId{0}, {}};
+  for (int pass = 0; pass < 2; ++pass) {
+    p0.records.push_back(
+        TraceRecord{TraceOp::kOpen, FileId{0}, 0, 0, SimTime::zero()});
+    for (Bytes off = 0; off < 96_KiB; off += 8_KiB) {
+      p0.records.push_back(TraceRecord{TraceOp::kRead, FileId{0}, off, 8_KiB,
+                                       SimTime::us(200)});
+    }
+    p0.records.push_back(
+        TraceRecord{TraceOp::kClose, FileId{0}, 0, 0, SimTime::ms(5)});
+  }
+  ProcessTrace p1{ProcId{1}, NodeId{1}, {}};
+  p1.records.push_back(
+      TraceRecord{TraceOp::kOpen, FileId{1}, 0, 0, SimTime::zero()});
+  for (Bytes off = 0; off < 48_KiB; off += 8_KiB) {  // blocks 0..5 of 8
+    p1.records.push_back(
+        TraceRecord{TraceOp::kRead, FileId{1}, off, 8_KiB, SimTime::us(300)});
+  }
+  p1.records.push_back(
+      TraceRecord{TraceOp::kClose, FileId{1}, 0, 0, SimTime::ms(7)});
+  t.processes.push_back(std::move(p0));
+  t.processes.push_back(std::move(p1));
+  return t;
+}
+
+struct Report {
+  std::string text;
+  std::string json;
+  RunResult run;
+  SpanCollector::Totals totals;
+};
+
+Report build_report() {
+  const Trace trace = explain_trace();
+  RunConfig cfg;
+  cfg.machine = MachineConfig::now();
+  cfg.fs = FsKind::kPafs;
+  cfg.algorithm = AlgorithmSpec::parse("Ln_Agr_IS_PPM:1");
+  cfg.cache_per_node = 64_KiB;  // small enough to force some eviction churn
+  SpanCollector spans;
+  cfg.spans = &spans;
+  Report r;
+  r.run = run_simulation(trace, cfg);
+  r.totals = spans.totals();
+
+  ExplainOptions opts;
+  opts.latency = true;
+  opts.wasted = true;
+  opts.block = BlockKey{FileId{0}, 3};
+  std::ostringstream text;
+  write_explain(text, spans, r.run, opts);
+  r.text = text.str();
+  opts.json = true;
+  std::ostringstream json;
+  write_explain(json, spans, r.run, opts);
+  r.json = json.str();
+  return r;
+}
+
+void maybe_update(const Report& r) {
+  if (std::getenv("LAP_UPDATE_GOLDEN") == nullptr) return;
+  std::ofstream(fixture_path("explain_mini.txt"), std::ios::binary) << r.text;
+  std::ofstream(fixture_path("explain_mini.json"), std::ios::binary)
+      << r.json;
+}
+
+TEST(ExplainGolden, WorkloadActuallyExercisesTheReport) {
+  const Report r = build_report();
+  maybe_update(r);
+  // The fixture only guards what it contains, so make sure the scenario
+  // keeps producing a non-trivial report: prefetches that arrive, some
+  // used, some wasted, and exact reconciliation with the run counters.
+  EXPECT_GT(r.totals.arrived, 0u);
+  EXPECT_GT(r.totals.used, 0u);
+  EXPECT_GT(r.totals.wasted, 0u);
+  EXPECT_EQ(r.totals.arrived, r.run.prefetch_arrived);
+  EXPECT_EQ(r.totals.used, r.run.prefetch_used);
+  EXPECT_EQ(r.totals.wasted, r.run.prefetch_wasted);
+  EXPECT_NE(r.text.find("— OK"), std::string::npos);
+}
+
+TEST(ExplainGolden, TextReportIsByteIdentical) {
+  const Report r = build_report();
+  maybe_update(r);
+  EXPECT_EQ(read_file(fixture_path("explain_mini.txt")), r.text);
+}
+
+TEST(ExplainGolden, JsonReportIsByteIdenticalAndParses) {
+  const Report r = build_report();
+  maybe_update(r);
+  EXPECT_EQ(read_file(fixture_path("explain_mini.json")), r.json);
+  const auto doc = parse_json(r.json);
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue* rec = doc->find("reconciliation");
+  ASSERT_NE(rec, nullptr);
+  const JsonValue* match = rec->find("match");
+  ASSERT_NE(match, nullptr);
+  EXPECT_TRUE(match->boolean);
+}
+
+TEST(ExplainGolden, BlockQueryParses) {
+  const auto ok = parse_block_query("3:17");
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(raw(ok->file), 3u);
+  EXPECT_EQ(ok->index, 17u);
+  EXPECT_FALSE(parse_block_query("").has_value());
+  EXPECT_FALSE(parse_block_query("3").has_value());
+  EXPECT_FALSE(parse_block_query(":17").has_value());
+  EXPECT_FALSE(parse_block_query("3:").has_value());
+  EXPECT_FALSE(parse_block_query("3:x").has_value());
+  EXPECT_FALSE(parse_block_query("a:1").has_value());
+  EXPECT_FALSE(parse_block_query("3:17:4").has_value());
+}
+
+}  // namespace
+}  // namespace lap

@@ -1,0 +1,246 @@
+// SpanCollector unit tests plus the end-to-end provenance contract: a run
+// with the collector attached is bit-exact with one without, and the span
+// accounting reconciles with the run's own prefetch counters.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "check/differential.hpp"
+#include "check/scenario.hpp"
+#include "driver/simulation.hpp"
+#include "obs/counters.hpp"
+#include "obs/json.hpp"
+#include "obs/span.hpp"
+#include "obs/trace_event.hpp"
+
+namespace lap {
+namespace {
+
+constexpr std::uint32_t kSite = 0;
+const BlockKey kKey{FileId{3}, 17};
+
+TEST(SpanCollector, PrefetchLifecycleUsed) {
+  SpanCollector sc;
+  const SpanRef ref = sc.prefetch_predicted(
+      kSite, kKey, PrefetchOrigin::kGraph, /*fallback=*/false,
+      /*trigger_pid=*/7, /*trigger_block=*/16, NodeId{2}, SimTime::ms(1));
+  ASSERT_NE(ref, 0u);
+  EXPECT_EQ(sc.open_ref(kSite, kKey), ref);
+
+  EXPECT_EQ(sc.prefetch_arrived(kSite, kKey, /*via_peer=*/false,
+                                SimTime::ms(5)),
+            ref);
+  EXPECT_EQ(sc.open_ref(kSite, kKey), 0u) << "arrival closes the open entry";
+
+  sc.settle_used(ref, SimTime::ms(9));
+  const BlockSpan* s = sc.span(ref);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->outcome, SpanOutcome::kUsed);
+  EXPECT_EQ(s->origin, PrefetchOrigin::kGraph);
+  EXPECT_EQ(s->trigger_pid, 7u);
+  EXPECT_EQ(s->trigger_block, 16);
+  EXPECT_EQ(raw(s->target), 2u);
+  EXPECT_EQ(s->in_flight(), SimTime::ms(4));
+  EXPECT_EQ(s->residence(), SimTime::ms(4));
+
+  const SpanCollector::Totals t = sc.totals();
+  EXPECT_EQ(t.predicted, 1u);
+  EXPECT_EQ(t.arrived, 1u);
+  EXPECT_EQ(t.used, 1u);
+  EXPECT_EQ(t.wasted, 0u);
+}
+
+TEST(SpanCollector, ElidedFetchSettlesThroughTheOpenTable) {
+  SpanCollector sc;
+  const SpanRef ref = sc.prefetch_predicted(
+      kSite, kKey, PrefetchOrigin::kSequential, false, 1, 4, NodeId{0},
+      SimTime::ms(1));
+  sc.prefetch_elided(kSite, kKey, SimTime::ms(2));
+  EXPECT_EQ(sc.span(ref)->outcome, SpanOutcome::kElided);
+  EXPECT_EQ(sc.open_ref(kSite, kKey), 0u);
+  const SpanCollector::Totals t = sc.totals();
+  EXPECT_EQ(t.predicted, 1u);
+  EXPECT_EQ(t.elided, 1u);
+  EXPECT_EQ(t.arrived, 0u);
+  // An elide with no matching open span is a no-op, not a crash.
+  sc.prefetch_elided(kSite, BlockKey{FileId{9}, 9}, SimTime::ms(3));
+}
+
+TEST(SpanCollector, SettlementIsIdempotentAndNullSafe) {
+  SpanCollector sc;
+  const SpanRef ref = sc.prefetch_predicted(
+      kSite, kKey, PrefetchOrigin::kGraph, false, 1, 2, NodeId{0},
+      SimTime::ms(1));
+  sc.prefetch_arrived(kSite, kKey, false, SimTime::ms(2));
+  sc.settle_wasted(ref, WasteReason::kEvicted, SimTime::ms(3));
+  sc.settle_used(ref, SimTime::ms(4));  // loses: already settled
+  sc.settle_wasted(ref, WasteReason::kShutdown, SimTime::ms(5));
+  EXPECT_EQ(sc.span(ref)->outcome, SpanOutcome::kWasted);
+  EXPECT_EQ(sc.span(ref)->waste, WasteReason::kEvicted);
+  EXPECT_EQ(sc.span(ref)->settled, SimTime::ms(3));
+  // Ref 0 ("no span") and out-of-range refs are ignored everywhere.
+  sc.settle_used(0, SimTime::ms(1));
+  sc.settle_wasted(99, WasteReason::kDeleted, SimTime::ms(1));
+  EXPECT_EQ(sc.span(0), nullptr);
+  EXPECT_EQ(sc.span(99), nullptr);
+}
+
+TEST(SpanCollector, SitesKeepConcurrentFetchesOfTheSameBlockApart) {
+  SpanCollector sc;
+  const SpanRef a = sc.prefetch_predicted(
+      1, kKey, PrefetchOrigin::kGraph, false, 1, 2, NodeId{0}, SimTime::ms(1));
+  const SpanRef b = sc.prefetch_predicted(
+      2, kKey, PrefetchOrigin::kHint, false, 3, 4, NodeId{1}, SimTime::ms(1));
+  EXPECT_NE(a, b);
+  EXPECT_EQ(sc.open_ref(1, kKey), a);
+  EXPECT_EQ(sc.open_ref(2, kKey), b);
+  EXPECT_EQ(sc.prefetch_arrived(2, kKey, true, SimTime::ms(3)), b);
+  EXPECT_EQ(sc.open_ref(1, kKey), a) << "site 1's flight is untouched";
+  EXPECT_TRUE(sc.span(b)->via_peer);
+}
+
+TEST(SpanCollector, DemandLifecycleAndFirstClassificationWins) {
+  SpanCollector sc;
+  const SpanRef ref = sc.demand_started(NodeId{4}, kKey, SimTime::ms(1));
+  sc.demand_classified(ref, DemandClass::kHitRemote, SimTime::ms(2));
+  sc.demand_classified(ref, DemandClass::kMiss, SimTime::ms(3));  // ignored
+  sc.demand_done(ref, SimTime::ms(4));
+  const BlockSpan* s = sc.span(ref);
+  EXPECT_TRUE(s->demand);
+  EXPECT_EQ(s->outcome, SpanOutcome::kDemand);
+  EXPECT_EQ(s->demand_class, DemandClass::kHitRemote);
+  EXPECT_EQ(s->settled, SimTime::ms(4));
+  EXPECT_EQ(sc.totals().demand_blocks, 1u);
+  EXPECT_EQ(sc.totals().predicted, 0u) << "demand spans are not prefetches";
+}
+
+TEST(SpanCollector, StageAttributionAccumulatesAndOtherClamps) {
+  SpanCollector sc;
+  const SpanRef ref = sc.prefetch_predicted(
+      kSite, kKey, PrefetchOrigin::kGraph, false, 1, 2, NodeId{0},
+      SimTime::ms(0));
+  sc.disk_serviced(ref, SimTime::ms(2), SimTime::ms(5));
+  sc.net_transferred(ref, SimTime::ms(1), SimTime::ms(3));
+  sc.net_transferred(ref, SimTime::zero(), SimTime::ms(3));
+  sc.prefetch_arrived(kSite, kKey, false, SimTime::ms(15));
+  sc.settle_used(ref, SimTime::ms(20));
+  const BlockSpan* s = sc.span(ref);
+  EXPECT_EQ(s->disk_wait, SimTime::ms(2));
+  EXPECT_EQ(s->disk_service, SimTime::ms(5));
+  EXPECT_EQ(s->net_wait, SimTime::ms(1));
+  EXPECT_EQ(s->net_time, SimTime::ms(6));
+  EXPECT_EQ(s->net_hops, 2u);
+  EXPECT_EQ(s->other(), SimTime::ms(1));  // 15 in flight - 14 attributed
+
+  // A span whose attributed stages exceed its flight (possible only through
+  // rounding at stage boundaries) clamps to zero instead of going negative.
+  const SpanRef tight = sc.prefetch_predicted(
+      kSite, BlockKey{FileId{1}, 1}, PrefetchOrigin::kGraph, false, 1, 2,
+      NodeId{0}, SimTime::ms(0));
+  sc.disk_serviced(tight, SimTime::ms(9), SimTime::ms(9));
+  sc.prefetch_arrived(kSite, BlockKey{FileId{1}, 1}, false, SimTime::ms(10));
+  EXPECT_EQ(sc.span(tight)->other(), SimTime::zero());
+}
+
+TEST(SpanCollector, PublishRegistersTheFixedInstrumentSet) {
+  SpanCollector sc;
+  const SpanRef used = sc.prefetch_predicted(
+      kSite, kKey, PrefetchOrigin::kGraph, false, 1, 2, NodeId{0},
+      SimTime::ms(0));
+  sc.prefetch_arrived(kSite, kKey, false, SimTime::ms(2));
+  sc.settle_used(used, SimTime::ms(3));
+  const SpanRef wasted = sc.prefetch_predicted(
+      kSite, BlockKey{FileId{1}, 1}, PrefetchOrigin::kFallback, true, 1, 2,
+      NodeId{0}, SimTime::ms(0));
+  sc.prefetch_arrived(kSite, BlockKey{FileId{1}, 1}, false, SimTime::ms(1));
+  sc.settle_wasted(wasted, WasteReason::kSuperseded, SimTime::ms(2));
+  const SpanRef d = sc.demand_started(NodeId{0}, kKey, SimTime::ms(4));
+  sc.demand_classified(d, DemandClass::kHitLocal, SimTime::ms(4));
+  sc.demand_done(d, SimTime::ms(5));
+
+  CounterRegistry reg;
+  sc.publish(reg);
+  EXPECT_EQ(reg.counter("span.prefetch.predicted").value(), 2u);
+  EXPECT_EQ(reg.counter("span.prefetch.arrived").value(), 2u);
+  EXPECT_EQ(reg.counter("span.prefetch.used").value(), 1u);
+  EXPECT_EQ(reg.counter("span.prefetch.wasted").value(), 1u);
+  EXPECT_EQ(reg.counter("span.origin.graph.used").value(), 1u);
+  EXPECT_EQ(reg.counter("span.origin.fallback.wasted").value(), 1u);
+  EXPECT_EQ(reg.counter("span.wasted.superseded").value(), 1u);
+  EXPECT_EQ(reg.counter("span.demand.hit_local").value(), 1u);
+  EXPECT_EQ(reg.histogram("span.prefetch.inflight_ms").accumulator().count(),
+            2u);
+  EXPECT_EQ(reg.histogram("span.demand.total_ms").accumulator().count(), 1u);
+  // The set is fixed: instruments exist even when nothing fed them.
+  EXPECT_TRUE(reg.has("span.origin.whole_file.predicted"));
+  EXPECT_TRUE(reg.has("span.wasted.forward_dropped"));
+  EXPECT_TRUE(reg.has("span.demand.miss"));
+}
+
+TEST(SpanCollector, EmitAsyncWritesMatchedBeginEndPairs) {
+  SpanCollector sc;
+  const SpanRef ref = sc.prefetch_predicted(
+      kSite, kKey, PrefetchOrigin::kGraph, false, 1, 16, NodeId{2},
+      SimTime::ms(1));
+  sc.prefetch_arrived(kSite, kKey, false, SimTime::ms(5));
+  sc.settle_used(ref, SimTime::ms(9));
+
+  std::ostringstream os;
+  {
+    TraceSink sink(os);
+    sc.emit_async(sink);
+    sink.close();
+  }
+  const auto doc = parse_json(os.str());
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  const JsonValue* begin = nullptr;
+  const JsonValue* end = nullptr;
+  for (const JsonValue& e : events->array) {
+    const JsonValue* ph = e.find("ph");
+    if (ph == nullptr) continue;
+    if (ph->string == "b") begin = &e;
+    if (ph->string == "e") end = &e;
+  }
+  ASSERT_NE(begin, nullptr);
+  ASSERT_NE(end, nullptr);
+  EXPECT_EQ(begin->find("id")->string, end->find("id")->string);
+  EXPECT_EQ(begin->find("cat")->string, "span");
+  EXPECT_EQ(begin->find("args")->find("origin")->string, "graph");
+  EXPECT_EQ(end->find("args")->find("outcome")->string, "used");
+  EXPECT_EQ(begin->find("ts")->number, 1000.0);  // us
+  EXPECT_EQ(end->find("ts")->number, 9000.0);
+}
+
+// The whole-system contract, on both file systems: attaching a collector
+// changes nothing, and its totals reconcile with the run's counters.
+TEST(SpanProvenance, RunIsBitExactAndTotalsReconcile) {
+  const Scenario s = generate_scenario(11);
+  for (const FsKind fs : {FsKind::kPafs, FsKind::kXfs}) {
+    const RunConfig cfg = scenario_config(s, fs);
+    const RunResult plain = run_simulation(s.trace, cfg);
+
+    SpanCollector spans;
+    RunConfig with_spans = cfg;
+    with_spans.spans = &spans;
+    const RunResult observed = run_simulation(s.trace, with_spans);
+
+    EXPECT_TRUE(diff_run_results(plain, observed, to_string(fs)).empty());
+    const SpanCollector::Totals t = spans.totals();
+    EXPECT_EQ(t.arrived, observed.prefetch_arrived);
+    EXPECT_EQ(t.used, observed.prefetch_used);
+    EXPECT_EQ(t.wasted, observed.prefetch_wasted);
+    EXPECT_EQ(t.used + t.wasted, t.arrived);
+    // No prefetch span may leak unsettled past finalize().
+    for (const BlockSpan& sp : spans.spans()) {
+      if (!sp.demand) {
+        EXPECT_NE(sp.outcome, SpanOutcome::kOpen);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lap
