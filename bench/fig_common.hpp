@@ -65,6 +65,10 @@ inline RunConfig make_base(Workload w, FsKind fs, const Flags& flags) {
   cfg.fs = fs;
   cfg.sync_interval = SimTime::ms(
       static_cast<double>(flags.get_int("sync-ms", 2000)));
+  // --shards N runs every sweep point on the sharded engine.  Execution
+  // policy only: the figures are bit-identical at any shard count (§14),
+  // so this is a wall-clock knob for big --scale sweeps, not a parameter.
+  cfg.shards = static_cast<int>(flags.get_int("shards", 1));
   return cfg;
 }
 

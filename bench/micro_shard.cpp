@@ -1,0 +1,93 @@
+// Micro-benchmarks of the sharded epoch-barrier engine (google-benchmark):
+// event throughput at 1 / 4 / 16 shards, in events per second.
+//
+// shards=1 is the sequential fast path — the same dispatch loop
+// micro_engine gates — so its throughput here doubles as a regression
+// check on the domain/route bookkeeping the sharding refactor added.
+// The parallel numbers measure the whole epoch machinery: barriers,
+// mailbox exchange, per-shard heaps.  They only show wall-clock *speedup*
+// on hosts with enough cores (the committed BENCH_shard.json records
+// whatever the capture host had; scripts/check_bench_regression.py
+// enforces the >= 2x speedup claim only when the host can express it —
+// see --shard-speedup).
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "bench_json.hpp"
+#include "check/scenario.hpp"
+#include "driver/simulation.hpp"
+#include "sim/engine.hpp"
+
+namespace lap {
+namespace {
+
+constexpr std::uint16_t kServiceDomains = 16;
+constexpr int kRounds = 256;
+
+// 1 model domain + 16 service domains; service domains round-robin over
+// the non-model shards (the same grouping the driver uses for disks).
+DomainMap shard_map(std::uint16_t shards) {
+  DomainMap map;
+  map.shards = shards;
+  for (std::uint16_t d = 0; d < kServiceDomains; ++d) {
+    map.shard_of.push_back(
+        shards == 1 ? 0 : static_cast<std::uint16_t>(1 + d % (shards - 1)));
+    map.phase_of.push_back(DomainPhase::kService);
+  }
+  return map;
+}
+
+// The disk protocol in miniature: the model hands work to a service
+// domain at the current time, the service domain replies one lookahead
+// later.  Every round is one epoch of real cross-shard mail both ways.
+void bounce(Engine& eng, DomainId d, SimTime at, int left) {
+  eng.post_at(d, at, [&eng, d, at, left] {
+    eng.post_at(DomainId{0}, at + eng.lookahead(), [&eng, d, at, left] {
+      if (left > 0) bounce(eng, d, at + eng.lookahead(), left - 1);
+    });
+  });
+}
+
+void BM_ShardedPingPong(benchmark::State& state) {
+  const auto shards = static_cast<std::uint16_t>(state.range(0));
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    Engine eng;
+    eng.configure_domains(shard_map(shards), SimTime::us(1));
+    for (std::uint16_t d = 0; d < kServiceDomains; ++d) {
+      bounce(eng, DomainId{static_cast<std::uint16_t>(d + 1)},
+             SimTime::us(d), kRounds);
+    }
+    events = shards == 1 ? eng.run() : eng.run_parallel(0);
+    benchmark::DoNotOptimize(events);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_ShardedPingPong)->Arg(1)->Arg(4)->Arg(16)->UseRealTime();
+
+// End-to-end: a full fuzz-corpus scenario through the driver, counting the
+// engine events the run reports.  This is the number the "2x events/sec at
+// 16 shards" acceptance bar refers to — it includes the file system, the
+// caches and the network, not just the dispatch loop.
+void BM_ShardedScenario(benchmark::State& state) {
+  const int shards = static_cast<int>(state.range(0));
+  const Scenario s = generate_scenario(11);
+  RunConfig cfg = scenario_config(s, FsKind::kPafs);
+  cfg.shards = shards;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const RunResult r = run_simulation(s.trace, cfg);
+    events = r.events;
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_ShardedScenario)->Arg(1)->Arg(4)->Arg(16)->UseRealTime();
+
+}  // namespace
+}  // namespace lap
+
+LAP_BENCHMARK_JSON_MAIN();

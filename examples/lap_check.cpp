@@ -10,6 +10,7 @@
 //   ./lap_check [--scenarios 200] [--seed 1] [--repro-out lap_check.repro]
 //               [--no-serialization] [--capture-dir <dir>]
 //   ./lap_check --repro lap_check.repro     # replay a saved failure
+//   ./lap_check --golden [--scenarios 32]   # print the golden corpus table
 //
 // `--capture-dir` records every generated scenario's trace as
 // `<dir>/scenario-<seed>.lapt` before running it — the capture sink that
@@ -17,11 +18,18 @@
 //
 // The base seed is always printed, so a failing CI run reproduces with
 // `--scenarios 1 --seed <seed_of_failure>` even without the artifact.
+//
+// `--golden` regenerates tests/test_container_golden.cpp's corpus table:
+// it prints `{seed, pafs_hash, xfs_hash},` rows in the committed format.
+// Only legitimate after an *intentional* semantic change — paste the rows,
+// note the recapture in the table's comment, and say why in the commit.
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <sstream>
 
 #include "check/differential.hpp"
+#include "check/golden.hpp"
 #include "check/shrink.hpp"
 #include "trace/io/binary_io.hpp"
 #include "util/flags.hpp"
@@ -38,6 +46,22 @@ lap::CheckReport check_all(const lap::Scenario& s, bool serialization) {
     for (std::string& d : ser.diffs) report.diffs.push_back(std::move(d));
   }
   return report;
+}
+
+int print_golden_table(std::uint64_t base_seed, std::int64_t n) {
+  std::cout << "// Captured with `lap_check --golden` on the sequential "
+               "engine.\n";
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);
+    const std::uint64_t pafs =
+        lap::golden_scenario_hash(seed, lap::FsKind::kPafs);
+    const std::uint64_t xfs = lap::golden_scenario_hash(seed, lap::FsKind::kXfs);
+    std::cout << "    {" << std::dec << seed << ", 0x" << std::hex
+              << std::setfill('0') << std::setw(16) << pafs << "ULL, 0x"
+              << std::setw(16) << xfs << "ULL},\n"
+              << std::dec;
+  }
+  return 0;
 }
 
 int replay(const std::string& path, bool serialization) {
@@ -59,6 +83,12 @@ int main(int argc, char** argv) {
   const bool serialization = !flags.get_bool("no-serialization", false);
   if (const auto repro = flags.get_opt("repro")) {
     return replay(*repro, serialization);
+  }
+
+  if (flags.get_bool("golden", false)) {
+    return print_golden_table(
+        static_cast<std::uint64_t>(flags.get_int("seed", 1)),
+        flags.get_int("scenarios", 32));
   }
 
   const std::uint64_t base_seed =

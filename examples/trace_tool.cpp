@@ -52,7 +52,8 @@ int usage() {
                "       trace_tool ingest-champsim <in> <out> |\n"
                "       trace_tool run <file> [--fs pafs|xfs] [--algo A] "
                "[--cache-mb N] [--stream]\n"
-               "                 [--metrics-json M] [--trace-out T]\n"
+               "                 [--shards N] [--metrics-json M] "
+               "[--trace-out T]\n"
                "       trace_tool explain <file> [run options] "
                "[--latency-breakdown] [--wasted]\n"
                "                 [--block F:I] [--json] [--out R]\n"
@@ -84,6 +85,9 @@ lap::RunConfig run_config_for(const lap::Flags& flags, std::uint32_t nodes) {
   cfg.fs = flags.get("fs", "pafs") == "xfs" ? FsKind::kXfs : FsKind::kPafs;
   cfg.algorithm = AlgorithmSpec::parse(flags.get("algo", "Ln_Agr_IS_PPM:1"));
   cfg.cache_per_node = static_cast<Bytes>(flags.get_int("cache-mb", 4)) * 1_MiB;
+  // Execution policy only — any shard count replays bit-exactly (§14), so
+  // --shards changes wall-clock, never the metrics this tool reports.
+  cfg.shards = static_cast<int>(flags.get_int("shards", 1));
   return cfg;
 }
 

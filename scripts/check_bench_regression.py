@@ -19,6 +19,7 @@ Usage:
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -39,6 +40,12 @@ def main():
     ap.add_argument("baseline", nargs="?", default=str(DEFAULT_BASELINE))
     ap.add_argument("--factor", type=float, default=2.0,
                     help="fail when current/baseline exceeds this (default 2.0)")
+    ap.add_argument("--shard-speedup", type=float, default=None, metavar="R",
+                    help="require every CURRENT benchmark family 'NAME/16[...]'"
+                         " to reach R times the items/s of its 'NAME/1[...]'"
+                         " sibling; skipped (with a notice) on hosts with"
+                         " fewer than 16 CPUs, where 16 workers cannot"
+                         " express a wall-clock speedup")
     args = ap.parse_args()
 
     cur = load(args.current)
@@ -74,6 +81,30 @@ def main():
         print(f"  [{status}] {name} peak RSS: {b:.0f} -> {c:.0f} KiB ({ratio:.2f}x)")
         if ratio > args.factor:
             failures.append(f"{name}: peak RSS {ratio:.2f}x larger")
+
+    if args.shard_speedup is not None:
+        cpus = os.cpu_count() or 1
+        if cpus < 16:
+            print(f"\n[skip] --shard-speedup: host has {cpus} CPU(s); "
+                  "16 shard workers cannot show wall-clock speedup here")
+        else:
+            for name, entry in sorted(cur_b.items()):
+                if "/16" not in name:
+                    continue
+                sib = name.replace("/16", "/1", 1)
+                if sib not in cur_b:
+                    continue
+                one = cur_b[sib].get("items_per_second", 0)
+                many = entry.get("items_per_second", 0)
+                if one <= 0:
+                    continue
+                ratio = many / one
+                status = "FAIL" if ratio < args.shard_speedup else "ok  "
+                print(f"  [{status}] {name}: {ratio:.2f}x the events/sec "
+                      f"of {sib} (need {args.shard_speedup:.1f}x)")
+                if ratio < args.shard_speedup:
+                    failures.append(
+                        f"{name}: only {ratio:.2f}x speedup over {sib}")
 
     if failures:
         print(f"\n{len(failures)} regression(s) beyond {args.factor}x:",

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "check/oracle.hpp"
+#include "check/trace_hash.hpp"
 #include "obs/span.hpp"
 #include "trace/io/binary_io.hpp"
 
@@ -191,6 +192,41 @@ CheckReport run_checked(const Scenario& s) {
           tag + ": hits+misses=" + std::to_string(classified) +
           (s.has_deletes() ? " exceeds " : " != ") + "fs.read blocks=" +
           std::to_string(oracle.read_blocks()));
+    }
+
+    // Sequential-vs-sharded differential: the same scenario replayed as
+    // 2/3/5 shards on two worker threads must reproduce the sequential
+    // metrics field-for-field *and* the sequential trace stream
+    // hash-for-hash.  Shard counts are chosen to exercise uneven disk
+    // distributions (3, 5) as well as the all-disks-on-one-shard case (2).
+    TraceHashSink seq_stream;
+    RunConfig seq_cfg = cfg;
+    seq_cfg.trace = &seq_stream;
+    const RunResult sequential = run_simulation(s.trace, seq_cfg);
+    for (std::string& d :
+         diff_run_results(plain, sequential, tag + " traced-seq")) {
+      report.diffs.push_back(std::move(d));
+    }
+    for (const int shards : {2, 3, 5}) {
+      const std::string leg = tag + " shards=" + std::to_string(shards);
+      TraceHashSink shard_stream;
+      RunConfig shard_cfg = cfg;
+      shard_cfg.shards = shards;
+      shard_cfg.shard_threads = 2;
+      shard_cfg.trace = &shard_stream;
+      const RunResult sharded = run_simulation(s.trace, shard_cfg);
+      for (std::string& d : diff_run_results(sequential, sharded, leg)) {
+        report.diffs.push_back(std::move(d));
+      }
+      if (shard_stream.hash() != seq_stream.hash() ||
+          shard_stream.events() != seq_stream.events()) {
+        report.diffs.push_back(
+            leg + ": trace stream diverged from sequential (" +
+            std::to_string(shard_stream.events()) + " events, hash " +
+            std::to_string(shard_stream.hash()) + " vs " +
+            std::to_string(seq_stream.events()) + ", " +
+            std::to_string(seq_stream.hash()) + ")");
+      }
     }
 
     per_fs[fs == FsKind::kXfs ? 1 : 0] = plain;

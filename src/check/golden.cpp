@@ -66,9 +66,10 @@ std::uint64_t hash_run_result(const RunResult& r) {
 }
 
 std::uint64_t golden_scenario_hash(std::uint64_t seed, FsKind fs,
-                                   bool with_spans) {
+                                   bool with_spans, int shards) {
   const Scenario s = generate_scenario(seed);
   RunConfig cfg = scenario_config(s, fs);
+  cfg.shards = shards;
   SpanCollector spans;
   if (with_spans) cfg.spans = &spans;
   return hash_run_result(run_simulation(s.trace, cfg));

@@ -25,7 +25,11 @@ namespace lap {
 /// (scenario_config defaults: untraced, warm-up disabled).  With
 /// `with_spans`, a provenance SpanCollector rides the run — the hash must
 /// not change, proving span collection never perturbs the simulation.
+/// With `shards` > 1 the run executes on the sharded parallel engine — the
+/// hash must not change either: shard count is execution policy, not
+/// semantics (DESIGN.md §14).
 [[nodiscard]] std::uint64_t golden_scenario_hash(std::uint64_t seed, FsKind fs,
-                                                 bool with_spans = false);
+                                                 bool with_spans = false,
+                                                 int shards = 1);
 
 }  // namespace lap

@@ -1,0 +1,109 @@
+#include "check/trace_hash.hpp"
+
+#include <bit>
+#include <cstdint>
+#include <string_view>
+
+namespace lap {
+namespace {
+constexpr std::uint64_t kPrime = 1099511628211ULL;
+}
+
+void TraceHashSink::mix(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    hash_ ^= (v >> (8 * i)) & 0xffu;
+    hash_ *= kPrime;
+  }
+}
+
+void TraceHashSink::mix_str(std::string_view s) {
+  for (const char c : s) {
+    hash_ ^= static_cast<unsigned char>(c);
+    hash_ *= kPrime;
+  }
+  hash_ ^= 0xffu;  // terminator: "ab"+"c" must differ from "a"+"bc"
+  hash_ *= kPrime;
+}
+
+void TraceHashSink::mix_args(TraceArgs args) {
+  mix(args.size());
+  for (const TraceArg& a : args) {
+    mix_str(a.key);
+    mix(static_cast<std::uint64_t>(a.kind));
+    switch (a.kind) {
+      case TraceArg::Kind::kInt:
+        mix(static_cast<std::uint64_t>(a.i));
+        break;
+      case TraceArg::Kind::kDouble:
+        mix(std::bit_cast<std::uint64_t>(a.d));
+        break;
+      case TraceArg::Kind::kString:
+        mix_str(a.s);
+        break;
+    }
+  }
+}
+
+void TraceHashSink::mix_event(char phase, const char* cat, const char* name,
+                              TraceTrack track, SimTime ts, TraceArgs args) {
+  ++count_;
+  mix(static_cast<std::uint64_t>(phase));
+  mix_str(cat);
+  mix_str(name);
+  mix(track.pid);
+  mix(track.tid);
+  mix(static_cast<std::uint64_t>(ts.nanos()));
+  mix_args(args);
+}
+
+void TraceHashSink::name_process(std::uint32_t pid, std::string_view name) {
+  ++count_;
+  mix(static_cast<std::uint64_t>('P'));
+  mix(pid);
+  mix_str(name);
+}
+
+void TraceHashSink::name_thread(std::uint32_t pid, std::uint32_t tid,
+                                std::string_view name) {
+  ++count_;
+  mix(static_cast<std::uint64_t>('T'));
+  mix(pid);
+  mix(tid);
+  mix_str(name);
+}
+
+void TraceHashSink::instant(const char* cat, const char* name,
+                            TraceTrack track, SimTime ts, TraceArgs args) {
+  mix_event('i', cat, name, track, ts, args);
+}
+
+void TraceHashSink::complete(const char* cat, const char* name,
+                             TraceTrack track, SimTime start, SimTime duration,
+                             TraceArgs args) {
+  mix_event('X', cat, name, track, start, args);
+  mix(static_cast<std::uint64_t>(duration.nanos()));
+}
+
+void TraceHashSink::async_begin(const char* cat, const char* name,
+                                TraceTrack track, std::uint64_t id, SimTime ts,
+                                TraceArgs args) {
+  mix_event('b', cat, name, track, ts, args);
+  mix(id);
+}
+
+void TraceHashSink::async_end(const char* cat, const char* name,
+                              TraceTrack track, std::uint64_t id, SimTime ts,
+                              TraceArgs args) {
+  mix_event('e', cat, name, track, ts, args);
+  mix(id);
+}
+
+void TraceHashSink::counter(const char* name, SimTime ts, double value) {
+  ++count_;
+  mix(static_cast<std::uint64_t>('C'));
+  mix_str(name);
+  mix(static_cast<std::uint64_t>(ts.nanos()));
+  mix(std::bit_cast<std::uint64_t>(value));
+}
+
+}  // namespace lap

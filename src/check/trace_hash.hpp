@@ -1,0 +1,53 @@
+// Order-sensitive trace-stream fingerprint for the sequential-vs-sharded
+// differential wall.
+//
+// The sharded engine routes every observability emission through the model
+// domain (disk completions carry their trace payload back with them), so a
+// sharded replay must produce not just the same RunResult but the *same
+// event stream in the same order* as the sequential replay.  This sink
+// reduces a whole stream to one FNV-1a chain over every event's full
+// content — category, name, track, timestamps and args — so two legs can
+// be compared with a single integer.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "obs/trace_event.hpp"
+
+namespace lap {
+
+class TraceHashSink final : public TraceSink {
+ public:
+  TraceHashSink() = default;
+
+  /// Chained hash over every event observed so far (order-sensitive).
+  [[nodiscard]] std::uint64_t hash() const { return hash_; }
+  [[nodiscard]] std::uint64_t events() const { return count_; }
+
+  void name_process(std::uint32_t pid, std::string_view name) override;
+  void name_thread(std::uint32_t pid, std::uint32_t tid,
+                   std::string_view name) override;
+  void instant(const char* cat, const char* name, TraceTrack track, SimTime ts,
+               TraceArgs args) override;
+  void complete(const char* cat, const char* name, TraceTrack track,
+                SimTime start, SimTime duration, TraceArgs args) override;
+  void async_begin(const char* cat, const char* name, TraceTrack track,
+                   std::uint64_t id, SimTime ts, TraceArgs args) override;
+  void async_end(const char* cat, const char* name, TraceTrack track,
+                 std::uint64_t id, SimTime ts, TraceArgs args) override;
+  void counter(const char* name, SimTime ts, double value) override;
+  void close() override {}
+
+ private:
+  void mix(std::uint64_t v);
+  void mix_str(std::string_view s);
+  void mix_event(char phase, const char* cat, const char* name,
+                 TraceTrack track, SimTime ts, TraceArgs args);
+  void mix_args(TraceArgs args);
+
+  std::uint64_t hash_ = 14695981039346656037ULL;  // FNV-1a offset basis
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace lap

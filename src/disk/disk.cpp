@@ -11,6 +11,7 @@ namespace lap {
 
 Disk::Disk(Engine& eng, DiskConfig cfg) : eng_(&eng), cfg_(cfg) {
   LAP_EXPECTS(cfg.block_size > 0);
+  LAP_EXPECTS(cfg.completion_latency >= SimTime::zero());
 }
 
 SimTime Disk::read_service_time() const {
@@ -37,14 +38,11 @@ SimTime Disk::service_time(bool write, std::uint64_t lba) const {
 
 SimFuture<Done> Disk::read_block(int priority, OpId* id, std::uint64_t lba,
                                  std::uint64_t span) {
-  ++stats_.block_reads;
-  if (priority >= prio::kPrefetch) ++stats_.prefetch_reads;
   return submit(/*write=*/false, lba, priority, id, span);
 }
 
 SimFuture<Done> Disk::write_block(int priority, OpId* id, std::uint64_t lba,
                                   std::uint64_t span) {
-  ++stats_.block_writes;
   return submit(/*write=*/true, lba, priority, id, span);
 }
 
@@ -74,15 +72,41 @@ void Disk::enqueue(Op op) {
 
 SimFuture<Done> Disk::submit(bool write, std::uint64_t lba, int priority,
                              OpId* id, std::uint64_t span) {
+  // Model-domain half: draw the id and the promise here so callers see
+  // submission order, then hand the operation to the disk's domain.  Ids
+  // are drawn in model order and admissions cross domains in canonical
+  // engine order, so the disk queue observes exactly the old synchronous
+  // arrival order even when it runs on another shard.
   const OpId op_id = next_id_++;
   if (id != nullptr) *id = op_id;
   SimPromise<Done> done(*eng_);
-  enqueue(Op{priority, op_id, write, lba, done, span, eng_->now()});
-  maybe_start();
+  const SimTime submitted = eng_->now();
+  eng_->post_at(domain_, submitted,
+                [this, priority, op_id, write, lba, done, span, submitted] {
+                  admit(Op{priority, op_id, write, lba, done, span, submitted});
+                });
   return done.future();
 }
 
 void Disk::boost(OpId id, int priority) {
+  // Posted behind any admission the caller already issued (same origin
+  // domain, later sequence), so a boost can never overtake its target.
+  eng_->post_at(domain_, eng_->now(),
+                [this, id, priority] { apply_boost(id, priority); });
+}
+
+void Disk::admit(Op op) {
+  if (op.write) {
+    ++stats_.block_writes;
+  } else {
+    ++stats_.block_reads;
+    if (op.priority >= prio::kPrefetch) ++stats_.prefetch_reads;
+  }
+  enqueue(std::move(op));
+  maybe_start();
+}
+
+void Disk::apply_boost(OpId id, int priority) {
   // One linear scan over the (short) queue replaces the old id-map lookup
   // plus keyed-map erase/re-insert; not finding the id means the operation
   // already started or finished.
@@ -105,31 +129,47 @@ void Disk::maybe_start() {
   in_service_ = true;
   // Seek is computed at service start: the arm position is whatever the
   // previous operation left behind.
+  const SimTime start = eng_->now();
   const SimTime service = service_time(op.write, op.lba);
-  if (op.span != 0) {
-    if (SpanCollector* sp = eng_->span_collector(); sp != nullptr) {
-      sp->disk_serviced(op.span, eng_->now() - op.submitted, service);
-    }
-  }
-  if (trace_ != nullptr) {
-    const SimTime transfer = cfg_.bandwidth.transfer_time(cfg_.block_size);
-    const char* name = op.write             ? "disk.write"
-                       : priority >= prio::kPrefetch ? "disk.prefetch_read"
-                                                     : "disk.read";
-    trace_->complete("disk", name, tracks::disk(trace_index_), eng_->now(),
-                     service,
-                     {{"lba", op.lba},
-                      {"seek_us", (service - transfer).micros()},
-                      {"transfer_us", transfer.micros()},
-                      {"queued_behind", static_cast<std::uint64_t>(queue_.size())}});
-  }
+  const SimTime wait = start - op.submitted;
+  const std::uint64_t queued_behind = queue_.size();
   arm_position_ = std::min(op.lba, cfg_.cylinders - 1);
   stats_.busy_time += service;
-  eng_->schedule_in(service, [this, done = op.done] {
-    done.set_value(Done{});
+  // Two futures part ways here.  The platter-side finish stays in the
+  // disk's domain: it frees the spindle for the next queued operation.
+  eng_->schedule_in(service, [this] {
     in_service_ = false;
     maybe_start();
   });
+  // The host-side completion crosses back into the model domain after the
+  // controller latency, carrying everything observability needs — so the
+  // trace stream and span attribution are emitted in model order and stay
+  // byte-identical across shard counts.
+  eng_->post_at(
+      DomainId{0}, start + service + cfg_.completion_latency,
+      [this, done = op.done, span = op.span, write = op.write, lba = op.lba,
+       priority, start, service, wait, queued_behind] {
+        if (span != 0) {
+          if (SpanCollector* sp = eng_->span_collector(); sp != nullptr) {
+            sp->disk_serviced(span, wait, service);
+          }
+        }
+        if (trace_ != nullptr) {
+          const SimTime transfer =
+              cfg_.bandwidth.transfer_time(cfg_.block_size);
+          const char* name = write ? "disk.write"
+                             : priority >= prio::kPrefetch
+                                 ? "disk.prefetch_read"
+                                 : "disk.read";
+          trace_->complete("disk", name, tracks::disk(trace_index_), start,
+                           service,
+                           {{"lba", lba},
+                            {"seek_us", (service - transfer).micros()},
+                            {"transfer_us", transfer.micros()},
+                            {"queued_behind", queued_behind}});
+        }
+        done.set_value(Done{});
+      });
 }
 
 }  // namespace lap

@@ -8,6 +8,15 @@
 // can be *boosted* to a more urgent priority: when a demand request catches
 // an in-flight prefetch of the same block, the cache layer upgrades it
 // rather than waiting behind the whole queue.
+//
+// Sharding: the disk's queue, arm and stats live in a simulation *domain*
+// (default 0).  submit()/boost() run in the caller's (model) domain and
+// only draw an operation id before posting the admission into the disk's
+// domain; completions post back into domain 0 after `completion_latency`
+// (the controller-interrupt delay).  Because admissions carry ids drawn in
+// model order and cross domains in canonical engine order, the queue
+// discipline is identical whether the disk shares the model's shard or
+// runs epochs ahead on its own (DESIGN.md §14).
 #pragma once
 
 #include <cstdint>
@@ -15,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/domain.hpp"
 #include "sim/engine.hpp"
 #include "sim/future.hpp"
 #include "sim/priority.hpp"
@@ -39,6 +49,13 @@ struct DiskConfig {
   // ~1.0x under uniform traffic.
   bool distance_seeks = false;
   std::uint64_t cylinders = 1u << 20;
+
+  // Delay between the platter finishing and the host observing completion
+  // (controller + interrupt path).  Zero by default so bare-engine tests
+  // keep exact Table 1 timings; the machine presets set it, and it bounds
+  // the sharded engine's epoch lookahead from below — a disk completion
+  // must never land inside the epoch that issued it.
+  SimTime completion_latency;
 };
 
 struct DiskStats {
@@ -64,11 +81,16 @@ class Disk {
   Disk(const Disk&) = delete;
   Disk& operator=(const Disk&) = delete;
 
+  /// Place this disk's service state in engine domain `d`.  Must be called
+  /// before any operation is submitted.
+  void set_domain(DomainId d) { domain_ = d; }
+  [[nodiscard]] DomainId domain() const { return domain_; }
+
   /// Enqueue a block read; resolves when the data is in memory.  The
   /// operation's id is written to *id when requested.  `lba` is the
   /// logical position, used only by the distance-seek model.  `span` tags
   /// the operation with a provenance span ref (obs/span.hpp, 0 = none): at
-  /// service start the queue wait and service window are attributed to it.
+  /// completion the queue wait and service window are attributed to it.
   [[nodiscard]] SimFuture<Done> read_block(int priority, OpId* id = nullptr,
                                            std::uint64_t lba = 0,
                                            std::uint64_t span = 0);
@@ -121,6 +143,9 @@ class Disk {
   [[nodiscard]] SimFuture<Done> submit(bool write, std::uint64_t lba,
                                        int priority, OpId* id,
                                        std::uint64_t span);
+  // Disk-domain half of submit()/boost().
+  void admit(Op op);
+  void apply_boost(OpId id, int priority);
   void maybe_start();
   /// Insert `op` keeping the descending (priority, id) order.
   void enqueue(Op op);
@@ -131,6 +156,10 @@ class Disk {
   DiskConfig cfg_;
   TraceSink* trace_ = nullptr;
   std::uint32_t trace_index_ = 0;
+  DomainId domain_ = 0;
+  // next_id_ is *model-domain* state: ids are drawn in submit()/boost()
+  // callers' context so the admission order reaching the disk domain is
+  // exactly the model's submission order, whatever shard the disk is on.
   OpId next_id_ = 0;
   bool in_service_ = false;
   std::uint64_t arm_position_ = 0;  // distance-seek model state

@@ -57,6 +57,14 @@ class DiskArray {
   /// Attach a trace sink to every spindle and name their tracks.
   void set_trace(TraceSink* sink);
 
+  /// Place spindle i in engine domain `first + i` (the driver maps one
+  /// domain per disk so shards can service spindles in parallel).  Must be
+  /// called before any operation is submitted.
+  void set_domains(DomainId first) {
+    for (std::size_t i = 0; i < disks_.size(); ++i)
+      disks_[i]->set_domain(static_cast<DomainId>(first + i));
+  }
+
   /// Aggregate statistics over all spindles.
   [[nodiscard]] DiskStats total_stats() const;
   void reset_stats();

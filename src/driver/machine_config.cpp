@@ -21,6 +21,7 @@ MachineConfig MachineConfig::pm() {
   m.disk.bandwidth = Bandwidth::mb_per_s(10);
   m.disk.read_seek = SimTime::ms(10.5);
   m.disk.write_seek = SimTime::ms(12.5);
+  m.disk.completion_latency = SimTime::us(20);
   return m;
 }
 
@@ -40,6 +41,7 @@ MachineConfig MachineConfig::now() {
   m.disk.bandwidth = Bandwidth::mb_per_s(10);
   m.disk.read_seek = SimTime::ms(10.5);
   m.disk.write_seek = SimTime::ms(12.5);
+  m.disk.completion_latency = SimTime::us(20);
   return m;
 }
 

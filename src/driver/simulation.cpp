@@ -1,5 +1,6 @@
 #include "driver/simulation.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
@@ -27,6 +28,37 @@ std::string to_string(FsKind kind) {
   return kind == FsKind::kPafs ? "PAFS" : "xFS";
 }
 
+SimTime sharded_lookahead(const MachineConfig& machine) {
+  const SimTime hop = machine.net.min_hop_latency();
+  const SimTime completion = machine.disk.completion_latency;
+  return completion < hop ? completion : hop;
+}
+
+namespace {
+
+// One domain for the whole model (nodes, caches, directory, network) plus
+// one per disk.  The *domain* structure — and with it the canonical event
+// order — is identical for every shard count; only the grouping of disk
+// domains onto service shards varies, which is why shards = 1/2/4/8 all
+// replay the same simulation bit-for-bit.
+DomainMap build_domain_map(int shards, std::uint32_t disk_count) {
+  DomainMap map;
+  map.shards = static_cast<std::uint16_t>(shards);
+  map.shard_of.assign(1 + disk_count, 0);
+  map.phase_of.assign(1 + disk_count, DomainPhase::kModel);
+  for (std::uint32_t i = 0; i < disk_count; ++i) {
+    map.phase_of[1 + i] = DomainPhase::kService;
+    if (shards > 1) {
+      map.shard_of[1 + i] =
+          static_cast<std::uint16_t>(1 + i % static_cast<std::uint32_t>(
+                                                 shards - 1));
+    }
+  }
+  return map;
+}
+
+}  // namespace
+
 RunResult run_simulation(const Trace& trace, const RunConfig& cfg) {
   InMemoryTraceSource source(trace);
   return run_simulation(source, cfg);
@@ -47,6 +79,16 @@ RunResult run_simulation(TraceSource& source, const RunConfig& cfg) {
   Network net(eng, machine.net, nodes);
   machine.disk.distance_seeks = cfg.distance_seeks;
   DiskArray disks(eng, machine.disk, machine.disks);
+
+  const int shards = std::max(1, cfg.shards);
+  {
+    SimTime lookahead = sharded_lookahead(machine);
+    if (cfg.epoch > SimTime::zero() && cfg.epoch < lookahead) {
+      lookahead = cfg.epoch;  // may shrink epochs, never stretch them
+    }
+    eng.configure_domains(build_domain_map(shards, machine.disks), lookahead);
+    disks.set_domains(DomainId{1});
+  }
   FileModel files(meta.block_size);
   files.load(meta.files);
 
@@ -191,7 +233,10 @@ RunResult run_simulation(TraceSource& source, const RunConfig& cfg) {
     reg.probe("prefetch.wasted", [&metrics] {
       return static_cast<double>(metrics.prefetch_wasted());
     });
-    if (cfg.trace != nullptr) {
+    if (cfg.trace != nullptr && shards == 1) {
+      // Sampling probes read live component state across domains, which is
+      // only race-free when everything runs on one shard; sharded traced
+      // runs still get the final probe levels via freeze_probes() below.
       start_counter_sampling(eng, reg, *cfg.trace,
                              cfg.counter_sample_interval, &stop);
     }
@@ -229,7 +274,14 @@ RunResult run_simulation(TraceSource& source, const RunConfig& cfg) {
 
   WorkloadRunner runner(eng, *fs, metrics, source, cfg.cpu_contention);
   runner.start([&stop] { stop = true; });
-  eng.run();  // drains: daemons and prefetch pumps observe `stop`
+  if (shards > 1) {
+    // Epoch-barrier parallel execution; drains the same event population
+    // in the same canonical order as the sequential branch below.
+    eng.run_parallel(
+        static_cast<std::size_t>(std::max(0, cfg.shard_threads)));
+  } else {
+    eng.run();  // drains: daemons and prefetch pumps observe `stop`
+  }
   LAP_ENSURES(runner.live_processes() == 0);
 
   fs->finalize();

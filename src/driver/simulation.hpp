@@ -44,6 +44,21 @@ struct RunConfig {
   // paper's workloads place roughly one process per node).
   bool cpu_contention = false;
 
+  // Sharded execution (DESIGN.md §14).  shards > 1 partitions the run into
+  // one model shard plus service shards (the disks, round-robin) executed
+  // in conservative epoch-barrier lockstep on a thread pool; any shard
+  // count replays bit-exactly against shards = 1, which lap_check and the
+  // golden corpus enforce.  `shard_threads` bounds the worker count (0 =
+  // one per shard).  `epoch` can shrink the epoch below the automatic
+  // lookahead — min(net minimum hop latency, disk completion latency), see
+  // sharded_lookahead() — but never exceed it; zero means automatic.
+  // Counter *sampling* is sequential-only (probes read cross-shard state),
+  // so a sharded traced run records no counter track; probe export at end
+  // of run works for any shard count.
+  int shards = 1;
+  int shard_threads = 0;
+  SimTime epoch;  // zero = automatic lookahead
+
   // Observability (both optional, not owned).  When `trace` is set, the
   // engine, network, disks, caches and prefetchers stream events into it.
   // When `counters` is also set, its instruments are registered against
@@ -102,6 +117,13 @@ struct RunResult {
   std::uint64_t events = 0;
   double wall_seconds = 0.0;
 };
+
+/// The conservative epoch lookahead for `machine`: the least simulated
+/// time any cross-shard interaction can take, i.e. min(network minimum hop
+/// latency, disk completion latency).  Events inside one epoch of this
+/// width cannot affect another shard within the same epoch, which is what
+/// makes barrier-synchronised shards exact (DESIGN.md §14).
+[[nodiscard]] SimTime sharded_lookahead(const MachineConfig& machine);
 
 /// Run one simulation to completion.  The trace is shared read-only, so
 /// concurrent runs over the same trace are safe.

@@ -30,6 +30,14 @@ struct NetConfig {
   Bandwidth memory_bw;          // intra-node copy bandwidth
   Bandwidth network_bw;         // interconnect bandwidth
   bool model_contention = true;  // serialise each node's outgoing transfers
+
+  /// Least latency any hop through this network can take — the floor the
+  /// sharded engine's epoch lookahead is derived from (DESIGN.md §14): no
+  /// message can cross between partitions faster than this.
+  [[nodiscard]] SimTime min_hop_latency() const {
+    return local_port_startup < remote_port_startup ? local_port_startup
+                                                    : remote_port_startup;
+  }
 };
 
 struct NetStats {

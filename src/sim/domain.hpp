@@ -1,0 +1,39 @@
+// Domain partitioning for sharded simulation (DESIGN.md §14).
+//
+// A *domain* is a unit of simulated state that only its own events may
+// touch (the model side of a machine: nodes, caches, directory, network;
+// or one service component: a disk spindle).  A *shard* is an execution
+// lane — its own slab + 4-ary-heap event queue — onto which domains are
+// grouped.  The domain structure is part of a run's semantics (event keys
+// are ordered by (timestamp, origin domain, sequence)), while the
+// shard grouping is pure execution policy: any shard count must replay a
+// scenario bit-exactly, which the differential test wall enforces.
+//
+// Phases order cross-domain hand-offs inside one epoch: each epoch first
+// runs every kModel shard, then every kService shard, so a model event may
+// post same-timestamp work into a service domain (a disk admission) while
+// every other cross-shard message must land at or beyond the epoch
+// boundary (the conservative lookahead contract, asserted by the engine).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lap {
+
+using DomainId = std::uint16_t;
+
+enum class DomainPhase : std::uint8_t { kModel = 0, kService = 1 };
+
+struct DomainMap {
+  std::uint16_t shards = 1;
+  // Indexed by DomainId; domain 0 is the default scheduling context, so
+  // every map has at least one domain and domain 0 lives on shard 0.
+  std::vector<std::uint16_t> shard_of = {0};
+  std::vector<DomainPhase> phase_of = {DomainPhase::kModel};
+
+  [[nodiscard]] std::size_t domains() const { return shard_of.size(); }
+};
+
+}  // namespace lap

@@ -1,35 +1,268 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
 #include <cstdint>
+#include <functional>
+#include <future>
 #include <utility>
+#include <vector>
 
+#include "sim/spin_barrier.hpp"
 #include "util/logging.hpp"
+#include "util/thread_pool.hpp"
 
 namespace lap {
 
-std::uint64_t Engine::run() { return run_until(SimTime::max()); }
+constinit thread_local Engine* Engine::tls_engine_ = nullptr;
+constinit thread_local Engine::Ctx Engine::tls_ctx_{nullptr, 0, 0, nullptr, 0};
+
+Engine::Engine() { seq_ctx_ = make_ctx(0, 0); }
+
+void Engine::configure_domains(DomainMap map, SimTime lookahead) {
+  LAP_EXPECTS(events_processed() == 0);
+  LAP_EXPECTS(empty());
+  LAP_EXPECTS(map.shards >= 1);
+  LAP_EXPECTS(!map.shard_of.empty());
+  LAP_EXPECTS(map.shard_of.size() == map.phase_of.size());
+  LAP_EXPECTS(map.domains() <= 0xffffu);
+  LAP_EXPECTS(map.shard_of[0] == 0);
+  LAP_EXPECTS(map.phase_of[0] == DomainPhase::kModel);
+  LAP_EXPECTS(map.shards == 1 || lookahead > SimTime::zero());
+  shard_phase_.assign(map.shards, DomainPhase::kModel);
+  std::vector<bool> seen(map.shards, false);
+  for (std::size_t d = 0; d < map.domains(); ++d) {
+    const std::uint16_t s = map.shard_of[d];
+    LAP_EXPECTS(s < map.shards);
+    if (!seen[s]) {
+      seen[s] = true;
+      shard_phase_[s] = map.phase_of[d];
+    } else if (map.shards > 1) {
+      // With real sharding, all domains grouped on one shard must share a
+      // phase: the epoch loop runs each shard exactly once per epoch, in
+      // phase order.  The single-shard grouping is exempt — it is the
+      // sequential fast path and never consults phases.
+      LAP_EXPECTS(shard_phase_[s] == map.phase_of[d]);
+    }
+  }
+  map_ = std::move(map);
+  lookahead_ = lookahead;
+  if (map_.shards > 1) {
+    cores_ = std::vector<Core>(map_.shards);
+    cores_ptr_ = cores_.data();
+  } else {
+    cores_ = {};
+    cores_ptr_ = &core0_;
+  }
+  if (map_.domains() > 1) {
+    next_seq_.assign(map_.domains(), SeqCounter{});
+    seq_ptr_ = next_seq_.data();
+  } else {
+    next_seq_ = {};
+    seq_ptr_ = &seq0_;
+  }
+  seq_ctx_ = make_ctx(0, 0);
+  single_ = map_.domains() == 1 && map_.shards == 1;
+}
+
+void Engine::post_at(DomainId target, SimTime at, std::function<void()> fn) {
+  const Ctx& c = ctx();
+  LAP_EXPECTS(target < map_.domains());
+  LAP_EXPECTS(at >= c.core->now);
+  const std::uint16_t dst = map_.shard_of[target];
+  if (!parallel_active_ || dst == c.shard) {
+    push_event(cores_ptr_[dst], at, c.domain, target, std::move(fn));
+    return;
+  }
+  // Cross-shard: park the message in a mailbox until the next barrier.
+  // The conservative-lookahead contract makes that safe: either this is
+  // the one same-epoch hand-off the phase order allows (model → service,
+  // drained between the two halves of the current epoch), or the message
+  // lands at or beyond the epoch boundary and is drained at the top of the
+  // next epoch — before any event it could affect.
+  const DomainPhase src_phase = map_.phase_of[c.domain];
+  const bool handoff = src_phase == DomainPhase::kModel &&
+                       map_.phase_of[target] == DomainPhase::kService;
+  LAP_ASSERT(handoff || at >= epoch_end_);
+  const std::uint64_t seq = seq_ptr_[c.domain].v++;
+  LAP_ASSERT(seq < (1ULL << kSeqBits));
+  auto& boxes =
+      src_phase == DomainPhase::kModel ? mail_model_ : mail_service_;
+  boxes[static_cast<std::size_t>(c.shard) * map_.shards + dst].push_back(
+      Mail{at, key_base(c.domain, target) | seq, target, std::move(fn)});
+}
+
+SimTime Engine::now() const {
+  if (map_.shards == 1) return seq_ctx_.core->now;
+  if (parallel_active_ && tls_engine_ == this) return tls_ctx_.core->now;
+  SimTime t = cores_ptr_[0].now;
+  for (std::size_t s = 1; s < map_.shards; ++s)
+    if (cores_ptr_[s].now > t) t = cores_ptr_[s].now;
+  return t;
+}
+
+std::uint64_t Engine::run() {
+  if (map_.shards == 1) return run_until(SimTime::max());
+  return run_parallel(0);
+}
 
 std::uint64_t Engine::run_until(SimTime horizon) {
+  LAP_EXPECTS(map_.shards == 1);
+  Core& core = core0_;
   // Log lines emitted by event handlers on this thread carry the simulated
   // timestamp of the event being processed.
-  log_detail::ScopedSimClock log_clock(&now_);
+  log_detail::ScopedSimClock log_clock(&core.now);
   std::uint64_t count = 0;
-  while (!queue_.empty()) {
-    const Event top = queue_.top();
+  // The single-domain engine (the default) never leaves domain 0, so the
+  // dispatch loop skips the per-event context refresh entirely.
+  const bool multi = map_.domains() > 1;
+  while (!core.queue.empty()) {
+    const Event top = core.queue.top();
     if (top.at > horizon) break;
     // Take the closure out of its slab slot before popping: the callback
     // may schedule new events, which can grow both the heap and the slab.
-    auto fn = fns_.take(
-        static_cast<std::uint32_t>(top.seq_slot & ((1u << kSlotBits) - 1)));
-    now_ = top.at;
-    queue_.pop();
+    auto fn = core.fns.take(top.slot());
+    core.now = top.at;
+    if (multi) seq_ctx_ = make_ctx(top.target(), 0);
+    core.queue.pop();
     fn();
     ++count;
-    ++processed_;
+    ++core.executed;
   }
+  if (multi) seq_ctx_ = make_ctx(0, 0);
   // Everything still queued lies past the horizon: the clock has reached it.
-  if (horizon != SimTime::max() && now_ < horizon) now_ = horizon;
+  if (horizon != SimTime::max() && core.now < horizon) core.now = horizon;
   return count;
+}
+
+std::uint64_t Engine::run_parallel(std::size_t threads) {
+  if (map_.shards == 1) return run_until(SimTime::max());
+  const std::size_t shard_count = map_.shards;
+  const std::size_t workers =
+      std::min(threads == 0 ? shard_count : threads, shard_count);
+  std::uint64_t before = 0;
+  for (const Core& c : cores_) before += c.executed;
+  mail_model_.assign(shard_count * shard_count, std::vector<Mail>{});
+  mail_service_.assign(shard_count * shard_count, std::vector<Mail>{});
+  epochs_ = 0;
+  done_ = false;
+  epoch_end_ = SimTime::zero();
+  SpinBarrier barrier(static_cast<std::uint32_t>(workers));
+  barrier_ = &barrier;
+  parallel_active_ = true;
+  {
+    ThreadPool pool(workers);
+    std::vector<std::future<void>> joins;
+    joins.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w)
+      joins.push_back(
+          pool.submit([this, w, workers] { worker_loop(w, workers); }));
+    for (auto& j : joins) j.get();
+  }
+  parallel_active_ = false;
+  barrier_ = nullptr;
+  std::uint64_t after = 0;
+  for (const Core& c : cores_) after += c.executed;
+  return after - before;
+}
+
+void Engine::worker_loop(std::size_t w, std::size_t workers) {
+  tls_engine_ = this;
+  for (;;) {
+    barrier_->wait();
+    // Completions and other service-phase mail from the previous epoch.
+    drain_mail(mail_service_, w, workers);
+    barrier_->wait();
+    if (w == 0) plan_epoch();
+    barrier_->wait();
+    if (done_) break;
+    run_phase(w, workers, DomainPhase::kModel);
+    barrier_->wait();
+    // Same-epoch hand-offs (disk admissions) posted by the model phase.
+    drain_mail(mail_model_, w, workers);
+    run_phase(w, workers, DomainPhase::kService);
+  }
+  tls_engine_ = nullptr;
+}
+
+void Engine::plan_epoch() {
+  // Every epoch starts at the globally earliest pending event, so a run
+  // never iterates empty epochs — gaps in simulated time (an idle sync
+  // interval, a long seek) cost one barrier round, not lookahead-many.
+  bool any = false;
+  SimTime t_next{};
+  for (const Core& c : cores_) {
+    if (c.queue.empty()) continue;
+    const SimTime at = c.queue.top().at;
+    if (!any || at < t_next) {
+      t_next = at;
+      any = true;
+    }
+  }
+  if (!any) {
+    // All queues drained and (because service mail was drained before this
+    // plan) no message is in flight: the run is complete.
+    done_ = true;
+    return;
+  }
+  epoch_end_ = t_next + lookahead_;
+  ++epochs_;
+}
+
+void Engine::run_phase(std::size_t w, std::size_t workers, DomainPhase phase) {
+  for (std::size_t s = w; s < map_.shards; s += workers) {
+    if (shard_phase_[s] != phase) continue;
+    Core& core = cores_[s];
+    log_detail::ScopedSimClock log_clock(&core.now);
+    while (!core.queue.empty()) {
+      const Event top = core.queue.top();
+      if (top.at >= epoch_end_) break;
+      auto fn = core.fns.take(top.slot());
+      core.now = top.at;
+      tls_ctx_ = make_ctx(top.target(), static_cast<std::uint16_t>(s));
+      core.queue.pop();
+      fn();
+      ++core.executed;
+    }
+  }
+}
+
+void Engine::drain_mail(std::vector<std::vector<Mail>>& boxes, std::size_t w,
+                        std::size_t workers) {
+  const std::size_t shard_count = map_.shards;
+  for (std::size_t dst = w; dst < shard_count; dst += workers) {
+    Core& core = cores_[dst];
+    for (std::size_t src = 0; src < shard_count; ++src) {
+      auto& box = boxes[src * shard_count + dst];
+      for (Mail& m : box) {
+        const std::uint64_t slot = core.fns.put(std::move(m.fn));
+        core.queue.push(Event{
+            m.at, m.key,
+            (static_cast<std::uint64_t>(m.target) << 32) | slot});
+      }
+      box.clear();
+    }
+  }
+}
+
+std::uint64_t Engine::events_processed() const {
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < map_.shards; ++s)
+    total += cores_ptr_[s].executed;
+  return total;
+}
+
+bool Engine::empty() const {
+  for (std::size_t s = 0; s < map_.shards; ++s) {
+    if (!cores_ptr_[s].queue.empty()) return false;
+  }
+  return true;
+}
+
+std::size_t Engine::pending() const {
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < map_.shards; ++s)
+    total += cores_ptr_[s].queue.size();
+  return total;
 }
 
 }  // namespace lap

@@ -1,14 +1,29 @@
-// Discrete-event simulation engine.
+// Discrete-event simulation engine, sequential or sharded.
 //
-// The engine owns a time-ordered event queue.  Events at equal timestamps
-// fire in scheduling order (a strictly increasing sequence number breaks
-// ties), which makes runs fully deterministic.
+// The engine owns one time-ordered event queue per *shard* (slab +
+// 4-ary heap).  Events at equal timestamps fire in a canonical
+// (timestamp, target phase, origin domain, per-domain sequence) order,
+// which makes runs fully deterministic — and, because that key never
+// mentions threads or shard count, the same scenario replays bit-exactly
+// whether it runs sequentially or as N shards on a thread pool
+// (DESIGN.md §14).  The phase component mirrors the parallel schedule: an
+// epoch runs its model-phase shards before its service-phase shards, so at
+// equal timestamps model-targeted events must sort first sequentially too.
+//
+// The default-constructed engine is the single-domain, single-shard
+// configuration: origin is always domain 0, the per-domain sequence is the
+// global scheduling order, and `run()` is the same tight dispatch loop as
+// the historical sequential engine.  `configure_domains()` opts a run into
+// sharding; `run_parallel()` then executes epochs of conservative
+// lookahead, exchanging cross-shard events only at epoch boundaries.
 #pragma once
 
 #include <coroutine>
 #include <cstdint>
 #include <functional>
+#include <vector>
 
+#include "sim/domain.hpp"
 #include "util/assert.hpp"
 #include "util/dary_heap.hpp"
 #include "util/slab.hpp"
@@ -21,25 +36,59 @@ class TraceSink;
 
 class Engine {
  public:
-  Engine() = default;
+  Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
-  [[nodiscard]] SimTime now() const { return now_; }
+  /// Install the domain/shard partition for this run.  Must be called
+  /// before any event is scheduled.  `lookahead` is the conservative
+  /// epoch width: any cross-shard message other than a model-phase →
+  /// service-phase hand-off must be scheduled at least `lookahead` after
+  /// the epoch start (the engine asserts this).  With more than one shard
+  /// the lookahead must be positive.
+  void configure_domains(DomainMap map, SimTime lookahead);
+  [[nodiscard]] const DomainMap& domain_map() const { return map_; }
+  [[nodiscard]] SimTime lookahead() const { return lookahead_; }
 
-  /// Schedule `fn` to run at absolute simulated time `at` (>= now).
+  /// Domain of the event currently executing (0 outside any event).
+  [[nodiscard]] DomainId current_domain() const { return ctx().domain; }
+
+  /// Inside an event: the executing shard's clock.  Outside: the furthest
+  /// clock any shard has reached.
+  [[nodiscard]] SimTime now() const;
+
+  /// Schedule `fn` to run at absolute simulated time `at` (>= now) in the
+  /// current domain.  Hot path: the context caches the domain's sequence
+  /// counter and pre-packed key, so this is counter++, slab put, heap
+  /// push — the same work the pre-sharding engine did.
   void schedule_at(SimTime at, std::function<void()> fn) {
-    LAP_EXPECTS(at >= now_);
-    const std::uint32_t slot = fns_.put(std::move(fn));
-    LAP_ASSERT(slot < (1u << kSlotBits));
-    LAP_ASSERT(next_seq_ < (1ULL << (64 - kSlotBits)));
-    queue_.push(Event{at, (next_seq_++ << kSlotBits) | slot});
+    if (single_) [[likely]] {
+      push_single(at, std::move(fn));
+      return;
+    }
+    const Ctx& c = ctx();
+    LAP_EXPECTS(at >= c.core->now);
+    push_self(c, at, std::move(fn));
   }
 
-  /// Schedule `fn` to run `delay` from now.
+  /// Schedule `fn` to run `delay` from now in the current domain.
   void schedule_in(SimTime delay, std::function<void()> fn) {
-    schedule_at(now_ + delay, std::move(fn));
+    LAP_EXPECTS(delay >= SimTime::zero());
+    if (single_) [[likely]] {
+      push_single(core0_.now + delay, std::move(fn));
+      return;
+    }
+    const Ctx& c = ctx();
+    push_self(c, c.core->now + delay, std::move(fn));
   }
+
+  /// Schedule `fn` to run at `at` in domain `target`, which may live on
+  /// another shard.  During parallel execution a cross-shard post is
+  /// buffered in a mailbox and applied at the next epoch boundary in
+  /// canonical order; the lookahead contract (see configure_domains) is
+  /// asserted.  Sequentially it is an ordinary heap push, so the canonical
+  /// order — and therefore the simulation — is identical either way.
+  void post_at(DomainId target, SimTime at, std::function<void()> fn);
 
   /// Awaitable: suspend the current coroutine for `d` simulated time.
   ///
@@ -58,17 +107,35 @@ class Engine {
     return Awaiter{this, d};
   }
 
-  /// Run until the event queue drains.  Returns the number of events
-  /// processed by this call.
+  /// Run until the event queues drain.  Returns the number of events
+  /// processed by this call.  Sequential (any shard executes on the
+  /// calling thread); valid for every domain configuration and always
+  /// produces the canonical order.
   std::uint64_t run();
 
   /// Run until the queue drains or simulated time would exceed `horizon`.
-  /// Events past the horizon stay queued.
+  /// Events past the horizon stay queued.  Single-shard configurations
+  /// only.
   std::uint64_t run_until(SimTime horizon);
 
-  [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
-  [[nodiscard]] bool empty() const { return queue_.empty(); }
-  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  /// Run until the event queues drain using up to `threads` workers from a
+  /// private thread pool (0 = one worker per shard).  Shards execute
+  /// epochs in lockstep: [T, T + lookahead) where T is the globally
+  /// earliest pending event, model-phase shards before service-phase
+  /// shards, cross-shard mail applied at the barriers in canonical order.
+  /// Bit-exact with run() for any thread count — the differential wall
+  /// (lap_check, ContainerGolden, SweepShards) holds it to that.
+  std::uint64_t run_parallel(std::size_t threads);
+
+  [[nodiscard]] std::uint64_t events_processed() const;
+  [[nodiscard]] bool empty() const;
+  [[nodiscard]] std::size_t pending() const;
+
+  /// Number of epoch-barrier rounds the last run_parallel executed.  Each
+  /// epoch starts at the globally earliest pending event (empty epochs are
+  /// fast-forwarded over, never iterated), so this is also a measure of
+  /// barrier overhead per scenario.
+  [[nodiscard]] std::uint64_t epochs_executed() const { return epochs_; }
 
   /// Attach an observability sink (nullptr detaches).  The engine itself
   /// emits nothing — the dispatch loop is the simulator's hottest path, and
@@ -84,34 +151,177 @@ class Engine {
   [[nodiscard]] SpanCollector* span_collector() const { return spans_; }
 
  private:
-  // The heap holds only this 16-byte POD; the callback lives in a slab slot
+  // The heap holds only this 24-byte POD; the callback lives in a slab slot
   // that is recycled across events, so heap maintenance never moves (or
-  // reallocates) the closures.  seq and slot share one word — seq in the
-  // high bits, so comparing seq_slot compares seq (seq is unique; the slot
-  // bits can never decide) — which keeps dispatch order the total (at, seq)
-  // order, bit-identical to the former std::priority_queue implementation,
-  // while a sift touches a third fewer cache lines.  The split allows 2^24
-  // concurrently pending events and 2^40 scheduled per run, both asserted
-  // at schedule time.
-  static constexpr unsigned kSlotBits = 24;
+  // reallocates) the closures.  `key` packs the whole non-timestamp half of
+  // the canonical sort key into one word — phase(target) in bit 63, origin
+  // domain in bits 47..62, the origin's sequence number in the low 47 bits
+  // — so the comparator is exactly two compares (at, then key), the same
+  // shape as the pre-sharding engine's.  seq is unique per origin, so key
+  // is unique per timestamp and the slot never has to decide.  2^47 events
+  // per domain per run, asserted at schedule time.
+  static constexpr unsigned kSeqBits = 47;
   struct Event {
     SimTime at;
-    std::uint64_t seq_slot;
+    std::uint64_t key;          // phase(target) << 63 | origin << 47 | seq
+    std::uint64_t slot_target;  // target << 32 | slot
+    // Three word-sized members on purpose: the heap's sift loads elements
+    // back word-by-word right after storing them, so narrower or padded
+    // members turn every push into a store-forwarding stall.
+
+    [[nodiscard]] std::uint32_t slot() const {
+      return static_cast<std::uint32_t>(slot_target);
+    }
+    [[nodiscard]] DomainId target() const {
+      return static_cast<DomainId>(slot_target >> 32);
+    }
   };
   struct Earlier {
     bool operator()(const Event& a, const Event& b) const {
       if (a.at != b.at) return a.at < b.at;
-      return a.seq_slot < b.seq_slot;  // seq in the high bits decides
+      return a.key < b.key;  // (phase, origin, seq), lexicographic
     }
   };
 
-  SimTime now_;
-  std::uint64_t next_seq_ = 0;
-  std::uint64_t processed_ = 0;
+  // One execution lane per shard.  Padded: during parallel phases each
+  // core is written by exactly one worker, and they must not share lines.
+  struct alignas(64) Core {
+    SimTime now;
+    std::uint64_t executed = 0;
+    Slab<std::function<void()>> fns;
+    DaryHeap<Event, Earlier, 4> queue;
+  };
+
+  struct alignas(64) SeqCounter {
+    std::uint64_t v = 0;
+  };
+
+  // Where code is executing right now: which core's clock is current and
+  // which domain owns the running event.  Sequential runs keep this in a
+  // member; parallel workers keep theirs in thread-local storage.  The
+  // last two fields cache what same-domain scheduling needs — the domain's
+  // sequence counter and its pre-packed (phase, origin) key base — so
+  // the hot path never indexes the side tables.
+  struct Ctx {
+    Core* core;
+    DomainId domain;
+    std::uint16_t shard;
+    SeqCounter* seq;
+    std::uint64_t self_key;  // key_base(domain, domain)
+  };
+
+  // A cross-shard message parked until the next epoch boundary.  The
+  // sequence number inside `key` is drawn at post time from the origin
+  // domain's counter, so applying mailboxes in any order at the barrier
+  // still yields the one canonical heap order.
+  struct Mail {
+    SimTime at;
+    std::uint64_t key;
+    DomainId target;
+    std::function<void()> fn;
+  };
+
+  [[nodiscard]] const Ctx& ctx() const {
+    if (parallel_active_ && tls_engine_ == this) return tls_ctx_;
+    return seq_ctx_;
+  }
+
+  [[nodiscard]] std::uint64_t key_base(DomainId origin,
+                                       DomainId target) const {
+    return (static_cast<std::uint64_t>(map_.phase_of[target]) << 63) |
+           (static_cast<std::uint64_t>(origin) << kSeqBits);
+  }
+
+  [[nodiscard]] Ctx make_ctx(DomainId d, std::uint16_t shard) {
+    return Ctx{&cores_ptr_[map_.shard_of[d]], d, shard, &seq_ptr_[d],
+               key_base(d, d)};
+  }
+
+  // The default engine (one domain, one shard): origin and target are
+  // always domain 0 and the key is the bare sequence, so the hot path is the
+  // historical sequential engine's — counter++, slab put, heap push — on
+  // state addressed at fixed offsets from `this`, with no context lookup
+  // and no vector-data indirection at all.
+  void push_single(SimTime at, std::function<void()> fn) {
+    LAP_EXPECTS(at >= core0_.now);
+    // Domain 0 is model-phase, so phase and origin bits are zero and the
+    // key is the bare sequence number.
+    const std::uint64_t seq = seq0_.v++;
+    LAP_ASSERT(seq < (1ULL << kSeqBits));
+    const std::uint64_t slot = core0_.fns.put(std::move(fn));
+    core0_.queue.push(Event{at, seq, slot});
+  }
+
+  // Same-domain push with everything pre-resolved in the context.
+  void push_self(const Ctx& c, SimTime at, std::function<void()> fn) {
+    const std::uint64_t seq = c.seq->v++;
+    LAP_ASSERT(seq < (1ULL << kSeqBits));
+    const std::uint64_t slot = c.core->fns.put(std::move(fn));
+    c.core->queue.push(Event{
+        at, c.self_key | seq,
+        (static_cast<std::uint64_t>(c.domain) << 32) | slot});
+  }
+
+  void push_event(Core& core, SimTime at, DomainId origin, DomainId target,
+                  std::function<void()> fn) {
+    const std::uint64_t seq = seq_ptr_[origin].v++;
+    LAP_ASSERT(seq < (1ULL << kSeqBits));
+    const std::uint64_t slot = core.fns.put(std::move(fn));
+    core.queue.push(Event{
+        at, key_base(origin, target) | seq,
+        (static_cast<std::uint64_t>(target) << 32) | slot});
+  }
+
+  void worker_loop(std::size_t w, std::size_t workers);
+  void run_phase(std::size_t w, std::size_t workers, DomainPhase phase);
+  void drain_mail(std::vector<std::vector<Mail>>& boxes, std::size_t w,
+                  std::size_t workers);
+  void plan_epoch();
+
+  DomainMap map_;
+  SimTime lookahead_;
+  std::vector<DomainPhase> shard_phase_ = {DomainPhase::kModel};
+  // Shard 0 / domain 0 live inline in the engine so the default
+  // (single-domain, single-shard) hot path addresses them at fixed offsets
+  // from `this` — the layout the dispatch loop is tuned for.  The vectors
+  // are populated, and the pointer views retargeted onto them, only when
+  // configure_domains() installs a real multi-shard or multi-domain map.
+  Core core0_;
+  SeqCounter seq0_;
+  std::vector<Core> cores_;            // all shards, iff map_.shards > 1
+  std::vector<SeqCounter> next_seq_;   // all domains, iff domains() > 1
+  Core* cores_ptr_ = &core0_;
+  SeqCounter* seq_ptr_ = &seq0_;
+  Ctx seq_ctx_;
+  bool single_ = true;  // one domain, one shard: the default engine
+  bool seq_running_ = false;
+
+  // Epoch state, written by worker 0 in plan_epoch() and read by everyone
+  // after the following barrier — the barrier provides the ordering, so
+  // these are deliberately plain fields.
+  bool parallel_active_ = false;
+  bool done_ = false;
+  SimTime epoch_end_;
+  std::uint64_t epochs_ = 0;
+  class SpinBarrier* barrier_ = nullptr;
+
+  // Mailboxes, indexed [src_shard * shards + dst_shard].  Double-buffered
+  // by writer phase: model-phase events post into mail_model_ (drained
+  // between the model and service halves of the same epoch — that is how a
+  // disk admission crosses shards without waiting an epoch), service-phase
+  // events post into mail_service_ (drained at the top of the next epoch).
+  // Each cell has exactly one writing worker per phase and one draining
+  // worker per barrier window, so the vectors need no locks.
+  std::vector<std::vector<Mail>> mail_model_;
+  std::vector<std::vector<Mail>> mail_service_;
+
   TraceSink* trace_ = nullptr;
   SpanCollector* spans_ = nullptr;
-  Slab<std::function<void()>> fns_;
-  DaryHeap<Event, Earlier, 4> queue_;
+
+  // constinit: constant-initialized TLS has no per-access init guard (the
+  // _ZTH wrapper call the ABI otherwise requires on every read).
+  static constinit thread_local Engine* tls_engine_;
+  static constinit thread_local Ctx tls_ctx_;
 };
 
 }  // namespace lap

@@ -1,0 +1,12 @@
+// Violates concurrency-containment: ad-hoc synchronisation in model code.
+// lap-lint: path(src/cache/fixture_sync.cpp)
+#include <cstdint>
+#include <mutex>
+
+std::mutex table_mu;
+thread_local std::uint64_t scratch = 0;
+
+std::uint64_t bump() {
+  std::lock_guard lock(table_mu);
+  return ++scratch;
+}

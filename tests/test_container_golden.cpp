@@ -1,12 +1,13 @@
-// Differential corpus for the hot-path container rewrite.
+// Differential corpus pinning the simulator's exact behaviour.
 //
-// The golden hashes below were captured by running the PR 2 fuzzer's
-// scenario generator (seeds 1..32, both file systems) against the
-// *original* node-based containers (std::priority_queue event loop,
-// std::unordered_map tables, std::list-backed LRU, std::map disk queue)
-// and fingerprinting each RunResult with hash_run_result().  The flat
-// containers must reproduce every run bit-for-bit: any mismatch means the
-// rewrite changed simulation behaviour, not just its speed.
+// The golden hashes below come from the PR 2 fuzzer's scenario generator
+// (seeds 1..32, both file systems), each RunResult fingerprinted with
+// hash_run_result().  Originally captured against the node-based
+// containers to guard the flat-container rewrite, they were re-captured
+// once for the sharded-engine refactor (which gave disk completions a
+// modelled controller latency, an intentional semantic change) on the
+// *sequential* engine — and now also guard the parallel engine: every
+// execution mode must reproduce these runs bit-for-bit.
 #include "check/golden.hpp"
 
 #include <gtest/gtest.h>
@@ -22,40 +23,41 @@ struct Golden {
   std::uint64_t xfs;
 };
 
-// Captured 2026-08-05 at commit 99d0654 (pre-rewrite).
+// Captured 2026-08-09 on the sequential engine after the domain/latency
+// refactor (disk completion_latency + canonical (at, origin, seq) keys).
 constexpr Golden kCorpus[] = {
-    {1, 0x919471c41fa3d7b8ULL, 0xdf2af069d4f232adULL},
-    {2, 0x59ea5faaf39f047dULL, 0x55515c318acc8c69ULL},
-    {3, 0x44c4cca64b3c08eaULL, 0x2c47c0f796d8fe61ULL},
-    {4, 0x3937c22dfa7f89cdULL, 0x8a0a6eb93bc35e8aULL},
-    {5, 0xe279b2fe39d1ea32ULL, 0x11b5908c240dcf64ULL},
-    {6, 0x04801e500d2d7023ULL, 0xe4d5c7b4f67b8692ULL},
-    {7, 0x85fd671af6bbe24fULL, 0x76abd73bcf8470b5ULL},
-    {8, 0xe2e369c8f547544fULL, 0x9520e4a0f0b1554cULL},
-    {9, 0xa7c4225526388f6bULL, 0x450ae3b00e6a2586ULL},
-    {10, 0x1b4bd5fd808bd240ULL, 0x21b898e9a893eda0ULL},
-    {11, 0xa22c72d06f9524faULL, 0xc75b1f93b52fa482ULL},
-    {12, 0xad6aa0fbca5903ceULL, 0xfed07d468d90dc73ULL},
-    {13, 0x7230b4197237c98dULL, 0xc40649894750c871ULL},
-    {14, 0xaa527d90404076f9ULL, 0x1745b89ddb3db9dfULL},
-    {15, 0x62d2f92d1e36403eULL, 0x8a1437c0820c3297ULL},
-    {16, 0x00d361b0ecbe77bdULL, 0xe8302e3176bffa11ULL},
-    {17, 0xc2f93d9a6e66d0d9ULL, 0x777ddbc6598c4159ULL},
-    {18, 0xc9a8f7665cbc387eULL, 0x9d375468d9d5e819ULL},
-    {19, 0xb4b255eb5bd6ee36ULL, 0x6b3db4b9e655a506ULL},
-    {20, 0xbe58198e8dd65bc2ULL, 0xb2cd467e52e4be95ULL},
-    {21, 0x16711544f5d91a04ULL, 0x7a633988e41441c6ULL},
-    {22, 0xb80eebd5ac25f282ULL, 0xa2c9dbabe6403f99ULL},
-    {23, 0x2ae4ebfbc1f21e60ULL, 0x725959f8e95126cbULL},
-    {24, 0xec931daeb17d76c1ULL, 0x3e7da832fd9ff0acULL},
-    {25, 0x10be602fb919e189ULL, 0x8f28dcd707257590ULL},
-    {26, 0x742cf7a98ee7ea22ULL, 0x7e164f2d53df65e5ULL},
-    {27, 0x50e14093fbd4d200ULL, 0x10e850550984607bULL},
-    {28, 0x34eab7139c593d82ULL, 0x60be9a1e6a5c9c02ULL},
-    {29, 0x5ad07dacc54a7212ULL, 0x1c8f52b12340f638ULL},
-    {30, 0xbf4488ba6409416aULL, 0x2c51cf9ea9321d79ULL},
-    {31, 0x4cf60fd88b2f65a7ULL, 0xd99ad4bdc7200c7cULL},
-    {32, 0xec17ef16e865d88bULL, 0xdc91d7e008422cc0ULL},
+    {1, 0xb19fac66dc9cfc22ULL, 0x52f058129a9ed35bULL},
+    {2, 0x1a6ed949150aa910ULL, 0x1c2ba29da7f620b3ULL},
+    {3, 0x2ec29a6305b6b426ULL, 0x5b94c2642d8c82c5ULL},
+    {4, 0x5480eb20cfee1289ULL, 0x32a0c74edd95a915ULL},
+    {5, 0xb23ea825ad0f9431ULL, 0xdd4c9d3a839b20aeULL},
+    {6, 0x7bbfaa49ab28c861ULL, 0x0c8cd3fbc1ef421fULL},
+    {7, 0x7b0ae22599a57213ULL, 0x02367d44a951523cULL},
+    {8, 0xc859104206059ddfULL, 0x854dc7c9e6edea4bULL},
+    {9, 0xf1fe4dcf7daa05e8ULL, 0xdd397ee7dbeb72f9ULL},
+    {10, 0xc1ab720076d97de9ULL, 0x9d2826d30b5b0f91ULL},
+    {11, 0x73cfc95a32cc1f2fULL, 0x929d64e88120a535ULL},
+    {12, 0xd6c30f694e2ceb77ULL, 0xfa14a0f1fa085083ULL},
+    {13, 0xc4e7e461398c04d2ULL, 0x7e54e02535c6e2d0ULL},
+    {14, 0x684c33415134e95aULL, 0x350f8553ceaa7ff2ULL},
+    {15, 0x1ad00f9f3e5f0dbeULL, 0x1fc7a9720ed00a77ULL},
+    {16, 0x3496b19230ac7d7eULL, 0x7927123efc6c2162ULL},
+    {17, 0x6e16e34d8cead5b4ULL, 0x47cbc6c06c4e290cULL},
+    {18, 0x4370058329ea1abdULL, 0xfe7485e5d6ec07b5ULL},
+    {19, 0xdea27e8114aba810ULL, 0xbc9eb8edd55fca65ULL},
+    {20, 0x1668b316f8477c25ULL, 0xf7c434582f5a0f78ULL},
+    {21, 0x9957d91f39c90146ULL, 0xf82bb422adaa1f71ULL},
+    {22, 0xd18d7a4297c9128aULL, 0xbe3196e9ab631abcULL},
+    {23, 0x9882f489174a3daeULL, 0xf48a0adb349d9d20ULL},
+    {24, 0xaac639ba4d656a83ULL, 0x9e5f47d521b846c4ULL},
+    {25, 0x0806d4816e1f0da5ULL, 0x5358f3c7ed11d8ceULL},
+    {26, 0x3cbddc143a9253baULL, 0x9a8b5b42a0c3b66eULL},
+    {27, 0x90c73305ed3542f7ULL, 0x6e2b6d0fcea2bee8ULL},
+    {28, 0x49896e2057587aa4ULL, 0xeacee565fa36b19dULL},
+    {29, 0xd24a4659de43fa72ULL, 0x84f1f4e391cc6e3aULL},
+    {30, 0x488dfc175135746cULL, 0x3b29a4f3c89c54e4ULL},
+    {31, 0xd3f8b6bb5606a441ULL, 0xa1d5a3ba24771616ULL},
+    {32, 0x6052c56735335cfeULL, 0x96ee84f6e595187eULL},
 };
 
 TEST(ContainerGolden, PafsCorpusIsBitExact) {
@@ -85,6 +87,27 @@ TEST(ContainerGolden, SpanCollectorKeepsTheCorpusBitExact) {
     EXPECT_EQ(golden_scenario_hash(g.seed, FsKind::kXfs, /*with_spans=*/true),
               g.xfs)
         << "seed " << g.seed;
+  }
+}
+
+// Sharded-engine differential over the full corpus: every seed, both file
+// systems, replayed at shards = 2, 4 and 8 on the epoch-barrier parallel
+// engine, must reproduce the committed *sequential* hashes bit-for-bit
+// (shards = 1 is what captured them — the tests above).  Shard count is
+// execution policy, not semantics; any drift here means a cross-shard
+// message was applied out of canonical order.
+TEST(ContainerGolden, ShardedEngineKeepsTheCorpusBitExact) {
+  for (const Golden& g : kCorpus) {
+    for (const int shards : {2, 4, 8}) {
+      EXPECT_EQ(golden_scenario_hash(g.seed, FsKind::kPafs,
+                                     /*with_spans=*/false, shards),
+                g.pafs)
+          << "seed " << g.seed << " shards " << shards;
+      EXPECT_EQ(golden_scenario_hash(g.seed, FsKind::kXfs,
+                                     /*with_spans=*/false, shards),
+                g.xfs)
+          << "seed " << g.seed << " shards " << shards;
+    }
   }
 }
 

@@ -139,6 +139,9 @@ TEST(Disk, BusyAndQueueLength) {
   EXPECT_FALSE(d.busy());
   (void)d.read_block(prio::kDemand);
   (void)d.read_block(prio::kDemand);
+  // Admission is an event in the disk's domain; pump the same-time events
+  // through without letting either service completion (at t > 0) fire.
+  eng.run_until(SimTime::zero());
   EXPECT_TRUE(d.busy());
   EXPECT_EQ(d.queue_length(), 1u);  // one in service, one queued
   eng.run();

@@ -1,0 +1,188 @@
+// Unit tests for the epoch-barrier scheduler: the canonical event order
+// (timestamp, target phase, origin domain, per-domain sequence), empty-epoch
+// fast-forwarding, the lookahead derivation, and shutdown with cross-shard
+// messages still in flight.  Everything here drives the Engine directly —
+// no file system, no disks — so a failure points at the scheduler itself,
+// not at a model component riding on it.
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "driver/machine_config.hpp"
+#include "driver/simulation.hpp"
+#include "util/units.hpp"
+
+namespace lap {
+namespace {
+
+// One model domain (0) plus `service` service domains.  shards == 1 keeps
+// every domain on shard 0 (the sequential fast path); otherwise shard 0 is
+// the model shard and service domains round-robin over the rest — the same
+// grouping rule build_domain_map uses for disks.
+DomainMap make_map(std::uint16_t shards, std::uint16_t service) {
+  DomainMap map;
+  map.shards = shards;
+  for (std::uint16_t d = 0; d < service; ++d) {
+    map.shard_of.push_back(
+        shards == 1 ? 0 : static_cast<std::uint16_t>(1 + d % (shards - 1)));
+    map.phase_of.push_back(DomainPhase::kService);
+  }
+  return map;
+}
+
+constexpr SimTime kLook = SimTime::us(1);
+
+// --- Canonical order at a timestamp tie -----------------------------------
+
+// Model-targeted events fire before service-targeted events at the same
+// timestamp, regardless of posting order: the sequential engine must
+// reproduce the parallel schedule, which runs the model phase first.
+TEST(EpochScheduler, TieBreaksByTargetPhaseFirst) {
+  Engine eng;
+  eng.configure_domains(make_map(1, 2), kLook);
+  std::vector<std::string> order;
+  const SimTime t = SimTime::us(5);
+  eng.post_at(DomainId{1}, t, [&] { order.push_back("svc1"); });
+  eng.post_at(DomainId{0}, t, [&] { order.push_back("model-a"); });
+  eng.post_at(DomainId{2}, t, [&] { order.push_back("svc2"); });
+  eng.post_at(DomainId{0}, t, [&] { order.push_back("model-b"); });
+  eng.run();
+  const std::vector<std::string> want = {"model-a", "model-b", "svc1",
+                                         "svc2"};
+  EXPECT_EQ(order, want);
+}
+
+// Within a phase, ties break by origin domain, not by when the event was
+// pushed into the heap: domain 2's event is scheduled *before* domain 1's,
+// yet domain 1 fires first at the shared timestamp.
+TEST(EpochScheduler, TieBreaksByOriginDomainThenSequence) {
+  Engine eng;
+  eng.configure_domains(make_map(1, 2), kLook);
+  std::vector<std::string> order;
+  const SimTime t1 = SimTime::us(10);
+  // Stage: at t0, each service domain schedules its own t1 event — so the
+  // t1 events carry origin 1 and origin 2.  Domain 2 stages first.
+  eng.post_at(DomainId{2}, SimTime::us(1), [&, t1] {
+    eng.schedule_at(t1, [&] { order.push_back("origin2"); });
+  });
+  eng.post_at(DomainId{1}, SimTime::us(2), [&, t1] {
+    eng.schedule_at(t1, [&] { order.push_back("origin1-a"); });
+    eng.schedule_at(t1, [&] { order.push_back("origin1-b"); });
+  });
+  eng.run();
+  // origin 1 < origin 2; within origin 1, sequence (scheduling order).
+  const std::vector<std::string> want = {"origin1-a", "origin1-b",
+                                         "origin2"};
+  EXPECT_EQ(order, want);
+}
+
+// --- Sequential / parallel equivalence ------------------------------------
+
+// A ping-pong program between the model domain and two service domains,
+// obeying the lookahead contract the disks obey: model → service hand-offs
+// may be same-time, service → model replies travel at now + lookahead.
+// Per-domain logs (race-free: one worker touches a domain at a time) must
+// be identical for every shard and worker count.
+struct PingPong {
+  Engine eng;
+  std::vector<std::vector<std::int64_t>> log;  // per domain: event times
+
+  explicit PingPong(std::uint16_t shards, int rounds) {
+    eng.configure_domains(make_map(shards, 2), kLook);
+    log.resize(3);
+    for (DomainId d : {DomainId{1}, DomainId{2}}) {
+      bounce(d, SimTime::us(d), rounds);
+    }
+  }
+
+  void bounce(DomainId d, SimTime at, int left) {
+    eng.post_at(d, at, [this, d, at, left] {
+      log[d].push_back(at.nanos());
+      const SimTime reply = at + eng.lookahead();
+      eng.post_at(DomainId{0}, reply, [this, d, reply, left] {
+        log[0].push_back(reply.nanos());
+        if (left > 0) bounce(d, reply, left - 1);  // same-time hand-off
+      });
+    });
+  }
+};
+
+TEST(EpochScheduler, ParallelMatchesSequentialForAnyWorkerCount) {
+  PingPong seq(1, 64);
+  const std::uint64_t executed = seq.eng.run();
+  for (const std::uint16_t shards : {std::uint16_t{2}, std::uint16_t{3}}) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                      std::size_t{8}}) {
+      PingPong par(shards, 64);
+      EXPECT_EQ(par.eng.run_parallel(threads), executed)
+          << "shards=" << shards << " threads=" << threads;
+      EXPECT_EQ(par.log, seq.log)
+          << "shards=" << shards << " threads=" << threads;
+    }
+  }
+}
+
+// --- Empty-epoch fast-forward ---------------------------------------------
+
+// Epochs start at the globally earliest pending event, so a gap of a
+// millisecond costs one barrier round — not gap/lookahead rounds.
+TEST(EpochScheduler, EmptyEpochsAreFastForwarded) {
+  Engine eng;
+  eng.configure_domains(make_map(2, 1), kLook);
+  constexpr int kClusters = 8;
+  int fired = 0;
+  for (int i = 0; i < kClusters; ++i) {
+    eng.post_at(DomainId{1}, SimTime::ms(i), [&] { ++fired; });
+  }
+  eng.run_parallel(2);
+  EXPECT_EQ(fired, kClusters);
+  // Naive lookahead iteration would need (7 ms / 1 us) = 7000 epochs.
+  EXPECT_LE(eng.epochs_executed(), static_cast<std::uint64_t>(kClusters));
+  EXPECT_GE(eng.epochs_executed(), 1u);
+}
+
+// --- Lookahead derivation -------------------------------------------------
+
+// The epoch width is the tightest latency either coupling path offers:
+// network hops into the model partition, controller latency out of the
+// disk partition.  PM's 2 us local port startup undercuts its 20 us disk
+// controller; NOW's network is slower than its controller.
+TEST(EpochScheduler, LookaheadIsMinimumCouplingLatency) {
+  const MachineConfig pm = MachineConfig::pm();
+  EXPECT_EQ(sharded_lookahead(pm), SimTime::us(2));
+  EXPECT_EQ(sharded_lookahead(pm), pm.net.min_hop_latency());
+
+  const MachineConfig now = MachineConfig::now();
+  EXPECT_EQ(sharded_lookahead(now), SimTime::us(20));
+  EXPECT_EQ(sharded_lookahead(now), now.disk.completion_latency);
+}
+
+// --- Shutdown with in-flight mail -----------------------------------------
+
+// The final events of a run are cross-shard messages: the run may only
+// terminate after every mailbox has drained.  A scheduler that checks heap
+// emptiness without draining service-phase mail first would drop the last
+// replies.
+TEST(EpochScheduler, ShutdownWaitsForInFlightCrossShardMail) {
+  Engine eng;
+  eng.configure_domains(make_map(3, 2), kLook);
+  int replies = 0;
+  const SimTime t = SimTime::us(7);
+  for (DomainId d : {DomainId{1}, DomainId{2}}) {
+    eng.post_at(d, t, [&eng, &replies, t] {
+      // The very last thing each service domain does is mail the model.
+      eng.post_at(DomainId{0}, t + eng.lookahead(), [&replies] { ++replies; });
+    });
+  }
+  eng.run_parallel(3);
+  EXPECT_EQ(replies, 2);
+  EXPECT_TRUE(eng.empty());
+  EXPECT_EQ(eng.events_processed(), 4u);
+}
+
+}  // namespace
+}  // namespace lap

@@ -54,11 +54,12 @@ void expect_diags(const std::vector<Diagnostic>& got,
 
 TEST(LintCatalog, ListsEveryRule) {
   const auto catalog = lap::lint::rule_catalog();
-  ASSERT_EQ(catalog.size(), 9u);
+  ASSERT_EQ(catalog.size(), 10u);
   const char* expected[] = {
       "no-rand",          "no-wallclock",          "unordered-iteration",
       "pointer-keyed-map", "container-policy",     "trace-io-typed-errors",
-      "nodiscard-result", "no-iostream-in-header", "transitive-include"};
+      "nodiscard-result", "no-iostream-in-header", "transitive-include",
+      "concurrency-containment"};
   for (std::size_t i = 0; i < catalog.size(); ++i) {
     EXPECT_EQ(catalog[i].id, expected[i]);
     EXPECT_FALSE(catalog[i].summary.empty());
@@ -116,6 +117,14 @@ TEST(LintRules, IostreamInHeaderFires) {
 TEST(LintRules, TransitiveIncludeFires) {
   expect_diags(lint_fixture("violate_transitive_include.cpp"),
                {{"transitive-include", 5}});
+}
+
+TEST(LintRules, ConcurrencyContainmentFiresOutsideTheKernel) {
+  expect_diags(lint_fixture("violate_concurrency.cpp"),
+               {{"concurrency-containment", 4},
+                {"concurrency-containment", 6},
+                {"concurrency-containment", 7},
+                {"concurrency-containment", 10}});
 }
 
 // --- suppression + path directives ----------------------------------------
@@ -242,7 +251,7 @@ TEST(LintCorpus, EveryViolatingFixtureFailsAndEveryCleanOnePasses) {
       ADD_FAILURE() << "fixture with unknown prefix: " << name;
     }
   }
-  EXPECT_EQ(violating, 10);  // one per rule + the multi-rule fixture
+  EXPECT_EQ(violating, 11);  // one per rule + the multi-rule fixture
   EXPECT_EQ(clean, 2);
 }
 

@@ -1,0 +1,58 @@
+// Shard-count independence: shards (and the worker threads driving them)
+// are execution policy, not semantics, so every RunResult field (doubles
+// compared exactly; wall_seconds excluded) must be bit-identical between
+// the sequential engine and the epoch-barrier parallel engine at any shard
+// × worker combination.  This is the property-test face of the same
+// contract the golden corpus and the lap_check differential stage pin.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "check/differential.hpp"
+#include "check/scenario.hpp"
+#include "driver/simulation.hpp"
+
+namespace lap {
+namespace {
+
+TEST(SweepShards, ResultsAreIndependentOfShardAndWorkerCount) {
+  for (const std::uint64_t seed : {7u, 19u}) {
+    const Scenario s = generate_scenario(seed);
+    for (const FsKind fs : {FsKind::kPafs, FsKind::kXfs}) {
+      const RunConfig base = scenario_config(s, fs);
+      const RunResult sequential = run_simulation(s.trace, base);
+      for (int shards = 1; shards <= 8; ++shards) {
+        for (const int threads : {1, 2, 8}) {
+          RunConfig cfg = base;
+          cfg.shards = shards;
+          cfg.shard_threads = threads;
+          const RunResult sharded = run_simulation(s.trace, cfg);
+          const auto diffs = diff_run_results(
+              sequential, sharded,
+              "seed " + std::to_string(seed) + " " + to_string(fs) +
+                  " shards=" + std::to_string(shards) +
+                  " threads=" + std::to_string(threads));
+          EXPECT_TRUE(diffs.empty()) << diffs.front();
+        }
+      }
+    }
+  }
+}
+
+// A caller-narrowed epoch must not change results either — it may only
+// shrink the automatic lookahead, never widen it past the causality bound.
+TEST(SweepShards, NarrowedEpochPreservesResults) {
+  const Scenario s = generate_scenario(3);
+  const RunConfig base = scenario_config(s, FsKind::kPafs);
+  const RunResult sequential = run_simulation(s.trace, base);
+  RunConfig cfg = base;
+  cfg.shards = 4;
+  cfg.shard_threads = 2;
+  cfg.epoch = SimTime::ns(500);  // far below the automatic lookahead
+  const RunResult sharded = run_simulation(s.trace, cfg);
+  const auto diffs = diff_run_results(sequential, sharded, "epoch=500ns");
+  EXPECT_TRUE(diffs.empty()) << diffs.front();
+}
+
+}  // namespace
+}  // namespace lap

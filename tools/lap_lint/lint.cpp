@@ -573,6 +573,63 @@ void check_transitive_include(const FileCtx& ctx,
   }
 }
 
+// concurrency-containment: threads, locks, atomics and thread-local state
+// may live only in the audited concurrency kernel — the engine's epoch
+// scheduler, its spin barrier, the worker pool — plus the few leaf
+// facilities documented thread-safe (log emission, the JSON trace sink,
+// the sweep driver).  Model code must never synchronise ad hoc: anything
+// crossing shards goes through Engine::post_at, whose mailbox exchange
+// preserves the canonical event order.  An unsynchronised shortcut would
+// race the epoch schedule in exactly the ways the differential wall exists
+// to catch — ban the primitives and the race can't be written.
+void check_concurrency_containment(const FileCtx& ctx,
+                                   std::vector<Diagnostic>& out) {
+  if (!ctx.in_src) return;
+  static const std::set<std::string> kKernel = {
+      "sim/engine.hpp",       "sim/engine.cpp",       "sim/spin_barrier.hpp",
+      "util/thread_pool.hpp", "util/thread_pool.cpp", "util/logging.cpp",
+      "obs/trace_event.hpp",  "obs/trace_event.cpp",  "driver/sweep.cpp"};
+  if (kKernel.count(ctx.rel) != 0) return;
+  static const std::set<std::string> kPrimitives = {
+      "thread",          "jthread",
+      "mutex",           "shared_mutex",
+      "recursive_mutex", "timed_mutex",
+      "atomic",          "atomic_flag",
+      "atomic_ref",      "condition_variable",
+      "condition_variable_any",
+      "lock_guard",      "unique_lock",
+      "scoped_lock",     "shared_lock",
+      "future",          "promise",
+      "async",           "counting_semaphore",
+      "binary_semaphore", "latch",
+      "call_once",       "once_flag",
+      "stop_token",      "barrier"};
+  const auto& t = ctx.lx->toks;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Tok::kIdent) continue;
+    if (t[i].text == "thread_local") {
+      emit(ctx, out, "concurrency-containment", t[i].line,
+           "thread_local state is banned outside the concurrency kernel; "
+           "cross-shard effects go through Engine::post_at");
+    } else if (kPrimitives.count(t[i].text) != 0 && prefixed_std(t, i)) {
+      emit(ctx, out, "concurrency-containment", t[i].line,
+           "std::" + t[i].text +
+               " is banned outside the concurrency kernel; cross-shard "
+               "effects go through Engine::post_at");
+    }
+  }
+  static const std::set<std::string> kHeaders = {
+      "thread",    "mutex",   "shared_mutex", "atomic", "condition_variable",
+      "future",    "semaphore", "barrier",    "latch",  "stop_token"};
+  for (const Include& inc : ctx.lx->includes) {
+    if (inc.angled && kHeaders.count(inc.name) != 0) {
+      emit(ctx, out, "concurrency-containment", inc.line,
+           "<" + inc.name + "> include is banned outside the concurrency "
+           "kernel; cross-shard effects go through Engine::post_at");
+    }
+  }
+}
+
 using CheckFn = void (*)(const FileCtx&, std::vector<Diagnostic>&);
 
 struct Rule {
@@ -611,6 +668,11 @@ constexpr Rule kRules[] = {
     {"transitive-include",
      "curated std symbols must be included directly, not transitively",
      check_transitive_include},
+    {"concurrency-containment",
+     "threads/locks/atomics/thread_local banned in src/ outside the "
+     "engine's concurrency kernel (cross-shard state goes through "
+     "Engine::post_at)",
+     check_concurrency_containment},
 };
 
 [[nodiscard]] std::string normalize(std::string path) {
