@@ -4,6 +4,7 @@
 // inspection/replay commands sniff the format from the file's content.
 //
 //   ./trace_tool gen charisma out.lapt [--scale 0.5] [--seed 7]
+//                [--nodes 128]
 //   ./trace_tool gen sprite out.trace
 //   ./trace_tool info out.lapt
 //   ./trace_tool stats out.trace        # workload characterisation
@@ -185,6 +186,8 @@ int main_checked(int argc, char** argv) {
     if (args[1] == "charisma") {
       CharismaParams p;
       p.scale = flags.get_double("scale", 1.0);
+      p.nodes = static_cast<std::uint32_t>(
+          flags.get_int("nodes", static_cast<std::int64_t>(p.nodes)));
       if (flags.has("seed")) p.seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
       trace = generate_charisma(p);
     } else if (args[1] == "sprite") {

@@ -9,9 +9,15 @@ RSS more than FACTOR times larger.
 The factor is deliberately loose (2x by default): CI runners are shared and
 noisy, so the gate catches accidental algorithmic regressions (a container
 swap reverting to O(n), an allocation sneaking back into the hot loop), not
-single-digit-percent drift.  Benchmarks present on only one side are
-reported but never fail the gate, so adding or retiring a benchmark does
-not require touching the baseline in the same commit.
+single-digit-percent drift.  A benchmark present only in the candidate is
+reported but never fails (adding one needs no baseline change); a baseline
+key missing from the candidate FAILS — a silently vanished benchmark is a
+hole in the gate, so retiring one must update the baseline in the same
+commit.
+
+Shard-speedup ratios (each 'NAME/16[...]' family against its 'NAME/1[...]'
+sibling, in items/s) are always reported; they only gate when
+--shard-speedup is given and the host has >= 16 CPUs.
 
 Usage:
     check_bench_regression.py CURRENT.json [BASELINE.json] [--factor 2.0]
@@ -56,7 +62,11 @@ def main():
     base_b = base.get("benchmarks", {})
     for name in sorted(base_b.keys() | cur_b.keys()):
         if name not in cur_b:
-            print(f"  [gone] {name} (in baseline only — not a failure)")
+            print(f"  [FAIL] {name}: in baseline {args.baseline} but missing "
+                  f"from {args.current}")
+            failures.append(f"{name}: baseline benchmark missing from "
+                            f"candidate — retired benchmarks must update the "
+                            f"baseline in the same commit")
             continue
         if name not in base_b:
             print(f"  [new ] {name} (no baseline — not a failure)")
@@ -82,29 +92,35 @@ def main():
         if ratio > args.factor:
             failures.append(f"{name}: peak RSS {ratio:.2f}x larger")
 
-    if args.shard_speedup is not None:
-        cpus = os.cpu_count() or 1
-        if cpus < 16:
-            print(f"\n[skip] --shard-speedup: host has {cpus} CPU(s); "
-                  "16 shard workers cannot show wall-clock speedup here")
-        else:
-            for name, entry in sorted(cur_b.items()):
-                if "/16" not in name:
-                    continue
-                sib = name.replace("/16", "/1", 1)
-                if sib not in cur_b:
-                    continue
-                one = cur_b[sib].get("items_per_second", 0)
-                many = entry.get("items_per_second", 0)
-                if one <= 0:
-                    continue
-                ratio = many / one
-                status = "FAIL" if ratio < args.shard_speedup else "ok  "
-                print(f"  [{status}] {name}: {ratio:.2f}x the events/sec "
-                      f"of {sib} (need {args.shard_speedup:.1f}x)")
-                if ratio < args.shard_speedup:
-                    failures.append(
-                        f"{name}: only {ratio:.2f}x speedup over {sib}")
+    cpus = os.cpu_count() or 1
+    gate_speedup = args.shard_speedup is not None and cpus >= 16
+    if args.shard_speedup is not None and cpus < 16:
+        print(f"\n[skip] --shard-speedup gate: host has {cpus} CPU(s); "
+              "16 shard workers cannot show wall-clock speedup here "
+              "(ratios below are informational)")
+    printed_header = False
+    for name, entry in sorted(cur_b.items()):
+        if "/16" not in name:
+            continue
+        sib = name.replace("/16", "/1", 1)
+        if sib not in cur_b:
+            continue
+        one = cur_b[sib].get("items_per_second", 0)
+        many = entry.get("items_per_second", 0)
+        if one <= 0:
+            continue
+        if not printed_header:
+            print("\nShard speedup (items/s, 16 shards vs 1):")
+            printed_header = True
+        ratio = many / one
+        fail = gate_speedup and ratio < args.shard_speedup
+        status = "FAIL" if fail else "ok  " if gate_speedup else "info"
+        need = (f" (need {args.shard_speedup:.1f}x)"
+                if args.shard_speedup is not None else "")
+        print(f"  [{status}] {name}: {ratio:.2f}x the events/sec "
+              f"of {sib}{need}")
+        if fail:
+            failures.append(f"{name}: only {ratio:.2f}x speedup over {sib}")
 
     if failures:
         print(f"\n{len(failures)} regression(s) beyond {args.factor}x:",

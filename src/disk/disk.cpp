@@ -52,18 +52,25 @@ void Disk::check_queue() const {
     const Op& above = queue_[i - 1];  // less urgent
     const Op& below = queue_[i];
     LAP_ASSERT(above.priority > below.priority ||
-               (above.priority == below.priority && above.id > below.id));
+               (above.priority == below.priority &&
+                (above.submitted > below.submitted ||
+                 (above.submitted == below.submitted &&
+                  above.id > below.id))));
   }
 #endif
 }
 
 void Disk::enqueue(Op op) {
-  // Descending (priority, id): the most urgent (smallest) entry stays at
-  // back().  Demand traffic therefore inserts near the end, behind only
+  // Descending (priority, submitted, id): the most urgent (smallest)
+  // entry stays at back().  Submission *time* is the FIFO component;
+  // same-instant submissions from different model domains tie-break on
+  // the token id's (domain, sequence) — a total, shard-count-invariant
+  // order.  Demand traffic therefore inserts near the end, behind only
   // same-priority earlier arrivals.
   auto pos = std::upper_bound(
       queue_.begin(), queue_.end(), op, [](const Op& a, const Op& b) {
         if (a.priority != b.priority) return a.priority > b.priority;
+        if (a.submitted != b.submitted) return a.submitted > b.submitted;
         return a.id > b.id;
       });
   queue_.insert(pos, std::move(op));
@@ -73,24 +80,29 @@ void Disk::enqueue(Op op) {
 SimFuture<Done> Disk::submit(bool write, std::uint64_t lba, int priority,
                              OpId* id, std::uint64_t span) {
   // Model-domain half: draw the id and the promise here so callers see
-  // submission order, then hand the operation to the disk's domain.  Ids
-  // are drawn in model order and admissions cross domains in canonical
-  // engine order, so the disk queue observes exactly the old synchronous
-  // arrival order even when it runs on another shard.
-  const OpId op_id = next_id_++;
+  // submission order, then hand the operation to the disk's domain.  The
+  // id is an engine token — (submitting domain, per-domain sequence) —
+  // so it is unique across concurrent model domains yet bit-identical at
+  // every shard count; admissions cross domains in canonical engine
+  // order.
+  const OpId op_id = eng_->draw_token();
   if (id != nullptr) *id = op_id;
   SimPromise<Done> done(*eng_);
   const SimTime submitted = eng_->now();
+  const DomainId reply = eng_->current_domain();
   eng_->post_at(domain_, submitted,
-                [this, priority, op_id, write, lba, done, span, submitted] {
-                  admit(Op{priority, op_id, write, lba, done, span, submitted});
+                [this, priority, op_id, write, lba, done, span, submitted,
+                 reply] {
+                  admit(Op{priority, op_id, write, lba, done, span, submitted,
+                           reply});
                 });
   return done.future();
 }
 
 void Disk::boost(OpId id, int priority) {
-  // Posted behind any admission the caller already issued (same origin
-  // domain, later sequence), so a boost can never overtake its target.
+  // From the submitting domain this is posted behind the admission (same
+  // origin, later sequence), so a boost can never overtake its target;
+  // from any other domain an early boost simply no-ops in apply_boost.
   eng_->post_at(domain_, eng_->now(),
                 [this, id, priority] { apply_boost(id, priority); });
 }
@@ -141,12 +153,12 @@ void Disk::maybe_start() {
     in_service_ = false;
     maybe_start();
   });
-  // The host-side completion crosses back into the model domain after the
-  // controller latency, carrying everything observability needs — so the
-  // trace stream and span attribution are emitted in model order and stay
-  // byte-identical across shard counts.
+  // The host-side completion crosses back into the *submitting* model
+  // domain after the controller latency, carrying everything observability
+  // needs — so the trace stream and span attribution are emitted in model
+  // order and stay byte-identical across shard counts.
   eng_->post_at(
-      DomainId{0}, start + service + cfg_.completion_latency,
+      op.reply, start + service + cfg_.completion_latency,
       [this, done = op.done, span = op.span, write = op.write, lba = op.lba,
        priority, start, service, wait, queued_behind] {
         if (span != 0) {

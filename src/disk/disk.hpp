@@ -12,11 +12,13 @@
 // Sharding: the disk's queue, arm and stats live in a simulation *domain*
 // (default 0).  submit()/boost() run in the caller's (model) domain and
 // only draw an operation id before posting the admission into the disk's
-// domain; completions post back into domain 0 after `completion_latency`
-// (the controller-interrupt delay).  Because admissions carry ids drawn in
-// model order and cross domains in canonical engine order, the queue
-// discipline is identical whether the disk shares the model's shard or
-// runs epochs ahead on its own (DESIGN.md §14).
+// domain; completions post back into the *submitting* domain after
+// `completion_latency` (the controller-interrupt delay), so a per-node
+// model domain gets its own completions.  Ids are engine tokens — (origin
+// domain, per-domain sequence) — identical at every shard count, and the
+// queue discipline is (priority, submission time, id), so the schedule is
+// the same whether the disk shares the model's shard or runs epochs ahead
+// on its own (DESIGN.md §14).
 #pragma once
 
 #include <cstdint>
@@ -138,6 +140,7 @@ class Disk {
     SimPromise<Done> done;
     std::uint64_t span;  // provenance span ref; 0 = untagged
     SimTime submitted;   // enqueue time, for queue-wait attribution
+    DomainId reply;      // submitting model domain: completions post here
   };
 
   [[nodiscard]] SimFuture<Done> submit(bool write, std::uint64_t lba,
@@ -147,7 +150,7 @@ class Disk {
   void admit(Op op);
   void apply_boost(OpId id, int priority);
   void maybe_start();
-  /// Insert `op` keeping the descending (priority, id) order.
+  /// Insert `op` keeping the descending (priority, submitted, id) order.
   void enqueue(Op op);
   /// Debug invariant: the queue is strictly descending (unique ids).
   void check_queue() const;
@@ -157,10 +160,6 @@ class Disk {
   TraceSink* trace_ = nullptr;
   std::uint32_t trace_index_ = 0;
   DomainId domain_ = 0;
-  // next_id_ is *model-domain* state: ids are drawn in submit()/boost()
-  // callers' context so the admission order reaching the disk domain is
-  // exactly the model's submission order, whatever shard the disk is on.
-  OpId next_id_ = 0;
   bool in_service_ = false;
   std::uint64_t arm_position_ = 0;  // distance-seek model state
   std::vector<Op> queue_;  // sorted descending; back() = most urgent

@@ -1,13 +1,28 @@
 // Central metrics sink for one simulation run.
 //
-// Latency/traffic counters honour the warm-up boundary: nothing is recorded
-// until `warmup_ops` user I/O operations have been issued (the paper warms
-// its caches on the first hours of each trace and measures the rest).
-// Prefetch-effectiveness counters are whole-run: a mis-prediction ratio is
-// a property of the algorithm, not of the measurement window.
+// Client-stream metrics (read/write latencies, hit/miss classification)
+// honour the warm-up boundary: nothing is recorded until `warmup_ops`
+// trace records have been replayed (the paper warms its caches on the
+// first hours of each trace and measures the rest).  Warm-up progress is
+// counted in *records* — every open/read/write/close/delete the client
+// replays — because per-process record counts are the one workload
+// measure available from both in-memory and streamed trace sources, which
+// keeps the threshold identical however the trace is loaded and lets a
+// per-node slot derive its own share of the workload.
+//
+// Resource counters — disk traffic and prefetch effectiveness — are
+// whole-run.  Disk accesses triggered by one node's warm-up window serve
+// other nodes' steady state (prefetches front-load reads, the sync daemon
+// defers writes), so under per-node warm-up boundaries there is no
+// consistent way to carve a measurement window out of a shared resource;
+// the paper's disk-access figures count the whole trace.  Likewise a
+// mis-prediction ratio is a property of the algorithm, not of the
+// measurement window.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <vector>
 
 #include "cache/block.hpp"
 #include "util/flat_hash.hpp"
@@ -20,10 +35,10 @@ class Metrics {
  public:
   Metrics() : read_hist_(1e-3, 1e5, 96) {}
 
-  /// Begin measuring after this many issued I/O ops (0 = measure from t0).
+  /// Begin measuring after this many replayed records (0 = from t0).
   void set_warmup_ops(std::uint64_t n) { warmup_ops_ = n; }
 
-  /// Called by the client layer as each READ/WRITE is issued.
+  /// Called by the client layer as each trace record is replayed.
   void on_io_issued(SimTime now) {
     ++issued_ops_;
     if (!measuring_ && issued_ops_ > warmup_ops_) {
@@ -51,14 +66,12 @@ class Metrics {
   void on_hit_inflight() { if (measuring_) ++hits_inflight_; }
   void on_miss() { if (measuring_) ++misses_; }
 
-  // --- disk traffic ---
+  // --- disk traffic (whole-run, see header comment) ---
   void on_disk_read(bool prefetch) {
-    if (!measuring_) return;
     ++disk_reads_;
     if (prefetch) ++disk_prefetch_reads_;
   }
   void on_disk_write(BlockKey key) {
-    if (!measuring_) return;
     ++disk_writes_;
     ++block_write_counts_[key];
   }
@@ -117,7 +130,17 @@ class Metrics {
   }
 
   [[nodiscard]] const Accumulator& read_accumulator() const { return read_ms_; }
+  [[nodiscard]] const Accumulator& write_accumulator() const {
+    return write_ms_;
+  }
   [[nodiscard]] const Histogram& read_histogram() const { return read_hist_; }
+
+  /// Append every distinct written block's key (unordered; callers that
+  /// need determinism sort — see MetricsSet::distinct_blocks_written).
+  void append_written_blocks(std::vector<BlockKey>& out) const {
+    // lap-lint: allow(unordered-iteration) — the caller sorts the union.
+    for (const auto& [key, count] : block_write_counts_) out.push_back(key);
+  }
 
  private:
   std::uint64_t warmup_ops_ = 0;
@@ -143,6 +166,169 @@ class Metrics {
   std::uint64_t prefetch_arrived_ = 0;
   std::uint64_t prefetch_used_ = 0;
   std::uint64_t prefetch_wasted_ = 0;
+};
+
+/// The run's metrics, organised for the per-node domain map (DESIGN.md
+/// §14).  PAFS models one global cache, so it keeps the historical single
+/// slot (kShared: every node resolves to it, and the whole PAFS model is
+/// grouped on one shard).  xFS gets one slot per node (kPerNode): each
+/// node's client/cache events run in that node's domain and write only
+/// that node's slot, so concurrent shards never share a counter.  All
+/// whole-run accessors merge the slots in fixed node order — the result
+/// is identical at every shard count.
+class MetricsSet {
+ public:
+  enum class Mode : std::uint8_t { kShared, kPerNode };
+
+  MetricsSet(Mode mode, std::uint32_t nodes)
+      : mode_(mode), slots_(mode == Mode::kShared ? 1 : nodes) {}
+  MetricsSet(const MetricsSet&) = delete;
+  MetricsSet& operator=(const MetricsSet&) = delete;
+
+  [[nodiscard]] Mode mode() const { return mode_; }
+  [[nodiscard]] std::size_t slot_count() const { return slots_.size(); }
+
+  /// The slot node `n`'s events write (the one shared slot under kShared).
+  [[nodiscard]] Metrics& node(std::uint32_t n) {
+    return slots_[mode_ == Mode::kShared ? 0 : n];
+  }
+  [[nodiscard]] const Metrics& node(std::uint32_t n) const {
+    return slots_[mode_ == Mode::kShared ? 0 : n];
+  }
+
+  /// Install warm-up thresholds: each slot starts measuring after
+  /// `fraction` of *its* workload's records (the whole trace for the
+  /// shared slot, the node's own records per node otherwise).
+  /// `records_per_node` is indexed by node; missing/extra entries count 0.
+  void set_warmup(double fraction,
+                  const std::vector<std::uint64_t>& records_per_node) {
+    if (mode_ == Mode::kShared) {
+      std::uint64_t total = 0;
+      for (const std::uint64_t r : records_per_node) total += r;
+      slots_[0].set_warmup_ops(static_cast<std::uint64_t>(
+          static_cast<double>(total) * fraction));
+      return;
+    }
+    for (std::size_t n = 0; n < slots_.size(); ++n) {
+      const std::uint64_t r =
+          n < records_per_node.size() ? records_per_node[n] : 0;
+      slots_[n].set_warmup_ops(static_cast<std::uint64_t>(
+          static_cast<double>(r) * fraction));
+    }
+  }
+
+  // --- whole-run merged accessors (fixed node order: deterministic) ---
+
+  [[nodiscard]] Accumulator merged_reads() const {
+    Accumulator a;
+    for (const Slot& s : slots_) a.merge(s.read_accumulator());
+    return a;
+  }
+  [[nodiscard]] Accumulator merged_writes() const {
+    Accumulator a;
+    for (const Slot& s : slots_) a.merge(s.write_accumulator());
+    return a;
+  }
+  [[nodiscard]] Histogram merged_read_histogram() const {
+    Histogram h = slots_[0].read_histogram();
+    for (std::size_t i = 1; i < slots_.size(); ++i) {
+      h.merge(slots_[i].read_histogram());
+    }
+    return h;
+  }
+
+  [[nodiscard]] double avg_read_ms() const { return merged_reads().mean(); }
+  [[nodiscard]] double avg_write_ms() const { return merged_writes().mean(); }
+  [[nodiscard]] std::uint64_t reads() const {
+    return sum(&Metrics::reads);
+  }
+  [[nodiscard]] std::uint64_t writes() const {
+    return sum(&Metrics::writes);
+  }
+  [[nodiscard]] std::uint64_t disk_reads() const {
+    return sum(&Metrics::disk_reads);
+  }
+  [[nodiscard]] std::uint64_t disk_writes() const {
+    return sum(&Metrics::disk_writes);
+  }
+  [[nodiscard]] std::uint64_t disk_accesses() const {
+    return disk_reads() + disk_writes();
+  }
+  [[nodiscard]] std::uint64_t disk_prefetch_reads() const {
+    return sum(&Metrics::disk_prefetch_reads);
+  }
+  [[nodiscard]] std::uint64_t hits_local() const {
+    return sum(&Metrics::hits_local);
+  }
+  [[nodiscard]] std::uint64_t hits_remote() const {
+    return sum(&Metrics::hits_remote);
+  }
+  [[nodiscard]] std::uint64_t hits_inflight() const {
+    return sum(&Metrics::hits_inflight);
+  }
+  [[nodiscard]] std::uint64_t misses() const { return sum(&Metrics::misses); }
+  [[nodiscard]] std::uint64_t prefetch_arrived() const {
+    return sum(&Metrics::prefetch_arrived);
+  }
+  [[nodiscard]] std::uint64_t prefetch_used() const {
+    return sum(&Metrics::prefetch_used);
+  }
+  [[nodiscard]] std::uint64_t prefetch_wasted() const {
+    return sum(&Metrics::prefetch_wasted);
+  }
+
+  [[nodiscard]] double hit_ratio() const {
+    const std::uint64_t m = misses();
+    const std::uint64_t total =
+        hits_local() + hits_remote() + hits_inflight() + m;
+    return total == 0 ? 0.0
+                      : static_cast<double>(total - m) /
+                            static_cast<double>(total);
+  }
+
+  [[nodiscard]] double misprediction_ratio() const {
+    const std::uint64_t arrived = prefetch_arrived();
+    if (arrived == 0) return 0.0;
+    return static_cast<double>(prefetch_wasted()) /
+           static_cast<double>(arrived);
+  }
+
+  /// Distinct blocks written across all slots.  The same block written
+  /// from two nodes must count once, so this takes the sorted-unique
+  /// union of the slots' key sets (sorting makes the result independent
+  /// of hash-table iteration order).
+  [[nodiscard]] std::size_t distinct_blocks_written() const {
+    if (slots_.size() == 1) return slots_[0].distinct_blocks_written();
+    std::vector<BlockKey> keys;
+    for (const Slot& s : slots_) s.append_written_blocks(keys);
+    std::sort(keys.begin(), keys.end(), [](BlockKey a, BlockKey b) {
+      if (a.file != b.file) return raw(a.file) < raw(b.file);
+      return a.index < b.index;
+    });
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    return keys.size();
+  }
+
+  [[nodiscard]] double writes_per_block() const {
+    const std::size_t blocks = distinct_blocks_written();
+    if (blocks == 0) return 0.0;
+    return static_cast<double>(disk_writes()) /
+           static_cast<double>(blocks);
+  }
+
+ private:
+  // Line-padded: adjacent nodes' slots may be bumped by different shards.
+  struct alignas(64) Slot : Metrics {};
+
+  template <typename Fn>
+  [[nodiscard]] std::uint64_t sum(Fn getter) const {
+    std::uint64_t total = 0;
+    for (const Slot& s : slots_) total += (s.*getter)();
+    return total;
+  }
+
+  Mode mode_;
+  std::vector<Slot> slots_;
 };
 
 }  // namespace lap

@@ -16,8 +16,10 @@
 #include "fs/xfs/xfs.hpp"
 #include "net/network.hpp"
 #include "obs/counters.hpp"
+#include "obs/deferred_sink.hpp"
 #include "obs/span.hpp"
 #include "obs/trace_event.hpp"
+#include "sim/domain.hpp"
 #include "sim/engine.hpp"
 #include "util/assert.hpp"
 #include "util/flat_hash.hpp"
@@ -29,30 +31,55 @@ std::string to_string(FsKind kind) {
 }
 
 SimTime sharded_lookahead(const MachineConfig& machine) {
-  const SimTime hop = machine.net.min_hop_latency();
+  const SimTime cross = machine.net.min_cross_latency();
   const SimTime completion = machine.disk.completion_latency;
-  return completion < hop ? completion : hop;
+  return completion < cross ? completion : cross;
 }
 
 namespace {
 
-// One domain for the whole model (nodes, caches, directory, network) plus
-// one per disk.  The *domain* structure — and with it the canonical event
-// order — is identical for every shard count; only the grouping of disk
-// domains onto service shards varies, which is why shards = 1/2/4/8 all
-// replay the same simulation bit-for-bit.
-DomainMap build_domain_map(int shards, std::uint32_t disk_count) {
+// Canonical domain numbering (part of the run's semantics, identical at
+// every shard count): domain 0 is the controller/directory, domains
+// 1..nodes are the per-node model domains, then one service domain per
+// disk.  Only the *grouping* of domains onto shards varies with the shard
+// count, which is why shards = 1/2/4/8/16 all replay the same simulation
+// bit-for-bit.
+//
+// PAFS models one global cache with one manager, so its model domains all
+// ride shard 0 (cross-domain resumes inside the PAFS protocol are then
+// same-shard by construction) and the disks round-robin over the remaining
+// shards.  xFS is node-granular: node domains spread over the model
+// shards, the directory keeps shard 0, and roughly a quarter of the shards
+// (capped by the spindle count) service the disks.
+DomainMap build_domain_map(int shards, std::uint32_t nodes,
+                           std::uint32_t disk_count, FsKind fs) {
   DomainMap map;
+  const std::uint32_t domains = 1 + nodes + disk_count;
   map.shards = static_cast<std::uint16_t>(shards);
-  map.shard_of.assign(1 + disk_count, 0);
-  map.phase_of.assign(1 + disk_count, DomainPhase::kModel);
+  map.shard_of.assign(domains, 0);
+  map.phase_of.assign(domains, DomainPhase::kModel);
   for (std::uint32_t i = 0; i < disk_count; ++i) {
-    map.phase_of[1 + i] = DomainPhase::kService;
-    if (shards > 1) {
-      map.shard_of[1 + i] =
-          static_cast<std::uint16_t>(1 + i % static_cast<std::uint32_t>(
-                                                 shards - 1));
+    map.phase_of[1 + nodes + i] = DomainPhase::kService;
+  }
+  if (shards <= 1) return map;
+  if (fs == FsKind::kPafs) {
+    for (std::uint32_t i = 0; i < disk_count; ++i) {
+      map.shard_of[1 + nodes + i] = static_cast<std::uint16_t>(
+          1 + i % static_cast<std::uint32_t>(shards - 1));
     }
+    return map;
+  }
+  const std::uint32_t s = static_cast<std::uint32_t>(shards);
+  const std::uint32_t service_shards =
+      std::min(std::max<std::uint32_t>(disk_count, 1), std::max(1u, s / 4));
+  const std::uint32_t model_shards = std::max(1u, s - service_shards);
+  for (std::uint32_t n = 0; n < nodes; ++n) {
+    map.shard_of[node_domain(n)] =
+        static_cast<std::uint16_t>(n % model_shards);
+  }
+  for (std::uint32_t i = 0; i < disk_count; ++i) {
+    map.shard_of[1 + nodes + i] =
+        static_cast<std::uint16_t>(model_shards + i % service_shards);
   }
   return map;
 }
@@ -81,22 +108,40 @@ RunResult run_simulation(TraceSource& source, const RunConfig& cfg) {
   DiskArray disks(eng, machine.disk, machine.disks);
 
   const int shards = std::max(1, cfg.shards);
+  const std::size_t total_domains =
+      1 + static_cast<std::size_t>(nodes) + machine.disks;
   {
     SimTime lookahead = sharded_lookahead(machine);
     if (cfg.epoch > SimTime::zero() && cfg.epoch < lookahead) {
       lookahead = cfg.epoch;  // may shrink epochs, never stretch them
     }
-    eng.configure_domains(build_domain_map(shards, machine.disks), lookahead);
-    disks.set_domains(DomainId{1});
+    eng.configure_domains(build_domain_map(shards, nodes, machine.disks,
+                                           cfg.fs),
+                          lookahead);
+    disks.set_domains(disk_domain(nodes, 0));
+    net.set_domains(total_domains);
   }
+  if (cfg.spans != nullptr) cfg.spans->bind(&eng);
   FileModel files(meta.block_size);
   files.load(meta.files);
 
-  Metrics metrics;
-  metrics.set_warmup_ops(static_cast<std::uint64_t>(
-      static_cast<double>(meta.total_io_ops) * cfg.warmup_fraction));
+  MetricsSet metrics(cfg.fs == FsKind::kPafs ? MetricsSet::Mode::kShared
+                                             : MetricsSet::Mode::kPerNode,
+                     nodes);
+  {
+    // Warm-up thresholds come from per-process record counts (the one
+    // workload measure both in-memory and streamed sources know up
+    // front), apportioned to each node's slot.
+    std::vector<std::uint64_t> records(nodes, 0);
+    for (const TraceMeta::ProcessInfo& p : meta.processes) {
+      records[raw(p.node)] += p.records;
+    }
+    metrics.set_warmup(cfg.warmup_fraction, records);
+  }
 
-  bool stop = false;
+  // One shutdown flag per domain; the end-of-workload broadcast below sets
+  // them all via per-domain mail.
+  std::vector<StopFlag> flags(total_domains);
   const std::size_t blocks_per_node = static_cast<std::size_t>(
       std::max<Bytes>(1, cfg.cache_per_node / machine.block_size));
 
@@ -109,8 +154,9 @@ RunResult run_simulation(TraceSource& source, const RunConfig& cfg) {
     pcfg.sync_interval = cfg.sync_interval;
     pcfg.algorithm = cfg.algorithm;
     pcfg.prefetch_priority = cfg.prefetch_priority;
-    auto pafs = std::make_unique<Pafs>(eng, net, disks, files, metrics, pcfg,
-                                       nodes, &stop);
+    auto pafs = std::make_unique<Pafs>(eng, net, disks, files,
+                                       metrics.node(0), pcfg, nodes,
+                                       &flags[0].stop);
     pafs->start_sync_daemon();
     pafs_raw = pafs.get();
     fs = std::move(pafs);
@@ -121,26 +167,36 @@ RunResult run_simulation(TraceSource& source, const RunConfig& cfg) {
     xcfg.algorithm = cfg.algorithm;
     xcfg.prefetch_priority = cfg.prefetch_priority;
     auto xfs = std::make_unique<Xfs>(eng, net, disks, files, metrics, xcfg,
-                                     nodes, &stop);
+                                     nodes, flags.data());
     xfs->start_sync_daemon();
     xfs_raw = xfs.get();
     fs = std::move(xfs);
   }
 
-  if (cfg.trace != nullptr) {
+  // Sharded traced runs interpose the deferred sink: every shard buffers
+  // its emissions into a private lane and seal() (after the run) replays
+  // them in canonical event order, so the trace byte-stream is identical
+  // at every shard count.
+  std::unique_ptr<DeferredTraceSink> deferred;
+  TraceSink* sink = cfg.trace;
+  if (cfg.trace != nullptr && shards > 1) {
+    deferred = std::make_unique<DeferredTraceSink>(eng, *cfg.trace);
+    sink = deferred.get();
+  }
+  if (sink != nullptr) {
     for (std::uint32_t i = 0; i < nodes; ++i) {
       const std::uint32_t pid = i + 1;
-      cfg.trace->name_process(pid, "node " + std::to_string(i));
-      cfg.trace->name_thread(pid, 1, "fs");
-      cfg.trace->name_thread(pid, 2, "net");
-      cfg.trace->name_thread(pid, 3, "cache");
+      sink->name_process(pid, "node " + std::to_string(i));
+      sink->name_thread(pid, 1, "fs");
+      sink->name_thread(pid, 2, "net");
+      sink->name_thread(pid, 3, "cache");
     }
-    cfg.trace->name_process(tracks::kFilePid, "prefetch (per file)");
-    cfg.trace->name_process(tracks::kMetricsPid, "metrics");
-    eng.set_trace_sink(cfg.trace);
-    net.set_trace(cfg.trace);
-    disks.set_trace(cfg.trace);
-    fs->set_trace(cfg.trace);
+    sink->name_process(tracks::kFilePid, "prefetch (per file)");
+    sink->name_process(tracks::kMetricsPid, "metrics");
+    eng.set_trace_sink(sink);
+    net.set_trace(sink);
+    disks.set_trace(sink);
+    fs->set_trace(sink);
   }
   // Provenance spans ride the same engine-held pointer as the trace sink:
   // one branch per hook when detached, strictly passive when attached.
@@ -238,7 +294,7 @@ RunResult run_simulation(TraceSource& source, const RunConfig& cfg) {
       // only race-free when everything runs on one shard; sharded traced
       // runs still get the final probe levels via freeze_probes() below.
       start_counter_sampling(eng, reg, *cfg.trace,
-                             cfg.counter_sample_interval, &stop);
+                             cfg.counter_sample_interval, &flags[0].stop);
     }
   }
 
@@ -273,7 +329,20 @@ RunResult run_simulation(TraceSource& source, const RunConfig& cfg) {
   }
 
   WorkloadRunner runner(eng, *fs, metrics, source, cfg.cpu_contention);
-  runner.start([&stop] { stop = true; });
+  // Per-node completion notices travel to the controller domain as mail
+  // with a modelled port-startup latency (a legal cross-shard hop).  When
+  // the last one lands, the controller broadcasts stop mails to every
+  // domain at the same latency — unconditionally, at every shard count, so
+  // the event population (and RunResult::events) is shard-invariant.
+  runner.set_notify_latency(machine.net.local_port_startup);
+  runner.start([&eng, &flags, &machine, total_domains] {
+    const SimTime at = eng.now() + machine.net.local_port_startup;
+    for (std::size_t d = 0; d < total_domains; ++d) {
+      eng.post_at(static_cast<DomainId>(d), at,
+                  [&flags, d] { flags[d].stop = true; });
+    }
+  });
+  if (deferred != nullptr) deferred->begin_buffering();
   if (shards > 1) {
     // Epoch-barrier parallel execution; drains the same event population
     // in the same canonical order as the sequential branch below.
@@ -284,7 +353,13 @@ RunResult run_simulation(TraceSource& source, const RunConfig& cfg) {
   }
   LAP_ENSURES(runner.live_processes() == 0);
 
+  // Replay each shard's buffered emissions in canonical event order before
+  // finalize() — its end-of-run records (unused-prefetch settlements) come
+  // after every in-run event in the sequential stream, so they must pass
+  // through after the sorted batch, not be sorted into it.
+  if (deferred != nullptr) deferred->seal();
   fs->finalize();
+  if (cfg.spans != nullptr) cfg.spans->seal();
 
   RunResult r;
   r.algorithm = cfg.algorithm.name();
@@ -315,7 +390,7 @@ RunResult run_simulation(TraceSource& source, const RunConfig& cfg) {
       pc.issued == 0 ? 0.0
                      : static_cast<double>(pc.fallback_issued) /
                            static_cast<double>(pc.issued);
-  r.read_p95_ms = metrics.read_histogram().quantile(0.95);
+  r.read_p95_ms = metrics.merged_read_histogram().quantile(0.95);
   r.sim_duration = eng.now();
   r.events = eng.events_processed();
   r.wall_seconds = std::chrono::duration<double>(

@@ -33,7 +33,8 @@ struct RunConfig {
   // so the presets scale it down to keep the syncs-per-application ratio
   // (see DESIGN.md §4).
   SimTime sync_interval = SimTime::sec(2);
-  double warmup_fraction = 0.3;  // fraction of I/O ops before measuring
+  double warmup_fraction = 0.3;  // per-node fraction of records before
+                                 // client-stream metrics measure
   bool net_contention = true;
   // Ablation: disk priority of prefetch reads (default: below demand+sync).
   int prefetch_priority = 2;
@@ -44,11 +45,16 @@ struct RunConfig {
   // paper's workloads place roughly one process per node).
   bool cpu_contention = false;
 
-  // Sharded execution (DESIGN.md §14).  shards > 1 partitions the run into
-  // one model shard plus service shards (the disks, round-robin) executed
-  // in conservative epoch-barrier lockstep on a thread pool; any shard
-  // count replays bit-exactly against shards = 1, which lap_check and the
-  // golden corpus enforce.  `shard_threads` bounds the worker count (0 =
+  // Sharded execution (DESIGN.md §14).  shards > 1 partitions the run at
+  // node granularity — each simulated node's model state is its own
+  // domain, the global directory/manager a domain of its own, the disks
+  // service domains — executed in conservative epoch-barrier lockstep on
+  // a thread pool.  Under xFS the node domains spread over the model
+  // shards (node n -> shard n % model_shards) with roughly a quarter of
+  // the shards serving disks; under PAFS the global manager serialises
+  // the model, so model domains share shard 0 and disks round-robin over
+  // the rest.  Any shard count replays bit-exactly against shards = 1,
+  // which lap_check and the golden corpus enforce.  `shard_threads` bounds the worker count (0 =
   // one per shard).  `epoch` can shrink the epoch below the automatic
   // lookahead — min(net minimum hop latency, disk completion latency), see
   // sharded_lookahead() — but never exceed it; zero means automatic.

@@ -4,8 +4,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
+#include "sim/domain.hpp"
 #include "util/assert.hpp"
 
 namespace lap {
@@ -15,6 +17,10 @@ namespace {
 /// end.  `cpu` is the node's (shared) processor, or nullptr for the open
 /// model.  The cursor is owned by the coroutine frame, so a streaming
 /// source's chunk buffer lives exactly as long as the replay does.
+///
+/// Every record — not just reads and writes — counts toward the warmup
+/// gate: record counts are known per process up front (TraceMeta), so a
+/// per-node metrics slot can compute its threshold without a global scan.
 SimTask replay(Engine& eng, FileSystem& fs, Metrics& metrics, ProcId pid,
                NodeId node, std::unique_ptr<RecordCursor> records,
                Resource* cpu, SimPromise<Done> done) {
@@ -28,6 +34,7 @@ SimTask replay(Engine& eng, FileSystem& fs, Metrics& metrics, ProcId pid,
         co_await eng.delay(r.think);
       }
     }
+    metrics.on_io_issued(eng.now());
     switch (r.op) {
       case TraceOp::kOpen:
         co_await fs.open(pid, node, r.file);
@@ -36,14 +43,12 @@ SimTask replay(Engine& eng, FileSystem& fs, Metrics& metrics, ProcId pid,
         co_await fs.close(pid, node, r.file);
         break;
       case TraceOp::kRead: {
-        metrics.on_io_issued(eng.now());
         const SimTime t0 = eng.now();
         co_await fs.read(pid, node, r.file, r.offset, r.length);
         metrics.on_read_done(eng.now() - t0);
         break;
       }
       case TraceOp::kWrite: {
-        metrics.on_io_issued(eng.now());
         const SimTime t0 = eng.now();
         co_await fs.write(pid, node, r.file, r.offset, r.length);
         metrics.on_write_done(eng.now() - t0);
@@ -59,13 +64,13 @@ SimTask replay(Engine& eng, FileSystem& fs, Metrics& metrics, ProcId pid,
 
 }  // namespace
 
-WorkloadRunner::WorkloadRunner(Engine& eng, FileSystem& fs, Metrics& metrics,
+WorkloadRunner::WorkloadRunner(Engine& eng, FileSystem& fs, MetricsSet& metrics,
                                TraceSource& source, bool cpu_contention)
     : eng_(&eng), fs_(&fs), metrics_(&metrics), source_(&source) {
   init_cpus(cpu_contention);
 }
 
-WorkloadRunner::WorkloadRunner(Engine& eng, FileSystem& fs, Metrics& metrics,
+WorkloadRunner::WorkloadRunner(Engine& eng, FileSystem& fs, MetricsSet& metrics,
                                const Trace& trace, bool cpu_contention)
     : eng_(&eng),
       fs_(&fs),
@@ -97,6 +102,10 @@ void WorkloadRunner::start(std::function<void()> on_all_done) {
     if (on_all_done_) on_all_done_();
     return;
   }
+  // Each launch is a t = 0 mail into the owning node's model domain, so the
+  // replay coroutine — and everything it awaits — executes on the shard
+  // that owns the node.  Pre-run posts are plain heap pushes in launch
+  // order, so single- and multi-shard runs see the same t = 0 sequence.
   if (meta.serialize_per_node) {
     // Group process indices by node and launch the per-node drivers in
     // REVERSE first-appearance order.  That is an explicit, deterministic
@@ -117,32 +126,47 @@ void WorkloadRunner::start(std::function<void()> on_all_done) {
     }
     live_ = by_node.size();
     for (auto it = by_node.rbegin(); it != by_node.rend(); ++it) {
-      run_node_serialized(std::move(it->second));
+      eng_->post_at(node_domain(it->first), SimTime::zero(),
+                    [this, indices = std::move(it->second)]() mutable {
+                      run_node_serialized(std::move(indices));
+                    });
     }
   } else {
     live_ = meta.processes.size();
-    for (std::size_t i = 0; i < meta.processes.size(); ++i) run_process(i);
+    for (std::size_t i = 0; i < meta.processes.size(); ++i) {
+      eng_->post_at(node_domain(raw(meta.processes[i].node)), SimTime::zero(),
+                    [this, i] { run_process(i); });
+    }
   }
 }
 
 SimTask WorkloadRunner::run_process(std::size_t index) {
   const TraceMeta::ProcessInfo& p = source_->meta().processes[index];
   SimPromise<Done> done(*eng_);
-  replay(*eng_, *fs_, *metrics_, p.pid, p.node, source_->open(index),
-         cpu_for(p.node), done);
+  replay(*eng_, *fs_, metrics_->node(raw(p.node)), p.pid, p.node,
+         source_->open(index), cpu_for(p.node), done);
   co_await done.future();
-  process_finished();
+  notify_finished();
 }
 
 SimTask WorkloadRunner::run_node_serialized(std::vector<std::size_t> indices) {
   for (std::size_t index : indices) {
     const TraceMeta::ProcessInfo& p = source_->meta().processes[index];
     SimPromise<Done> done(*eng_);
-    replay(*eng_, *fs_, *metrics_, p.pid, p.node, source_->open(index),
-           cpu_for(p.node), done);
+    replay(*eng_, *fs_, metrics_->node(raw(p.node)), p.pid, p.node,
+           source_->open(index), cpu_for(p.node), done);
     co_await done.future();
   }
-  process_finished();
+  notify_finished();
+}
+
+void WorkloadRunner::notify_finished() {
+  // The countdown lives in the controller domain; crossing back is a
+  // model→model message, so it must arrive at least a lookahead later.
+  // notify_latency_ (the local message startup, which bounds the lookahead
+  // from above) models the "process exited" notification hop.
+  eng_->post_at(DomainId{0}, eng_->now() + notify_latency_,
+                [this] { process_finished(); });
 }
 
 void WorkloadRunner::process_finished() {

@@ -30,16 +30,25 @@ class WorkloadRunner {
   /// times occupy it, so co-located processes' compute phases serialise
   /// (DIMEMAS's short-term scheduling model).  Off by default — the
   /// paper's workloads run roughly one process per node.
-  WorkloadRunner(Engine& eng, FileSystem& fs, Metrics& metrics,
+  WorkloadRunner(Engine& eng, FileSystem& fs, MetricsSet& metrics,
                  TraceSource& source, bool cpu_contention = false);
 
   /// Convenience: replay an in-memory trace (wrapped in an owned
   /// InMemoryTraceSource; `trace` must outlive the runner).
-  WorkloadRunner(Engine& eng, FileSystem& fs, Metrics& metrics,
+  WorkloadRunner(Engine& eng, FileSystem& fs, MetricsSet& metrics,
                  const Trace& trace, bool cpu_contention = false);
 
-  /// Spawn all client processes.  `on_all_done` fires when the last record
-  /// of the last process has completed.
+  /// Latency of the end-of-process notification hop back to the
+  /// controller domain.  The driver sets it to the local message startup;
+  /// it must be at least the engine's epoch lookahead so the hop is a
+  /// legal cross-shard model→model message.  Zero (the default) is only
+  /// valid for single-shard runs.
+  void set_notify_latency(SimTime t) { notify_latency_ = t; }
+
+  /// Spawn all client processes, each in its node's model domain (mail at
+  /// t = 0, so a sharded run places every replay coroutine on the shard
+  /// that owns its node).  `on_all_done` fires in the controller domain
+  /// when the last record of the last process has completed.
   void start(std::function<void()> on_all_done);
 
   [[nodiscard]] std::uint64_t live_processes() const { return live_; }
@@ -48,17 +57,19 @@ class WorkloadRunner {
   void init_cpus(bool cpu_contention);
   SimTask run_process(std::size_t index);
   SimTask run_node_serialized(std::vector<std::size_t> indices);
+  void notify_finished();
   void process_finished();
 
   [[nodiscard]] Resource* cpu_for(NodeId node);
 
   Engine* eng_;
   FileSystem* fs_;
-  Metrics* metrics_;
+  MetricsSet* metrics_;
   std::unique_ptr<TraceSource> owned_;  // set by the Trace constructor
   TraceSource* source_;
   std::vector<std::unique_ptr<Resource>> cpus_;  // per node; empty when off
-  std::uint64_t live_ = 0;
+  std::uint64_t live_ = 0;  // controller-domain state (domain 0)
+  SimTime notify_latency_;
   std::function<void()> on_all_done_;
 };
 

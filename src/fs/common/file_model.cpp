@@ -33,13 +33,15 @@ std::uint32_t FileModel::blocks(FileId id) const {
 
 void FileModel::remove(FileId id) { sizes_.erase(raw(id)); }
 
-void FileModel::extend(FileId id, Bytes offset, Bytes len) {
+bool FileModel::extend(FileId id, Bytes offset, Bytes len) {
   auto it = sizes_.find(raw(id));
   if (it == sizes_.end()) {
     sizes_[raw(id)] = offset + len;
-    return;
+    return true;
   }
-  it->second = std::max(it->second, offset + len);
+  if (offset + len <= it->second) return false;
+  it->second = offset + len;
+  return true;
 }
 
 BlockRange FileModel::range(FileId id, Bytes offset, Bytes len) const {

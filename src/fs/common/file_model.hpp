@@ -30,8 +30,10 @@ class FileModel {
   [[nodiscard]] std::uint32_t blocks(FileId id) const;
   void remove(FileId id);
 
-  /// Grow the file so [offset, offset+len) is inside it.
-  void extend(FileId id, Bytes offset, Bytes len);
+  /// Grow the file so [offset, offset+len) is inside it.  Returns true
+  /// when the size actually changed — a sharded xFS directory uses that to
+  /// decide whether per-node metadata replicas need a size update.
+  bool extend(FileId id, Bytes offset, Bytes len);
 
   /// Blocks covered by [offset, offset+len), clipped to the file size.
   [[nodiscard]] BlockRange range(FileId id, Bytes offset, Bytes len) const;

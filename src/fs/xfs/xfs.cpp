@@ -2,13 +2,23 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "obs/span.hpp"
 #include "util/assert.hpp"
 
 namespace lap {
+
+namespace {
+constexpr DomainId kDirDomain = 0;
+
+constexpr std::uint64_t pack(BlockKey key) {
+  return (static_cast<std::uint64_t>(raw(key.file)) << 32) | key.index;
+}
+}  // namespace
 
 // Per-node view handed to that node's PrefetchManager.  Availability is
 // deliberately *local*: a copy cached at a peer does not stop this node
@@ -27,13 +37,13 @@ struct Xfs::NodeHost final : PrefetchHost {
     return fs->prefetch_fetch(node, key);
   }
   [[nodiscard]] std::uint32_t file_blocks(FileId file) const override {
-    return fs->files_->blocks(file);
+    return fs->node_[raw(node)].files->blocks(file);
   }
 };
 
 Xfs::Xfs(Engine& eng, Network& net, DiskArray& disks, FileModel& files,
-         Metrics& metrics, XfsConfig cfg, std::uint32_t nodes,
-         const bool* stop_flag)
+         MetricsSet& metrics, XfsConfig cfg, std::uint32_t nodes,
+         const StopFlag* stop_flags)
     : eng_(&eng),
       net_(&net),
       disks_(&disks),
@@ -41,29 +51,44 @@ Xfs::Xfs(Engine& eng, Network& net, DiskArray& disks, FileModel& files,
       metrics_(&metrics),
       cfg_(cfg),
       nodes_(nodes),
-      stop_flag_(stop_flag),
+      stop_flags_(stop_flags),
       rng_(cfg.seed) {
   LAP_EXPECTS(nodes >= 1);
-  LAP_EXPECTS(stop_flag != nullptr);
+  LAP_EXPECTS(stop_flags != nullptr);
   LAP_EXPECTS(cfg.cache_blocks_per_node >= 1);
   node_.resize(nodes);
+  mgr_cpus_.reserve(nodes);
   for (std::uint32_t i = 0; i < nodes; ++i) {
     NodeState& ns = node_[i];
     ns.pool = std::make_unique<BufferPool>(cfg.cache_blocks_per_node);
     ns.host = std::make_unique<NodeHost>(this, NodeId{i});
     // Site i+1 keeps xFS's per-node managers distinct from PAFS's single
-    // global site 0 in the trace stream.
+    // global site 0 in the trace stream.  Each node's daemons poll the
+    // stop flag of that node's own domain.
+    const bool* stop = &stop_flags[node_domain(i)].stop;
     ns.prefetcher = std::make_unique<PrefetchManager>(
-        eng, cfg.algorithm, *ns.host, stop_flag, /*site=*/i + 1);
-    ns.cpu = std::make_unique<Resource>(eng);
+        eng, cfg.algorithm, *ns.host, stop, /*site=*/i + 1);
+    // The replica starts as a copy of the (already seeded) authoritative
+    // model; extend/purge mails keep it current.
+    ns.files = std::make_unique<FileModel>(files);
+    ns.sync = std::make_unique<SyncDaemon>(
+        eng, cfg.sync_interval, [this, i] { flush_tick(NodeId{i}); }, stop);
+    mgr_cpus_.push_back(std::make_unique<Resource>(eng));
   }
-  sync_ = std::make_unique<SyncDaemon>(
-      eng, cfg.sync_interval, [this] { flush_tick(); }, stop_flag);
 }
 
 Xfs::~Xfs() = default;
 
-void Xfs::start_sync_daemon() { sync_->start(); }
+void Xfs::reseed_replicas() {
+  for (NodeState& ns : node_) *ns.files = *files_;
+}
+
+void Xfs::start_sync_daemon() {
+  for (std::uint32_t i = 0; i < nodes_; ++i) {
+    eng_->post_at(node_domain(i), SimTime::zero(),
+                  [this, i] { node_[i].sync->start(); });
+  }
+}
 
 void Xfs::set_trace(TraceSink* sink) {
   trace_ = sink;
@@ -130,6 +155,22 @@ void Xfs::dir_remove(BlockKey key, NodeId node) {
 
 void Xfs::dir_drop_file(FileId file) { dir_.erase(raw(file)); }
 
+void Xfs::post_dir_add(NodeId from, BlockKey key) {
+  // Registration is validated at application time: the file may have been
+  // deleted while the mail was on the wire.
+  eng_->post_at(kDirDomain,
+                eng_->now() + net_->note_message(from, manager_node(key.file)),
+                [this, key, from] {
+                  if (files_->exists(key.file)) dir_add(key, from);
+                });
+}
+
+void Xfs::post_dir_remove(NodeId from, BlockKey key) {
+  eng_->post_at(kDirDomain,
+                eng_->now() + net_->note_message(from, manager_node(key.file)),
+                [this, key, from] { dir_remove(key, from); });
+}
+
 SimFuture<Done> Xfs::open(ProcId pid, NodeId client, FileId file) {
   node_[raw(client)].prefetcher->on_open(pid, client, file);
   SimPromise<Done> done(*eng_);
@@ -145,12 +186,14 @@ SimFuture<Done> Xfs::close(ProcId, NodeId client, FileId file) {
 
 SimTask Xfs::control_task(NodeId client, FileId file, SimPromise<Done> done) {
   const NodeId mgr = manager_node(file);
-  co_await net_->message(client, mgr);
+  co_await eng_->hop_to(kDirDomain,
+                        eng_->now() + net_->note_message(client, mgr));
   {
-    auto guard = co_await node_[raw(mgr)].cpu->scoped(prio::kDemand);
+    auto guard = co_await mgr_cpus_[raw(mgr)]->scoped(prio::kDemand);
     co_await eng_->delay(cfg_.manager_op_cpu);
   }
-  co_await net_->message(mgr, client);
+  co_await eng_->hop_to(node_domain(raw(client)),
+                        eng_->now() + net_->note_message(mgr, client));
   done.set_value(Done{});
 }
 
@@ -164,7 +207,7 @@ SimFuture<Done> Xfs::read(ProcId pid, NodeId client, FileId file, Bytes offset,
 SimTask Xfs::read_task(ProcId pid, NodeId client, FileId file, Bytes offset,
                        Bytes length, SimPromise<Done> done) {
   const SimTime t0 = eng_->now();
-  const BlockRange range = files_->range(file, offset, length);
+  const BlockRange range = node_[raw(client)].files->range(file, offset, length);
   if (range.count == 0) {
     done.set_value(Done{});
     co_return;
@@ -190,6 +233,8 @@ SimTask Xfs::read_task(ProcId pid, NodeId client, FileId file, Bytes offset,
 SimTask Xfs::read_block(NodeId client, BlockKey key,
                         std::shared_ptr<Joiner> joiner) {
   NodeState& ns = node_[raw(client)];
+  Metrics& metrics = met(client);
+  const Bytes block_size = ns.files->block_size();
   SpanCollector* const sp = eng_->span_collector();
   const SpanRef dspan =
       sp != nullptr ? sp->demand_started(client, key, eng_->now()) : 0;
@@ -198,7 +243,7 @@ SimTask Xfs::read_block(NodeId client, BlockKey key,
     if (CacheEntry* e = ns.pool->find(key)) {
       ns.pool->touch(key);
       if (e->prefetched && !e->referenced) {
-        metrics_->on_prefetch_first_use();
+        metrics.on_prefetch_first_use();
         if (sp != nullptr) sp->settle_used(e->span, eng_->now());
         if (trace_ != nullptr) {
           trace_->instant("prefetch", "prefetch.used", tracks::file(key.file),
@@ -207,18 +252,17 @@ SimTask Xfs::read_block(NodeId client, BlockKey key,
       }
       e->referenced = true;
       if (!classified) {
-        metrics_->on_hit_local();
+        metrics.on_hit_local();
         if (sp != nullptr) {
           sp->demand_classified(dspan, DemandClass::kHitLocal, eng_->now());
         }
       }
-      co_await net_->copy(client, client, files_->block_size(), prio::kDemand,
-                          dspan);
+      co_await net_->copy(client, client, block_size, prio::kDemand, dspan);
       break;
     }
     if (auto it = ns.in_flight.find(key); it != ns.in_flight.end()) {
       if (!classified) {
-        metrics_->on_hit_inflight();
+        metrics.on_hit_inflight();
         if (sp != nullptr) {
           sp->demand_classified(dspan, DemandClass::kHitInflight, eng_->now());
         }
@@ -230,15 +274,18 @@ SimTask Xfs::read_block(NodeId client, BlockKey key,
       co_await bc->wait();
       continue;
     }
-    if (!files_->exists(key.file)) break;
+    if (!ns.files->exists(key.file)) break;
 
     auto bc = std::make_shared<Broadcast>(*eng_);
     ns.in_flight.emplace(key, InFlight{bc, DiskOpRef{}});
 
+    // Consult the directory: one message hop into the directory domain,
+    // manager CPU on the manager node's processor.
     const NodeId mgr = manager_node(key.file);
-    co_await net_->message(client, mgr);
+    co_await eng_->hop_to(kDirDomain,
+                          eng_->now() + net_->note_message(client, mgr));
     {
-      auto guard = co_await node_[raw(mgr)].cpu->scoped(prio::kDemand);
+      auto guard = co_await mgr_cpus_[raw(mgr)]->scoped(prio::kDemand);
       co_await eng_->delay(cfg_.manager_op_cpu);
     }
 
@@ -246,36 +293,60 @@ SimTask Xfs::read_block(NodeId client, BlockKey key,
     // lookup already failed).
     NodeId peer{};
     bool have_peer = false;
-    if (std::vector<NodeId>* h = holders(key)) {
-      for (auto it = h->rbegin(); it != h->rend(); ++it) {
-        if (*it != client) {
-          peer = *it;
-          have_peer = true;
-          break;
+    if (files_->exists(key.file)) {
+      if (std::vector<NodeId>* h = holders(key)) {
+        for (auto it = h->rbegin(); it != h->rend(); ++it) {
+          if (*it != client) {
+            peer = *it;
+            have_peer = true;
+            break;
+          }
         }
       }
     }
 
+    bool via_peer = false;
     if (have_peer) {
+      // The manager forwards the request to the peer; the peer ships the
+      // block straight to the client (or nacks if it evicted the copy
+      // while the forward was on the wire — the client then falls back to
+      // its disk path).
+      co_await eng_->hop_to(node_domain(raw(peer)),
+                            eng_->now() + net_->note_message(mgr, peer));
+      if (node_[raw(peer)].pool->contains(key)) {
+        via_peer = true;
+        co_await net_->begin_transfer(peer, client, block_size, prio::kDemand,
+                                      dspan);
+        co_await eng_->hop_to(
+            node_domain(raw(client)),
+            eng_->now() + net_->copy_latency(peer, client, block_size));
+      } else {
+        co_await eng_->hop_to(node_domain(raw(client)),
+                              eng_->now() + net_->note_message(peer, client));
+      }
+    } else {
+      co_await eng_->hop_to(node_domain(raw(client)),
+                            eng_->now() + net_->note_message(mgr, client));
+    }
+
+    // Back at the client: classify on arrival.
+    if (via_peer) {
       if (!classified) {
-        metrics_->on_hit_remote();
+        metrics.on_hit_remote();
         if (sp != nullptr) {
           sp->demand_classified(dspan, DemandClass::kHitRemote, eng_->now());
         }
       }
       classified = true;
-      co_await net_->message(mgr, peer);
-      co_await net_->copy(peer, client, files_->block_size(), prio::kDemand,
-                          dspan);
     } else {
       if (!classified) {
-        metrics_->on_miss();
+        metrics.on_miss();
         if (sp != nullptr) {
           sp->demand_classified(dspan, DemandClass::kMiss, eng_->now());
         }
       }
       classified = true;
-      metrics_->on_disk_read(/*prefetch=*/false);
+      metrics.on_disk_read(/*prefetch=*/false);
       DiskOpRef op;
       auto fetch = disks_->read(key, prio::kDemand, &op, dspan);
       if (auto fit = ns.in_flight.find(key); fit != ns.in_flight.end()) {
@@ -284,18 +355,17 @@ SimTask Xfs::read_block(NodeId client, BlockKey key,
       co_await fetch;
     }
 
-    if (files_->exists(key.file)) {
+    if (ns.files->exists(key.file)) {
       CacheEntry entry;
       entry.key = key;
       entry.home = client;
       entry.dirty_since = eng_->now();
       insert_at(client, entry);
-      dir_add(key, client);
+      post_dir_add(client, key);
     }
     ns.in_flight.erase(key);
     bc->notify_all();
-    co_await net_->copy(client, client, files_->block_size(), prio::kDemand,
-                        dspan);
+    co_await net_->copy(client, client, block_size, prio::kDemand, dspan);
     break;
   }
   if (sp != nullptr) sp->demand_done(dspan, eng_->now());
@@ -312,17 +382,75 @@ SimFuture<Done> Xfs::write(ProcId pid, NodeId client, FileId file, Bytes offset,
 SimTask Xfs::write_task(ProcId pid, NodeId client, FileId file, Bytes offset,
                         Bytes length, SimPromise<Done> done) {
   const SimTime t0 = eng_->now();
-  if (!files_->exists(file) || length == 0) {
+  NodeState& ns = node_[raw(client)];
+  if (!ns.files->exists(file) || length == 0) {
     done.set_value(Done{});
     co_return;
   }
-  files_->extend(file, offset, length);
-  const BlockRange range = files_->range(file, offset, length);
+  // The writer's replica grows immediately (it knows its own write); the
+  // authoritative model and the other replicas follow via the ownership
+  // round trip below.
+  ns.files->extend(file, offset, length);
+  const BlockRange range = ns.files->range(file, offset, length);
   co_await eng_->delay(cfg_.local_op_cpu);
-  NodeState& ns = node_[raw(client)];
   ns.prefetcher->on_request(pid, client, file, range.first, range.count);
 
-  bool invalidated_any = false;
+  // Ownership round trip: the manager invalidates every other replica and
+  // acknowledges only once all holders confirmed, so single-writer-dirty
+  // still holds when the client marks its copies dirty afterwards.  The
+  // grant stays "unconfirmed" until the client reports the local
+  // application back — a later writer's invalidation of these blocks waits
+  // behind that confirmation (see pending_grants_).
+  bool granted = false;
+  const NodeId mgr = manager_node(file);
+  co_await eng_->hop_to(kDirDomain,
+                        eng_->now() + net_->note_message(client, mgr));
+  {
+    auto guard = co_await mgr_cpus_[raw(mgr)]->scoped(prio::kDemand);
+    co_await eng_->delay(cfg_.manager_op_cpu);
+  }
+  if (files_->exists(file)) {
+    if (files_->extend(file, offset, length)) {
+      // The file grew: update every other node's metadata replica.
+      for (std::uint32_t n = 0; n < nodes_; ++n) {
+        if (n == raw(client)) continue;
+        eng_->post_at(node_domain(n),
+                      eng_->now() + net_->note_message(mgr, NodeId{n}),
+                      [this, n, file, offset, length] {
+                        node_[n].files->extend(file, offset, length);
+                      });
+      }
+    }
+    std::vector<std::pair<NodeId, BlockKey>> invals;
+    for (std::uint32_t i = 0; i < range.count; ++i) {
+      const BlockKey key{file, range.first + i};
+      if (std::vector<NodeId>* h = holders(key)) {
+        const std::vector<NodeId> copy = *h;
+        for (NodeId other : copy) {
+          if (other == client) continue;
+          invals.emplace_back(other, key);
+          dir_remove(key, other);
+        }
+      }
+      dir_add(key, client);
+    }
+    auto acks = std::make_shared<Joiner>(
+        *eng_, static_cast<std::uint32_t>(invals.size()));
+    for (const auto& [other, key] : invals) {
+      post_or_defer_invalidation(other, key, acks);
+    }
+    for (std::uint32_t i = 0; i < range.count; ++i) {
+      ++pending_grants_[pack(BlockKey{file, range.first + i})][raw(client)]
+            .grants;
+    }
+    granted = true;
+    co_await acks->future();
+  }
+  co_await eng_->hop_to(node_domain(raw(client)),
+                        eng_->now() + net_->note_message(mgr, client));
+
+  // Back at the client: apply the write to the (now exclusively owned)
+  // local copies.
   for (std::uint32_t i = 0; i < range.count; ++i) {
     const BlockKey key{file, range.first + i};
     if (CacheEntry* e = ns.pool->find(key)) {
@@ -330,7 +458,7 @@ SimTask Xfs::write_task(ProcId pid, NodeId client, FileId file, Bytes offset,
       if (e->prefetched && !e->referenced) {
         // First demand use via a write still counts: the prefetched buffer
         // absorbed the write-allocate, so the arrival settles as used.
-        metrics_->on_prefetch_first_use();
+        met(client).on_prefetch_first_use();
         if (SpanCollector* sp = eng_->span_collector(); sp != nullptr) {
           sp->settle_used(e->span, eng_->now());
         }
@@ -349,42 +477,17 @@ SimTask Xfs::write_task(ProcId pid, NodeId client, FileId file, Bytes offset,
       entry.dirty_since = eng_->now();
       insert_at(client, entry);
     }
-    dir_add(key, client);
-    // Writer invalidates every other replica (single-writer consistency).
-    if (std::vector<NodeId>* h = holders(key)) {
-      const std::vector<NodeId> copy = *h;
-      for (NodeId other : copy) {
-        if (other == client) continue;
-        invalidated_any = true;
-        if (auto victim = node_[raw(other)].pool->erase(key)) {
-          if (victim->prefetched && !victim->referenced) {
-            metrics_->on_prefetch_wasted();
-            if (SpanCollector* sp = eng_->span_collector(); sp != nullptr) {
-              sp->settle_wasted(victim->span, WasteReason::kInvalidated,
-                                eng_->now());
-            }
-            if (trace_ != nullptr) trace_wasted(*victim);
-          }
-          // An invalidated dirty replica cannot exist under single-writer
-          // semantics, but stay safe and flush it if it does.
-          if (victim->dirty) {
-            metrics_->on_disk_write(key);
-            (void)disks_->write(key, prio::kSync);
-          }
-        }
-        dir_remove(key, other);
-      }
-    }
   }
-  if (invalidated_any) {
-    const NodeId mgr = manager_node(file);
-    co_await net_->message(client, mgr);
-    {
-      auto guard = co_await node_[raw(mgr)].cpu->scoped(prio::kDemand);
-      co_await eng_->delay(cfg_.manager_op_cpu);
-    }
+  if (granted) {
+    // Confirm the application to the manager: invalidations queued behind
+    // this grant may now revoke (and flush) the freshly dirtied copies.
+    eng_->post_at(kDirDomain, eng_->now() + net_->note_message(client, mgr),
+                  [this, client, file, first = range.first,
+                   count = range.count] {
+                    write_confirmed(client, file, first, count);
+                  });
   }
-  co_await net_->copy(client, client, range.count * files_->block_size(),
+  co_await net_->copy(client, client, range.count * ns.files->block_size(),
                       prio::kDemand);
   if (trace_ != nullptr) {
     trace_->complete("fs", "fs.write", tracks::node_fs(client), t0,
@@ -396,6 +499,66 @@ SimTask Xfs::write_task(ProcId pid, NodeId client, FileId file, Bytes offset,
   done.set_value(Done{});
 }
 
+void Xfs::post_or_defer_invalidation(NodeId other, BlockKey key,
+                                     std::shared_ptr<Joiner> acks) {
+  auto send = [this, other, key, acks] {
+    eng_->post_at(node_domain(raw(other)),
+                  eng_->now() + net_->note_message(manager_node(key.file),
+                                                   other),
+                  [this, other, key, acks] {
+                    apply_invalidation(other, key, acks);
+                  });
+  };
+  if (auto fit = pending_grants_.find(pack(key));
+      fit != pending_grants_.end()) {
+    if (auto nit = fit->second.find(raw(other)); nit != fit->second.end()) {
+      nit->second.deferred.push_back(std::move(send));
+      return;
+    }
+  }
+  send();
+}
+
+void Xfs::write_confirmed(NodeId owner, FileId file, std::uint32_t first,
+                          std::uint32_t count) {
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint64_t key = pack(BlockKey{file, first + i});
+    auto fit = pending_grants_.find(key);
+    if (fit == pending_grants_.end()) continue;
+    auto nit = fit->second.find(raw(owner));
+    if (nit == fit->second.end()) continue;
+    if (--nit->second.grants != 0) continue;
+    std::vector<std::function<void()>> deferred =
+        std::move(nit->second.deferred);
+    fit->second.erase(nit);
+    if (fit->second.empty()) pending_grants_.erase(fit);
+    for (auto& send : deferred) send();
+  }
+}
+
+void Xfs::apply_invalidation(NodeId node, BlockKey key,
+                             std::shared_ptr<Joiner> acks) {
+  if (auto victim = node_[raw(node)].pool->erase(key)) {
+    if (victim->prefetched && !victim->referenced) {
+      met(node).on_prefetch_wasted();
+      if (SpanCollector* sp = eng_->span_collector(); sp != nullptr) {
+        sp->settle_wasted(victim->span, WasteReason::kInvalidated, eng_->now());
+      }
+      if (trace_ != nullptr) trace_wasted(*victim);
+    }
+    // A dirty victim here is the previous owner's just-applied write being
+    // revoked (this invalidation waited behind its confirmation, see
+    // pending_grants_): the copy leaves through the disk.
+    if (victim->dirty) {
+      met(node).on_disk_write(key);
+      (void)disks_->write(key, prio::kSync);
+    }
+  }
+  eng_->post_at(kDirDomain,
+                eng_->now() + net_->note_message(node, manager_node(key.file)),
+                [acks] { acks->arrive(); });
+}
+
 SimFuture<Done> Xfs::remove(ProcId, NodeId client, FileId file) {
   SimPromise<Done> done(*eng_);
   remove_task(client, file, done);
@@ -404,27 +567,41 @@ SimFuture<Done> Xfs::remove(ProcId, NodeId client, FileId file) {
 
 SimTask Xfs::remove_task(NodeId client, FileId file, SimPromise<Done> done) {
   const NodeId mgr = manager_node(file);
-  co_await net_->message(client, mgr);
+  co_await eng_->hop_to(kDirDomain,
+                        eng_->now() + net_->note_message(client, mgr));
   {
-    auto guard = co_await node_[raw(mgr)].cpu->scoped(prio::kDemand);
+    auto guard = co_await mgr_cpus_[raw(mgr)]->scoped(prio::kDemand);
     co_await eng_->delay(cfg_.manager_op_cpu);
   }
-  for (NodeState& ns : node_) {
-    ns.prefetcher->on_file_deleted(file);
-    for (const CacheEntry& e : ns.pool->drop_file(file)) {
-      if (e.prefetched && !e.referenced) {
-        metrics_->on_prefetch_wasted();
-        if (SpanCollector* sp = eng_->span_collector(); sp != nullptr) {
-          sp->settle_wasted(e.span, WasteReason::kDeleted, eng_->now());
-        }
-        if (trace_ != nullptr) trace_wasted(e);
-      }
+  if (files_->exists(file)) {
+    dir_drop_file(file);
+    files_->remove(file);
+    // Purge every node.  The client's own purge shares the reply's origin
+    // and latency, so it lands strictly before the remove() resolves.
+    for (std::uint32_t n = 0; n < nodes_; ++n) {
+      eng_->post_at(node_domain(n),
+                    eng_->now() + net_->note_message(mgr, NodeId{n}),
+                    [this, n, file] { purge_file(NodeId{n}, file); });
     }
   }
-  dir_drop_file(file);
-  files_->remove(file);
-  co_await net_->message(mgr, client);
+  co_await eng_->hop_to(node_domain(raw(client)),
+                        eng_->now() + net_->note_message(mgr, client));
   done.set_value(Done{});
+}
+
+void Xfs::purge_file(NodeId node, FileId file) {
+  NodeState& ns = node_[raw(node)];
+  ns.prefetcher->on_file_deleted(file);
+  for (const CacheEntry& e : ns.pool->drop_file(file)) {
+    if (e.prefetched && !e.referenced) {
+      met(node).on_prefetch_wasted();
+      if (SpanCollector* sp = eng_->span_collector(); sp != nullptr) {
+        sp->settle_wasted(e.span, WasteReason::kDeleted, eng_->now());
+      }
+      if (trace_ != nullptr) trace_wasted(e);
+    }
+  }
+  ns.files->remove(file);
 }
 
 SimFuture<Done> Xfs::prefetch_fetch(NodeId node, BlockKey key) {
@@ -436,7 +613,10 @@ SimFuture<Done> Xfs::prefetch_fetch(NodeId node, BlockKey key) {
 SimTask Xfs::prefetch_task(NodeId node, BlockKey key, SimPromise<Done> done) {
   SpanCollector* const sp = eng_->span_collector();
   const std::uint32_t site = raw(node) + 1;
-  if (local_available(node, key) || !files_->exists(key.file)) {
+  NodeState& ns = node_[raw(node)];
+  Metrics& metrics = met(node);
+  const Bytes block_size = ns.files->block_size();
+  if (local_available(node, key) || !ns.files->exists(key.file)) {
     if (sp != nullptr) sp->prefetch_elided(site, key, eng_->now());
     if (trace_ != nullptr) {
       trace_->instant("prefetch", "prefetch.elided", tracks::file(key.file),
@@ -447,56 +627,76 @@ SimTask Xfs::prefetch_task(NodeId node, BlockKey key, SimPromise<Done> done) {
     co_return;
   }
   const SimTime t0 = eng_->now();
-  NodeState& ns = node_[raw(node)];
   auto bc = std::make_shared<Broadcast>(*eng_);
   ns.in_flight.emplace(key, InFlight{bc, DiskOpRef{}});
+  // Capture the issue span before leaving this node's shard: the open-span
+  // table is per-shard state.
+  const std::uint64_t pspan = sp != nullptr ? sp->open_ref(site, key) : 0;
 
   // Like any miss, a prefetch goes through the manager: if a peer already
   // caches the block it is copied over the network instead of re-read from
   // disk — several nodes prefetching the same (shared) file cost network
   // transfers, not duplicate disk accesses.
   const NodeId mgr = manager_node(key.file);
-  co_await net_->message(node, mgr);
+  co_await eng_->hop_to(kDirDomain,
+                        eng_->now() + net_->note_message(node, mgr));
   {
-    auto guard = co_await node_[raw(mgr)].cpu->scoped(prio::kPrefetch);
+    auto guard = co_await mgr_cpus_[raw(mgr)]->scoped(prio::kPrefetch);
     co_await eng_->delay(cfg_.manager_op_cpu);
   }
   NodeId peer{};
   bool have_peer = false;
-  if (std::vector<NodeId>* h = holders(key)) {
-    for (auto it = h->rbegin(); it != h->rend(); ++it) {
-      if (*it != node) {
-        peer = *it;
-        have_peer = true;
-        break;
+  if (files_->exists(key.file)) {
+    if (std::vector<NodeId>* h = holders(key)) {
+      for (auto it = h->rbegin(); it != h->rend(); ++it) {
+        if (*it != node) {
+          peer = *it;
+          have_peer = true;
+          break;
+        }
       }
     }
   }
+  bool via_peer = false;
   if (have_peer) {
-    co_await net_->message(mgr, peer);
-    co_await net_->copy(peer, node, files_->block_size(), prio::kPrefetch,
-                        sp != nullptr ? sp->open_ref(site, key) : 0);
+    co_await eng_->hop_to(node_domain(raw(peer)),
+                          eng_->now() + net_->note_message(mgr, peer));
+    if (node_[raw(peer)].pool->contains(key)) {
+      via_peer = true;
+      co_await net_->begin_transfer(peer, node, block_size, prio::kPrefetch,
+                                    pspan);
+      co_await eng_->hop_to(
+          node_domain(raw(node)),
+          eng_->now() + net_->copy_latency(peer, node, block_size));
+    } else {
+      co_await eng_->hop_to(node_domain(raw(node)),
+                            eng_->now() + net_->note_message(peer, node));
+    }
   } else {
-    metrics_->on_disk_read(/*prefetch=*/true);
+    co_await eng_->hop_to(node_domain(raw(node)),
+                          eng_->now() + net_->note_message(mgr, node));
+  }
+  if (!via_peer) {
+    metrics.on_disk_read(/*prefetch=*/true);
     DiskOpRef op;
-    auto fetch = disks_->read(key, cfg_.prefetch_priority, &op,
-                              sp != nullptr ? sp->open_ref(site, key) : 0);
+    auto fetch = disks_->read(key, cfg_.prefetch_priority, &op, pspan);
     if (auto fit = ns.in_flight.find(key); fit != ns.in_flight.end()) {
       fit->second.op = op;
     }
     co_await fetch;
   }
   ns.in_flight.erase(key);
-  metrics_->on_prefetch_arrived();
+  metrics.on_prefetch_arrived();
   const SpanRef span =
-      sp != nullptr ? sp->prefetch_arrived(site, key, have_peer, eng_->now())
+      sp != nullptr ? sp->prefetch_arrived(site, key, via_peer, eng_->now())
                     : 0;
-  if (!files_->exists(key.file) || ns.pool->contains(key)) {
+  if (!ns.files->exists(key.file) || ns.pool->contains(key)) {
     // The file vanished mid-fetch, or a local write (or forwarded copy)
     // claimed the buffer while we waited: settle this arrival as wasted so
-    // arrived == used + wasted still reconciles, and skip dir_add — a
-    // directory entry for a buffer we never inserted would go stale.
-    metrics_->on_prefetch_wasted();
+    // arrived == used + wasted still reconciles, and skip the directory
+    // registration — an entry for a buffer we never inserted would go
+    // stale.
+    metrics.on_prefetch_wasted();
     if (sp != nullptr) {
       sp->settle_wasted(span, WasteReason::kSuperseded, eng_->now());
     }
@@ -512,7 +712,7 @@ SimTask Xfs::prefetch_task(NodeId node, BlockKey key, SimPromise<Done> done) {
     entry.dirty_since = eng_->now();
     entry.span = span;
     insert_at(node, entry);
-    dir_add(key, node);
+    post_dir_add(node, key);
   }
   if (trace_ != nullptr) {
     trace_->complete("prefetch", "prefetch.fetch", tracks::file(key.file), t0,
@@ -520,22 +720,25 @@ SimTask Xfs::prefetch_task(NodeId node, BlockKey key, SimPromise<Done> done) {
                      {{"site", raw(node) + 1},
                       {"block", key.index},
                       {"node", raw(node)},
-                      {"via_peer", static_cast<int>(have_peer)}});
+                      {"via_peer", static_cast<int>(via_peer)}});
   }
   bc->notify_all();
   done.set_value(Done{});
 }
 
 SimTask Xfs::forward_task(NodeId from, NodeId to, CacheEntry victim) {
-  co_await net_->copy(from, to, files_->block_size(), prio::kSync);
-  if (!files_->exists(victim.key.file) ||
-      node_[raw(to)].pool->contains(victim.key)) {
+  const Bytes block_size = node_[raw(from)].files->block_size();
+  co_await net_->begin_transfer(from, to, block_size, prio::kSync);
+  co_await eng_->hop_to(node_domain(raw(to)),
+                        eng_->now() + net_->copy_latency(from, to, block_size));
+  NodeState& ns = node_[raw(to)];
+  if (!ns.files->exists(victim.key.file) || ns.pool->contains(victim.key)) {
     // The file vanished, or the destination acquired its own copy while the
     // forward was on the wire — merging the forwarded buffer in would fold
     // two prefetch provenances into one entry and break the arrived ==
     // used + wasted reconciliation, so the redundant copy settles here.
     if (victim.prefetched && !victim.referenced) {
-      metrics_->on_prefetch_wasted();
+      met(to).on_prefetch_wasted();
       if (SpanCollector* sp = eng_->span_collector(); sp != nullptr) {
         sp->settle_wasted(victim.span, WasteReason::kForwardDropped,
                           eng_->now());
@@ -547,53 +750,86 @@ SimTask Xfs::forward_task(NodeId from, NodeId to, CacheEntry victim) {
   victim.home = to;
   ++victim.recirculation;
   insert_at(to, victim);
-  dir_add(victim.key, to);
+  post_dir_add(to, victim.key);
 }
 
 void Xfs::insert_at(NodeId node, const CacheEntry& entry) {
-  if (!files_->exists(entry.key.file)) return;
+  if (!node_[raw(node)].files->exists(entry.key.file)) return;
   if (auto victim = node_[raw(node)].pool->insert(entry)) {
     handle_eviction(node, *victim);
   }
 }
 
 void Xfs::handle_eviction(NodeId node, const CacheEntry& victim) {
-  dir_remove(victim.key, node);
   if (victim.dirty) {
     if (victim.prefetched && !victim.referenced) {
-      metrics_->on_prefetch_wasted();
+      met(node).on_prefetch_wasted();
       if (SpanCollector* sp = eng_->span_collector(); sp != nullptr) {
         sp->settle_wasted(victim.span, WasteReason::kEvicted, eng_->now());
       }
       if (trace_ != nullptr) trace_wasted(victim);
     }
-    metrics_->on_disk_write(victim.key);
+    met(node).on_disk_write(victim.key);
     (void)disks_->write(victim.key, prio::kSync);
+    post_dir_remove(node, victim.key);
     return;
   }
   // N-chance: give the last copy of a block another life on a random peer.
-  // A forwarded block stays in the cooperative cache, so it is not (yet)
-  // counted as a wasted prefetch.
+  // Only the directory knows whether this was the last copy, so the victim
+  // travels to the directory domain for the verdict; a forwarded block
+  // stays in the cooperative cache, so it is not (yet) counted as a wasted
+  // prefetch.
   if (nodes_ >= 2 && victim.recirculation < cfg_.nchance_recirculation &&
-      files_->exists(victim.key.file)) {
-    std::vector<NodeId>* h = holders(victim.key);
-    if (h == nullptr || h->empty()) {  // last copy: forward it
-      NodeId peer{static_cast<std::uint32_t>(
-          rng_.uniform_int(0, static_cast<std::int64_t>(nodes_) - 2))};
-      if (raw(peer) >= raw(node)) peer = NodeId{raw(peer) + 1};
-      if (trace_ != nullptr) {
-        trace_->instant("cache", "cache.nchance_forward",
-                        tracks::node_cache(node), eng_->now(),
-                        {{"file", raw(victim.key.file)},
-                         {"block", victim.key.index},
-                         {"to", raw(peer)}});
-      }
-      forward_task(node, peer, victim);
-      return;
-    }
+      node_[raw(node)].files->exists(victim.key.file)) {
+    eng_->post_at(
+        kDirDomain,
+        eng_->now() + net_->note_message(node, manager_node(victim.key.file)),
+        [this, node, victim] { dir_evicted(node, victim); });
+    return;
   }
+  post_dir_remove(node, victim.key);
   if (victim.prefetched && !victim.referenced) {
-    metrics_->on_prefetch_wasted();
+    met(node).on_prefetch_wasted();
+    if (SpanCollector* sp = eng_->span_collector(); sp != nullptr) {
+      sp->settle_wasted(victim.span, WasteReason::kEvicted, eng_->now());
+    }
+    if (trace_ != nullptr) trace_wasted(victim);
+  }
+}
+
+void Xfs::dir_evicted(NodeId node, CacheEntry victim) {
+  dir_remove(victim.key, node);
+  const std::vector<NodeId>* h = holders(victim.key);
+  const NodeId mgr = manager_node(victim.key.file);
+  if ((h == nullptr || h->empty()) && files_->exists(victim.key.file)) {
+    // Last copy: draw a peer (never the evictor) and tell the evictor to
+    // forward — the RNG stays directory-domain state, so every shard count
+    // sees the same draw sequence.
+    NodeId peer{static_cast<std::uint32_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(nodes_) - 2))};
+    if (raw(peer) >= raw(node)) peer = NodeId{raw(peer) + 1};
+    eng_->post_at(node_domain(raw(node)),
+                  eng_->now() + net_->note_message(mgr, node),
+                  [this, node, peer, victim] {
+                    if (trace_ != nullptr) {
+                      trace_->instant("cache", "cache.nchance_forward",
+                                      tracks::node_cache(node), eng_->now(),
+                                      {{"file", raw(victim.key.file)},
+                                       {"block", victim.key.index},
+                                       {"to", raw(peer)}});
+                    }
+                    forward_task(node, peer, victim);
+                  });
+    return;
+  }
+  eng_->post_at(node_domain(raw(node)),
+                eng_->now() + net_->note_message(mgr, node),
+                [this, node, victim] { drop_victim(node, victim); });
+}
+
+void Xfs::drop_victim(NodeId node, const CacheEntry& victim) {
+  if (victim.prefetched && !victim.referenced) {
+    met(node).on_prefetch_wasted();
     if (SpanCollector* sp = eng_->span_collector(); sp != nullptr) {
       sp->settle_wasted(victim.span, WasteReason::kEvicted, eng_->now());
     }
@@ -606,17 +842,15 @@ void Xfs::provide_hints(ProcId pid, NodeId client, FileId file,
   node_[raw(client)].prefetcher->provide_hints(pid, file, std::move(hints));
 }
 
-void Xfs::flush_tick() {
-  for (std::uint32_t n = 0; n < nodes_; ++n) {
-    BufferPool& pool = *node_[n].pool;
-    std::vector<BlockKey> dirty;
-    dirty.reserve(pool.dirty_count());
-    pool.for_each_dirty([&](const CacheEntry& e) { dirty.push_back(e.key); });
-    for (const BlockKey& key : dirty) {
-      pool.mark_clean(key);
-      metrics_->on_disk_write(key);
-      (void)disks_->write(key, prio::kSync);
-    }
+void Xfs::flush_tick(NodeId node) {
+  BufferPool& pool = *node_[raw(node)].pool;
+  std::vector<BlockKey> dirty;
+  dirty.reserve(pool.dirty_count());
+  pool.for_each_dirty([&](const CacheEntry& e) { dirty.push_back(e.key); });
+  for (const BlockKey& key : dirty) {
+    pool.mark_clean(key);
+    met(node).on_disk_write(key);
+    (void)disks_->write(key, prio::kSync);
   }
 }
 
@@ -655,16 +889,17 @@ bool Xfs::directory_consistent() const {
 
 void Xfs::finalize() {
   SpanCollector* const sp = eng_->span_collector();
-  for (const NodeState& ns : node_) {
-    ns.pool->for_each([&](const CacheEntry& e) {
+  for (std::uint32_t n = 0; n < nodes_; ++n) {
+    Metrics& metrics = metrics_->node(n);
+    node_[n].pool->for_each([&](const CacheEntry& e) {
       if (e.prefetched && !e.referenced) {
-        metrics_->on_prefetch_wasted();
+        metrics.on_prefetch_wasted();
         if (sp != nullptr) {
           sp->settle_wasted(e.span, WasteReason::kShutdown, eng_->now());
         }
         if (trace_ != nullptr) trace_wasted(e);
       }
-      if (e.dirty) metrics_->on_disk_write(e.key);
+      if (e.dirty) metrics.on_disk_write(e.key);
     });
   }
 }

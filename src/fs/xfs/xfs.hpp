@@ -12,9 +12,20 @@
 // over the requests it sees locally, so the linear limitation holds per
 // node and file only — several nodes may prefetch the same file in
 // parallel, the paper's "not really linear" xFS implementation.
+//
+// Sharding: each node's state — block pool, in-flight table, prefetcher,
+// metadata replica, sync daemon — lives in that node's model domain
+// (node_domain(n), DESIGN.md §14) and is only ever touched from it.  The
+// block directory, the authoritative FileModel, the per-manager CPUs and
+// the N-chance RNG live in the *directory domain* (domain 0).  Every
+// cross-node interaction is either a coroutine hop (Engine::hop_to after a
+// modelled message or copy latency) or a one-way mail (post_at), so a
+// node-granular partition of the domains replays bit-exactly against the
+// sequential engine.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -26,6 +37,7 @@
 #include "fs/common/file_model.hpp"
 #include "fs/common/filesystem.hpp"
 #include "net/network.hpp"
+#include "sim/domain.hpp"
 #include "sim/resource.hpp"
 #include "util/rng.hpp"
 
@@ -44,9 +56,14 @@ struct XfsConfig {
 
 class Xfs final : public FileSystem {
  public:
+  /// `files` is the authoritative metadata model, owned by the directory
+  /// domain from here on; each node gets a private replica (kept current
+  /// by extend/purge mails from the directory).  `stop_flags` is the
+  /// driver's per-domain array: node n's daemons poll
+  /// stop_flags[node_domain(n)].
   Xfs(Engine& eng, Network& net, DiskArray& disks, FileModel& files,
-      Metrics& metrics, XfsConfig cfg, std::uint32_t nodes,
-      const bool* stop_flag);
+      MetricsSet& metrics, XfsConfig cfg, std::uint32_t nodes,
+      const StopFlag* stop_flags);
   ~Xfs() override;
 
   // --- FileSystem ---
@@ -68,11 +85,19 @@ class Xfs final : public FileSystem {
   [[nodiscard]] PrefetchCounters prefetch_counters_total() const override;
   [[nodiscard]] const BufferPool& pool(NodeId node) const;
 
+  /// Start each node's write-back daemon in that node's domain (t = 0
+  /// mails; call before the engine runs).
   void start_sync_daemon();
 
+  /// Re-copy every node's metadata replica from the authoritative model.
+  /// Only valid while the engine is idle — for tests and tools that
+  /// register files after constructing the file system (the driver seeds
+  /// the model first, so it never needs this).
+  void reseed_replicas();
+
   /// Debug invariant (tests): every cached block is registered in the
-  /// block directory under its node.  Call only when the engine is idle
-  /// (N-chance forwards in flight are legitimately unregistered).
+  /// block directory under its node.  Call only when the engine is idle —
+  /// in-flight directory mails are legitimately unapplied.
   [[nodiscard]] bool directory_consistent() const;
 
  private:
@@ -81,19 +106,43 @@ class Xfs final : public FileSystem {
     std::shared_ptr<Broadcast> bc;
     DiskOpRef op;  // boostable while queued
   };
+  // Everything here belongs to node_domain(i) exclusively.
   struct NodeState {
     std::unique_ptr<BufferPool> pool;
     FlatHashMap<BlockKey, InFlight, BlockKeyHash> in_flight;
     std::unique_ptr<NodeHost> host;
     std::unique_ptr<PrefetchManager> prefetcher;
-    std::unique_ptr<Resource> cpu;  // manager service on this node
+    std::unique_ptr<FileModel> files;  // metadata replica
+    std::unique_ptr<SyncDaemon> sync;
   };
 
+  [[nodiscard]] Metrics& met(NodeId node) {
+    return metrics_->node(raw(node));
+  }
   [[nodiscard]] bool local_available(NodeId node, BlockKey key) const;
+
+  // Directory-domain state accessors (domain 0 only).
   [[nodiscard]] std::vector<NodeId>* holders(BlockKey key);
   void dir_add(BlockKey key, NodeId node);
   void dir_remove(BlockKey key, NodeId node);
   void dir_drop_file(FileId file);
+  void dir_evicted(NodeId node, CacheEntry victim);
+
+  // One-way mails.
+  void post_dir_add(NodeId from, BlockKey key);
+  void post_dir_remove(NodeId from, BlockKey key);
+  void apply_invalidation(NodeId node, BlockKey key,
+                          std::shared_ptr<Joiner> acks);
+  // Send `key`'s invalidation to `other` now — or, if `other` holds an
+  // unconfirmed write grant on the block, queue it until that write's
+  // confirmation so the old owner's dirty copy is applied before it is
+  // revoked (directory domain only).
+  void post_or_defer_invalidation(NodeId other, BlockKey key,
+                                  std::shared_ptr<Joiner> acks);
+  void write_confirmed(NodeId owner, FileId file, std::uint32_t first,
+                       std::uint32_t count);
+  void purge_file(NodeId node, FileId file);
+  void drop_victim(NodeId node, const CacheEntry& victim);
 
   SimTask read_task(ProcId pid, NodeId client, FileId file, Bytes offset,
                     Bytes length, SimPromise<Done> done);
@@ -109,28 +158,45 @@ class Xfs final : public FileSystem {
 
   void insert_at(NodeId node, const CacheEntry& entry);
   void handle_eviction(NodeId node, const CacheEntry& victim);
-  void flush_tick();
+  void flush_tick(NodeId node);
   void trace_wasted(const CacheEntry& e);
 
   Engine* eng_;
   Network* net_;
   DiskArray* disks_;
-  FileModel* files_;
-  Metrics* metrics_;
+  FileModel* files_;  // authoritative copy; directory domain only
+  MetricsSet* metrics_;
   XfsConfig cfg_;
   std::uint32_t nodes_;
-  const bool* stop_flag_;
+  const StopFlag* stop_flags_;
   TraceSink* trace_ = nullptr;
-  Rng rng_;
+  Rng rng_;  // directory domain only (N-chance peer draws)
 
   std::vector<NodeState> node_;
   // file -> block index -> caching nodes.  Flat at both levels: the
   // directory is probed on every miss and every manager consult.  holders()
-  // pointers are only read before the next directory mutation (write_task
-  // copies the list before invalidating), per the flat-table contract.
+  // pointers are only read before the next directory mutation, per the
+  // flat-table contract.  Directory domain only.
   FlatHashMap<std::uint32_t, FlatHashMap<std::uint32_t, std::vector<NodeId>>>
       dir_;
-  std::unique_ptr<SyncDaemon> sync_;
+  // Write grants whose owner has not yet confirmed applying the write
+  // locally: packed block key -> owner node -> {outstanding grants,
+  // invalidations queued behind the confirmation}.  A later writer's
+  // invalidation of an unconfirmed owner must wait — otherwise the ack
+  // races ahead of the owner's delayed dirty-insert and two caches end up
+  // dirty.  Deferrals only ever wait on strictly earlier grants (the
+  // per-file manager serialises them), so they cannot cycle.  Directory
+  // domain only.
+  struct PendingGrant {
+    std::uint32_t grants = 0;
+    std::vector<std::function<void()>> deferred;
+  };
+  FlatHashMap<std::uint64_t, FlatHashMap<std::uint32_t, PendingGrant>>
+      pending_grants_;
+  // Manager CPU per node: manager work *executes* in the directory domain
+  // but still contends for (and is accounted to) the manager node's
+  // processor.
+  std::vector<std::unique_ptr<Resource>> mgr_cpus_;
 };
 
 }  // namespace lap

@@ -9,7 +9,7 @@
 namespace lap {
 
 Network::Network(Engine& eng, NetConfig cfg, std::uint32_t nodes)
-    : eng_(&eng), cfg_(cfg) {
+    : eng_(&eng), cfg_(cfg), stats_(1) {
   LAP_EXPECTS(nodes >= 1);
   if (cfg_.model_contention) {
     nics_.reserve(nodes);
@@ -17,6 +17,23 @@ Network::Network(Engine& eng, NetConfig cfg, std::uint32_t nodes)
       nics_.push_back(std::make_unique<Resource>(eng));
     }
   }
+}
+
+void Network::set_domains(std::size_t domains) {
+  LAP_EXPECTS(domains >= 1);
+  stats_.assign(domains, StatsLane{});
+}
+
+NetStats& Network::lane() { return stats_[eng_->current_domain()]; }
+
+NetStats Network::stats() const {
+  NetStats total;
+  for (const StatsLane& s : stats_) {
+    total.messages += s.messages;
+    total.transfers += s.transfers;
+    total.bytes_moved += s.bytes_moved;
+  }
+  return total;
 }
 
 SimTime Network::message_latency(NodeId src, NodeId dst) const {
@@ -31,23 +48,29 @@ SimTime Network::copy_latency(NodeId src, NodeId dst, Bytes n) const {
 }
 
 SimFuture<Done> Network::message(NodeId src, NodeId dst) {
-  ++stats_.messages;
   SimPromise<Done> done(*eng_);
   // Control messages are short; they are charged latency but do not occupy
   // the NIC (matching DIMEMAS, where the startup is CPU activity).
+  const SimTime latency = note_message(src, dst);
+  eng_->schedule_in(latency, [done] { done.set_value(Done{}); });
+  return done.future();
+}
+
+SimTime Network::note_message(NodeId src, NodeId dst) {
+  ++lane().messages;
   const SimTime latency = message_latency(src, dst);
   if (trace_ != nullptr) {
     trace_->complete("net", "net.message", tracks::node_net(src), eng_->now(),
                      latency, {{"src", raw(src)}, {"dst", raw(dst)}});
   }
-  eng_->schedule_in(latency, [done] { done.set_value(Done{}); });
-  return done.future();
+  return latency;
 }
 
 SimFuture<Done> Network::copy(NodeId src, NodeId dst, Bytes n, int priority,
                               std::uint64_t span) {
-  ++stats_.transfers;
-  stats_.bytes_moved += n;
+  NetStats& st = lane();
+  ++st.transfers;
+  st.bytes_moved += n;
   SimPromise<Done> done(*eng_);
   const SimTime duration = copy_latency(src, dst, n);
   const bool remote = src != dst;
@@ -89,6 +112,55 @@ SimTask Network::run_transfer(NodeId src, NodeId dst, Bytes bytes,
   }
   co_await eng_->delay(duration);
   done.set_value(Done{});
+}
+
+SimFuture<Done> Network::begin_transfer(NodeId src, NodeId dst, Bytes n,
+                                        int priority, std::uint64_t span) {
+  NetStats& st = lane();
+  ++st.transfers;
+  st.bytes_moved += n;
+  SimPromise<Done> done(*eng_);
+  const SimTime duration = copy_latency(src, dst, n);
+  const bool remote = src != dst;
+  if (cfg_.model_contention && remote) {
+    hold_nic(src, dst, n, duration, priority, span, done);
+  } else {
+    if (span != 0) {
+      if (SpanCollector* sp = eng_->span_collector(); sp != nullptr) {
+        sp->net_transferred(span, SimTime::zero(), duration);
+      }
+    }
+    if (trace_ != nullptr) {
+      trace_->complete("net", "net.copy", tracks::node_net(src), eng_->now(),
+                       duration,
+                       {{"src", raw(src)}, {"dst", raw(dst)}, {"bytes", n}});
+    }
+    done.set_value(Done{});  // departs immediately: no NIC to wait for
+  }
+  return done.future();
+}
+
+SimTask Network::hold_nic(NodeId src, NodeId dst, Bytes bytes,
+                          SimTime duration, int priority, std::uint64_t span,
+                          SimPromise<Done> done) {
+  const SimTime enqueued = eng_->now();
+  Resource& nic = *nics_[raw(src)];
+  auto guard = co_await nic.scoped(priority);
+  if (span != 0) {
+    if (SpanCollector* sp = eng_->span_collector(); sp != nullptr) {
+      sp->net_transferred(span, eng_->now() - enqueued, duration);
+    }
+  }
+  if (trace_ != nullptr) {
+    trace_->complete("net", "net.copy", tracks::node_net(src), eng_->now(),
+                     duration,
+                     {{"src", raw(src)}, {"dst", raw(dst)}, {"bytes", bytes}});
+  }
+  // The caller hops away as soon as the payload departs; this detached
+  // task keeps the NIC occupied for the wire time so later transfers from
+  // this node queue behind it.
+  done.set_value(Done{});
+  co_await eng_->delay(duration);
 }
 
 }  // namespace lap

@@ -38,6 +38,18 @@ struct NetConfig {
     return local_port_startup < remote_port_startup ? local_port_startup
                                                     : remote_port_startup;
   }
+
+  /// Least latency of any *cross-domain* interaction under the per-node
+  /// domain map: control messages (either port startup — a node talking to
+  /// the directory domain pays at least the local startup even when the
+  /// manager is co-resident) and migrating block copies (whose wire time
+  /// is bounded below by the remote copy startup).  The epoch lookahead
+  /// must not exceed this, or a model→model hop could land inside its own
+  /// epoch.
+  [[nodiscard]] SimTime min_cross_latency() const {
+    const SimTime hop = min_hop_latency();
+    return remote_copy_startup < hop ? remote_copy_startup : hop;
+  }
 };
 
 struct NetStats {
@@ -68,23 +80,53 @@ class Network {
                                      int priority = prio::kDemand,
                                      std::uint64_t span = 0);
 
+  /// Record a control message that is modelled as cross-domain mail rather
+  /// than an awaited future (the sharded protocol paths): bumps the same
+  /// stats and emits the same trace record message() would, and returns
+  /// the latency the mail must carry.
+  SimTime note_message(NodeId src, NodeId dst);
+
+  /// Source half of a *migrating* copy: the calling coroutine runs in the
+  /// source's domain, awaits this until the payload departs (NIC queueing
+  /// under contention), then hops to the destination's domain at
+  /// now() + copy_latency(src, dst, n).  Stats, span attribution, and the
+  /// trace record are all noted at the source, exactly as copy() would;
+  /// NIC occupancy for the wire time is modelled by a detached holder
+  /// task, so later transfers from this node still queue behind it.
+  [[nodiscard]] SimFuture<Done> begin_transfer(NodeId src, NodeId dst, Bytes n,
+                                               int priority = prio::kDemand,
+                                               std::uint64_t span = 0);
+
   /// Attach the trace sink: every message/copy service window becomes a
   /// span on the sending node's network track.
   void set_trace(TraceSink* sink) { trace_ = sink; }
 
-  [[nodiscard]] const NetStats& stats() const { return stats_; }
+  /// Size the per-domain stats lanes (driver, after configure_domains).
+  /// Each lane is written only by events executing in its own domain.
+  void set_domains(std::size_t domains);
+
+  /// Whole-run totals, summed over the per-domain lanes in domain order.
+  [[nodiscard]] NetStats stats() const;
   [[nodiscard]] const NetConfig& config() const { return cfg_; }
 
  private:
   SimTask run_transfer(NodeId src, NodeId dst, Bytes bytes, SimTime duration,
                        int priority, std::uint64_t span,
                        SimPromise<Done> done);
+  SimTask hold_nic(NodeId src, NodeId dst, Bytes bytes, SimTime duration,
+                   int priority, std::uint64_t span, SimPromise<Done> done);
+  [[nodiscard]] NetStats& lane();
+
+  // Line-padded so two shards bumping neighbouring lanes never share a
+  // cache line.
+  struct alignas(64) StatsLane : NetStats {};
 
   Engine* eng_;
   NetConfig cfg_;
   TraceSink* trace_ = nullptr;
   std::vector<std::unique_ptr<Resource>> nics_;  // one per node
-  NetStats stats_;
+  // One stats lane per domain (single writer each); stats() merges them.
+  std::vector<StatsLane> stats_;
 };
 
 }  // namespace lap

@@ -1,0 +1,250 @@
+#include "obs/deferred_sink.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "util/assert.hpp"
+
+namespace lap {
+
+DeferredTraceSink::DeferredTraceSink(const Engine& eng, TraceSink& inner)
+    : eng_(eng), inner_(inner) {}
+
+void DeferredTraceSink::begin_buffering() {
+  LAP_EXPECTS(!buffering_);
+  lanes_.assign(eng_.domain_map().shards, Lane{});
+  buffering_ = true;
+}
+
+std::size_t DeferredTraceSink::buffered() const {
+  std::size_t total = 0;
+  for (const Lane& lane : lanes_) total += lane.recs.size();
+  return total;
+}
+
+void DeferredTraceSink::seal() {
+  LAP_EXPECTS(buffering_);
+  buffering_ = false;
+  std::vector<Rec> all;
+  all.reserve(buffered());
+  for (Lane& lane : lanes_) {
+    for (Rec& r : lane.recs) all.push_back(std::move(r));
+    lane.recs.clear();
+    lane.n = 0;
+  }
+  // (emitted, key) is unique per event (the canonical order), and one
+  // event's records live in one lane where `n` preserves their call order,
+  // so this sort is a total order reproducing the sequential stream.
+  std::sort(all.begin(), all.end(), [](const Rec& a, const Rec& b) {
+    if (a.emitted != b.emitted) return a.emitted < b.emitted;
+    if (a.key != b.key) return a.key < b.key;
+    return a.n < b.n;
+  });
+  for (const Rec& r : all) replay(r);
+  lanes_ = {};
+}
+
+DeferredTraceSink::Rec& DeferredTraceSink::push(Op op) {
+  Lane& lane = lanes_[eng_.current_shard()];
+  Rec& r = lane.recs.emplace_back();
+  r.emitted = eng_.now();
+  r.key = eng_.current_event_key();
+  r.n = lane.n++;
+  r.op = op;
+  return r;
+}
+
+void DeferredTraceSink::freeze_args(Rec& r, TraceArgs args) {
+  r.args.reserve(args.size());
+  for (const TraceArg& a : args) {
+    Arg& f = r.args.emplace_back();
+    f.key = a.key;
+    f.kind = a.kind;
+    f.i = a.i;
+    f.d = a.d;
+    f.s = a.s;
+  }
+}
+
+void DeferredTraceSink::name_process(std::uint32_t pid, std::string_view name) {
+  if (!buffering_) {
+    inner_.name_process(pid, name);
+    return;
+  }
+  Rec& r = push(Op::kNameProcess);
+  r.pid = pid;
+  r.name = name;
+}
+
+void DeferredTraceSink::name_thread(std::uint32_t pid, std::uint32_t tid,
+                                    std::string_view name) {
+  if (!buffering_) {
+    inner_.name_thread(pid, tid, name);
+    return;
+  }
+  Rec& r = push(Op::kNameThread);
+  r.pid = pid;
+  r.tid = tid;
+  r.name = name;
+}
+
+void DeferredTraceSink::instant(const char* cat, const char* name,
+                                TraceTrack track, SimTime ts, TraceArgs args) {
+  if (!buffering_) {
+    inner_.instant(cat, name, track, ts, args);
+    return;
+  }
+  Rec& r = push(Op::kInstant);
+  r.cat = cat;
+  r.name = name;
+  r.track = track;
+  r.ts = ts;
+  freeze_args(r, args);
+}
+
+void DeferredTraceSink::complete(const char* cat, const char* name,
+                                 TraceTrack track, SimTime start,
+                                 SimTime duration, TraceArgs args) {
+  if (!buffering_) {
+    inner_.complete(cat, name, track, start, duration, args);
+    return;
+  }
+  Rec& r = push(Op::kComplete);
+  r.cat = cat;
+  r.name = name;
+  r.track = track;
+  r.ts = start;
+  r.duration = duration;
+  freeze_args(r, args);
+}
+
+void DeferredTraceSink::async_begin(const char* cat, const char* name,
+                                    TraceTrack track, std::uint64_t id,
+                                    SimTime ts, TraceArgs args) {
+  if (!buffering_) {
+    inner_.async_begin(cat, name, track, id, ts, args);
+    return;
+  }
+  Rec& r = push(Op::kAsyncBegin);
+  r.cat = cat;
+  r.name = name;
+  r.track = track;
+  r.id = id;
+  r.ts = ts;
+  freeze_args(r, args);
+}
+
+void DeferredTraceSink::async_end(const char* cat, const char* name,
+                                  TraceTrack track, std::uint64_t id,
+                                  SimTime ts, TraceArgs args) {
+  if (!buffering_) {
+    inner_.async_end(cat, name, track, id, ts, args);
+    return;
+  }
+  Rec& r = push(Op::kAsyncEnd);
+  r.cat = cat;
+  r.name = name;
+  r.track = track;
+  r.id = id;
+  r.ts = ts;
+  freeze_args(r, args);
+}
+
+void DeferredTraceSink::counter(const char* name, SimTime ts, double value) {
+  if (!buffering_) {
+    inner_.counter(name, ts, value);
+    return;
+  }
+  Rec& r = push(Op::kCounter);
+  r.name = name;
+  r.ts = ts;
+  r.value = value;
+}
+
+void DeferredTraceSink::close() {
+  LAP_EXPECTS(!buffering_);
+  inner_.close();
+}
+
+void DeferredTraceSink::replay(const Rec& r) {
+  // TraceArgs is an initializer_list, which cannot be built from a runtime
+  // count — rebuild the braced list by arity (call sites top out well
+  // below 8 args; asserted).
+  const std::vector<Arg>& as = r.args;
+  auto at = [&as](std::size_t i) {
+    const Arg& a = as[i];
+    switch (a.kind) {
+      case TraceArg::Kind::kInt:
+        return TraceArg{a.key.c_str(), a.i};
+      case TraceArg::Kind::kDouble:
+        return TraceArg{a.key.c_str(), a.d};
+      case TraceArg::Kind::kString:
+        break;
+    }
+    return TraceArg{a.key.c_str(), a.s.c_str()};
+  };
+  auto emit = [&](TraceArgs args) {
+    switch (r.op) {
+      case Op::kNameProcess:
+        inner_.name_process(r.pid, r.name);
+        return;
+      case Op::kNameThread:
+        inner_.name_thread(r.pid, r.tid, r.name);
+        return;
+      case Op::kInstant:
+        inner_.instant(r.cat.c_str(), r.name.c_str(), r.track, r.ts, args);
+        return;
+      case Op::kComplete:
+        inner_.complete(r.cat.c_str(), r.name.c_str(), r.track, r.ts,
+                        r.duration, args);
+        return;
+      case Op::kAsyncBegin:
+        inner_.async_begin(r.cat.c_str(), r.name.c_str(), r.track, r.id, r.ts,
+                           args);
+        return;
+      case Op::kAsyncEnd:
+        inner_.async_end(r.cat.c_str(), r.name.c_str(), r.track, r.id, r.ts,
+                         args);
+        return;
+      case Op::kCounter:
+        inner_.counter(r.name.c_str(), r.ts, r.value);
+        return;
+    }
+  };
+  switch (as.size()) {
+    case 0:
+      emit({});
+      break;
+    case 1:
+      emit({at(0)});
+      break;
+    case 2:
+      emit({at(0), at(1)});
+      break;
+    case 3:
+      emit({at(0), at(1), at(2)});
+      break;
+    case 4:
+      emit({at(0), at(1), at(2), at(3)});
+      break;
+    case 5:
+      emit({at(0), at(1), at(2), at(3), at(4)});
+      break;
+    case 6:
+      emit({at(0), at(1), at(2), at(3), at(4), at(5)});
+      break;
+    case 7:
+      emit({at(0), at(1), at(2), at(3), at(4), at(5), at(6)});
+      break;
+    default:
+      LAP_ASSERT(as.size() == 8);
+      emit({at(0), at(1), at(2), at(3), at(4), at(5), at(6), at(7)});
+      break;
+  }
+}
+
+}  // namespace lap

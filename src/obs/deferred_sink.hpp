@@ -1,0 +1,121 @@
+// Deferred trace sink: canonical-order event streaming for sharded runs.
+//
+// JSON trace sinks (and the check oracles that sit behind the same
+// interface) expect records in the one canonical simulation order.  A
+// sharded run executes shards concurrently, so records would interleave
+// arbitrarily.  This sink buffers every record into a per-shard lane —
+// single writer per lane, no locks, the epoch barriers provide all the
+// ordering — tagging each with the canonical position of the emitting
+// event: (shard clock at emission, canonical event key, per-shard
+// emission counter).  Events execute in strictly increasing (time, key)
+// order and one event's records share one lane, so sorting the merged
+// tags reproduces the sequential run's record stream *byte for byte* —
+// the trace-hash differential wall holds it to that.
+//
+// Life cycle: direct pass-through → begin_buffering() (just before the
+// parallel run) → seal() (after the thread pool joins) → direct again for
+// post-run emissions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace_event.hpp"
+#include "util/units.hpp"
+
+namespace lap {
+
+class Engine;
+
+class DeferredTraceSink final : public TraceSink {
+ public:
+  /// Wrap `inner`; tag positions come from `eng` (shard clock, current
+  /// event key, executing shard).  Starts in pass-through mode.
+  DeferredTraceSink(const Engine& eng, TraceSink& inner);
+
+  /// Switch to buffering.  Call after the pre-run preamble (process/thread
+  /// naming), immediately before run_parallel(); lanes are sized to the
+  /// engine's configured shard count.
+  void begin_buffering();
+
+  /// Merge-sort every lane into canonical order, replay into the inner
+  /// sink, and return to pass-through mode.  Call after the parallel run
+  /// returns (the thread-pool join supplies the happens-before edge).
+  void seal();
+
+  void name_process(std::uint32_t pid, std::string_view name) override;
+  void name_thread(std::uint32_t pid, std::uint32_t tid,
+                   std::string_view name) override;
+  void instant(const char* cat, const char* name, TraceTrack track, SimTime ts,
+               TraceArgs args) override;
+  void complete(const char* cat, const char* name, TraceTrack track,
+                SimTime start, SimTime duration, TraceArgs args) override;
+  void async_begin(const char* cat, const char* name, TraceTrack track,
+                   std::uint64_t id, SimTime ts, TraceArgs args) override;
+  void async_end(const char* cat, const char* name, TraceTrack track,
+                 std::uint64_t id, SimTime ts, TraceArgs args) override;
+  void counter(const char* name, SimTime ts, double value) override;
+  void close() override;
+
+  /// Records currently buffered across all lanes (test hook).
+  [[nodiscard]] std::size_t buffered() const;
+
+ private:
+  enum class Op : std::uint8_t {
+    kNameProcess,
+    kNameThread,
+    kInstant,
+    kComplete,
+    kAsyncBegin,
+    kAsyncEnd,
+    kCounter,
+  };
+
+  // Deep copy of one TraceArg: the initializer lists at call sites point
+  // at stack temporaries that are gone by replay time.
+  struct Arg {
+    std::string key;
+    TraceArg::Kind kind;
+    std::int64_t i;
+    double d;
+    std::string s;
+  };
+
+  struct Rec {
+    SimTime emitted;    // emitting shard's clock (== the event's timestamp)
+    std::uint64_t key;  // canonical key of the emitting event
+    std::uint64_t n;    // per-lane emission counter: intra-event order
+    Op op;
+    std::string cat;
+    std::string name;
+    TraceTrack track{};
+    SimTime ts{};
+    SimTime duration{};
+    std::uint64_t id = 0;
+    std::uint32_t pid = 0;
+    std::uint32_t tid = 0;
+    double value = 0.0;
+    std::vector<Arg> args;
+  };
+
+  // One lane per shard.  During a parallel phase each lane is appended to
+  // by exactly the worker executing that shard, and the epoch barriers /
+  // final pool join order those writes before seal() reads them — the same
+  // single-writer discipline as the engine's mailboxes, so no locks.
+  struct alignas(64) Lane {
+    std::vector<Rec> recs;
+    std::uint64_t n = 0;
+  };
+
+  Rec& push(Op op);
+  static void freeze_args(Rec& r, TraceArgs args);
+  void replay(const Rec& r);
+
+  const Engine& eng_;
+  TraceSink& inner_;
+  std::vector<Lane> lanes_;
+  bool buffering_ = false;
+};
+
+}  // namespace lap

@@ -1,12 +1,16 @@
 #include "obs/span.hpp"
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <iterator>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "obs/counters.hpp"
 #include "obs/trace_event.hpp"
+#include "sim/engine.hpp"
 
 namespace lap {
 namespace {
@@ -68,6 +72,113 @@ const char* to_string(DemandClass c) {
   return "?";
 }
 
+void SpanCollector::bind(const Engine* eng) {
+  LAP_EXPECTS(spans_.empty() && lanes_.empty());
+  eng_ = eng;
+  sharded_ = eng != nullptr && eng->domain_map().shards > 1;
+  if (sharded_) lanes_.assign(eng->domain_map().shards, Lane{});
+}
+
+BlockSpan* SpanCollector::live(SpanRef ref) {
+  if (ref == 0) return nullptr;
+  if (!sharded_) {
+    return ref > spans_.size() ? nullptr : &spans_[ref - 1];
+  }
+  std::vector<BlockSpan>& spans = lanes_[shard_of(ref)].spans;
+  const std::uint64_t local = ref & kLocalMask;
+  return local > spans.size() ? nullptr : &spans[local - 1];
+}
+
+SpanCollector::Lane& SpanCollector::my_lane() {
+  return lanes_[eng_->current_shard()];
+}
+
+FlatHashMap<SpanCollector::OpenKey, SpanRef, SpanCollector::OpenKeyHash>&
+SpanCollector::open_table() {
+  return sharded_ ? my_lane().open : open_;
+}
+
+SpanRef SpanCollector::create(const BlockSpan& s) {
+  if (!sharded_) {
+    spans_.push_back(s);
+    return spans_.size();
+  }
+  Lane& lane = my_lane();
+  lane.spans.push_back(s);
+  // Tagged with the canonical position of the creating event so seal()
+  // can restore sequential creation order: the event's timestamp is the
+  // span's `predicted`, its key comes from the engine, and `n` orders
+  // multiple creations within one event.
+  lane.tags.push_back(Tag{s.predicted, eng_->current_event_key(), lane.n++});
+  LAP_ASSERT(lane.spans.size() <= kLocalMask);
+  return (static_cast<std::uint64_t>(eng_->current_shard()) << kShardShift) |
+         lane.spans.size();
+}
+
+void SpanCollector::defer(Deferred d) { my_lane().deferred.push_back(d); }
+
+void SpanCollector::apply(const Deferred& d) {
+  BlockSpan* s = live(d.ref);
+  if (s == nullptr) return;
+  switch (d.op) {
+    case DeferredOp::kSettleUsed:
+      if (s->outcome != SpanOutcome::kOpen) return;
+      s->outcome = SpanOutcome::kUsed;
+      s->settled = d.now;
+      return;
+    case DeferredOp::kSettleWasted:
+      if (s->outcome != SpanOutcome::kOpen) return;
+      s->outcome = SpanOutcome::kWasted;
+      s->waste = d.waste;
+      s->settled = d.now;
+      return;
+    case DeferredOp::kDiskServiced:
+      s->disk_wait += d.a;
+      s->disk_service += d.b;
+      return;
+    case DeferredOp::kNetTransferred:
+      s->net_wait += d.a;
+      s->net_time += d.b;
+      ++s->net_hops;
+      return;
+  }
+}
+
+void SpanCollector::seal() {
+  if (!sharded_ || sealed_) return;
+  // Deferred cross-shard ops first: settles are unique per ref and stage
+  // attributions commute, so lane application order is immaterial.
+  for (Lane& lane : lanes_) {
+    for (const Deferred& d : lane.deferred) apply(d);
+    lane.deferred.clear();
+  }
+  struct Item {
+    Tag tag;
+    std::uint32_t lane;
+    std::uint64_t idx;
+  };
+  std::vector<Item> items;
+  std::size_t total = 0;
+  for (const Lane& lane : lanes_) total += lane.spans.size();
+  items.reserve(total);
+  for (std::uint32_t li = 0; li < lanes_.size(); ++li) {
+    for (std::uint64_t i = 0; i < lanes_[li].spans.size(); ++i) {
+      items.push_back(Item{lanes_[li].tags[i], li, i});
+    }
+  }
+  std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+    if (a.tag.at != b.tag.at) return a.tag.at < b.tag.at;
+    if (a.tag.key != b.tag.key) return a.tag.key < b.tag.key;
+    return a.tag.n < b.tag.n;
+  });
+  spans_.reserve(items.size());
+  for (const Item& it : items) {
+    spans_.push_back(lanes_[it.lane].spans[it.idx]);
+  }
+  lanes_ = {};
+  sealed_ = true;
+}
+
 SpanRef SpanCollector::prefetch_predicted(std::uint32_t site, BlockKey key,
                                           PrefetchOrigin origin, bool fallback,
                                           std::uint32_t trigger_pid,
@@ -82,18 +193,18 @@ SpanRef SpanCollector::prefetch_predicted(std::uint32_t site, BlockKey key,
   s.trigger_block = trigger_block;
   s.target = target;
   s.predicted = now;
-  spans_.push_back(s);
-  const SpanRef ref = spans_.size();
-  open_[OpenKey{site, key}] = ref;
+  const SpanRef ref = create(s);
+  open_table()[OpenKey{site, key}] = ref;
   return ref;
 }
 
 void SpanCollector::prefetch_elided(std::uint32_t site, BlockKey key,
                                     SimTime now) {
-  const auto it = open_.find(OpenKey{site, key});
-  if (it == open_.end()) return;
+  auto& open = open_table();
+  const auto it = open.find(OpenKey{site, key});
+  if (it == open.end()) return;
   BlockSpan* s = live(it->second);
-  open_.erase(OpenKey{site, key});
+  open.erase(OpenKey{site, key});
   if (s == nullptr || s->outcome != SpanOutcome::kOpen) return;
   s->outcome = SpanOutcome::kElided;
   s->settled = now;
@@ -101,10 +212,11 @@ void SpanCollector::prefetch_elided(std::uint32_t site, BlockKey key,
 
 SpanRef SpanCollector::prefetch_arrived(std::uint32_t site, BlockKey key,
                                         bool via_peer, SimTime now) {
-  const auto it = open_.find(OpenKey{site, key});
-  if (it == open_.end()) return 0;
+  auto& open = open_table();
+  const auto it = open.find(OpenKey{site, key});
+  if (it == open.end()) return 0;
   const SpanRef ref = it->second;
-  open_.erase(OpenKey{site, key});
+  open.erase(OpenKey{site, key});
   BlockSpan* s = live(ref);
   if (s == nullptr) return 0;
   s->arrived = now;
@@ -113,11 +225,22 @@ SpanRef SpanCollector::prefetch_arrived(std::uint32_t site, BlockKey key,
 }
 
 SpanRef SpanCollector::open_ref(std::uint32_t site, BlockKey key) const {
-  const auto it = open_.find(OpenKey{site, key});
-  return it == open_.end() ? 0 : it->second;
+  const auto& open =
+      sharded_ ? lanes_[eng_->current_shard()].open : open_;
+  const auto it = open.find(OpenKey{site, key});
+  return it == open.end() ? 0 : it->second;
 }
 
 void SpanCollector::settle_used(SpanRef ref, SimTime now) {
+  if (ref == 0) return;
+  if (sharded_ && shard_of(ref) != eng_->current_shard()) {
+    Deferred d;
+    d.ref = ref;
+    d.op = DeferredOp::kSettleUsed;
+    d.now = now;
+    defer(d);
+    return;
+  }
   BlockSpan* s = live(ref);
   if (s == nullptr || s->outcome != SpanOutcome::kOpen) return;
   s->outcome = SpanOutcome::kUsed;
@@ -126,6 +249,16 @@ void SpanCollector::settle_used(SpanRef ref, SimTime now) {
 
 void SpanCollector::settle_wasted(SpanRef ref, WasteReason reason,
                                   SimTime now) {
+  if (ref == 0) return;
+  if (sharded_ && shard_of(ref) != eng_->current_shard()) {
+    Deferred d;
+    d.ref = ref;
+    d.op = DeferredOp::kSettleWasted;
+    d.waste = reason;
+    d.now = now;
+    defer(d);
+    return;
+  }
   BlockSpan* s = live(ref);
   if (s == nullptr || s->outcome != SpanOutcome::kOpen) return;
   s->outcome = SpanOutcome::kWasted;
@@ -141,11 +274,15 @@ SpanRef SpanCollector::demand_started(NodeId client, BlockKey key,
   s.demand = true;
   s.target = client;
   s.predicted = now;
-  spans_.push_back(s);
-  return spans_.size();
+  return create(s);
 }
 
 void SpanCollector::demand_classified(SpanRef ref, DemandClass c, SimTime now) {
+  // Demand spans are created, classified, and closed on the client's own
+  // domain (classification is applied when the data arrives back at the
+  // client), so these two never cross shards.
+  LAP_ASSERT(!sharded_ || ref == 0 ||
+             shard_of(ref) == eng_->current_shard());
   BlockSpan* s = live(ref);
   if (s == nullptr || s->demand_class != DemandClass::kUnclassified) return;
   s->demand_class = c;
@@ -153,6 +290,8 @@ void SpanCollector::demand_classified(SpanRef ref, DemandClass c, SimTime now) {
 }
 
 void SpanCollector::demand_done(SpanRef ref, SimTime now) {
+  LAP_ASSERT(!sharded_ || ref == 0 ||
+             shard_of(ref) == eng_->current_shard());
   BlockSpan* s = live(ref);
   if (s == nullptr || s->outcome != SpanOutcome::kOpen) return;
   if (s->arrived == SimTime::zero()) s->arrived = now;
@@ -162,6 +301,16 @@ void SpanCollector::demand_done(SpanRef ref, SimTime now) {
 
 void SpanCollector::disk_serviced(SpanRef ref, SimTime queue_wait,
                                   SimTime service) {
+  if (ref == 0) return;
+  if (sharded_ && shard_of(ref) != eng_->current_shard()) {
+    Deferred d;
+    d.ref = ref;
+    d.op = DeferredOp::kDiskServiced;
+    d.a = queue_wait;
+    d.b = service;
+    defer(d);
+    return;
+  }
   BlockSpan* s = live(ref);
   if (s == nullptr) return;
   s->disk_wait += queue_wait;
@@ -170,6 +319,16 @@ void SpanCollector::disk_serviced(SpanRef ref, SimTime queue_wait,
 
 void SpanCollector::net_transferred(SpanRef ref, SimTime wait,
                                     SimTime duration) {
+  if (ref == 0) return;
+  if (sharded_ && shard_of(ref) != eng_->current_shard()) {
+    Deferred d;
+    d.ref = ref;
+    d.op = DeferredOp::kNetTransferred;
+    d.a = wait;
+    d.b = duration;
+    defer(d);
+    return;
+  }
   BlockSpan* s = live(ref);
   if (s == nullptr) return;
   s->net_wait += wait;
@@ -178,6 +337,7 @@ void SpanCollector::net_transferred(SpanRef ref, SimTime wait,
 }
 
 SpanCollector::Totals SpanCollector::totals() const {
+  LAP_EXPECTS(!sharded_ || sealed_);
   Totals t;
   for (const BlockSpan& s : spans_) {
     if (s.demand) {
@@ -208,6 +368,7 @@ SpanCollector::Totals SpanCollector::totals() const {
 }
 
 void SpanCollector::publish(CounterRegistry& reg) const {
+  LAP_EXPECTS(!sharded_ || sealed_);
   // The instrument set and registration order are fixed regardless of what
   // this run observed, so metrics-JSON export order is deterministic.
   const Totals t = totals();
@@ -296,6 +457,7 @@ void SpanCollector::publish(CounterRegistry& reg) const {
 }
 
 void SpanCollector::emit_async(TraceSink& sink) const {
+  LAP_EXPECTS(!sharded_ || sealed_);
   sink.name_process(tracks::kFilePid, "files");
   for (std::size_t i = 0; i < spans_.size(); ++i) {
     const BlockSpan& s = spans_[i];

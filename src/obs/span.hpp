@@ -33,12 +33,14 @@
 #include <vector>
 
 #include "cache/block.hpp"
+#include "util/assert.hpp"
 #include "util/flat_hash.hpp"
 #include "util/units.hpp"
 
 namespace lap {
 
 class CounterRegistry;
+class Engine;
 class TraceSink;
 
 /// Why a prefetch was issued.
@@ -140,6 +142,32 @@ class SpanCollector {
   SpanCollector(const SpanCollector&) = delete;
   SpanCollector& operator=(const SpanCollector&) = delete;
 
+  // --- sharded runs -------------------------------------------------------
+  //
+  // With one shard the collector is the flat append-only vector it has
+  // always been.  A node-sharded run instead gives every shard its own
+  // lane (spans, open table, per-lane counter): a SpanRef then encodes
+  // (owning shard, local index), creations are tagged with the canonical
+  // position of the creating event, and the rare cross-shard operations —
+  // a settle or stage-attribution against a span another shard created —
+  // are appended to the *acting* shard's deferred list instead of touching
+  // foreign memory.  That is race-free by the same single-writer argument
+  // as the engine's mailboxes, and lossless because settles are unique per
+  // ref and stage attributions commute.  seal() applies the deferred ops
+  // and merges the lanes back into the one canonical creation order, so
+  // every read below (totals, publish, emit_async, spans) is bit-exact
+  // with the sequential run.
+
+  /// Opt into per-shard lanes (no-op when `eng` runs a single shard).
+  /// Call after Engine::configure_domains, before any span is created.
+  void bind(const Engine* eng);
+
+  /// Apply deferred cross-shard ops and merge lanes into canonical order.
+  /// Call after the run fully drains *and* the filesystem finalizes (the
+  /// thread-pool join provides the happens-before edge).  Required before
+  /// any read when bound to a multi-shard engine.
+  void seal();
+
   // --- prefetch lifecycle -------------------------------------------------
 
   /// A manager decided to fetch `key` for `target`.  Returns the new ref;
@@ -190,8 +218,12 @@ class SpanCollector {
 
   // --- queries ------------------------------------------------------------
 
-  [[nodiscard]] const std::vector<BlockSpan>& spans() const { return spans_; }
+  [[nodiscard]] const std::vector<BlockSpan>& spans() const {
+    LAP_EXPECTS(!sharded_ || sealed_);
+    return spans_;
+  }
   [[nodiscard]] const BlockSpan* span(SpanRef ref) const {
+    LAP_EXPECTS(!sharded_ || sealed_);
     return ref == 0 || ref > spans_.size() ? nullptr : &spans_[ref - 1];
   }
 
@@ -223,12 +255,62 @@ class SpanCollector {
     }
   };
 
-  [[nodiscard]] BlockSpan* live(SpanRef ref) {
-    return ref == 0 || ref > spans_.size() ? nullptr : &spans_[ref - 1];
-  }
+  // A lane ref packs (owning shard, local index + 1); 0 stays "no span".
+  // 48 bits of local index dwarf any run (the engine's own per-domain
+  // sequence space is 47 bits).
+  static constexpr unsigned kShardShift = 48;
+  static constexpr std::uint64_t kLocalMask = (1ULL << kShardShift) - 1;
 
-  std::vector<BlockSpan> spans_;
-  FlatHashMap<OpenKey, SpanRef, OpenKeyHash> open_;
+  // Canonical position of the event that created a span: the merge key
+  // that restores sequential creation order at seal().  (at, key) is
+  // unique per event; `n` orders creations within one event (which all
+  // happen on that event's lane).
+  struct Tag {
+    SimTime at;
+    std::uint64_t key;
+    std::uint64_t n;
+  };
+
+  enum class DeferredOp : std::uint8_t {
+    kSettleUsed,
+    kSettleWasted,
+    kDiskServiced,
+    kNetTransferred,
+  };
+  struct Deferred {
+    SpanRef ref = 0;
+    DeferredOp op = DeferredOp::kSettleUsed;
+    WasteReason waste = WasteReason::kNone;
+    SimTime now;
+    SimTime a;  // queue wait / NIC wait
+    SimTime b;  // service / wire time
+  };
+
+  // One lane per shard; written only by events executing on that shard.
+  struct alignas(64) Lane {
+    std::vector<BlockSpan> spans;
+    std::vector<Tag> tags;
+    std::uint64_t n = 0;
+    FlatHashMap<OpenKey, SpanRef, OpenKeyHash> open;
+    std::vector<Deferred> deferred;
+  };
+
+  [[nodiscard]] BlockSpan* live(SpanRef ref);
+  [[nodiscard]] std::uint16_t shard_of(SpanRef ref) const {
+    return static_cast<std::uint16_t>(ref >> kShardShift);
+  }
+  [[nodiscard]] Lane& my_lane();
+  [[nodiscard]] FlatHashMap<OpenKey, SpanRef, OpenKeyHash>& open_table();
+  SpanRef create(const BlockSpan& s);
+  void defer(Deferred d);
+  void apply(const Deferred& d);
+
+  const Engine* eng_ = nullptr;
+  bool sharded_ = false;
+  bool sealed_ = false;
+  std::vector<Lane> lanes_;           // sharded mode only
+  std::vector<BlockSpan> spans_;      // flat mode; canonical merge post-seal
+  FlatHashMap<OpenKey, SpanRef, OpenKeyHash> open_;  // flat mode only
 };
 
 }  // namespace lap

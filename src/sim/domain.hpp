@@ -36,4 +36,26 @@ struct DomainMap {
   [[nodiscard]] std::size_t domains() const { return shard_of.size(); }
 };
 
+// Canonical numbering of the per-node model domains (DESIGN.md §14):
+// domain 0 is the directory/controller domain, domains 1..nodes are the
+// per-node cooperative-cache domains, and disk service domains follow.
+// The numbering is part of run semantics (it feeds the event key), so it
+// is identical at every shard count and for both file systems.
+[[nodiscard]] inline DomainId node_domain(std::uint32_t node) {
+  return static_cast<DomainId>(1 + node);
+}
+
+[[nodiscard]] inline DomainId disk_domain(std::uint32_t nodes,
+                                          std::uint32_t disk) {
+  return static_cast<DomainId>(1 + nodes + disk);
+}
+
+// One per-domain shutdown flag, line-padded: each flag is written only by
+// events running in its own domain (the driver broadcasts stop mail to
+// every domain), and polled by that domain's daemons and prefetch pumps,
+// so no flag ever crosses a shard boundary.
+struct alignas(64) StopFlag {
+  bool stop = false;
+};
+
 }  // namespace lap

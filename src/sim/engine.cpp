@@ -14,7 +14,8 @@
 namespace lap {
 
 constinit thread_local Engine* Engine::tls_engine_ = nullptr;
-constinit thread_local Engine::Ctx Engine::tls_ctx_{nullptr, 0, 0, nullptr, 0};
+constinit thread_local Engine::Ctx Engine::tls_ctx_{nullptr, 0, 0,
+                                                    nullptr, 0, 0};
 
 Engine::Engine() { seq_ctx_ = make_ctx(0, 0); }
 
@@ -70,7 +71,7 @@ void Engine::post_at(DomainId target, SimTime at, std::function<void()> fn) {
   LAP_EXPECTS(at >= c.core->now);
   const std::uint16_t dst = map_.shard_of[target];
   if (!parallel_active_ || dst == c.shard) {
-    push_event(cores_ptr_[dst], at, c.domain, target, std::move(fn));
+    push_event(c, cores_ptr_[dst], at, target, std::move(fn));
     return;
   }
   // Cross-shard: park the message in a mailbox until the next barrier.
@@ -85,10 +86,11 @@ void Engine::post_at(DomainId target, SimTime at, std::function<void()> fn) {
   LAP_ASSERT(handoff || at >= epoch_end_);
   const std::uint64_t seq = seq_ptr_[c.domain].v++;
   LAP_ASSERT(seq < (1ULL << kSeqBits));
+  const std::uint64_t key = key_base(c.domain, target) | seq;
   auto& boxes =
       src_phase == DomainPhase::kModel ? mail_model_ : mail_service_;
   boxes[static_cast<std::size_t>(c.shard) * map_.shards + dst].push_back(
-      Mail{at, key_base(c.domain, target) | seq, target, std::move(fn)});
+      Mail{at, key, order_key(c, at, key), target, std::move(fn)});
 }
 
 SimTime Engine::now() const {
@@ -122,7 +124,7 @@ std::uint64_t Engine::run_until(SimTime horizon) {
     // may schedule new events, which can grow both the heap and the slab.
     auto fn = core.fns.take(top.slot());
     core.now = top.at;
-    if (multi) seq_ctx_ = make_ctx(top.target(), 0);
+    if (multi) seq_ctx_ = make_ctx(top.target(), 0, core.effs[top.slot()]);
     core.queue.pop();
     fn();
     ++count;
@@ -218,7 +220,8 @@ void Engine::run_phase(std::size_t w, std::size_t workers, DomainPhase phase) {
       if (top.at >= epoch_end_) break;
       auto fn = core.fns.take(top.slot());
       core.now = top.at;
-      tls_ctx_ = make_ctx(top.target(), static_cast<std::uint16_t>(s));
+      tls_ctx_ = make_ctx(top.target(), static_cast<std::uint16_t>(s),
+                          core.effs[top.slot()]);
       core.queue.pop();
       fn();
       ++core.executed;
@@ -235,6 +238,7 @@ void Engine::drain_mail(std::vector<std::vector<Mail>>& boxes, std::size_t w,
       auto& box = boxes[src * shard_count + dst];
       for (Mail& m : box) {
         const std::uint64_t slot = core.fns.put(std::move(m.fn));
+        store_eff(core, slot, m.eff);
         core.queue.push(Event{
             m.at, m.key,
             (static_cast<std::uint64_t>(m.target) << 32) | slot});

@@ -53,6 +53,40 @@ class Engine {
   /// Domain of the event currently executing (0 outside any event).
   [[nodiscard]] DomainId current_domain() const { return ctx().domain; }
 
+  /// Shard of the event currently executing (0 outside any event, and in
+  /// every sequential run).
+  [[nodiscard]] std::uint16_t current_shard() const { return ctx().shard; }
+
+  /// Canonical *order* key of the event currently executing (0 outside any
+  /// event).  Together with the event's timestamp this totally orders every
+  /// event in the run — identically for sequential and sharded execution —
+  /// which is what lets deferred per-shard observability streams (trace
+  /// records, span bookkeeping) be merged back into the one canonical
+  /// order.
+  ///
+  /// This is the event's heap key with one adjustment: an event scheduled
+  /// *at the current timestamp from inside another event* executes after
+  /// its poster even when its own key is numerically smaller (the poster
+  /// has already been popped), so such an event inherits
+  /// max(own key, poster's order key).  Sorting records by (timestamp,
+  /// order key, intra-event counter) then reproduces the dispatch order
+  /// exactly; the raw heap key alone would not.
+  [[nodiscard]] std::uint64_t current_event_key() const {
+    return ctx().event_key;
+  }
+
+  /// Draw a token unique across the whole run and bit-identical at every
+  /// shard count: the current domain's id paired with its next sequence
+  /// number.  Consuming a sequence value here shifts later events' keys but
+  /// never reorders them (keys stay monotone per domain), so components may
+  /// use this for ids (disk op ids) without perturbing the canonical order.
+  [[nodiscard]] std::uint64_t draw_token() {
+    const Ctx& c = ctx();
+    const std::uint64_t seq = c.seq->v++;
+    LAP_ASSERT(seq < (1ULL << kSeqBits));
+    return (static_cast<std::uint64_t>(c.domain) << kSeqBits) | seq;
+  }
+
   /// Inside an event: the executing shard's clock.  Outside: the furthest
   /// clock any shard has reached.
   [[nodiscard]] SimTime now() const;
@@ -105,6 +139,30 @@ class Engine {
     };
     LAP_EXPECTS(d >= SimTime::zero());
     return Awaiter{this, d};
+  }
+
+  /// Awaitable: migrate the current coroutine to domain `dst`, resuming at
+  /// absolute simulated time `at`.  This is the cross-domain hop primitive
+  /// for flows that model data movement (a block copy arriving at another
+  /// node): the continuation runs *in the destination domain*, so all state
+  /// it touches afterwards is owned by that domain's shard.  Cross-shard
+  /// hops ride the mailbox path and must respect the lookahead contract
+  /// (model→model hops need `at` ≥ epoch end; the poster guarantees that by
+  /// modelling a latency of at least the configured lookahead).
+  ///
+  ///   co_await engine.hop_to(node_domain(dst), now + copy_latency);
+  [[nodiscard]] auto hop_to(DomainId dst, SimTime at) {
+    struct Awaiter {
+      Engine* eng;
+      DomainId dst;
+      SimTime at;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        eng->post_at(dst, at, [h] { h.resume(); });
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, dst, at};
   }
 
   /// Run until the event queues drain.  Returns the number of events
@@ -190,6 +248,9 @@ class Engine {
     std::uint64_t executed = 0;
     Slab<std::function<void()>> fns;
     DaryHeap<Event, Earlier, 4> queue;
+    // Order key per pending slot (see current_event_key): kept beside the
+    // slab, not in Event, so the heap's three-word sift stays three words.
+    std::vector<std::uint64_t> effs;
   };
 
   struct alignas(64) SeqCounter {
@@ -207,7 +268,8 @@ class Engine {
     DomainId domain;
     std::uint16_t shard;
     SeqCounter* seq;
-    std::uint64_t self_key;  // key_base(domain, domain)
+    std::uint64_t self_key;   // key_base(domain, domain)
+    std::uint64_t event_key;  // order key of the running event (0 idle)
   };
 
   // A cross-shard message parked until the next epoch boundary.  The
@@ -217,6 +279,7 @@ class Engine {
   struct Mail {
     SimTime at;
     std::uint64_t key;
+    std::uint64_t eff;
     DomainId target;
     std::function<void()> fn;
   };
@@ -232,9 +295,10 @@ class Engine {
            (static_cast<std::uint64_t>(origin) << kSeqBits);
   }
 
-  [[nodiscard]] Ctx make_ctx(DomainId d, std::uint16_t shard) {
+  [[nodiscard]] Ctx make_ctx(DomainId d, std::uint16_t shard,
+                             std::uint64_t event_key = 0) {
     return Ctx{&cores_ptr_[map_.shard_of[d]], d, shard, &seq_ptr_[d],
-               key_base(d, d)};
+               key_base(d, d), event_key};
   }
 
   // The default engine (one domain, one shard): origin and target are
@@ -252,24 +316,39 @@ class Engine {
     core0_.queue.push(Event{at, seq, slot});
   }
 
+  // The order key of a new event (see current_event_key): a same-time
+  // post from inside an event executes after its poster regardless of its
+  // own key, so it inherits the poster's order key when that is larger.
+  [[nodiscard]] static std::uint64_t order_key(const Ctx& c, SimTime at,
+                                               std::uint64_t key) {
+    return at == c.core->now && c.event_key > key ? c.event_key : key;
+  }
+
+  static void store_eff(Core& core, std::uint64_t slot, std::uint64_t eff) {
+    if (core.effs.size() <= slot) core.effs.resize(slot + 1);
+    core.effs[slot] = eff;
+  }
+
   // Same-domain push with everything pre-resolved in the context.
   void push_self(const Ctx& c, SimTime at, std::function<void()> fn) {
     const std::uint64_t seq = c.seq->v++;
     LAP_ASSERT(seq < (1ULL << kSeqBits));
+    const std::uint64_t key = c.self_key | seq;
     const std::uint64_t slot = c.core->fns.put(std::move(fn));
+    store_eff(*c.core, slot, order_key(c, at, key));
     c.core->queue.push(Event{
-        at, c.self_key | seq,
-        (static_cast<std::uint64_t>(c.domain) << 32) | slot});
+        at, key, (static_cast<std::uint64_t>(c.domain) << 32) | slot});
   }
 
-  void push_event(Core& core, SimTime at, DomainId origin, DomainId target,
+  void push_event(const Ctx& c, Core& core, SimTime at, DomainId target,
                   std::function<void()> fn) {
-    const std::uint64_t seq = seq_ptr_[origin].v++;
+    const std::uint64_t seq = seq_ptr_[c.domain].v++;
     LAP_ASSERT(seq < (1ULL << kSeqBits));
+    const std::uint64_t key = key_base(c.domain, target) | seq;
     const std::uint64_t slot = core.fns.put(std::move(fn));
+    store_eff(core, slot, order_key(c, at, key));
     core.queue.push(Event{
-        at, key_base(origin, target) | seq,
-        (static_cast<std::uint64_t>(target) << 32) | slot});
+        at, key, (static_cast<std::uint64_t>(target) << 32) | slot});
   }
 
   void worker_loop(std::size_t w, std::size_t workers);

@@ -7,6 +7,16 @@
 namespace lap {
 namespace {
 
+// The runner launches each process in its node's model domain, so even
+// stub-backed tests need the canonical controller + per-node layout.
+void configure_node_domains(Engine& eng, std::uint32_t nodes = 1) {
+  DomainMap map;
+  map.shards = 1;
+  map.shard_of.assign(1 + nodes, 0);
+  map.phase_of.assign(1 + nodes, DomainPhase::kModel);
+  eng.configure_domains(std::move(map), SimTime::zero());
+}
+
 // A FileSystem stub that records call order and completes each operation
 // after a fixed latency.
 class StubFs final : public FileSystem {
@@ -67,8 +77,9 @@ Trace two_process_trace(bool serialize) {
 
 TEST(WorkloadRunner, ClosedLoopTiming) {
   Engine eng;
+  configure_node_domains(eng);
   StubFs fs(eng, SimTime::ms(10));
-  Metrics metrics;
+  MetricsSet metrics{MetricsSet::Mode::kShared, 1};
   Trace t = two_process_trace(false);
   t.processes.resize(1);
   WorkloadRunner runner(eng, fs, metrics, t);
@@ -84,8 +95,9 @@ TEST(WorkloadRunner, ClosedLoopTiming) {
 
 TEST(WorkloadRunner, ConcurrentProcessesOverlap) {
   Engine eng;
+  configure_node_domains(eng);
   StubFs fs(eng, SimTime::ms(10));
-  Metrics metrics;
+  MetricsSet metrics{MetricsSet::Mode::kShared, 1};
   const Trace t = two_process_trace(/*serialize=*/false);
   WorkloadRunner runner(eng, fs, metrics, t);
   runner.start({});
@@ -98,8 +110,9 @@ TEST(WorkloadRunner, ConcurrentProcessesOverlap) {
 
 TEST(WorkloadRunner, SerializedNodeRunsSessionsBackToBack) {
   Engine eng;
+  configure_node_domains(eng);
   StubFs fs(eng, SimTime::ms(10));
-  Metrics metrics;
+  MetricsSet metrics{MetricsSet::Mode::kShared, 1};
   const Trace t = two_process_trace(/*serialize=*/true);
   WorkloadRunner runner(eng, fs, metrics, t);
   runner.start({});
@@ -114,8 +127,9 @@ TEST(WorkloadRunner, SerializedNodeRunsSessionsBackToBack) {
 
 TEST(WorkloadRunner, RecordsReadAndWriteLatencies) {
   Engine eng;
+  configure_node_domains(eng);
   StubFs fs(eng, SimTime::ms(10));
-  Metrics metrics;
+  MetricsSet metrics{MetricsSet::Mode::kShared, 1};
   Trace t = two_process_trace(false);
   t.processes.resize(1);
   t.processes[0].records.push_back(
@@ -130,8 +144,9 @@ TEST(WorkloadRunner, RecordsReadAndWriteLatencies) {
 
 TEST(WorkloadRunner, EmptyTraceCompletesImmediately) {
   Engine eng;
+  configure_node_domains(eng);
   StubFs fs(eng, SimTime::ms(1));
-  Metrics metrics;
+  MetricsSet metrics{MetricsSet::Mode::kShared, 1};
   Trace t;
   WorkloadRunner runner(eng, fs, metrics, t);
   bool done = false;

@@ -8,6 +8,15 @@
 namespace lap {
 namespace {
 
+// The runner launches each process in its node's model domain.
+void configure_node_domains(Engine& eng, std::uint32_t nodes) {
+  DomainMap map;
+  map.shards = 1;
+  map.shard_of.assign(1 + nodes, 0);
+  map.phase_of.assign(1 + nodes, DomainPhase::kModel);
+  eng.configure_domains(std::move(map), SimTime::zero());
+}
+
 // A file system with zero-cost operations: all time comes from think times.
 class NullFs final : public FileSystem {
  public:
@@ -51,8 +60,9 @@ Trace colocated_trace() {
 
 TEST(CpuContention, OpenModelOverlapsComputePhases) {
   Engine eng;
+  configure_node_domains(eng, 1);
   NullFs fs(eng);
-  Metrics metrics;
+  MetricsSet metrics{MetricsSet::Mode::kShared, 1};
   const Trace t = colocated_trace();
   WorkloadRunner runner(eng, fs, metrics, t, /*cpu_contention=*/false);
   runner.start({});
@@ -62,8 +72,9 @@ TEST(CpuContention, OpenModelOverlapsComputePhases) {
 
 TEST(CpuContention, SharedCpuSerializesComputePhases) {
   Engine eng;
+  configure_node_domains(eng, 1);
   NullFs fs(eng);
-  Metrics metrics;
+  MetricsSet metrics{MetricsSet::Mode::kShared, 1};
   const Trace t = colocated_trace();
   WorkloadRunner runner(eng, fs, metrics, t, /*cpu_contention=*/true);
   runner.start({});
@@ -73,8 +84,9 @@ TEST(CpuContention, SharedCpuSerializesComputePhases) {
 
 TEST(CpuContention, DifferentNodesStayIndependent) {
   Engine eng;
+  configure_node_domains(eng, 2);
   NullFs fs(eng);
-  Metrics metrics;
+  MetricsSet metrics{MetricsSet::Mode::kShared, 2};
   Trace t = colocated_trace();
   t.processes[1].node = NodeId{1};
   WorkloadRunner runner(eng, fs, metrics, t, /*cpu_contention=*/true);
@@ -85,8 +97,9 @@ TEST(CpuContention, DifferentNodesStayIndependent) {
 
 TEST(CpuContention, ZeroThinkNeedsNoCpu) {
   Engine eng;
+  configure_node_domains(eng, 1);
   NullFs fs(eng);
-  Metrics metrics;
+  MetricsSet metrics{MetricsSet::Mode::kShared, 1};
   Trace t = colocated_trace();
   for (auto& p : t.processes) p.records[0].think = SimTime::zero();
   WorkloadRunner runner(eng, fs, metrics, t, /*cpu_contention=*/true);

@@ -184,5 +184,102 @@ TEST(EpochScheduler, ShutdownWaitsForInFlightCrossShardMail) {
   EXPECT_EQ(eng.events_processed(), 4u);
 }
 
+// --- Model <-> model mail (node-granular partitions) ----------------------
+
+// The directory domain (0, shard 0) plus `nodes` per-node model domains
+// spread over the shards the way build_domain_map spreads simulated nodes:
+// node domain d on shard (d - 1) % shards, everything in the model phase.
+DomainMap node_map(std::uint16_t shards, std::uint16_t nodes) {
+  DomainMap map;
+  map.shards = shards;
+  map.shard_of.push_back(0);
+  map.phase_of.push_back(DomainPhase::kModel);
+  for (std::uint16_t d = 0; d < nodes; ++d) {
+    map.shard_of.push_back(
+        shards == 1 ? 0 : static_cast<std::uint16_t>(d % shards));
+    map.phase_of.push_back(DomainPhase::kModel);
+  }
+  return map;
+}
+
+// A model -> model message posted at exactly the epoch boundary (now +
+// lookahead when this event opened the epoch) is the tightest send the
+// conservative contract admits.  A chain of such sends between two node
+// domains on different shards must replay the sequential schedule exactly.
+struct NodeChain {
+  Engine eng;
+  std::vector<std::pair<int, std::int64_t>> log;
+
+  explicit NodeChain(std::uint16_t shards, int rounds) {
+    eng.configure_domains(node_map(shards, 2), kLook);
+    // Ping-pong 1 <-> 2, every hop exactly one lookahead long.  The hop's
+    // receiver is the first event of its epoch, so the next send lands
+    // exactly on that epoch's boundary.
+    hop(DomainId{1}, SimTime::us(3), rounds);
+  }
+
+  void hop(DomainId d, SimTime at, int left) {
+    eng.post_at(d, at, [this, d, at, left] {
+      log.emplace_back(d, at.nanos());
+      if (left > 0) {
+        hop(DomainId{static_cast<std::uint16_t>(3 - d)}, at + eng.lookahead(),
+            left - 1);
+      }
+    });
+  }
+};
+
+TEST(EpochScheduler, ModelMailAtExactEpochBoundary) {
+  NodeChain seq(1, 32);
+  const std::uint64_t executed = seq.eng.run();
+  for (const std::uint16_t shards : {std::uint16_t{2}, std::uint16_t{3}}) {
+    NodeChain par(shards, 32);
+    EXPECT_EQ(par.eng.run_parallel(0), executed) << "shards=" << shards;
+    EXPECT_EQ(par.log, seq.log) << "shards=" << shards;
+  }
+}
+
+// A burst of cross-node forwards from one instant: the mailbox between the
+// two shards must grow to hold the whole burst and deliver it in
+// submission order on the other side.
+TEST(EpochScheduler, MailboxAbsorbsBurstOfCrossNodeForwards) {
+  constexpr int kBurst = 10'000;
+  Engine eng;
+  eng.configure_domains(node_map(2, 2), kLook);
+  std::vector<int> arrivals;
+  arrivals.reserve(kBurst);
+  eng.post_at(DomainId{1}, SimTime::us(1), [&] {
+    const SimTime at = eng.now() + eng.lookahead();
+    for (int i = 0; i < kBurst; ++i) {
+      eng.post_at(DomainId{2}, at, [&arrivals, i] { arrivals.push_back(i); });
+    }
+  });
+  eng.run_parallel(2);
+  ASSERT_EQ(arrivals.size(), static_cast<std::size_t>(kBurst));
+  for (int i = 0; i < kBurst; ++i) EXPECT_EQ(arrivals[i], i);
+}
+
+// Shutdown with model <-> model mail still in flight: the last acts of the
+// run are node-to-node sends in both directions.  Model mail is exchanged
+// *inside* the epoch (between the phases), so by the next plan the events
+// sit in their target heaps — the run may not declare itself done before
+// then.
+TEST(EpochScheduler, ShutdownWaitsForInFlightModelToModelMail) {
+  Engine eng;
+  eng.configure_domains(node_map(2, 2), kLook);
+  int delivered = 0;
+  const SimTime t = SimTime::us(4);
+  for (DomainId d : {DomainId{1}, DomainId{2}}) {
+    eng.post_at(d, t, [&eng, &delivered, d, t] {
+      eng.post_at(DomainId{static_cast<std::uint16_t>(3 - d)},
+                  t + eng.lookahead(), [&delivered] { ++delivered; });
+    });
+  }
+  eng.run_parallel(2);
+  EXPECT_EQ(delivered, 2);
+  EXPECT_TRUE(eng.empty());
+  EXPECT_EQ(eng.events_processed(), 4u);
+}
+
 }  // namespace
 }  // namespace lap

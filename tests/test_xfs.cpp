@@ -14,31 +14,53 @@ struct XfsFixture {
   Network net{eng, machine.net, machine.nodes};
   DiskArray disks{eng, machine.disk, machine.disks};
   FileModel files{machine.block_size};
-  Metrics metrics;
-  bool stop = false;
+  MetricsSet metrics{MetricsSet::Mode::kPerNode, MachineConfig::now().nodes};
+  std::vector<StopFlag> flags;
   std::unique_ptr<Xfs> fs;
 
   explicit XfsFixture(const std::string& algo = "NP",
                       std::size_t cache_blocks_per_node = 512) {
+    // Canonical single-shard domain layout: controller/directory, one
+    // model domain per node, one service domain per disk.
+    const std::uint32_t domains = 1 + machine.nodes + machine.disks;
+    DomainMap map;
+    map.shards = 1;
+    map.shard_of.assign(domains, 0);
+    map.phase_of.assign(domains, DomainPhase::kModel);
+    for (std::uint32_t i = 0; i < machine.disks; ++i) {
+      map.phase_of[disk_domain(machine.nodes, i)] = DomainPhase::kService;
+    }
+    eng.configure_domains(std::move(map), SimTime::zero());
+    disks.set_domains(disk_domain(machine.nodes, 0));
+    net.set_domains(domains);
+    flags.resize(domains);
     XfsConfig cfg;
     cfg.cache_blocks_per_node = cache_blocks_per_node;
     cfg.algorithm = AlgorithmSpec::parse(algo);
     fs = std::make_unique<Xfs>(eng, net, disks, files, metrics, cfg,
-                               machine.nodes, &stop);
+                               machine.nodes, flags.data());
+  }
+
+  // The fs copies per-node metadata replicas at construction, so files
+  // registered afterwards must be pushed out to them.
+  void add_file(FileId id, Bytes size) {
+    files.add_file(id, size);
+    fs->reseed_replicas();
   }
 
   SimTime do_read(ProcId pid, NodeId node, FileId file, Bytes off, Bytes len) {
-    metrics.on_io_issued(eng.now());
+    Metrics& m = metrics.node(raw(node));
+    m.on_io_issued(eng.now());
     const SimTime t0 = eng.now();
     (void)fs->read(pid, node, file, off, len);
     eng.run();
     const SimTime lat = eng.now() - t0;
-    metrics.on_read_done(lat);
+    m.on_read_done(lat);
     return lat;
   }
 
   void do_write(ProcId pid, NodeId node, FileId file, Bytes off, Bytes len) {
-    metrics.on_io_issued(eng.now());
+    metrics.node(raw(node)).on_io_issued(eng.now());
     (void)fs->write(pid, node, file, off, len);
     eng.run();
   }
@@ -48,7 +70,7 @@ constexpr FileId kF{1};
 
 TEST(Xfs, ColdReadMissesToDisk) {
   XfsFixture f;
-  f.files.add_file(kF, 80_KiB);
+  f.add_file(kF, 80_KiB);
   const SimTime lat = f.do_read(ProcId{1}, NodeId{0}, kF, 0, 8_KiB);
   EXPECT_EQ(f.metrics.misses(), 1u);
   EXPECT_GT(lat, SimTime::ms(11));
@@ -56,7 +78,7 @@ TEST(Xfs, ColdReadMissesToDisk) {
 
 TEST(Xfs, LocalReReadHitsWithoutManager) {
   XfsFixture f;
-  f.files.add_file(kF, 80_KiB);
+  f.add_file(kF, 80_KiB);
   (void)f.do_read(ProcId{1}, NodeId{0}, kF, 0, 8_KiB);
   const auto msgs_before = f.net.stats().messages;
   const SimTime lat = f.do_read(ProcId{1}, NodeId{0}, kF, 0, 8_KiB);
@@ -67,7 +89,7 @@ TEST(Xfs, LocalReReadHitsWithoutManager) {
 
 TEST(Xfs, RemoteClientHitCreatesAReplica) {
   XfsFixture f;
-  f.files.add_file(kF, 80_KiB);
+  f.add_file(kF, 80_KiB);
   (void)f.do_read(ProcId{1}, NodeId{0}, kF, 0, 8_KiB);
   const SimTime lat = f.do_read(ProcId{2}, NodeId{7}, kF, 0, 8_KiB);
   EXPECT_EQ(f.metrics.hits_remote(), 1u);
@@ -80,7 +102,7 @@ TEST(Xfs, RemoteClientHitCreatesAReplica) {
 
 TEST(Xfs, WriterInvalidatesOtherReplicas) {
   XfsFixture f;
-  f.files.add_file(kF, 80_KiB);
+  f.add_file(kF, 80_KiB);
   (void)f.do_read(ProcId{1}, NodeId{0}, kF, 0, 8_KiB);
   (void)f.do_read(ProcId{2}, NodeId{7}, kF, 0, 8_KiB);  // replica at 7
   f.do_write(ProcId{1}, NodeId{0}, kF, 0, 8_KiB);
@@ -92,7 +114,7 @@ TEST(Xfs, NChanceForwardsTheLastCopy) {
   // Node 0's cache is tiny: filling it evicts singlets, which must be
   // forwarded to random peers instead of dropped.
   XfsFixture f("NP", /*cache_blocks_per_node=*/4);
-  f.files.add_file(kF, 800_KiB);  // 100 blocks
+  f.add_file(kF, 800_KiB);  // 100 blocks
   for (Bytes off = 0; off < 10 * 8_KiB; off += 8_KiB) {
     (void)f.do_read(ProcId{1}, NodeId{0}, kF, off, 8_KiB);
   }
@@ -107,7 +129,7 @@ TEST(Xfs, NChanceForwardsTheLastCopy) {
 
 TEST(Xfs, ForwardedSingletServesRemoteHits) {
   XfsFixture f("NP", 4);
-  f.files.add_file(kF, 800_KiB);
+  f.add_file(kF, 800_KiB);
   for (Bytes off = 0; off < 10 * 8_KiB; off += 8_KiB) {
     (void)f.do_read(ProcId{1}, NodeId{0}, kF, off, 8_KiB);
   }
@@ -124,7 +146,7 @@ TEST(Xfs, PerNodePrefetchersDuplicateWork) {
   // Two nodes read the same file; each node's prefetcher works locally, so
   // prefetch issues are duplicated (the paper's "not really linear" xFS).
   XfsFixture f("Ln_Agr_OBA", 512);
-  f.files.add_file(kF, 160_KiB);  // 20 blocks
+  f.add_file(kF, 160_KiB);  // 20 blocks
   (void)f.do_read(ProcId{1}, NodeId{0}, kF, 0, 8_KiB);
   (void)f.do_read(ProcId{2}, NodeId{7}, kF, 0, 8_KiB);
   const auto counters = f.fs->prefetch_counters_total();
@@ -133,7 +155,7 @@ TEST(Xfs, PerNodePrefetchersDuplicateWork) {
 
 TEST(Xfs, PrefetchFetchesFromPeersWhenPossible) {
   XfsFixture f("Ln_Agr_OBA", 512);
-  f.files.add_file(kF, 160_KiB);
+  f.add_file(kF, 160_KiB);
   (void)f.do_read(ProcId{1}, NodeId{0}, kF, 0, 8_KiB);  // node 0 has it all
   const auto disk_before = f.disks.total_stats().block_reads;
   (void)f.do_read(ProcId{2}, NodeId{7}, kF, 0, 8_KiB);  // node 7 prefetches
@@ -144,7 +166,7 @@ TEST(Xfs, PrefetchFetchesFromPeersWhenPossible) {
 
 TEST(Xfs, DeleteScrubsAllNodesAndDirectory) {
   XfsFixture f;
-  f.files.add_file(kF, 80_KiB);
+  f.add_file(kF, 80_KiB);
   (void)f.do_read(ProcId{1}, NodeId{0}, kF, 0, 8_KiB);
   (void)f.do_read(ProcId{2}, NodeId{7}, kF, 0, 8_KiB);
   (void)f.fs->remove(ProcId{1}, NodeId{0}, kF);
@@ -158,14 +180,13 @@ TEST(Xfs, SyncDaemonFlushesAllNodes) {
   // The daemon keeps the event queue non-empty, so drive the clock with
   // run_until rather than the run-to-completion helpers.
   XfsFixture f;
-  f.files.add_file(kF, 80_KiB);
+  f.add_file(kF, 80_KiB);
   f.fs->start_sync_daemon();
-  f.metrics.on_io_issued(f.eng.now());
   (void)f.fs->write(ProcId{1}, NodeId{0}, kF, 0, 8_KiB);
   (void)f.fs->write(ProcId{2}, NodeId{7}, kF, 8_KiB, 8_KiB);
   f.eng.run_until(SimTime::sec(3));
   EXPECT_EQ(f.metrics.disk_writes(), 2u);
-  f.stop = true;
+  for (StopFlag& s : f.flags) s.stop = true;
   f.eng.run();
 }
 
@@ -174,8 +195,8 @@ TEST(Xfs, DirectoryStaysConsistentUnderChurn) {
   // re-fetching; after every drained operation the block directory and the
   // node pools must agree exactly.
   XfsFixture f("Ln_Agr_IS_PPM:1", /*cache_blocks_per_node=*/6);
-  f.files.add_file(kF, 400_KiB);  // 50 blocks
-  f.files.add_file(FileId{2}, 240_KiB);
+  f.add_file(kF, 400_KiB);  // 50 blocks
+  f.add_file(FileId{2}, 240_KiB);
   for (int round = 0; round < 3; ++round) {
     for (Bytes off = 0; off < 400_KiB; off += 24_KiB) {
       (void)f.do_read(ProcId{1}, NodeId{raw(NodeId{0}) + round}, kF, off,
@@ -191,7 +212,7 @@ TEST(Xfs, DirectoryStaysConsistentUnderChurn) {
 
 TEST(Xfs, DirectoryConsistentAfterWritesAndDeletes) {
   XfsFixture f("Ln_Agr_OBA", 8);
-  f.files.add_file(kF, 160_KiB);
+  f.add_file(kF, 160_KiB);
   (void)f.do_read(ProcId{1}, NodeId{0}, kF, 0, 16_KiB);
   (void)f.do_read(ProcId{2}, NodeId{7}, kF, 0, 16_KiB);
   f.do_write(ProcId{1}, NodeId{0}, kF, 0, 32_KiB);
