@@ -1,0 +1,107 @@
+// Adaptive figure — degree policies against the paper's linear limitation.
+//
+// One binary sweeps the three outstanding-degree policies (fixed-1, the
+// paper's linear limitation; fixed-j, its Dg<j>_Agr_* generalisation;
+// accuracy-feedback, Fb_Agr_*) plus the Best-Offset baseline across both
+// workloads (CHARISMA and Sprite) and both file systems (PAFS and xFS).
+// The CSV prepends a `workload` column to the frozen figure column set so
+// all four grids land in one file:
+//
+//   ./fig_adaptive [--quick] [--csv fig_adaptive.csv] [usual fig flags]
+#include "fig_common.hpp"
+
+namespace lap::bench {
+namespace {
+
+SweepSpec adaptive_spec(const Flags& flags) {
+  SweepSpec spec;
+  spec.cache_sizes = flags.get_bool("quick", false)
+                         ? std::vector<Bytes>{1_MiB, 4_MiB, 16_MiB}
+                         : paper_cache_sizes();
+  spec.algorithms = {
+      AlgorithmSpec::parse("NP"),
+      AlgorithmSpec::parse("Ln_Agr_OBA"),
+      AlgorithmSpec::parse("Ln_Agr_IS_PPM:1"),
+      AlgorithmSpec::parse("Dg4_Agr_OBA"),
+      AlgorithmSpec::parse("Dg4_Agr_IS_PPM:1"),
+      AlgorithmSpec::parse("Fb_Agr_OBA"),
+      AlgorithmSpec::parse("Fb_Agr_IS_PPM:1"),
+      AlgorithmSpec::parse("BO:4"),
+  };
+  return spec;
+}
+
+// The frozen write_results_csv columns with a leading workload tag, so
+// the CHARISMA and Sprite grids stay distinguishable in one file.
+void write_tagged_csv(std::ostream& os, bool header, const std::string& tag,
+                      const std::vector<RunResult>& results) {
+  if (header) {
+    os << "workload,fs,algorithm,cache_mb,avg_read_ms,hit_ratio,"
+          "prefetched,used,wasted,degree_policy\n";
+  }
+  for (const RunResult& r : results) {
+    const AlgorithmSpec spec = AlgorithmSpec::parse(r.algorithm);
+    const char* policy = spec.feedback            ? "feedback"
+                         : spec.kind == AlgorithmSpec::Kind::kBestOffset
+                             ? "best-offset"
+                         : spec.aggressive && spec.max_outstanding == 1
+                             ? "fixed-1"
+                         : spec.aggressive &&
+                                 spec.max_outstanding !=
+                                     AlgorithmSpec::kUnlimited
+                             ? "fixed-j"
+                             : "unbounded";
+    os << tag << ',' << r.fs << ',' << r.algorithm << ','
+       << r.cache_per_node / 1_MiB << ',' << r.avg_read_ms << ','
+       << r.hit_ratio << ',' << r.prefetch_issued << ',' << r.prefetch_used
+       << ',' << r.prefetch_wasted << ',' << policy << '\n';
+  }
+}
+
+int run_adaptive(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const SweepSpec spec = adaptive_spec(flags);
+  const auto threads = static_cast<std::size_t>(flags.get_int("threads", 0));
+
+  std::ofstream csv;
+  if (flags.has("csv")) {
+    csv.open(flags.get("csv", ""));
+    if (!csv) {
+      std::cerr << "cannot open csv path " << flags.get("csv", "") << "\n";
+      return 1;
+    }
+  }
+
+  bool first = true;
+  for (const Workload workload : {Workload::kCharisma, Workload::kSprite}) {
+    const std::string tag =
+        workload == Workload::kCharisma ? "charisma" : "sprite";
+    const Trace trace = make_workload(workload, flags);
+    for (const FsKind fs : {FsKind::kPafs, FsKind::kXfs}) {
+      const RunConfig base = make_base(workload, fs, flags);
+      const std::string title =
+          "Adaptive degree policies — " + tag + " under " +
+          (fs == FsKind::kPafs ? std::string("PAFS") : std::string("xFS"));
+      print_experiment_header(std::cout, title, base.machine, trace, base);
+      const auto results = run_sweep(trace, base, spec, threads);
+      print_read_time_series(std::cout, spec, results);
+      print_diagnostics(std::cout, spec, results);
+      if (csv.is_open()) {
+        write_tagged_csv(csv, first, tag, results);
+        first = false;
+      }
+      std::cout << "\n";
+    }
+  }
+  if (csv.is_open()) {
+    std::cout << "(csv written to " << flags.get("csv", "") << ")\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace lap::bench
+
+int main(int argc, char** argv) {
+  return lap::bench::run_adaptive(argc, argv);
+}

@@ -8,6 +8,8 @@
 
 #include "bench_json.hpp"
 #include "core/aggressive.hpp"
+#include "core/best_offset.hpp"
+#include "core/feedback_throttle.hpp"
 #include "core/is_ppm.hpp"
 #include "core/oba.hpp"
 #include "util/rng.hpp"
@@ -115,6 +117,37 @@ void BM_AggressiveWalk(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 4096);
 }
 BENCHMARK(BM_AggressiveWalk);
+
+void BM_FeedbackThrottleSettle(benchmark::State& state) {
+  // The per-settlement price of the adaptive degree policy: every used or
+  // wasted prefetch feeds the throttle once.  A 3-used-1-wasted mix keeps
+  // the accuracy inside the hysteresis band so both counters stay hot.
+  FeedbackThrottle throttle;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    if ((i++ & 3) == 0) {
+      throttle.on_wasted();
+    } else {
+      throttle.on_used();
+    }
+    benchmark::DoNotOptimize(throttle.degree());
+  }
+}
+BENCHMARK(BM_FeedbackThrottleSettle);
+
+void BM_BestOffsetTrain(benchmark::State& state) {
+  // Per-demand training cost of the Best-Offset learner on a strided
+  // stream: one RR probe plus the ring insert, with the periodic
+  // adoption folded in at its natural 1/(max_offset*round_max) rate.
+  BestOffsetLearner bo;
+  std::uint32_t block = 0;
+  for (auto _ : state) {
+    bo.train(block);
+    block += 3;
+    benchmark::DoNotOptimize(bo.offset());
+  }
+}
+BENCHMARK(BM_BestOffsetTrain);
 
 void BM_SequentialStream(benchmark::State& state) {
   for (auto _ : state) {

@@ -6,6 +6,11 @@
 //                [--trace-out t.json] [--metrics-json m.json]
 //   ./quickstart --repro failure.repro     # replay a lap_check repro file
 //
+// --algo takes any registered name: the paper set (NP, OBA, IS_PPM:j and
+// their Ln_Agr_/Agr_ variants), the baselines (VK_PPM:j, WholeFile,
+// Informed), fixed-degree points (Dg<k>_Agr_*), accuracy-feedback
+// throttling (Fb_Agr_*), and Best-Offset (BO:d).
+//
 // With --trace-out, the prefetching run streams a Chrome trace_event JSON
 // (open it at https://ui.perfetto.dev).  With --metrics-json, both runs'
 // aggregates plus the sampled counter registry are dumped as JSON.

@@ -156,15 +156,21 @@ void InvariantOracle::instant(const char* cat, const char* name,
   if (is(name, "prefetch.issue")) {
     SiteFile& sf = site_file(site, file);
     ++sf.outstanding;
+    // Policy-aware outstanding bound: fixed-degree algorithms (the paper's
+    // linear limitation at degree 1 and the Dg<k> generalisation) must
+    // never exceed max_outstanding; feedback algorithms float, but the
+    // throttle clamps the degree at feedback_cap, so that is their hard
+    // ceiling.  Flooding variants are unbounded by design.
     const bool bounded = opts_.spec.aggressive &&
                          opts_.spec.max_outstanding != AlgorithmSpec::kUnlimited;
-    if (bounded &&
-        sf.outstanding > static_cast<std::int64_t>(opts_.spec.max_outstanding)) {
+    const std::uint32_t limit = opts_.spec.feedback
+                                    ? opts_.spec.feedback_cap
+                                    : opts_.spec.max_outstanding;
+    if (bounded && sf.outstanding > static_cast<std::int64_t>(limit)) {
       violate(ts, "linearity: " + std::to_string(sf.outstanding) +
                       " outstanding prefetches on site " +
                       std::to_string(site) + " file " + std::to_string(file) +
-                      " (limit " + std::to_string(opts_.spec.max_outstanding) +
-                      ")");
+                      " (limit " + std::to_string(limit) + ")");
     }
     if (opts_.spec.kind == AlgorithmSpec::Kind::kIsPpm &&
         opts_.spec.oba_fallback && arg_or(args, "fallback", 0) == 0 &&

@@ -14,7 +14,10 @@ namespace lap {
 namespace {
 
 // Weighted toward the aggressive/linear algorithms: they are the ones with
-// pacing, restart and fallback machinery for the oracle to falsify.
+// pacing, restart and fallback machinery for the oracle to falsify.  The
+// tail adds the adaptive-degree policies (feedback throttle, best-offset):
+// their degree transitions and per-request floods get the same oracle,
+// conservation and seq-vs-sharded differential treatment as the paper set.
 const char* pick_algorithm(Rng& rng) {
   static constexpr const char* kPool[] = {
       "Ln_Agr_IS_PPM:1", "Ln_Agr_IS_PPM:1", "Ln_Agr_IS_PPM:2",
@@ -22,7 +25,8 @@ const char* pick_algorithm(Rng& rng) {
       "Agr_IS_PPM:1",    "Agr_OBA",         "IS_PPM:1",
       "IS_PPM:2",        "OBA",             "NP",
       "VK_PPM:1",        "Ln_Agr_VK_PPM:1", "WholeFile",
-      "Informed",        "Ln_Informed",
+      "Informed",        "Ln_Informed",     "Fb_Agr_IS_PPM:1",
+      "Fb_Agr_OBA",      "BO:2",
   };
   return kPool[rng.uniform_int(0, std::size(kPool) - 1)];
 }

@@ -1,8 +1,10 @@
 #include "core/algorithm_registry.hpp"
 
 #include <cstdint>
+#include <optional>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace lap {
@@ -20,13 +22,29 @@ AlgorithmSpec make(AlgorithmSpec::Kind kind, int order, bool aggressive,
 
 }  // namespace
 
+namespace {
+
+// Prefix of an aggressive variant: the feedback-throttled family, the
+// paper's linear limitation, a fixed degree-k point, or the flood.
+std::string aggressive_prefix(const AlgorithmSpec& s) {
+  if (s.feedback) return "Fb_Agr_";
+  if (s.max_outstanding == 1) return "Ln_Agr_";
+  if (s.max_outstanding == AlgorithmSpec::kUnlimited) return "Agr_";
+  std::string p = "Dg";
+  p += std::to_string(s.max_outstanding);
+  p += "_Agr_";
+  return p;
+}
+
+}  // namespace
+
 std::string AlgorithmSpec::name() const {
   switch (kind) {
     case Kind::kNone:
       return "NP";
     case Kind::kOba: {
       if (!aggressive) return "OBA";
-      return max_outstanding == 1 ? "Ln_Agr_OBA" : "Agr_OBA";
+      return aggressive_prefix(*this) + "OBA";
     }
     case Kind::kIsPpm: {
       // Built with += (not `":" + std::to_string(...)`): GCC 12's -Wrestrict
@@ -34,18 +52,23 @@ std::string AlgorithmSpec::name() const {
       std::string suffix = ":";
       suffix += std::to_string(order);
       if (!aggressive) return "IS_PPM" + suffix;
-      return (max_outstanding == 1 ? "Ln_Agr_IS_PPM" : "Agr_IS_PPM") + suffix;
+      return aggressive_prefix(*this) + "IS_PPM" + suffix;
     }
     case Kind::kVkPpm: {
       std::string suffix = ":";
       suffix += std::to_string(order);
       if (!aggressive) return "VK_PPM" + suffix;
-      return (max_outstanding == 1 ? "Ln_Agr_VK_PPM" : "Agr_VK_PPM") + suffix;
+      return aggressive_prefix(*this) + "VK_PPM" + suffix;
     }
     case Kind::kWholeFile:
       return "WholeFile";
     case Kind::kInformed:
       return max_outstanding == 1 ? "Ln_Informed" : "Informed";
+    case Kind::kBestOffset: {
+      std::string n = "BO:";
+      n += std::to_string(order);
+      return n;
+    }
   }
   return "?";
 }
@@ -58,10 +81,74 @@ AlgorithmSpec AlgorithmSpec::parse(const std::string& name) {
     return order;
   };
 
+  // Fixed degree-k policy point Dg<k>_Agr_<base>: the linear limitation
+  // generalised to k outstanding prefetches per (site, file).  k >= 2 —
+  // k = 1 is spelled Ln_Agr_<base>.
+  auto parse_fixed_degree = [&](const std::string& s)
+      -> std::optional<std::pair<std::uint32_t, std::string>> {
+    if (!s.starts_with("Dg")) return std::nullopt;
+    const std::size_t sep = s.find("_Agr_");
+    if (sep == std::string::npos || sep == 2) return std::nullopt;
+    const std::string digits = s.substr(2, sep - 2);
+    for (const char c : digits) {
+      if (c < '0' || c > '9') return std::nullopt;
+    }
+    const long k = std::stol(digits);
+    if (k < 2) throw std::invalid_argument("Dg degree must be >= 2: " + s);
+    return std::make_pair(static_cast<std::uint32_t>(k),
+                          s.substr(sep + 5));
+  };
+
   if (name == "NP") return make(Kind::kNone, 1, false, 0);
   if (name == "OBA") return make(Kind::kOba, 1, false, kUnlimited);
   if (name == "Ln_Agr_OBA") return make(Kind::kOba, 1, true, 1);
   if (name == "Agr_OBA") return make(Kind::kOba, 1, true, kUnlimited);
+  if (name.starts_with("BO")) {
+    // Best-offset baseline (Michaud): conservative per-request flood of
+    // degree d offset multiples; no OBA fallback (the learner itself
+    // starts in next-line mode).
+    const int degree = parse_order(name, name.find(':'));
+    std::string canonical = "BO:";
+    canonical += std::to_string(degree);
+    if (name != "BO" && name != canonical) {
+      throw std::invalid_argument("unknown prefetching algorithm: " + name);
+    }
+    AlgorithmSpec spec = make(Kind::kBestOffset, degree, false, kUnlimited);
+    spec.oba_fallback = false;
+    return spec;
+  }
+  if (name.starts_with("Fb_Agr_")) {
+    // Accuracy-feedback throttling over the aggressive family: degree
+    // floats in [1, feedback_cap] driven by the useful/issued ratio.
+    const std::string base = name.substr(7);
+    AlgorithmSpec spec;
+    if (base == "OBA") {
+      spec = make(Kind::kOba, 1, true, 1);
+    } else if (base.starts_with("IS_PPM")) {
+      spec = make(Kind::kIsPpm, parse_order(base, base.find(':')), true, 1);
+    } else if (base.starts_with("VK_PPM")) {
+      spec = make(Kind::kVkPpm, parse_order(base, base.find(':')), true, 1);
+      spec.oba_fallback = false;
+    } else {
+      throw std::invalid_argument("unknown prefetching algorithm: " + name);
+    }
+    spec.feedback = true;
+    return spec;
+  }
+  if (const auto fixed = parse_fixed_degree(name)) {
+    const auto& [k, base] = *fixed;
+    if (base == "OBA") return make(Kind::kOba, 1, true, k);
+    if (base.starts_with("IS_PPM")) {
+      return make(Kind::kIsPpm, parse_order(base, base.find(':')), true, k);
+    }
+    if (base.starts_with("VK_PPM")) {
+      AlgorithmSpec spec =
+          make(Kind::kVkPpm, parse_order(base, base.find(':')), true, k);
+      spec.oba_fallback = false;
+      return spec;
+    }
+    throw std::invalid_argument("unknown prefetching algorithm: " + name);
+  }
   if (name.starts_with("IS_PPM")) {
     return make(Kind::kIsPpm, parse_order(name, name.find(':')), false,
                 kUnlimited);

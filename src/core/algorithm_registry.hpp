@@ -14,16 +14,17 @@ namespace lap {
 
 struct AlgorithmSpec {
   enum class Kind {
-    kNone,       // NP
-    kOba,        // one-block-ahead (Smith)
-    kIsPpm,      // the paper's interval & size PPM
-    kVkPpm,      // baseline: Vitter-Krishnan block-sequence PPM
-    kWholeFile,  // baseline: Kroeger-Long whole-file prefetch on open
-    kInformed,   // upper bound: disclosed future requests (TIP-style)
+    kNone,        // NP
+    kOba,         // one-block-ahead (Smith)
+    kIsPpm,       // the paper's interval & size PPM
+    kVkPpm,       // baseline: Vitter-Krishnan block-sequence PPM
+    kWholeFile,   // baseline: Kroeger-Long whole-file prefetch on open
+    kInformed,    // upper bound: disclosed future requests (TIP-style)
+    kBestOffset,  // baseline: Michaud best-offset predictor (BO:d)
   };
 
   Kind kind = Kind::kNone;
-  int order = 1;             // Markov order for IS_PPM:j
+  int order = 1;             // Markov order for IS_PPM:j; degree for BO:d
   bool aggressive = false;   // keep prefetching along the predicted path
   // Outstanding prefetched blocks per file (per node and file under xFS).
   // 1 = the paper's *linear* limitation; kUnlimited = flood.
@@ -31,18 +32,25 @@ struct AlgorithmSpec {
   IsPpmGraph::EdgePolicy edge_policy = IsPpmGraph::EdgePolicy::kMostRecent;
   bool oba_fallback = true;          // cold-graph fallback (Section 2.2)
   bool aggressive_fallback = false;  // fallback streams to EOF (ablation)
+  // Accuracy-feedback degree scaling (Fb_Agr_*): the outstanding limit
+  // becomes adaptive, moving between max_outstanding (the floor) and
+  // feedback_cap with the FeedbackThrottle's hysteresis (DESIGN.md §15).
+  bool feedback = false;
+  std::uint32_t feedback_cap = 8;
 
   static constexpr std::uint32_t kUnlimited =
       std::numeric_limits<std::uint32_t>::max();
 
   [[nodiscard]] bool prefetching() const { return kind != Kind::kNone; }
   [[nodiscard]] bool linear() const {
-    return aggressive && max_outstanding == 1;
+    return aggressive && max_outstanding == 1 && !feedback;
   }
 
   /// Canonical paper name: NP, OBA, IS_PPM:j, Ln_Agr_OBA, Ln_Agr_IS_PPM:j,
   /// Agr_OBA, Agr_IS_PPM:j (non-linear aggressive, for ablations), plus the
-  /// related-work baselines VK_PPM:j / Ln_Agr_VK_PPM:j and WholeFile.
+  /// related-work baselines VK_PPM:j / Ln_Agr_VK_PPM:j, WholeFile and BO:d,
+  /// the fixed-degree policy point Dg<k>_Agr_* and the feedback-throttled
+  /// Fb_Agr_* family.
   [[nodiscard]] std::string name() const;
 
   /// Parse a canonical name; throws std::invalid_argument on junk.

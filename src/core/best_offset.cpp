@@ -1,0 +1,93 @@
+#include "core/best_offset.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+
+#include "util/assert.hpp"
+
+namespace lap {
+
+BestOffsetLearner::BestOffsetLearner() : BestOffsetLearner(Params{}) {}
+
+BestOffsetLearner::BestOffsetLearner(Params p)
+    : p_(p), scores_(p.max_offset, 0) {
+  LAP_EXPECTS(p_.max_offset >= 1);
+  LAP_EXPECTS(p_.rr_entries >= 1);
+  LAP_EXPECTS(p_.score_max >= 1);
+  LAP_EXPECTS(p_.round_max >= 1);
+  rr_.resize(p_.rr_entries, 0);
+}
+
+std::uint32_t BestOffsetLearner::score(std::uint32_t offset) const {
+  LAP_EXPECTS(offset >= 1 && offset <= p_.max_offset);
+  return scores_[offset - 1];
+}
+
+bool BestOffsetLearner::in_rr(std::uint32_t block) const {
+  for (std::uint32_t i = 0; i < rr_size_; ++i) {
+    if (rr_[i] == block) return true;
+  }
+  return false;
+}
+
+void BestOffsetLearner::train(std::uint32_t block) {
+  // Test one candidate per access, round-robin over the offset list —
+  // the canonical BO round structure.  An early adoption resets the
+  // round state, so the cursor only advances on the normal path.
+  const std::uint32_t d = candidate_ + 1;
+  bool adopted = false;
+  if (block >= d && in_rr(block - d)) {
+    if (++scores_[candidate_] >= p_.score_max) {
+      adopt();
+      adopted = true;
+    }
+  }
+  if (!adopted && ++candidate_ == p_.max_offset) {
+    candidate_ = 0;
+    if (++round_ >= p_.round_max) adopt();
+  }
+  rr_[rr_head_] = block;
+  rr_head_ = (rr_head_ + 1) % p_.rr_entries;
+  rr_size_ = std::min(rr_size_ + 1, p_.rr_entries);
+}
+
+void BestOffsetLearner::adopt() {
+  // Best score wins; ties break toward the smallest offset (the least
+  // speculative distance).  A best below BAD_SCORE means no offset
+  // explains the stream: disable prefetching until evidence returns.
+  std::uint32_t best = 0;
+  std::uint32_t best_score = 0;
+  for (std::uint32_t i = 0; i < p_.max_offset; ++i) {
+    if (scores_[i] > best_score) {
+      best_score = scores_[i];
+      best = i + 1;
+    }
+  }
+  offset_ = best_score >= p_.bad_score ? best : 0;
+  std::fill(scores_.begin(), scores_.end(), 0);
+  candidate_ = 0;
+  round_ = 0;
+}
+
+BoStream::BoStream(std::int64_t trigger, std::uint32_t offset,
+                   std::uint32_t degree, std::uint32_t file_blocks)
+    : trigger_(trigger), offset_(offset), degree_(degree),
+      file_blocks_(file_blocks) {}
+
+std::optional<StreamItem> BoStream::next() {
+  if (offset_ == 0) return std::nullopt;  // learner disabled prefetching
+  while (i_ <= degree_) {
+    const std::int64_t b =
+        trigger_ + static_cast<std::int64_t>(i_) * offset_;
+    ++i_;
+    if (b >= 0 && b < static_cast<std::int64_t>(file_blocks_)) {
+      return StreamItem{static_cast<std::uint32_t>(b), /*fallback=*/false};
+    }
+  }
+  return std::nullopt;
+}
+
+bool BoStream::exhausted() const { return offset_ == 0 || i_ > degree_; }
+
+}  // namespace lap

@@ -1,0 +1,92 @@
+// Best-Offset prefetching (Michaud, HPCA 2016), adapted from cache lines
+// to file blocks as a modern baseline against the paper's 1999 algorithms.
+//
+// The learner keeps a small table of recently demanded blocks (the RR
+// table) and a score per candidate offset.  Candidates are tested
+// round-robin, one per training access: when block X arrives and X - d is
+// in the RR table, offset d's score goes up — evidence that prefetching
+// at distance d would have been timely.  An offset that reaches SCORE_MAX
+// is adopted immediately; otherwise the best scorer is adopted when the
+// round budget runs out (ties break toward the smallest offset, the
+// least speculative choice).  A best score below BAD_SCORE turns
+// prefetching off until a later round finds a usable offset again.
+//
+// The stream side is the snippet-canonical degree loop: a request ending
+// at block X yields candidates X + i*D for i = 1..degree.  BO is wired as
+// a *conservative* algorithm (per-request flood, like plain IS_PPM): each
+// demand request issues its whole candidate set at once, so the paper's
+// linear limitation does not apply to it — that contrast is the point of
+// the BO:d baseline.
+//
+// All state is integer-only and per file, owned by the node's
+// PrefetchManager, so sharded runs stay bit-exact for the same reason the
+// PPM graphs do: training and prediction happen in the owning domain in
+// canonical event order.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/aggressive.hpp"
+
+namespace lap {
+
+class BestOffsetLearner {
+ public:
+  struct Params {
+    std::uint32_t max_offset = 16;   // candidate offsets 1..max_offset
+    std::uint32_t rr_entries = 32;   // recent-requests ring capacity
+    std::uint32_t score_max = 12;    // early-adopt threshold
+    std::uint32_t round_max = 8;     // rounds before forced adoption
+    std::uint32_t bad_score = 2;     // best below this disables prefetch
+  };
+
+  BestOffsetLearner();  // default parameters
+  explicit BestOffsetLearner(Params p);
+
+  /// Train on one demanded block.  Tests the next candidate offset
+  /// round-robin against the RR table, then records the block.
+  void train(std::uint32_t block);
+
+  /// Adopted offset; 0 = prefetching disabled (no usable pattern).
+  /// Starts at 1 (next-line) until the first learning phase completes.
+  [[nodiscard]] std::uint32_t offset() const { return offset_; }
+
+  // Introspection for tests.
+  [[nodiscard]] std::uint32_t round() const { return round_; }
+  [[nodiscard]] std::uint32_t score(std::uint32_t offset) const;
+
+ private:
+  void adopt();
+  [[nodiscard]] bool in_rr(std::uint32_t block) const;
+
+  Params p_;
+  std::uint32_t offset_ = 1;       // adopted offset (0 = off)
+  std::vector<std::uint32_t> scores_;
+  std::uint32_t candidate_ = 0;    // index of the next offset to test
+  std::uint32_t round_ = 0;
+  std::vector<std::uint32_t> rr_;  // ring of recent blocks
+  std::uint32_t rr_head_ = 0;
+  std::uint32_t rr_size_ = 0;
+};
+
+/// PrefetchStream over the learner's adopted offset: candidates
+/// trigger + i*offset for i = 1..degree, clipped to the file.
+class BoStream final : public PrefetchStream {
+ public:
+  BoStream(std::int64_t trigger, std::uint32_t offset, std::uint32_t degree,
+           std::uint32_t file_blocks);
+
+  std::optional<StreamItem> next() override;
+  [[nodiscard]] bool exhausted() const override;
+
+ private:
+  std::int64_t trigger_;
+  std::uint32_t offset_;
+  std::uint32_t degree_;
+  std::uint32_t file_blocks_;
+  std::uint32_t i_ = 1;  // next multiple to emit
+};
+
+}  // namespace lap

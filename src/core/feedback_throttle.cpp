@@ -1,0 +1,55 @@
+#include "core/feedback_throttle.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/assert.hpp"
+
+namespace lap {
+
+FeedbackThrottle::FeedbackThrottle() : FeedbackThrottle(Params{}) {}
+
+FeedbackThrottle::FeedbackThrottle(Params p) : p_(p), degree_(p.floor),
+                                               peak_(p.floor) {
+  LAP_EXPECTS(p_.floor >= 1);
+  LAP_EXPECTS(p_.cap >= p_.floor);
+  LAP_EXPECTS(p_.window >= 1);
+  LAP_EXPECTS(p_.clamp_pct <= p_.raise_pct);
+  LAP_EXPECTS(p_.raise_pct <= 100);
+}
+
+void FeedbackThrottle::on_used() { settle(true); }
+
+void FeedbackThrottle::on_wasted() { settle(false); }
+
+void FeedbackThrottle::settle(bool used) {
+  if (used) ++window_used_;
+  if (++window_settled_ < p_.window) return;
+  decide();
+  window_used_ = 0;
+  window_settled_ = 0;
+}
+
+void FeedbackThrottle::decide() {
+  // Integer thresholds: used/settled >= raise_pct% ramps up one step
+  // (additive increase), < clamp_pct% halves (multiplicative decrease),
+  // and the band between the two holds — the hysteresis that stops a
+  // workload sitting near one threshold from flapping every window.
+  const std::uint64_t used100 = std::uint64_t{window_used_} * 100;
+  const std::uint64_t settled = window_settled_;
+  if (used100 >= settled * p_.raise_pct) {
+    if (degree_ < p_.cap) {
+      ++degree_;
+      ++raises_;
+      peak_ = std::max(peak_, degree_);
+    }
+  } else if (used100 < settled * p_.clamp_pct) {
+    const std::uint32_t next = std::max(degree_ / 2, p_.floor);
+    if (next != degree_) {
+      degree_ = next;
+      ++clamps_;
+    }
+  }
+}
+
+}  // namespace lap

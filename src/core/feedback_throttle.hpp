@@ -1,0 +1,64 @@
+// Accuracy-feedback throttling of aggressive prefetching (DESIGN.md §15).
+//
+// The paper's linear limitation pins the outstanding-prefetch degree at 1
+// forever.  The throttle generalises it: every prefetched block eventually
+// settles used or wasted (PR 6's conservation invariant), and the observed
+// useful fraction over a sliding window drives the degree between a floor
+// (the linear limitation) and a cap, SPP-style.  High accuracy ramps the
+// degree up one step per window; low accuracy halves it back toward the
+// floor; the band in between holds it steady, so a workload sitting near
+// a threshold does not flap.
+//
+// Everything is integer arithmetic on settlement counts — no wall clock,
+// no floats — so the decision sequence is a pure function of the
+// settlement sequence.  One throttle lives inside each PrefetchManager,
+// i.e. inside the owning node's shard domain: feeding and reading it
+// never crosses a domain boundary, which keeps sharded runs bit-exact
+// (the per-domain event order is identical at any shard count).
+#pragma once
+
+#include <cstdint>
+
+namespace lap {
+
+class FeedbackThrottle {
+ public:
+  struct Params {
+    std::uint32_t floor = 1;      // minimum degree (the linear limitation)
+    std::uint32_t cap = 8;        // maximum degree
+    std::uint32_t window = 32;    // settlements per decision
+    std::uint32_t raise_pct = 75; // used/settled >= this: degree += 1
+    std::uint32_t clamp_pct = 40; // used/settled < this: degree /= 2
+  };
+
+  FeedbackThrottle();  // default parameters
+  explicit FeedbackThrottle(Params p);
+
+  /// A prefetched block settled used (first demand touch before eviction).
+  void on_used();
+  /// A prefetched block settled wasted (evicted / invalidated / deleted /
+  /// superseded / forward-dropped unreferenced).
+  void on_wasted();
+
+  /// Current outstanding-prefetch degree, in [floor, cap].
+  [[nodiscard]] std::uint32_t degree() const { return degree_; }
+
+  // Attribution counters for spans/metrics.
+  [[nodiscard]] std::uint64_t raises() const { return raises_; }
+  [[nodiscard]] std::uint64_t clamps() const { return clamps_; }
+  [[nodiscard]] std::uint32_t peak() const { return peak_; }
+
+ private:
+  void settle(bool used);
+  void decide();
+
+  Params p_;
+  std::uint32_t degree_;
+  std::uint32_t peak_;
+  std::uint32_t window_used_ = 0;
+  std::uint32_t window_settled_ = 0;
+  std::uint64_t raises_ = 0;
+  std::uint64_t clamps_ = 0;
+};
+
+}  // namespace lap

@@ -10,13 +10,33 @@
 #include "util/assert.hpp"
 
 namespace lap {
+namespace {
+
+FeedbackThrottle::Params throttle_params(const AlgorithmSpec& spec) {
+  FeedbackThrottle::Params p;
+  if (spec.feedback) {
+    p.floor = spec.max_outstanding == AlgorithmSpec::kUnlimited
+                  ? 1
+                  : spec.max_outstanding;
+    p.cap = spec.feedback_cap < p.floor ? p.floor : spec.feedback_cap;
+  }
+  return p;
+}
+
+}  // namespace
 
 PrefetchManager::PrefetchManager(Engine& eng, AlgorithmSpec spec,
                                  PrefetchHost& host, const bool* stop_flag,
                                  std::uint32_t site)
     : eng_(&eng), spec_(spec), host_(&host), stop_flag_(stop_flag),
-      site_(site) {
+      site_(site), throttle_(throttle_params(spec)) {
   LAP_EXPECTS(stop_flag != nullptr);
+}
+
+void PrefetchManager::sync_degree_counters() {
+  counters_.degree_raises = throttle_.raises();
+  counters_.degree_clamps = throttle_.clamps();
+  counters_.degree_peak = throttle_.peak();
 }
 
 void PrefetchManager::trace_request(ProcId pid, FileId file,
@@ -70,11 +90,22 @@ void PrefetchManager::note_issue(FileId file, std::uint32_t block,
     case AlgorithmSpec::Kind::kWholeFile:
       origin = PrefetchOrigin::kWholeFile;
       break;
+    case AlgorithmSpec::Kind::kBestOffset:
+      // An adopted offset of 1 *is* sequential readahead; larger offsets
+      // generalise it, so BO issues stay in the sequential origin bucket
+      // (keeping the origin tables' fixed row set) and carry their degree.
+      origin = PrefetchOrigin::kSequential;
+      break;
     case AlgorithmSpec::Kind::kNone:
       break;
   }
+  const std::uint32_t degree =
+      spec_.feedback ? throttle_.degree()
+                     : (spec_.max_outstanding == AlgorithmSpec::kUnlimited
+                            ? 0
+                            : spec_.max_outstanding);
   sp->prefetch_predicted(site_, BlockKey{file, block}, origin, fallback, pid,
-                         trigger, target, eng_->now());
+                         trigger, target, eng_->now(), degree);
 }
 
 std::unique_ptr<PrefetchStream> PrefetchManager::build_stream(PidState& ps,
@@ -99,6 +130,13 @@ std::unique_ptr<PrefetchStream> PrefetchManager::build_stream(PidState& ps,
                                         budget, fallback_budget);
     case AlgorithmSpec::Kind::kInformed:
       return std::make_unique<HintStream>(&ps.hints, ps.hint_cursor, blocks);
+    case AlgorithmSpec::Kind::kBestOffset:
+      // Trigger is the last block of the request just observed; the spec's
+      // order field carries the BO degree (candidates trigger + i*offset).
+      LAP_ASSERT(ps.bo != nullptr);
+      return std::make_unique<BoStream>(
+          ps.last_end - 1, ps.bo->offset(),
+          static_cast<std::uint32_t>(spec_.order), blocks);
     case AlgorithmSpec::Kind::kNone:
     case AlgorithmSpec::Kind::kWholeFile:
       break;
@@ -158,6 +196,12 @@ void PrefetchManager::on_request(ProcId pid, NodeId client, FileId file,
     if (!fs.vk_graph) fs.vk_graph = std::make_unique<VkPpmGraph>(spec_.order);
     if (!ps.vk) ps.vk = std::make_unique<VkPpmPredictor>(*fs.vk_graph);
     ps.vk->on_request(first, nblocks);
+  } else if (spec_.kind == AlgorithmSpec::Kind::kBestOffset) {
+    if (!fs.bo) fs.bo = std::make_unique<BestOffsetLearner>();
+    // Train on every demanded block: offsets shorter than a request are
+    // only learnable from the intra-request stream.
+    for (std::uint32_t b = first; b < first + nblocks; ++b) fs.bo->train(b);
+    ps.bo = fs.bo.get();
   } else if (spec_.kind == AlgorithmSpec::Kind::kInformed) {
     // Advance the hint cursor past the request just made.  Writes (and
     // anything else the hints do not cover) leave it untouched.
@@ -242,7 +286,7 @@ void PrefetchManager::ensure_pumps(FileId file, FileState& fs) {
     }
     return;
   }
-  while (fs.active_pumps < spec_.max_outstanding) {
+  while (fs.active_pumps < effective_outstanding()) {
     ++fs.active_pumps;
     pump(file, fs.generation);
     // pump() runs synchronously until its first co_await and may finish
@@ -267,6 +311,9 @@ SimTask PrefetchManager::pump(FileId file, std::uint64_t generation) {
     // has created a new one (that state has its own pumps).
     FileState* fs = live_state(file, generation);
     if (fs == nullptr) co_return;
+    // Feedback clamp-down: surplus pumps shed themselves once their
+    // current fetch completes, bringing the file back under the degree.
+    if (fs->active_pumps > effective_outstanding()) break;
     auto item = next_from_any_stream(*fs, file);
     if (!item) {
       fs->drained = true;

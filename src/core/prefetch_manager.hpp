@@ -30,6 +30,8 @@
 #include "cache/block.hpp"
 #include "core/aggressive.hpp"
 #include "core/algorithm_registry.hpp"
+#include "core/best_offset.hpp"
+#include "core/feedback_throttle.hpp"
 #include "core/is_ppm.hpp"
 #include "core/open_predictor.hpp"
 #include "core/vk_ppm.hpp"
@@ -64,6 +66,12 @@ struct PrefetchCounters {
   std::uint64_t fallback_issued = 0;  // of which: cold-graph OBA fallback
   std::uint64_t retargets = 0;        // streams rebuilt after a mis-predicted path
   std::uint64_t streams_started = 0;
+  // Feedback-throttle attribution (zero unless spec.feedback): degree
+  // steps taken and the highest degree reached.  Peak merges with max
+  // across managers, the others with sum.
+  std::uint64_t degree_raises = 0;
+  std::uint64_t degree_clamps = 0;
+  std::uint32_t degree_peak = 1;
 };
 
 class PrefetchManager {
@@ -91,6 +99,29 @@ class PrefetchManager {
   /// Drop all state for a deleted file.
   void on_file_deleted(FileId file);
 
+  // Accuracy feedback (DESIGN.md §15): the host file system reports every
+  // settlement of a prefetched block it classifies — first demand use, or
+  // waste by eviction / invalidation / delete / supersede / forward-drop.
+  // End-of-run shutdown settlements are deliberately not reported (no
+  // decision can follow them).  Both are no-ops unless spec.feedback, and
+  // they never touch the engine, so non-feedback algorithms are bit-exact
+  // with and without the calls in place.
+  void feedback_used() {
+    if (!spec_.feedback) return;
+    throttle_.on_used();
+    sync_degree_counters();
+  }
+  void feedback_wasted() {
+    if (!spec_.feedback) return;
+    throttle_.on_wasted();
+    sync_degree_counters();
+  }
+  /// Outstanding-prefetch degree currently in force: the throttle's degree
+  /// under feedback, spec.max_outstanding otherwise.
+  [[nodiscard]] std::uint32_t effective_outstanding() const {
+    return spec_.feedback ? throttle_.degree() : spec_.max_outstanding;
+  }
+
   [[nodiscard]] const PrefetchCounters& counters() const { return counters_; }
   [[nodiscard]] const AlgorithmSpec& spec() const { return spec_; }
 
@@ -103,6 +134,7 @@ class PrefetchManager {
     std::unique_ptr<IsPpmPredictor> predictor;  // IS_PPM only; shares the
                                                 // file's pattern graph
     std::unique_ptr<VkPpmPredictor> vk;         // VK_PPM baseline only
+    BestOffsetLearner* bo = nullptr;            // BO only; the file's learner
     std::vector<BlockRequest> hints;            // informed upper bound only
     std::size_t hint_cursor = 0;                // next undisclosed request
     std::unique_ptr<PrefetchStream> stream;     // this reader's active path
@@ -114,6 +146,7 @@ class PrefetchManager {
   struct FileState {
     std::unique_ptr<IsPpmGraph> graph;     // one pattern graph per file
     std::unique_ptr<VkPpmGraph> vk_graph;  // VK_PPM baseline only
+    std::unique_ptr<BestOffsetLearner> bo; // BO baseline only
     FlatHashMap<std::uint32_t, PidState> pids;
     std::vector<std::uint32_t> pump_order;  // pids in arrival order
     std::size_t rr_cursor = 0;
@@ -146,6 +179,7 @@ class PrefetchManager {
   /// operations find the open span to attribute their stages to.
   void note_issue(FileId file, std::uint32_t block, bool fallback,
                   std::uint32_t pid, std::int64_t trigger, NodeId target);
+  void sync_degree_counters();
   void trace_request(ProcId pid, FileId file, std::uint32_t first,
                      std::uint32_t nblocks);
   void trace_issue(FileId file, std::uint32_t block, bool fallback);
@@ -168,6 +202,11 @@ class PrefetchManager {
   FlatHashMap<std::uint32_t, OpenSequencePredictor> open_predictors_;
   std::uint64_t clock_ = 0;  // logical timestamps for MRU edges
   std::uint64_t generations_ = 0;  // FileState ids ever handed out
+  // Accuracy-feedback state (DESIGN.md §15).  Lives inside the manager and
+  // therefore inside the owning node's shard domain: the host feeds it from
+  // settlement sites that execute in that domain, and only ensure_pumps /
+  // pump read it, so sharded runs replay it bit-exactly.
+  FeedbackThrottle throttle_;
   PrefetchCounters counters_;
 };
 

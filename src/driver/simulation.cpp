@@ -277,6 +277,17 @@ RunResult run_simulation(TraceSource& source, const RunConfig& cfg) {
     reg.probe("prefetch.retargets", [fsp = fs.get()] {
       return static_cast<double>(fsp->prefetch_counters_total().retargets);
     });
+    // Feedback-throttle attribution (flat zero / one unless the algorithm
+    // runs with accuracy feedback, DESIGN.md §15).
+    reg.probe("prefetch.degree_raises", [fsp = fs.get()] {
+      return static_cast<double>(fsp->prefetch_counters_total().degree_raises);
+    });
+    reg.probe("prefetch.degree_clamps", [fsp = fs.get()] {
+      return static_cast<double>(fsp->prefetch_counters_total().degree_clamps);
+    });
+    reg.probe("prefetch.degree_peak", [fsp = fs.get()] {
+      return static_cast<double>(fsp->prefetch_counters_total().degree_peak);
+    });
     // Whole-run prefetch settlement totals: the ground truth the span
     // collector's own totals must reconcile with exactly (lap_check fuzzes
     // that equality on every scenario).

@@ -138,6 +138,7 @@ SimTask Pafs::read_block(BlockKey key, NodeId client,
       pool_.touch(key);
       if (e->prefetched && !e->referenced) {
         metrics_->on_prefetch_first_use();
+        prefetcher_->feedback_used();
         if (sp != nullptr) sp->settle_used(e->span, eng_->now());
         if (trace_ != nullptr) {
           trace_->instant("prefetch", "prefetch.used", tracks::file(key.file),
@@ -239,6 +240,7 @@ SimTask Pafs::write_task(ProcId pid, NodeId client, FileId file, Bytes offset,
         // overwrite would otherwise have needed for the partial block; count
         // the first use so arrived == used + wasted keeps reconciling.
         metrics_->on_prefetch_first_use();
+        prefetcher_->feedback_used();
         if (SpanCollector* sp = eng_->span_collector(); sp != nullptr) {
           sp->settle_used(e->span, eng_->now());
         }
@@ -285,6 +287,7 @@ SimTask Pafs::remove_task(NodeId client, FileId file, SimPromise<Done> done) {
   for (const CacheEntry& e : pool_.drop_file(file)) {
     if (e.prefetched && !e.referenced) {
       metrics_->on_prefetch_wasted();
+      prefetcher_->feedback_wasted();
       if (SpanCollector* sp = eng_->span_collector(); sp != nullptr) {
         sp->settle_wasted(e.span, WasteReason::kDeleted, eng_->now());
       }
@@ -334,6 +337,7 @@ SimTask Pafs::prefetch_task(BlockKey key, NodeId target, SimPromise<Done> done) 
     // the arrival as wasted right here so the prefetch accounting still
     // reconciles (arrived == used + wasted at end of run).
     metrics_->on_prefetch_wasted();
+    prefetcher_->feedback_wasted();
     if (sp != nullptr) {
       sp->settle_wasted(span, WasteReason::kSuperseded, eng_->now());
     }
@@ -369,6 +373,7 @@ void Pafs::insert_block(BlockKey key, NodeId home, bool dirty, bool prefetched,
 void Pafs::handle_eviction(const CacheEntry& victim) {
   if (victim.prefetched && !victim.referenced) {
     metrics_->on_prefetch_wasted();
+    prefetcher_->feedback_wasted();
     if (SpanCollector* sp = eng_->span_collector(); sp != nullptr) {
       sp->settle_wasted(victim.span, WasteReason::kEvicted, eng_->now());
     }

@@ -115,6 +115,10 @@ PrefetchCounters Xfs::prefetch_counters_total() const {
     total.fallback_issued += c.fallback_issued;
     total.retargets += c.retargets;
     total.streams_started += c.streams_started;
+    total.degree_raises += c.degree_raises;
+    total.degree_clamps += c.degree_clamps;
+    // Peak is a high-water mark, not a flow: max-merge across nodes.
+    total.degree_peak = std::max(total.degree_peak, c.degree_peak);
   }
   return total;
 }
@@ -244,6 +248,7 @@ SimTask Xfs::read_block(NodeId client, BlockKey key,
       ns.pool->touch(key);
       if (e->prefetched && !e->referenced) {
         metrics.on_prefetch_first_use();
+        ns.prefetcher->feedback_used();
         if (sp != nullptr) sp->settle_used(e->span, eng_->now());
         if (trace_ != nullptr) {
           trace_->instant("prefetch", "prefetch.used", tracks::file(key.file),
@@ -459,6 +464,7 @@ SimTask Xfs::write_task(ProcId pid, NodeId client, FileId file, Bytes offset,
         // First demand use via a write still counts: the prefetched buffer
         // absorbed the write-allocate, so the arrival settles as used.
         met(client).on_prefetch_first_use();
+        ns.prefetcher->feedback_used();
         if (SpanCollector* sp = eng_->span_collector(); sp != nullptr) {
           sp->settle_used(e->span, eng_->now());
         }
@@ -541,6 +547,7 @@ void Xfs::apply_invalidation(NodeId node, BlockKey key,
   if (auto victim = node_[raw(node)].pool->erase(key)) {
     if (victim->prefetched && !victim->referenced) {
       met(node).on_prefetch_wasted();
+      node_[raw(node)].prefetcher->feedback_wasted();
       if (SpanCollector* sp = eng_->span_collector(); sp != nullptr) {
         sp->settle_wasted(victim->span, WasteReason::kInvalidated, eng_->now());
       }
@@ -595,6 +602,7 @@ void Xfs::purge_file(NodeId node, FileId file) {
   for (const CacheEntry& e : ns.pool->drop_file(file)) {
     if (e.prefetched && !e.referenced) {
       met(node).on_prefetch_wasted();
+      ns.prefetcher->feedback_wasted();
       if (SpanCollector* sp = eng_->span_collector(); sp != nullptr) {
         sp->settle_wasted(e.span, WasteReason::kDeleted, eng_->now());
       }
@@ -697,6 +705,7 @@ SimTask Xfs::prefetch_task(NodeId node, BlockKey key, SimPromise<Done> done) {
     // registration — an entry for a buffer we never inserted would go
     // stale.
     metrics.on_prefetch_wasted();
+    ns.prefetcher->feedback_wasted();
     if (sp != nullptr) {
       sp->settle_wasted(span, WasteReason::kSuperseded, eng_->now());
     }
@@ -739,6 +748,7 @@ SimTask Xfs::forward_task(NodeId from, NodeId to, CacheEntry victim) {
     // used + wasted reconciliation, so the redundant copy settles here.
     if (victim.prefetched && !victim.referenced) {
       met(to).on_prefetch_wasted();
+      ns.prefetcher->feedback_wasted();
       if (SpanCollector* sp = eng_->span_collector(); sp != nullptr) {
         sp->settle_wasted(victim.span, WasteReason::kForwardDropped,
                           eng_->now());
@@ -764,6 +774,7 @@ void Xfs::handle_eviction(NodeId node, const CacheEntry& victim) {
   if (victim.dirty) {
     if (victim.prefetched && !victim.referenced) {
       met(node).on_prefetch_wasted();
+      node_[raw(node)].prefetcher->feedback_wasted();
       if (SpanCollector* sp = eng_->span_collector(); sp != nullptr) {
         sp->settle_wasted(victim.span, WasteReason::kEvicted, eng_->now());
       }
@@ -790,6 +801,7 @@ void Xfs::handle_eviction(NodeId node, const CacheEntry& victim) {
   post_dir_remove(node, victim.key);
   if (victim.prefetched && !victim.referenced) {
     met(node).on_prefetch_wasted();
+    node_[raw(node)].prefetcher->feedback_wasted();
     if (SpanCollector* sp = eng_->span_collector(); sp != nullptr) {
       sp->settle_wasted(victim.span, WasteReason::kEvicted, eng_->now());
     }
@@ -830,6 +842,7 @@ void Xfs::dir_evicted(NodeId node, CacheEntry victim) {
 void Xfs::drop_victim(NodeId node, const CacheEntry& victim) {
   if (victim.prefetched && !victim.referenced) {
     met(node).on_prefetch_wasted();
+    node_[raw(node)].prefetcher->feedback_wasted();
     if (SpanCollector* sp = eng_->span_collector(); sp != nullptr) {
       sp->settle_wasted(victim.span, WasteReason::kEvicted, eng_->now());
     }

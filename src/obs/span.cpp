@@ -183,7 +183,8 @@ SpanRef SpanCollector::prefetch_predicted(std::uint32_t site, BlockKey key,
                                           PrefetchOrigin origin, bool fallback,
                                           std::uint32_t trigger_pid,
                                           std::int64_t trigger_block,
-                                          NodeId target, SimTime now) {
+                                          NodeId target, SimTime now,
+                                          std::uint32_t degree) {
   BlockSpan s;
   s.key = key;
   s.site = site;
@@ -192,6 +193,7 @@ SpanRef SpanCollector::prefetch_predicted(std::uint32_t site, BlockKey key,
   s.trigger_pid = trigger_pid;
   s.trigger_block = trigger_block;
   s.target = target;
+  s.degree = degree;
   s.predicted = now;
   const SpanRef ref = create(s);
   open_table()[OpenKey{site, key}] = ref;
@@ -473,7 +475,8 @@ void SpanCollector::emit_async(TraceSink& sink) const {
                       {"origin", s.demand ? "-" : to_string(s.origin)},
                       {"trigger_pid", s.trigger_pid},
                       {"trigger_block", s.trigger_block},
-                      {"target", raw(s.target)}});
+                      {"target", raw(s.target)},
+                      {"degree", s.degree}});
     sink.async_end("span", name, track, id, end,
                    {{"outcome", to_string(s.outcome)},
                     {"waste", to_string(s.waste)},

@@ -103,6 +103,10 @@ struct BlockSpan {
   std::uint32_t trigger_pid = 0;   // process whose access triggered the issue
   std::int64_t trigger_block = -1; // first block of that access (-1: open)
   NodeId target{};                 // node the block was fetched for
+  // Outstanding-prefetch degree in force at the issue decision: 1 is the
+  // paper's linear limitation, >1 a fixed or feedback-raised degree,
+  // 0 an unbounded (flooding) policy.
+  std::uint32_t degree = 1;
 
   // Lifecycle timestamps.
   SimTime predicted;  // issue decision (prefetch) / read entry (demand)
@@ -171,12 +175,13 @@ class SpanCollector {
   // --- prefetch lifecycle -------------------------------------------------
 
   /// A manager decided to fetch `key` for `target`.  Returns the new ref;
-  /// the span stays in the open table until arrival.
+  /// the span stays in the open table until arrival.  `degree` is the
+  /// outstanding-prefetch degree in force at the decision (0 = unbounded).
   SpanRef prefetch_predicted(std::uint32_t site, BlockKey key,
                              PrefetchOrigin origin, bool fallback,
                              std::uint32_t trigger_pid,
                              std::int64_t trigger_block, NodeId target,
-                             SimTime now);
+                             SimTime now, std::uint32_t degree = 1);
 
   /// The fetch found the block already available (or its file gone): no I/O.
   void prefetch_elided(std::uint32_t site, BlockKey key, SimTime now);

@@ -44,15 +44,55 @@ TEST(AlgorithmSpec, ParseNonLinearAggressive) {
 TEST(AlgorithmSpec, NameRoundTrip) {
   for (const char* name :
        {"NP", "OBA", "Ln_Agr_OBA", "Agr_OBA", "IS_PPM:1", "IS_PPM:3",
-        "Ln_Agr_IS_PPM:1", "Ln_Agr_IS_PPM:3", "Agr_IS_PPM:2"}) {
+        "Ln_Agr_IS_PPM:1", "Ln_Agr_IS_PPM:3", "Agr_IS_PPM:2", "BO:1", "BO:2",
+        "BO:16", "Fb_Agr_OBA", "Fb_Agr_IS_PPM:1", "Fb_Agr_IS_PPM:3",
+        "Fb_Agr_VK_PPM:1", "Dg2_Agr_OBA", "Dg4_Agr_IS_PPM:2",
+        "Dg8_Agr_VK_PPM:1"}) {
     EXPECT_EQ(AlgorithmSpec::parse(name).name(), name);
   }
+}
+
+TEST(AlgorithmSpec, ParseFeedback) {
+  const auto s = AlgorithmSpec::parse("Fb_Agr_IS_PPM:2");
+  EXPECT_EQ(s.kind, AlgorithmSpec::Kind::kIsPpm);
+  EXPECT_EQ(s.order, 2);
+  EXPECT_TRUE(s.aggressive);
+  EXPECT_TRUE(s.feedback);
+  EXPECT_EQ(s.max_outstanding, 1u);  // the floor the throttle starts at
+  EXPECT_FALSE(s.linear());          // the degree floats, so not linear
+  EXPECT_FALSE(AlgorithmSpec::parse("Fb_Agr_VK_PPM:1").oba_fallback);
+}
+
+TEST(AlgorithmSpec, ParseFixedDegree) {
+  const auto s = AlgorithmSpec::parse("Dg4_Agr_IS_PPM:2");
+  EXPECT_EQ(s.kind, AlgorithmSpec::Kind::kIsPpm);
+  EXPECT_EQ(s.order, 2);
+  EXPECT_TRUE(s.aggressive);
+  EXPECT_FALSE(s.feedback);
+  EXPECT_EQ(s.max_outstanding, 4u);
+  EXPECT_FALSE(s.linear());
+  EXPECT_EQ(AlgorithmSpec::parse("Dg2_Agr_OBA").max_outstanding, 2u);
+}
+
+TEST(AlgorithmSpec, ParseBestOffset) {
+  const auto s = AlgorithmSpec::parse("BO:4");
+  EXPECT_EQ(s.kind, AlgorithmSpec::Kind::kBestOffset);
+  EXPECT_EQ(s.order, 4);  // order carries the prefetch degree for BO
+  EXPECT_FALSE(s.aggressive);
+  EXPECT_FALSE(s.oba_fallback);
+  EXPECT_TRUE(s.prefetching());
+  EXPECT_EQ(AlgorithmSpec::parse("BO").name(), "BO:1");  // default degree
 }
 
 TEST(AlgorithmSpec, RejectsJunk) {
   EXPECT_THROW(AlgorithmSpec::parse("LRU"), std::invalid_argument);
   EXPECT_THROW(AlgorithmSpec::parse(""), std::invalid_argument);
   EXPECT_THROW(AlgorithmSpec::parse("IS_PPM:0"), std::invalid_argument);
+  EXPECT_THROW(AlgorithmSpec::parse("Fb_Agr_LRU"), std::invalid_argument);
+  EXPECT_THROW(AlgorithmSpec::parse("Dg1_Agr_OBA"), std::invalid_argument);
+  EXPECT_THROW(AlgorithmSpec::parse("Dg4_Agr_LRU"), std::invalid_argument);
+  EXPECT_THROW(AlgorithmSpec::parse("BOgus"), std::invalid_argument);
+  EXPECT_THROW(AlgorithmSpec::parse("BO:0"), std::invalid_argument);
 }
 
 TEST(AlgorithmSpec, PaperSetMatchesTheFigures) {

@@ -1,0 +1,243 @@
+// The accuracy-feedback throttle: deterministic degree transitions at the
+// unit level, the degree-pinned equivalence that anchors the Fb_Agr_*
+// family to the paper's linear limitation, and the sharded differential
+// leg proving the throttle's state lives inside its node's domain.
+#include "core/feedback_throttle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/differential.hpp"
+#include "core/prefetch_manager.hpp"
+#include "driver/simulation.hpp"
+#include "trace/charisma_gen.hpp"
+#include "trace/sprite_gen.hpp"
+
+namespace lap {
+namespace {
+
+// Small window so each test drives whole decisions in a few calls:
+// raise at used/4 >= 75% (used >= 3), clamp at used/4 < 40% (used <= 1).
+FeedbackThrottle::Params small() {
+  FeedbackThrottle::Params p;
+  p.floor = 1;
+  p.cap = 4;
+  p.window = 4;
+  return p;
+}
+
+void feed(FeedbackThrottle& t, int used, int wasted) {
+  for (int i = 0; i < used; ++i) t.on_used();
+  for (int i = 0; i < wasted; ++i) t.on_wasted();
+}
+
+TEST(FeedbackThrottle, StartsAtTheFloor) {
+  FeedbackThrottle t;
+  EXPECT_EQ(t.degree(), 1u);
+  EXPECT_EQ(t.peak(), 1u);
+  EXPECT_EQ(t.raises(), 0u);
+  EXPECT_EQ(t.clamps(), 0u);
+}
+
+TEST(FeedbackThrottle, RampsUpOneStepPerAccurateWindow) {
+  FeedbackThrottle t(small());
+  for (std::uint32_t expect = 2; expect <= 4; ++expect) {
+    feed(t, 4, 0);  // a fully-used window
+    EXPECT_EQ(t.degree(), expect);
+  }
+  EXPECT_EQ(t.raises(), 3u);
+  EXPECT_EQ(t.peak(), 4u);
+}
+
+TEST(FeedbackThrottle, ClampsToTheCapForever) {
+  FeedbackThrottle t(small());
+  for (int w = 0; w < 10; ++w) feed(t, 4, 0);
+  EXPECT_EQ(t.degree(), 4u);   // never above cap
+  EXPECT_EQ(t.raises(), 3u);   // saturated windows stop counting as raises
+}
+
+TEST(FeedbackThrottle, HalvesOnInaccurateWindows) {
+  FeedbackThrottle t(small());
+  for (int w = 0; w < 3; ++w) feed(t, 4, 0);  // ramp to 4
+  feed(t, 0, 4);
+  EXPECT_EQ(t.degree(), 2u);  // multiplicative decrease
+  feed(t, 1, 3);              // 25% < 40% still clamps
+  EXPECT_EQ(t.degree(), 1u);
+  feed(t, 0, 4);
+  EXPECT_EQ(t.degree(), 1u);  // never below the floor
+  EXPECT_EQ(t.clamps(), 2u);  // the floor window is not a clamp
+  EXPECT_EQ(t.peak(), 4u);    // peak remembers the excursion
+}
+
+TEST(FeedbackThrottle, HysteresisBandHoldsWithoutFlapping) {
+  FeedbackThrottle t(small());
+  feed(t, 4, 0);
+  ASSERT_EQ(t.degree(), 2u);
+  // 50% accuracy sits between clamp (40%) and raise (75%): the degree
+  // must hold over many windows, with no raise/clamp churn.
+  for (int w = 0; w < 20; ++w) feed(t, 2, 2);
+  EXPECT_EQ(t.degree(), 2u);
+  EXPECT_EQ(t.raises(), 1u);
+  EXPECT_EQ(t.clamps(), 0u);
+}
+
+TEST(FeedbackThrottle, ThresholdsAreExactIntegerBoundaries) {
+  FeedbackThrottle::Params p;
+  p.cap = 8;
+  p.window = 32;
+  {
+    FeedbackThrottle t(p);
+    feed(t, 24, 8);  // exactly 75%: raises
+    EXPECT_EQ(t.degree(), 2u);
+  }
+  {
+    FeedbackThrottle t(p);
+    feed(t, 23, 9);  // just under 75%: holds
+    EXPECT_EQ(t.degree(), 1u);
+  }
+  {
+    FeedbackThrottle t(p);
+    feed(t, 32, 0);
+    feed(t, 13, 19);  // 40.6% >= 40%: holds
+    EXPECT_EQ(t.degree(), 2u);
+    feed(t, 12, 20);  // 37.5% < 40%: clamps
+    EXPECT_EQ(t.degree(), 1u);
+  }
+}
+
+TEST(FeedbackThrottle, DecisionsOnlyLandOnWindowBoundaries) {
+  FeedbackThrottle t(small());
+  feed(t, 3, 0);
+  EXPECT_EQ(t.degree(), 1u);  // window not yet full
+  t.on_used();
+  EXPECT_EQ(t.degree(), 2u);  // fourth settlement closes the window
+}
+
+TEST(FeedbackThrottle, FloorFollowsTheConfiguredDegree) {
+  FeedbackThrottle::Params p;
+  p.floor = 3;
+  p.cap = 6;
+  p.window = 4;
+  FeedbackThrottle t(p);
+  EXPECT_EQ(t.degree(), 3u);
+  feed(t, 0, 4);
+  EXPECT_EQ(t.degree(), 3u);  // clamping cannot go under the floor
+  feed(t, 4, 0);
+  EXPECT_EQ(t.degree(), 4u);
+}
+
+// --- PrefetchManager integration -----------------------------------------
+
+class NullHost final : public PrefetchHost {
+ public:
+  [[nodiscard]] bool block_available(BlockKey) const override { return true; }
+  SimFuture<Done> prefetch_fetch(BlockKey, NodeId) override {
+    SimPromise<Done> done(*eng_);
+    done.set_value(Done{});
+    return done.future();
+  }
+  [[nodiscard]] std::uint32_t file_blocks(FileId) const override { return 64; }
+  Engine* eng_ = nullptr;
+};
+
+TEST(FeedbackThrottle, ManagerScalesOutstandingWithSettlements) {
+  Engine eng;
+  NullHost host;
+  host.eng_ = &eng;
+  bool stop = false;
+  PrefetchManager mgr(eng, AlgorithmSpec::parse("Fb_Agr_OBA"), host, &stop);
+  EXPECT_EQ(mgr.effective_outstanding(), 1u);  // the linear limitation
+  for (int i = 0; i < 32; ++i) mgr.feedback_used();
+  EXPECT_EQ(mgr.effective_outstanding(), 2u);
+  EXPECT_EQ(mgr.counters().degree_raises, 1u);
+  EXPECT_EQ(mgr.counters().degree_peak, 2u);
+  for (int i = 0; i < 32; ++i) mgr.feedback_wasted();
+  EXPECT_EQ(mgr.effective_outstanding(), 1u);
+  EXPECT_EQ(mgr.counters().degree_clamps, 1u);
+}
+
+TEST(FeedbackThrottle, SettlementHooksAreInertWithoutFeedback) {
+  Engine eng;
+  NullHost host;
+  host.eng_ = &eng;
+  bool stop = false;
+  PrefetchManager mgr(eng, AlgorithmSpec::parse("Ln_Agr_OBA"), host, &stop);
+  for (int i = 0; i < 100; ++i) mgr.feedback_used();
+  EXPECT_EQ(mgr.effective_outstanding(), 1u);
+  EXPECT_EQ(mgr.counters().degree_raises, 0u);
+  EXPECT_EQ(mgr.counters().degree_peak, 1u);
+}
+
+// --- end-to-end equivalence and sharding ---------------------------------
+
+Trace charisma_trace() {
+  CharismaParams p;
+  p.scale = 0.2;
+  return generate_charisma(p);
+}
+
+RunConfig base_config(const std::string& algorithm, FsKind fs) {
+  RunConfig cfg;
+  cfg.machine = MachineConfig::now();
+  cfg.fs = fs;
+  cfg.cache_per_node = 4_MiB;
+  cfg.algorithm = AlgorithmSpec::parse(algorithm);
+  return cfg;
+}
+
+// The anchor invariant: a feedback run whose cap pins the degree at 1 is
+// the linear limitation — bit-exact, on every RunResult field, against
+// the corresponding Ln_Agr_* run.  Only the algorithm label may differ.
+TEST(FeedbackThrottle, CapOnePinsTheRunToTheLinearLimitation) {
+  const Trace trace = charisma_trace();
+  for (const FsKind fs : {FsKind::kPafs, FsKind::kXfs}) {
+    for (const std::string base : {"OBA", "IS_PPM:1", "VK_PPM:1"}) {
+      RunConfig fb = base_config("Fb_Agr_" + base, fs);
+      fb.algorithm.feedback_cap = 1;  // degree can never leave the floor
+      RunConfig ln = base_config("Ln_Agr_" + base, fs);
+      RunResult a = run_simulation(trace, fb);
+      const RunResult b = run_simulation(trace, ln);
+      a.algorithm = b.algorithm;  // the one legitimate difference
+      EXPECT_TRUE(diff_run_results(a, b, base).empty())
+          << "fs=" << (fs == FsKind::kPafs ? "pafs" : "xfs")
+          << " base=" << base;
+    }
+  }
+}
+
+// Throttle state is fed and read only inside the owning node's domain, so
+// the sharded engine must reproduce the sequential feedback runs exactly.
+TEST(FeedbackThrottle, ShardedRunsAreBitExact) {
+  const Trace trace = charisma_trace();
+  for (const FsKind fs : {FsKind::kPafs, FsKind::kXfs}) {
+    for (const std::string alg : {"Fb_Agr_OBA", "Fb_Agr_IS_PPM:1"}) {
+      RunConfig cfg = base_config(alg, fs);
+      const RunResult seq = run_simulation(trace, cfg);
+      for (const int shards : {2, 5}) {
+        cfg.shards = shards;
+        const RunResult par = run_simulation(trace, cfg);
+        EXPECT_TRUE(diff_run_results(par, seq, alg).empty())
+            << "fs=" << (fs == FsKind::kPafs ? "pafs" : "xfs")
+            << " alg=" << alg << " shards=" << shards;
+      }
+    }
+  }
+}
+
+// End-to-end smoke over the whole wiring: a Sprite mix under the
+// feedback policy still issues prefetches (the degree probes themselves
+// are covered by the manager-level tests above and the metrics probes).
+TEST(FeedbackThrottle, FeedbackAlgorithmRunsEndToEnd) {
+  SpriteParams p;
+  p.scale = 0.15;
+  const Trace trace = generate_sprite(p);
+  RunConfig cfg = base_config("Fb_Agr_OBA", FsKind::kPafs);
+  const RunResult r = run_simulation(trace, cfg);
+  EXPECT_GT(r.prefetch_issued, 0u);
+}
+
+}  // namespace
+}  // namespace lap
