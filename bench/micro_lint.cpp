@@ -1,0 +1,88 @@
+// Wall-time of a full-tree lap_lint analysis (google-benchmark): cold —
+// every file lexed, indexed and checked from scratch — versus warm, where
+// the content-hash incremental cache short-circuits both the per-file
+// rules and the cross-TU pass.  The committed BENCH_lint.json makes
+// analyzer slowdowns (a rule going quadratic, the index walk re-running
+// on cache hits) visible in the perf-smoke gate, and the warm number is
+// the one the ISSUE 10 acceptance bar ("full-tree --jobs + warm cache
+// < 5 s on CI") tracks.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "bench_json.hpp"
+#include "lint.hpp"
+
+namespace lap {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::uint64_t tree_file_count() {
+  std::uint64_t n = 0;
+  for (const auto& e : fs::recursive_directory_iterator(LAP_MICRO_SRC_DIR)) {
+    if (!e.is_regular_file()) continue;
+    const std::string ext = e.path().extension().string();
+    if (ext == ".hpp" || ext == ".cpp") ++n;
+  }
+  return n;
+}
+
+std::string scratch_cache() {
+  return (fs::temp_directory_path() / "micro_lint_cache.txt").string();
+}
+
+/// Cold: no cache file, single-threaded — the analyzer's raw cost.
+void BM_LintTreeCold(benchmark::State& state) {
+  for (auto _ : state) {
+    std::string out;
+    const int rc = lint::run_cli({"--tree", LAP_MICRO_SRC_DIR}, out);
+    if (rc != 0) {
+      state.SkipWithError(("src/ not clean: " + out).c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["items_per_second"] = benchmark::Counter(
+      static_cast<double>(tree_file_count() * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+
+/// Warm: the cache file already holds every unit's diagnostics and the
+/// cross-TU result, so a run is hashing + cache I/O only.
+void BM_LintTreeWarmCache(benchmark::State& state) {
+  const std::string cache = scratch_cache();
+  fs::remove(cache);
+  {
+    std::string out;
+    if (lint::run_cli({"--cache", cache, "--tree", LAP_MICRO_SRC_DIR}, out) !=
+        0) {
+      state.SkipWithError(("src/ not clean: " + out).c_str());
+      return;
+    }
+  }
+  for (auto _ : state) {
+    std::string out;
+    const int rc =
+        lint::run_cli({"--cache", cache, "--tree", LAP_MICRO_SRC_DIR}, out);
+    if (rc != 0) {
+      state.SkipWithError(("src/ not clean: " + out).c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(out);
+  }
+  fs::remove(cache);
+  state.counters["items_per_second"] = benchmark::Counter(
+      static_cast<double>(tree_file_count() * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+
+BENCHMARK(BM_LintTreeCold)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LintTreeWarmCache)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace lap
+
+LAP_BENCHMARK_JSON_MAIN()

@@ -22,7 +22,7 @@
 #include "driver/report.hpp"
 #include "driver/simulation.hpp"
 #include "obs/counters.hpp"
-#include "obs/metrics_json.hpp"
+#include "driver/metrics_json.hpp"
 #include "obs/span.hpp"
 #include "obs/trace_event.hpp"
 #include "trace/charisma_gen.hpp"

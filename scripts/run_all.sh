@@ -11,8 +11,10 @@ cd "$(dirname "$0")/.."
 cmake -B build -G Ninja
 cmake --build build
 # Project-invariant lint (determinism, container policy, error taxonomy,
-# include hygiene) — same gate CI's lint job applies.
-./build/tools/lap_lint --tree src
+# include hygiene, domain confinement) — same gate CI's lint job applies.
+# `set -e` above makes any diagnostic abort the run here, before the
+# test/bench sweep spends an hour on a tree that will fail CI anyway.
+./build/tools/lap_lint --jobs "$(nproc)" --tree src
 ctest --test-dir build 2>&1 | tee test_output.txt
 
 mkdir -p results
@@ -27,6 +29,11 @@ for b in build/bench/*; do
       # perf-smoke gate compares spans-off vs spans-on runs independently
       # of the engine/predictor micro numbers.
       "$b" --json bench/BENCH_obs_overhead.json
+      ;;
+    micro_lint)
+      # Analyzer wall-time (cold vs warm cache): its own JSON, gated
+      # independently so lint slowdowns don't hide behind engine numbers.
+      "$b" --json bench/BENCH_lint.json
       ;;
     micro_*)
       # google-benchmark binaries: refresh the committed perf baseline that

@@ -10,10 +10,11 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+// lap-lint: allow-next-line(container-policy) — see dirty_ below.
 #include <unordered_set>
 #include <vector>
 
-#include "cache/block.hpp"
+#include "util/block.hpp"
 #include "cache/lru.hpp"
 #include "obs/trace_event.hpp"
 #include "util/flat_hash.hpp"
@@ -23,7 +24,7 @@ namespace lap {
 
 class Engine;
 
-struct CacheEntry {
+struct CacheEntry {  // lap-owns: value — snapshot passed across domains
   BlockKey key{};
   NodeId home{};           // node whose memory holds the buffer
   bool dirty = false;
@@ -106,7 +107,7 @@ class BufferPool {
   // this set's iteration order, and keeping the seed's std::unordered_set
   // preserves that order bit-exactly (it only sees dirty-transition
   // traffic, not per-access traffic, so it is off the hot path).
-  // lap-lint: allow(container-policy)
+  // lap-lint: allow-next-line(container-policy)
   std::unordered_set<BlockKey, BlockKeyHash> dirty_;
   FlatHashMap<std::uint32_t, FlatHashSet<std::uint32_t>>
       file_index_;  // raw(file) -> block indices

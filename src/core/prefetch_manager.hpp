@@ -27,7 +27,7 @@
 #include <optional>
 #include <vector>
 
-#include "cache/block.hpp"
+#include "util/block.hpp"
 #include "core/aggressive.hpp"
 #include "core/algorithm_registry.hpp"
 #include "core/best_offset.hpp"
@@ -45,7 +45,7 @@ namespace lap {
 class TraceSink;
 
 /// Services the host file system provides to the prefetcher.
-class PrefetchHost {
+class PrefetchHost {  // lap-owns: value — interface handle
  public:
   virtual ~PrefetchHost() = default;
 

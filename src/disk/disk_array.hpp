@@ -8,7 +8,7 @@
 #include <memory>
 #include <vector>
 
-#include "cache/block.hpp"
+#include "util/block.hpp"
 #include "disk/disk.hpp"
 
 namespace lap {

@@ -21,7 +21,7 @@
 #include <optional>
 #include <string>
 
-#include "cache/block.hpp"
+#include "util/block.hpp"
 
 namespace lap {
 

@@ -1,4 +1,4 @@
-#include "obs/metrics_json.hpp"
+#include "driver/metrics_json.hpp"
 
 #include <cstdint>
 #include <string>

@@ -4,7 +4,7 @@
 #include <string>
 #include <vector>
 
-#include "obs/metrics_json.hpp"
+#include "driver/metrics_json.hpp"
 #include "util/assert.hpp"
 #include "util/table.hpp"
 

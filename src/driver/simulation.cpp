@@ -94,7 +94,7 @@ RunResult run_simulation(const Trace& trace, const RunConfig& cfg) {
 RunResult run_simulation(TraceSource& source, const RunConfig& cfg) {
   // Wall-clock here measures host-side runtime for RunResult::wall_seconds
   // only; it never feeds simulated state and is excluded from the golden
-  // RunResult fingerprint.  lap-lint: allow(no-wallclock)
+  // RunResult fingerprint.  lap-lint: allow-next-line(no-wallclock)
   const auto wall_start = std::chrono::steady_clock::now();
   const TraceMeta& meta = source.meta();
 
@@ -405,6 +405,7 @@ RunResult run_simulation(TraceSource& source, const RunConfig& cfg) {
   r.sim_duration = eng.now();
   r.events = eng.events_processed();
   r.wall_seconds = std::chrono::duration<double>(
+                       // lap-lint: allow-next-line(no-wallclock)
                        std::chrono::steady_clock::now() - wall_start)
                        .count();
   if (cfg.spans != nullptr) {

@@ -9,7 +9,7 @@
 
 #include "core/algorithm_registry.hpp"
 #include "driver/machine_config.hpp"
-#include "driver/metrics.hpp"
+#include "obs/metrics.hpp"
 #include "trace/io/source.hpp"
 #include "trace/trace.hpp"
 

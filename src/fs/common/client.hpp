@@ -15,7 +15,7 @@
 #include <memory>
 #include <vector>
 
-#include "driver/metrics.hpp"
+#include "obs/metrics.hpp"
 #include "fs/common/filesystem.hpp"
 #include "sim/engine.hpp"
 #include "sim/resource.hpp"
@@ -55,11 +55,13 @@ class WorkloadRunner {
 
  private:
   void init_cpus(bool cpu_contention);
-  SimTask run_process(std::size_t index);
-  SimTask run_node_serialized(std::vector<std::size_t> indices);
+  SimTask run_process(std::size_t index);  // lap-runs: node
+  SimTask run_node_serialized(std::vector<std::size_t> indices);  // lap-runs: node
   void notify_finished();
   void process_finished();
 
+  // lap-runs: any — reads the immutable per-node CPU table; the
+  // Resource it returns is exercised from the owning node's domain.
   [[nodiscard]] Resource* cpu_for(NodeId node);
 
   Engine* eng_;

@@ -25,7 +25,7 @@ class TraceSink;
   return NodeId{h % nodes};
 }
 
-class FileSystem {
+class FileSystem {  // lap-owns: value — interface handle, freely shared
  public:
   virtual ~FileSystem() = default;
 

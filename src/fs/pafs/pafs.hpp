@@ -18,7 +18,7 @@
 #include "cache/sync_daemon.hpp"
 #include "core/prefetch_manager.hpp"
 #include "disk/disk_array.hpp"
-#include "driver/metrics.hpp"
+#include "obs/metrics.hpp"
 #include "fs/common/file_model.hpp"
 #include "fs/common/filesystem.hpp"
 #include "net/network.hpp"
@@ -26,7 +26,7 @@
 
 namespace lap {
 
-struct PafsConfig {
+struct PafsConfig {  // lap-owns: value — immutable after construction
   std::size_t cache_blocks_total = 0;     // sum of all nodes' buffer pools
   SimTime server_op_cpu = SimTime::us(2);    // per-request service time
   SimTime server_block_cpu = SimTime::us(1); // per-block lookup time
@@ -37,13 +37,21 @@ struct PafsConfig {
   int prefetch_priority = prio::kPrefetch;
 };
 
-class Pafs final : public FileSystem, public PrefetchHost {
+// All PAFS model state below is directory-owned: the global pool, the
+// single PrefetchManager and the write-back daemon are one system-wide
+// instance each (that is what makes the linear limitation exactly
+// implementable), so the whole model runs in domain 0 and only the
+// disks shard (driver/simulation.cpp keeps every PAFS model domain on
+// shard 0).
+class Pafs final : public FileSystem, public PrefetchHost {  // lap-owns: directory
  public:
   Pafs(Engine& eng, Network& net, DiskArray& disks, FileModel& files,
        Metrics& metrics, PafsConfig cfg, std::uint32_t nodes,
        const bool* stop_flag);
 
   // --- FileSystem ---
+  // lap-runs: directory — the whole PAFS model executes in domain 0;
+  // see the class comment.
   SimFuture<Done> open(ProcId pid, NodeId client, FileId file) override;
   SimFuture<Done> close(ProcId pid, NodeId client, FileId file) override;
   SimFuture<Done> read(ProcId pid, NodeId client, FileId file, Bytes offset,
@@ -51,10 +59,10 @@ class Pafs final : public FileSystem, public PrefetchHost {
   SimFuture<Done> write(ProcId pid, NodeId client, FileId file, Bytes offset,
                         Bytes length) override;
   SimFuture<Done> remove(ProcId pid, NodeId client, FileId file) override;
-  void finalize() override;
+  void finalize() override;  // lap-runs: any
   void provide_hints(ProcId pid, NodeId client, FileId file,
                      std::vector<BlockRequest> hints) override;
-  void set_trace(TraceSink* sink) override;
+  void set_trace(TraceSink* sink) override;  // lap-runs: any
 
   // --- PrefetchHost ---
   [[nodiscard]] bool block_available(BlockKey key) const override;
@@ -62,16 +70,17 @@ class Pafs final : public FileSystem, public PrefetchHost {
   [[nodiscard]] std::uint32_t file_blocks(FileId file) const override;
 
   /// The node whose server manages `file`.
-  [[nodiscard]] NodeId server_node(FileId file) const;
+  [[nodiscard]] NodeId server_node(FileId file) const;  // lap-runs: any
 
+  // lap-runs: any — idle-time accessors (tests/driver teardown).
   [[nodiscard]] PrefetchCounters prefetch_counters_total() const override {
     return prefetcher_->counters();
   }
-  [[nodiscard]] const BufferPool& pool() const { return pool_; }
+  [[nodiscard]] const BufferPool& pool() const { return pool_; }  // lap-runs: any
 
   /// Must be called once (after construction) to start the write-back
   /// daemon; kept explicit so unit tests can run without it.
-  void start_sync_daemon();
+  void start_sync_daemon();  // lap-runs: any
 
  private:
   SimTask read_task(ProcId pid, NodeId client, FileId file, Bytes offset,
@@ -88,7 +97,7 @@ class Pafs final : public FileSystem, public PrefetchHost {
                     std::uint64_t span = 0);
   void handle_eviction(const CacheEntry& victim);
   void flush_tick();
-  void trace_wasted(const CacheEntry& e);
+  void trace_wasted(const CacheEntry& e);  // lap-runs: any
 
   Engine* eng_;
   Network* net_;
@@ -105,15 +114,15 @@ class Pafs final : public FileSystem, public PrefetchHost {
     DiskOpRef op;  // boostable while queued
   };
 
-  BufferPool pool_;
+  BufferPool pool_;  // lap-owns: directory — the one global pool
   // Flat table: consulted by block_available() on every demand block and
   // every prefetch-candidate probe.  Entries are always re-found by key
   // after a co_await (the Broadcast is copied out before suspending), so
   // rehash invalidation cannot bite.
-  FlatHashMap<BlockKey, InFlight, BlockKeyHash> in_flight_;
+  FlatHashMap<BlockKey, InFlight, BlockKeyHash> in_flight_;  // lap-owns: directory
   std::vector<std::unique_ptr<Resource>> server_cpu_;
-  std::unique_ptr<PrefetchManager> prefetcher_;
-  std::unique_ptr<SyncDaemon> sync_;
+  std::unique_ptr<PrefetchManager> prefetcher_;  // lap-owns: directory
+  std::unique_ptr<SyncDaemon> sync_;  // lap-owns: directory
 };
 
 }  // namespace lap

@@ -24,8 +24,8 @@ constexpr std::uint64_t pack(BlockKey key) {
 // deliberately *local*: a copy cached at a peer does not stop this node
 // from prefetching its own — which is exactly why the paper observed xFS
 // prefetching about twice as many blocks as PAFS on shared files.
-struct Xfs::NodeHost final : PrefetchHost {
-  Xfs* fs;
+struct Xfs::NodeHost final : PrefetchHost {  // lap-owns: node
+  Xfs* fs;  // lap-owns: value — back-pointer, not owned state
   NodeId node;
 
   NodeHost(Xfs* f, NodeId n) : fs(f), node(n) {}

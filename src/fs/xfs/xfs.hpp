@@ -33,7 +33,7 @@
 #include "cache/sync_daemon.hpp"
 #include "core/prefetch_manager.hpp"
 #include "disk/disk_array.hpp"
-#include "driver/metrics.hpp"
+#include "obs/metrics.hpp"
 #include "fs/common/file_model.hpp"
 #include "fs/common/filesystem.hpp"
 #include "net/network.hpp"
@@ -43,7 +43,7 @@
 
 namespace lap {
 
-struct XfsConfig {
+struct XfsConfig {  // lap-owns: value — immutable after construction
   std::size_t cache_blocks_per_node = 0;
   SimTime manager_op_cpu = SimTime::us(2);
   SimTime local_op_cpu = SimTime::us(1);
@@ -67,47 +67,55 @@ class Xfs final : public FileSystem {
   ~Xfs() override;
 
   // --- FileSystem ---
+  // lap-runs: node — the replay client calls these from its node's
+  // model domain.
   SimFuture<Done> open(ProcId pid, NodeId client, FileId file) override;
+  // lap-runs: node
   SimFuture<Done> close(ProcId pid, NodeId client, FileId file) override;
+  // lap-runs: node
   SimFuture<Done> read(ProcId pid, NodeId client, FileId file, Bytes offset,
                        Bytes length) override;
+  // lap-runs: node
   SimFuture<Done> write(ProcId pid, NodeId client, FileId file, Bytes offset,
                         Bytes length) override;
+  // lap-runs: node
   SimFuture<Done> remove(ProcId pid, NodeId client, FileId file) override;
-  void finalize() override;
+  void finalize() override;  // lap-runs: any
+  // lap-runs: node
   void provide_hints(ProcId pid, NodeId client, FileId file,
                      std::vector<BlockRequest> hints) override;
-  void set_trace(TraceSink* sink) override;
+  void set_trace(TraceSink* sink) override;  // lap-runs: any
 
-  [[nodiscard]] NodeId manager_node(FileId file) const;
+  [[nodiscard]] NodeId manager_node(FileId file) const;  // lap-runs: any
 
   /// Sum of all node prefetchers' counters.
+  // lap-runs: any — idle-time accessors (tests/driver teardown).
   [[nodiscard]] PrefetchCounters prefetch_counters_total() const override;
-  [[nodiscard]] const BufferPool& pool(NodeId node) const;
+  [[nodiscard]] const BufferPool& pool(NodeId node) const;  // lap-runs: any
 
   /// Start each node's write-back daemon in that node's domain (t = 0
   /// mails; call before the engine runs).
-  void start_sync_daemon();
+  void start_sync_daemon();  // lap-runs: any
 
   /// Re-copy every node's metadata replica from the authoritative model.
   /// Only valid while the engine is idle — for tests and tools that
   /// register files after constructing the file system (the driver seeds
   /// the model first, so it never needs this).
-  void reseed_replicas();
+  void reseed_replicas();  // lap-runs: any
 
   /// Debug invariant (tests): every cached block is registered in the
   /// block directory under its node.  Call only when the engine is idle —
   /// in-flight directory mails are legitimately unapplied.
-  [[nodiscard]] bool directory_consistent() const;
+  [[nodiscard]] bool directory_consistent() const;  // lap-runs: any
 
  private:
   struct NodeHost;
-  struct InFlight {
+  struct InFlight {  // lap-owns: node
     std::shared_ptr<Broadcast> bc;
     DiskOpRef op;  // boostable while queued
   };
   // Everything here belongs to node_domain(i) exclusively.
-  struct NodeState {
+  struct NodeState {  // lap-owns: node
     std::unique_ptr<BufferPool> pool;
     FlatHashMap<BlockKey, InFlight, BlockKeyHash> in_flight;
     std::unique_ptr<NodeHost> host;
@@ -116,69 +124,85 @@ class Xfs final : public FileSystem {
     std::unique_ptr<SyncDaemon> sync;
   };
 
+  // lap-runs: any — per-node metrics sink, documented thread-naive but
+  // only ever fed from the owning node's events.
   [[nodiscard]] Metrics& met(NodeId node) {
     return metrics_->node(raw(node));
   }
+  // lap-runs: node
   [[nodiscard]] bool local_available(NodeId node, BlockKey key) const;
 
   // Directory-domain state accessors (domain 0 only).
-  [[nodiscard]] std::vector<NodeId>* holders(BlockKey key);
-  void dir_add(BlockKey key, NodeId node);
-  void dir_remove(BlockKey key, NodeId node);
-  void dir_drop_file(FileId file);
-  void dir_evicted(NodeId node, CacheEntry victim);
+  [[nodiscard]] std::vector<NodeId>* holders(BlockKey key);  // lap-runs: directory
+  void dir_add(BlockKey key, NodeId node);      // lap-runs: directory
+  void dir_remove(BlockKey key, NodeId node);   // lap-runs: directory
+  void dir_drop_file(FileId file);              // lap-runs: directory
+  void dir_evicted(NodeId node, CacheEntry victim);  // lap-runs: directory
 
   // One-way mails.
-  void post_dir_add(NodeId from, BlockKey key);
-  void post_dir_remove(NodeId from, BlockKey key);
+  void post_dir_add(NodeId from, BlockKey key);      // lap-runs: node
+  void post_dir_remove(NodeId from, BlockKey key);   // lap-runs: node
+  // lap-runs: node
   void apply_invalidation(NodeId node, BlockKey key,
                           std::shared_ptr<Joiner> acks);
   // Send `key`'s invalidation to `other` now — or, if `other` holds an
   // unconfirmed write grant on the block, queue it until that write's
   // confirmation so the old owner's dirty copy is applied before it is
   // revoked (directory domain only).
+  // lap-runs: directory
   void post_or_defer_invalidation(NodeId other, BlockKey key,
                                   std::shared_ptr<Joiner> acks);
+  // lap-runs: directory
   void write_confirmed(NodeId owner, FileId file, std::uint32_t first,
                        std::uint32_t count);
-  void purge_file(NodeId node, FileId file);
-  void drop_victim(NodeId node, const CacheEntry& victim);
+  void purge_file(NodeId node, FileId file);         // lap-runs: node
+  void drop_victim(NodeId node, const CacheEntry& victim);  // lap-runs: node
 
+  // lap-runs: node — every task coroutine starts on the client node's
+  // domain and crosses with explicit hop_to/post_at only.
   SimTask read_task(ProcId pid, NodeId client, FileId file, Bytes offset,
                     Bytes length, SimPromise<Done> done);
+  // lap-runs: node
   SimTask write_task(ProcId pid, NodeId client, FileId file, Bytes offset,
                      Bytes length, SimPromise<Done> done);
+  // lap-runs: node
   SimTask remove_task(NodeId client, FileId file, SimPromise<Done> done);
+  // lap-runs: node
   SimTask control_task(NodeId client, FileId file, SimPromise<Done> done);
+  // lap-runs: node
   SimTask read_block(NodeId client, BlockKey key,
                      std::shared_ptr<Joiner> joiner);
-  SimFuture<Done> prefetch_fetch(NodeId node, BlockKey key);
+  SimFuture<Done> prefetch_fetch(NodeId node, BlockKey key);  // lap-runs: node
+  // lap-runs: node
   SimTask prefetch_task(NodeId node, BlockKey key, SimPromise<Done> done);
+  // lap-runs: node
   SimTask forward_task(NodeId from, NodeId to, CacheEntry victim);
 
-  void insert_at(NodeId node, const CacheEntry& entry);
-  void handle_eviction(NodeId node, const CacheEntry& victim);
-  void flush_tick(NodeId node);
-  void trace_wasted(const CacheEntry& e);
+  void insert_at(NodeId node, const CacheEntry& entry);  // lap-runs: node
+  void handle_eviction(NodeId node, const CacheEntry& victim);  // lap-runs: node
+  void flush_tick(NodeId node);                          // lap-runs: node
+  void trace_wasted(const CacheEntry& e);                // lap-runs: any
 
   Engine* eng_;
   Network* net_;
   DiskArray* disks_;
-  FileModel* files_;  // authoritative copy; directory domain only
+  FileModel* files_;  // lap-owns: directory — authoritative copy
   MetricsSet* metrics_;
   XfsConfig cfg_;
-  std::uint32_t nodes_;
+  std::uint32_t nodes_;  // lap-owns: value — immutable after ctor
   const StopFlag* stop_flags_;
   TraceSink* trace_ = nullptr;
-  Rng rng_;  // directory domain only (N-chance peer draws)
+  Rng rng_;  // lap-owns: directory — N-chance peer draws
 
+  // lap-owns: value — the spine is immutable after construction; the
+  // elements inside are node-owned (see NodeState).
   std::vector<NodeState> node_;
   // file -> block index -> caching nodes.  Flat at both levels: the
   // directory is probed on every miss and every manager consult.  holders()
   // pointers are only read before the next directory mutation, per the
   // flat-table contract.  Directory domain only.
   FlatHashMap<std::uint32_t, FlatHashMap<std::uint32_t, std::vector<NodeId>>>
-      dir_;
+      dir_;  // lap-owns: directory
   // Write grants whose owner has not yet confirmed applying the write
   // locally: packed block key -> owner node -> {outstanding grants,
   // invalidations queued behind the confirmation}.  A later writer's
@@ -192,11 +216,11 @@ class Xfs final : public FileSystem {
     std::vector<std::function<void()>> deferred;
   };
   FlatHashMap<std::uint64_t, FlatHashMap<std::uint32_t, PendingGrant>>
-      pending_grants_;
+      pending_grants_;  // lap-owns: directory
   // Manager CPU per node: manager work *executes* in the directory domain
   // but still contends for (and is accounted to) the manager node's
   // processor.
-  std::vector<std::unique_ptr<Resource>> mgr_cpus_;
+  std::vector<std::unique_ptr<Resource>> mgr_cpus_;  // lap-owns: directory
 };
 
 }  // namespace lap

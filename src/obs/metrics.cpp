@@ -1,3 +1,3 @@
 // Metrics is header-only (hot-path counters want inlining); this TU anchors
 // the module in the build.
-#include "driver/metrics.hpp"
+#include "obs/metrics.hpp"

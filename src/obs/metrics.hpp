@@ -24,7 +24,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "cache/block.hpp"
+#include "util/block.hpp"
 #include "util/flat_hash.hpp"
 #include "util/stats.hpp"
 #include "util/units.hpp"
@@ -138,7 +138,7 @@ class Metrics {
   /// Append every distinct written block's key (unordered; callers that
   /// need determinism sort — see MetricsSet::distinct_blocks_written).
   void append_written_blocks(std::vector<BlockKey>& out) const {
-    // lap-lint: allow(unordered-iteration) — the caller sorts the union.
+    // lap-lint: allow-next-line(unordered-iteration) — the caller sorts the union.
     for (const auto& [key, count] : block_write_counts_) out.push_back(key);
   }
 

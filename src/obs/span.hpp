@@ -32,7 +32,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "cache/block.hpp"
+#include "util/block.hpp"
 #include "util/assert.hpp"
 #include "util/flat_hash.hpp"
 #include "util/units.hpp"

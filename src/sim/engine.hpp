@@ -221,8 +221,8 @@ class Engine {
   static constexpr unsigned kSeqBits = 47;
   struct Event {
     SimTime at;
-    std::uint64_t key;          // phase(target) << 63 | origin << 47 | seq
-    std::uint64_t slot_target;  // target << 32 | slot
+    std::uint64_t key = 0;          // phase(target) << 63 | origin << 47 | seq
+    std::uint64_t slot_target = 0;  // target << 32 | slot
     // Three word-sized members on purpose: the heap's sift loads elements
     // back word-by-word right after storing them, so narrower or padded
     // members turn every push into a store-forwarding stall.
@@ -264,12 +264,12 @@ class Engine {
   // sequence counter and its pre-packed (phase, origin) key base — so
   // the hot path never indexes the side tables.
   struct Ctx {
-    Core* core;
+    Core* core = nullptr;
     DomainId domain;
-    std::uint16_t shard;
-    SeqCounter* seq;
-    std::uint64_t self_key;   // key_base(domain, domain)
-    std::uint64_t event_key;  // order key of the running event (0 idle)
+    std::uint16_t shard = 0;
+    SeqCounter* seq = nullptr;
+    std::uint64_t self_key = 0;   // key_base(domain, domain)
+    std::uint64_t event_key = 0;  // order key of the running event (0 idle)
   };
 
   // A cross-shard message parked until the next epoch boundary.  The
@@ -278,8 +278,8 @@ class Engine {
   // still yields the one canonical heap order.
   struct Mail {
     SimTime at;
-    std::uint64_t key;
-    std::uint64_t eff;
+    std::uint64_t key = 0;
+    std::uint64_t eff = 0;
     DomainId target;
     std::function<void()> fn;
   };

@@ -46,10 +46,10 @@ class SimPromise {
  private:
   friend class SimFuture<T>;
   struct State {
-    Engine* eng;
+    Engine* eng = nullptr;
     std::optional<T> value;
     std::coroutine_handle<> waiter;
-    bool ready;
+    bool ready = false;
   };
   std::shared_ptr<State> state_;
 };
@@ -95,7 +95,7 @@ class Joiner {
   [[nodiscard]] std::uint32_t remaining() const { return remaining_; }
 
  private:
-  std::uint32_t remaining_;
+  std::uint32_t remaining_ = 0;
   SimPromise<Done> promise_;
 };
 
@@ -131,7 +131,7 @@ class Broadcast {
   [[nodiscard]] std::size_t waiter_count() const { return waiters_.size(); }
 
  private:
-  Engine* eng_;
+  Engine* eng_ = nullptr;
   std::vector<std::coroutine_handle<>> waiters_;
 };
 

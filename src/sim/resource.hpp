@@ -61,7 +61,7 @@ class Resource {
     }
 
    private:
-    Resource* res_;
+    Resource* res_ = nullptr;
   };
 
   /// Awaitable that yields a Guard: `auto g = co_await res.scoped(p);`
@@ -96,8 +96,8 @@ class Resource {
   // (seq is unique), so service order matches the former
   // std::priority_queue implementation exactly.
   struct Waiter {
-    int priority;
-    std::uint64_t seq;
+    int priority = 0;
+    std::uint64_t seq = 0;
     std::coroutine_handle<> handle;
   };
   struct Earlier {
@@ -107,8 +107,8 @@ class Resource {
     }
   };
 
-  Engine* eng_;
-  std::uint32_t capacity_;
+  Engine* eng_ = nullptr;
+  std::uint32_t capacity_ = 0;
   std::uint32_t in_use_ = 0;
   std::uint64_t next_seq_ = 0;
   DaryHeap<Waiter, Earlier, 4> queue_;

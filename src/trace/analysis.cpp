@@ -73,8 +73,8 @@ TraceProfile profile_trace(const Trace& trace) {
   const Bytes bs = trace.block_size;
 
   // Iterated only to fold into commutative sums/counts, so the unordered
-  // iteration order cannot leak into the profile.
-  // lap-lint: allow(unordered-iteration)
+  // iteration order cannot leak into the profile (suppressed at each
+  // fold site below).
   std::unordered_map<std::uint64_t, StreamClassifier> streams;
   std::unordered_map<std::uint32_t, std::set<std::uint32_t>> readers;
   std::uint64_t total_read_blocks = 0;
@@ -122,6 +122,7 @@ TraceProfile profile_trace(const Trace& trace) {
   }
 
   std::uint64_t classified = 0;
+  // lap-lint: allow-next-line(unordered-iteration)
   for (const auto& [key, cls] : streams) {
     ++p.stream_counts[cls.pattern()];
   }
@@ -140,6 +141,7 @@ TraceProfile profile_trace(const Trace& trace) {
   if (!readers.empty()) {
     std::uint64_t total_readers = 0;
     std::uint64_t shared = 0;
+    // lap-lint: allow-next-line(unordered-iteration)
     for (const auto& [file, pids] : readers) {
       total_readers += pids.size();
       shared += pids.size() >= 2;

@@ -1,0 +1,9 @@
+// allow-next-line suppresses exactly the line below the directive —
+// this fixture is clean only because of the line-scoped suppression.
+// lap-lint: path(src/core/fixture_next_line.cpp)
+#include <cstdlib>
+
+int jitter() {
+  // lap-lint: allow-next-line(no-rand)
+  return rand();
+}

@@ -1,0 +1,27 @@
+// Same shape as violate_domain_confinement.cpp, but the cross-domain
+// write is routed through Engine::post_at — this lints clean.
+// lap-lint: path(src/fs/fixture_confine_ok.cpp)
+#include <cstdint>
+
+std::uint16_t node_domain(std::uint16_t n) { return n; }
+
+struct Engine {
+  template <typename F>
+  void post_at(std::uint16_t domain, std::uint64_t at, F fn) { fn(); }
+};
+
+class NodeCache {  // lap-owns: node
+ public:
+  void bump() { ++hits_; }
+
+ private:
+  std::uint64_t hits_ = 0;
+};
+
+class Directory {  // lap-owns: directory
+ public:
+  // lap-runs: directory
+  void touch(Engine& eng, NodeCache& nc) {
+    eng.post_at(node_domain(1), 0, [&nc] { nc.hits_ = 0; });
+  }
+};

@@ -1,0 +1,10 @@
+// Robustness input: half of a circular include pair.  The indexer never
+// resolves includes, so the cycle must be a non-event — indexed cleanly,
+// no loop, no diagnostic.
+// lap-lint: path(src/core/circular_a.hpp)
+#pragma once
+#include "circular_b.hpp"
+
+struct CircA {
+  int from_b = 0;
+};

@@ -1,0 +1,8 @@
+// Robustness input: the other half of the circular include pair.
+// lap-lint: path(src/core/circular_b.hpp)
+#pragma once
+#include "circular_a.hpp"
+
+struct CircB {
+  int from_a = 0;
+};

@@ -1,0 +1,18 @@
+// Robustness input: macro-mangled declarations.  None of these expand,
+// so the structural scanner sees junk-shaped statements — it must skip
+// them without diagnostics and without crashing.
+// lap-lint: path(src/core/macro_heavy.cpp)
+
+#define LAP_DECL(name) struct name##Impl
+#define LAP_FIELD(ty, name) ty name = {}
+#define LAP_METHOD(ret) ret LAP_CAT(run, __LINE__)
+
+LAP_DECL(Widget) {
+  LAP_FIELD(int, count_);
+  LAP_METHOD(void)() {}
+};
+
+struct RealOne {
+  int value = 0;
+  LAP_FIELD(long, extra_);
+};

@@ -1,0 +1,29 @@
+// Robustness input: template member functions, nested template types,
+// out-of-line template definitions.  Must index without diagnostics.
+// lap-lint: path(src/util/template_members.hpp)
+#pragma once
+#include <cstdint>
+#include <vector>
+
+template <typename K, typename V>
+class SmallTable {
+ public:
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < keys_.size(); ++i) fn(keys_[i], vals_[i]);
+  }
+
+  template <typename... Args>
+  V& emplace(const K& k, Args&&... args);
+
+  std::vector<K> keys_;
+  std::vector<V> vals_;
+};
+
+template <typename K, typename V>
+template <typename... Args>
+V& SmallTable<K, V>::emplace(const K& k, Args&&... args) {
+  keys_.push_back(k);
+  vals_.emplace_back(static_cast<Args&&>(args)...);
+  return vals_.back();
+}

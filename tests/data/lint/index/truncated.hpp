@@ -1,0 +1,9 @@
+// Robustness input: the file ends mid-class (think interrupted write or
+// a bad merge).  The indexer must report index-parse, never crash.
+// lap-lint: path(src/core/truncated.hpp)
+#pragma once
+
+class HalfWritten {
+ public:
+  int begin_ = 0;
+  void method(

@@ -1,0 +1,18 @@
+// Violates domain-confinement: node-owned state written from
+// directory-domain code without an Engine::post_at hop.
+// lap-lint: path(src/fs/fixture_confine.cpp)
+#include <cstdint>
+
+class NodeCache {  // lap-owns: node
+ public:
+  void bump() { ++hits_; }
+
+ private:
+  std::uint64_t hits_ = 0;
+};
+
+class Directory {  // lap-owns: directory
+ public:
+  // lap-runs: directory
+  void touch(NodeCache& nc) { nc.hits_ = 0; }
+};

@@ -1,0 +1,8 @@
+// Violates float-accumulation: order-sensitive summation on a hot path.
+// lap-lint: path(src/cache/fixture_float_acc.cpp)
+
+double total_latency(const double* xs, int n) {
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) acc += xs[i];
+  return acc;
+}

@@ -1,0 +1,6 @@
+// Violates include-layering: util (layer 0) reaching up into cache
+// (layer 3) — a back-edge in the layer DAG.
+// lap-lint: path(src/util/fixture_layering.cpp)
+#include "cache/block_store.hpp"
+
+int placeholder = 0;

@@ -1,0 +1,4 @@
+// Violates index-parse: truncated declaration (unbalanced brace).
+// lap-lint: path(src/core/fixture_truncated.cpp)
+struct Dangling {
+  int x = 0;

@@ -1,0 +1,9 @@
+// Violates pod-init: uninitialized scalar members of a mail struct.
+// lap-lint: path(src/net/fixture_pod.cpp)
+#include <cstdint>
+
+struct BlockMail {
+  std::uint32_t node;
+  std::uint64_t seq = 0;
+  bool dirty;
+};

@@ -1,0 +1,9 @@
+// Violates pointer-ordering: address-derived hashes and orderings.
+// lap-lint: path(src/core/fixture_ptr_order.cpp)
+#include <cstdint>
+#include <functional>
+
+struct Foo {};
+std::less<Foo*> cmp;
+std::hash<int*> hsh;
+std::uint64_t key(Foo* p) { return reinterpret_cast<std::uintptr_t>(p); }

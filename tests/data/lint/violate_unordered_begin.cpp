@@ -1,0 +1,9 @@
+// Violates unordered-iteration: explicit .begin() walk of an unordered
+// container (the range-for pattern's sneakier sibling).
+// lap-lint: path(src/trace/fixture_ubegin.cpp)
+#include <unordered_map>
+
+int first_key(const std::unordered_map<int, int>& m) {
+  std::unordered_map<int, int> u = m;
+  return u.begin()->first;
+}

@@ -1,0 +1,13 @@
+// Cross-TU half 2: directory-domain code reaching into the node-owned
+// class declared in node_state.hpp.  The indexer joins the two TUs, so
+// the write below is flagged without any include resolution at all.
+// lap-lint: path(src/fs/xtu_controller.cpp)
+#include <cstdint>
+
+class XtuNodeState;
+
+// lap-runs: directory
+std::uint64_t drain_all(XtuNodeState& ns) {
+  ns.bytes_ = 0;
+  return 0;
+}

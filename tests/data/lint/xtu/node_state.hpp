@@ -1,0 +1,10 @@
+// Cross-TU half 1: node-owned state, declared in a header.
+// lap-lint: path(src/cache/xtu_state.hpp)
+#pragma once
+#include <cstdint>
+
+class XtuNodeState {  // lap-owns: node
+ public:
+  void record(std::uint64_t b) { bytes_ += b; }
+  std::uint64_t bytes_ = 0;
+};

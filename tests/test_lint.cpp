@@ -7,8 +7,10 @@
 // CLI exit non-zero, and the repo's own src/ tree lints clean.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <tuple>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -54,14 +56,30 @@ void expect_diags(const std::vector<Diagnostic>& got,
 
 TEST(LintCatalog, ListsEveryRule) {
   const auto catalog = lap::lint::rule_catalog();
-  ASSERT_EQ(catalog.size(), 10u);
-  const char* expected[] = {
-      "no-rand",          "no-wallclock",          "unordered-iteration",
-      "pointer-keyed-map", "container-policy",     "trace-io-typed-errors",
-      "nodiscard-result", "no-iostream-in-header", "transitive-include",
-      "concurrency-containment"};
+  ASSERT_EQ(catalog.size(), 16u);
+  // {id, scope, needs_index} in reporting order.
+  const std::tuple<const char*, const char*, bool> expected[] = {
+      {"no-rand", "tree-wide", false},
+      {"no-wallclock", "tree-wide", false},
+      {"unordered-iteration", "tree-wide", false},
+      {"pointer-keyed-map", "tree-wide", false},
+      {"container-policy", "directory-scoped", false},
+      {"trace-io-typed-errors", "directory-scoped", false},
+      {"nodiscard-result", "directory-scoped", false},
+      {"no-iostream-in-header", "tree-wide", false},
+      {"transitive-include", "tree-wide", false},
+      {"concurrency-containment", "tree-wide", false},
+      {"pointer-ordering", "tree-wide", false},
+      {"float-accumulation", "directory-scoped", false},
+      {"include-layering", "tree-wide", false},
+      {"pod-init", "directory-scoped", true},
+      {"index-parse", "cross-TU", true},
+      {"domain-confinement", "cross-TU", true}};
   for (std::size_t i = 0; i < catalog.size(); ++i) {
-    EXPECT_EQ(catalog[i].id, expected[i]);
+    EXPECT_EQ(catalog[i].id, std::get<0>(expected[i])) << i;
+    EXPECT_EQ(catalog[i].scope, std::get<1>(expected[i])) << catalog[i].id;
+    EXPECT_EQ(catalog[i].needs_index, std::get<2>(expected[i]))
+        << catalog[i].id;
     EXPECT_FALSE(catalog[i].summary.empty());
     EXPECT_TRUE(lap::lint::is_known_rule(catalog[i].id));
   }
@@ -127,6 +145,53 @@ TEST(LintRules, ConcurrencyContainmentFiresOutsideTheKernel) {
                 {"concurrency-containment", 10}});
 }
 
+TEST(LintRules, PointerOrderingFiresOnAddressDerivedKeys) {
+  expect_diags(lint_fixture("violate_pointer_ordering.cpp"),
+               {{"pointer-ordering", 7},
+                {"pointer-ordering", 8},
+                {"pointer-ordering", 9}});
+}
+
+TEST(LintRules, FloatAccumulationFiresOnCompoundAssign) {
+  expect_diags(lint_fixture("violate_float_accumulation.cpp"),
+               {{"float-accumulation", 6}});
+}
+
+TEST(LintRules, IncludeLayeringFiresOnBackEdge) {
+  expect_diags(lint_fixture("violate_include_layering.cpp"),
+               {{"include-layering", 4}});
+}
+
+TEST(LintRules, UnorderedIterationFiresOnExplicitBegin) {
+  expect_diags(lint_fixture("violate_unordered_begin.cpp"),
+               {{"unordered-iteration", 8}});
+}
+
+TEST(LintRules, PodInitFlagsOnlyUninitializedScalars) {
+  // Line 7's `seq = 0` member must NOT be reported.
+  expect_diags(lint_fixture("violate_pod_init.cpp"),
+               {{"pod-init", 6}, {"pod-init", 8}});
+}
+
+TEST(LintRules, IndexParseFiresOnTruncatedDeclaration) {
+  expect_diags(lint_fixture("violate_index_parse.cpp"),
+               {{"index-parse", 3}});
+}
+
+TEST(LintRules, DomainConfinementFiresOnCrossDomainWrite) {
+  const auto diags = lint_fixture("violate_domain_confinement.cpp");
+  expect_diags(diags, {{"domain-confinement", 17}});
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("hits_"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("post_at"), std::string::npos);
+}
+
+TEST(LintRules, DomainConfinementAcceptsPostAtHop) {
+  // Same write as violate_domain_confinement.cpp, but routed through an
+  // Engine::post_at lambda targeting the owning domain.
+  expect_diags(lint_fixture("clean_domain_confinement.cpp"), {});
+}
+
 // --- suppression + path directives ----------------------------------------
 
 TEST(LintDirectives, CleanFixtureHasNoDiagnostics) {
@@ -146,6 +211,46 @@ TEST(LintDirectives, AllowDirectiveSuppressesListedRules) {
   const auto diags =
       lap::lint::lint_source("clean_suppressed.cpp", content, {});
   expect_diags(diags, {{"no-wallclock", 9}, {"no-rand", 10}});
+}
+
+TEST(LintDirectives, AllowNextLineSuppressesExactlyOneLine) {
+  expect_diags(lint_fixture("clean_allow_next_line.cpp"), {});
+
+  // Strip the directive: the rand() call on the next line violates again.
+  std::string content = slurp(fixture("clean_allow_next_line.cpp"));
+  const std::string directive = "// lap-lint: allow-next-line(no-rand)";
+  const std::size_t at = content.find(directive);
+  ASSERT_NE(at, std::string::npos);
+  content.replace(at, directive.size(), "//");
+  expect_diags(lap::lint::lint_source("clean_allow_next_line.cpp", content, {}),
+               {{"no-rand", 8}});
+}
+
+TEST(LintDirectives, AllowNextLineDoesNotReachPastTheNextLine) {
+  // The directive covers line 4 only; the violation on line 6 survives.
+  const std::string src =
+      "// lap-lint: path(src/core/scratch.cpp)\n"  // line 1
+      "#include <cstdlib>\n"                       // line 2
+      "// lap-lint: allow-next-line(no-rand)\n"    // line 3
+      "int a = rand();\n"                          // line 4 (suppressed)
+      "\n"                                         // line 5
+      "int b = rand();\n";                         // line 6 (fires)
+  expect_diags(lap::lint::lint_source("scratch.cpp", src, {}),
+               {{"no-rand", 6}});
+}
+
+TEST(LintDirectives, RepoSrcTreeUsesNoFileWideSuppressions) {
+  // The four historical file-wide allow() directives were migrated to
+  // allow-next-line; file-wide allow() must not creep back into src/.
+  namespace fs = std::filesystem;
+  for (const auto& e : fs::recursive_directory_iterator(LAP_LINT_SRC_DIR)) {
+    if (!e.is_regular_file()) continue;
+    const std::string ext = e.path().extension().string();
+    if (ext != ".hpp" && ext != ".cpp") continue;
+    const std::string content = slurp(e.path().string());
+    EXPECT_EQ(content.find("lap-lint: allow("), std::string::npos)
+        << e.path() << " uses a file-wide allow(); use allow-next-line";
+  }
 }
 
 TEST(LintDirectives, PathDirectiveDrivesDirectoryScopedRules) {
@@ -238,6 +343,9 @@ TEST(LintCorpus, EveryViolatingFixtureFailsAndEveryCleanOnePasses) {
   int violating = 0;
   int clean = 0;
   for (const auto& e : fs::directory_iterator(LAP_LINT_FIXTURE_DIR)) {
+    // Subdirectories hold multi-file corpora (xtu/) and indexer
+    // robustness inputs (index/), exercised by their own tests below.
+    if (e.is_directory()) continue;
     const std::string name = e.path().filename().string();
     std::string out;
     const int rc = lap::lint::run_cli({e.path().string()}, out);
@@ -251,14 +359,236 @@ TEST(LintCorpus, EveryViolatingFixtureFailsAndEveryCleanOnePasses) {
       ADD_FAILURE() << "fixture with unknown prefix: " << name;
     }
   }
-  EXPECT_EQ(violating, 11);  // one per rule + the multi-rule fixture
-  EXPECT_EQ(clean, 2);
+  EXPECT_EQ(violating, 18);  // one per rule + the multi-rule fixture
+  EXPECT_EQ(clean, 4);
 }
 
 TEST(LintCorpus, RepoSrcTreeLintsClean) {
   std::string out;
   const int rc = lap::lint::run_cli({"--tree", LAP_LINT_SRC_DIR}, out);
   EXPECT_EQ(rc, 0) << "src/ has lint violations:\n" << out;
+}
+
+// --- cross-TU: the declaration index spans the whole corpus ----------------
+
+TEST(LintXtu, ConfinementJoinsDeclarationsAcrossFiles) {
+  // node_state.hpp declares the node-owned class; controller.cpp (which
+  // does not even include it) writes its field from directory-domain
+  // code.  Only a cross-TU index can connect the two.
+  std::string out;
+  const int rc = lap::lint::run_cli(
+      {"--tree", std::string(LAP_LINT_FIXTURE_DIR) + "/xtu"}, out);
+  EXPECT_EQ(rc, 1);
+  EXPECT_NE(
+      out.find("src/fs/xtu_controller.cpp:11: error[domain-confinement]"),
+      std::string::npos)
+      << out;
+  EXPECT_NE(out.find("'bytes_' is owned by the node domain"),
+            std::string::npos)
+      << out;
+}
+
+// --- the seeded synthetic confinement bug (acceptance criterion) -----------
+
+std::vector<std::pair<std::string, std::string>> load_src_corpus() {
+  namespace fs = std::filesystem;
+  std::vector<std::pair<std::string, std::string>> corpus;
+  for (const auto& e : fs::recursive_directory_iterator(LAP_LINT_SRC_DIR)) {
+    if (!e.is_regular_file()) continue;
+    const std::string ext = e.path().extension().string();
+    if (ext != ".hpp" && ext != ".cpp") continue;
+    corpus.emplace_back(e.path().generic_string(),
+                        slurp(e.path().string()));
+  }
+  std::sort(corpus.begin(), corpus.end());
+  return corpus;
+}
+
+TEST(LintCorpus, SeededConfinementBugInXfsIsFlagged) {
+  // Take the real src/ tree, and in Xfs::post_dir_add replace the
+  // Engine::post_at hop with a direct call to the directory-domain
+  // mutator — exactly the bug the rule exists to catch.
+  auto corpus = load_src_corpus();
+  int seeded_line = 0;
+  bool patched = false;
+  for (auto& [path, content] : corpus) {
+    if (path.find("src/fs/xfs/xfs.cpp") == std::string::npos) continue;
+    const std::size_t fn = content.find("void Xfs::post_dir_add(");
+    ASSERT_NE(fn, std::string::npos);
+    const std::size_t stmt = content.find("eng_->post_at", fn);
+    ASSERT_NE(stmt, std::string::npos);
+    const std::size_t end = content.find("});", stmt);
+    ASSERT_NE(end, std::string::npos);
+    content.replace(stmt, end + 3 - stmt, "dir_add(key, from);");
+    seeded_line = 1 + static_cast<int>(std::count(
+                          content.begin(),
+                          content.begin() + static_cast<std::ptrdiff_t>(stmt),
+                          '\n'));
+    patched = true;
+  }
+  ASSERT_TRUE(patched) << "src/fs/xfs/xfs.cpp not found in corpus";
+
+  const auto diags = lap::lint::lint_corpus(corpus);
+  ASSERT_EQ(diags.size(), 1u) << [&] {
+    std::string all;
+    for (const auto& d : diags) all += format_diagnostic(d) + "\n";
+    return all;
+  }();
+  EXPECT_EQ(diags[0].rule, "domain-confinement");
+  EXPECT_NE(diags[0].file.find("src/fs/xfs/xfs.cpp"), std::string::npos);
+  EXPECT_EQ(diags[0].line, seeded_line);
+  EXPECT_NE(diags[0].message.find("dir_add"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("directory"), std::string::npos);
+}
+
+// --- indexer robustness: hostile input yields typed diags, never a crash ---
+
+std::string index_input(const std::string& name) {
+  return std::string(LAP_LINT_FIXTURE_DIR) + "/index/" + name;
+}
+
+TEST(LintIndexRobustness, TruncatedHeaderYieldsTypedDiagnostic) {
+  const auto diags = lap::lint::lint_file(index_input("truncated.hpp"));
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "index-parse");
+  EXPECT_EQ(diags[0].line, 6);
+  EXPECT_NE(diags[0].message.find("unbalanced '{'"), std::string::npos);
+}
+
+TEST(LintIndexRobustness, DeepNestingIsDepthCappedNotStackOverflow) {
+  const auto diags = lap::lint::lint_file(index_input("deep_nesting.cpp"));
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "index-parse");
+  EXPECT_NE(diags[0].message.find("nesting deeper"), std::string::npos);
+}
+
+TEST(LintIndexRobustness, MacroHeavyDeclarationsIndexCleanly) {
+  expect_diags(lap::lint::lint_file(index_input("macro_heavy.cpp")), {});
+}
+
+TEST(LintIndexRobustness, TemplateMembersIndexCleanly) {
+  expect_diags(lap::lint::lint_file(index_input("template_members.hpp")), {});
+}
+
+TEST(LintIndexRobustness, CircularIncludePairIsANonEvent) {
+  // The indexer never resolves includes, so a circular pair must index
+  // cleanly — individually and as one corpus.
+  expect_diags(lap::lint::lint_file(index_input("circular_a.hpp")), {});
+  expect_diags(lap::lint::lint_file(index_input("circular_b.hpp")), {});
+  const auto diags = lap::lint::lint_corpus(
+      {{"src/core/circular_a.hpp", slurp(index_input("circular_a.hpp"))},
+       {"src/core/circular_b.hpp", slurp(index_input("circular_b.hpp"))}});
+  expect_diags(diags, {});
+}
+
+TEST(LintIndexRobustness, HostileSourceNeverThrows) {
+  // Degenerate inputs straight through the library entry point.
+  const char* inputs[] = {
+      "",
+      "{",
+      "}",
+      "}}}}{{{{",
+      "class",
+      "class ;",
+      "struct A",
+      "template <",
+      "namespace {",
+      "#define X {\nint y = 0;\n",
+      "class A { class B { class C { int x; ",
+      "operator<<(std::ostream&, int);",
+  };
+  for (const char* src : inputs) {
+    EXPECT_NO_THROW({
+      const auto diags =
+          lap::lint::lint_source("src/core/hostile.cpp", src, {});
+      (void)diags;
+    }) << "input: " << src;
+  }
+}
+
+// --- CI-scale features: --jobs, --cache, --sarif, --baseline ---------------
+
+TEST(LintCli, JobsProducesIdenticalOutput) {
+  const std::string tree = std::string(LAP_LINT_FIXTURE_DIR) + "/xtu";
+  std::string serial;
+  std::string parallel;
+  const int rc1 = lap::lint::run_cli({"--tree", tree}, serial);
+  const int rc2 = lap::lint::run_cli({"--jobs", "4", "--tree", tree}, parallel);
+  EXPECT_EQ(rc1, rc2);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(LintCli, CacheWarmRunReproducesColdRunByteForByte) {
+  namespace fs = std::filesystem;
+  const std::string cache =
+      (fs::temp_directory_path() / "lap_lint_test_cache.txt").string();
+  fs::remove(cache);
+  const std::string tree = std::string(LAP_LINT_FIXTURE_DIR) + "/xtu";
+  std::string cold;
+  std::string warm;
+  const int rc1 = lap::lint::run_cli({"--cache", cache, "--tree", tree}, cold);
+  EXPECT_TRUE(fs::exists(cache));
+  const int rc2 = lap::lint::run_cli({"--cache", cache, "--tree", tree}, warm);
+  EXPECT_EQ(rc1, 1);
+  EXPECT_EQ(rc2, 1);
+  EXPECT_EQ(cold, warm);
+  fs::remove(cache);
+}
+
+TEST(LintCli, SarifOutputCarriesRulesAndResults) {
+  namespace fs = std::filesystem;
+  const std::string sarif =
+      (fs::temp_directory_path() / "lap_lint_test.sarif").string();
+  std::string out;
+  const int rc = lap::lint::run_cli(
+      {"--sarif", sarif, fixture("violate_no_rand.cpp")}, out);
+  EXPECT_EQ(rc, 1);
+  const std::string log = slurp(sarif);
+  EXPECT_NE(log.find("https://json.schemastore.org/sarif-2.1.0.json"),
+            std::string::npos);
+  EXPECT_NE(log.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(log.find("\"ruleId\": \"no-rand\""), std::string::npos);
+  EXPECT_NE(log.find("\"startLine\": 7"), std::string::npos);
+  EXPECT_NE(log.find("src/core/fixture_rand.cpp"), std::string::npos);
+  // Rule metadata for every catalog entry rides along.
+  for (const auto& r : lap::lint::rule_catalog()) {
+    EXPECT_NE(log.find("\"id\": \"" + r.id + "\""), std::string::npos) << r.id;
+  }
+  fs::remove(sarif);
+}
+
+TEST(LintCli, BaselineGrandfathersFindingsAndReportsStaleEntries) {
+  namespace fs = std::filesystem;
+  const std::string baseline =
+      (fs::temp_directory_path() / "lap_lint_test_baseline.txt").string();
+  std::string out;
+  EXPECT_EQ(lap::lint::run_cli(
+                {"--write-baseline", baseline, fixture("violate_no_rand.cpp")},
+                out),
+            0);
+  out.clear();
+  EXPECT_EQ(lap::lint::run_cli(
+                {"--baseline", baseline, fixture("violate_no_rand.cpp")}, out),
+            0)
+      << out;
+
+  // A baseline entry that matches nothing is reported as a note, and the
+  // run stays clean (notes are not violations).
+  std::ofstream(baseline) << "no-rand src/never/exists.cpp\n";
+  out.clear();
+  EXPECT_EQ(lap::lint::run_cli(
+                {"--baseline", baseline, fixture("clean_ok.cpp")}, out),
+            0);
+  EXPECT_NE(out.find("stale baseline entry"), std::string::npos) << out;
+  fs::remove(baseline);
+}
+
+TEST(LintCli, ListRulesShowsScopeAndIndexNeeds) {
+  std::string out;
+  EXPECT_EQ(lap::lint::run_cli({"--list-rules"}, out), 0);
+  EXPECT_NE(out.find("[tree-wide]"), std::string::npos) << out;
+  EXPECT_NE(out.find("[directory-scoped]"), std::string::npos) << out;
+  EXPECT_NE(out.find("[cross-TU, index]"), std::string::npos) << out;
 }
 
 }  // namespace

@@ -1,4 +1,4 @@
-#include "driver/metrics.hpp"
+#include "obs/metrics.hpp"
 
 #include <gtest/gtest.h>
 

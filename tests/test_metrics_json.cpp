@@ -1,7 +1,7 @@
 // Metrics JSON export: the document parses, the manifest reflects the
 // config, and every "runs" row field equals the RunResult it came from
 // (golden check for --metrics-json consumers).
-#include "obs/metrics_json.hpp"
+#include "driver/metrics_json.hpp"
 
 #include <gtest/gtest.h>
 

@@ -1,0 +1,946 @@
+#include "index.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+namespace lap::lint {
+namespace {
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+constexpr int kMaxNesting = 100;
+
+const std::set<std::string>& type_keyword_set() {
+  static const std::set<std::string> kTypeKeywords = {
+      "const",    "mutable", "static",   "constexpr", "inline",
+      "volatile", "std",     "unsigned", "signed",    "long",
+      "short",    "struct",  "class",    "typename",  "enum",
+      "virtual",  "explicit"};
+  return kTypeKeywords;
+}
+
+[[nodiscard]] Domain parse_domain_word(const std::string& w) {
+  if (w == "node") return Domain::kNode;
+  if (w == "directory") return Domain::kDirectory;
+  if (w == "disk") return Domain::kDisk;
+  if (w == "engine") return Domain::kEngine;
+  if (w == "value") return Domain::kValue;
+  if (w == "any") return Domain::kAny;
+  return Domain::kUnknown;
+}
+
+/// Extract "lap-owns:"/"lap-runs:" annotations from the comments into
+/// line → domain maps.  The annotated word is the first token after the
+/// colon.
+void collect_annotations(const Lexed& lx, std::map<int, Domain>& owns,
+                         std::map<int, Domain>& runs,
+                         std::vector<ParseDiag>& diags,
+                         const std::string& path) {
+  for (const Comment& c : lx.comments) {
+    for (const char* key : {"lap-owns:", "lap-runs:"}) {
+      std::size_t at = c.text.find(key);
+      if (at == std::string::npos) continue;
+      std::size_t p = at + std::char_traits<char>::length(key);
+      while (p < c.text.size() &&
+             std::isspace(static_cast<unsigned char>(c.text[p])) != 0) {
+        ++p;
+      }
+      std::size_t e = p;
+      while (e < c.text.size() &&
+             (std::isalnum(static_cast<unsigned char>(c.text[e])) != 0 ||
+              c.text[e] == '_')) {
+        ++e;
+      }
+      const std::string word = c.text.substr(p, e - p);
+      const Domain d = parse_domain_word(word);
+      const bool is_owns = key[4] == 'o';
+      if (d == Domain::kUnknown || (is_owns && d == Domain::kAny) ||
+          (!is_owns && (d == Domain::kValue || d == Domain::kEngine))) {
+        diags.push_back({path, c.line,
+                         std::string("bad ") + (is_owns ? "lap-owns" : "lap-runs") +
+                             " annotation '" + word + "' (expected " +
+                             (is_owns ? "node|directory|disk|engine|value"
+                                      : "node|directory|disk|any") +
+                             ")"});
+        continue;
+      }
+      (is_owns ? owns : runs)[c.line] = d;
+    }
+  }
+}
+
+/// Per-file parse state shared by the recursive scope walker.
+struct FileParse {
+  Index* idx = nullptr;
+  std::size_t file_idx = 0;
+  const std::vector<Tok>* toks = nullptr;
+  std::string path;
+  std::map<int, Domain> owns_at;
+  std::map<int, Domain> runs_at;
+  std::set<int> token_lines;        // lines that carry at least one token
+  std::vector<std::size_t> close_of;  // '{' index → matching '}' index
+  std::vector<ParseDiag>* diags = nullptr;
+  bool gave_up = false;
+};
+
+/// Annotation for a declaration whose first token is on `first_line` and
+/// which extends through `last_line`.  Same-line annotations always
+/// apply; lines above apply only when they are comment-only (so a
+/// trailing annotation on the previous member never bleeds downward).
+[[nodiscard]] Domain ann_near(const FileParse& fp,
+                              const std::map<int, Domain>& table,
+                              int first_line, int last_line) {
+  for (int ln = first_line; ln <= last_line; ++ln) {
+    auto it = table.find(ln);
+    if (it != table.end()) return it->second;
+  }
+  for (int ln = first_line - 1; ln >= first_line - 2 && ln >= 1; --ln) {
+    if (fp.token_lines.count(ln) != 0) break;  // code line: stop looking up
+    auto it = table.find(ln);
+    if (it != table.end()) return it->second;
+  }
+  return Domain::kUnknown;
+}
+
+/// Brace matching over the whole token stream.  Fills fp.close_of; any
+/// imbalance produces a typed diagnostic and leaves the unmatched braces
+/// with kNpos (the walker treats that as end-of-scope, never looping).
+void match_braces(FileParse& fp) {
+  const auto& t = *fp.toks;
+  fp.close_of.assign(t.size(), kNpos);
+  std::vector<std::size_t> stack;
+  bool reported_extra = false;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Tok::kPunct) continue;
+    if (t[i].text == "{") {
+      stack.push_back(i);
+    } else if (t[i].text == "}") {
+      if (stack.empty()) {
+        if (!reported_extra) {
+          fp.diags->push_back(
+              {fp.path, t[i].line, "unmatched '}' — declarations before this "
+                                   "point may be mis-indexed"});
+          reported_extra = true;
+        }
+        continue;
+      }
+      fp.close_of[stack.back()] = i;
+      stack.pop_back();
+    }
+  }
+  if (!stack.empty()) {
+    fp.diags->push_back({fp.path, t[stack.front()].line,
+                         "unbalanced '{' (truncated or macro-mangled "
+                         "declaration); indexing stops at the open brace"});
+  }
+}
+
+/// First index in [b, e) whose token text is `what` at top level (angle,
+/// paren and brace groups skipped).  Returns kNpos if absent.
+[[nodiscard]] std::size_t find_top_level(const FileParse& fp, std::size_t b,
+                                         std::size_t e,
+                                         const std::string& what) {
+  const auto& t = *fp.toks;
+  int angle = 0;
+  int paren = 0;
+  for (std::size_t i = b; i < e; ++i) {
+    const std::string& x = t[i].text;
+    if (angle == 0 && paren == 0 && x == what) return i;
+    if (x == "<") ++angle;
+    if (x == ">" && angle > 0) --angle;
+    if (x == "(") ++paren;
+    if (x == ")" && paren > 0) --paren;
+    if (x == "{") {
+      const std::size_t c = fp.close_of[i];
+      if (c == kNpos || c >= e) return kNpos;
+      i = c;
+    }
+  }
+  return kNpos;
+}
+
+[[nodiscard]] bool is_keywordish(const std::string& s) {
+  return type_keyword_set().count(s) != 0 || s == "void" || s == "bool" ||
+         s == "int" || s == "char" || s == "float" || s == "double" ||
+         s == "auto" || s == "operator" || s == "return" || s == "using" ||
+         s == "template" || s == "decltype" || s == "noexcept" ||
+         s == "sizeof" || s == "if" || s == "for" || s == "while" ||
+         s == "switch" || s == "catch";
+}
+
+/// Parse one class-scope statement [b, e) (exclusive of the ';') into the
+/// class at `cls_idx`: either a method declaration or a data member.
+void parse_member(FileParse& fp, std::size_t b, std::size_t e,
+                  std::size_t cls_idx) {
+  const auto& t = *fp.toks;
+  // Strip access specifiers, attributes and template heads.
+  while (b < e) {
+    const std::string& x = t[b].text;
+    if ((x == "public" || x == "private" || x == "protected") && b + 1 < e &&
+        t[b + 1].text == ":") {
+      b += 2;
+    } else if (x == "[[") {
+      while (b < e && t[b].text != "]]") ++b;
+      if (b < e) ++b;
+    } else if (x == "template" && b + 1 < e && t[b + 1].text == "<") {
+      int depth = 0;
+      std::size_t j = b + 1;
+      for (; j < e; ++j) {
+        if (t[j].text == "<") ++depth;
+        if (t[j].text == ">" && --depth == 0) break;
+      }
+      if (j >= e) return;  // malformed template head; skip the statement
+      b = j + 1;
+    } else {
+      break;
+    }
+  }
+  if (b >= e) return;
+  const std::string& lead = t[b].text;
+  if (lead == "using" || lead == "friend" || lead == "typedef" ||
+      lead == "static_assert" || lead == "enum" || lead == "operator" ||
+      lead == "~") {
+    return;
+  }
+  const bool is_static = lead == "static" || lead == "constexpr";
+
+  ClassDecl& cls = fp.idx->classes[cls_idx];
+  const std::size_t eq = find_top_level(fp, b, e, "=");
+  const std::size_t paren = find_top_level(fp, b, e, "(");
+  if (paren != kNpos && (eq == kNpos || paren < eq)) {
+    // Method declaration: name is the identifier before the '('.
+    if (paren == b) return;
+    const Tok& nm = t[paren - 1];
+    if (nm.kind != Tok::kIdent || is_keywordish(nm.text)) return;
+    if (paren >= b + 2 && t[paren - 2].text == "operator") return;
+    const Domain runs = ann_near(fp, fp.runs_at, t[b].line, t[e - 1].line);
+    cls.methods.push_back({nm.text, nm.line, runs});
+    return;
+  }
+  if (is_static) return;  // static data members are not instance state
+
+  // Field: name is the identifier before the first top-level '=', '{',
+  // ':' (bitfield), or failing those, the last identifier.
+  std::size_t stop = e;
+  for (const char* delim : {"=", "{", ":"}) {
+    const std::size_t at = find_top_level(fp, b, e, delim);
+    if (at != kNpos && at < stop) stop = at;
+  }
+  if (stop == b) return;
+  const Tok& nm = t[stop - 1];
+  if (nm.kind != Tok::kIdent || is_keywordish(nm.text)) return;
+
+  FieldDecl f;
+  f.name = nm.text;
+  f.line = nm.line;
+  f.annotated = ann_near(fp, fp.owns_at, t[b].line, t[e - 1].line);
+  f.has_init = stop < e && t[stop].text != ":";  // bitfields are not inits
+  static const std::set<std::string> kScalar = {
+      "int",      "char",     "bool",     "float",    "double",
+      "unsigned", "signed",   "long",     "short",    "size_t",
+      "uint8_t",  "uint16_t", "uint32_t", "uint64_t", "int8_t",
+      "int16_t",  "int32_t",  "int64_t",  "uintptr_t", "intptr_t"};
+  const std::string& ty = stop >= b + 2 ? t[stop - 2].text : nm.text;
+  f.scalar = stop >= b + 2 && (ty == "*" || kScalar.count(ty) != 0);
+  for (std::size_t i = b; i < stop; ++i) {
+    if (t[i].text == "const") f.is_const = true;
+  }
+  for (std::size_t i = b; i + 1 < stop; ++i) {
+    if (t[i].kind == Tok::kIdent && type_keyword_set().count(t[i].text) == 0) {
+      f.type_idents.push_back(t[i].text);
+    }
+  }
+  cls.fields.push_back(std::move(f));
+}
+
+void parse_scope(FileParse& fp, std::size_t b, std::size_t e,
+                 std::size_t cls_idx, int depth);
+
+/// Handle a function-definition statement whose head is [head_b, open)
+/// and whose first brace sits at `open`.  Returns the index to resume
+/// scanning from (one past the body's closing brace), or kNpos on
+/// give-up.
+[[nodiscard]] std::size_t parse_function(FileParse& fp, std::size_t head_b,
+                                         std::size_t open, std::size_t scope_end,
+                                         std::size_t cls_idx) {
+  const auto& t = *fp.toks;
+  const std::size_t paren = find_top_level(fp, head_b, open, "(");
+  if (paren == kNpos || paren == head_b) {
+    // Opaque braces (enum body, aggregate initializer): skip the group.
+    const std::size_t c = fp.close_of[open];
+    return c == kNpos || c >= scope_end ? kNpos : c + 1;
+  }
+  std::string name;
+  std::string cls;
+  bool is_ctor = false;
+  std::size_t p = paren;
+  if (p > head_b && t[p - 1].kind == Tok::kIdent &&
+      !is_keywordish(t[p - 1].text)) {
+    name = t[p - 1].text;
+    --p;
+  }
+  if (p > head_b && t[p - 1].text == "~") {
+    is_ctor = true;  // destructor: exempt like a constructor
+    --p;
+  }
+  if (p > head_b + 1 && t[p - 1].text == "::" &&
+      t[p - 2].kind == Tok::kIdent) {
+    cls = t[p - 2].text;
+  }
+  if (name.empty() || (p > head_b && t[p - 1].text == "operator")) {
+    // Operator definitions and unparsable heads: consume the body blindly.
+    const std::size_t c = fp.close_of[open];
+    return c == kNpos || c >= scope_end ? kNpos : c + 1;
+  }
+  if (cls.empty() && cls_idx != kNpos) cls = fp.idx->classes[cls_idx].name;
+  if (!cls.empty() && name == cls) is_ctor = true;
+
+  // Constructors may interleave brace-init items before the body; walk
+  // the groups until one is followed by neither ',' nor '{'.
+  std::size_t body = open;
+  if (is_ctor) {
+    for (;;) {
+      const std::size_t c = fp.close_of[body];
+      if (c == kNpos || c >= scope_end) return kNpos;
+      const std::string nxt =
+          c + 1 < scope_end ? t[c + 1].text : std::string(";");
+      if (nxt == ",") {
+        std::size_t j = c + 2;
+        while (j < scope_end && t[j].text != "{") ++j;
+        if (j >= scope_end) return kNpos;
+        body = j;
+        continue;
+      }
+      if (nxt == "{") {
+        body = c + 1;
+        continue;
+      }
+      break;
+    }
+  }
+  const std::size_t close = fp.close_of[body];
+  if (close == kNpos || close >= scope_end) return kNpos;
+
+  FuncDef fd;
+  fd.cls = cls;
+  fd.name = name;
+  fd.file = fp.path;
+  fd.line = t[paren - 1].line;
+  fd.file_idx = fp.file_idx;
+  fd.body_begin = body;
+  fd.body_end = close + 1;
+  fd.is_ctor = is_ctor;
+  fd.runs = ann_near(fp, fp.runs_at, t[head_b].line, t[body].line);
+  fp.idx->funcs.push_back(fd);
+  if (cls_idx != kNpos) {
+    fp.idx->classes[cls_idx].methods.push_back({name, fd.line, fd.runs});
+  }
+  return close + 1;
+}
+
+/// Try to read a class/struct head out of [b, open).  Returns the index
+/// of the class keyword, or kNpos if the statement is not a class
+/// definition head.
+[[nodiscard]] std::size_t find_class_keyword(const FileParse& fp,
+                                             std::size_t b, std::size_t open) {
+  const auto& t = *fp.toks;
+  int angle = 0;
+  int paren = 0;
+  for (std::size_t i = b; i < open; ++i) {
+    const std::string& x = t[i].text;
+    if (x == "<") ++angle;
+    if (x == ">" && angle > 0) --angle;
+    if (x == "(") ++paren;
+    if (x == ")" && paren > 0) --paren;
+    if (angle != 0 || paren != 0) continue;
+    if ((x == "class" || x == "struct") &&
+        (i == b || t[i - 1].text != "enum")) {
+      // Require an identifier or an anonymous body right after (skipping
+      // attributes); `typename`-like uses inside templates are excluded
+      // by the angle-depth guard above.
+      return i;
+    }
+    if (x == "=") return kNpos;  // alias or initializer, not a definition
+  }
+  return kNpos;
+}
+
+void parse_scope(FileParse& fp, std::size_t b, std::size_t e,
+                 std::size_t cls_idx, int depth) {
+  if (fp.gave_up) return;
+  if (depth > kMaxNesting) {
+    const auto& t = *fp.toks;
+    fp.diags->push_back({fp.path, b < t.size() ? t[b].line : 0,
+                         "nesting deeper than 100 scopes; giving up on the "
+                         "rest of this file"});
+    fp.gave_up = true;
+    return;
+  }
+  const auto& t = *fp.toks;
+  std::size_t stmt = b;
+  std::size_t i = b;
+  while (i < e && !fp.gave_up) {
+    const std::string& x = t[i].text;
+    if (t[i].kind == Tok::kPunct && x == ";") {
+      if (cls_idx != kNpos && i > stmt) parse_member(fp, stmt, i, cls_idx);
+      stmt = ++i;
+      continue;
+    }
+    if (t[i].kind == Tok::kPunct && x == "{") {
+      const std::size_t close = fp.close_of[i];
+      if (close == kNpos || close >= e) return;  // diag already recorded
+      // Namespace?
+      bool is_namespace = false;
+      for (std::size_t j = stmt; j < i; ++j) {
+        if (t[j].text == "namespace") is_namespace = true;
+        if (t[j].text == "(") is_namespace = false;
+      }
+      if (is_namespace) {
+        parse_scope(fp, i + 1, close, kNpos, depth + 1);
+        stmt = i = close + 1;
+        continue;
+      }
+      const std::size_t kw = find_class_keyword(fp, stmt, i);
+      if (kw != kNpos) {
+        // Class/struct definition.
+        std::size_t nm = kw + 1;
+        while (nm < i && t[nm].text == "[[") {
+          while (nm < i && t[nm].text != "]]") ++nm;
+          if (nm < i) ++nm;
+        }
+        while (nm < i && t[nm].text == "alignas") {
+          ++nm;
+          if (nm < i && t[nm].text == "(") {
+            int pd = 0;
+            for (; nm < i; ++nm) {
+              if (t[nm].text == "(") ++pd;
+              if (t[nm].text == ")" && --pd == 0) {
+                ++nm;
+                break;
+              }
+            }
+          }
+        }
+        ClassDecl cd;
+        if (nm < i && t[nm].kind == Tok::kIdent &&
+            !is_keywordish(t[nm].text) && t[nm].text != "final") {
+          cd.name = t[nm].text;
+          // Out-of-class nested definition `struct A::B { ... }`: the
+          // declared name is the one after the last '::'.
+          while (nm + 2 < i && t[nm + 1].text == "::" &&
+                 t[nm + 2].kind == Tok::kIdent) {
+            nm += 2;
+            cd.name = t[nm].text;
+          }
+        }
+        cd.file = fp.path;
+        cd.line = t[kw].line;
+        cd.annotated = ann_near(fp, fp.owns_at, t[stmt].line, t[i].line);
+        fp.idx->classes.push_back(cd);
+        const std::size_t new_idx = fp.idx->classes.size() - 1;
+        if (!cd.name.empty()) {
+          auto [it, fresh] =
+              fp.idx->class_by_name.emplace(cd.name, new_idx);
+          if (!fresh) fp.idx->ambiguous_classes.push_back(cd.name);
+        }
+        parse_scope(fp, i + 1, close, new_idx, depth + 1);
+        stmt = i = close + 1;  // any trailing declarator parses as its own stmt
+        continue;
+      }
+      if (cls_idx != kNpos) {
+        // Distinguish a member with a braced initializer (`FileId f{};`,
+        // `std::function<...> g = [] { ... };`) from an inline method
+        // body: a member head either carries a top-level `=` or has no
+        // parameter list at all.
+        bool has_eq = false;
+        bool has_paren = false;
+        int pd = 0;
+        for (std::size_t j = stmt; j < i; ++j) {
+          const std::string& y = t[j].text;
+          if (y == "(") {
+            ++pd;
+            has_paren = true;
+          } else if (y == ")") {
+            --pd;
+          } else if (y == "=" && pd == 0) {
+            has_eq = true;
+          }
+        }
+        if (has_eq || !has_paren) {
+          const std::size_t before = fp.idx->classes[cls_idx].fields.size();
+          parse_member(fp, stmt, i, cls_idx);
+          auto& fields = fp.idx->classes[cls_idx].fields;
+          if (fields.size() > before) fields.back().has_init = true;
+          i = close + 1;
+          if (i < e && t[i].text == ";") ++i;
+          stmt = i;
+          continue;
+        }
+      }
+      const std::size_t resume = parse_function(fp, stmt, i, e, cls_idx);
+      if (resume == kNpos) return;
+      stmt = i = resume;
+      continue;
+    }
+    ++i;
+  }
+}
+
+[[nodiscard]] std::string src_rel(const std::string& path) {
+  std::size_t at = std::string::npos;
+  if (path.compare(0, 4, "src/") == 0) at = 0;
+  const std::size_t found = path.rfind("/src/");
+  if (found != std::string::npos) at = found + 1;
+  return at == std::string::npos ? std::string() : path.substr(at + 4);
+}
+
+[[nodiscard]] std::string top_dir(const std::string& rel) {
+  const std::size_t slash = rel.find('/');
+  return slash == std::string::npos ? std::string() : rel.substr(0, slash);
+}
+
+// --- confinement walk ------------------------------------------------------
+
+/// Result of scanning one function body without a committed current
+/// domain: which concrete domains its straight-line code touches and
+/// which bare functions it calls (for the requirement fixpoint).
+struct BodyFacts {
+  std::set<Domain> touched;
+  std::set<std::string> callees;
+  bool has_hop_or_post = false;
+};
+
+struct Walker {
+  const Index* idx = nullptr;
+  const FuncDef* fn = nullptr;
+  const std::vector<Tok>* toks = nullptr;
+  std::vector<std::size_t> close_of;  // rebuilt per file, shared by caller
+  std::vector<ParseDiag>* out = nullptr;  // null → facts-only scan
+  BodyFacts* facts = nullptr;
+  const ClassDecl* enclosing = nullptr;  // resolved class of fn->cls
+};
+
+[[nodiscard]] Domain domain_of_expr(const std::vector<Tok>& t, std::size_t b,
+                                    std::size_t e) {
+  for (std::size_t i = b; i < e; ++i) {
+    const std::string& x = t[i].text;
+    if (x == "kDirDomain") return Domain::kDirectory;
+    if (x == "node_domain") return Domain::kNode;
+    if (x == "disk_domain") return Domain::kDisk;
+    if (x == "DomainId" && i + 2 < e &&
+        (t[i + 1].text == "{" || t[i + 1].text == "(") &&
+        t[i + 2].text == "0") {
+      return Domain::kDirectory;
+    }
+  }
+  return Domain::kUnknown;
+}
+
+[[nodiscard]] Domain field_owner_in(const ClassDecl* cls,
+                                    const std::string& name) {
+  if (cls == nullptr) return Domain::kUnknown;
+  for (const FieldDecl& f : cls->fields) {
+    if (f.name == name) return f.owner;
+  }
+  return Domain::kUnknown;
+}
+
+void note_access(const Walker& w, Domain owner, Domain cur, int line,
+                 const std::string& what) {
+  if (!is_concrete(owner)) return;
+  if (w.facts != nullptr && !is_concrete(cur)) w.facts->touched.insert(owner);
+  if (w.out == nullptr || !is_concrete(cur) || owner == cur) return;
+  w.out->push_back(
+      {w.fn->file, line,
+       "'" + what + "' is owned by the " + domain_name(owner) +
+           " domain but reached from " + domain_name(cur) +
+           "-domain code; route the access through Engine::post_at"});
+}
+
+/// Find the '{' opening the body of a lambda whose '[' sits at `lb`.
+/// Returns kNpos when the capture list does not look like a lambda.
+[[nodiscard]] std::size_t lambda_body(const Walker& w, std::size_t lb,
+                                      std::size_t e) {
+  const auto& t = *w.toks;
+  std::size_t i = lb + 1;
+  int depth = 1;
+  while (i < e && depth > 0) {
+    if (t[i].text == "[") ++depth;
+    if (t[i].text == "]") --depth;
+    ++i;
+  }
+  if (depth != 0) return kNpos;
+  // Optional (params), specifiers, -> ret; then the body brace.
+  if (i < e && t[i].text == "(") {
+    int pd = 0;
+    for (; i < e; ++i) {
+      if (t[i].text == "(") ++pd;
+      if (t[i].text == ")" && --pd == 0) {
+        ++i;
+        break;
+      }
+    }
+  }
+  while (i < e && t[i].text != "{" && t[i].text != ";" && t[i].text != ")") ++i;
+  return i < e && t[i].text == "{" ? i : kNpos;
+}
+
+void walk(const Walker& w, std::size_t b, std::size_t e, Domain cur);
+
+/// Handle `post_at(target, ..., lambda...)` starting with the '(' at
+/// `open`.  Lambdas inside run under the posted target domain; all other
+/// argument tokens evaluate at the posting site.  Returns one past the
+/// call's closing ')'.
+[[nodiscard]] std::size_t walk_post_at(const Walker& w, std::size_t open,
+                                       std::size_t e, Domain cur) {
+  const auto& t = *w.toks;
+  if (w.facts != nullptr) w.facts->has_hop_or_post = true;
+  // First argument extent.
+  std::size_t arg_b = open + 1;
+  std::size_t i = arg_b;
+  int pd = 1;
+  std::size_t arg_e = kNpos;
+  std::size_t close = e;
+  for (; i < e; ++i) {
+    const std::string& x = t[i].text;
+    if (x == "(") ++pd;
+    if (x == ")" && --pd == 0) {
+      close = i;
+      break;
+    }
+    if (x == "," && pd == 1 && arg_e == kNpos) arg_e = i;
+  }
+  if (arg_e == kNpos) arg_e = close;
+  const Domain target = domain_of_expr(t, arg_b, arg_e);
+
+  for (std::size_t j = arg_b; j < close;) {
+    if (t[j].text == "[" && j > arg_b &&
+        (t[j - 1].text == "," || t[j - 1].text == "(")) {
+      const std::size_t body = lambda_body(w, j, close);
+      if (body != kNpos && body < w.close_of.size() &&
+          w.close_of[body] != kNpos && w.close_of[body] <= close) {
+        walk(w, body + 1, w.close_of[body], target);
+        j = w.close_of[body] + 1;
+        continue;
+      }
+    }
+    // Re-dispatch single tokens through the main walk one step at a time
+    // is wasteful; instead handle the few interesting shapes inline.
+    walk(w, j, j + 1, cur);
+    ++j;
+  }
+  return close == e ? e : close + 1;
+}
+
+void walk(const Walker& w, std::size_t b, std::size_t e, Domain cur) {
+  const auto& t = *w.toks;
+  for (std::size_t i = b; i < e;) {
+    const Tok& tk = t[i];
+    if (tk.kind != Tok::kIdent) {
+      ++i;
+      continue;
+    }
+    const std::string& x = tk.text;
+    const std::string& nxt = tok_at(t, i + 1);
+    const std::string& prev = tok_at(t, i == 0 ? t.size() : i - 1);
+
+    if (x == "hop_to" && nxt == "(") {
+      if (w.facts != nullptr) w.facts->has_hop_or_post = true;
+      // The hop commits this coroutine to the target domain from here on.
+      std::size_t j = i + 2;
+      int pd = 1;
+      std::size_t arg_e = e;
+      for (; j < e; ++j) {
+        if (t[j].text == "(") ++pd;
+        if (t[j].text == ")" && --pd == 0) break;
+        if (t[j].text == "," && pd == 1 && arg_e == e) arg_e = j;
+      }
+      cur = domain_of_expr(t, i + 2, arg_e);
+      i += 2;
+      continue;
+    }
+    if (x == "post_at" && nxt == "(") {
+      i = walk_post_at(w, i + 1, e, cur);
+      continue;
+    }
+    if (prev == "." || prev == "->") {
+      if (nxt != "(") {
+        // Field access through a receiver: resolve by unique global name.
+        const bool via_this = i >= 2 && t[i - 2].text == "this";
+        Domain owner = Domain::kUnknown;
+        if (via_this) {
+          owner = field_owner_in(w.enclosing, x);
+        } else {
+          auto it = w.idx->field_owner.find(x);
+          if (it != w.idx->field_owner.end()) owner = it->second;
+        }
+        note_access(w, owner, cur, tk.line, x);
+      }
+      ++i;
+      continue;
+    }
+    if (nxt == "(" && prev != "::") {
+      // Bare call: check the callee's required run-domain.
+      auto it = w.idx->func_requires.find(x);
+      if (it != w.idx->func_requires.end()) {
+        if (w.facts != nullptr && !is_concrete(cur)) {
+          w.facts->callees.insert(x);
+        }
+        if (w.out != nullptr && is_concrete(cur) && is_concrete(it->second) &&
+            it->second != cur) {
+          w.out->push_back(
+              {w.fn->file, tk.line,
+               "call to '" + x + "' (runs on the " + domain_name(it->second) +
+                   " domain) from " + domain_name(cur) +
+                   "-domain code; route it through Engine::post_at"});
+        }
+      } else if (w.facts != nullptr && !is_concrete(cur)) {
+        w.facts->callees.insert(x);
+      }
+      ++i;
+      continue;
+    }
+    // Bare identifier: a member of the enclosing class?
+    if (prev != "::" && prev != "." && prev != "->") {
+      const Domain owner = field_owner_in(w.enclosing, x);
+      note_access(w, owner, cur, tk.line, x);
+    }
+    ++i;
+  }
+}
+
+[[nodiscard]] Domain start_domain(const FuncDef& fd, const ClassDecl* cls) {
+  if (is_concrete(fd.runs)) return fd.runs;
+  if (fd.runs == Domain::kAny) return Domain::kUnknown;
+  if (cls != nullptr && is_concrete(cls->owner)) return cls->owner;
+  return Domain::kUnknown;
+}
+
+[[nodiscard]] const ClassDecl* class_of(const Index& idx,
+                                        const std::string& name) {
+  if (name.empty()) return nullptr;
+  auto it = idx.class_by_name.find(name);
+  if (it == idx.class_by_name.end()) return nullptr;
+  if (std::find(idx.ambiguous_classes.begin(), idx.ambiguous_classes.end(),
+                name) != idx.ambiguous_classes.end()) {
+    return nullptr;
+  }
+  return &idx.classes[it->second];
+}
+
+}  // namespace
+
+const char* domain_name(Domain d) {
+  switch (d) {
+    case Domain::kValue: return "value";
+    case Domain::kEngine: return "engine";
+    case Domain::kNode: return "node";
+    case Domain::kDirectory: return "directory";
+    case Domain::kDisk: return "disk";
+    case Domain::kAny: return "any";
+    case Domain::kUnknown: break;
+  }
+  return "unknown";
+}
+
+Domain dir_default_owner(const std::string& rel) {
+  const std::string d = top_dir(rel);
+  if (d == "util" || d == "obs" || d == "trace" || d == "net" ||
+      d == "disk" || d == "check") {
+    return Domain::kValue;
+  }
+  if (d == "sim" || d == "driver") return Domain::kEngine;
+  if (d == "cache" || d == "core") return Domain::kNode;
+  if (d == "fs") return Domain::kDirectory;
+  return Domain::kUnknown;
+}
+
+void index_file(Index& idx, IndexedFile file, std::vector<ParseDiag>& diags) {
+  file.rel = src_rel(file.path);
+  idx.files.push_back(std::move(file));
+  const IndexedFile& f = idx.files.back();
+
+  FileParse fp;
+  fp.idx = &idx;
+  fp.file_idx = idx.files.size() - 1;
+  fp.toks = &f.lx->toks;
+  fp.path = f.path;
+  fp.diags = &diags;
+  collect_annotations(*f.lx, fp.owns_at, fp.runs_at, diags, f.path);
+  for (const Tok& tk : f.lx->toks) fp.token_lines.insert(tk.line);
+  match_braces(fp);
+  parse_scope(fp, 0, f.lx->toks.size(), kNpos, 0);
+}
+
+void resolve_owners(Index& idx, std::vector<ParseDiag>& diags) {
+  (void)diags;
+  // Class owners: explicit annotation, else the directory default.
+  for (ClassDecl& c : idx.classes) {
+    c.owner = c.annotated != Domain::kUnknown
+                  ? c.annotated
+                  : dir_default_owner(src_rel(c.file));
+  }
+  // Field owners.
+  for (ClassDecl& c : idx.classes) {
+    for (FieldDecl& f : c.fields) {
+      if (f.annotated != Domain::kUnknown) {
+        f.owner = f.annotated;
+        continue;
+      }
+      Domain by_type = Domain::kUnknown;
+      bool explicit_type = false;
+      for (const std::string& ti : f.type_idents) {
+        const ClassDecl* tc = class_of(idx, ti);
+        if (tc == nullptr) continue;
+        if (tc->annotated != Domain::kUnknown) {
+          by_type = tc->annotated;
+          explicit_type = true;
+          break;
+        }
+        // Inferred type owners propagate except for the generic util/
+        // containers, whose instances belong to whoever holds them.
+        if (top_dir(src_rel(tc->file)) == "util") continue;
+        if (by_type == Domain::kUnknown && tc->owner != Domain::kUnknown) {
+          by_type = tc->owner;
+        }
+      }
+      if (explicit_type || by_type != Domain::kUnknown) {
+        f.owner = by_type;
+      } else {
+        f.owner = c.owner == Domain::kEngine ? Domain::kValue : c.owner;
+      }
+    }
+  }
+  // Global field table with ambiguity drop.
+  std::map<std::string, Domain> merged;
+  std::set<std::string> dropped;
+  for (const ClassDecl& c : idx.classes) {
+    for (const FieldDecl& f : c.fields) {
+      auto [it, fresh] = merged.emplace(f.name, f.owner);
+      if (!fresh && it->second != f.owner) dropped.insert(f.name);
+    }
+  }
+  for (const std::string& name : dropped) merged[name] = Domain::kUnknown;
+  idx.field_owner = std::move(merged);
+
+  // Adopt lap-runs annotations written on the in-class declaration for
+  // out-of-line definitions (the usual place to annotate is the header).
+  for (FuncDef& fd : idx.funcs) {
+    if (fd.runs != Domain::kUnknown || fd.cls.empty()) continue;
+    const ClassDecl* cls = class_of(idx, fd.cls);
+    if (cls == nullptr) continue;
+    for (const MethodDecl& m : cls->methods) {
+      if (m.name == fd.name && m.runs != Domain::kUnknown) {
+        fd.runs = m.runs;
+        break;
+      }
+    }
+  }
+
+  // Requirement fixpoint for bare calls.  Seed: explicitly-annotated
+  // concrete run-domains, and bodies that touch exactly one concrete
+  // domain without hopping.  Iterate until stable (bounded).
+  std::vector<BodyFacts> facts(idx.funcs.size());
+  for (std::size_t i = 0; i < idx.funcs.size(); ++i) {
+    const FuncDef& fd = idx.funcs[i];
+    if (fd.is_ctor) continue;
+    Walker w;
+    w.idx = &idx;
+    w.fn = &fd;
+    w.toks = &idx.files[fd.file_idx].lx->toks;
+    {
+      // Cheap local brace match restricted to the body range.
+      w.close_of.assign(w.toks->size(), kNpos);
+      std::vector<std::size_t> stack;
+      for (std::size_t j = fd.body_begin; j < fd.body_end; ++j) {
+        const std::string& x = (*w.toks)[j].text;
+        if (x == "{") stack.push_back(j);
+        if (x == "}" && !stack.empty()) {
+          w.close_of[stack.back()] = j;
+          stack.pop_back();
+        }
+      }
+    }
+    w.facts = &facts[i];
+    w.enclosing = class_of(idx, fd.cls);
+    walk(w, fd.body_begin + 1, fd.body_end - 1, Domain::kUnknown);
+  }
+
+  std::map<std::string, Domain> req;
+  std::map<std::string, bool> conflict;
+  const auto merge_req = [&](const std::string& name, Domain d) {
+    auto [it, fresh] = req.emplace(name, d);
+    if (!fresh && it->second != d) conflict[name] = true;
+  };
+  for (std::size_t pass = 0; pass < 12; ++pass) {
+    bool changed = false;
+    for (std::size_t i = 0; i < idx.funcs.size(); ++i) {
+      const FuncDef& fd = idx.funcs[i];
+      if (fd.is_ctor || fd.runs == Domain::kAny) continue;
+      Domain want = Domain::kUnknown;
+      if (is_concrete(fd.runs)) {
+        want = fd.runs;
+      } else if (!facts[i].has_hop_or_post) {
+        const ClassDecl* cls = class_of(idx, fd.cls);
+        if (cls != nullptr && is_concrete(cls->owner)) {
+          want = cls->owner;
+        } else {
+          std::set<Domain> need = facts[i].touched;
+          for (const std::string& callee : facts[i].callees) {
+            auto it = req.find(callee);
+            if (it != req.end() && !conflict.count(callee)) {
+              need.insert(it->second);
+            }
+          }
+          if (need.size() == 1 && is_concrete(*need.begin())) {
+            want = *need.begin();
+          }
+        }
+      }
+      if (want == Domain::kUnknown) continue;
+      const auto before = req.find(fd.name);
+      const bool had = before != req.end();
+      merge_req(fd.name, want);
+      if (!had) changed = true;
+    }
+    if (!changed) break;
+  }
+  idx.func_requires.clear();
+  for (const auto& [name, d] : req) {
+    if (conflict.count(name) == 0 && is_concrete(d)) {
+      idx.func_requires.emplace(name, d);
+    }
+  }
+}
+
+void check_confinement(const Index& idx, std::vector<ParseDiag>& out) {
+  for (const FuncDef& fd : idx.funcs) {
+    if (fd.is_ctor) continue;
+    if (src_rel(fd.file).empty()) continue;  // outside src/: not checked
+    Walker w;
+    w.idx = &idx;
+    w.fn = &fd;
+    w.toks = &idx.files[fd.file_idx].lx->toks;
+    w.close_of.assign(w.toks->size(), kNpos);
+    std::vector<std::size_t> stack;
+    for (std::size_t j = fd.body_begin; j < fd.body_end; ++j) {
+      const std::string& x = (*w.toks)[j].text;
+      if (x == "{") stack.push_back(j);
+      if (x == "}" && !stack.empty()) {
+        w.close_of[stack.back()] = j;
+        stack.pop_back();
+      }
+    }
+    w.out = &out;
+    w.enclosing = class_of(idx, fd.cls);
+    walk(w, fd.body_begin + 1, fd.body_end - 1,
+         start_domain(fd, w.enclosing));
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ParseDiag& a, const ParseDiag& b) {
+                     return a.file != b.file ? a.file < b.file
+                                             : a.line < b.line;
+                   });
+}
+
+}  // namespace lap::lint

@@ -1,0 +1,162 @@
+// Cross-translation-unit declaration index and domain-ownership model.
+//
+// The sharded engine (DESIGN.md §14) partitions all simulation state into
+// domains — one model domain per node, the cooperative-cache directory
+// domain, and one service domain per disk — and the bit-exactness story
+// rests on state owned by domain A only ever being touched from domain A,
+// or handed across via Engine::post_at mail.  The index makes that
+// property statically checkable: it parses every class, member and method
+// out of the token stream (lex.hpp), resolves each one to an owning
+// domain, and gives the domain-confinement rule (lint.cpp) the call-graph
+// facts it needs to walk function bodies with a tracked "current domain".
+//
+// Ownership is declared with comment annotations:
+//
+//   // lap-owns: node|directory|disk|engine|value
+//     on a class/struct declaration (the line of, or up to two lines
+//     above, the `class`/`struct` keyword), or on a data member.
+//
+//   // lap-runs: node|directory|disk|any
+//     on a method declaration or definition, naming the domain whose
+//     event handlers the method runs under.  `any` marks idle-time
+//     accessors (setup, teardown, test hooks) exempt from checking.
+//
+// Files that carry no annotation inherit a directory default (see
+// dir_default_owner): src/fs is directory-owned, src/{cache,core} are
+// node-owned, src/sim is the engine kernel, and the value-type layers
+// (util, trace, obs, net, disk, check) default to `value` — freely
+// shareable, never flagged.
+//
+// The parser is a structural scanner, not a compiler: it brace-matches
+// the whole token stream first, then walks namespace/class/function
+// scopes recursively.  It is written to be total — malformed, truncated
+// or macro-mangled input produces typed `index-parse` diagnostics, never
+// a crash or an unbounded loop.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lex.hpp"
+
+namespace lap::lint {
+
+/// Owning domain of a piece of state, or the run-domain of a method.
+enum class Domain : std::uint8_t {
+  kUnknown,    // not resolved; confinement checks skip it
+  kValue,      // plain value/shared-read state — never flagged
+  kEngine,     // the audited concurrency kernel (sim/)
+  kNode,       // per-node model domain (node_domain(n))
+  kDirectory,  // the cooperative-cache directory domain (domain 0)
+  kDisk,       // per-disk service domain (disk_domain(...))
+  kAny,        // lap-runs: any — idle-time code, exempt from checking
+};
+
+[[nodiscard]] const char* domain_name(Domain d);
+
+/// True for the domains that actually own confined state.
+[[nodiscard]] inline bool is_concrete(Domain d) {
+  return d == Domain::kNode || d == Domain::kDirectory || d == Domain::kDisk;
+}
+
+/// Ownership default for a path under src/ ("" → kUnknown).
+[[nodiscard]] Domain dir_default_owner(const std::string& rel);
+
+struct FieldDecl {
+  std::string name;
+  int line = 0;
+  Domain annotated = Domain::kUnknown;  // explicit lap-owns on the member
+  Domain owner = Domain::kUnknown;      // resolved (see resolve_owners)
+  std::vector<std::string> type_idents;  // identifiers in the declared type
+  bool has_init = false;  // carries a default member initializer
+  bool scalar = false;    // built-in arithmetic/pointer type (pod-init)
+  bool is_const = false;  // const member: the compiler forces an init
+};
+
+struct MethodDecl {
+  std::string name;
+  int line = 0;
+  Domain runs = Domain::kUnknown;  // explicit lap-runs, if any
+};
+
+struct ClassDecl {
+  std::string name;
+  std::string file;  // effective path of the declaring file
+  int line = 0;
+  Domain annotated = Domain::kUnknown;  // explicit lap-owns on the class
+  Domain owner = Domain::kUnknown;      // resolved class owner
+  std::vector<FieldDecl> fields;
+  std::vector<MethodDecl> methods;
+};
+
+/// A function body eligible for confinement analysis.
+struct FuncDef {
+  std::string cls;   // enclosing/qualifying class name; empty = free fn
+  std::string name;
+  std::string file;  // effective path
+  int line = 0;
+  std::size_t file_idx = 0;    // which IndexedFile the body lives in
+  std::size_t body_begin = 0;  // token index of the '{'
+  std::size_t body_end = 0;    // token index one past the matching '}'
+  bool is_ctor = false;        // constructors/destructors are exempt
+  Domain runs = Domain::kUnknown;  // resolved run-domain of the body
+};
+
+/// One parsed file: a borrowed lexed token stream plus its effective
+/// (possibly virtual) path and scope facts.  The Lexed must outlive the
+/// Index (lint.cpp keeps all units alive for the whole run).
+struct IndexedFile {
+  std::string path;  // effective path, '/' separators
+  std::string rel;   // path after the last "src/"; empty if outside src/
+  const Lexed* lx = nullptr;
+};
+
+// Diagnostic shape shared with lint.hpp; redeclared here to keep the
+// index layer free of the rule table.  lint.cpp converts.
+struct ParseDiag {
+  std::string file;
+  int line = 0;
+  std::string message;
+};
+
+/// The cross-TU index.  Feed files through index_file(), then call
+/// resolve_owners() once; parse problems come back as typed ParseDiags
+/// (rule "index-parse" at the lint layer), never exceptions.
+struct Index {
+  std::vector<IndexedFile> files;
+  std::vector<ClassDecl> classes;
+  std::vector<FuncDef> funcs;
+
+  // name → index into classes; names declared more than once map to the
+  // first declaration and are recorded in `ambiguous_classes`.
+  std::map<std::string, std::size_t> class_by_name;
+  std::vector<std::string> ambiguous_classes;
+
+  // field name → owner, merged across every class.  A name whose
+  // declarations disagree is dropped (confinement must never guess).
+  std::map<std::string, Domain> field_owner;
+
+  // function/method NAME → required run-domain, for bare-call checks.
+  // Only names whose every definition agrees on one concrete domain.
+  std::map<std::string, Domain> func_requires;
+};
+
+/// Parse one file's declarations into `idx` (classes, funcs).  Exposed
+/// separately so the indexer robustness tests can feed it hostile input.
+void index_file(Index& idx, IndexedFile file, std::vector<ParseDiag>& diags);
+
+/// Resolve every class/field owner and function run-domain, then compute
+/// the bare-call requirement table (a bounded fixpoint over the call
+/// graph).  Call once after the last index_file().
+void resolve_owners(Index& idx, std::vector<ParseDiag>& diags);
+
+/// Run the interprocedural domain-confinement walk over every function
+/// body in the index.  Emits (file, line, message) tuples; lint.cpp maps
+/// them onto the `domain-confinement` rule and the per-file suppression
+/// directives.
+void check_confinement(const Index& idx, std::vector<ParseDiag>& out);
+
+}  // namespace lap::lint

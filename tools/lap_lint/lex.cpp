@@ -1,0 +1,161 @@
+#include "lex.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace lap::lint {
+namespace {
+
+[[nodiscard]] bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+[[nodiscard]] bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Consume a raw string literal starting at the opening quote of
+/// R"delim( ... )delim".  Returns the index one past the closing quote.
+[[nodiscard]] std::size_t skip_raw_string(const std::string& s, std::size_t i,
+                                          int& line) {
+  // s[i] == '"'; collect the delimiter up to '('.
+  std::size_t j = i + 1;
+  std::string delim;
+  while (j < s.size() && s[j] != '(') delim += s[j++];
+  const std::string closer = ")" + delim + "\"";
+  std::size_t end = s.find(closer, j);
+  if (end == std::string::npos) return s.size();
+  for (std::size_t k = i; k < end + closer.size(); ++k) {
+    if (s[k] == '\n') ++line;
+  }
+  return end + closer.size();
+}
+
+}  // namespace
+
+Lexed lex(const std::string& s) {
+  Lexed out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = s.size();
+  bool line_start = true;  // nothing but whitespace since the last newline
+
+  while (i < n) {
+    const char c = s[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      line_start = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '/' && i + 1 < n && s[i + 1] == '/') {
+      std::size_t j = s.find('\n', i);
+      if (j == std::string::npos) j = n;
+      out.comments.push_back({s.substr(i + 2, j - i - 2), line});
+      i = j;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && s[i + 1] == '*') {
+      const int start_line = line;
+      std::size_t j = s.find("*/", i + 2);
+      if (j == std::string::npos) j = n;
+      out.comments.push_back({s.substr(i + 2, j - i - 2), start_line});
+      for (std::size_t k = i; k < std::min(j + 2, n); ++k) {
+        if (s[k] == '\n') ++line;
+      }
+      i = std::min(j + 2, n);
+      continue;
+    }
+    // Preprocessor directive: consume the logical line, record includes.
+    if (c == '#' && line_start) {
+      std::size_t j = i;
+      std::string dir;
+      while (j < n) {
+        if (s[j] == '\\' && j + 1 < n && s[j + 1] == '\n') {
+          ++line;
+          j += 2;
+          continue;
+        }
+        if (s[j] == '\n') break;
+        dir += s[j++];
+      }
+      std::size_t p = dir.find_first_not_of(" \t", 1);
+      if (p != std::string::npos && dir.compare(p, 7, "include") == 0) {
+        std::size_t q = dir.find_first_not_of(" \t", p + 7);
+        if (q != std::string::npos && (dir[q] == '<' || dir[q] == '"')) {
+          const char close = dir[q] == '<' ? '>' : '"';
+          std::size_t e = dir.find(close, q + 1);
+          if (e != std::string::npos) {
+            out.includes.push_back(
+                {dir.substr(q + 1, e - q - 1), dir[q] == '<', line});
+          }
+        }
+      }
+      i = j;
+      line_start = false;
+      continue;
+    }
+    line_start = false;
+    // String / char literals (contents stripped).
+    if (c == '"' || c == '\'') {
+      std::size_t j = i + 1;
+      while (j < n && s[j] != c) {
+        if (s[j] == '\\' && j + 1 < n) {
+          j += 2;
+          continue;
+        }
+        if (s[j] == '\n') ++line;
+        ++j;
+      }
+      i = j < n ? j + 1 : n;
+      continue;
+    }
+    // Identifiers (raw-string prefixes included: R"( …)").
+    if (ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && ident_char(s[j])) ++j;
+      std::string id = s.substr(i, j - i);
+      if (j < n && s[j] == '"' &&
+          (id == "R" || id == "LR" || id == "uR" || id == "UR" ||
+           id == "u8R")) {
+        i = skip_raw_string(s, j, line);
+        continue;
+      }
+      out.toks.push_back({Tok::kIdent, std::move(id), line});
+      i = j;
+      continue;
+    }
+    // Numbers (incl. hex, suffixes, digit separators).
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      std::size_t j = i;
+      while (j < n && (ident_char(s[j]) || s[j] == '\'' || s[j] == '.')) ++j;
+      out.toks.push_back({Tok::kNumber, s.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    // Punctuation: '::', '->', '[[' and ']]' matter to the rules;
+    // everything else is a single character.
+    if (i + 1 < n && ((c == ':' && s[i + 1] == ':') ||
+                      (c == '-' && s[i + 1] == '>') ||
+                      (c == '[' && s[i + 1] == '[') ||
+                      (c == ']' && s[i + 1] == ']'))) {
+      out.toks.push_back({Tok::kPunct, s.substr(i, 2), line});
+      i += 2;
+      continue;
+    }
+    out.toks.push_back({Tok::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+const std::string& tok_at(const std::vector<Tok>& t, std::size_t i) {
+  static const std::string empty;
+  return i < t.size() ? t[i].text : empty;
+}
+
+}  // namespace lap::lint

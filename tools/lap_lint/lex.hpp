@@ -1,0 +1,47 @@
+// lap_lint's tokenizer — the single lexical view shared by the per-file
+// rules (lint.cpp) and the cross-TU declaration indexer (index.cpp).
+//
+// One pass produces tokens with comments, string and character literals
+// stripped (their contents can never violate a rule), plus the include
+// directives and every comment (for lap-lint / lap-owns / lap-runs
+// directives).  The lexer never throws and never loops: every state
+// consumes at least one byte.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lap::lint {
+
+struct Tok {
+  enum Kind { kIdent, kNumber, kPunct };
+  Kind kind;
+  std::string text;
+  int line;
+};
+
+struct Include {
+  std::string name;  // header name without the delimiters
+  bool angled;       // <...> vs "..."
+  int line;
+};
+
+struct Comment {
+  std::string text;
+  int line;
+};
+
+/// Lexed view of one translation unit.
+struct Lexed {
+  std::vector<Tok> toks;
+  std::vector<Include> includes;
+  std::vector<Comment> comments;
+};
+
+[[nodiscard]] Lexed lex(const std::string& s);
+
+/// Token text at `i`, or "" past the end (lets rules look around freely).
+[[nodiscard]] const std::string& tok_at(const std::vector<Tok>& t,
+                                        std::size_t i);
+
+}  // namespace lap::lint

@@ -1,197 +1,31 @@
 #include "lint.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include "index.hpp"
+#include "lex.hpp"
 
 namespace lap::lint {
 namespace {
-
-// --- tokenizer ------------------------------------------------------------
-
-struct Tok {
-  enum Kind { kIdent, kNumber, kPunct };
-  Kind kind;
-  std::string text;
-  int line;
-};
-
-struct Include {
-  std::string name;  // header name without the delimiters
-  bool angled;       // <...> vs "..."
-  int line;
-};
-
-struct Comment {
-  std::string text;
-  int line;
-};
-
-/// Lexed view of one translation unit: tokens with comments, string and
-/// character literals stripped (their contents can never violate a rule),
-/// plus the include directives and every comment (for lap-lint
-/// directives).
-struct Lexed {
-  std::vector<Tok> toks;
-  std::vector<Include> includes;
-  std::vector<Comment> comments;
-};
-
-[[nodiscard]] bool ident_start(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-[[nodiscard]] bool ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-/// Consume a raw string literal starting at the opening quote of
-/// R"delim( ... )delim".  Returns the index one past the closing quote.
-[[nodiscard]] std::size_t skip_raw_string(const std::string& s, std::size_t i,
-                                          int& line) {
-  // s[i] == '"'; collect the delimiter up to '('.
-  std::size_t j = i + 1;
-  std::string delim;
-  while (j < s.size() && s[j] != '(') delim += s[j++];
-  const std::string closer = ")" + delim + "\"";
-  std::size_t end = s.find(closer, j);
-  if (end == std::string::npos) return s.size();
-  for (std::size_t k = i; k < end + closer.size(); ++k) {
-    if (s[k] == '\n') ++line;
-  }
-  return end + closer.size();
-}
-
-[[nodiscard]] Lexed lex(const std::string& s) {
-  Lexed out;
-  int line = 1;
-  std::size_t i = 0;
-  const std::size_t n = s.size();
-  bool line_start = true;  // nothing but whitespace since the last newline
-
-  while (i < n) {
-    const char c = s[i];
-    if (c == '\n') {
-      ++line;
-      ++i;
-      line_start = true;
-      continue;
-    }
-    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
-      ++i;
-      continue;
-    }
-    // Comments.
-    if (c == '/' && i + 1 < n && s[i + 1] == '/') {
-      std::size_t j = s.find('\n', i);
-      if (j == std::string::npos) j = n;
-      out.comments.push_back({s.substr(i + 2, j - i - 2), line});
-      i = j;
-      continue;
-    }
-    if (c == '/' && i + 1 < n && s[i + 1] == '*') {
-      const int start_line = line;
-      std::size_t j = s.find("*/", i + 2);
-      if (j == std::string::npos) j = n;
-      out.comments.push_back({s.substr(i + 2, j - i - 2), start_line});
-      for (std::size_t k = i; k < std::min(j + 2, n); ++k) {
-        if (s[k] == '\n') ++line;
-      }
-      i = std::min(j + 2, n);
-      continue;
-    }
-    // Preprocessor directive: consume the logical line, record includes.
-    if (c == '#' && line_start) {
-      std::size_t j = i;
-      std::string dir;
-      while (j < n) {
-        if (s[j] == '\\' && j + 1 < n && s[j + 1] == '\n') {
-          ++line;
-          j += 2;
-          continue;
-        }
-        if (s[j] == '\n') break;
-        dir += s[j++];
-      }
-      std::size_t p = dir.find_first_not_of(" \t", 1);
-      if (p != std::string::npos && dir.compare(p, 7, "include") == 0) {
-        std::size_t q = dir.find_first_not_of(" \t", p + 7);
-        if (q != std::string::npos && (dir[q] == '<' || dir[q] == '"')) {
-          const char close = dir[q] == '<' ? '>' : '"';
-          std::size_t e = dir.find(close, q + 1);
-          if (e != std::string::npos) {
-            out.includes.push_back(
-                {dir.substr(q + 1, e - q - 1), dir[q] == '<', line});
-          }
-        }
-      }
-      i = j;
-      line_start = false;
-      continue;
-    }
-    line_start = false;
-    // String / char literals (contents stripped).
-    if (c == '"' || c == '\'') {
-      std::size_t j = i + 1;
-      while (j < n && s[j] != c) {
-        if (s[j] == '\\' && j + 1 < n) {
-          j += 2;
-          continue;
-        }
-        if (s[j] == '\n') ++line;
-        ++j;
-      }
-      i = j < n ? j + 1 : n;
-      continue;
-    }
-    // Identifiers (raw-string prefixes included: R"( …)").
-    if (ident_start(c)) {
-      std::size_t j = i;
-      while (j < n && ident_char(s[j])) ++j;
-      std::string id = s.substr(i, j - i);
-      if (j < n && s[j] == '"' &&
-          (id == "R" || id == "LR" || id == "uR" || id == "UR" ||
-           id == "u8R")) {
-        i = skip_raw_string(s, j, line);
-        continue;
-      }
-      out.toks.push_back({Tok::kIdent, std::move(id), line});
-      i = j;
-      continue;
-    }
-    // Numbers (incl. hex, suffixes, digit separators).
-    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
-      std::size_t j = i;
-      while (j < n && (ident_char(s[j]) || s[j] == '\'' || s[j] == '.')) ++j;
-      out.toks.push_back({Tok::kNumber, s.substr(i, j - i), line});
-      i = j;
-      continue;
-    }
-    // Punctuation: '::', '[[' and ']]' matter to the rules; everything
-    // else is a single character.
-    if (i + 1 < n && ((c == ':' && s[i + 1] == ':') ||
-                      (c == '[' && s[i + 1] == '[') ||
-                      (c == ']' && s[i + 1] == ']'))) {
-      out.toks.push_back({Tok::kPunct, s.substr(i, 2), line});
-      i += 2;
-      continue;
-    }
-    out.toks.push_back({Tok::kPunct, std::string(1, c), line});
-    ++i;
-  }
-  return out;
-}
 
 // --- directive parsing ----------------------------------------------------
 
 struct Directives {
   std::set<std::string> allowed;  // rule ids suppressed for this file
-  std::string virtual_path;       // from path(...), empty if absent
+  std::map<std::string, std::set<int>> allowed_lines;  // rule → lines
+  std::string virtual_path;  // from path(...), empty if absent
 };
 
 [[nodiscard]] Directives parse_directives(const std::vector<Comment>& comments) {
@@ -210,13 +44,19 @@ struct Directives {
       if (open != std::string::npos && close != std::string::npos) {
         const std::string verb = c.text.substr(p, open - p);
         std::string body = c.text.substr(open + 1, close - open - 1);
-        if (verb == "allow") {
+        if (verb == "allow" || verb == "allow-next-line") {
           std::stringstream ss(body);
           std::string id;
           while (std::getline(ss, id, ',')) {
             id.erase(0, id.find_first_not_of(" \t"));
             id.erase(id.find_last_not_of(" \t") + 1);
-            if (!id.empty()) d.allowed.insert(id);
+            if (id.empty()) continue;
+            if (verb == "allow") {
+              d.allowed.insert(id);
+            } else {
+              // Suppresses the line directly below the comment's line.
+              d.allowed_lines[id].insert(c.line + 1);
+            }
           }
         } else if (verb == "path") {
           body.erase(0, body.find_first_not_of(" \t"));
@@ -228,6 +68,13 @@ struct Directives {
     }
   }
   return d;
+}
+
+[[nodiscard]] bool suppressed(const Directives& dirs, const std::string& rule,
+                              int line) {
+  if (dirs.allowed.count(rule) != 0) return true;
+  auto it = dirs.allowed_lines.find(rule);
+  return it != dirs.allowed_lines.end() && it->second.count(line) != 0;
 }
 
 // --- file context + rule plumbing ----------------------------------------
@@ -243,7 +90,7 @@ struct FileCtx {
 
 void emit(const FileCtx& ctx, std::vector<Diagnostic>& out,
           const std::string& rule, int line, const std::string& msg) {
-  if (ctx.dirs->allowed.count(rule) != 0) return;
+  if (suppressed(*ctx.dirs, rule, line)) return;
   out.push_back({ctx.path, line, rule, msg});
 }
 
@@ -262,13 +109,6 @@ void emit(const FileCtx& ctx, std::vector<Diagnostic>& out,
     if (inc.name == name) return true;
   }
   return false;
-}
-
-/// Token text at `i`, or "" past the end (lets rules look around freely).
-[[nodiscard]] const std::string& tok_at(const std::vector<Tok>& t,
-                                        std::size_t i) {
-  static const std::string empty;
-  return i < t.size() ? t[i].text : empty;
 }
 
 [[nodiscard]] bool prefixed_std(const std::vector<Tok>& t, std::size_t i) {
@@ -388,9 +228,111 @@ void check_pointer_keyed_map(const FileCtx& ctx, std::vector<Diagnostic>& out) {
   }
 }
 
-// unordered-iteration: range-for over a std::unordered_* variable declared
-// in this file.  Unordered iteration order is stdlib-defined, so anything
-// it feeds (output, trace, simulation events) silently depends on it.
+// pointer-ordering: pointer VALUES flowing into an ordering or a hash —
+// std::hash<T*>/std::less<T*> specializations and reinterpret_cast to
+// [u]intptr_t — are nondeterministic under ASLR even when no container
+// is involved (sort keys, tie-breakers, bucket choices).
+void check_pointer_ordering(const FileCtx& ctx, std::vector<Diagnostic>& out) {
+  if (!ctx.in_src) return;
+  const auto& t = ctx.lx->toks;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Tok::kIdent) continue;
+    if ((t[i].text == "hash" || t[i].text == "less" ||
+         t[i].text == "greater") &&
+        prefixed_std(t, i) && tok_at(t, i + 1) == "<" &&
+        first_template_arg_is_pointer(t, i + 1)) {
+      emit(ctx, out, "pointer-ordering", t[i].line,
+           "std::" + t[i].text +
+               "<T*> orders/hashes by address (nondeterministic under "
+               "ASLR); derive the key from a stable id");
+      continue;
+    }
+    if (t[i].text == "reinterpret_cast" && tok_at(t, i + 1) == "<") {
+      for (std::size_t j = i + 2; j < t.size() && t[j].text != ">"; ++j) {
+        if (t[j].text == "uintptr_t" || t[j].text == "intptr_t") {
+          emit(ctx, out, "pointer-ordering", t[i].line,
+               "reinterpret_cast to " + t[j].text +
+                   " turns an address into an integer; any ordering or "
+                   "hash built on it is nondeterministic under ASLR");
+          break;
+        }
+      }
+    }
+  }
+}
+
+// float-accumulation: += / -= on a float/double variable on a simulation
+// path.  Summation order there depends on event order and shard
+// interleaving history; integer units (bytes, ns, counts) or an explicit
+// compensated reduction keep runs bit-exact.
+void check_float_accumulation(const FileCtx& ctx,
+                              std::vector<Diagnostic>& out) {
+  if (!rel_in(ctx, {"cache", "core", "fs", "sim", "disk", "net"})) return;
+  const auto& t = ctx.lx->toks;
+  std::set<std::string> float_vars;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].text != "float" && t[i].text != "double") continue;
+    if (t[i + 1].kind != Tok::kIdent) continue;
+    const std::string& after = tok_at(t, i + 2);
+    if (after == "=" || after == ";" || after == "{" || after == ",") {
+      float_vars.insert(t[i + 1].text);
+    }
+  }
+  if (float_vars.empty()) return;
+  for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+    if (t[i].kind != Tok::kIdent || float_vars.count(t[i].text) == 0) continue;
+    if ((t[i + 1].text == "+" || t[i + 1].text == "-") &&
+        t[i + 2].text == "=") {
+      emit(ctx, out, "float-accumulation", t[i].line,
+           "floating-point accumulation into '" + t[i].text +
+               "' is evaluation-order-sensitive on a simulation path; use "
+               "integer units or a single end-of-run reduction");
+    }
+  }
+}
+
+// include-layering: the layer DAG of src/.  An include that points from a
+// lower-ranked directory into a higher-ranked one is a back-edge: it
+// couples a foundation layer to a consumer and eventually cycles.
+//   util < {sim, trace} < obs < {cache, core, net, disk} < fs < driver
+//        < check
+[[nodiscard]] int layer_rank(const std::string& dir) {
+  if (dir == "util") return 0;
+  if (dir == "sim" || dir == "trace") return 1;
+  if (dir == "obs") return 2;
+  if (dir == "cache" || dir == "core" || dir == "net" || dir == "disk")
+    return 3;
+  if (dir == "fs") return 4;
+  if (dir == "driver") return 5;
+  if (dir == "check") return 6;
+  return -1;
+}
+
+void check_include_layering(const FileCtx& ctx, std::vector<Diagnostic>& out) {
+  if (!ctx.in_src) return;
+  const std::size_t slash = ctx.rel.find('/');
+  if (slash == std::string::npos) return;
+  const int self = layer_rank(ctx.rel.substr(0, slash));
+  if (self < 0) return;
+  for (const Include& inc : ctx.lx->includes) {
+    if (inc.angled) continue;
+    const std::size_t s = inc.name.find('/');
+    if (s == std::string::npos) continue;
+    const int target = layer_rank(inc.name.substr(0, s));
+    if (target < 0 || target <= self) continue;
+    emit(ctx, out, "include-layering", inc.line,
+         "\"" + inc.name + "\" is a layering back-edge: src/" +
+             ctx.rel.substr(0, slash) + " (rank " + std::to_string(self) +
+             ") may not include layer rank " + std::to_string(target) +
+             " (util < sim,trace < obs < cache,core,net,disk < fs < driver "
+             "< check)");
+  }
+}
+
+// unordered-iteration: iteration over a std::unordered_* variable
+// declared in this file — range-for or explicit .begin()/.cbegin().
+// Unordered iteration order is stdlib-defined, so anything it feeds
+// (output, trace, simulation events) silently depends on it.
 void check_unordered_iteration(const FileCtx& ctx,
                                std::vector<Diagnostic>& out) {
   if (!ctx.in_src) return;
@@ -437,6 +379,22 @@ void check_unordered_iteration(const FileCtx& ctx,
                  "container or ordering");
         break;
       }
+    }
+  }
+  // Pass 3: explicit iterator walks — u.begin()/u.cbegin() escape the
+  // range-for detection above but leak the same order.
+  for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+    if (t[i].kind != Tok::kIdent || unordered_vars.count(t[i].text) == 0) {
+      continue;
+    }
+    if (t[i + 1].text != "." && t[i + 1].text != "->") continue;
+    const std::string& m = t[i + 2].text;
+    if ((m == "begin" || m == "cbegin" || m == "rbegin") &&
+        tok_at(t, i + 3) == "(") {
+      emit(ctx, out, "unordered-iteration", t[i].line,
+           "'" + t[i].text + "." + m +
+               "()' iterates an unordered container — order is "
+               "stdlib-defined; use a deterministic container or ordering");
     }
   }
 }
@@ -635,45 +593,78 @@ using CheckFn = void (*)(const FileCtx&, std::vector<Diagnostic>&);
 struct Rule {
   const char* id;
   const char* summary;
-  CheckFn fn;
+  const char* scope;  // "tree-wide", "directory-scoped" or "cross-TU"
+  bool needs_index;
+  CheckFn fn;  // nullptr for the index-backed rules (run in cross phase)
 };
 
 constexpr Rule kRules[] = {
     {"no-rand",
      "ambient randomness (rand(), std::random_device, ...) banned in src/",
-     check_no_rand},
+     "tree-wide", false, check_no_rand},
     {"no-wallclock",
      "wall-clock reads (system_clock, steady_clock, gettimeofday, ...) "
      "banned in src/",
-     check_no_wallclock},
+     "tree-wide", false, check_no_wallclock},
     {"unordered-iteration",
-     "range-for over a std::unordered_* container banned in src/",
-     check_unordered_iteration},
+     "iteration (range-for or .begin()) over a std::unordered_* container "
+     "banned in src/",
+     "tree-wide", false, check_unordered_iteration},
     {"pointer-keyed-map",
      "std::map/std::set keyed by a pointer banned in src/",
-     check_pointer_keyed_map},
+     "tree-wide", false, check_pointer_keyed_map},
     {"container-policy",
      "std::unordered_map/std::map banned in src/{cache,core,fs,sim,driver} "
      "(use util/flat_hash.hpp)",
-     check_container_policy},
+     "directory-scoped", false, check_container_policy},
     {"trace-io-typed-errors",
      "src/trace/io throws typed TraceIoError only; no bare throw/abort",
-     check_trace_io_errors},
+     "directory-scoped", false, check_trace_io_errors},
     {"nodiscard-result",
      "result-returning APIs in src/trace and src/check headers must be "
      "[[nodiscard]]",
-     check_nodiscard_result},
+     "directory-scoped", false, check_nodiscard_result},
     {"no-iostream-in-header", "<iostream> banned in src/ headers",
-     check_iostream_header},
+     "tree-wide", false, check_iostream_header},
     {"transitive-include",
      "curated std symbols must be included directly, not transitively",
-     check_transitive_include},
+     "tree-wide", false, check_transitive_include},
     {"concurrency-containment",
      "threads/locks/atomics/thread_local banned in src/ outside the "
      "engine's concurrency kernel (cross-shard state goes through "
      "Engine::post_at)",
-     check_concurrency_containment},
+     "tree-wide", false, check_concurrency_containment},
+    {"pointer-ordering",
+     "std::hash/less/greater<T*> and reinterpret_cast<[u]intptr_t> banned "
+     "in src/ (address-derived orderings break under ASLR)",
+     "tree-wide", false, check_pointer_ordering},
+    {"float-accumulation",
+     "+=/-= on float/double banned in src/{cache,core,fs,sim,disk,net} "
+     "(summation order is event-order-sensitive)",
+     "directory-scoped", false, check_float_accumulation},
+    {"include-layering",
+     "no back-edges in the src/ layer DAG (util < sim,trace < obs < "
+     "cache,core,net,disk < fs < driver < check)",
+     "tree-wide", false, check_include_layering},
+    {"pod-init",
+     "scalar members of src/sim structs and *Mail/*Event/*Msg structs "
+     "must carry default member initializers",
+     "directory-scoped", true, nullptr},
+    {"index-parse",
+     "the declaration indexer reports malformed/truncated/ambiguous "
+     "declarations as typed diagnostics",
+     "cross-TU", true, nullptr},
+    {"domain-confinement",
+     "state owned by one domain (lap-owns) may only be reached from that "
+     "domain's code (lap-runs / hop_to / post_at lambdas); crossing "
+     "domains requires Engine::post_at",
+     "cross-TU", true, nullptr},
 };
+
+[[nodiscard]] bool rule_enabled(const Options& opts, const std::string& id) {
+  return opts.only.empty() ||
+         std::find(opts.only.begin(), opts.only.end(), id) != opts.only.end();
+}
 
 [[nodiscard]] std::string normalize(std::string path) {
   std::replace(path.begin(), path.end(), '\\', '/');
@@ -697,60 +688,188 @@ void fill_scope(FileCtx& ctx) {
   ctx.is_header = ends_with(".hpp") || ends_with(".h") || ends_with(".hh");
 }
 
-}  // namespace
+[[nodiscard]] std::string path_src_rel(const std::string& path) {
+  FileCtx ctx;
+  ctx.path = path;
+  fill_scope(ctx);
+  return ctx.rel;
+}
 
-std::vector<RuleInfo> rule_catalog() {
-  std::vector<RuleInfo> out;
-  for (const Rule& r : kRules) out.push_back({r.id, r.summary});
+// --- corpus pipeline ------------------------------------------------------
+
+/// One translation unit moving through the pipeline.
+struct Unit {
+  std::string disk_path;
+  std::string content;
+  std::uint64_t hash = 0;  // content + disk path, for the cache
+  bool cached = false;     // per-file diags came from the cache
+  Lexed lx;
+  Directives dirs;
+  std::string eff_path;
+  std::vector<Diagnostic> per_file;  // per-file rule diags, post-suppression
+};
+
+[[nodiscard]] std::uint64_t fnv1a(const std::string& s,
+                                  std::uint64_t h = 1469598103934665603ULL) {
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+void analyze_unit(Unit& u, const Options& opts) {
+  u.lx = lex(u.content);
+  u.dirs = parse_directives(u.lx.comments);
+  u.eff_path =
+      normalize(u.dirs.virtual_path.empty() ? u.disk_path : u.dirs.virtual_path);
+  FileCtx ctx;
+  ctx.path = u.eff_path;
+  ctx.lx = &u.lx;
+  ctx.dirs = &u.dirs;
+  fill_scope(ctx);
+  for (const Rule& r : kRules) {
+    if (r.fn == nullptr || !rule_enabled(opts, r.id)) continue;
+    r.fn(ctx, u.per_file);
+  }
+  std::stable_sort(u.per_file.begin(), u.per_file.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return a.line < b.line;
+                   });
+}
+
+/// Lex-only pass for units whose per-file diags came from the cache but
+/// whose tokens/directives the cross-TU phase still needs.
+void relex_unit(Unit& u) {
+  u.lx = lex(u.content);
+  u.dirs = parse_directives(u.lx.comments);
+  u.eff_path =
+      normalize(u.dirs.virtual_path.empty() ? u.disk_path : u.dirs.virtual_path);
+}
+
+/// The index-backed rules: index-parse, domain-confinement, pod-init.
+/// Returns diagnostics with suppression already applied.
+[[nodiscard]] std::vector<Diagnostic> cross_tu_diags(std::vector<Unit>& units,
+                                                     const Options& opts) {
+  const bool want_parse = rule_enabled(opts, "index-parse");
+  const bool want_conf = rule_enabled(opts, "domain-confinement");
+  const bool want_pod = rule_enabled(opts, "pod-init");
+  if (!want_parse && !want_conf && !want_pod) return {};
+
+  Index idx;
+  std::vector<ParseDiag> parse_diags;
+  for (Unit& u : units) {
+    IndexedFile f;
+    f.path = u.eff_path;
+    f.lx = &u.lx;
+    index_file(idx, std::move(f), parse_diags);
+  }
+  resolve_owners(idx, parse_diags);
+
+  std::map<std::string, const Directives*> dirs_of;
+  for (const Unit& u : units) dirs_of.emplace(u.eff_path, &u.dirs);
+  const auto push = [&](std::vector<Diagnostic>& out, const std::string& rule,
+                        const ParseDiag& pd) {
+    auto it = dirs_of.find(pd.file);
+    if (it != dirs_of.end() && suppressed(*it->second, rule, pd.line)) return;
+    out.push_back({pd.file, pd.line, rule, pd.message});
+  };
+
+  std::vector<Diagnostic> out;
+  if (want_parse) {
+    for (const ParseDiag& pd : parse_diags) push(out, "index-parse", pd);
+  }
+  if (want_pod) {
+    for (const ClassDecl& c : idx.classes) {
+      const std::string rel = path_src_rel(c.file);
+      if (rel.empty()) continue;
+      const bool sim_struct = rel.compare(0, 4, "sim/") == 0;
+      const auto name_ends = [&c](const char* suf) {
+        const std::size_t l = std::char_traits<char>::length(suf);
+        return c.name.size() >= l &&
+               c.name.compare(c.name.size() - l, l, suf) == 0;
+      };
+      if (!sim_struct && !name_ends("Mail") && !name_ends("Event") &&
+          !name_ends("Msg")) {
+        continue;
+      }
+      for (const FieldDecl& f : c.fields) {
+        if (!f.scalar || f.has_init || f.is_const) continue;
+        push(out, "pod-init",
+             {c.file, f.line,
+              "POD member '" + f.name + "' of " +
+                  (sim_struct ? "engine struct '" : "event/mail struct '") +
+                  c.name +
+                  "' has no default initializer; indeterminate bits here "
+                  "travel between domains"});
+      }
+    }
+  }
+  if (want_conf) {
+    std::vector<ParseDiag> conf;
+    check_confinement(idx, conf);
+    for (const ParseDiag& pd : conf) push(out, "domain-confinement", pd);
+  }
   return out;
 }
 
-bool is_known_rule(const std::string& id) {
-  for (const Rule& r : kRules) {
-    if (id == r.id) return true;
+/// Analyze a whole corpus: per-file rules (parallel under opts.jobs),
+/// then the cross-TU phase.  Units must already hold disk_path+content.
+[[nodiscard]] std::vector<Diagnostic> run_corpus(std::vector<Unit>& units,
+                                                 const Options& opts) {
+  const int jobs = std::max(1, opts.jobs);
+  if (jobs == 1 || units.size() < 2) {
+    for (Unit& u : units) {
+      if (!u.cached) {
+        analyze_unit(u, opts);
+      } else {
+        relex_unit(u);
+      }
+    }
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    const int n = std::min<int>(jobs, static_cast<int>(units.size()));
+    pool.reserve(static_cast<std::size_t>(n));
+    for (int w = 0; w < n; ++w) {
+      pool.emplace_back([&units, &next, &opts] {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1);
+          if (i >= units.size()) return;
+          if (!units[i].cached) {
+            analyze_unit(units[i], opts);
+          } else {
+            relex_unit(units[i]);
+          }
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
   }
-  return false;
-}
-
-std::vector<Diagnostic> lint_source(const std::string& path,
-                                    const std::string& content,
-                                    const Options& opts) {
-  const Lexed lx = lex(content);
-  const Directives dirs = parse_directives(lx.comments);
-
-  FileCtx ctx;
-  ctx.path = normalize(dirs.virtual_path.empty() ? path : dirs.virtual_path);
-  ctx.lx = &lx;
-  ctx.dirs = &dirs;
-  fill_scope(ctx);
 
   std::vector<Diagnostic> out;
-  for (const Rule& r : kRules) {
-    if (!opts.only.empty() &&
-        std::find(opts.only.begin(), opts.only.end(), r.id) ==
-            opts.only.end()) {
-      continue;
-    }
-    r.fn(ctx, out);
+  for (const Unit& u : units) {
+    out.insert(out.end(), u.per_file.begin(), u.per_file.end());
   }
+  std::vector<Diagnostic> cross = cross_tu_diags(units, opts);
+  out.insert(out.end(), cross.begin(), cross.end());
   std::stable_sort(out.begin(), out.end(),
                    [](const Diagnostic& a, const Diagnostic& b) {
-                     return a.line < b.line;
+                     return a.file != b.file ? a.file < b.file
+                                             : a.line < b.line;
                    });
   return out;
 }
 
-std::vector<Diagnostic> lint_file(const std::string& path,
-                                  const Options& opts) {
+[[nodiscard]] std::string slurp_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("cannot open " + path);
   std::ostringstream ss;
   ss << in.rdbuf();
-  return lint_source(path, ss.str(), opts);
+  return ss.str();
 }
 
-std::vector<Diagnostic> lint_tree(const std::string& root,
-                                  const Options& opts) {
+[[nodiscard]] std::vector<std::string> collect_tree(const std::string& root) {
   namespace fs = std::filesystem;
   if (!fs::exists(root)) throw std::runtime_error("no such directory: " + root);
   std::vector<std::string> paths;
@@ -763,12 +882,185 @@ std::vector<Diagnostic> lint_tree(const std::string& root,
     }
   }
   std::sort(paths.begin(), paths.end());
-  std::vector<Diagnostic> out;
-  for (const std::string& p : paths) {
-    std::vector<Diagnostic> d = lint_file(p, opts);
-    out.insert(out.end(), d.begin(), d.end());
+  return paths;
+}
+
+// --- incremental cache ----------------------------------------------------
+//
+// Text format, one header line then per-file and corpus entries:
+//   lap-lint-cache v1 <cfg-hash>
+//   F <unit-hash> <n-diags> <path>
+//   D <line>\t<rule>\t<file>\t<message>
+//   X <corpus-hash> <n-diags>
+//   D ...
+// The cfg hash covers the rule set and the --only list, so a cache file
+// is silently ignored whenever it was written by a different
+// configuration (or analyzer version).
+
+[[nodiscard]] std::uint64_t cfg_hash(const Options& opts) {
+  std::uint64_t h = fnv1a("lap-lint-cache-v1");
+  for (const Rule& r : kRules) h = fnv1a(r.id, h);
+  std::vector<std::string> only = opts.only;
+  std::sort(only.begin(), only.end());
+  for (const std::string& o : only) h = fnv1a("only:" + o, h);
+  return h;
+}
+
+struct Cache {
+  std::map<std::uint64_t, std::vector<Diagnostic>> per_file;
+  std::uint64_t corpus_hash = 0;
+  bool has_corpus = false;
+  std::vector<Diagnostic> corpus_diags;
+};
+
+[[nodiscard]] bool read_cached_diag(const std::string& line, Diagnostic& d) {
+  if (line.compare(0, 2, "D ") != 0) return false;
+  std::size_t t1 = line.find('\t');
+  if (t1 == std::string::npos) return false;
+  std::size_t t2 = line.find('\t', t1 + 1);
+  if (t2 == std::string::npos) return false;
+  std::size_t t3 = line.find('\t', t2 + 1);
+  if (t3 == std::string::npos) return false;
+  try {
+    d.line = std::stoi(line.substr(2, t1 - 2));
+  } catch (const std::exception&) {
+    return false;
+  }
+  d.rule = line.substr(t1 + 1, t2 - t1 - 1);
+  d.file = line.substr(t2 + 1, t3 - t2 - 1);
+  d.message = line.substr(t3 + 1);
+  return true;
+}
+
+[[nodiscard]] Cache load_cache(const std::string& path, const Options& opts) {
+  Cache c;
+  std::ifstream in(path);
+  if (!in) return c;
+  std::string line;
+  if (!std::getline(in, line)) return c;
+  {
+    std::istringstream hdr(line);
+    std::string magic;
+    std::string ver;
+    std::uint64_t h = 0;
+    if (!(hdr >> magic >> ver >> h) || magic != "lap-lint-cache" ||
+        ver != "v1" || h != cfg_hash(opts)) {
+      return c;
+    }
+  }
+  std::vector<Diagnostic>* sink = nullptr;
+  while (std::getline(in, line)) {
+    if (line.compare(0, 2, "F ") == 0) {
+      std::istringstream ss(line.substr(2));
+      std::uint64_t h = 0;
+      std::size_t n = 0;
+      if (!(ss >> h >> n)) return Cache{};
+      sink = &c.per_file[h];
+    } else if (line.compare(0, 2, "X ") == 0) {
+      std::istringstream ss(line.substr(2));
+      std::size_t n = 0;
+      if (!(ss >> c.corpus_hash >> n)) return Cache{};
+      c.has_corpus = true;
+      sink = &c.corpus_diags;
+    } else if (line.compare(0, 2, "D ") == 0) {
+      Diagnostic d;
+      if (sink == nullptr || !read_cached_diag(line, d)) return Cache{};
+      sink->push_back(std::move(d));
+    }
+  }
+  return c;
+}
+
+void save_cache(const std::string& path, const Options& opts,
+                const std::vector<Unit>& units, std::uint64_t corpus_hash,
+                const std::vector<Diagnostic>& corpus_diags) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return;  // cache is best-effort; never fail the run over it
+  out << "lap-lint-cache v1 " << cfg_hash(opts) << "\n";
+  const auto write_diag = [&out](const Diagnostic& d) {
+    out << "D " << d.line << '\t' << d.rule << '\t' << d.file << '\t'
+        << d.message << "\n";
+  };
+  for (const Unit& u : units) {
+    out << "F " << u.hash << ' ' << u.per_file.size() << ' ' << u.disk_path
+        << "\n";
+    for (const Diagnostic& d : u.per_file) write_diag(d);
+  }
+  out << "X " << corpus_hash << ' ' << corpus_diags.size() << "\n";
+  for (const Diagnostic& d : corpus_diags) write_diag(d);
+}
+
+// --- SARIF ----------------------------------------------------------------
+
+[[nodiscard]] std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
   }
   return out;
+}
+
+}  // namespace
+
+std::vector<RuleInfo> rule_catalog() {
+  std::vector<RuleInfo> out;
+  for (const Rule& r : kRules) {
+    out.push_back({r.id, r.summary, r.scope, r.needs_index});
+  }
+  return out;
+}
+
+bool is_known_rule(const std::string& id) {
+  for (const Rule& r : kRules) {
+    if (id == r.id) return true;
+  }
+  return false;
+}
+
+std::vector<Diagnostic> lint_corpus(
+    const std::vector<std::pair<std::string, std::string>>& files,
+    const Options& opts) {
+  std::vector<Unit> units(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    units[i].disk_path = files[i].first;
+    units[i].content = files[i].second;
+  }
+  return run_corpus(units, opts);
+}
+
+std::vector<Diagnostic> lint_source(const std::string& path,
+                                    const std::string& content,
+                                    const Options& opts) {
+  return lint_corpus({{path, content}}, opts);
+}
+
+std::vector<Diagnostic> lint_file(const std::string& path,
+                                  const Options& opts) {
+  return lint_source(path, slurp_file(path), opts);
+}
+
+std::vector<Diagnostic> lint_tree(const std::string& root,
+                                  const Options& opts) {
+  std::vector<std::pair<std::string, std::string>> files;
+  for (const std::string& p : collect_tree(root)) {
+    files.emplace_back(p, slurp_file(p));
+  }
+  return lint_corpus(files, opts);
 }
 
 std::string format_diagnostic(const Diagnostic& d) {
@@ -776,14 +1068,59 @@ std::string format_diagnostic(const Diagnostic& d) {
          "]: " + d.message;
 }
 
+std::string to_sarif(const std::vector<Diagnostic>& diags) {
+  std::string s;
+  s += "{\n";
+  s += "  \"$schema\": "
+       "\"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  s += "  \"version\": \"2.1.0\",\n";
+  s += "  \"runs\": [\n    {\n";
+  s += "      \"tool\": {\n        \"driver\": {\n";
+  s += "          \"name\": \"lap_lint\",\n";
+  s += "          \"rules\": [\n";
+  const std::vector<RuleInfo> cat = rule_catalog();
+  for (std::size_t i = 0; i < cat.size(); ++i) {
+    s += "            {\"id\": \"" + json_escape(cat[i].id) +
+         "\", \"shortDescription\": {\"text\": \"" +
+         json_escape(cat[i].summary) + "\"}}";
+    s += i + 1 < cat.size() ? ",\n" : "\n";
+  }
+  s += "          ]\n        }\n      },\n";
+  s += "      \"results\": [\n";
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    const Diagnostic& d = diags[i];
+    s += "        {\"ruleId\": \"" + json_escape(d.rule) +
+         "\", \"level\": \"error\", \"message\": {\"text\": \"" +
+         json_escape(d.message) + "\"}, \"locations\": [{" +
+         "\"physicalLocation\": {\"artifactLocation\": {\"uri\": \"" +
+         json_escape(d.file) + "\"}, \"region\": {\"startLine\": " +
+         std::to_string(d.line > 0 ? d.line : 1) + "}}}]}";
+    s += i + 1 < diags.size() ? ",\n" : "\n";
+  }
+  s += "      ]\n    }\n  ]\n}\n";
+  return s;
+}
+
 int run_cli(const std::vector<std::string>& args, std::string& out) {
   Options opts;
   std::vector<std::string> files;
   std::vector<std::string> trees;
+  std::string cache_path;
+  std::string sarif_path;
+  std::string baseline_path;
+  std::string write_baseline_path;
   bool list_rules = false;
 
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& a = args[i];
+    const auto next_arg = [&](const char* what, std::string& into) {
+      if (i + 1 >= args.size()) {
+        out += std::string("lap_lint: ") + what + "\n";
+        return false;
+      }
+      into = args[++i];
+      return true;
+    };
     if (a == "--list-rules") {
       list_rules = true;
     } else if (a.compare(0, 7, "--only=") == 0) {
@@ -799,15 +1136,33 @@ int run_cli(const std::vector<std::string>& args, std::string& out) {
         opts.only.push_back(id);
       }
     } else if (a == "--tree") {
-      if (i + 1 >= args.size()) {
-        out += "lap_lint: --tree needs a directory\n";
+      std::string t;
+      if (!next_arg("--tree needs a directory", t)) return 2;
+      trees.push_back(t);
+    } else if (a == "--jobs") {
+      std::string n;
+      if (!next_arg("--jobs needs a count", n)) return 2;
+      try {
+        opts.jobs = std::max(1, std::stoi(n));
+      } catch (const std::exception&) {
+        out += "lap_lint: --jobs needs a number, got '" + n + "'\n";
         return 2;
       }
-      trees.push_back(args[++i]);
+    } else if (a == "--cache") {
+      if (!next_arg("--cache needs a file", cache_path)) return 2;
+    } else if (a == "--sarif") {
+      if (!next_arg("--sarif needs a file", sarif_path)) return 2;
+    } else if (a == "--baseline") {
+      if (!next_arg("--baseline needs a file", baseline_path)) return 2;
+    } else if (a == "--write-baseline") {
+      if (!next_arg("--write-baseline needs a file", write_baseline_path)) {
+        return 2;
+      }
     } else if (a == "--help" || a == "-h") {
       out +=
           "usage: lap_lint [--only=rule[,rule...]] [--list-rules] "
-          "[--tree DIR]... [FILE]...\n"
+          "[--jobs N] [--cache FILE] [--sarif FILE] [--baseline FILE] "
+          "[--write-baseline FILE] [--tree DIR]... [FILE]...\n"
           "exit: 0 clean, 1 violations, 2 usage/I/O error\n";
       return 0;
     } else if (!a.empty() && a[0] == '-') {
@@ -820,7 +1175,11 @@ int run_cli(const std::vector<std::string>& args, std::string& out) {
 
   if (list_rules) {
     for (const RuleInfo& r : rule_catalog()) {
-      out += r.id + "  " + r.summary + "\n";
+      std::string line = r.id;
+      line.append(line.size() < 24 ? 24 - line.size() : 1, ' ');
+      std::string scope = "[" + r.scope + (r.needs_index ? ", index]" : "]");
+      scope.append(scope.size() < 26 ? 26 - scope.size() : 1, ' ');
+      out += line + scope + r.summary + "\n";
     }
     return 0;
   }
@@ -831,17 +1190,141 @@ int run_cli(const std::vector<std::string>& args, std::string& out) {
 
   std::vector<Diagnostic> diags;
   try {
+    std::vector<Unit> units;
     for (const std::string& t : trees) {
-      std::vector<Diagnostic> d = lint_tree(t, opts);
-      diags.insert(diags.end(), d.begin(), d.end());
+      for (const std::string& p : collect_tree(t)) {
+        Unit u;
+        u.disk_path = p;
+        u.content = slurp_file(p);
+        units.push_back(std::move(u));
+      }
     }
     for (const std::string& f : files) {
-      std::vector<Diagnostic> d = lint_file(f, opts);
-      diags.insert(diags.end(), d.begin(), d.end());
+      Unit u;
+      u.disk_path = f;
+      u.content = slurp_file(f);
+      units.push_back(std::move(u));
+    }
+
+    Cache cache;
+    std::uint64_t corpus_hash = fnv1a("corpus");
+    if (!cache_path.empty()) {
+      cache = load_cache(cache_path, opts);
+      for (Unit& u : units) {
+        u.hash = fnv1a(u.disk_path, fnv1a(u.content));
+        auto it = cache.per_file.find(u.hash);
+        if (it != cache.per_file.end()) {
+          u.cached = true;
+          u.per_file = it->second;
+        }
+        corpus_hash = fnv1a(std::to_string(u.hash), corpus_hash);
+      }
+    }
+
+    const bool corpus_warm = !cache_path.empty() && cache.has_corpus &&
+                             cache.corpus_hash == corpus_hash;
+    std::vector<Diagnostic> cross;
+    if (corpus_warm &&
+        std::all_of(units.begin(), units.end(),
+                    [](const Unit& u) { return u.cached; })) {
+      // Fully warm: nothing to lex at all.
+      cross = cache.corpus_diags;
+      for (const Unit& u : units) {
+        diags.insert(diags.end(), u.per_file.begin(), u.per_file.end());
+      }
+      diags.insert(diags.end(), cross.begin(), cross.end());
+      std::stable_sort(diags.begin(), diags.end(),
+                       [](const Diagnostic& a, const Diagnostic& b) {
+                         return a.file != b.file ? a.file < b.file
+                                                 : a.line < b.line;
+                       });
+    } else {
+      diags = run_corpus(units, opts);
+      if (!cache_path.empty()) {
+        // run_corpus interleaved per-file and cross diags; recover the
+        // cross set as everything not attributed to a unit's own list.
+        std::size_t per_file_total = 0;
+        for (const Unit& u : units) per_file_total += u.per_file.size();
+        if (diags.size() >= per_file_total) {
+          std::multiset<std::string> own;
+          for (const Unit& u : units) {
+            for (const Diagnostic& d : u.per_file) own.insert(format_diagnostic(d));
+          }
+          for (const Diagnostic& d : diags) {
+            auto it = own.find(format_diagnostic(d));
+            if (it != own.end()) {
+              own.erase(it);
+            } else {
+              cross.push_back(d);
+            }
+          }
+        }
+        save_cache(cache_path, opts, units, corpus_hash, cross);
+      }
     }
   } catch (const std::exception& e) {
     out += std::string("lap_lint: ") + e.what() + "\n";
     return 2;
+  }
+
+  if (!write_baseline_path.empty()) {
+    std::set<std::string> entries;
+    for (const Diagnostic& d : diags) entries.insert(d.rule + " " + d.file);
+    std::ofstream bl(write_baseline_path, std::ios::trunc);
+    if (!bl) {
+      out += "lap_lint: cannot write baseline " + write_baseline_path + "\n";
+      return 2;
+    }
+    bl << "# lap_lint baseline: `<rule> <path>` pairs grandfathered from\n"
+          "# the current tree.  Regenerate with --write-baseline; entries\n"
+          "# that no longer match anything are reported as stale.\n";
+    for (const std::string& e : entries) bl << e << "\n";
+    out += "lap_lint: wrote " + std::to_string(entries.size()) +
+           " baseline entr" + (entries.size() == 1 ? "y" : "ies") + " to " +
+           write_baseline_path + "\n";
+    return 0;
+  }
+
+  if (!baseline_path.empty()) {
+    std::ifstream bl(baseline_path);
+    if (!bl) {
+      out += "lap_lint: cannot read baseline " + baseline_path + "\n";
+      return 2;
+    }
+    std::map<std::string, int> entries;  // "rule path" → match count
+    std::string line;
+    while (std::getline(bl, line)) {
+      const std::size_t h = line.find('#');
+      if (h != std::string::npos) line.erase(h);
+      line.erase(0, line.find_first_not_of(" \t"));
+      line.erase(line.find_last_not_of(" \t\r") + 1);
+      if (!line.empty()) entries.emplace(line, 0);
+    }
+    std::vector<Diagnostic> kept;
+    for (Diagnostic& d : diags) {
+      auto it = entries.find(d.rule + " " + d.file);
+      if (it != entries.end()) {
+        ++it->second;
+      } else {
+        kept.push_back(std::move(d));
+      }
+    }
+    diags = std::move(kept);
+    for (const auto& [entry, hits] : entries) {
+      if (hits == 0) {
+        out += "lap_lint: note: stale baseline entry '" + entry +
+               "' (no longer matches; remove it)\n";
+      }
+    }
+  }
+
+  if (!sarif_path.empty()) {
+    std::ofstream sf(sarif_path, std::ios::trunc);
+    if (!sf) {
+      out += "lap_lint: cannot write SARIF " + sarif_path + "\n";
+      return 2;
+    }
+    sf << to_sarif(diags);
   }
 
   for (const Diagnostic& d : diags) out += format_diagnostic(d) + "\n";

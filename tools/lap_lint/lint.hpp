@@ -1,23 +1,38 @@
 // lap-lint: the project's invariant checker.
 //
-// A small standalone static analyzer (own tokenizer, no libclang) that
-// enforces the policies the simulator's correctness story depends on but
-// that the compiler cannot see: determinism (no ambient randomness or
-// wall-clock time on simulation paths, no iteration over unordered
-// containers), the PR 3 container policy (flat_hash on hot paths), the
-// PR 4 error taxonomy (typed TraceIoError only in src/trace/io), and
-// include hygiene.  Rules are table-driven (see rule_catalog()); every
-// rule can be suppressed per file with
+// A standalone static analyzer (own tokenizer, no libclang) that enforces
+// the policies the simulator's correctness story depends on but that the
+// compiler cannot see: determinism (no ambient randomness or wall-clock
+// time on simulation paths, no iteration over unordered containers, no
+// pointer values feeding orderings or hashes, no floating-point
+// accumulation, no uninitialized POD members in event/mail structs), the
+// PR 3 container policy (flat_hash on hot paths), the PR 4 error taxonomy
+// (typed TraceIoError only in src/trace/io), include hygiene and the
+// layer DAG, and — through the cross-TU declaration index (index.hpp) —
+// the sharded engine's shard-confinement invariant: state owned by one
+// domain is only reached from that domain's code, or across an
+// Engine::post_at hop (`domain-confinement`).
+//
+// Rules are table-driven (see rule_catalog()); every rule can be
+// suppressed for a whole file with
 //
 //   // lap-lint: allow(<rule-id>[, <rule-id>...])
 //
-// and fixture files can pin the path used for directory-scoped rules with
+// or — strongly preferred — for a single line with
+//
+//   // lap-lint: allow-next-line(<rule-id>[, <rule-id>...])
+//
+// which suppresses the listed rules on the line directly below the
+// comment.  Fixture files can pin the path used for directory-scoped
+// rules with
 //
 //   // lap-lint: path(src/cache/whatever.cpp)
 //
 // Diagnostics are GCC-style — `file:line: error[rule-id]: message` — so
-// editors and CI annotations pick them up unmodified.  DESIGN.md §12 has
-// the full catalog and the policy for adding rules.
+// editors and CI annotations pick them up unmodified; --sarif additionally
+// writes SARIF 2.1.0 for code-scanning upload.  DESIGN.md §12 has the
+// full catalog, the ownership-annotation grammar and the baseline-file
+// workflow.
 #pragma once
 
 #include <string>
@@ -34,11 +49,15 @@ struct Diagnostic {
 
 struct Options {
   std::vector<std::string> only;  // restrict to these rule ids; empty = all
+  int jobs = 1;                   // worker threads for per-file analysis
 };
 
 struct RuleInfo {
   std::string id;
   std::string summary;
+  std::string scope;       // "tree-wide", "directory-scoped" or "cross-TU"
+  bool needs_index = false;  // true when the rule runs off the declaration
+                             // index (built for every invocation mode)
 };
 
 /// Every rule the analyzer knows, in reporting order.
@@ -49,6 +68,7 @@ struct RuleInfo {
 
 /// Lint one translation unit given its contents.  `path` drives the
 /// directory-scoped rules unless the content carries a path() directive.
+/// Index-backed rules see a single-file corpus.
 [[nodiscard]] std::vector<Diagnostic> lint_source(const std::string& path,
                                                   const std::string& content,
                                                   const Options& opts = {});
@@ -57,18 +77,33 @@ struct RuleInfo {
 [[nodiscard]] std::vector<Diagnostic> lint_file(const std::string& path,
                                                 const Options& opts = {});
 
-/// Recursively lint every C++ source/header under `root`, in sorted path
-/// order (deterministic output).  Throws std::runtime_error on a missing
-/// root.
+/// Recursively lint every C++ source/header under `root` as ONE corpus
+/// (the declaration index spans all of it), in sorted path order
+/// (deterministic output).  Throws std::runtime_error on a missing root.
 [[nodiscard]] std::vector<Diagnostic> lint_tree(const std::string& root,
                                                 const Options& opts = {});
+
+/// Lint an in-memory corpus of (path, content) pairs as one unit —
+/// exactly what lint_tree does after loading.  The test suite uses this
+/// to seed synthetic confinement bugs into copies of real sources.
+[[nodiscard]] std::vector<Diagnostic> lint_corpus(
+    const std::vector<std::pair<std::string, std::string>>& files,
+    const Options& opts = {});
 
 /// "file:line: error[rule-id]: message"
 [[nodiscard]] std::string format_diagnostic(const Diagnostic& d);
 
+/// Serialize diagnostics as a SARIF 2.1.0 log (one run, one result per
+/// diagnostic, rule metadata from rule_catalog()).
+[[nodiscard]] std::string to_sarif(const std::vector<Diagnostic>& diags);
+
 /// CLI entry point, shared by main() and the test suite.  Appends all
 /// output (diagnostics and errors) to `out`.  Returns the process exit
 /// code: 0 clean, 1 violations found, 2 usage or I/O error.
+///
+/// Flags: --only=r[,r...], --list-rules, --tree DIR, --jobs N,
+/// --cache FILE (content-hash incremental cache), --sarif FILE,
+/// --baseline FILE, --write-baseline FILE.
 [[nodiscard]] int run_cli(const std::vector<std::string>& args,
                           std::string& out);
 
